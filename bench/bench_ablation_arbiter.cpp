@@ -1,0 +1,25 @@
+// E-ABL1 — hardware-mechanism ablation: disable one contention mechanism
+// of the simulated memory system at a time and re-run the full calibrate +
+// evaluate pipeline on henri. Shows which of the paper's §II-A hardware
+// hypotheses (CPU priority, DMA floor, post-knee degradation, host
+// coupling, early soft throttling) the model's accuracy depends on — and
+// that the model still calibrates (with different parameters) when the
+// hardware behaves differently.
+#include "bench/common.hpp"
+#include "eval/ablation.hpp"
+
+int main(int argc, char** argv) {
+  for (const char* platform : {"henri", "occigen"}) {
+    const auto results = mcm::eval::run_hardware_ablation(platform);
+    std::printf("== Hardware-mechanism ablation on %s ==\n%s\n", platform,
+                mcm::eval::render_ablation(results).c_str());
+  }
+
+  benchmark::RegisterBenchmark(
+      "hardware_ablation/henri", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(mcm::eval::run_hardware_ablation("henri"));
+        }
+      });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,26 @@
+// E-ABL2 — predictor comparison: score the paper's model against the
+// baseline predictors (processor-sharing queue, Langguth-style equal
+// split, perfect scaling) with the Table-II protocol. Supports the paper's
+// §II-D argument that a simple threshold model beats queueing-style models
+// for this problem.
+#include "bench/common.hpp"
+#include "eval/ablation.hpp"
+#include "model/report.hpp"
+
+int main(int argc, char** argv) {
+  for (const char* platform : {"henri", "henri-subnuma", "occigen"}) {
+    const std::vector<mcm::model::ErrorReport> reports =
+        mcm::eval::run_predictor_comparison(platform);
+    std::printf("== Predictor comparison on %s ==\n%s\n", platform,
+                mcm::model::render_error_table(reports).c_str());
+  }
+
+  benchmark::RegisterBenchmark(
+      "predictor_comparison/henri", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              mcm::eval::run_predictor_comparison("henri"));
+        }
+      });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,25 @@
+// E-EXT5 — calibration stability (quantifying the paper's "run-to-run
+// variability is very low" remark): repeat the calibration sweep under
+// independent measurement noise and report the spread of every model
+// parameter and of the downstream predictions, on the quietest and the
+// noisiest platform.
+#include "bench/common.hpp"
+#include "model/stability.hpp"
+
+int main(int argc, char** argv) {
+  for (const char* platform : {"occigen", "henri", "pyxis"}) {
+    const mcm::model::StabilityReport report =
+        mcm::model::calibration_stability(
+            mcm::topo::make_platform(platform), 10);
+    std::printf("%s\n", mcm::model::render_stability(report).c_str());
+  }
+
+  benchmark::RegisterBenchmark(
+      "calibration_stability/henri_x10", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(mcm::model::calibration_stability(
+              mcm::topo::make_henri(), 10));
+        }
+      });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

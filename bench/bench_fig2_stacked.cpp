@@ -1,0 +1,17 @@
+// E-FIG2 — reproduction of Figure 2: stacked memory bandwidth for
+// computations and communications on the henri-subnuma both-local sweep,
+// annotated with the calibrated model anchor points.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  const mcm::eval::FigureData figure =
+      mcm::eval::make_figure("Figure 2", "henri-subnuma");
+  std::fputs(mcm::eval::render_stacked(figure, mcm::topo::NumaId(0),
+                                       mcm::topo::NumaId(0))
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+
+  mcm::benchx::register_pipeline_benchmarks("henri-subnuma");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

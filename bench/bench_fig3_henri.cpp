@@ -1,0 +1,11 @@
+// E-FIG3 — reproduction of Figure 3: performances of
+// computations and communications along with the model prediction on
+// henri, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 3", "henri",
+                           "bench_fig3_henri.csv");
+  mcm::benchx::register_pipeline_benchmarks("henri");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

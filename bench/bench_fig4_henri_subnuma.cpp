@@ -1,0 +1,11 @@
+// E-FIG4 — reproduction of Figure 4: performances of
+// computations and communications along with the model prediction on
+// henri-subnuma, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 4", "henri-subnuma",
+                           "bench_fig4_henri_subnuma.csv");
+  mcm::benchx::register_pipeline_benchmarks("henri-subnuma");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,11 @@
+// E-FIG5 — reproduction of Figure 5: performances of
+// computations and communications along with the model prediction on
+// diablo, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 5", "diablo",
+                           "bench_fig5_diablo.csv");
+  mcm::benchx::register_pipeline_benchmarks("diablo");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

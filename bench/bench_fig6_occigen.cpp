@@ -1,0 +1,11 @@
+// E-FIG6 — reproduction of Figure 6: performances of
+// computations and communications along with the model prediction on
+// occigen, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 6", "occigen",
+                           "bench_fig6_occigen.csv");
+  mcm::benchx::register_pipeline_benchmarks("occigen");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,11 @@
+// E-FIG7 — reproduction of Figure 7: performances of
+// computations and communications along with the model prediction on
+// pyxis, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 7", "pyxis",
+                           "bench_fig7_pyxis.csv");
+  mcm::benchx::register_pipeline_benchmarks("pyxis");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,11 @@
+// E-FIG8 — reproduction of Figure 8: performances of
+// computations and communications along with the model prediction on
+// dahu, for every placement of computation and communication data.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  mcm::benchx::emit_figure("Figure 8", "dahu",
+                           "bench_fig8_dahu.csv");
+  mcm::benchx::register_pipeline_benchmarks("dahu");
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

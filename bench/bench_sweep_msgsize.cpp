@@ -1,0 +1,51 @@
+// E-EXT1 — message-size sensitivity (extension of paper §IV-C-1): the
+// model is calibrated for 64 MiB messages; this sweep measures how memory
+// contention changes with smaller messages on henri's both-local diagonal.
+// Expected shape: small (latency-bound) messages barely contend; the
+// pressure grows with message size and saturates near the calibrated
+// 64 MiB regime — so a model calibrated at 64 MiB is a worst-case bound.
+#include "bench/common.hpp"
+#include "net/sim_channel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  sim::SimMachine machine(topo::make_henri());
+  const net::SimChannel channel(machine);
+  const topo::NumaId node0(0);
+  const std::size_t full_load = machine.max_computing_cores();
+
+  AsciiTable table({"message size", "idle comm", "loaded comm",
+                    "contention loss"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kRight,
+                        Align::kRight});
+  for (std::uint64_t kib :
+       {4ull, 64ull, 256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
+    const std::uint64_t bytes = kib * kKiB;
+    const double idle =
+        channel.effective_bandwidth_under_load(bytes, 0, node0, node0).gb();
+    const double loaded =
+        channel
+            .effective_bandwidth_under_load(bytes, full_load, node0, node0)
+            .gb();
+    table.add_row({std::to_string(kib) + " KiB", format_gbps(idle),
+                   format_gbps(loaded),
+                   format_percent(100.0 * (1.0 - loaded / idle))});
+  }
+  std::printf("== Message-size sensitivity of memory contention (henri, "
+              "both data blocks on node 0, %zu computing cores) ==\n%s\n",
+              full_load, table.render().c_str());
+
+  benchmark::RegisterBenchmark(
+      "message_time/64MiB_loaded", [](benchmark::State& state) {
+        sim::SimMachine m(topo::make_henri());
+        const net::SimChannel ch(m);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(ch.message_time_under_load(
+              64 * kMiB, m.max_computing_cores(), topo::NumaId(0),
+              topo::NumaId(0)));
+        }
+      });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

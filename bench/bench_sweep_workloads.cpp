@@ -1,0 +1,92 @@
+// E-EXT2 — workload-variant sweep (the paper's §VI future work): how the
+// contention picture changes with bidirectional (ping-pong) communications
+// and with a copy kernel instead of the memset kernel — and whether the
+// model form still fits when recalibrated on each variant.
+//
+// Expected shape: ping-pongs and copy kernels both move contention onset to
+// fewer cores (more traffic per core / per message), while the recalibrated
+// model keeps low sample error — the paper's conjecture that "the insights
+// provided by our model in the worst case should still be valid".
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  mcm::sim::CommPattern pattern;
+  mcm::sim::ComputeKernel kernel;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+
+  const Variant variants[] = {
+      {"fill + receive-only (paper)", sim::CommPattern::kReceiveOnly,
+       sim::ComputeKernel::kFill},
+      {"fill + bidirectional", sim::CommPattern::kBidirectional,
+       sim::ComputeKernel::kFill},
+      {"copy + receive-only", sim::CommPattern::kReceiveOnly,
+       sim::ComputeKernel::kCopy},
+      {"copy + bidirectional", sim::CommPattern::kBidirectional,
+       sim::ComputeKernel::kCopy},
+  };
+
+  AsciiTable table({"workload", "contention onset", "comm floor",
+                    "Tmax_par", "sample error (recalibrated)"});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+  for (const Variant& variant : variants) {
+    bench::SimBackend backend(topo::make_henri());
+    backend.machine().set_comm_pattern(variant.pattern);
+    backend.machine().set_compute_kernel(variant.kernel);
+
+    // Contention onset: first core count where comm loses 10 % of nominal
+    // on the both-local diagonal.
+    const topo::NumaId node0(0);
+    const double nominal =
+        backend.machine().steady_comm_alone(node0).gb();
+    std::size_t onset = backend.max_computing_cores() + 1;
+    double floor_gb = nominal;
+    for (std::size_t n = 1; n <= backend.max_computing_cores(); ++n) {
+      const double comm =
+          backend.machine().steady_parallel(n, node0, node0).comm.gb();
+      if (comm < nominal * 0.9 && onset > backend.max_computing_cores()) {
+        onset = n;
+      }
+      floor_gb = std::min(floor_gb, comm);
+    }
+
+    const auto model = model::ContentionModel::from_backend(backend);
+    const bench::SweepResult sweep = bench::run_all_placements(backend);
+    const model::ErrorReport report = model.evaluate_against(sweep);
+
+    table.add_row({variant.name,
+                   onset <= backend.max_computing_cores()
+                       ? std::to_string(onset) + " cores"
+                       : "none",
+                   format_gbps(floor_gb),
+                   format_gbps(model.local().t_par_max),
+                   format_percent(0.5 * (report.comm_samples +
+                                         report.comp_samples))});
+  }
+  std::printf("== Workload variants on henri (both data blocks on node 0) "
+              "==\n%s\n",
+              table.render().c_str());
+
+  benchmark::RegisterBenchmark(
+      "variant_pipeline/copy_bidirectional", [](benchmark::State& state) {
+        for (auto _ : state) {
+          bench::SimBackend backend(topo::make_henri());
+          backend.machine().set_comm_pattern(
+              sim::CommPattern::kBidirectional);
+          backend.machine().set_compute_kernel(sim::ComputeKernel::kCopy);
+          benchmark::DoNotOptimize(
+              model::ContentionModel::from_backend(backend));
+        }
+      });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

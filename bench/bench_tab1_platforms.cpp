@@ -1,0 +1,24 @@
+// E-TAB1 — reproduction of Table I: characteristics of testbed platforms.
+// Also prints the experiment index mapping every artefact to its binary.
+#include "bench/common.hpp"
+#include "eval/experiments.hpp"
+#include "eval/tables.hpp"
+
+int main(int argc, char** argv) {
+  std::printf("== Table I: characteristics of testbed platforms ==\n%s\n",
+              mcm::eval::render_table1().c_str());
+  std::printf("== Experiment index ==\n%s\n",
+              mcm::eval::render_experiment_index().c_str());
+
+  benchmark::RegisterBenchmark("build_all_platforms",
+                               [](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   for (const auto& name :
+                                        mcm::topo::platform_names()) {
+                                     benchmark::DoNotOptimize(
+                                         mcm::topo::make_platform(name));
+                                   }
+                                 }
+                               });
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

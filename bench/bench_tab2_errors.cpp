@@ -1,0 +1,26 @@
+// E-TAB2 — reproduction of Table II: model prediction errors (MAPE) on all
+// testbed platforms, split between sample and non-sample placements.
+//
+// Expected shape (paper §IV-B): all platforms in the low single digits
+// except pyxis' non-sample communication error; occigen most accurate;
+// overall average below ~4-5 %.
+#include "bench/common.hpp"
+#include "eval/tables.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<mcm::model::ErrorReport> reports =
+      mcm::eval::run_table2();
+  std::printf("== Table II: model errors on testbed platforms ==\n%s\n",
+              mcm::eval::render_table2(reports).c_str());
+
+  benchmark::RegisterBenchmark(
+      "full_table2_pipeline", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(mcm::eval::run_table2());
+        }
+      });
+  for (const char* platform : {"henri", "pyxis"}) {
+    mcm::benchx::register_pipeline_benchmarks(platform);
+  }
+  return mcm::benchx::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,81 @@
+// Shared scaffolding of the reproduction benchmark binaries.
+//
+// Every binary does two things:
+//  1. print the paper artefact it reproduces (figure series or table) and
+//     drop the raw series as a CSV file next to the working directory, and
+//  2. register google-benchmark timings for the pipeline stages involved,
+//     so `--benchmark_filter` etc. work as usual.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "eval/figures.hpp"
+#include "model/model.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::benchx {
+
+/// Print a full figure reproduction and write `<csv_name>` with the series.
+inline void emit_figure(const std::string& figure_id,
+                        const std::string& platform,
+                        const std::string& csv_name) {
+  const eval::FigureData figure = eval::make_figure(figure_id, platform);
+  std::fputs(eval::render_figure(figure).c_str(), stdout);
+  const std::string csv = eval::figure_csv(figure);
+  if (FILE* f = std::fopen(csv_name.c_str(), "w")) {
+    std::fputs(csv.c_str(), f);
+    std::fclose(f);
+    std::printf("raw series written to %s\n\n", csv_name.c_str());
+  }
+}
+
+/// Register the standard pipeline timings for one platform.
+inline void register_pipeline_benchmarks(const std::string& platform) {
+  benchmark::RegisterBenchmark(
+      ("calibration_sweep/" + platform).c_str(),
+      [platform](benchmark::State& state) {
+        for (auto _ : state) {
+          bench::SimBackend backend(topo::make_platform(platform));
+          benchmark::DoNotOptimize(bench::run_calibration_sweep(backend));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      ("model_calibration/" + platform).c_str(),
+      [platform](benchmark::State& state) {
+        bench::SimBackend backend(topo::make_platform(platform));
+        const bench::SweepResult sweep =
+            bench::run_calibration_sweep(backend);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(model::ContentionModel::from_sweep(sweep));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      ("model_prediction/" + platform).c_str(),
+      [platform](benchmark::State& state) {
+        bench::SimBackend backend(topo::make_platform(platform));
+        const model::ContentionModel model =
+            model::ContentionModel::from_backend(backend);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              model.predict(topo::NumaId(0),
+                            topo::NumaId(static_cast<std::uint32_t>(
+                                backend.numa_per_socket()))));
+        }
+      });
+}
+
+/// Initialize and run google-benchmark (call after registration).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mcm::benchx

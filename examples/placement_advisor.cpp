@@ -1,0 +1,90 @@
+// Placement advisor: the paper's "runtime systems could better know on
+// which NUMA node to store data" use case (§VI).
+//
+// Given a platform and a number of computing cores, rank every placement of
+// computation and communication data by the total bandwidth the calibrated
+// model predicts, and print the recommendation.
+//
+// Usage: placement_advisor [platform] [cores]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchlib/backend.hpp"
+#include "model/model.hpp"
+#include "topo/distance.hpp"
+#include "topo/platforms.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+
+  const std::string platform = argc > 1 ? argv[1] : "henri-subnuma";
+  bench::SimBackend backend(topo::make_platform(platform));
+  const auto model = model::ContentionModel::from_backend(backend);
+  const std::size_t cores =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2]))
+               : model.max_cores();
+
+  std::printf("Placement advice on '%s' with %zu computing cores\n\n",
+              platform.c_str(), cores);
+
+  struct Row {
+    topo::NumaId comp;
+    topo::NumaId comm;
+    double compute_gb;
+    double comm_gb;
+  };
+  std::vector<Row> rows;
+  for (std::uint32_t comm = 0; comm < model.numa_count(); ++comm) {
+    for (std::uint32_t comp = 0; comp < model.numa_count(); ++comp) {
+      const model::PredictedCurve curve =
+          model.predict(topo::NumaId(comp), topo::NumaId(comm));
+      rows.push_back(Row{topo::NumaId(comp), topo::NumaId(comm),
+                         curve.compute_parallel_gb[cores - 1],
+                         curve.comm_parallel_gb[cores - 1]});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.compute_gb + a.comm_gb > b.compute_gb + b.comm_gb;
+  });
+
+  AsciiTable table({"rank", "comp data", "comm data", "compute GB/s",
+                    "comm GB/s", "total GB/s"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    table.add_row({std::to_string(i + 1),
+                   "node " + std::to_string(row.comp.value()),
+                   "node " + std::to_string(row.comm.value()),
+                   format_fixed(row.compute_gb, 2),
+                   format_fixed(row.comm_gb, 2),
+                   format_fixed(row.compute_gb + row.comm_gb, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const model::PlacementAdvice best = model.best_placement(cores);
+  std::printf("Recommendation: computation data on node %u, communication "
+              "data on node %u\n",
+              best.comp_numa.value(), best.comm_numa.value());
+  std::printf("Contention-free core budget for the recommended placement: "
+              "%zu cores\n\n",
+              model.recommended_core_count(best.comp_numa, best.comm_numa));
+
+  // NUMA distances, for context (the advisor beats naive nearest-node
+  // placement precisely when contention matters more than distance).
+  const topo::DistanceMatrix distances(backend.machine().machine());
+  std::printf("NUMA distance matrix (SLIT style):\n");
+  for (std::uint32_t i = 0; i < distances.size(); ++i) {
+    std::printf("  node %u:", i);
+    for (std::uint32_t j = 0; j < distances.size(); ++j) {
+      std::printf(" %2u", distances.at(topo::NumaId(i), topo::NumaId(j)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

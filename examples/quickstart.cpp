@@ -1,0 +1,67 @@
+// Quickstart: calibrate the contention model on a (simulated) platform,
+// inspect its parameters, predict a placement it has never measured, and
+// check the prediction error against ground truth.
+//
+// Usage: quickstart [platform]   (default: henri)
+#include <cstdio>
+#include <string>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "model/report.hpp"
+#include "topo/platforms.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+
+  const std::string platform = argc > 1 ? argv[1] : "henri";
+  std::printf("== Quickstart on platform '%s' ==\n\n", platform.c_str());
+
+  // 1. Build the simulated machine and a measurement backend.
+  bench::SimBackend backend(topo::make_platform(platform));
+
+  // 2. Calibrate: the model only needs the two placements of paper §III
+  //    (both data blocks local, both remote).
+  const auto model = model::ContentionModel::from_backend(backend);
+  std::printf("Calibrated parameters:\n%s\n",
+              model::render_parameters(model).c_str());
+
+  // 3. Predict a placement that was never measured during calibration:
+  //    computation data local (node 0), communication data remote (#m).
+  const topo::NumaId comp(0);
+  const topo::NumaId comm(
+      static_cast<std::uint32_t>(backend.numa_per_socket()));
+  const model::PredictedCurve predicted = model.predict(comp, comm);
+
+  AsciiTable table({"cores", "compute GB/s (model)", "comm GB/s (model)"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kRight});
+  for (std::size_t n = 1; n <= model.max_cores(); ++n) {
+    table.add_row({std::to_string(n),
+                   format_fixed(predicted.compute_parallel_gb[n - 1], 2),
+                   format_fixed(predicted.comm_parallel_gb[n - 1], 2)});
+  }
+  std::printf("Prediction for computation data on node %u, "
+              "communication data on node %u:\n%s\n",
+              comp.value(), comm.value(), table.render().c_str());
+
+  // 4. Advisor: contention-free core counts and best placement.
+  std::printf("Recommended cores before contention, same-node placement: "
+              "%zu\n",
+              model.recommended_core_count(topo::NumaId(0),
+                                           topo::NumaId(0)));
+  const model::PlacementAdvice advice =
+      model.best_placement(model.max_cores());
+  std::printf("Best placement at %zu cores: comp data on node %u, comm "
+              "data on node %u (%.2f + %.2f GB/s)\n\n",
+              model.max_cores(), advice.comp_numa.value(),
+              advice.comm_numa.value(), advice.compute_gb, advice.comm_gb);
+
+  // 5. Validate: measure every placement and compare with the model.
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  const model::ErrorReport report = model.evaluate_against(sweep);
+  std::printf("%s", model::render_error_report(report).c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace mcm::baseline {
+
+model::ErrorReport evaluate_predictor(const Predictor& predictor,
+                                      const bench::SweepResult& sweep) {
+  return model::evaluate_with(
+      sweep.platform + " / " + predictor.name(), sweep,
+      [&predictor](topo::NumaId comp, topo::NumaId comm) {
+        return predictor.predict(comp, comm);
+      });
+}
+
+RegimeScalars regime_scalars(const bench::PlacementCurve& curve) {
+  MCM_EXPECTS(curve.points.size() >= 2);
+  RegimeScalars scalars;
+  scalars.max_cores = curve.points.size();
+  scalars.b_comp_seq = curve.points.front().compute_alone_gb;
+  scalars.b_comm_seq = median(curve.series(bench::Series::kCommAlone));
+  scalars.capacity = argmax(curve.total_parallel()).value;
+  scalars.solo_capacity =
+      argmax(curve.series(bench::Series::kComputeAlone)).value;
+  MCM_ENSURES(scalars.b_comp_seq > 0.0 && scalars.b_comm_seq > 0.0);
+  MCM_ENSURES(scalars.capacity > 0.0 && scalars.solo_capacity > 0.0);
+  return scalars;
+}
+
+TwoRegimeBaseline::TwoRegimeBaseline(RegimeScalars local,
+                                     RegimeScalars remote,
+                                     std::size_t numa_per_socket)
+    : local_(local), remote_(remote), numa_per_socket_(numa_per_socket) {
+  MCM_EXPECTS(numa_per_socket_ >= 1);
+  MCM_EXPECTS(local_.max_cores == remote_.max_cores);
+  MCM_EXPECTS(local_.max_cores >= 1);
+}
+
+model::PredictedCurve TwoRegimeBaseline::predict(topo::NumaId comp,
+                                                 topo::NumaId comm) const {
+  const RegimeScalars& comp_regime = regime_of(comp);
+  const RegimeScalars& comm_regime = regime_of(comm);
+
+  model::PredictedCurve curve;
+  curve.comp_numa = comp;
+  curve.comm_numa = comm;
+  for (std::size_t n = 1; n <= max_cores(); ++n) {
+    const double solo_compute =
+        std::min(static_cast<double>(n) * comp_regime.b_comp_seq,
+                 comp_regime.solo_capacity);
+    curve.compute_alone_gb.push_back(solo_compute);
+    curve.comm_alone_gb.push_back(comm_regime.b_comm_seq);
+
+    if (comp == comm) {
+      // Shared node: apply the baseline's sharing policy.
+      const Shares shares = share(n, comp_regime, comm_regime.b_comm_seq);
+      curve.compute_parallel_gb.push_back(shares.compute);
+      curve.comm_parallel_gb.push_back(shares.comm);
+    } else {
+      // Disjoint placements: no shared resource in these simple models.
+      curve.compute_parallel_gb.push_back(solo_compute);
+      curve.comm_parallel_gb.push_back(comm_regime.b_comm_seq);
+    }
+  }
+  return curve;
+}
+
+TwoRegimeBaseline::Shares PerfectScalingBaseline::share(
+    std::size_t n, const RegimeScalars& regime, double comm_nominal) const {
+  return Shares{static_cast<double>(n) * regime.b_comp_seq, comm_nominal};
+}
+
+TwoRegimeBaseline::Shares QueueingBaseline::share(
+    std::size_t n, const RegimeScalars& regime, double comm_nominal) const {
+  const double compute_demand = static_cast<double>(n) * regime.b_comp_seq;
+  const double offered = compute_demand + comm_nominal;
+  if (offered <= regime.capacity) {
+    return Shares{compute_demand, comm_nominal};
+  }
+  // Processor sharing: proportional throttling, blind to priority/floors.
+  const double scale = regime.capacity / offered;
+  return Shares{compute_demand * scale, comm_nominal * scale};
+}
+
+TwoRegimeBaseline::Shares LangguthBaseline::share(
+    std::size_t n, const RegimeScalars& regime, double comm_nominal) const {
+  const double compute_demand = static_cast<double>(n) * regime.b_comp_seq;
+  if (compute_demand + comm_nominal <= regime.capacity) {
+    return Shares{compute_demand, comm_nominal};
+  }
+  // Equal split between the two classes, each bounded by its demand; the
+  // unused half of one class flows to the other.
+  const double half = 0.5 * regime.capacity;
+  Shares shares;
+  shares.comm = std::min(comm_nominal, half);
+  shares.compute =
+      std::min(compute_demand, regime.capacity - shares.comm);
+  // If compute cannot use its share, give the rest back to comm.
+  shares.comm = std::min(comm_nominal, regime.capacity - shares.compute);
+  return shares;
+}
+
+}  // namespace mcm::baseline

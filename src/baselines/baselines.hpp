@@ -1,0 +1,120 @@
+// Baseline bandwidth predictors the paper's model is compared against.
+//
+// All baselines calibrate from the *same* two sample placements as the
+// paper's model (both-local and both-remote sweeps), so the comparison in
+// bench_ablation_baselines is apples to apples.
+#pragma once
+
+#include "baselines/predictor.hpp"
+#include "benchlib/curves.hpp"
+#include "model/parameters.hpp"
+
+namespace mcm::baseline {
+
+/// Scalars every baseline needs per memory regime, extracted from a sample
+/// curve with the same procedure as the paper's calibration.
+struct RegimeScalars {
+  double b_comp_seq = 0.0;   ///< single-core bandwidth
+  double b_comm_seq = 0.0;   ///< nominal network bandwidth
+  double capacity = 0.0;     ///< peak total bandwidth observed
+  double solo_capacity = 0.0;  ///< peak compute-alone bandwidth
+  std::size_t max_cores = 0;
+};
+
+/// Extract baseline scalars from one sample placement curve.
+[[nodiscard]] RegimeScalars regime_scalars(
+    const bench::PlacementCurve& curve);
+
+/// Shared state of the concrete baselines: local + remote scalars and the
+/// machine's #m, with the same placement-locality logic as the paper.
+class TwoRegimeBaseline : public Predictor {
+ public:
+  TwoRegimeBaseline(RegimeScalars local, RegimeScalars remote,
+                    std::size_t numa_per_socket);
+
+  [[nodiscard]] std::size_t max_cores() const override {
+    return local_.max_cores;
+  }
+
+  [[nodiscard]] model::PredictedCurve predict(
+      topo::NumaId comp, topo::NumaId comm) const override;
+
+ protected:
+  /// Share `capacity` between n cores of demand b_comp each and a network
+  /// stream of demand b_comm; the policy differentiates the baselines.
+  /// Returns {compute_share, comm_share}.
+  struct Shares {
+    double compute = 0.0;
+    double comm = 0.0;
+  };
+  [[nodiscard]] virtual Shares share(std::size_t n,
+                                     const RegimeScalars& regime,
+                                     double comm_nominal) const = 0;
+
+  [[nodiscard]] bool is_local(topo::NumaId numa) const {
+    return numa.value() < numa_per_socket_;
+  }
+  [[nodiscard]] const RegimeScalars& regime_of(topo::NumaId numa) const {
+    return is_local(numa) ? local_ : remote_;
+  }
+
+ private:
+  RegimeScalars local_;
+  RegimeScalars remote_;
+  std::size_t numa_per_socket_;
+};
+
+/// No-contention baseline: computations scale perfectly, communications
+/// always run at nominal bandwidth. What an overlap-oblivious runtime
+/// assumes today.
+class PerfectScalingBaseline final : public TwoRegimeBaseline {
+ public:
+  using TwoRegimeBaseline::TwoRegimeBaseline;
+  [[nodiscard]] std::string name() const override {
+    return "perfect-scaling";
+  }
+
+ protected:
+  [[nodiscard]] Shares share(std::size_t n, const RegimeScalars& regime,
+                             double comm_nominal) const override;
+};
+
+/// Processor-sharing queue baseline (§II-D): the bus is a single server of
+/// rate `capacity`; when offered load exceeds it, every requester gets a
+/// share proportional to its demand — no CPU priority, no DMA floor.
+class QueueingBaseline final : public TwoRegimeBaseline {
+ public:
+  using TwoRegimeBaseline::TwoRegimeBaseline;
+  [[nodiscard]] std::string name() const override { return "queueing-ps"; }
+
+ protected:
+  [[nodiscard]] Shares share(std::size_t n, const RegimeScalars& regime,
+                             double comm_nominal) const override;
+};
+
+/// Langguth et al. style equal-split baseline (related work [13]): under
+/// contention the bus capacity is divided evenly between the computation
+/// class and the communication class, each bounded by its demand.
+class LangguthBaseline final : public TwoRegimeBaseline {
+ public:
+  using TwoRegimeBaseline::TwoRegimeBaseline;
+  [[nodiscard]] std::string name() const override { return "equal-split"; }
+
+ protected:
+  [[nodiscard]] Shares share(std::size_t n, const RegimeScalars& regime,
+                             double comm_nominal) const override;
+};
+
+/// Build any TwoRegimeBaseline-derived predictor from a calibration sweep
+/// (the same input the paper's model calibrates from).
+template <typename Baseline>
+[[nodiscard]] Baseline make_baseline(const bench::SweepResult& sweep) {
+  const topo::NumaId local_node(0);
+  const topo::NumaId remote_node(
+      static_cast<std::uint32_t>(sweep.numa_per_socket));
+  return Baseline(regime_scalars(sweep.curve(local_node, local_node)),
+                  regime_scalars(sweep.curve(remote_node, remote_node)),
+                  sweep.numa_per_socket);
+}
+
+}  // namespace mcm::baseline

@@ -1,0 +1,50 @@
+// Common interface for bandwidth predictors, so the evaluation machinery
+// can score the paper's model and the baseline models identically.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/model.hpp"
+#include "model/placement.hpp"
+
+namespace mcm::baseline {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Predict all four bandwidth series for one placement.
+  [[nodiscard]] virtual model::PredictedCurve predict(
+      topo::NumaId comp, topo::NumaId comm) const = 0;
+
+  [[nodiscard]] virtual std::size_t max_cores() const = 0;
+};
+
+/// Score any predictor against a measured sweep with the paper's Table-II
+/// protocol (MAPE on the parallel series, samples vs non-samples).
+[[nodiscard]] model::ErrorReport evaluate_predictor(
+    const Predictor& predictor, const bench::SweepResult& sweep);
+
+/// The paper's model, wrapped as a Predictor for side-by-side comparisons.
+class PaperModelPredictor final : public Predictor {
+ public:
+  explicit PaperModelPredictor(model::ContentionModel model)
+      : model_(std::move(model)) {}
+
+  [[nodiscard]] std::string name() const override { return "paper-model"; }
+  [[nodiscard]] model::PredictedCurve predict(
+      topo::NumaId comp, topo::NumaId comm) const override {
+    return model_.predict(comp, comm);
+  }
+  [[nodiscard]] std::size_t max_cores() const override {
+    return model_.max_cores();
+  }
+
+ private:
+  model::ContentionModel model_;
+};
+
+}  // namespace mcm::baseline

@@ -1,0 +1,86 @@
+// Measurement backend abstraction.
+//
+// The sweep runner only needs the three benchmark phases; where the numbers
+// come from is a backend concern. `SimBackend` drives the memory-system
+// simulator (the default in this reproduction); `runtime::NativeBackend`
+// (see src/runtime) runs real non-temporal store kernels and a loopback
+// message channel on the host — useful on an actual NUMA machine.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/machine.hpp"
+#include "topo/ids.hpp"
+#include "util/units.hpp"
+
+namespace mcm::bench {
+
+/// Interface every measurement backend implements.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Number of computing cores the sweep iterates over.
+  [[nodiscard]] virtual std::size_t max_computing_cores() const = 0;
+  /// Number of NUMA nodes data can be placed on.
+  [[nodiscard]] virtual std::size_t numa_count() const = 0;
+  /// NUMA nodes per socket (the paper's #m).
+  [[nodiscard]] virtual std::size_t numa_per_socket() const = 0;
+  /// Platform display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Select the repetition index for subsequent measurements (backends
+  /// with deterministic noise derive independent jitter per run; real
+  /// hardware backends may ignore it).
+  virtual void set_run(unsigned run) { (void)run; }
+
+  [[nodiscard]] virtual Bandwidth compute_alone(std::size_t cores,
+                                                topo::NumaId comp) = 0;
+  [[nodiscard]] virtual Bandwidth comm_alone(topo::NumaId comm) = 0;
+  [[nodiscard]] virtual sim::ParallelMeasurement parallel(
+      std::size_t cores, topo::NumaId comp, topo::NumaId comm) = 0;
+};
+
+/// Backend driving a simulated platform.
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(topo::PlatformSpec spec,
+                      sim::ArbitrationPolicy policy =
+                          sim::ArbitrationPolicy::kCpuPriorityWithFloor)
+      : machine_(std::move(spec), policy) {}
+
+  [[nodiscard]] sim::SimMachine& machine() { return machine_; }
+
+  [[nodiscard]] std::size_t max_computing_cores() const override {
+    return machine_.max_computing_cores();
+  }
+  [[nodiscard]] std::size_t numa_count() const override {
+    return machine_.machine().numa_count();
+  }
+  [[nodiscard]] std::size_t numa_per_socket() const override {
+    return machine_.machine().numa_per_socket();
+  }
+  [[nodiscard]] std::string name() const override {
+    return machine_.spec().name;
+  }
+
+  void set_run(unsigned run) override { machine_.set_run_index(run); }
+
+  [[nodiscard]] Bandwidth compute_alone(std::size_t cores,
+                                        topo::NumaId comp) override {
+    return machine_.measure_compute_alone(cores, comp);
+  }
+  [[nodiscard]] Bandwidth comm_alone(topo::NumaId comm) override {
+    return machine_.measure_comm_alone(comm);
+  }
+  [[nodiscard]] sim::ParallelMeasurement parallel(
+      std::size_t cores, topo::NumaId comp, topo::NumaId comm) override {
+    return machine_.measure_parallel(cores, comp, comm);
+  }
+
+ private:
+  sim::SimMachine machine_;
+};
+
+}  // namespace mcm::bench

@@ -1,0 +1,87 @@
+#include "benchlib/curves.hpp"
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::bench {
+
+const char* to_string(Series series) {
+  switch (series) {
+    case Series::kComputeAlone:
+      return "compute-alone";
+    case Series::kCommAlone:
+      return "comm-alone";
+    case Series::kComputeParallel:
+      return "compute-parallel";
+    case Series::kCommParallel:
+      return "comm-parallel";
+  }
+  return "unknown";
+}
+
+const BandwidthPoint& PlacementCurve::at(std::size_t cores) const {
+  MCM_EXPECTS(cores >= 1 && cores <= points.size());
+  const BandwidthPoint& point = points[cores - 1];
+  MCM_ENSURES(point.cores == cores);
+  return point;
+}
+
+std::vector<double> PlacementCurve::series(Series which) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const BandwidthPoint& p : points) {
+    switch (which) {
+      case Series::kComputeAlone:
+        out.push_back(p.compute_alone_gb);
+        break;
+      case Series::kCommAlone:
+        out.push_back(p.comm_alone_gb);
+        break;
+      case Series::kComputeParallel:
+        out.push_back(p.compute_parallel_gb);
+        break;
+      case Series::kCommParallel:
+        out.push_back(p.comm_parallel_gb);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> PlacementCurve::total_parallel() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const BandwidthPoint& p : points) out.push_back(p.total_parallel_gb());
+  return out;
+}
+
+const PlacementCurve& SweepResult::curve(topo::NumaId comp,
+                                         topo::NumaId comm) const {
+  for (const PlacementCurve& c : curves) {
+    if (c.comp_numa == comp && c.comm_numa == comm) return c;
+  }
+  MCM_EXPECTS(!"placement not measured in this sweep");
+  return curves.front();
+}
+
+bool SweepResult::has_curve(topo::NumaId comp, topo::NumaId comm) const {
+  for (const PlacementCurve& c : curves) {
+    if (c.comp_numa == comp && c.comm_numa == comm) return true;
+  }
+  return false;
+}
+
+std::string to_csv(const PlacementCurve& curve) {
+  CsvWriter csv({"cores", "compute_alone_gb", "comm_alone_gb",
+                 "compute_parallel_gb", "comm_parallel_gb"});
+  for (const BandwidthPoint& p : curve.points) {
+    csv.add_row({std::to_string(p.cores), format_fixed(p.compute_alone_gb, 4),
+                 format_fixed(p.comm_alone_gb, 4),
+                 format_fixed(p.compute_parallel_gb, 4),
+                 format_fixed(p.comm_parallel_gb, 4)});
+  }
+  return csv.render();
+}
+
+}  // namespace mcm::bench

@@ -1,0 +1,74 @@
+// Bandwidth curve containers — the raw material of the paper's figures.
+//
+// For one placement of computation data (`comp_numa`) and communication
+// data (`comm_numa`), a PlacementCurve holds, for every number of computing
+// cores, the four bandwidths the benchmark measures: computations alone,
+// communications alone, and both in parallel. All values are in GB/s (the
+// paper's unit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+namespace mcm::bench {
+
+/// Which of the four measured series to extract from a curve.
+enum class Series {
+  kComputeAlone,
+  kCommAlone,
+  kComputeParallel,
+  kCommParallel,
+};
+
+[[nodiscard]] const char* to_string(Series series);
+
+/// One row of a placement curve: measurements with `cores` computing cores.
+struct BandwidthPoint {
+  std::size_t cores = 0;
+  double compute_alone_gb = 0.0;
+  double comm_alone_gb = 0.0;
+  double compute_parallel_gb = 0.0;
+  double comm_parallel_gb = 0.0;
+
+  [[nodiscard]] double total_parallel_gb() const {
+    return compute_parallel_gb + comm_parallel_gb;
+  }
+};
+
+/// Full sweep for one data placement, cores = 1..n_max.
+struct PlacementCurve {
+  topo::NumaId comp_numa;
+  topo::NumaId comm_numa;
+  std::vector<BandwidthPoint> points;
+
+  [[nodiscard]] std::size_t max_cores() const { return points.size(); }
+
+  /// Point for `cores` computing cores (1-based). Throws if out of range.
+  [[nodiscard]] const BandwidthPoint& at(std::size_t cores) const;
+
+  /// Extract one series as a dense vector indexed by cores-1.
+  [[nodiscard]] std::vector<double> series(Series which) const;
+
+  /// Sum of the two parallel series per point.
+  [[nodiscard]] std::vector<double> total_parallel() const;
+};
+
+/// All placements measured on one platform.
+struct SweepResult {
+  std::string platform;
+  std::size_t numa_per_socket = 0;  ///< the paper's #m
+  std::vector<PlacementCurve> curves;
+
+  /// Curve for a given placement. Throws if the placement was not measured.
+  [[nodiscard]] const PlacementCurve& curve(topo::NumaId comp,
+                                            topo::NumaId comm) const;
+  [[nodiscard]] bool has_curve(topo::NumaId comp, topo::NumaId comm) const;
+};
+
+/// Render a curve as CSV (header + one row per core count).
+[[nodiscard]] std::string to_csv(const PlacementCurve& curve);
+
+}  // namespace mcm::bench

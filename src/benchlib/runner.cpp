@@ -1,0 +1,104 @@
+#include "benchlib/runner.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcm::bench {
+
+namespace {
+
+[[nodiscard]] std::size_t effective_max_cores(const Backend& backend,
+                                              const SweepOptions& options) {
+  const std::size_t available = backend.max_computing_cores();
+  if (options.max_cores == 0) return available;
+  return std::min(options.max_cores, available);
+}
+
+}  // namespace
+
+PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
+                             topo::NumaId comm,
+                             const SweepOptions& options) {
+  MCM_EXPECTS(options.core_step >= 1);
+  MCM_EXPECTS(options.repetitions >= 1);
+  MCM_EXPECTS(comp.value() < backend.numa_count());
+  MCM_EXPECTS(comm.value() < backend.numa_count());
+
+  PlacementCurve curve;
+  curve.comp_numa = comp;
+  curve.comm_numa = comm;
+
+  const std::size_t max_cores = effective_max_cores(backend, options);
+  const double reps = static_cast<double>(options.repetitions);
+
+  // Communications alone do not depend on the core count; measured once
+  // per run and replicated so every point is self-contained (as in the
+  // benchmark's per-run output files).
+  double comm_alone_gb = 0.0;
+  for (std::size_t run = 0; run < options.repetitions; ++run) {
+    backend.set_run(static_cast<unsigned>(run));
+    comm_alone_gb += backend.comm_alone(comm).gb();
+  }
+  comm_alone_gb /= reps;
+
+  for (std::size_t n = 1; n <= max_cores; n += options.core_step) {
+    BandwidthPoint point;
+    point.cores = n;
+    point.comm_alone_gb = comm_alone_gb;
+    for (std::size_t run = 0; run < options.repetitions; ++run) {
+      backend.set_run(static_cast<unsigned>(run));
+      point.compute_alone_gb += backend.compute_alone(n, comp).gb();
+      const sim::ParallelMeasurement par = backend.parallel(n, comp, comm);
+      point.compute_parallel_gb += par.compute.gb();
+      point.comm_parallel_gb += par.comm.gb();
+    }
+    point.compute_alone_gb /= reps;
+    point.compute_parallel_gb /= reps;
+    point.comm_parallel_gb /= reps;
+    curve.points.push_back(point);
+  }
+  backend.set_run(0);
+  // Dense 1..N points are required downstream (PlacementCurve::at).
+  MCM_ENSURES(options.core_step != 1 ||
+              curve.points.size() == max_cores);
+  return curve;
+}
+
+SweepResult run_all_placements(Backend& backend,
+                               const SweepOptions& options) {
+  SweepResult result;
+  result.platform = backend.name();
+  result.numa_per_socket = backend.numa_per_socket();
+  const std::size_t numa = backend.numa_count();
+  for (std::size_t comm = 0; comm < numa; ++comm) {
+    for (std::size_t comp = 0; comp < numa; ++comp) {
+      result.curves.push_back(run_placement(
+          backend, topo::NumaId(static_cast<std::uint32_t>(comp)),
+          topo::NumaId(static_cast<std::uint32_t>(comm)), options));
+    }
+  }
+  return result;
+}
+
+CalibrationPlacements calibration_placements(const Backend& backend) {
+  CalibrationPlacements placements;
+  placements.local = topo::NumaId(0);
+  placements.remote = topo::NumaId(
+      static_cast<std::uint32_t>(backend.numa_per_socket()));
+  MCM_ENSURES(placements.remote.value() < backend.numa_count());
+  return placements;
+}
+
+SweepResult run_calibration_sweep(Backend& backend,
+                                  const SweepOptions& options) {
+  const CalibrationPlacements placements = calibration_placements(backend);
+  SweepResult result;
+  result.platform = backend.name();
+  result.numa_per_socket = backend.numa_per_socket();
+  result.curves.push_back(run_placement(backend, placements.local,
+                                        placements.local, options));
+  result.curves.push_back(run_placement(backend, placements.remote,
+                                        placements.remote, options));
+  return result;
+}
+
+}  // namespace mcm::bench

@@ -1,0 +1,51 @@
+// The benchmark sweep of the paper (§IV-A-1): for every possible number of
+// computing cores, measure 1) computations alone, 2) communications alone,
+// 3) both in parallel — for one or all data placements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/curves.hpp"
+
+namespace mcm::bench {
+
+/// Sweep options. Defaults mirror the paper's protocol.
+struct SweepOptions {
+  /// Upper bound on computing cores; 0 means all available.
+  std::size_t max_cores = 0;
+  /// Measure only core counts 1..max (weak scaling, one data block per
+  /// core). The paper sweeps every count; tests shrink this for speed.
+  std::size_t core_step = 1;
+  /// Repetitions per measurement; points are averaged across runs (the
+  /// paper's benchmark averages several runs per configuration).
+  std::size_t repetitions = 1;
+};
+
+/// Measure one placement over all core counts.
+[[nodiscard]] PlacementCurve run_placement(Backend& backend,
+                                           topo::NumaId comp,
+                                           topo::NumaId comm,
+                                           const SweepOptions& options = {});
+
+/// Measure every (comp, comm) placement pair — #numa^2 sweeps.
+[[nodiscard]] SweepResult run_all_placements(Backend& backend,
+                                             const SweepOptions& options = {});
+
+/// Placements used to instantiate the model (paper §III): both data blocks
+/// on the first NUMA node of the first socket (local), and both on the
+/// first NUMA node of the second socket (remote).
+struct CalibrationPlacements {
+  topo::NumaId local;
+  topo::NumaId remote;
+};
+[[nodiscard]] CalibrationPlacements calibration_placements(
+    const Backend& backend);
+
+/// Measure only the two calibration placements (what a user would run on a
+/// new machine before predicting everything else).
+[[nodiscard]] SweepResult run_calibration_sweep(
+    Backend& backend, const SweepOptions& options = {});
+
+}  // namespace mcm::bench

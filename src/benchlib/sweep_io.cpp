@@ -1,0 +1,160 @@
+#include "benchlib/sweep_io.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::bench {
+
+namespace {
+
+constexpr const char* kHeader =
+    "comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,"
+    "compute_parallel_gb,comm_parallel_gb";
+
+struct Row {
+  std::uint32_t comp = 0;
+  std::uint32_t comm = 0;
+  std::size_t cores = 0;
+  BandwidthPoint point;
+};
+
+[[nodiscard]] std::optional<Row> parse_row(const std::string& line,
+                                           std::string* error,
+                                           int line_no) {
+  const std::vector<std::string> fields = split(line, ',');
+  if (fields.size() != 7) {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ": expected 7 fields, got " +
+               std::to_string(fields.size());
+    }
+    return std::nullopt;
+  }
+  // std::stoul silently wraps negative inputs; reject them explicitly.
+  for (const std::string& field : fields) {
+    if (!field.empty() && field[0] == '-') {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": negative field";
+      }
+      return std::nullopt;
+    }
+  }
+  try {
+    Row row;
+    row.comp = static_cast<std::uint32_t>(std::stoul(fields[0]));
+    row.comm = static_cast<std::uint32_t>(std::stoul(fields[1]));
+    row.cores = std::stoul(fields[2]);
+    row.point.cores = row.cores;
+    row.point.compute_alone_gb = std::stod(fields[3]);
+    row.point.comm_alone_gb = std::stod(fields[4]);
+    row.point.compute_parallel_gb = std::stod(fields[5]);
+    row.point.comm_parallel_gb = std::stod(fields[6]);
+    return row;
+  } catch (const std::exception&) {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ": non-numeric field";
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string sweep_to_csv(const SweepResult& sweep) {
+  std::string out = "# platform " + sweep.platform + "\n# numa_per_socket " +
+                    std::to_string(sweep.numa_per_socket) + "\n" + kHeader +
+                    "\n";
+  for (const PlacementCurve& curve : sweep.curves) {
+    for (const BandwidthPoint& p : curve.points) {
+      out += std::to_string(curve.comp_numa.value()) + "," +
+             std::to_string(curve.comm_numa.value()) + "," +
+             std::to_string(p.cores) + "," +
+             format_fixed(p.compute_alone_gb, 6) + "," +
+             format_fixed(p.comm_alone_gb, 6) + "," +
+             format_fixed(p.compute_parallel_gb, 6) + "," +
+             format_fixed(p.comm_parallel_gb, 6) + "\n";
+    }
+  }
+  return out;
+}
+
+std::optional<SweepResult> sweep_from_csv(const std::string& text,
+                                          std::string* error) {
+  SweepResult sweep;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Row>> groups;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    if (starts_with(stripped, "# platform ")) {
+      sweep.platform = trim(stripped.substr(std::string("# platform ").size()));
+      continue;
+    }
+    if (starts_with(stripped, "# numa_per_socket ")) {
+      try {
+        sweep.numa_per_socket =
+            std::stoul(stripped.substr(std::string("# numa_per_socket ").size()));
+      } catch (const std::exception&) {
+        if (error) *error = "bad numa_per_socket header";
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (stripped[0] == '#') continue;
+    if (!header_seen) {
+      if (stripped != kHeader) {
+        if (error) {
+          *error = "line " + std::to_string(line_no) +
+                   ": unexpected column header";
+        }
+        return std::nullopt;
+      }
+      header_seen = true;
+      continue;
+    }
+    const auto row = parse_row(stripped, error, line_no);
+    if (!row) return std::nullopt;
+    groups[{row->comp, row->comm}].push_back(*row);
+  }
+
+  if (!header_seen || groups.empty()) {
+    if (error) *error = "no data rows";
+    return std::nullopt;
+  }
+  if (sweep.numa_per_socket == 0) {
+    if (error) *error = "missing '# numa_per_socket' header";
+    return std::nullopt;
+  }
+
+  for (auto& [placement, rows] : groups) {
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.cores < b.cores; });
+    PlacementCurve curve;
+    curve.comp_numa = topo::NumaId(placement.first);
+    curve.comm_numa = topo::NumaId(placement.second);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].cores != i + 1) {
+        if (error) {
+          *error = "placement (" + std::to_string(placement.first) + "," +
+                   std::to_string(placement.second) +
+                   "): core counts must be dense 1..N (missing or duplicate " +
+                   std::to_string(i + 1) + ")";
+        }
+        return std::nullopt;
+      }
+      curve.points.push_back(rows[i].point);
+    }
+    sweep.curves.push_back(std::move(curve));
+  }
+  return sweep;
+}
+
+}  // namespace mcm::bench

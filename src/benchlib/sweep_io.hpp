@@ -1,0 +1,36 @@
+// Sweep (de)serialization.
+//
+// A SweepResult round-trips through one CSV file, so measurements taken on
+// a real machine (with this suite's native backend, the paper's public
+// benchmark, or any tool producing the same columns) can be fed to the
+// model offline: measure on the cluster, calibrate and predict anywhere.
+//
+// Format: two comment headers then standard CSV —
+//
+//   # platform henri
+//   # numa_per_socket 1
+//   comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,
+//       compute_parallel_gb,comm_parallel_gb
+//   0,0,1,5.5,12.1,5.5,12.1
+//   ...
+//
+// Rows may appear in any order; each (comp_numa, comm_numa) group must
+// cover dense core counts 1..N with one row each.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "benchlib/curves.hpp"
+
+namespace mcm::bench {
+
+/// Render a sweep to the CSV format above.
+[[nodiscard]] std::string sweep_to_csv(const SweepResult& sweep);
+
+/// Parse the CSV format. Returns std::nullopt and fills `error` (if given)
+/// on malformed input (bad headers, missing columns, sparse core counts).
+[[nodiscard]] std::optional<SweepResult> sweep_from_csv(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace mcm::bench

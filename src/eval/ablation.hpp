@@ -1,0 +1,46 @@
+// Ablation studies over the simulated hardware and over the predictors.
+//
+// (a) Hardware-mechanism ablation: disable one contention mechanism of the
+//     simulated platform at a time (DMA floor, requestor degradation, host
+//     coupling, soft throttling, or the entire priority arbitration) and
+//     re-run the full calibrate + evaluate pipeline. This shows which of
+//     the paper's §II-A hardware hypotheses the model's accuracy rests on.
+// (b) Predictor comparison: score the paper's model against the baseline
+//     predictors with the Table-II protocol on one platform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/metrics.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::eval {
+
+struct AblationResult {
+  std::string variant;
+  std::string note;  ///< what was removed, and why it matters
+  model::ErrorReport report;
+};
+
+/// Names of the hardware ablation variants, "baseline" first.
+[[nodiscard]] std::vector<std::string> hardware_variants();
+
+/// Apply a hardware variant to a platform spec ("baseline" returns it
+/// unchanged). Unknown names throw.
+[[nodiscard]] topo::PlatformSpec apply_hardware_variant(
+    topo::PlatformSpec spec, const std::string& variant);
+
+/// Run calibrate + evaluate on every hardware variant of `platform`.
+[[nodiscard]] std::vector<AblationResult> run_hardware_ablation(
+    const std::string& platform);
+
+/// Run the Table-II protocol for the paper's model and all baselines.
+[[nodiscard]] std::vector<model::ErrorReport> run_predictor_comparison(
+    const std::string& platform);
+
+/// Render either result list as a table.
+[[nodiscard]] std::string render_ablation(
+    const std::vector<AblationResult>& results);
+
+}  // namespace mcm::eval

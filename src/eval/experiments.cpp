@@ -1,0 +1,70 @@
+#include "eval/experiments.hpp"
+
+#include "util/table.hpp"
+
+namespace mcm::eval {
+
+std::vector<ExperimentInfo> experiment_index() {
+  return {
+      {"E-TAB1", "Table I",
+       "testbed platform characteristics (6 presets)",
+       "bench_tab1_platforms"},
+      {"E-FIG2", "Figure 2",
+       "stacked bandwidth anatomy, henri-subnuma both-local sweep",
+       "bench_fig2_stacked"},
+      {"E-FIG3", "Figure 3",
+       "henri: 2x2 placements, measured vs model, n = 1..17",
+       "bench_fig3_henri"},
+      {"E-FIG4", "Figure 4",
+       "henri-subnuma: 4x4 placements incl. symmetry, n = 1..17",
+       "bench_fig4_henri_subnuma"},
+      {"E-FIG5", "Figure 5",
+       "diablo: NUMA-sensitive NIC (22.4 vs 12.1 GB/s), low contention",
+       "bench_fig5_diablo"},
+      {"E-FIG6", "Figure 6",
+       "occigen: only computations impacted, most accurate platform",
+       "bench_fig6_occigen"},
+      {"E-FIG7", "Figure 7",
+       "pyxis: unstable network, model's worst non-sample comm error",
+       "bench_fig7_pyxis"},
+      {"E-FIG8", "Figure 8",
+       "dahu: Intel + Omni-Path variant",
+       "bench_fig8_dahu"},
+      {"E-TAB2", "Table II",
+       "model MAPE per platform, samples vs non-samples",
+       "bench_tab2_errors"},
+      {"E-ABL1", "ablation (ours)",
+       "hardware-mechanism ablation: floors, degradation, coupling, "
+       "priority",
+       "bench_ablation_arbiter"},
+      {"E-ABL2", "ablation (ours)",
+       "paper model vs queueing / equal-split / perfect-scaling baselines",
+       "bench_ablation_baselines"},
+      {"E-EXT1", "extension (paper SIV-C)",
+       "message-size sensitivity of contention, henri, 1..64 MiB",
+       "bench_sweep_msgsize"},
+      {"E-EXT2", "extension (paper SVI)",
+       "workload variants: ping-pong comms and copy kernels, recalibrated",
+       "bench_sweep_workloads"},
+      {"E-EXT3", "extension (paper SIV-C-1)",
+       "many-NUMA-node limitation on a 4-socket ring machine (tetra)",
+       "bench_ext_manynodes"},
+      {"E-EXT4", "extension (paper SVI)",
+       "last-level cache: temporal kernel, working-set sweep on henri",
+       "bench_ext_llc"},
+      {"E-EXT5", "extension (paper SIV-A)",
+       "calibration stability under independent measurement noise",
+       "bench_calibration_stability"},
+  };
+}
+
+std::string render_experiment_index() {
+  AsciiTable table({"id", "paper artefact", "description", "bench target"});
+  for (const ExperimentInfo& info : experiment_index()) {
+    table.add_row({info.id, info.artefact, info.description,
+                   info.bench_target});
+  }
+  return table.render();
+}
+
+}  // namespace mcm::eval

@@ -1,0 +1,23 @@
+// Experiment registry: the authoritative index of every paper artefact the
+// repository reproduces, and which benchmark binary regenerates it. Used by
+// documentation and the `bench_tab1_platforms --list` style outputs; keep
+// in sync with DESIGN.md's experiment index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcm::eval {
+
+struct ExperimentInfo {
+  std::string id;           ///< e.g. "E-FIG3"
+  std::string artefact;     ///< e.g. "Figure 3 (henri)"
+  std::string description;  ///< workload and parameters
+  std::string bench_target; ///< binary that regenerates it
+};
+
+[[nodiscard]] std::vector<ExperimentInfo> experiment_index();
+
+[[nodiscard]] std::string render_experiment_index();
+
+}  // namespace mcm::eval

@@ -1,0 +1,171 @@
+#include "eval/figures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/calibration.hpp"
+#include "model/metrics.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcm::eval {
+
+FigureData make_figure(const std::string& figure_id,
+                       const std::string& platform) {
+  bench::SimBackend backend(topo::make_platform(platform));
+  const model::ContentionModel model =
+      model::ContentionModel::from_backend(backend);
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+
+  const topo::NumaId local_sample(0);
+  const topo::NumaId remote_sample(
+      static_cast<std::uint32_t>(sweep.numa_per_socket));
+
+  FigureData figure;
+  figure.figure_id = figure_id;
+  figure.platform = platform;
+  figure.numa_per_socket = sweep.numa_per_socket;
+  for (const bench::PlacementCurve& measured : sweep.curves) {
+    FigureSeries series;
+    series.measured = measured;
+    series.predicted = model.predict(measured.comp_numa, measured.comm_numa);
+    series.is_sample =
+        measured.comp_numa == measured.comm_numa &&
+        (measured.comp_numa == local_sample ||
+         measured.comp_numa == remote_sample);
+    figure.subplots.push_back(std::move(series));
+  }
+  return figure;
+}
+
+std::string render_subplot(const FigureSeries& series) {
+  const bench::PlacementCurve& m = series.measured;
+  std::string header =
+      "data for computations on node " +
+      std::to_string(m.comp_numa.value()) +
+      ", data for communications on node " +
+      std::to_string(m.comm_numa.value());
+  if (series.is_sample) header += "  [model sample]";
+
+  AsciiTable table({"cores", "comp alone", "comm alone", "comp par",
+                    "comp par (model)", "comm par", "comm par (model)"});
+  table.set_alignments(std::vector<Align>(7, Align::kRight));
+  for (std::size_t n = 1; n <= m.points.size(); ++n) {
+    const bench::BandwidthPoint& p = m.at(n);
+    table.add_row({std::to_string(n), format_fixed(p.compute_alone_gb, 2),
+                   format_fixed(p.comm_alone_gb, 2),
+                   format_fixed(p.compute_parallel_gb, 2),
+                   format_fixed(series.predicted.compute_parallel_gb[n - 1], 2),
+                   format_fixed(p.comm_parallel_gb, 2),
+                   format_fixed(series.predicted.comm_parallel_gb[n - 1], 2)});
+  }
+  const model::PlacementError error = model::placement_error(
+      series.measured, series.predicted, series.is_sample);
+  return header + "\n" + table.render() + "prediction error: comm " +
+         format_percent(error.comm_mape) + ", comp " +
+         format_percent(error.comp_mape) + "\n";
+}
+
+std::string render_figure(const FigureData& figure) {
+  std::string out = "== " + figure.figure_id + ": platform " +
+                    figure.platform + " (GB/s) ==\n\n";
+  for (const FigureSeries& series : figure.subplots) {
+    out += render_subplot(series);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string figure_csv(const FigureData& figure) {
+  CsvWriter csv({"comp_numa", "comm_numa", "is_sample", "cores",
+                 "compute_alone_gb", "comm_alone_gb", "compute_parallel_gb",
+                 "comm_parallel_gb", "model_compute_alone_gb",
+                 "model_comm_alone_gb", "model_compute_parallel_gb",
+                 "model_comm_parallel_gb"});
+  for (const FigureSeries& series : figure.subplots) {
+    const bench::PlacementCurve& m = series.measured;
+    for (std::size_t n = 1; n <= m.points.size(); ++n) {
+      const bench::BandwidthPoint& p = m.at(n);
+      csv.add_row({std::to_string(m.comp_numa.value()),
+                   std::to_string(m.comm_numa.value()),
+                   series.is_sample ? "1" : "0", std::to_string(n),
+                   format_fixed(p.compute_alone_gb, 4),
+                   format_fixed(p.comm_alone_gb, 4),
+                   format_fixed(p.compute_parallel_gb, 4),
+                   format_fixed(p.comm_parallel_gb, 4),
+                   format_fixed(series.predicted.compute_alone_gb[n - 1], 4),
+                   format_fixed(series.predicted.comm_alone_gb[n - 1], 4),
+                   format_fixed(series.predicted.compute_parallel_gb[n - 1],
+                                4),
+                   format_fixed(series.predicted.comm_parallel_gb[n - 1],
+                                4)});
+    }
+  }
+  return csv.render();
+}
+
+std::string render_stacked(const FigureData& figure, topo::NumaId comp,
+                           topo::NumaId comm) {
+  const FigureSeries* found = nullptr;
+  for (const FigureSeries& series : figure.subplots) {
+    if (series.measured.comp_numa == comp &&
+        series.measured.comm_numa == comm) {
+      found = &series;
+      break;
+    }
+  }
+  MCM_EXPECTS(found != nullptr);
+  const bench::PlacementCurve& m = found->measured;
+
+  // Scale: 60 character columns for the largest stacked value.
+  double peak = 0.0;
+  for (const bench::BandwidthPoint& p : m.points) {
+    peak = std::max(peak, std::max(p.total_parallel_gb(),
+                                   p.compute_alone_gb));
+  }
+  const double per_char = peak / 60.0;
+
+  const model::ModelParams params = model::calibrate(m);
+  std::string out =
+      "Stacked memory bandwidth, computation data on node " +
+      std::to_string(comp.value()) + ", communication data on node " +
+      std::to_string(comm.value()) + " (platform " + figure.platform +
+      ")\n'#' compute bandwidth, '+' communication bandwidth, '|' "
+      "compute-alone level; one row per core count\n\n";
+  for (const bench::BandwidthPoint& p : m.points) {
+    const int comp_chars = static_cast<int>(
+        std::lround(p.compute_parallel_gb / per_char));
+    const int comm_chars =
+        static_cast<int>(std::lround(p.comm_parallel_gb / per_char));
+    const int alone_chars =
+        static_cast<int>(std::lround(p.compute_alone_gb / per_char));
+    std::string bar(static_cast<std::size_t>(comp_chars), '#');
+    bar += std::string(static_cast<std::size_t>(comm_chars), '+');
+    if (alone_chars >= 0 &&
+        static_cast<std::size_t>(alone_chars) >= bar.size()) {
+      bar += std::string(
+          static_cast<std::size_t>(alone_chars) - bar.size(), ' ');
+      bar += '|';
+    }
+    std::string label = pad_left(std::to_string(p.cores), 2) + " ";
+    std::string annotation;
+    if (p.cores == params.n_par_max) {
+      annotation += "  <- Nmax_par (Tmax_par = " +
+                    format_fixed(params.t_par_max, 1) + " GB/s)";
+    }
+    if (p.cores == params.n_seq_max) {
+      annotation += "  <- Nmax_seq (Tmax_seq = " +
+                    format_fixed(params.t_seq_max, 1) + " GB/s)";
+    }
+    out += label + bar + annotation + "\n";
+  }
+  out += "\ncalibrated parameters:\n" + model::to_string(params);
+  return out;
+}
+
+}  // namespace mcm::eval

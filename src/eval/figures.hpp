@@ -1,0 +1,50 @@
+// Figure reproduction: for one platform, generate the measured and
+// predicted bandwidth series of every placement — the content of the
+// paper's Figures 3 to 8 — and render them as text tables and CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchlib/curves.hpp"
+#include "model/model.hpp"
+
+namespace mcm::eval {
+
+/// One subplot of a figure: a placement's measured curve + model curve.
+struct FigureSeries {
+  bench::PlacementCurve measured;
+  model::PredictedCurve predicted;
+  bool is_sample = false;  ///< placement used to instantiate the model
+};
+
+/// A full figure: all placements of one platform.
+struct FigureData {
+  std::string figure_id;  ///< e.g. "Figure 3"
+  std::string platform;
+  std::size_t numa_per_socket = 0;
+  std::vector<FigureSeries> subplots;
+};
+
+/// Run the complete measure + calibrate + predict pipeline for `platform`.
+[[nodiscard]] FigureData make_figure(const std::string& figure_id,
+                                     const std::string& platform);
+
+/// Render one subplot as a table: per core count, measured and predicted
+/// bandwidths for both streams.
+[[nodiscard]] std::string render_subplot(const FigureSeries& series);
+
+/// Render the whole figure (all subplots + per-figure summary).
+[[nodiscard]] std::string render_figure(const FigureData& figure);
+
+/// CSV with one row per (placement, cores) holding all eight series.
+[[nodiscard]] std::string figure_csv(const FigureData& figure);
+
+/// The stacked-bandwidth view of Fig. 2: an ASCII area chart of compute +
+/// communication bandwidth by core count, annotated with the calibrated
+/// anchor points (Nmax_par, Nmax_seq, ...).
+[[nodiscard]] std::string render_stacked(const FigureData& figure,
+                                         topo::NumaId comp,
+                                         topo::NumaId comm);
+
+}  // namespace mcm::eval

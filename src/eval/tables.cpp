@@ -1,0 +1,37 @@
+#include "eval/tables.hpp"
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "model/report.hpp"
+#include "topo/platforms.hpp"
+#include "util/table.hpp"
+
+namespace mcm::eval {
+
+std::string render_table1() {
+  AsciiTable table({"Name", "Processor", "Memory", "Network"});
+  for (const std::string& name : topo::platform_names()) {
+    const topo::PlatformSpec spec = topo::make_platform(name);
+    table.add_row({spec.name, spec.processor, spec.memory, spec.network});
+  }
+  return table.render();
+}
+
+std::vector<model::ErrorReport> run_table2() {
+  std::vector<model::ErrorReport> reports;
+  for (const std::string& name : topo::platform_names()) {
+    bench::SimBackend backend(topo::make_platform(name));
+    const model::ContentionModel model =
+        model::ContentionModel::from_backend(backend);
+    const bench::SweepResult sweep = bench::run_all_placements(backend);
+    reports.push_back(model.evaluate_against(sweep));
+  }
+  return reports;
+}
+
+std::string render_table2(const std::vector<model::ErrorReport>& reports) {
+  return model::render_error_table(reports);
+}
+
+}  // namespace mcm::eval

@@ -1,0 +1,23 @@
+// Table reproduction: Table I (testbed characteristics) and Table II
+// (model prediction errors across all platforms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/metrics.hpp"
+
+namespace mcm::eval {
+
+/// Render Table I from the platform presets.
+[[nodiscard]] std::string render_table1();
+
+/// Run the full measure + calibrate + evaluate pipeline on every preset
+/// platform; one ErrorReport per platform in Table I order.
+[[nodiscard]] std::vector<model::ErrorReport> run_table2();
+
+/// Render the Table II reproduction (adds the average row).
+[[nodiscard]] std::string render_table2(
+    const std::vector<model::ErrorReport>& reports);
+
+}  // namespace mcm::eval

@@ -1,0 +1,100 @@
+#include "model/calibration.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace mcm::model {
+
+ModelParams calibrate(const bench::PlacementCurve& curve,
+                      const CalibrationOptions& options) {
+  MCM_EXPECTS(curve.points.size() >= 3);
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    MCM_EXPECTS(curve.points[i].cores == i + 1);  // dense sweep required
+  }
+
+  const std::vector<double> comp_alone =
+      curve.series(bench::Series::kComputeAlone);
+  const std::vector<double> comm_alone =
+      curve.series(bench::Series::kCommAlone);
+  const std::vector<double> comm_par =
+      curve.series(bench::Series::kCommParallel);
+  const std::vector<double> total_par = curve.total_parallel();
+
+  ModelParams params;
+  params.max_cores = curve.points.size();
+
+  // Bcomp_seq: bandwidth of a single computing core.
+  params.b_comp_seq = comp_alone.front();
+  MCM_EXPECTS(params.b_comp_seq > 0.0);
+
+  // Bcomm_seq: communications alone do not depend on the core count; the
+  // median rejects the odd noisy sample.
+  params.b_comm_seq = median(comm_alone);
+  MCM_EXPECTS(params.b_comm_seq > 0.0);
+
+  // (Nmax_seq, Tmax_seq): locate on the smoothed series (robust to jitter
+  // around a flat maximum), read the magnitude from the raw series. On a
+  // flat plateau the *last* attaining index is the right anchor: it keeps
+  // T(n) at its plateau value across the whole plateau.
+  const auto smooth = [&](const std::vector<double>& v) {
+    return moving_average(v, options.smoothing_half_window);
+  };
+  const auto last_argmax = [](const std::vector<double>& v) {
+    const double top = argmax(v).value;
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] >= top - 1e-9) index = i;
+    }
+    return index;
+  };
+  const std::size_t seq_peak = last_argmax(smooth(comp_alone));
+  params.n_seq_max = seq_peak + 1;
+  params.t_seq_max = comp_alone[seq_peak];
+
+  // (Nmax_par, Tmax_par): same on the total parallel bandwidth.
+  const std::size_t par_peak = last_argmax(smooth(total_par));
+  params.n_par_max = par_peak + 1;
+  params.t_par_max = total_par[par_peak];
+
+  // The model's piecewise form assumes Nmax_par <= Nmax_seq (communications
+  // make the system saturate earlier, or at the same point). Noise around a
+  // flat plateau can reverse the order; restore it.
+  if (params.n_par_max > params.n_seq_max) {
+    params.n_par_max = params.n_seq_max;
+    params.t_par_max = total_par[params.n_par_max - 1];
+  }
+
+  // Tmax2_par: total parallel bandwidth at Nmax_seq cores.
+  params.t_par_max2 =
+      std::min(total_par[params.n_seq_max - 1], params.t_par_max);
+
+  // delta_l: slope between the two anchor points (0 when they coincide).
+  if (params.n_seq_max > params.n_par_max) {
+    params.delta_l =
+        std::max(0.0, (params.t_par_max - params.t_par_max2) /
+                          static_cast<double>(params.n_seq_max -
+                                              params.n_par_max));
+  }
+
+  // delta_r: slope from Nmax_seq to the last measured core count.
+  const std::size_t last = params.max_cores;
+  if (last > params.n_seq_max) {
+    params.delta_r =
+        std::max(0.0, (params.t_par_max2 - total_par[last - 1]) /
+                          static_cast<double>(last - params.n_seq_max));
+  }
+
+  // alpha: worst observed communication degradation.
+  double worst = 1.0;
+  for (double value : comm_par) {
+    worst = std::min(worst, value / params.b_comm_seq);
+  }
+  params.alpha = std::max(worst, 1e-6);
+
+  params.validate();
+  return params;
+}
+
+}  // namespace mcm::model

@@ -1,0 +1,25 @@
+// Model calibration (paper §IV-A-2): extract the ten ModelParams values
+// from one measured placement curve. The procedure "mostly looks for minima
+// and maxima" of the bandwidth series, exactly as the paper describes.
+#pragma once
+
+#include "benchlib/curves.hpp"
+#include "model/parameters.hpp"
+
+namespace mcm::model {
+
+/// Calibration knobs. The defaults work for the noise levels of the
+/// simulated platforms; raise `smoothing_half_window` for noisier data.
+struct CalibrationOptions {
+  /// Half-window of the moving average applied before locating extrema
+  /// (raw values are still used for the parameter magnitudes).
+  std::size_t smoothing_half_window = 1;
+};
+
+/// Extract model parameters from a placement curve (normally one of the two
+/// calibration placements: both-local or both-remote).
+/// Preconditions: the curve has at least 3 points and dense core counts.
+[[nodiscard]] ModelParams calibrate(const bench::PlacementCurve& curve,
+                                    const CalibrationOptions& options = {});
+
+}  // namespace mcm::model

@@ -1,0 +1,83 @@
+#include "model/metrics.hpp"
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace mcm::model {
+
+double series_mape(const std::vector<double>& measured,
+                   const std::vector<double>& predicted) {
+  return mape_percent(measured, predicted);
+}
+
+PlacementError placement_error(const bench::PlacementCurve& measured,
+                               const PredictedCurve& predicted,
+                               bool is_sample) {
+  MCM_EXPECTS(measured.comp_numa == predicted.comp_numa);
+  MCM_EXPECTS(measured.comm_numa == predicted.comm_numa);
+  MCM_EXPECTS(measured.points.size() == predicted.comm_parallel_gb.size());
+
+  PlacementError error;
+  error.comp_numa = measured.comp_numa;
+  error.comm_numa = measured.comm_numa;
+  error.is_sample = is_sample;
+  error.comm_mape = series_mape(measured.series(bench::Series::kCommParallel),
+                                predicted.comm_parallel_gb);
+  error.comp_mape =
+      series_mape(measured.series(bench::Series::kComputeParallel),
+                  predicted.compute_parallel_gb);
+  return error;
+}
+
+ErrorReport evaluate_with(
+    const std::string& label, const bench::SweepResult& sweep,
+    const std::function<PredictedCurve(topo::NumaId, topo::NumaId)>&
+        predict) {
+  MCM_EXPECTS(!sweep.curves.empty());
+  const topo::NumaId local_sample(0);
+  const topo::NumaId remote_sample(
+      static_cast<std::uint32_t>(sweep.numa_per_socket));
+
+  ErrorReport report;
+  report.platform = label;
+
+  std::vector<double> comm_s, comm_ns, comp_s, comp_ns;
+  for (const bench::PlacementCurve& measured : sweep.curves) {
+    const bool is_sample =
+        (measured.comp_numa == measured.comm_numa) &&
+        (measured.comp_numa == local_sample ||
+         measured.comp_numa == remote_sample);
+    const PredictedCurve predicted =
+        predict(measured.comp_numa, measured.comm_numa);
+    const PlacementError error =
+        placement_error(measured, predicted, is_sample);
+    report.placements.push_back(error);
+    (is_sample ? comm_s : comm_ns).push_back(error.comm_mape);
+    (is_sample ? comp_s : comp_ns).push_back(error.comp_mape);
+  }
+
+  std::vector<double> comm_all = comm_s;
+  comm_all.insert(comm_all.end(), comm_ns.begin(), comm_ns.end());
+  std::vector<double> comp_all = comp_s;
+  comp_all.insert(comp_all.end(), comp_ns.begin(), comp_ns.end());
+
+  report.comm_samples = comm_s.empty() ? 0.0 : mean(comm_s);
+  report.comm_non_samples = comm_ns.empty() ? 0.0 : mean(comm_ns);
+  report.comm_all = mean(comm_all);
+  report.comp_samples = comp_s.empty() ? 0.0 : mean(comp_s);
+  report.comp_non_samples = comp_ns.empty() ? 0.0 : mean(comp_ns);
+  report.comp_all = mean(comp_all);
+  report.average = 0.5 * (report.comm_all + report.comp_all);
+  return report;
+}
+
+ErrorReport evaluate(const PlacementModel& model,
+                     const bench::SweepResult& sweep) {
+  MCM_EXPECTS(sweep.numa_per_socket == model.numa_per_socket());
+  return evaluate_with(sweep.platform, sweep,
+                       [&model](topo::NumaId comp, topo::NumaId comm) {
+                         return model.predict(comp, comm);
+                       });
+}
+
+}  // namespace mcm::model

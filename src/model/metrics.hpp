@@ -1,0 +1,65 @@
+// Prediction error metrics — the machinery behind the paper's Table II.
+//
+// Errors are mean absolute percentage errors (MAPE) between measured and
+// predicted *parallel* bandwidths, evaluated separately for communications
+// and computations, and split between the placements used to instantiate
+// the model ("samples") and all the others ("non-samples").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchlib/curves.hpp"
+#include "model/placement.hpp"
+
+namespace mcm::model {
+
+/// Error of one placement's predictions.
+struct PlacementError {
+  topo::NumaId comp_numa;
+  topo::NumaId comm_numa;
+  bool is_sample = false;  ///< used to instantiate the model?
+  double comm_mape = 0.0;
+  double comp_mape = 0.0;
+};
+
+/// The per-platform row of Table II.
+struct ErrorReport {
+  std::string platform;
+  std::vector<PlacementError> placements;
+  double comm_samples = 0.0;
+  double comm_non_samples = 0.0;
+  double comm_all = 0.0;
+  double comp_samples = 0.0;
+  double comp_non_samples = 0.0;
+  double comp_all = 0.0;
+  double average = 0.0;  ///< mean of comm_all and comp_all
+};
+
+/// MAPE between a measured curve and its prediction, for one series pair.
+/// `measured` and `predicted` must cover the same core counts.
+[[nodiscard]] double series_mape(const std::vector<double>& measured,
+                                 const std::vector<double>& predicted);
+
+/// Error of one placement (parallel comm + parallel compute series).
+[[nodiscard]] PlacementError placement_error(
+    const bench::PlacementCurve& measured, const PredictedCurve& predicted,
+    bool is_sample);
+
+/// Evaluate a model against a full measured sweep: one PlacementError per
+/// measured placement, aggregated Table-II style. The sample placements are
+/// (0,0) and (#m,#m).
+[[nodiscard]] ErrorReport evaluate(const PlacementModel& model,
+                                   const bench::SweepResult& sweep);
+
+/// Generic form of the Table-II evaluation: score any prediction source
+/// (`predict(comp, comm)` must return the full PredictedCurve) against a
+/// measured sweep. Used by the baseline predictors.
+[[nodiscard]] ErrorReport evaluate_with(
+    const std::string& label, const bench::SweepResult& sweep,
+    const std::function<PredictedCurve(topo::NumaId, topo::NumaId)>&
+        predict);
+
+}  // namespace mcm::model

@@ -1,0 +1,79 @@
+#include "model/model.hpp"
+
+#include "model/prediction.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+
+ContentionModel ContentionModel::from_sweep(
+    const bench::SweepResult& sweep, const CalibrationOptions& options) {
+  MCM_EXPECTS(sweep.numa_per_socket >= 1);
+  const topo::NumaId local_node(0);
+  const topo::NumaId remote_node(
+      static_cast<std::uint32_t>(sweep.numa_per_socket));
+  const ModelParams local =
+      calibrate(sweep.curve(local_node, local_node), options);
+  const ModelParams remote =
+      calibrate(sweep.curve(remote_node, remote_node), options);
+  return ContentionModel(
+      PlacementModel(local, remote, sweep.numa_per_socket));
+}
+
+ContentionModel ContentionModel::from_backend(
+    bench::Backend& backend, const bench::SweepOptions& sweep_options,
+    const CalibrationOptions& options) {
+  const bench::SweepResult sweep =
+      bench::run_calibration_sweep(backend, sweep_options);
+  return from_sweep(sweep, options);
+}
+
+std::size_t ContentionModel::recommended_core_count(
+    topo::NumaId comp, topo::NumaId comm) const {
+  // The placement determines which parameter set governs contention on the
+  // communication side (eq. 6); computations only contend when sharing the
+  // node (eq. 7). When they do not share, compute scaling is bounded by the
+  // solo saturation point instead.
+  if (comp != comm) {
+    const ModelParams& m =
+        model_.is_local(comp) ? model_.local() : model_.remote();
+    std::size_t best = 0;
+    for (std::size_t n = 1; n <= m.max_cores; ++n) {
+      if (compute_alone(m, n) >=
+          static_cast<double>(n) * m.b_comp_seq - 1e-9) {
+        best = n;
+      }
+    }
+    return best;
+  }
+  const ModelParams& m =
+      model_.is_local(comp) ? model_.local() : model_.remote();
+  std::size_t best = 0;
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    if (fits_without_contention(m, n)) best = n;
+  }
+  return best;
+}
+
+PlacementAdvice ContentionModel::best_placement(std::size_t cores) const {
+  MCM_EXPECTS(cores >= 1 && cores <= max_cores());
+  PlacementAdvice best;
+  double best_total = -1.0;
+  for (std::uint32_t comm = 0; comm < numa_count(); ++comm) {
+    for (std::uint32_t comp = 0; comp < numa_count(); ++comp) {
+      const topo::NumaId comp_id(comp);
+      const topo::NumaId comm_id(comm);
+      const double compute =
+          model_.compute_parallel(cores, comp_id, comm_id);
+      const double communication =
+          model_.comm_parallel(cores, comp_id, comm_id);
+      const double total = compute + communication;
+      if (total > best_total + 1e-9) {
+        best_total = total;
+        best = PlacementAdvice{comp_id, comm_id, compute, communication};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mcm::model

@@ -1,0 +1,85 @@
+// ContentionModel: the library's main entry point.
+//
+// Typical use, mirroring the paper's workflow:
+//
+//   bench::SimBackend backend(topo::make_henri());
+//   auto model = model::ContentionModel::from_backend(backend);
+//   auto curve = model.predict(topo::NumaId(0), topo::NumaId(1));
+//   std::size_t n = model.recommended_core_count(topo::NumaId(0),
+//                                                topo::NumaId(0));
+//
+// Calibration runs the benchmark sweep on the two placements of §III
+// (both-local and both-remote), extracts the two parameter sets, and the
+// resulting model predicts computation and communication bandwidth for any
+// placement and any number of computing cores.
+#pragma once
+
+#include <cstddef>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/calibration.hpp"
+#include "model/metrics.hpp"
+#include "model/placement.hpp"
+
+namespace mcm::model {
+
+/// A data placement recommendation from the advisor API.
+struct PlacementAdvice {
+  topo::NumaId comp_numa;
+  topo::NumaId comm_numa;
+  double compute_gb = 0.0;
+  double comm_gb = 0.0;
+};
+
+class ContentionModel {
+ public:
+  /// Build from an already-measured calibration sweep. The sweep must
+  /// contain the two calibration placements (0,0) and (#m,#m).
+  [[nodiscard]] static ContentionModel from_sweep(
+      const bench::SweepResult& sweep,
+      const CalibrationOptions& options = {});
+
+  /// Run the two calibration sweeps on `backend` and build the model.
+  [[nodiscard]] static ContentionModel from_backend(
+      bench::Backend& backend, const bench::SweepOptions& sweep_options = {},
+      const CalibrationOptions& options = {});
+
+  [[nodiscard]] const PlacementModel& placements() const { return model_; }
+  [[nodiscard]] const ModelParams& local() const { return model_.local(); }
+  [[nodiscard]] const ModelParams& remote() const { return model_.remote(); }
+  [[nodiscard]] std::size_t max_cores() const { return model_.max_cores(); }
+  [[nodiscard]] std::size_t numa_count() const {
+    return 2 * model_.numa_per_socket();
+  }
+
+  /// Predict all four bandwidth series for a placement.
+  [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
+                                       topo::NumaId comm) const {
+    return model_.predict(comp, comm);
+  }
+
+  /// Largest core count for which the model predicts no memory contention
+  /// for this placement (R(n) < T(n)); 0 if even one core contends.
+  /// This is the "how many cores should compute" hint of the paper's
+  /// conclusion.
+  [[nodiscard]] std::size_t recommended_core_count(topo::NumaId comp,
+                                                   topo::NumaId comm) const;
+
+  /// Placement maximizing predicted total bandwidth (compute + comm) for a
+  /// given number of computing cores. Ties break towards lower node ids.
+  [[nodiscard]] PlacementAdvice best_placement(std::size_t cores) const;
+
+  /// Evaluate the model against a measured sweep (Table II row).
+  [[nodiscard]] ErrorReport evaluate_against(
+      const bench::SweepResult& sweep) const {
+    return model::evaluate(model_, sweep);
+  }
+
+ private:
+  explicit ContentionModel(PlacementModel model) : model_(std::move(model)) {}
+
+  PlacementModel model_;
+};
+
+}  // namespace mcm::model

@@ -1,0 +1,78 @@
+#include "model/overlap.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace mcm::model {
+
+void IterationSpec::validate() const {
+  MCM_EXPECTS(compute_bytes > 0.0);
+  MCM_EXPECTS(message_bytes > 0.0);
+}
+
+const OverlapPoint& OverlapPlan::at(std::size_t cores) const {
+  MCM_EXPECTS(cores >= 1 && cores <= points.size());
+  return points[cores - 1];
+}
+
+OverlapPlan plan_overlap(const ContentionModel& model,
+                         const IterationSpec& spec, topo::NumaId comp,
+                         topo::NumaId comm) {
+  spec.validate();
+  const PredictedCurve curve = model.predict(comp, comm);
+
+  OverlapPlan plan;
+  plan.comp_numa = comp;
+  plan.comm_numa = comm;
+  plan.best_iteration_seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t n = 1; n <= model.max_cores(); ++n) {
+    OverlapPoint point;
+    point.cores = n;
+    point.compute_seconds =
+        spec.compute_bytes / (curve.compute_parallel_gb[n - 1] * kGiga);
+    point.comm_seconds =
+        spec.message_bytes / (curve.comm_parallel_gb[n - 1] * kGiga);
+    point.iteration_seconds =
+        std::max(point.compute_seconds, point.comm_seconds);
+    // Contention-blind reference: perfect compute scaling, nominal network.
+    const ModelParams& regime = model.placements().is_local(comp)
+                                    ? model.local()
+                                    : model.remote();
+    const double naive_compute =
+        spec.compute_bytes /
+        (static_cast<double>(n) * regime.b_comp_seq * kGiga);
+    const double naive_comm =
+        spec.message_bytes / (curve.comm_alone_gb[n - 1] * kGiga);
+    point.naive_iteration_seconds = std::max(naive_compute, naive_comm);
+    point.contention_slowdown =
+        point.iteration_seconds / point.naive_iteration_seconds;
+    plan.points.push_back(point);
+    if (point.iteration_seconds < plan.best_iteration_seconds) {
+      plan.best_iteration_seconds = point.iteration_seconds;
+      plan.best_cores = n;
+    }
+  }
+  return plan;
+}
+
+OverlapPlan plan_overlap_best_placement(const ContentionModel& model,
+                                        const IterationSpec& spec) {
+  OverlapPlan best;
+  best.best_iteration_seconds = std::numeric_limits<double>::infinity();
+  for (std::uint32_t comm = 0; comm < model.numa_count(); ++comm) {
+    for (std::uint32_t comp = 0; comp < model.numa_count(); ++comp) {
+      OverlapPlan candidate = plan_overlap(
+          model, spec, topo::NumaId(comp), topo::NumaId(comm));
+      if (candidate.best_iteration_seconds <
+          best.best_iteration_seconds - 1e-15) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  MCM_ENSURES(best.best_cores >= 1);
+  return best;
+}
+
+}  // namespace mcm::model

@@ -1,0 +1,64 @@
+// Overlap planning: the runtime-system use case of the paper's conclusion
+// ("runtime systems could better know on which NUMA node store data and
+// how many computing cores should be used to avoid memory contention").
+//
+// An application iteration streams `compute_bytes` through the memory
+// system while receiving `message_bytes` from the network, both
+// overlapped. Under contention, iteration time is
+// max(compute_time, comm_time) at the *contended* bandwidths the model
+// predicts for the chosen core count and data placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace mcm::model {
+
+/// Per-iteration resource needs of the application.
+struct IterationSpec {
+  /// Bytes the computation streams through the memory system.
+  double compute_bytes = 0.0;
+  /// Bytes received from the network.
+  double message_bytes = 0.0;
+
+  void validate() const;
+};
+
+/// Predicted timing of one iteration at a given core count.
+struct OverlapPoint {
+  std::size_t cores = 0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  /// max(compute, comm): both run overlapped.
+  double iteration_seconds = 0.0;
+  /// What a contention-blind planner would predict: perfect compute
+  /// scaling and nominal network bandwidth.
+  double naive_iteration_seconds = 0.0;
+  /// iteration / naive iteration (>= 1 in practice): how much memory
+  /// contention inflates the step beyond the naive overlap estimate.
+  double contention_slowdown = 1.0;
+};
+
+/// The full plan: one point per core count plus the optimum.
+struct OverlapPlan {
+  topo::NumaId comp_numa;
+  topo::NumaId comm_numa;
+  std::vector<OverlapPoint> points;  ///< indexed by cores-1
+  std::size_t best_cores = 0;
+  double best_iteration_seconds = 0.0;
+
+  [[nodiscard]] const OverlapPoint& at(std::size_t cores) const;
+};
+
+/// Evaluate one iteration spec over all core counts for a placement.
+[[nodiscard]] OverlapPlan plan_overlap(const ContentionModel& model,
+                                       const IterationSpec& spec,
+                                       topo::NumaId comp, topo::NumaId comm);
+
+/// Best plan over *all* placements (ties towards lower node ids).
+[[nodiscard]] OverlapPlan plan_overlap_best_placement(
+    const ContentionModel& model, const IterationSpec& spec);
+
+}  // namespace mcm::model

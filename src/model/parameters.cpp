@@ -1,0 +1,47 @@
+#include "model/parameters.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::model {
+
+void ModelParams::validate() const {
+  MCM_EXPECTS(max_cores >= 1);
+  MCM_EXPECTS(n_par_max >= 1 && n_par_max <= max_cores);
+  MCM_EXPECTS(n_seq_max >= 1 && n_seq_max <= max_cores);
+  MCM_EXPECTS(t_par_max > 0.0);
+  MCM_EXPECTS(t_seq_max > 0.0);
+  MCM_EXPECTS(t_par_max2 > 0.0);
+  MCM_EXPECTS(t_par_max2 <= t_par_max + 1e-9);
+  MCM_EXPECTS(delta_l >= 0.0);
+  MCM_EXPECTS(delta_r >= 0.0);
+  MCM_EXPECTS(b_comp_seq > 0.0);
+  MCM_EXPECTS(b_comm_seq > 0.0);
+  MCM_EXPECTS(alpha > 0.0 && alpha <= 1.0 + 1e-9);
+}
+
+ModelParams ModelParams::with_comm_nominal(double b_comm) const {
+  MCM_EXPECTS(b_comm > 0.0);
+  ModelParams copy = *this;
+  copy.b_comm_seq = b_comm;
+  return copy;
+}
+
+std::string to_string(const ModelParams& params) {
+  std::ostringstream out;
+  out << "Nmax_par   = " << params.n_par_max << "  (Tmax_par = "
+      << format_fixed(params.t_par_max, 2) << " GB/s)\n"
+      << "Nmax_seq   = " << params.n_seq_max << "  (Tmax_seq = "
+      << format_fixed(params.t_seq_max, 2) << " GB/s)\n"
+      << "Tmax2_par  = " << format_fixed(params.t_par_max2, 2) << " GB/s\n"
+      << "delta_l    = " << format_fixed(params.delta_l, 3) << " GB/s/core\n"
+      << "delta_r    = " << format_fixed(params.delta_r, 3) << " GB/s/core\n"
+      << "Bcomp_seq  = " << format_fixed(params.b_comp_seq, 2) << " GB/s\n"
+      << "Bcomm_seq  = " << format_fixed(params.b_comm_seq, 2) << " GB/s\n"
+      << "alpha      = " << format_fixed(params.alpha, 3) << "\n";
+  return out.str();
+}
+
+}  // namespace mcm::model

@@ -1,0 +1,52 @@
+// Parameters of the memory-contention model (paper §III-A).
+//
+// One ModelParams instance describes one memory regime (local or remote
+// accesses) of one machine, for one computation kernel and message size.
+// All bandwidths in GB/s.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mcm::model {
+
+/// The ten calibrated parameters of the paper's model.
+struct ModelParams {
+  /// Nmax_par / Tmax_par: cores and value of the maximum total bandwidth
+  /// with computations and communications in parallel.
+  std::size_t n_par_max = 0;
+  double t_par_max = 0.0;
+  /// Nmax_seq / Tmax_seq: cores and value of the maximum memory bandwidth
+  /// with computations alone.
+  std::size_t n_seq_max = 0;
+  double t_seq_max = 0.0;
+  /// Tmax2_par: total parallel bandwidth with Nmax_seq computing cores.
+  double t_par_max2 = 0.0;
+  /// delta_l / delta_r: total bandwidth lost per additional computing core
+  /// left / right of the Nmax_seq inflexion point.
+  double delta_l = 0.0;
+  double delta_r = 0.0;
+  /// Bcomp_seq: memory bandwidth of a single computing core.
+  double b_comp_seq = 0.0;
+  /// Bcomm_seq: network bandwidth with communications alone.
+  double b_comm_seq = 0.0;
+  /// alpha: worst-case fraction of Bcomm_seq available to communications.
+  double alpha = 1.0;
+
+  /// Number of cores the calibration sweep covered (prediction domain).
+  std::size_t max_cores = 0;
+
+  /// Throws ContractViolation if values are inconsistent (negative
+  /// bandwidths, alpha outside (0,1], n_par_max > max_cores, ...).
+  void validate() const;
+
+  /// Copy with a different nominal network bandwidth — used by the
+  /// placement heuristic (paper eq. 6 middle case) on machines whose NIC is
+  /// locality-sensitive.
+  [[nodiscard]] ModelParams with_comm_nominal(double b_comm) const;
+};
+
+/// Human-readable multi-line description of a parameter set.
+[[nodiscard]] std::string to_string(const ModelParams& params);
+
+}  // namespace mcm::model

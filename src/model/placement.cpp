@@ -1,0 +1,79 @@
+#include "model/placement.hpp"
+
+#include "model/prediction.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+
+PlacementModel::PlacementModel(ModelParams local, ModelParams remote,
+                               std::size_t numa_per_socket)
+    : local_(local), remote_(remote), numa_per_socket_(numa_per_socket) {
+  MCM_EXPECTS(numa_per_socket_ >= 1);
+  local_.validate();
+  remote_.validate();
+  MCM_EXPECTS(local_.max_cores == remote_.max_cores);
+}
+
+bool PlacementModel::is_local(topo::NumaId numa) const {
+  return numa.value() < numa_per_socket_;
+}
+
+ModelParams PlacementModel::comm_model(topo::NumaId comp,
+                                       topo::NumaId comm) const {
+  // Eq. (6), case by case.
+  if (!is_local(comp) && comp == comm) {
+    // Both data blocks on the same remote node: full remote model.
+    return remote_;
+  }
+  if (!is_local(comm)) {
+    // Communications remote, computations elsewhere: contention follows the
+    // local model, but the nominal network bandwidth is the remote one
+    // (locality-sensitive NICs, paper §III-C).
+    return local_.with_comm_nominal(remote_.b_comm_seq);
+  }
+  return local_;
+}
+
+double PlacementModel::comm_parallel(std::size_t n, topo::NumaId comp,
+                                     topo::NumaId comm) const {
+  return model::comm_parallel(comm_model(comp, comm), n);
+}
+
+double PlacementModel::compute_parallel(std::size_t n, topo::NumaId comp,
+                                        topo::NumaId comm) const {
+  // Eq. (7): computations feel contention only when communications target
+  // the same NUMA node; otherwise they run at their solo bandwidth.
+  const ModelParams& m = is_local(comp) ? local_ : remote_;
+  if (comp == comm) return model::compute_parallel(m, n);
+  return model::compute_alone(m, n);
+}
+
+double PlacementModel::compute_alone(std::size_t n,
+                                     topo::NumaId comp) const {
+  return model::compute_alone(is_local(comp) ? local_ : remote_, n);
+}
+
+double PlacementModel::comm_alone(topo::NumaId comm) const {
+  return (is_local(comm) ? local_ : remote_).b_comm_seq;
+}
+
+PredictedCurve PlacementModel::predict(topo::NumaId comp,
+                                       topo::NumaId comm) const {
+  PredictedCurve curve;
+  curve.comp_numa = comp;
+  curve.comm_numa = comm;
+  const std::size_t cores = max_cores();
+  curve.compute_alone_gb.reserve(cores);
+  curve.comm_alone_gb.reserve(cores);
+  curve.compute_parallel_gb.reserve(cores);
+  curve.comm_parallel_gb.reserve(cores);
+  for (std::size_t n = 1; n <= cores; ++n) {
+    curve.compute_alone_gb.push_back(compute_alone(n, comp));
+    curve.comm_alone_gb.push_back(comm_alone(comm));
+    curve.compute_parallel_gb.push_back(compute_parallel(n, comp, comm));
+    curve.comm_parallel_gb.push_back(comm_parallel(n, comp, comm));
+  }
+  return curve;
+}
+
+}  // namespace mcm::model

@@ -1,0 +1,76 @@
+// NUMA placement combination (paper §III-C, eqs. 6 and 7).
+//
+// Two calibrated parameter sets — Mlocal (both data blocks on the first
+// NUMA node of the first socket) and Mremote (both on the first node of the
+// second socket) — are combined to predict every (mcomp, mcomm) placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/parameters.hpp"
+#include "topo/ids.hpp"
+
+namespace mcm::model {
+
+/// The predicted counterpart of a measured bench::PlacementCurve.
+struct PredictedCurve {
+  topo::NumaId comp_numa;
+  topo::NumaId comm_numa;
+  /// Indexed by cores-1, like PlacementCurve::series.
+  std::vector<double> compute_alone_gb;
+  std::vector<double> comm_alone_gb;
+  std::vector<double> compute_parallel_gb;
+  std::vector<double> comm_parallel_gb;
+};
+
+/// The combined local+remote model of one machine.
+class PlacementModel {
+ public:
+  /// `numa_per_socket` is the paper's #m. `remote_comm_nominal` is
+  /// Bcomm_seq(Mremote) — stored inside `remote`, listed here only to make
+  /// the dependency explicit in the constructor contract.
+  PlacementModel(ModelParams local, ModelParams remote,
+                 std::size_t numa_per_socket);
+
+  [[nodiscard]] const ModelParams& local() const { return local_; }
+  [[nodiscard]] const ModelParams& remote() const { return remote_; }
+  [[nodiscard]] std::size_t numa_per_socket() const {
+    return numa_per_socket_;
+  }
+  [[nodiscard]] std::size_t max_cores() const { return local_.max_cores; }
+
+  /// True when the NUMA node is on the computing cores' socket (socket 0).
+  [[nodiscard]] bool is_local(topo::NumaId numa) const;
+
+  /// Eq. (6): predicted network bandwidth with n computing cores.
+  [[nodiscard]] double comm_parallel(std::size_t n, topo::NumaId comp,
+                                     topo::NumaId comm) const;
+
+  /// Eq. (7): predicted aggregate compute bandwidth with n cores.
+  [[nodiscard]] double compute_parallel(std::size_t n, topo::NumaId comp,
+                                        topo::NumaId comm) const;
+
+  /// Predicted compute bandwidth running alone (eq. 8 with the model
+  /// matching the computation data locality).
+  [[nodiscard]] double compute_alone(std::size_t n, topo::NumaId comp) const;
+
+  /// Predicted network bandwidth running alone (Bcomm_seq of the model
+  /// matching the communication data locality).
+  [[nodiscard]] double comm_alone(topo::NumaId comm) const;
+
+  /// All four series for one placement, for cores 1..max_cores.
+  [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
+                                       topo::NumaId comm) const;
+
+ private:
+  /// The parameter set eq. (6) selects for communications.
+  [[nodiscard]] ModelParams comm_model(topo::NumaId comp,
+                                       topo::NumaId comm) const;
+
+  ModelParams local_;
+  ModelParams remote_;
+  std::size_t numa_per_socket_;
+};
+
+}  // namespace mcm::model

@@ -1,0 +1,92 @@
+#include "model/prediction.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+
+namespace {
+
+/// Largest core count j (1 <= j <= max_cores) with R(j) < T(j), i.e. the
+/// last contention-free point — the paper's `i` in eq. (5). Returns 0 when
+/// even one core saturates the bus.
+[[nodiscard]] std::size_t last_fitting_cores(const ModelParams& m) {
+  std::size_t last = 0;
+  for (std::size_t j = 1; j <= m.max_cores; ++j) {
+    if (required_bandwidth(m, j) < total_bandwidth(m, j)) last = j;
+  }
+  return last;
+}
+
+}  // namespace
+
+double total_bandwidth(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  const double nf = static_cast<double>(n);
+  if (n <= m.n_par_max) return m.t_par_max;
+  if (n <= m.n_seq_max) {
+    return m.t_par_max - m.delta_l * (nf - static_cast<double>(m.n_par_max));
+  }
+  return m.t_par_max2 - m.delta_r * (nf - static_cast<double>(m.n_seq_max));
+}
+
+double required_bandwidth(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  return static_cast<double>(n) * m.b_comp_seq + m.alpha * m.b_comm_seq;
+}
+
+bool fits_without_contention(const ModelParams& m, std::size_t n) {
+  return required_bandwidth(m, n) < total_bandwidth(m, n);
+}
+
+double alpha_of(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  // Eq. (5): interpolate only when the saturated region spans more than one
+  // core count before Nmax_seq; otherwise the factor is simply alpha.
+  if (m.n_seq_max <= m.n_par_max + 1 || n >= m.n_seq_max) return m.alpha;
+  const std::size_t i = last_fitting_cores(m);
+  if (i == 0 || n < i) return m.alpha;
+  // Communication impact factor at i (still contention-free there):
+  // Bcomm_par(i)/Bcomm_seq with Bcomm_par from the first case of eq. (4).
+  const double comm_at_i =
+      std::min(total_bandwidth(m, i) -
+                   static_cast<double>(i) * m.b_comp_seq,
+               m.b_comm_seq);
+  const double base = std::max(comm_at_i, 0.0) / m.b_comm_seq;
+  const double span = static_cast<double>(m.n_seq_max - i);
+  MCM_ENSURES(span > 0.0);
+  const double factor =
+      base - (base - m.alpha) / span * static_cast<double>(n - i);
+  // The interpolation can only move from base down to alpha.
+  return std::clamp(factor, std::min(m.alpha, base),
+                    std::max(m.alpha, base));
+}
+
+double comm_parallel(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  if (fits_without_contention(m, n)) {
+    // Communications use whatever the cores leave free, bounded by their
+    // nominal performance.
+    const double leftover =
+        total_bandwidth(m, n) - static_cast<double>(n) * m.b_comp_seq;
+    return std::clamp(leftover, m.alpha * m.b_comm_seq, m.b_comm_seq);
+  }
+  return alpha_of(m, n) * m.b_comm_seq;
+}
+
+double compute_parallel(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  if (fits_without_contention(m, n)) {
+    return static_cast<double>(n) * m.b_comp_seq;  // perfect scaling
+  }
+  return std::max(total_bandwidth(m, n) - comm_parallel(m, n), 0.0);
+}
+
+double compute_alone(const ModelParams& m, std::size_t n) {
+  MCM_EXPECTS(n >= 1);
+  return std::min({static_cast<double>(n) * m.b_comp_seq,
+                   total_bandwidth(m, n), m.t_seq_max});
+}
+
+}  // namespace mcm::model

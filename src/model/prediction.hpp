@@ -1,0 +1,48 @@
+// The prediction equations of the paper (§III-B), implemented verbatim.
+//
+// Given a calibrated ModelParams instance M and a number of computing
+// cores n, these functions evaluate:
+//   eq. (1)  total_bandwidth       T(n)
+//   eq. (2)  required_bandwidth    R(n) = n*Bcomp_seq + alpha*Bcomm_seq
+//   eq. (3)  compute_parallel      Bcomp_par(n)
+//   eq. (4)  comm_parallel         Bcomm_par(n)
+//   eq. (5)  alpha_of              alpha(n), the interpolated degradation
+//   eq. (8)  compute_alone         Bcomp_seq(n)
+// All bandwidths in GB/s.
+#pragma once
+
+#include <cstddef>
+
+#include "model/parameters.hpp"
+
+namespace mcm::model {
+
+/// Eq. (1): piecewise-linear total bandwidth the memory system can carry
+/// with n computing cores and communications in parallel.
+[[nodiscard]] double total_bandwidth(const ModelParams& m, std::size_t n);
+
+/// Eq. (2): bandwidth required to satisfy the computing cores plus the
+/// minimum guaranteed to communications.
+[[nodiscard]] double required_bandwidth(const ModelParams& m, std::size_t n);
+
+/// True when computations and communications fit the bus without
+/// contention at n cores (the R(n) < T(n) test of eqs. (3) and (4)).
+[[nodiscard]] bool fits_without_contention(const ModelParams& m,
+                                           std::size_t n);
+
+/// Eq. (5): degradation factor applied to communications once the bus is
+/// saturated, linearly interpolated between the last contention-free core
+/// count and Nmax_seq.
+[[nodiscard]] double alpha_of(const ModelParams& m, std::size_t n);
+
+/// Eq. (4): network bandwidth with n cores computing in parallel.
+[[nodiscard]] double comm_parallel(const ModelParams& m, std::size_t n);
+
+/// Eq. (3): aggregate memory bandwidth of n computing cores with
+/// communications in parallel.
+[[nodiscard]] double compute_parallel(const ModelParams& m, std::size_t n);
+
+/// Eq. (8): aggregate memory bandwidth of n computing cores running alone.
+[[nodiscard]] double compute_alone(const ModelParams& m, std::size_t n);
+
+}  // namespace mcm::model

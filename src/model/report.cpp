@@ -1,0 +1,94 @@
+#include "model/report.hpp"
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcm::model {
+
+namespace {
+
+[[nodiscard]] std::string fmt(double value) {
+  return format_fixed(value, 2);
+}
+
+}  // namespace
+
+std::string render_parameters(const ContentionModel& model) {
+  AsciiTable table({"parameter", "local", "remote"});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight});
+  const ModelParams& l = model.local();
+  const ModelParams& r = model.remote();
+  table.add_row({"Nmax_par [cores]", std::to_string(l.n_par_max),
+                 std::to_string(r.n_par_max)});
+  table.add_row({"Tmax_par [GB/s]", fmt(l.t_par_max), fmt(r.t_par_max)});
+  table.add_row({"Nmax_seq [cores]", std::to_string(l.n_seq_max),
+                 std::to_string(r.n_seq_max)});
+  table.add_row({"Tmax_seq [GB/s]", fmt(l.t_seq_max), fmt(r.t_seq_max)});
+  table.add_row({"Tmax2_par [GB/s]", fmt(l.t_par_max2), fmt(r.t_par_max2)});
+  table.add_row({"delta_l [GB/s/core]", fmt(l.delta_l), fmt(r.delta_l)});
+  table.add_row({"delta_r [GB/s/core]", fmt(l.delta_r), fmt(r.delta_r)});
+  table.add_row({"Bcomp_seq [GB/s]", fmt(l.b_comp_seq), fmt(r.b_comp_seq)});
+  table.add_row({"Bcomm_seq [GB/s]", fmt(l.b_comm_seq), fmt(r.b_comm_seq)});
+  table.add_row({"alpha", format_fixed(l.alpha, 3),
+                 format_fixed(r.alpha, 3)});
+  return table.render();
+}
+
+std::string render_error_report(const ErrorReport& report) {
+  AsciiTable table({"comp data", "comm data", "sample", "comm MAPE",
+                    "comp MAPE"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kLeft,
+                        Align::kRight, Align::kRight});
+  for (const PlacementError& p : report.placements) {
+    table.add_row({std::to_string(p.comp_numa.value()),
+                   std::to_string(p.comm_numa.value()),
+                   p.is_sample ? "yes" : "no", format_percent(p.comm_mape),
+                   format_percent(p.comp_mape)});
+  }
+  std::string out = "Platform: " + report.platform + "\n" + table.render();
+  out += "communications: samples " + format_percent(report.comm_samples) +
+         ", non-samples " + format_percent(report.comm_non_samples) +
+         ", all " + format_percent(report.comm_all) + "\n";
+  out += "computations:   samples " + format_percent(report.comp_samples) +
+         ", non-samples " + format_percent(report.comp_non_samples) +
+         ", all " + format_percent(report.comp_all) + "\n";
+  out += "average:        " + format_percent(report.average) + "\n";
+  return out;
+}
+
+std::string render_error_table(const std::vector<ErrorReport>& reports) {
+  MCM_EXPECTS(!reports.empty());
+  AsciiTable table({"Platform", "Comm samples", "Comm non-samples",
+                    "Comm all", "Comp samples", "Comp non-samples",
+                    "Comp all", "Average"});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+  double comm_s = 0.0, comm_ns = 0.0, comm_all = 0.0;
+  double comp_s = 0.0, comp_ns = 0.0, comp_all = 0.0, avg = 0.0;
+  for (const ErrorReport& r : reports) {
+    table.add_row({r.platform, format_percent(r.comm_samples),
+                   format_percent(r.comm_non_samples),
+                   format_percent(r.comm_all),
+                   format_percent(r.comp_samples),
+                   format_percent(r.comp_non_samples),
+                   format_percent(r.comp_all), format_percent(r.average)});
+    comm_s += r.comm_samples;
+    comm_ns += r.comm_non_samples;
+    comm_all += r.comm_all;
+    comp_s += r.comp_samples;
+    comp_ns += r.comp_non_samples;
+    comp_all += r.comp_all;
+    avg += r.average;
+  }
+  const double n = static_cast<double>(reports.size());
+  table.add_separator();
+  table.add_row({"Average", format_percent(comm_s / n),
+                 format_percent(comm_ns / n), format_percent(comm_all / n),
+                 format_percent(comp_s / n), format_percent(comp_ns / n),
+                 format_percent(comp_all / n), format_percent(avg / n)});
+  return table.render();
+}
+
+}  // namespace mcm::model

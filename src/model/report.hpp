@@ -1,0 +1,23 @@
+// Textual reports: model parameter summaries and Table-II-style error
+// tables, rendered with util::AsciiTable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/metrics.hpp"
+#include "model/model.hpp"
+
+namespace mcm::model {
+
+/// Both parameter sets of a calibrated model, side by side.
+[[nodiscard]] std::string render_parameters(const ContentionModel& model);
+
+/// One platform's error breakdown (per-placement rows + aggregate row).
+[[nodiscard]] std::string render_error_report(const ErrorReport& report);
+
+/// The full Table II: one row per platform plus the global average row.
+[[nodiscard]] std::string render_error_table(
+    const std::vector<ErrorReport>& reports);
+
+}  // namespace mcm::model

@@ -1,0 +1,137 @@
+#include "model/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/calibration.hpp"
+#include "model/prediction.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcm::model {
+
+namespace {
+
+[[nodiscard]] ParameterSpread spread_of(const std::vector<double>& values) {
+  ParameterSpread spread;
+  spread.mean = mean(values);
+  spread.stddev = sample_stddev(values);
+  spread.min = argmin(values).value;
+  spread.max = argmax(values).value;
+  return spread;
+}
+
+}  // namespace
+
+StabilityReport calibration_stability(const topo::PlatformSpec& spec,
+                                      std::size_t runs) {
+  MCM_EXPECTS(runs >= 2);
+
+  std::vector<ModelParams> params;
+  params.reserve(runs);
+  for (std::size_t run = 0; run < runs; ++run) {
+    // Each run sees independent measurement noise: derive a fresh seed.
+    topo::PlatformSpec run_spec = spec;
+    run_spec.seed = hash_combine(spec.seed, run + 1);
+    bench::SimBackend backend(std::move(run_spec));
+    const topo::NumaId local(0);
+    params.push_back(
+        calibrate(bench::run_placement(backend, local, local)));
+  }
+
+  const auto collect = [&](auto member) {
+    std::vector<double> values;
+    values.reserve(runs);
+    for (const ModelParams& p : params) {
+      values.push_back(static_cast<double>(member(p)));
+    }
+    return spread_of(values);
+  };
+
+  StabilityReport report;
+  report.platform = spec.name;
+  report.runs = runs;
+  report.n_par_max = collect([](const ModelParams& p) { return p.n_par_max; });
+  report.t_par_max = collect([](const ModelParams& p) { return p.t_par_max; });
+  report.n_seq_max = collect([](const ModelParams& p) { return p.n_seq_max; });
+  report.t_seq_max = collect([](const ModelParams& p) { return p.t_seq_max; });
+  report.t_par_max2 =
+      collect([](const ModelParams& p) { return p.t_par_max2; });
+  report.delta_l = collect([](const ModelParams& p) { return p.delta_l; });
+  report.delta_r = collect([](const ModelParams& p) { return p.delta_r; });
+  report.b_comp_seq =
+      collect([](const ModelParams& p) { return p.b_comp_seq; });
+  report.b_comm_seq =
+      collect([](const ModelParams& p) { return p.b_comm_seq; });
+  report.alpha = collect([](const ModelParams& p) { return p.alpha; });
+
+  // Prediction spread: compare each run's parallel curves to the
+  // cross-run mean, point by point.
+  const std::size_t max_cores = params.front().max_cores;
+  for (std::size_t n = 1; n <= max_cores; ++n) {
+    std::vector<double> comm_values;
+    std::vector<double> compute_values;
+    for (const ModelParams& p : params) {
+      comm_values.push_back(comm_parallel(p, n));
+      compute_values.push_back(compute_parallel(p, n));
+    }
+    const double comm_mean = mean(comm_values);
+    const double compute_mean = mean(compute_values);
+    for (std::size_t run = 0; run < runs; ++run) {
+      if (comm_mean > 0.0) {
+        report.worst_comm_prediction_deviation =
+            std::max(report.worst_comm_prediction_deviation,
+                     std::abs(comm_values[run] - comm_mean) / comm_mean);
+      }
+      if (compute_mean > 0.0) {
+        report.worst_compute_prediction_deviation = std::max(
+            report.worst_compute_prediction_deviation,
+            std::abs(compute_values[run] - compute_mean) / compute_mean);
+      }
+    }
+  }
+  return report;
+}
+
+std::string render_stability(const StabilityReport& report) {
+  AsciiTable table({"parameter", "mean", "stddev", "min", "max",
+                    "relative"});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight});
+  const auto row = [&](const char* name, const ParameterSpread& s,
+                       int decimals) {
+    table.add_row({name, format_fixed(s.mean, decimals),
+                   format_fixed(s.stddev, decimals),
+                   format_fixed(s.min, decimals),
+                   format_fixed(s.max, decimals),
+                   format_percent(100.0 * s.relative())});
+  };
+  row("Nmax_par [cores]", report.n_par_max, 1);
+  row("Tmax_par [GB/s]", report.t_par_max, 2);
+  row("Nmax_seq [cores]", report.n_seq_max, 1);
+  row("Tmax_seq [GB/s]", report.t_seq_max, 2);
+  row("Tmax2_par [GB/s]", report.t_par_max2, 2);
+  row("delta_l [GB/s/core]", report.delta_l, 3);
+  row("delta_r [GB/s/core]", report.delta_r, 3);
+  row("Bcomp_seq [GB/s]", report.b_comp_seq, 2);
+  row("Bcomm_seq [GB/s]", report.b_comm_seq, 2);
+  row("alpha", report.alpha, 3);
+
+  std::string out = "Calibration stability on " + report.platform + " (" +
+                    std::to_string(report.runs) + " independent runs)\n" +
+                    table.render();
+  out += "worst comm prediction deviation from the mean curve: " +
+         format_percent(100.0 * report.worst_comm_prediction_deviation) +
+         "\n";
+  out += "worst compute prediction deviation from the mean curve: " +
+         format_percent(100.0 * report.worst_compute_prediction_deviation) +
+         "\n";
+  return out;
+}
+
+}  // namespace mcm::model

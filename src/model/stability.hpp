@@ -1,0 +1,63 @@
+// Calibration stability analysis.
+//
+// The paper instantiates the model from a single benchmark run per
+// placement and notes that run-to-run variability is very low. This module
+// quantifies that: repeat the calibration sweep under independent
+// measurement noise (different seeds) and report the spread of every model
+// parameter and of the resulting predictions. A runtime system can use the
+// spread to decide whether one calibration run is enough on its machine.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/parameters.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::model {
+
+/// Spread of one scalar across calibration runs.
+struct ParameterSpread {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Relative spread (stddev / mean); 0 when the mean is 0.
+  [[nodiscard]] double relative() const {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+/// Spreads of all calibrated parameters over repeated runs.
+struct StabilityReport {
+  std::string platform;
+  std::size_t runs = 0;
+  ParameterSpread n_par_max;
+  ParameterSpread t_par_max;
+  ParameterSpread n_seq_max;
+  ParameterSpread t_seq_max;
+  ParameterSpread t_par_max2;
+  ParameterSpread delta_l;
+  ParameterSpread delta_r;
+  ParameterSpread b_comp_seq;
+  ParameterSpread b_comm_seq;
+  ParameterSpread alpha;
+  /// Worst relative deviation between any run's predicted parallel comm
+  /// curve and the mean curve — what parameter wobble costs downstream.
+  double worst_comm_prediction_deviation = 0.0;
+  /// Same for the compute prediction.
+  double worst_compute_prediction_deviation = 0.0;
+};
+
+/// Run the both-local calibration sweep `runs` times under independent
+/// measurement noise and collect the parameter spreads.
+/// Preconditions: runs >= 2.
+[[nodiscard]] StabilityReport calibration_stability(
+    const topo::PlatformSpec& spec, std::size_t runs);
+
+/// Render the report as a table.
+[[nodiscard]] std::string render_stability(const StabilityReport& report);
+
+}  // namespace mcm::model

@@ -1,0 +1,242 @@
+#include "net/minimpi.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+
+namespace detail {
+
+struct PendingOp {
+  // `done` is read lock-free by Request::done() while the mailbox lock
+  // protects all writers: atomic with release/acquire ordering so the
+  // `transferred` write is visible once `done` reads true.
+  std::atomic<bool> done{false};
+  std::size_t transferred = 0;
+};
+
+/// Shared state of the two endpoints: matching queues, one lock, one
+/// condition variable. Two ranks only, so "the other rank" is implicit.
+class MailboxPair {
+ public:
+  explicit MailboxPair(ProtocolParams params) : params(params) {
+    params.validate();
+  }
+
+  struct SendEntry {
+    int tag = 0;
+    std::shared_ptr<PendingOp> op;
+    /// Rendezvous: the sender's buffer, valid until completion.
+    std::span<const std::byte> source;
+    /// Eager: owned copy of the payload.
+    std::vector<std::byte> eager_copy;
+    bool eager = false;
+
+    [[nodiscard]] std::span<const std::byte> payload() const {
+      return eager ? std::span<const std::byte>(eager_copy) : source;
+    }
+  };
+
+  struct RecvEntry {
+    int tag = 0;
+    std::shared_ptr<PendingOp> op;
+    std::span<std::byte> destination;
+  };
+
+  ProtocolParams params;
+  std::mutex mutex;
+  std::condition_variable cv;
+  /// Sends addressed TO rank r, not yet matched.
+  std::deque<SendEntry> pending_sends[2];
+  /// Receives posted BY rank r, not yet matched.
+  std::deque<RecvEntry> pending_recvs[2];
+  int barrier_count = 0;
+  long barrier_generation = 0;
+};
+
+namespace {
+
+void deliver(const MailboxPair::SendEntry& send,
+             const MailboxPair::RecvEntry& recv) {
+  const std::span<const std::byte> payload = send.payload();
+  MCM_EXPECTS(recv.destination.size() >= payload.size());
+  if (!payload.empty()) {
+    std::memcpy(recv.destination.data(), payload.data(), payload.size());
+  }
+  send.op->transferred = payload.size();
+  send.op->done.store(true, std::memory_order_release);
+  recv.op->transferred = payload.size();
+  recv.op->done.store(true, std::memory_order_release);
+}
+
+[[nodiscard]] bool tags_match(int recv_tag, int send_tag) {
+  return recv_tag == kAnyTag || recv_tag == send_tag;
+}
+
+}  // namespace
+}  // namespace detail
+
+bool Request::done() const {
+  MCM_EXPECTS(op_ != nullptr);
+  return op_->done.load(std::memory_order_acquire);
+}
+
+std::size_t Request::transferred() const {
+  MCM_EXPECTS(op_ != nullptr);
+  MCM_EXPECTS(op_->done.load(std::memory_order_acquire));
+  return op_->transferred;
+}
+
+Request Communicator::isend(int dest, int tag,
+                            std::span<const std::byte> data) {
+  MCM_EXPECTS(dest == 1 - rank_);
+  MCM_EXPECTS(tag >= 0);
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+
+  auto op = std::make_shared<detail::PendingOp>();
+
+  // Match against an already-posted receive (FIFO).
+  auto& recvs = mb.pending_recvs[dest];
+  for (auto it = recvs.begin(); it != recvs.end(); ++it) {
+    if (!detail::tags_match(it->tag, tag)) continue;
+    detail::MailboxPair::SendEntry send;
+    send.tag = tag;
+    send.op = op;
+    send.source = data;
+    detail::deliver(send, *it);
+    recvs.erase(it);
+    mb.cv.notify_all();
+    return Request(std::move(op));
+  }
+
+  // No receiver yet: queue. Eager messages are buffered and complete now;
+  // rendezvous messages keep pointing at the caller's buffer and complete
+  // at match time (the caller must keep the buffer alive, as with MPI).
+  detail::MailboxPair::SendEntry entry;
+  entry.tag = tag;
+  entry.op = op;
+  if (select_mode(mb.params, std::max<std::uint64_t>(data.size(), 1)) ==
+      ProtocolMode::kEager) {
+    entry.eager = true;
+    entry.eager_copy.assign(data.begin(), data.end());
+    op->transferred = data.size();
+    op->done.store(true, std::memory_order_release);
+  } else {
+    entry.source = data;
+  }
+  mb.pending_sends[dest].push_back(std::move(entry));
+  return Request(std::move(op));
+}
+
+Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
+  MCM_EXPECTS(source == 1 - rank_);
+  MCM_EXPECTS(tag >= 0 || tag == kAnyTag);
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+
+  auto op = std::make_shared<detail::PendingOp>();
+
+  auto& sends = mb.pending_sends[rank_];
+  for (auto it = sends.begin(); it != sends.end(); ++it) {
+    if (!detail::tags_match(tag, it->tag)) continue;
+    detail::MailboxPair::RecvEntry recv;
+    recv.tag = tag;
+    recv.op = op;
+    recv.destination = data;
+    detail::deliver(*it, recv);
+    sends.erase(it);
+    mb.cv.notify_all();
+    return Request(std::move(op));
+  }
+
+  detail::MailboxPair::RecvEntry entry;
+  entry.tag = tag;
+  entry.op = op;
+  entry.destination = data;
+  mb.pending_recvs[rank_].push_back(std::move(entry));
+  return Request(std::move(op));
+}
+
+void Communicator::wait(Request& request) {
+  MCM_EXPECTS(request.op_ != nullptr);
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+  mb.cv.wait(lock, [&] {
+    return request.op_->done.load(std::memory_order_acquire);
+  });
+}
+
+bool Communicator::test(const Request& request) const {
+  MCM_EXPECTS(request.op_ != nullptr);
+  std::unique_lock lock(mailboxes_->mutex);
+  return request.op_->done.load(std::memory_order_acquire);
+}
+
+void Communicator::send(int dest, int tag,
+                        std::span<const std::byte> data) {
+  Request request = isend(dest, tag, data);
+  wait(request);
+}
+
+std::size_t Communicator::recv(int source, int tag,
+                               std::span<std::byte> data) {
+  Request request = irecv(source, tag, data);
+  wait(request);
+  return request.transferred();
+}
+
+std::optional<std::size_t> Communicator::probe(int source, int tag) const {
+  MCM_EXPECTS(source == 1 - rank_);
+  MCM_EXPECTS(tag >= 0 || tag == kAnyTag);
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+  for (const auto& send : mb.pending_sends[rank_]) {
+    if (detail::tags_match(tag, send.tag)) return send.payload().size();
+  }
+  return std::nullopt;
+}
+
+std::size_t Communicator::sendrecv(int peer, int send_tag,
+                                   std::span<const std::byte> outgoing,
+                                   int recv_tag,
+                                   std::span<std::byte> incoming) {
+  // Post both non-blocking halves before waiting: with a blocking send
+  // first, two rendezvous-sized exchanges would deadlock.
+  Request send_request = isend(peer, send_tag, outgoing);
+  Request recv_request = irecv(peer, recv_tag, incoming);
+  wait(recv_request);
+  wait(send_request);
+  return recv_request.transferred();
+}
+
+void Communicator::barrier() {
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+  const long generation = mb.barrier_generation;
+  if (++mb.barrier_count == 2) {
+    mb.barrier_count = 0;
+    ++mb.barrier_generation;
+    mb.cv.notify_all();
+    return;
+  }
+  mb.cv.wait(lock, [&] { return mb.barrier_generation != generation; });
+}
+
+ShmWorld::ShmWorld(ProtocolParams params)
+    : params_(params),
+      mailboxes_(std::make_unique<detail::MailboxPair>(params)) {
+  comms_.push_back(Communicator(0, mailboxes_.get()));
+  comms_.push_back(Communicator(1, mailboxes_.get()));
+}
+
+ShmWorld::~ShmWorld() = default;
+
+Communicator& ShmWorld::comm(int rank) {
+  MCM_EXPECTS(rank == 0 || rank == 1);
+  return comms_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace mcm::net

@@ -1,0 +1,133 @@
+// minimpi: a small message-passing library in the spirit of MadMPI.
+//
+// Two ranks, non-blocking isend/irecv/wait, tag matching with FIFO order
+// per (source, tag), eager and rendezvous protocols. The ShmWorld transport
+// runs both ranks as real threads of one process communicating through
+// shared memory — this is the transport the native benchmark backend and
+// the example applications use; the simulator-based benchmark models the
+// NIC directly (see sim::SimMachine).
+//
+// Typical use:
+//
+//   ShmWorld world;
+//   std::thread peer([&] {
+//     std::vector<std::byte> buf(n);
+//     Request r = world.comm(1).irecv(0, /*tag=*/7, buf);
+//     world.comm(1).wait(r);
+//   });
+//   world.comm(0).send(1, 7, data);
+//   peer.join();
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace mcm::net {
+
+/// Matches any tag in irecv.
+inline constexpr int kAnyTag = -1;
+
+namespace detail {
+struct PendingOp;
+class MailboxPair;
+}  // namespace detail
+
+/// Handle to an in-flight operation. Cheap to copy; becomes complete once
+/// the matching side arrives and the data is delivered.
+class Request {
+ public:
+  Request() = default;
+
+  /// True when the operation has completed (non-blocking check).
+  [[nodiscard]] bool done() const;
+
+  /// Number of bytes actually transferred (valid once done).
+  [[nodiscard]] std::size_t transferred() const;
+
+ private:
+  friend class Communicator;
+  explicit Request(std::shared_ptr<detail::PendingOp> op)
+      : op_(std::move(op)) {}
+  std::shared_ptr<detail::PendingOp> op_;
+};
+
+/// One rank's endpoint.
+class Communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return 2; }
+
+  /// Non-blocking send to `dest` with `tag`. Eager messages complete
+  /// immediately (buffered); rendezvous messages complete when the
+  /// matching receive arrives.
+  Request isend(int dest, int tag, std::span<const std::byte> data);
+
+  /// Non-blocking receive from `source` (tag may be kAnyTag). `data` must
+  /// outlive completion and be large enough for the matched message.
+  Request irecv(int source, int tag, std::span<std::byte> data);
+
+  /// Block until `request` completes.
+  void wait(Request& request);
+
+  /// Non-blocking completion check.
+  [[nodiscard]] bool test(const Request& request) const;
+
+  /// Blocking convenience wrappers.
+  void send(int dest, int tag, std::span<const std::byte> data);
+  /// Returns the number of bytes received.
+  std::size_t recv(int source, int tag, std::span<std::byte> data);
+
+  /// Non-blocking probe: size of the first queued message matching
+  /// (source, tag), or std::nullopt when none is waiting. Does not consume
+  /// the message.
+  [[nodiscard]] std::optional<std::size_t> probe(int source, int tag) const;
+
+  /// Combined exchange (deadlock-free even for rendezvous sizes): send
+  /// `outgoing` with `send_tag` and receive into `incoming` with
+  /// `recv_tag`. Returns the number of bytes received.
+  std::size_t sendrecv(int peer, int send_tag,
+                       std::span<const std::byte> outgoing, int recv_tag,
+                       std::span<std::byte> incoming);
+
+  /// Two-rank barrier.
+  void barrier();
+
+ private:
+  friend class ShmWorld;
+  Communicator(int rank, detail::MailboxPair* mailboxes)
+      : rank_(rank), mailboxes_(mailboxes) {}
+
+  int rank_ = 0;
+  detail::MailboxPair* mailboxes_ = nullptr;
+};
+
+/// A two-rank world over an in-process shared-memory transport.
+class ShmWorld {
+ public:
+  explicit ShmWorld(ProtocolParams params = {});
+  ~ShmWorld();
+
+  ShmWorld(const ShmWorld&) = delete;
+  ShmWorld& operator=(const ShmWorld&) = delete;
+
+  /// Endpoint of `rank` (0 or 1). Thread-safe: each rank's communicator is
+  /// meant to be driven by its own thread.
+  [[nodiscard]] Communicator& comm(int rank);
+
+  [[nodiscard]] const ProtocolParams& protocol() const { return params_; }
+
+ private:
+  ProtocolParams params_;
+  std::unique_ptr<detail::MailboxPair> mailboxes_;
+  std::vector<Communicator> comms_;
+};
+
+}  // namespace mcm::net

@@ -1,0 +1,34 @@
+#include "net/protocol.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+
+void ProtocolParams::validate() const {
+  MCM_EXPECTS(base_latency.value() >= 0.0);
+  MCM_EXPECTS(rendezvous_latency.value() >= 0.0);
+  MCM_EXPECTS(chunk_bytes > 0);
+}
+
+ProtocolMode select_mode(const ProtocolParams& params, std::uint64_t bytes) {
+  return bytes > params.eager_threshold ? ProtocolMode::kRendezvous
+                                        : ProtocolMode::kEager;
+}
+
+Seconds message_time(const ProtocolParams& params, std::uint64_t bytes,
+                     Bandwidth bandwidth) {
+  MCM_EXPECTS(bytes > 0);
+  MCM_EXPECTS(bandwidth.bps() > 0.0);
+  Seconds latency = params.base_latency;
+  if (select_mode(params, bytes) == ProtocolMode::kRendezvous) {
+    latency += params.rendezvous_latency;
+  }
+  return latency + transfer_time(bytes, bandwidth);
+}
+
+Bandwidth effective_bandwidth(const ProtocolParams& params,
+                              std::uint64_t bytes, Bandwidth bandwidth) {
+  return achieved_bandwidth(bytes, message_time(params, bytes, bandwidth));
+}
+
+}  // namespace mcm::net

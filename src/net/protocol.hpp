@@ -1,0 +1,53 @@
+// Wire protocol model: eager vs rendezvous transfer, message timing.
+//
+// Mirrors the behaviour of HPC communication libraries (NewMadeleine /
+// MadMPI in the paper): small messages are sent eagerly (one traversal,
+// buffered), large messages negotiate a rendezvous (extra handshake
+// round-trip, then zero-copy pipelined chunks).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace mcm::net {
+
+enum class ProtocolMode : std::uint8_t {
+  kEager,
+  kRendezvous,
+};
+
+[[nodiscard]] constexpr const char* to_string(ProtocolMode mode) {
+  return mode == ProtocolMode::kEager ? "eager" : "rendezvous";
+}
+
+/// Tunables of the protocol. Defaults model an InfiniBand-class fabric.
+struct ProtocolParams {
+  /// Messages strictly larger than this go through rendezvous.
+  std::uint64_t eager_threshold = 32 * kKiB;
+  /// One-way base latency of any message.
+  Seconds base_latency{2e-6};
+  /// Extra round-trip cost of the rendezvous handshake.
+  Seconds rendezvous_latency{4e-6};
+  /// Pipelining granularity of rendezvous transfers.
+  std::uint64_t chunk_bytes = 1 * kMiB;
+
+  void validate() const;
+};
+
+/// Protocol mode selected for a message of `bytes`.
+[[nodiscard]] ProtocolMode select_mode(const ProtocolParams& params,
+                                       std::uint64_t bytes);
+
+/// Predicted transfer time of one message when the data path sustains
+/// `bandwidth`: latency (mode-dependent) + serialization time.
+[[nodiscard]] Seconds message_time(const ProtocolParams& params,
+                                   std::uint64_t bytes, Bandwidth bandwidth);
+
+/// Effective bandwidth of back-to-back messages of `bytes` each (the
+/// benchmark's figure of merit): bytes / message_time.
+[[nodiscard]] Bandwidth effective_bandwidth(const ProtocolParams& params,
+                                            std::uint64_t bytes,
+                                            Bandwidth bandwidth);
+
+}  // namespace mcm::net

@@ -1,0 +1,35 @@
+#include "net/sim_channel.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+
+SimChannel::SimChannel(const sim::SimMachine& machine, ProtocolParams params)
+    : machine_(&machine), params_(params) {
+  params_.validate();
+}
+
+Seconds SimChannel::message_time(std::uint64_t bytes,
+                                 topo::NumaId comm) const {
+  return net::message_time(params_, bytes,
+                           machine_->steady_comm_alone(comm));
+}
+
+Seconds SimChannel::message_time_under_load(std::uint64_t bytes,
+                                            std::size_t cores,
+                                            topo::NumaId comp,
+                                            topo::NumaId comm) const {
+  if (cores == 0) return message_time(bytes, comm);
+  const sim::ParallelMeasurement rates =
+      machine_->steady_parallel(cores, comp, comm);
+  return net::message_time(params_, bytes, rates.comm);
+}
+
+Bandwidth SimChannel::effective_bandwidth_under_load(
+    std::uint64_t bytes, std::size_t cores, topo::NumaId comp,
+    topo::NumaId comm) const {
+  return achieved_bandwidth(
+      bytes, message_time_under_load(bytes, cores, comp, comm));
+}
+
+}  // namespace mcm::net

@@ -1,0 +1,43 @@
+// SimChannel: message timing on a simulated platform.
+//
+// Combines the protocol model (latency, eager/rendezvous) with the memory
+// system's arbitrated DMA bandwidth to answer "how long does one message
+// take, given this placement and this compute load?" — the question the
+// message-size sweep benchmark and the stencil example ask.
+#pragma once
+
+#include <cstdint>
+
+#include "net/protocol.hpp"
+#include "sim/machine.hpp"
+
+namespace mcm::net {
+
+class SimChannel {
+ public:
+  explicit SimChannel(const sim::SimMachine& machine,
+                      ProtocolParams params = {});
+
+  [[nodiscard]] const ProtocolParams& protocol() const { return params_; }
+
+  /// Time to receive one message into buffers on `comm`, idle machine.
+  [[nodiscard]] Seconds message_time(std::uint64_t bytes,
+                                     topo::NumaId comm) const;
+
+  /// Same, while `cores` cores stream to `comp` (0 cores = idle).
+  [[nodiscard]] Seconds message_time_under_load(std::uint64_t bytes,
+                                                std::size_t cores,
+                                                topo::NumaId comp,
+                                                topo::NumaId comm) const;
+
+  /// Sustained bandwidth of back-to-back messages of `bytes` each.
+  [[nodiscard]] Bandwidth effective_bandwidth_under_load(
+      std::uint64_t bytes, std::size_t cores, topo::NumaId comp,
+      topo::NumaId comm) const;
+
+ private:
+  const sim::SimMachine* machine_;
+  ProtocolParams params_;
+};
+
+}  // namespace mcm::net

@@ -1,0 +1,29 @@
+#include "runtime/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace mcm::runtime {
+
+std::size_t hardware_concurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool bind_current_thread_to_cpu(std::size_t cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu >= CPU_SETSIZE) return false;
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+}
+
+std::optional<std::size_t> current_cpu() {
+  const int cpu = sched_getcpu();
+  if (cpu < 0) return std::nullopt;
+  return static_cast<std::size_t>(cpu);
+}
+
+}  // namespace mcm::runtime

@@ -1,0 +1,22 @@
+// Thread-to-core binding (the hwloc-bind role in the paper's benchmark).
+//
+// Binding failures are reported, not fatal: inside containers or on
+// exotic schedulers the benchmark still runs, just without pinning.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace mcm::runtime {
+
+/// Number of logical CPUs visible to this process.
+[[nodiscard]] std::size_t hardware_concurrency();
+
+/// Pin the calling thread to one logical CPU. Returns false if the
+/// platform refused (insufficient rights, CPU offline, ...).
+bool bind_current_thread_to_cpu(std::size_t cpu);
+
+/// CPU the calling thread last ran on, if the platform can tell.
+[[nodiscard]] std::optional<std::size_t> current_cpu();
+
+}  // namespace mcm::runtime

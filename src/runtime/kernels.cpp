@@ -1,0 +1,97 @@
+#include "runtime/kernels.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "util/contracts.hpp"
+
+namespace mcm::runtime {
+
+namespace {
+
+#if defined(__SSE2__)
+
+void stream_fill(std::byte* data, std::size_t size, std::byte value) {
+  std::byte* p = data;
+  std::byte* const end = data + size;
+  // Head: align to 16 bytes.
+  while (p < end && (reinterpret_cast<std::uintptr_t>(p) & 0xf) != 0) {
+    *p++ = value;
+  }
+  const __m128i pattern = _mm_set1_epi8(static_cast<char>(value));
+  for (; p + 16 <= end; p += 16) {
+    _mm_stream_si128(reinterpret_cast<__m128i*>(p), pattern);
+  }
+  _mm_sfence();
+  while (p < end) *p++ = value;
+}
+
+void stream_copy(std::byte* dst, const std::byte* src, std::size_t size) {
+  std::size_t i = 0;
+  // Streaming stores require 16-byte destination alignment; fall back for
+  // the unaligned head/tail.
+  while (i < size && ((reinterpret_cast<std::uintptr_t>(dst + i)) & 0xf)) {
+    dst[i] = src[i];
+    ++i;
+  }
+  for (; i + 16 <= size; i += 16) {
+    __m128i chunk;
+    std::memcpy(&chunk, src + i, 16);  // source may be unaligned
+    _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i), chunk);
+  }
+  _mm_sfence();
+  for (; i < size; ++i) dst[i] = src[i];
+}
+
+#endif  // __SSE2__
+
+}  // namespace
+
+void nt_fill(std::span<std::byte> buffer, std::byte value) {
+  if (buffer.empty()) return;
+#if defined(__SSE2__)
+  stream_fill(buffer.data(), buffer.size(), value);
+#else
+  std::fill(buffer.begin(), buffer.end(), value);
+#endif
+}
+
+void nt_copy(std::span<std::byte> destination,
+             std::span<const std::byte> source) {
+  MCM_EXPECTS(destination.size() == source.size());
+  if (destination.empty()) return;
+#if defined(__SSE2__)
+  stream_copy(destination.data(), source.data(), source.size());
+#else
+  std::memcpy(destination.data(), source.data(), source.size());
+#endif
+}
+
+bool has_streaming_stores() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Bandwidth timed_fill(std::span<std::byte> buffer, std::byte value,
+                     int repetitions) {
+  MCM_EXPECTS(!buffer.empty());
+  MCM_EXPECTS(repetitions >= 1);
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repetitions; ++r) nt_fill(buffer, value);
+  const auto stop = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(stop - start).count();
+  const auto bytes = static_cast<std::uint64_t>(buffer.size()) *
+                     static_cast<std::uint64_t>(repetitions);
+  return achieved_bandwidth(bytes, Seconds(std::max(elapsed, 1e-9)));
+}
+
+}  // namespace mcm::runtime

@@ -1,0 +1,32 @@
+// Memory kernels of the benchmark: non-temporal fill (the paper's memset)
+// and copy. Non-temporal stores bypass the cache hierarchy so that every
+// store is an actual memory-system transfer — the property §II-C relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/units.hpp"
+
+namespace mcm::runtime {
+
+/// Fill `buffer` with `value` using non-temporal stores where the ISA
+/// provides them (SSE2 streaming stores on x86-64), falling back to a
+/// plain fill elsewhere. Works for any size/alignment.
+void nt_fill(std::span<std::byte> buffer, std::byte value);
+
+/// Copy `source` into `destination` with non-temporal stores.
+/// Precondition: same size.
+void nt_copy(std::span<std::byte> destination,
+             std::span<const std::byte> source);
+
+/// True when the build uses real streaming stores (x86-64 SSE2).
+[[nodiscard]] bool has_streaming_stores();
+
+/// Fill `buffer` `repetitions` times and return the achieved memory
+/// bandwidth (bytes written / elapsed wall time).
+[[nodiscard]] Bandwidth timed_fill(std::span<std::byte> buffer,
+                                   std::byte value, int repetitions);
+
+}  // namespace mcm::runtime

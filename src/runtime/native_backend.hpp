@@ -1,0 +1,69 @@
+// NativeBackend: the measurement backend for real machines.
+//
+// Implements the same three benchmark phases as the simulator backend, but
+// with real work: non-temporal fill kernels on a pinned thread pool for
+// computations, and minimpi messages between two threads for
+// communications (a loopback stand-in for the two-machine MPI setup).
+//
+// NUMA data binding requires libnuma-class facilities that are deliberately
+// out of scope here: buffers are first-touch allocated, and the NUMA
+// placement argument selects *which* logical node a measurement is
+// attributed to. On a single-NUMA container every placement maps to node 0
+// and the backend measures one regime; on a real multi-socket machine,
+// extend `NativeConfig::numa_count` and add binding in `allocate_buffer`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "benchlib/backend.hpp"
+#include "net/minimpi.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mcm::runtime {
+
+struct NativeConfig {
+  /// Computing cores used by the sweep (0 = hardware_concurrency - 1).
+  std::size_t compute_cores = 0;
+  /// Logical NUMA nodes exposed to the sweep.
+  std::size_t numa_count = 1;
+  std::size_t numa_per_socket = 1;
+  /// Per-core working set (weak scaling, as in the paper).
+  std::uint64_t working_set_bytes = 16 * kMiB;
+  /// Network message size.
+  std::uint64_t message_bytes = 16 * kMiB;
+  /// Messages received per communication measurement.
+  int comm_rounds = 4;
+  /// Fill repetitions per compute measurement.
+  int fill_repetitions = 2;
+  bool pin_threads = false;
+};
+
+class NativeBackend final : public bench::Backend {
+ public:
+  explicit NativeBackend(NativeConfig config = {});
+  ~NativeBackend() override;
+
+  [[nodiscard]] std::size_t max_computing_cores() const override;
+  [[nodiscard]] std::size_t numa_count() const override;
+  [[nodiscard]] std::size_t numa_per_socket() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Bandwidth compute_alone(std::size_t cores,
+                                        topo::NumaId comp) override;
+  [[nodiscard]] Bandwidth comm_alone(topo::NumaId comm) override;
+  [[nodiscard]] sim::ParallelMeasurement parallel(
+      std::size_t cores, topo::NumaId comp, topo::NumaId comm) override;
+
+ private:
+  struct Buffers;
+
+  /// Run `rounds` message receptions, returning receiver bandwidth.
+  [[nodiscard]] Bandwidth run_comm(int rounds);
+
+  NativeConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Buffers> buffers_;
+};
+
+}  // namespace mcm::runtime

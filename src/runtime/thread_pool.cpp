@@ -1,0 +1,76 @@
+#include "runtime/thread_pool.hpp"
+
+#include "runtime/affinity.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers, bool pin_to_cpus) {
+  MCM_EXPECTS(workers >= 1);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i, pin_to_cpus] {
+      worker_loop(i, pin_to_cpus);
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index, bool pin) {
+  if (pin) {
+    (void)bind_current_thread_to_cpu(index % hardware_concurrency());
+  }
+  std::size_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
+  std::unique_lock lock(mutex_);
+  MCM_EXPECTS(remaining_ == 0);  // not reentrant
+  task_ = &task;
+  remaining_ = threads_.size();
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  MCM_EXPECTS(begin <= end);
+  if (begin == end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = threads_.size();
+  const std::size_t chunk = (total + workers - 1) / workers;
+  run_on_all([&](std::size_t worker) {
+    const std::size_t lo = begin + worker * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace mcm::runtime

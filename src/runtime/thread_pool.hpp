@@ -1,0 +1,50 @@
+// A small persistent worker pool with OpenMP-parallel-for semantics — the
+// role `#pragma omp parallel` plays in the paper's benchmark. Workers can
+// be pinned to CPUs, matching the benchmark's "threads bound to physical
+// cores" setup.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcm::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads. When `pin_to_cpus` is true, worker i is bound
+  /// to CPU i % hardware_concurrency().
+  explicit ThreadPool(std::size_t workers, bool pin_to_cpus = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Run `task(worker_index)` once on every worker, in parallel; blocks
+  /// until all workers finished. Not reentrant.
+  void run_on_all(const std::function<void(std::size_t)>& task);
+
+  /// Parallel loop over [begin, end) with static contiguous partitioning:
+  /// `body(i)` is invoked exactly once per index. Blocks until done.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop(std::size_t index, bool pin);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mcm::runtime

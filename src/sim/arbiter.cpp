@@ -1,0 +1,288 @@
+#include "sim/arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mcm::sim {
+
+namespace {
+
+// Rates are bytes/s (1e9..1e11 in practice); these tolerances are far below
+// any physically meaningful difference.
+constexpr double kRateEps = 1.0;          // bytes/s
+constexpr double kConvergenceEps = 1e4;   // bytes/s (10 kB/s)
+constexpr int kMaxOuterIterations = 200;
+// A degraded link never drops below this fraction of its nominal capacity;
+// real controllers slow down under pressure, they do not collapse.
+constexpr double kMinCapacityFraction = 0.05;
+
+/// Uniform-increment max-min fair filling of `stream_ids` (all of one
+/// class) into per-link capacities `remaining` (indexed by link id).
+/// `paths` and `demands` are indexed by stream id; `alloc` is written for
+/// the given streams only.
+void max_min_fill(const std::vector<int>& stream_ids,
+                  const std::vector<std::vector<topo::LinkId>>& paths,
+                  const std::vector<double>& demands,
+                  std::vector<double>& remaining,
+                  std::vector<double>& alloc) {
+  std::vector<int> active;
+  active.reserve(stream_ids.size());
+  for (int s : stream_ids) {
+    alloc[static_cast<std::size_t>(s)] = 0.0;
+    if (demands[static_cast<std::size_t>(s)] > kRateEps) active.push_back(s);
+  }
+
+  std::vector<int> active_count(remaining.size(), 0);
+  while (!active.empty()) {
+    std::fill(active_count.begin(), active_count.end(), 0);
+    for (int s : active) {
+      for (topo::LinkId l : paths[static_cast<std::size_t>(s)]) {
+        ++active_count[l.value()];
+      }
+    }
+
+    // Largest uniform increment every active stream can take.
+    double increment = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < remaining.size(); ++l) {
+      if (active_count[l] > 0) {
+        increment = std::min(increment, remaining[l] / active_count[l]);
+      }
+    }
+    for (int s : active) {
+      const auto i = static_cast<std::size_t>(s);
+      increment = std::min(increment, demands[i] - alloc[i]);
+    }
+    increment = std::max(increment, 0.0);
+
+    if (increment > kRateEps) {
+      for (int s : active) alloc[static_cast<std::size_t>(s)] += increment;
+      for (std::size_t l = 0; l < remaining.size(); ++l) {
+        remaining[l] =
+            std::max(0.0, remaining[l] - increment * active_count[l]);
+      }
+    }
+
+    // Freeze streams that met their demand or sit on a saturated link.
+    std::vector<int> still_active;
+    still_active.reserve(active.size());
+    for (int s : active) {
+      const auto i = static_cast<std::size_t>(s);
+      bool frozen = alloc[i] >= demands[i] - kRateEps;
+      if (!frozen) {
+        for (topo::LinkId l : paths[i]) {
+          if (remaining[l.value()] <= kRateEps) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (!frozen) still_active.push_back(s);
+    }
+    // Progress guarantee: with a zero increment at least the streams on
+    // saturated links freeze; if nothing froze we are done.
+    if (still_active.size() == active.size() && increment <= kRateEps) break;
+    active.swap(still_active);
+  }
+}
+
+}  // namespace
+
+Arbiter::Arbiter(const topo::Machine& machine, ArbitrationPolicy policy)
+    : machine_(&machine), policy_(policy) {}
+
+ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
+  const std::size_t link_count = machine_->links().size();
+  const std::size_t n = streams.size();
+
+  std::vector<std::vector<topo::LinkId>> paths(n);
+  std::vector<double> demands(n);
+  std::vector<int> cpu_ids;
+  std::vector<int> dma_ids;
+  for (std::size_t s = 0; s < n; ++s) {
+    MCM_EXPECTS(streams[s].demand.bps() >= 0.0);
+    paths[s] = streams[s].path;
+    for (topo::LinkId l : paths[s]) {
+      MCM_EXPECTS(l.is_valid() && l.value() < link_count);
+    }
+    demands[s] = streams[s].demand.bps();
+    if (streams[s].cls == StreamClass::kCpu) {
+      cpu_ids.push_back(static_cast<int>(s));
+    } else {
+      dma_ids.push_back(static_cast<int>(s));
+    }
+  }
+
+  // Per-link CPU requestor counts (constant) and DMA membership.
+  std::vector<int> cpu_requestors(link_count, 0);
+  std::vector<std::vector<int>> dma_on(link_count);
+  std::vector<double> dma_demand_sum(link_count, 0.0);
+  // Active compute "core units" per socket, for ambient host-socket
+  // coupling; weighted by each stream's memory-traffic intensity.
+  std::vector<double> cpu_on_socket(machine_->socket_count(), 0.0);
+  for (int s : cpu_ids) {
+    const auto i = static_cast<std::size_t>(s);
+    if (demands[i] <= kRateEps) continue;
+    for (topo::LinkId l : paths[i]) {
+      ++cpu_requestors[l.value()];
+    }
+    const topo::SocketId source = streams[i].source_socket;
+    if (source.is_valid() && source.value() < cpu_on_socket.size()) {
+      cpu_on_socket[source.value()] += streams[i].ambient_weight;
+    }
+  }
+  for (int s : dma_ids) {
+    const auto i = static_cast<std::size_t>(s);
+    if (demands[i] <= kRateEps) continue;
+    for (topo::LinkId l : paths[i]) {
+      dma_on[l.value()].push_back(s);
+      dma_demand_sum[l.value()] += demands[i];
+    }
+  }
+
+  // DMA utilization estimates (allocation / demand), damped across outer
+  // iterations: they feed the weighted requestor count which feeds the
+  // effective capacity which feeds the allocation.
+  std::vector<double> dma_utilization(n, 1.0);
+
+  std::vector<double> alloc(n, 0.0);
+  std::vector<double> previous(n,
+                               std::numeric_limits<double>::infinity());
+  std::vector<double> cap_eff(link_count, 0.0);
+  std::vector<double> remaining(link_count, 0.0);
+
+  int iterations = 0;
+  for (; iterations < kMaxOuterIterations; ++iterations) {
+    // 1. Effective capacities from the current weighted requestor counts.
+    for (std::size_t l = 0; l < link_count; ++l) {
+      const topo::Link& link =
+          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
+      const topo::ContentionSpec& spec = link.contention;
+      double weighted = cpu_requestors[l];
+      for (int s : dma_on[l]) {
+        weighted += spec.dma_requestor_weight *
+                    dma_utilization[static_cast<std::size_t>(s)];
+      }
+      const double over = std::max(0.0, weighted - spec.requestor_knee);
+      double capacity = link.capacity.bps() -
+                        spec.degradation_per_requestor.bps() * over;
+      // Ambient host-socket coupling: cores streaming anywhere on the
+      // link's ambient socket steal fabric bandwidth from the link.
+      if (link.ambient_socket.is_valid()) {
+        const double cores =
+            cpu_on_socket[link.ambient_socket.value()];
+        const double ambient_over =
+            std::max(0.0, cores - spec.ambient_cpu_knee);
+        capacity -= spec.ambient_cpu_degradation.bps() * ambient_over;
+      }
+      // The DMA floor is a hard guarantee: degradation can never push the
+      // link below it.
+      cap_eff[l] = std::max({link.capacity.bps() * kMinCapacityFraction,
+                             spec.dma_floor.bps(), capacity});
+    }
+
+    if (policy_ == ArbitrationPolicy::kFairShare) {
+      // Ablation mode: one undifferentiated max-min pool.
+      std::vector<int> all_ids = cpu_ids;
+      all_ids.insert(all_ids.end(), dma_ids.begin(), dma_ids.end());
+      remaining = cap_eff;
+      max_min_fill(all_ids, paths, demands, remaining, alloc);
+      double delta = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        delta = std::max(delta, std::abs(alloc[s] - previous[s]));
+      }
+      previous = alloc;
+      for (int s : dma_ids) {
+        const auto i = static_cast<std::size_t>(s);
+        if (demands[i] <= kRateEps) continue;
+        dma_utilization[i] =
+            0.5 * dma_utilization[i] + 0.5 * (alloc[i] / demands[i]);
+      }
+      if (delta < kConvergenceEps) {
+        ++iterations;
+        break;
+      }
+      continue;
+    }
+
+    // 2. Reserve the DMA floor, then fill CPU streams with priority.
+    for (std::size_t l = 0; l < link_count; ++l) {
+      const topo::Link& link =
+          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
+      const double reserve =
+          std::min(link.contention.dma_floor.bps(), dma_demand_sum[l]);
+      remaining[l] = std::max(0.0, cap_eff[l] - std::min(reserve, cap_eff[l]));
+    }
+    max_min_fill(cpu_ids, paths, demands, remaining, alloc);
+
+    // 3. DMA streams share whatever the CPU left on each link (at least
+    // the reserved floor, since CPU filling started from cap - reserve).
+    // High CPU utilization additionally soft-throttles the DMA class
+    // before the link is literally full (see ContentionSpec).
+    std::vector<double> cpu_usage(link_count, 0.0);
+    for (int s : cpu_ids) {
+      const auto i = static_cast<std::size_t>(s);
+      for (topo::LinkId pl : paths[i]) cpu_usage[pl.value()] += alloc[i];
+    }
+    for (std::size_t l = 0; l < link_count; ++l) {
+      const topo::Link& link =
+          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
+      const topo::ContentionSpec& spec = link.contention;
+      double allowed = std::max(0.0, cap_eff[l] - cpu_usage[l]);
+      if (spec.dma_soft_start < 1.0 && cap_eff[l] > 0.0) {
+        const double utilization = cpu_usage[l] / cap_eff[l];
+        if (utilization > spec.dma_soft_start) {
+          const double span = 1.0 - spec.dma_soft_start;
+          const double t =
+              std::min(1.0, (utilization - spec.dma_soft_start) / span);
+          const double scale = 1.0 + t * (spec.dma_soft_min - 1.0);
+          const double reserve =
+              std::min(spec.dma_floor.bps(), dma_demand_sum[l]);
+          allowed = std::max(reserve,
+                             std::min(allowed, scale * dma_demand_sum[l]));
+        }
+      }
+      remaining[l] = allowed;
+    }
+    max_min_fill(dma_ids, paths, demands, remaining, alloc);
+
+    // 4. Convergence check + damped utilization update.
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      delta = std::max(delta, std::abs(alloc[s] - previous[s]));
+    }
+    previous = alloc;
+    for (int s : dma_ids) {
+      const auto i = static_cast<std::size_t>(s);
+      if (demands[i] <= kRateEps) continue;
+      const double fresh = alloc[i] / demands[i];
+      dma_utilization[i] = 0.5 * dma_utilization[i] + 0.5 * fresh;
+    }
+    if (delta < kConvergenceEps) {
+      ++iterations;
+      break;
+    }
+  }
+
+  ArbiterResult result;
+  result.iterations = iterations;
+  result.allocation.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    result.allocation.push_back(Bandwidth::bytes_per_s(alloc[s]));
+  }
+  result.link_usage.assign(link_count, Bandwidth{});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (topo::LinkId l : paths[s]) {
+      result.link_usage[l.value()] += Bandwidth::bytes_per_s(alloc[s]);
+    }
+  }
+  result.link_effective_capacity.reserve(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    result.link_effective_capacity.push_back(
+        Bandwidth::bytes_per_s(cap_eff[l]));
+  }
+  return result;
+}
+
+}  // namespace mcm::sim

@@ -1,0 +1,76 @@
+// Steady-state bandwidth arbiter.
+//
+// Given a set of streams (each with a nominal demand and a path of shared
+// links) the arbiter computes the bandwidth each stream actually obtains.
+// Its mechanism is deliberately *different* from the paper's analytical
+// model — the model is later calibrated against this simulator output, so a
+// shared formula would make the evaluation circular. The arbiter implements
+// the paper's §II-A hardware hypotheses directly:
+//
+//  1. Links have finite (effective) capacity. When total demand fits,
+//     everybody gets their demand — no contention.
+//  2. CPU requests have priority over DMA: under contention DMA is squeezed
+//     to the link's leftover capacity...
+//  3. ...but never below the link's configured DMA floor (anti-starvation).
+//  4. Effective capacity degrades once the number of weighted requestors
+//     exceeds a knee — producing the slow post-saturation decline the paper
+//     measures when extra cores keep piling on.
+//
+// Within a class, sharing is max-min fair (uniform progressive filling).
+// The load-dependent capacity is resolved with a damped outer fixed point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/stream.hpp"
+#include "topo/topology.hpp"
+
+namespace mcm::sim {
+
+/// How links share capacity between the CPU and DMA classes.
+enum class ArbitrationPolicy : std::uint8_t {
+  /// The real-hardware behaviour (default): CPU outranks DMA, DMA keeps a
+  /// guaranteed floor, soft throttling near saturation.
+  kCpuPriorityWithFloor,
+  /// Ablation variant: one max-min fair pool, no classes, no floors, no
+  /// soft throttling (requestor-count degradation still applies).
+  kFairShare,
+};
+
+[[nodiscard]] constexpr const char* to_string(ArbitrationPolicy policy) {
+  return policy == ArbitrationPolicy::kCpuPriorityWithFloor
+             ? "cpu-priority-with-floor"
+             : "fair-share";
+}
+
+/// Outcome of one steady-state solve.
+struct ArbiterResult {
+  /// Granted bandwidth per stream, same order as the input.
+  std::vector<Bandwidth> allocation;
+  /// Total granted bandwidth crossing each link (indexed by LinkId value).
+  std::vector<Bandwidth> link_usage;
+  /// Effective (degraded) capacity of each link at the solution.
+  std::vector<Bandwidth> link_effective_capacity;
+  /// Outer fixed-point iterations used.
+  int iterations = 0;
+};
+
+class Arbiter {
+ public:
+  explicit Arbiter(
+      const topo::Machine& machine,
+      ArbitrationPolicy policy = ArbitrationPolicy::kCpuPriorityWithFloor);
+
+  [[nodiscard]] ArbitrationPolicy policy() const { return policy_; }
+
+  /// Solve the steady state for the given stream set. Streams with zero
+  /// demand get zero. Deterministic: same input, same output.
+  [[nodiscard]] ArbiterResult solve(std::span<const StreamSpec> streams) const;
+
+ private:
+  const topo::Machine* machine_;
+  ArbitrationPolicy policy_;
+};
+
+}  // namespace mcm::sim

@@ -1,0 +1,170 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace mcm::sim {
+
+namespace {
+// One byte of slack absorbs floating-point residue when deciding whether a
+// finite transfer has completed.
+constexpr double kByteEps = 1.0;
+}  // namespace
+
+Engine::Engine(const topo::Machine& machine, ArbitrationPolicy policy)
+    : machine_(&machine), arbiter_(machine, policy) {}
+
+TransferId Engine::start_transfer(const StreamSpec& spec,
+                                  std::uint64_t bytes) {
+  MCM_EXPECTS(bytes > 0);
+  MCM_EXPECTS(spec.demand.bps() > 0.0);
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.spec = spec;
+  t.bytes_total = static_cast<double>(bytes);
+  t.active = true;
+  transfers_.emplace(id, std::move(t));
+  active_.push_back(id);
+  rates_dirty_ = true;
+  trace_.record(now_, TraceEventKind::kTransferStarted, id);
+  return id;
+}
+
+TransferId Engine::start_flow(const StreamSpec& spec) {
+  MCM_EXPECTS(spec.demand.bps() > 0.0);
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.spec = spec;
+  t.bytes_total = std::numeric_limits<double>::infinity();
+  t.active = true;
+  transfers_.emplace(id, std::move(t));
+  active_.push_back(id);
+  rates_dirty_ = true;
+  trace_.record(now_, TraceEventKind::kTransferStarted, id);
+  return id;
+}
+
+void Engine::stop(TransferId id) {
+  const auto it = transfers_.find(id);
+  MCM_EXPECTS(it != transfers_.end());
+  if (!it->second.active) return;
+  it->second.active = false;
+  it->second.rate = 0.0;
+  active_.erase(std::find(active_.begin(), active_.end(), id));
+  rates_dirty_ = true;
+  trace_.record(now_, TraceEventKind::kTransferStopped, id);
+}
+
+bool Engine::is_active(TransferId id) const { return transfer(id).active; }
+
+std::uint64_t Engine::bytes_moved(TransferId id) const {
+  return static_cast<std::uint64_t>(transfer(id).bytes_done);
+}
+
+Bandwidth Engine::current_rate(TransferId id) {
+  if (!transfer(id).active) return Bandwidth{};
+  refresh_rates();
+  return Bandwidth::bytes_per_s(transfer(id).rate);
+}
+
+const Engine::Transfer& Engine::transfer(TransferId id) const {
+  const auto it = transfers_.find(id);
+  MCM_EXPECTS(it != transfers_.end());
+  return it->second;
+}
+
+void Engine::refresh_rates() {
+  if (!rates_dirty_) return;
+  std::vector<StreamSpec> specs;
+  specs.reserve(active_.size());
+  for (TransferId id : active_) specs.push_back(transfers_.at(id).spec);
+  const ArbiterResult result = arbiter_.solve(specs);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    transfers_.at(active_[i]).rate = result.allocation[i].bps();
+  }
+  rates_dirty_ = false;
+  trace_.record(now_, TraceEventKind::kRatesRecomputed, 0);
+}
+
+void Engine::advance(Seconds dt, std::vector<Completion>& out) {
+  MCM_EXPECTS(dt.value() >= 0.0);
+  if (dt.value() > 0.0) {
+    for (TransferId id : active_) {
+      Transfer& t = transfers_.at(id);
+      t.bytes_done =
+          std::min(t.bytes_total, t.bytes_done + t.rate * dt.value());
+    }
+    now_ += dt;
+  }
+  // Collect completions (finite transfers only). Iterate over a copy since
+  // completion mutates active_.
+  std::vector<TransferId> done;
+  for (TransferId id : active_) {
+    const Transfer& t = transfers_.at(id);
+    if (std::isfinite(t.bytes_total) &&
+        t.bytes_done >= t.bytes_total - kByteEps) {
+      done.push_back(id);
+    }
+  }
+  for (TransferId id : done) {
+    Transfer& t = transfers_.at(id);
+    t.bytes_done = t.bytes_total;
+    t.active = false;
+    t.rate = 0.0;
+    active_.erase(std::find(active_.begin(), active_.end(), id));
+    rates_dirty_ = true;
+    trace_.record(now_, TraceEventKind::kTransferCompleted, id);
+    out.push_back(Completion{id, now_});
+  }
+}
+
+std::vector<Completion> Engine::run_until(Seconds deadline) {
+  MCM_EXPECTS(deadline >= now_);
+  std::vector<Completion> completions;
+  while (now_ < deadline) {
+    refresh_rates();
+
+    // Time until the earliest finite completion at current rates.
+    double next_dt = std::numeric_limits<double>::infinity();
+    for (TransferId id : active_) {
+      const Transfer& t = transfers_.at(id);
+      if (!std::isfinite(t.bytes_total) || t.rate <= 0.0) continue;
+      next_dt = std::min(next_dt, (t.bytes_total - t.bytes_done) / t.rate);
+    }
+
+    const double to_deadline = (deadline - now_).value();
+    const double dt = std::min(next_dt, to_deadline);
+    advance(Seconds(dt), completions);
+    if (next_dt > to_deadline) break;  // deadline reached first
+  }
+  return completions;
+}
+
+std::optional<Completion> Engine::run_until_next_completion(
+    Seconds deadline) {
+  MCM_EXPECTS(deadline >= now_);
+  while (now_ < deadline) {
+    refresh_rates();
+    double next_dt = std::numeric_limits<double>::infinity();
+    for (TransferId id : active_) {
+      const Transfer& t = transfers_.at(id);
+      if (!std::isfinite(t.bytes_total) || t.rate <= 0.0) continue;
+      next_dt = std::min(next_dt, (t.bytes_total - t.bytes_done) / t.rate);
+    }
+    if (!std::isfinite(next_dt) || next_dt > (deadline - now_).value()) {
+      std::vector<Completion> none;
+      advance(deadline - now_, none);
+      MCM_ENSURES(none.empty());
+      return std::nullopt;
+    }
+    std::vector<Completion> completions;
+    advance(Seconds(next_dt), completions);
+    if (!completions.empty()) return completions.front();
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcm::sim

@@ -1,0 +1,94 @@
+// Discrete-event simulation engine on top of the steady-state arbiter.
+//
+// Time advances in slices during which the active stream set — and hence
+// every stream's arbitrated rate — is constant. Slice boundaries are
+// transfer completions, additions and removals. Finite transfers model
+// network messages (a 64 MiB receive in the paper's benchmark); endless
+// flows model compute kernels that re-issue work back to back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/arbiter.hpp"
+#include "sim/stream.hpp"
+#include "sim/trace.hpp"
+#include "topo/topology.hpp"
+
+namespace mcm::sim {
+
+using TransferId = std::uint64_t;
+
+/// A finite transfer that finished, and when.
+struct Completion {
+  TransferId id = 0;
+  Seconds time;
+};
+
+class Engine {
+ public:
+  explicit Engine(
+      const topo::Machine& machine,
+      ArbitrationPolicy policy = ArbitrationPolicy::kCpuPriorityWithFloor);
+
+  /// Start a finite transfer of `bytes` (> 0). Returns its id.
+  TransferId start_transfer(const StreamSpec& spec, std::uint64_t bytes);
+
+  /// Start an endless flow (runs until stopped).
+  TransferId start_flow(const StreamSpec& spec);
+
+  /// Remove an active transfer/flow. Idempotent on completed transfers;
+  /// throws for unknown ids.
+  void stop(TransferId id);
+
+  /// True while the transfer is running (finite and unfinished, or a flow
+  /// that has not been stopped).
+  [[nodiscard]] bool is_active(TransferId id) const;
+
+  /// Bytes moved so far (or in total, once completed/stopped).
+  [[nodiscard]] std::uint64_t bytes_moved(TransferId id) const;
+
+  /// Current arbitrated rate; zero once inactive. Non-const because it
+  /// refreshes the cached arbitration if the active set changed.
+  [[nodiscard]] Bandwidth current_rate(TransferId id);
+
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Advance simulated time to `deadline`, collecting finite-transfer
+  /// completions in time order. Precondition: deadline >= now().
+  std::vector<Completion> run_until(Seconds deadline);
+
+  /// Advance until the next completion, but never past `deadline`.
+  /// Returns std::nullopt if no finite transfer completes by then.
+  std::optional<Completion> run_until_next_completion(Seconds deadline);
+
+  [[nodiscard]] Trace& trace() { return trace_; }
+
+ private:
+  struct Transfer {
+    StreamSpec spec;
+    double bytes_total = 0.0;  ///< infinity for flows
+    double bytes_done = 0.0;
+    double rate = 0.0;  ///< bytes/s granted by the arbiter
+    bool active = false;
+  };
+
+  void refresh_rates();
+  [[nodiscard]] const Transfer& transfer(TransferId id) const;
+  /// Advance all active transfers by dt at current rates; completes finite
+  /// transfers that reach their size.
+  void advance(Seconds dt, std::vector<Completion>& out);
+
+  const topo::Machine* machine_;
+  Arbiter arbiter_;
+  std::unordered_map<TransferId, Transfer> transfers_;
+  std::vector<TransferId> active_;  ///< sorted insertion order
+  TransferId next_id_ = 1;
+  Seconds now_{0.0};
+  bool rates_dirty_ = true;
+  Trace trace_;
+};
+
+}  // namespace mcm::sim

@@ -1,0 +1,244 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mcm::sim {
+
+SimMachine::SimMachine(topo::PlatformSpec spec, ArbitrationPolicy policy)
+    : spec_(std::move(spec)), policy_(policy) {
+  spec_.machine.validate();
+  MCM_EXPECTS(!spec_.machine.nics().empty());
+}
+
+std::size_t SimMachine::max_computing_cores() const {
+  // One core of the first socket is dedicated to the communication
+  // progression thread (paper §IV-A-1), the rest compute.
+  return spec_.machine.cores_per_socket() - 1;
+}
+
+void SimMachine::set_message_bytes(std::uint64_t bytes) {
+  MCM_EXPECTS(bytes > 0);
+  message_bytes_ = bytes;
+}
+
+void SimMachine::set_phase_duration(Seconds duration) {
+  MCM_EXPECTS(duration.value() > 0.0);
+  phase_duration_ = duration;
+}
+
+void SimMachine::set_working_set_bytes(std::uint64_t bytes) {
+  MCM_EXPECTS(bytes > 0);
+  working_set_bytes_ = bytes;
+}
+
+double SimMachine::llc_hit_fraction(std::size_t active_cores) const {
+  if (compute_kernel_ != ComputeKernel::kCachedFill) return 0.0;
+  if (spec_.compute.llc_bytes == 0) return 0.0;
+  MCM_EXPECTS(active_cores >= 1);
+  const double footprint = static_cast<double>(active_cores) *
+                           static_cast<double>(working_set_bytes_);
+  // The shared LLC covers its size worth of the aggregate footprint; cap
+  // below 1 so some traffic always reaches memory (write-backs, misses).
+  return std::min(0.95,
+                  static_cast<double>(spec_.compute.llc_bytes) / footprint);
+}
+
+StreamSpec SimMachine::compute_stream(std::size_t active_cores,
+                                      topo::NumaId data) const {
+  MCM_EXPECTS(active_cores >= 1);
+  const topo::SocketId socket0(0);
+  const bool local = spec_.machine.is_local(socket0, data);
+  const Bandwidth per_core = local ? spec_.compute.per_core_local
+                                   : spec_.compute.per_core_remote;
+  // Sub-linear issue scaling (pyxis): each extra active core slightly
+  // reduces everyone's achievable issue rate.
+  const double curve =
+      std::max(0.5, 1.0 - spec_.compute.scaling_curvature *
+                              static_cast<double>(active_cores - 1));
+  StreamSpec stream;
+  stream.cls = StreamClass::kCpu;
+  const double traffic_intensity =
+      kernel_traffic_factor(compute_kernel_) *
+      (1.0 - llc_hit_fraction(active_cores));
+  stream.demand = per_core * curve * traffic_intensity;
+  stream.path = spec_.machine.cpu_path(socket0, data);
+  stream.source_socket = socket0;
+  // Host-socket coupling scales with the traffic the core actually pushes
+  // through the fabric, not its mere existence: a cache-resident kernel
+  // barely disturbs the NIC ingress.
+  stream.ambient_weight = traffic_intensity;
+  return stream;
+}
+
+StreamSpec SimMachine::dma_stream(topo::NumaId data) const {
+  const topo::NicId nic(0);
+  StreamSpec stream;
+  stream.cls = StreamClass::kDma;
+  stream.demand = spec_.machine.nic_nominal_bandwidth(nic, data);
+  stream.path = spec_.machine.dma_path(nic, data);
+  stream.source_socket = spec_.machine.nic(nic).socket;
+  return stream;
+}
+
+StreamSpec SimMachine::dma_send_stream(topo::NumaId data) const {
+  const topo::NicId nic(0);
+  StreamSpec stream;
+  stream.cls = StreamClass::kDma;
+  stream.demand = spec_.machine.nic_nominal_bandwidth(nic, data);
+  stream.path = spec_.machine.dma_return_path(nic, data);
+  stream.source_socket = spec_.machine.nic(nic).socket;
+  return stream;
+}
+
+ParallelMeasurement SimMachine::run_phase(std::size_t n, topo::NumaId comp,
+                                          topo::NumaId comm,
+                                          bool with_compute,
+                                          bool with_comm) const {
+  MCM_EXPECTS(with_compute || with_comm);
+  MCM_EXPECTS(!with_compute || (n >= 1 && n <= max_computing_cores()));
+
+  Engine engine(spec_.machine, policy_);
+
+  std::vector<TransferId> compute_flows;
+  if (with_compute) {
+    const StreamSpec stream = compute_stream(n, comp);
+    compute_flows.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      compute_flows.push_back(engine.start_flow(stream));
+    }
+  }
+
+  // Communications: receive 64 MiB messages back to back; each completed
+  // reception immediately posts the next one, as the benchmark loop does.
+  // In the bidirectional (ping-pong) pattern a mirror send stream moves
+  // the same message sizes out through the same memory path.
+  TransferId rx_message = 0;
+  std::uint64_t rx_bytes_completed = 0;
+  if (with_comm) {
+    rx_message = engine.start_transfer(dma_stream(comm), message_bytes_);
+    if (comm_pattern_ == CommPattern::kBidirectional) {
+      (void)engine.start_transfer(dma_send_stream(comm), message_bytes_);
+    }
+  }
+
+  const Seconds deadline = phase_duration_;
+  while (engine.now() < deadline) {
+    const auto completion = engine.run_until_next_completion(deadline);
+    if (!completion) break;
+    if (completion->id == rx_message) {
+      rx_bytes_completed += message_bytes_;
+      rx_message = engine.start_transfer(dma_stream(comm), message_bytes_);
+    } else {
+      // A send completed: post the next outgoing message.
+      (void)engine.start_transfer(dma_send_stream(comm), message_bytes_);
+    }
+  }
+
+  ParallelMeasurement result;
+  if (with_compute) {
+    std::uint64_t bytes = 0;
+    for (TransferId id : compute_flows) bytes += engine.bytes_moved(id);
+    result.compute = achieved_bandwidth(bytes, phase_duration_);
+  }
+  if (with_comm) {
+    // Count the partially received in-flight message too: the benchmark's
+    // bandwidth is bytes-received over wall time (the receive direction,
+    // as in the paper, even for ping-pongs).
+    const std::uint64_t bytes =
+        rx_bytes_completed + engine.bytes_moved(rx_message);
+    result.comm = achieved_bandwidth(bytes, phase_duration_);
+  }
+  return result;
+}
+
+double SimMachine::jitter(const char* phase, std::size_t n,
+                          topo::NumaId comp, topo::NumaId comm,
+                          double sigma) const {
+  if (sigma <= 0.0) return 1.0;
+  const std::string key = std::string(phase) + "/" + std::to_string(n) +
+                          "/" + std::to_string(comp.value()) + "/" +
+                          std::to_string(comm.value()) + "/run" +
+                          std::to_string(run_index_);
+  Rng rng(hash_combine(spec_.seed, stable_hash(key)));
+  // Clamp to +/- 3 sigma so that a single measurement can never flip the
+  // qualitative shape of a curve.
+  const double z = clamp(rng.normal(), -3.0, 3.0);
+  return 1.0 + sigma * z;
+}
+
+Bandwidth SimMachine::measure_compute_alone(std::size_t n,
+                                            topo::NumaId comp) {
+  const ParallelMeasurement raw =
+      run_phase(n, comp, topo::NumaId(0), true, false);
+  return raw.compute *
+         jitter("comp-alone", n, comp, topo::NumaId(0),
+                spec_.noise.compute_sigma);
+}
+
+Bandwidth SimMachine::measure_comm_alone(topo::NumaId comm) {
+  const ParallelMeasurement raw =
+      run_phase(1, topo::NumaId(0), comm, false, true);
+  return raw.comm * jitter("comm-alone", 0, topo::NumaId(0), comm,
+                           spec_.noise.comm_sigma);
+}
+
+ParallelMeasurement SimMachine::measure_parallel(std::size_t n,
+                                                 topo::NumaId comp,
+                                                 topo::NumaId comm) {
+  ParallelMeasurement result = run_phase(n, comp, comm, true, true);
+  result.compute *=
+      jitter("comp-par", n, comp, comm, spec_.noise.compute_sigma);
+  result.comm *= jitter("comm-par", n, comp, comm, spec_.noise.comm_sigma);
+  // Platform quirk (pyxis): DMA loses a slice of bandwidth to interconnect
+  // interference whenever compute traffic targets a different NUMA node.
+  // The analytical model has no term for this cross-node coupling.
+  if (comp != comm && spec_.noise.cross_numa_dma_penalty > 0.0) {
+    result.comm = result.comm * (1.0 - spec_.noise.cross_numa_dma_penalty);
+  }
+  return result;
+}
+
+Bandwidth SimMachine::steady_compute_alone(std::size_t n,
+                                           topo::NumaId comp) const {
+  MCM_EXPECTS(n >= 1 && n <= max_computing_cores());
+  Arbiter arbiter(spec_.machine, policy_);
+  const std::vector<StreamSpec> streams(n, compute_stream(n, comp));
+  const ArbiterResult result = arbiter.solve(streams);
+  Bandwidth total;
+  for (Bandwidth bw : result.allocation) total += bw;
+  return total;
+}
+
+Bandwidth SimMachine::steady_comm_alone(topo::NumaId comm) const {
+  Arbiter arbiter(spec_.machine, policy_);
+  std::vector<StreamSpec> streams{dma_stream(comm)};
+  if (comm_pattern_ == CommPattern::kBidirectional) {
+    streams.push_back(dma_send_stream(comm));
+  }
+  // The receive direction (first stream) is the reported bandwidth.
+  return arbiter.solve(streams).allocation.front();
+}
+
+ParallelMeasurement SimMachine::steady_parallel(std::size_t n,
+                                                topo::NumaId comp,
+                                                topo::NumaId comm) const {
+  MCM_EXPECTS(n >= 1 && n <= max_computing_cores());
+  Arbiter arbiter(spec_.machine, policy_);
+  std::vector<StreamSpec> streams(n, compute_stream(n, comp));
+  streams.push_back(dma_stream(comm));
+  if (comm_pattern_ == CommPattern::kBidirectional) {
+    streams.push_back(dma_send_stream(comm));
+  }
+  const ArbiterResult result = arbiter.solve(streams);
+  ParallelMeasurement out;
+  for (std::size_t i = 0; i < n; ++i) out.compute += result.allocation[i];
+  out.comm = result.allocation[n];  // receive direction
+  return out;
+}
+
+}  // namespace mcm::sim

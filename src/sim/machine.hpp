@@ -1,0 +1,178 @@
+// SimMachine: the simulated stand-in for one testbed node.
+//
+// It exposes exactly the operations the paper's benchmarking program needs:
+// measure the memory bandwidth of n computing cores alone, the network
+// bandwidth alone, and both in parallel, for a given placement of
+// computation and communication data. Measurements are performed by running
+// the discrete-event engine for a simulated phase (compute kernels as
+// endless flows, communications as back-to-back 64 MiB message receptions)
+// and dividing bytes moved by elapsed time — the same procedure as the real
+// benchmark, not a shortcut through the arbiter.
+//
+// Measurements carry deterministic run-to-run jitter and the platform
+// quirks (pyxis' cross-NUMA DMA interference) described in NoiseProfile.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::sim {
+
+/// Result of a parallel (computation + communication) measurement.
+struct ParallelMeasurement {
+  Bandwidth compute;  ///< aggregate memory bandwidth of the computing cores
+  Bandwidth comm;     ///< network bandwidth observed by the receiver
+};
+
+/// Communication pattern of the benchmark (paper §VI future work: the
+/// published model assumes receive-only "pongs"; ping-pongs add a second
+/// DMA stream through the same memory path).
+enum class CommPattern : std::uint8_t {
+  kReceiveOnly,
+  kBidirectional,
+};
+
+[[nodiscard]] constexpr const char* to_string(CommPattern pattern) {
+  return pattern == CommPattern::kReceiveOnly ? "receive-only"
+                                              : "bidirectional";
+}
+
+/// Compute kernel of the benchmark (paper §VI future work: the published
+/// model calibrates on non-temporal memset; a copy kernel moves read +
+/// write traffic through the memory system).
+enum class ComputeKernel : std::uint8_t {
+  kFill,        ///< non-temporal memset (the paper's kernel, bypasses LLC)
+  kCopy,        ///< non-temporal copy: read + write traffic
+  kCachedFill,  ///< temporal memset: the LLC absorbs the hits (paper §VI)
+};
+
+[[nodiscard]] constexpr const char* to_string(ComputeKernel kernel) {
+  switch (kernel) {
+    case ComputeKernel::kFill:
+      return "fill";
+    case ComputeKernel::kCopy:
+      return "copy";
+    case ComputeKernel::kCachedFill:
+      return "cached-fill";
+  }
+  return "unknown";
+}
+
+/// Memory traffic of one kernel relative to the fill kernel's stores
+/// (before any LLC filtering — see SimMachine::llc_hit_fraction).
+[[nodiscard]] constexpr double kernel_traffic_factor(ComputeKernel kernel) {
+  // A streaming copy reads one array and writes another: close to twice
+  // the fill kernel's memory-system traffic per element, minus some
+  // read/write turnaround overhead on real controllers.
+  return kernel == ComputeKernel::kCopy ? 1.9 : 1.0;
+}
+
+class SimMachine {
+ public:
+  explicit SimMachine(
+      topo::PlatformSpec spec,
+      ArbitrationPolicy policy = ArbitrationPolicy::kCpuPriorityWithFloor);
+
+  [[nodiscard]] ArbitrationPolicy policy() const { return policy_; }
+
+  [[nodiscard]] const topo::PlatformSpec& spec() const { return spec_; }
+  [[nodiscard]] const topo::Machine& machine() const {
+    return spec_.machine;
+  }
+
+  /// Cores available for the benchmark sweep (first socket, minus the core
+  /// dedicated to communication progression, mirroring the paper's setup).
+  [[nodiscard]] std::size_t max_computing_cores() const;
+
+  /// Message size used for communication measurements (paper: 64 MiB).
+  [[nodiscard]] std::uint64_t message_bytes() const { return message_bytes_; }
+  void set_message_bytes(std::uint64_t bytes);
+
+  /// Simulated duration of each measurement phase.
+  void set_phase_duration(Seconds duration);
+
+  /// Select which "run" of the benchmark this is: measurements are
+  /// deterministic per (platform seed, run index, coordinate), so distinct
+  /// run indices see independent jitter — used to average repetitions.
+  [[nodiscard]] unsigned run_index() const { return run_index_; }
+  void set_run_index(unsigned run) { run_index_ = run; }
+
+  /// Communication pattern (default: receive-only, as in the paper).
+  [[nodiscard]] CommPattern comm_pattern() const { return comm_pattern_; }
+  void set_comm_pattern(CommPattern pattern) { comm_pattern_ = pattern; }
+
+  /// Compute kernel (default: non-temporal fill, as in the paper).
+  [[nodiscard]] ComputeKernel compute_kernel() const {
+    return compute_kernel_;
+  }
+  void set_compute_kernel(ComputeKernel kernel) { compute_kernel_ = kernel; }
+
+  /// Per-core working set of the compute kernel (weak scaling; only
+  /// affects the cached kernel's LLC behaviour).
+  [[nodiscard]] std::uint64_t working_set_bytes() const {
+    return working_set_bytes_;
+  }
+  void set_working_set_bytes(std::uint64_t bytes);
+
+  /// Fraction of the cached kernel's accesses absorbed by the LLC when
+  /// `active_cores` cores each stream over their working set: the shared
+  /// cache covers llc_bytes of the aggregate footprint. 0 for the
+  /// non-temporal kernels (they bypass the cache, paper §II-C).
+  [[nodiscard]] double llc_hit_fraction(std::size_t active_cores) const;
+
+  // -- stream construction (shared with the network layer) -----------------
+  /// Stream of one compute core on socket 0 writing to `data`, when
+  /// `active_cores` cores compute in total (per-core demand shrinks with
+  /// the platform's scaling curvature).
+  [[nodiscard]] StreamSpec compute_stream(std::size_t active_cores,
+                                          topo::NumaId data) const;
+  /// DMA stream of the (single) NIC into buffers on `data`.
+  [[nodiscard]] StreamSpec dma_stream(topo::NumaId data) const;
+  /// Send-direction DMA stream out of buffers on `data` (bidirectional
+  /// pattern): shares only the memory-side links with the receive stream.
+  [[nodiscard]] StreamSpec dma_send_stream(topo::NumaId data) const;
+
+  // -- the three benchmark phases ------------------------------------------
+  /// Aggregate memory bandwidth of `n` cores computing alone on `comp`.
+  [[nodiscard]] Bandwidth measure_compute_alone(std::size_t n,
+                                                topo::NumaId comp);
+  /// Network bandwidth receiving back-to-back messages into `comm`.
+  [[nodiscard]] Bandwidth measure_comm_alone(topo::NumaId comm);
+  /// Both at once.
+  [[nodiscard]] ParallelMeasurement measure_parallel(std::size_t n,
+                                                     topo::NumaId comp,
+                                                     topo::NumaId comm);
+
+  // -- noise-free steady-state rates (tests, analysis) ----------------------
+  [[nodiscard]] Bandwidth steady_compute_alone(std::size_t n,
+                                               topo::NumaId comp) const;
+  [[nodiscard]] Bandwidth steady_comm_alone(topo::NumaId comm) const;
+  [[nodiscard]] ParallelMeasurement steady_parallel(std::size_t n,
+                                                    topo::NumaId comp,
+                                                    topo::NumaId comm) const;
+
+ private:
+  /// Run the engine-based measurement common to all phases.
+  [[nodiscard]] ParallelMeasurement run_phase(std::size_t n,
+                                              topo::NumaId comp,
+                                              topo::NumaId comm,
+                                              bool with_compute,
+                                              bool with_comm) const;
+  /// Deterministic multiplicative jitter for one measurement coordinate.
+  [[nodiscard]] double jitter(const char* phase, std::size_t n,
+                              topo::NumaId comp, topo::NumaId comm,
+                              double sigma) const;
+
+  topo::PlatformSpec spec_;
+  ArbitrationPolicy policy_ = ArbitrationPolicy::kCpuPriorityWithFloor;
+  std::uint64_t message_bytes_ = 64ull * kMiB;
+  Seconds phase_duration_{0.2};
+  unsigned run_index_ = 0;
+  CommPattern comm_pattern_ = CommPattern::kReceiveOnly;
+  ComputeKernel compute_kernel_ = ComputeKernel::kFill;
+  std::uint64_t working_set_bytes_ = 64ull * kMiB;
+};
+
+}  // namespace mcm::sim

@@ -1,0 +1,47 @@
+// Memory streams: the unit of traffic the simulator arbitrates.
+//
+// A stream is a steady flow of memory requests with a nominal demand (the
+// rate it would achieve on an idle machine) crossing an ordered list of
+// shared links. CPU streams come from compute cores (non-temporal stores in
+// the paper's benchmark); DMA streams come from NIC DMA engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/ids.hpp"
+#include "util/units.hpp"
+
+namespace mcm::sim {
+
+/// Priority class of a stream. The arbiter gives kCpu requests priority
+/// over kDma, while guaranteeing kDma a per-link minimum (paper §II-A).
+enum class StreamClass : std::uint8_t {
+  kCpu,
+  kDma,
+};
+
+[[nodiscard]] constexpr const char* to_string(StreamClass cls) {
+  return cls == StreamClass::kCpu ? "cpu" : "dma";
+}
+
+/// Description of one stream submitted to the arbiter.
+struct StreamSpec {
+  StreamClass cls = StreamClass::kCpu;
+  /// Rate the issuer would sustain without any contention.
+  Bandwidth demand;
+  /// Shared links crossed, in traversal order (from topo::Machine::cpu_path
+  /// or dma_path).
+  std::vector<topo::LinkId> path;
+  /// Socket the issuer sits on: the core's socket for CPU streams, the
+  /// NIC's socket for DMA streams. Used for ambient host-socket coupling
+  /// (see topo::ContentionSpec::ambient_cpu_knee).
+  topo::SocketId source_socket = topo::SocketId::invalid();
+  /// How many "ambient core units" this CPU stream contributes to
+  /// host-socket coupling: 1.0 for a nominal memory-bound core, less when
+  /// the kernel's traffic mostly hits the LLC, more for kernels that move
+  /// extra traffic. Ignored for DMA streams.
+  double ambient_weight = 1.0;
+};
+
+}  // namespace mcm::sim

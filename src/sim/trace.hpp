@@ -1,0 +1,70 @@
+// Optional event trace of an Engine run, used by tests and for debugging
+// simulated schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mcm::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kTransferStarted,
+  kTransferCompleted,
+  kTransferStopped,
+  kRatesRecomputed,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kTransferStarted:
+      return "started";
+    case TraceEventKind::kTransferCompleted:
+      return "completed";
+    case TraceEventKind::kTransferStopped:
+      return "stopped";
+    case TraceEventKind::kRatesRecomputed:
+      return "rates-recomputed";
+  }
+  return "unknown";
+}
+
+struct TraceEvent {
+  Seconds time;
+  TraceEventKind kind = TraceEventKind::kRatesRecomputed;
+  std::uint64_t transfer = 0;  ///< 0 for events without a transfer
+};
+
+/// Append-only trace. Disabled by default; enabling costs one branch per
+/// event.
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Seconds time, TraceEventKind kind, std::uint64_t transfer) {
+    if (enabled_) events_.push_back(TraceEvent{time, kind, transfer});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// Number of events of one kind (test helper).
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const {
+    std::size_t n = 0;
+    for (const TraceEvent& e : events_) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mcm::sim

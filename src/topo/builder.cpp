@@ -1,0 +1,227 @@
+#include "topo/builder.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mcm::topo {
+
+TopologyBuilder& TopologyBuilder::add_sockets(std::size_t count,
+                                              std::size_t cores_per_socket) {
+  MCM_EXPECTS(socket_count_ == 0);
+  MCM_EXPECTS(count > 0 && cores_per_socket > 0);
+  socket_count_ = count;
+  cores_per_socket_ = cores_per_socket;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_numa_per_socket(
+    std::size_t count, Bandwidth controller_capacity,
+    const ContentionSpec& contention) {
+  MCM_EXPECTS(socket_count_ > 0);
+  MCM_EXPECTS(numa_per_socket_ == 0);
+  MCM_EXPECTS(count > 0);
+  MCM_EXPECTS(controller_capacity.bps() > 0.0);
+  numa_per_socket_ = count;
+  controller_capacity_ = controller_capacity;
+  controller_contention_ = contention;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_remote_port_capacity(
+    Bandwidth capacity, const ContentionSpec& contention) {
+  MCM_EXPECTS(capacity.bps() > 0.0);
+  remote_port_capacity_ = capacity;
+  remote_port_contention_ = contention;
+  has_remote_port_ = true;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_inter_socket_capacity(
+    Bandwidth capacity, const ContentionSpec& contention) {
+  MCM_EXPECTS(capacity.bps() > 0.0);
+  inter_socket_capacity_ = capacity;
+  inter_socket_contention_ = contention;
+  has_inter_socket_ = true;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_inter_socket_capacity_between(
+    SocketId a, SocketId b, Bandwidth capacity,
+    const ContentionSpec& contention) {
+  MCM_EXPECTS(has_inter_socket_);
+  MCM_EXPECTS(a != b);
+  MCM_EXPECTS(a.value() < socket_count_ && b.value() < socket_count_);
+  MCM_EXPECTS(capacity.bps() > 0.0);
+  inter_socket_overrides_.push_back(PairOverride{a, b, capacity, contention});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_remote_port_capacity_of(
+    NumaId numa, Bandwidth capacity, const ContentionSpec& contention) {
+  MCM_EXPECTS(has_remote_port_);
+  MCM_EXPECTS(numa.value() < socket_count_ * numa_per_socket_);
+  MCM_EXPECTS(capacity.bps() > 0.0);
+  remote_port_overrides_.push_back(PortOverride{numa, capacity, contention});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_nic(std::string name, SocketId socket,
+                                          Bandwidth wire_bandwidth,
+                                          Bandwidth pcie_capacity) {
+  MCM_EXPECTS(socket_count_ > 0);
+  MCM_EXPECTS(socket.value() < socket_count_);
+  MCM_EXPECTS(wire_bandwidth.bps() > 0.0 && pcie_capacity.bps() > 0.0);
+  NicDecl decl;
+  decl.name = std::move(name);
+  decl.socket = socket;
+  decl.wire_bandwidth = wire_bandwidth;
+  decl.pcie_capacity = pcie_capacity;
+  nics_.push_back(std::move(decl));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_nic_host_coupling(NicId nic,
+                                                        double cpu_knee,
+                                                        Bandwidth degradation,
+                                                        Bandwidth floor) {
+  MCM_EXPECTS(nic.value() < nics_.size());
+  MCM_EXPECTS(cpu_knee >= 0.0);
+  MCM_EXPECTS(degradation.bps() >= 0.0);
+  MCM_EXPECTS(floor.bps() >= 0.0);
+  nics_[nic.value()].coupling_knee = cpu_knee;
+  nics_[nic.value()].coupling_degradation = degradation;
+  nics_[nic.value()].coupling_floor = floor;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::set_nic_dma_efficiency(NicId nic,
+                                                         NumaId numa,
+                                                         double factor) {
+  MCM_EXPECTS(nic.value() < nics_.size());
+  MCM_EXPECTS(factor > 0.0 && factor <= 1.0);
+  nics_[nic.value()].efficiency_overrides.emplace_back(numa, factor);
+  return *this;
+}
+
+Machine TopologyBuilder::build() const {
+  MCM_EXPECTS(socket_count_ > 0);
+  MCM_EXPECTS(numa_per_socket_ > 0);
+  MCM_EXPECTS(socket_count_ == 1 || (has_inter_socket_ && has_remote_port_));
+
+  Machine m;
+
+  // Sockets and cores. Core ids are dense: socket 0's cores first.
+  for (std::size_t s = 0; s < socket_count_; ++s) {
+    Socket sock;
+    sock.id = SocketId(static_cast<std::uint32_t>(s));
+    for (std::size_t c = 0; c < cores_per_socket_; ++c) {
+      const CoreId id(
+          static_cast<std::uint32_t>(s * cores_per_socket_ + c));
+      m.cores_.push_back(Core{id, sock.id});
+      sock.cores.push_back(id);
+    }
+    m.sockets_.push_back(std::move(sock));
+  }
+
+  // NUMA nodes and their memory-controller links. NUMA ids are dense per
+  // socket: nodes 0..#m-1 on socket 0, then socket 1, etc. — matching the
+  // paper's numbering where "the first NUMA node of the second socket" is
+  // node #m.
+  // When the machine has a single socket the remote port is never on any
+  // path; synthesize a wide no-op spec so that the topology stays uniform.
+  const Bandwidth port_capacity = has_remote_port_
+                                      ? remote_port_capacity_
+                                      : controller_capacity_;
+  const ContentionSpec port_contention =
+      has_remote_port_ ? remote_port_contention_ : ContentionSpec{};
+  for (std::size_t s = 0; s < socket_count_; ++s) {
+    for (std::size_t n = 0; n < numa_per_socket_; ++n) {
+      const NumaId numa_id(
+          static_cast<std::uint32_t>(s * numa_per_socket_ + n));
+      const LinkId link_id(static_cast<std::uint32_t>(m.links_.size()));
+      m.links_.push_back(Link{link_id,
+                              "mc" + std::to_string(numa_id.value()),
+                              LinkKind::kMemoryController,
+                              controller_capacity_, controller_contention_});
+      const LinkId port_id(static_cast<std::uint32_t>(m.links_.size()));
+      m.links_.push_back(Link{port_id,
+                              "rport" + std::to_string(numa_id.value()),
+                              LinkKind::kRemotePort, port_capacity,
+                              port_contention});
+      m.numa_nodes_.push_back(
+          NumaNode{numa_id, SocketId(static_cast<std::uint32_t>(s)),
+                   link_id, port_id});
+      m.sockets_[s].numa_nodes.push_back(numa_id);
+    }
+  }
+
+  // Remote-port overrides (far sockets served by slower queues).
+  for (const PortOverride& override_spec : remote_port_overrides_) {
+    const LinkId port_id =
+        m.numa_nodes_[override_spec.numa.value()].remote_port;
+    m.links_[port_id.value()].capacity = override_spec.capacity;
+    m.links_[port_id.value()].contention = override_spec.contention;
+  }
+
+  // Inter-socket links: one per unordered socket pair.
+  m.inter_socket_.assign(socket_count_,
+                         std::vector<LinkId>(socket_count_));
+  for (std::size_t a = 0; a < socket_count_; ++a) {
+    for (std::size_t b = a + 1; b < socket_count_; ++b) {
+      const LinkId link_id(static_cast<std::uint32_t>(m.links_.size()));
+      Bandwidth capacity = inter_socket_capacity_;
+      ContentionSpec contention = inter_socket_contention_;
+      for (const PairOverride& override_spec : inter_socket_overrides_) {
+        const auto lo = std::min(override_spec.a, override_spec.b).value();
+        const auto hi = std::max(override_spec.a, override_spec.b).value();
+        if (lo == a && hi == b) {
+          capacity = override_spec.capacity;
+          contention = override_spec.contention;
+        }
+      }
+      m.links_.push_back(Link{
+          link_id, "smp" + std::to_string(a) + "-" + std::to_string(b),
+          LinkKind::kInterSocket, capacity, contention});
+      m.inter_socket_[a][b] = link_id;
+      m.inter_socket_[b][a] = link_id;
+    }
+  }
+
+  // NICs.
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    const NicDecl& decl = nics_[i];
+    const LinkId pcie_id(static_cast<std::uint32_t>(m.links_.size()));
+    // PCIe links are point-to-point (no path-based degradation) but may be
+    // coupled to the host socket's compute activity.
+    ContentionSpec pcie_spec;
+    pcie_spec.ambient_cpu_knee = decl.coupling_knee;
+    pcie_spec.ambient_cpu_degradation = decl.coupling_degradation;
+    pcie_spec.dma_floor = decl.coupling_floor;
+    Link pcie_link{pcie_id, "pcie-" + decl.name, LinkKind::kPcie,
+                   decl.pcie_capacity, pcie_spec, SocketId::invalid()};
+    if (decl.coupling_degradation.bps() > 0.0) {
+      pcie_link.ambient_socket = decl.socket;
+    }
+    m.links_.push_back(std::move(pcie_link));
+    Nic nic;
+    nic.id = NicId(static_cast<std::uint32_t>(i));
+    nic.name = decl.name;
+    nic.socket = decl.socket;
+    nic.near_numa = NumaId(static_cast<std::uint32_t>(
+        decl.socket.value() * numa_per_socket_));
+    nic.pcie = pcie_id;
+    nic.wire_bandwidth = decl.wire_bandwidth;
+    nic.dma_efficiency.assign(m.numa_nodes_.size(), 1.0);
+    for (const auto& [numa, factor] : decl.efficiency_overrides) {
+      MCM_EXPECTS(numa.value() < nic.dma_efficiency.size());
+      nic.dma_efficiency[numa.value()] = factor;
+    }
+    m.nics_.push_back(std::move(nic));
+  }
+
+  m.validate();
+  return m;
+}
+
+}  // namespace mcm::topo

@@ -1,0 +1,122 @@
+// Fluent builder for Machine descriptions.
+//
+// Typical use (a dual-socket machine with one NUMA node per socket and one
+// InfiniBand NIC behind socket 0):
+//
+//   TopologyBuilder b;
+//   b.add_sockets(/*count=*/2, /*cores_per_socket=*/18);
+//   b.add_numa_per_socket(/*count=*/1, /*controller_capacity=*/
+//                         Bandwidth::gb_per_s(100), contention);
+//   b.set_inter_socket_capacity(Bandwidth::gb_per_s(40), upi_contention);
+//   b.add_nic("mlx5_0", SocketId(0), Bandwidth::gb_per_s(12), pcie_cap);
+//   Machine m = b.build();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace mcm::topo {
+
+class TopologyBuilder {
+ public:
+  /// Declare `count` identical sockets with `cores_per_socket` cores each.
+  /// Must be called exactly once, before any other call.
+  TopologyBuilder& add_sockets(std::size_t count,
+                               std::size_t cores_per_socket);
+
+  /// Give every socket `count` NUMA nodes whose memory controllers have the
+  /// given capacity and contention behaviour. Must be called exactly once.
+  TopologyBuilder& add_numa_per_socket(std::size_t count,
+                                       Bandwidth controller_capacity,
+                                       const ContentionSpec& contention);
+
+  /// Set capacity/behaviour of every controller's remote-request port (the
+  /// queue serving off-socket requestors). Required when there are at least
+  /// two sockets.
+  TopologyBuilder& set_remote_port_capacity(Bandwidth capacity,
+                                            const ContentionSpec& contention);
+
+  /// Set capacity/behaviour of every inter-socket link (one per socket
+  /// pair). Required when there are at least two sockets.
+  TopologyBuilder& set_inter_socket_capacity(
+      Bandwidth capacity, const ContentionSpec& contention);
+
+  /// Override one socket pair's link (e.g. a ring interconnect where
+  /// non-adjacent sockets see less bandwidth). Call after the global
+  /// set_inter_socket_capacity.
+  TopologyBuilder& set_inter_socket_capacity_between(
+      SocketId a, SocketId b, Bandwidth capacity,
+      const ContentionSpec& contention);
+
+  /// Override one NUMA node's remote-port characteristics (e.g. far
+  /// sockets served by a slower queue). Call after add_numa_per_socket and
+  /// set_remote_port_capacity.
+  TopologyBuilder& set_remote_port_capacity_of(
+      NumaId numa, Bandwidth capacity, const ContentionSpec& contention);
+
+  /// Attach a NIC behind `socket`, nearest to that socket's first NUMA node,
+  /// with the given wire bandwidth and a dedicated PCIe link of
+  /// `pcie_capacity`. DMA efficiency defaults to 1.0 everywhere; adjust with
+  /// `set_nic_dma_efficiency`.
+  TopologyBuilder& add_nic(std::string name, SocketId socket,
+                           Bandwidth wire_bandwidth, Bandwidth pcie_capacity);
+
+  /// Override the NIC's nominal DMA efficiency for one NUMA node
+  /// (0 < factor <= 1). Call after `add_nic`.
+  TopologyBuilder& set_nic_dma_efficiency(NicId nic, NumaId numa,
+                                          double factor);
+
+  /// Couple the NIC's PCIe ingress to its host socket's compute activity:
+  /// once more than `cpu_knee` cores stream on the NIC's socket, the PCIe
+  /// link loses `degradation` of effective capacity per extra core (but
+  /// never drops below `floor`). Models cores outranking IIO traffic on
+  /// the socket fabric. Call after `add_nic`.
+  TopologyBuilder& set_nic_host_coupling(NicId nic, double cpu_knee,
+                                         Bandwidth degradation,
+                                         Bandwidth floor);
+
+  /// Finalize. The returned machine has been validated.
+  [[nodiscard]] Machine build() const;
+
+ private:
+  struct NicDecl {
+    std::string name;
+    SocketId socket;
+    Bandwidth wire_bandwidth;
+    Bandwidth pcie_capacity;
+    std::vector<std::pair<NumaId, double>> efficiency_overrides;
+    double coupling_knee = 1e9;
+    Bandwidth coupling_degradation;
+    Bandwidth coupling_floor;
+  };
+
+  std::size_t socket_count_ = 0;
+  std::size_t cores_per_socket_ = 0;
+  std::size_t numa_per_socket_ = 0;
+  Bandwidth controller_capacity_;
+  ContentionSpec controller_contention_;
+  Bandwidth remote_port_capacity_;
+  ContentionSpec remote_port_contention_;
+  bool has_remote_port_ = false;
+  Bandwidth inter_socket_capacity_;
+  ContentionSpec inter_socket_contention_;
+  bool has_inter_socket_ = false;
+  struct PairOverride {
+    SocketId a;
+    SocketId b;
+    Bandwidth capacity;
+    ContentionSpec contention;
+  };
+  std::vector<PairOverride> inter_socket_overrides_;
+  struct PortOverride {
+    NumaId numa;
+    Bandwidth capacity;
+    ContentionSpec contention;
+  };
+  std::vector<PortOverride> remote_port_overrides_;
+  std::vector<NicDecl> nics_;
+};
+
+}  // namespace mcm::topo

@@ -1,0 +1,54 @@
+#include "topo/distance.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcm::topo {
+
+namespace {
+constexpr unsigned kSelf = 10;
+constexpr unsigned kSameSocket = 12;
+constexpr unsigned kCrossSocket = 21;
+}  // namespace
+
+DistanceMatrix::DistanceMatrix(const Machine& machine)
+    : size_(machine.numa_count()), values_(size_ * size_, kSelf) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const SocketId si =
+        machine.socket_of_numa(NumaId(static_cast<std::uint32_t>(i)));
+    for (std::size_t j = 0; j < size_; ++j) {
+      const SocketId sj =
+          machine.socket_of_numa(NumaId(static_cast<std::uint32_t>(j)));
+      unsigned d = kSelf;
+      if (i != j) d = (si == sj) ? kSameSocket : kCrossSocket;
+      values_[i * size_ + j] = d;
+    }
+  }
+}
+
+unsigned DistanceMatrix::at(NumaId from, NumaId to) const {
+  MCM_EXPECTS(from.value() < size_ && to.value() < size_);
+  return values_[from.value() * size_ + to.value()];
+}
+
+bool DistanceMatrix::is_local(NumaId from, NumaId to) const {
+  return at(from, to) < kCrossSocket;
+}
+
+NumaId DistanceMatrix::nearest_other(NumaId from) const {
+  MCM_EXPECTS(size_ >= 2);
+  NumaId best = NumaId::invalid();
+  unsigned best_distance = ~0u;
+  for (std::size_t j = 0; j < size_; ++j) {
+    if (j == from.value()) continue;
+    const NumaId candidate(static_cast<std::uint32_t>(j));
+    const unsigned d = at(from, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  MCM_ENSURES(best.is_valid());
+  return best;
+}
+
+}  // namespace mcm::topo

@@ -1,0 +1,35 @@
+// NUMA distance matrix in the style of ACPI SLIT / `numactl --hardware`:
+// 10 for a node's own memory, larger values for remote memory. Derived
+// purely from the machine structure; used by examples and the placement
+// advisor to rank candidate placements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace mcm::topo {
+
+class DistanceMatrix {
+ public:
+  /// Build from machine structure: 10 on the diagonal, 12 between NUMA
+  /// nodes sharing a socket, 21 across sockets (typical SLIT values).
+  explicit DistanceMatrix(const Machine& machine);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] unsigned at(NumaId from, NumaId to) const;
+
+  /// True when accessing `to` from a core on `from`'s socket is local.
+  [[nodiscard]] bool is_local(NumaId from, NumaId to) const;
+
+  /// Nearest NUMA node to `from` other than itself (lowest distance; ties
+  /// broken towards lower id).
+  [[nodiscard]] NumaId nearest_other(NumaId from) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<unsigned> values_;  ///< row-major size_ x size_
+};
+
+}  // namespace mcm::topo

@@ -1,0 +1,49 @@
+// Strongly typed identifiers for topology objects. Using distinct types for
+// socket/core/NUMA/link/NIC indices prevents the classic bug of passing a
+// core index where a NUMA index is expected — which in this code base would
+// silently pick the wrong contention path.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mcm::topo {
+
+/// Generic strongly typed index. `Tag` only differentiates the type.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] static constexpr Id invalid() {
+    return Id(std::numeric_limits<std::uint32_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_valid() const {
+    return value_ != std::numeric_limits<std::uint32_t>::max();
+  }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  std::uint32_t value_ = std::numeric_limits<std::uint32_t>::max();
+};
+
+using SocketId = Id<struct SocketTag>;
+using CoreId = Id<struct CoreTag>;
+using NumaId = Id<struct NumaTag>;
+using LinkId = Id<struct LinkTag>;
+using NicId = Id<struct NicTag>;
+
+}  // namespace mcm::topo
+
+template <typename Tag>
+struct std::hash<mcm::topo::Id<Tag>> {
+  std::size_t operator()(mcm::topo::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

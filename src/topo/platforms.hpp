@@ -1,0 +1,89 @@
+// The six testbed platforms of the paper's Table I, recreated as synthetic
+// hardware profiles for the simulator.
+//
+// The structural facts (socket/core/NUMA counts, network technology, NIC
+// placement) follow Table I and the per-platform discussion in §IV-B. The
+// quantitative knobs (controller capacities, per-core stream bandwidth, DMA
+// floors, degradation slopes, noise levels) are chosen so that each platform
+// reproduces the qualitative behaviour the paper reports for it:
+//
+//  * henri         — clear contention, both streams impacted (Fig. 3)
+//  * henri-subnuma — same machine split into 4 NUMA nodes; contention only
+//                    on the placement diagonal (Fig. 4)
+//  * dahu          — Intel + Omni-Path variant of the same story (Fig. 8)
+//  * diablo        — AMD; NIC strongly NUMA-sensitive (22.4 vs 12.1 GB/s);
+//                    almost no contention (Fig. 5)
+//  * pyxis         — ARM; unstable network, cross-node coupling the model
+//                    cannot see, imperfect compute scaling (Fig. 7)
+//  * occigen       — older Intel; only computations are impacted, and only
+//                    for remote accesses; most accurate platform (Fig. 6)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace mcm::topo {
+
+/// Per-core memory traffic characteristics of the compute benchmark kernel
+/// (non-temporal stores) on a given platform.
+struct ComputeProfile {
+  /// Stream demand of one core writing to a NUMA node of its own socket.
+  Bandwidth per_core_local;
+  /// Stream demand of one core writing across the inter-socket link.
+  Bandwidth per_core_remote;
+  /// Relative per-core demand loss per additional active core, modelling
+  /// platforms whose cores do not scale linearly even before the memory
+  /// system saturates (pyxis). 0 disables.
+  double scaling_curvature = 0.0;
+  /// Shared last-level cache size. Irrelevant for the paper's non-temporal
+  /// kernels (which bypass it, §II-C); used by the cached-kernel extension.
+  std::uint64_t llc_bytes = 0;
+};
+
+/// Measurement-variability and platform-quirk model.
+struct NoiseProfile {
+  /// Relative std-dev of compute bandwidth measurements.
+  double compute_sigma = 0.0;
+  /// Relative std-dev of network bandwidth measurements.
+  double comm_sigma = 0.0;
+  /// pyxis-style quirk: fraction of DMA bandwidth lost to ring interference
+  /// when compute streams are active on a *different* NUMA node than the
+  /// communication buffers. The paper's model has no term for this — it is
+  /// precisely what drives pyxis' 13 % non-sample communication error.
+  double cross_numa_dma_penalty = 0.0;
+};
+
+/// A complete platform: structure + quantitative behaviour + Table I
+/// metadata strings.
+struct PlatformSpec {
+  std::string name;
+  std::string processor;  ///< Table I "Processor" column
+  std::string memory;     ///< Table I "Memory" column
+  std::string network;    ///< Table I "Network" column
+  Machine machine;
+  ComputeProfile compute;
+  NoiseProfile noise;
+  std::uint64_t seed = 0;  ///< base seed for deterministic jitter
+};
+
+[[nodiscard]] PlatformSpec make_henri();
+[[nodiscard]] PlatformSpec make_henri_subnuma();
+[[nodiscard]] PlatformSpec make_dahu();
+[[nodiscard]] PlatformSpec make_diablo();
+[[nodiscard]] PlatformSpec make_pyxis();
+[[nodiscard]] PlatformSpec make_occigen();
+/// Hypothetical 4-socket ring machine demonstrating the paper's stated
+/// model limitation on machines with many NUMA nodes (§IV-C-1). Not part
+/// of Table I / platform_names().
+[[nodiscard]] PlatformSpec make_tetra();
+
+/// Names of the Table-I presets, in the paper's order (excludes tetra).
+[[nodiscard]] std::vector<std::string> platform_names();
+
+/// Lookup by name; throws ContractViolation for unknown names.
+[[nodiscard]] PlatformSpec make_platform(const std::string& name);
+
+}  // namespace mcm::topo

@@ -1,0 +1,93 @@
+#include "topo/render.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcm::topo {
+
+namespace {
+
+[[nodiscard]] std::string describe_contention(const ContentionSpec& spec) {
+  std::string out;
+  if (spec.dma_floor.bps() > 0.0) {
+    out += ", dma floor " + format_fixed(spec.dma_floor.gb(), 1) + " GB/s";
+  }
+  if (spec.degradation_per_requestor.bps() > 0.0 &&
+      spec.requestor_knee < 1e8) {
+    out += ", knee " + format_fixed(spec.requestor_knee, 0) +
+           " requestors, -" +
+           format_fixed(spec.degradation_per_requestor.gb(), 2) +
+           " GB/s/req";
+  }
+  if (spec.dma_soft_start < 1.0) {
+    out += ", dma soft-throttle from " +
+           format_fixed(100.0 * spec.dma_soft_start, 0) + " % load";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_platform(const PlatformSpec& spec) {
+  const Machine& m = spec.machine;
+  std::ostringstream out;
+  out << "platform " << spec.name << "\n"
+      << "  processor: " << spec.processor << "\n"
+      << "  memory:    " << spec.memory << "\n"
+      << "  network:   " << spec.network << "\n";
+
+  for (const Socket& socket : m.sockets()) {
+    out << "  socket " << socket.id.value() << "\n";
+    out << "    cores " << socket.cores.front().value() << "-"
+        << socket.cores.back().value() << "\n";
+    for (NumaId numa_id : socket.numa_nodes) {
+      const Link& mc = m.link(m.controller_of(numa_id));
+      const Link& port = m.link(m.remote_port_of(numa_id));
+      out << "    numa node " << numa_id.value() << ": controller "
+          << format_fixed(mc.capacity.gb(), 1) << " GB/s"
+          << describe_contention(mc.contention) << "\n";
+      out << "      remote port " << format_fixed(port.capacity.gb(), 1)
+          << " GB/s" << describe_contention(port.contention) << "\n";
+    }
+    for (const Nic& nic : m.nics()) {
+      if (nic.socket != socket.id) continue;
+      const Link& pcie = m.link(nic.pcie);
+      out << "    nic " << nic.name << ": wire "
+          << format_fixed(nic.wire_bandwidth.gb(), 1) << " GB/s, pcie "
+          << format_fixed(pcie.capacity.gb(), 1) << " GB/s"
+          << describe_contention(pcie.contention) << "\n";
+      out << "      dma efficiency per numa node:";
+      for (double e : nic.dma_efficiency) {
+        out << " " << format_fixed(e, 2);
+      }
+      out << "\n";
+    }
+  }
+  if (m.socket_count() > 1) {
+    const Link& bus = m.link(m.inter_socket_link(SocketId(0), SocketId(1)));
+    out << "  inter-socket bus: " << format_fixed(bus.capacity.gb(), 1)
+        << " GB/s" << describe_contention(bus.contention) << "\n";
+  }
+  out << "  compute kernel: "
+      << format_fixed(spec.compute.per_core_local.gb(), 2)
+      << " GB/s/core local, "
+      << format_fixed(spec.compute.per_core_remote.gb(), 2) << " remote";
+  if (spec.compute.scaling_curvature > 0.0) {
+    out << ", scaling curvature "
+        << format_fixed(spec.compute.scaling_curvature, 4);
+  }
+  out << "\n  noise: compute sigma "
+      << format_fixed(100.0 * spec.noise.compute_sigma, 2)
+      << " %, network sigma "
+      << format_fixed(100.0 * spec.noise.comm_sigma, 2) << " %";
+  if (spec.noise.cross_numa_dma_penalty > 0.0) {
+    out << ", cross-numa dma penalty "
+        << format_fixed(100.0 * spec.noise.cross_numa_dma_penalty, 0)
+        << " %";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace mcm::topo

@@ -1,0 +1,14 @@
+// Human-readable rendering of a platform description (lstopo-style tree),
+// used by the mcmtool CLI's `describe` command.
+#pragma once
+
+#include <string>
+
+#include "topo/platforms.hpp"
+
+namespace mcm::topo {
+
+/// Multi-line ASCII tree of the machine plus the behavioural profiles.
+[[nodiscard]] std::string render_platform(const PlatformSpec& spec);
+
+}  // namespace mcm::topo

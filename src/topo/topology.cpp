@@ -1,0 +1,232 @@
+#include "topo/topology.hpp"
+
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace mcm::topo {
+
+const char* to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kMemoryController:
+      return "memory-controller";
+    case LinkKind::kRemotePort:
+      return "remote-port";
+    case LinkKind::kInterSocket:
+      return "inter-socket";
+    case LinkKind::kPcie:
+      return "pcie";
+  }
+  return "unknown";
+}
+
+const Socket& Machine::socket(SocketId id) const {
+  MCM_EXPECTS(id.is_valid() && id.value() < sockets_.size());
+  return sockets_[id.value()];
+}
+
+const Core& Machine::core(CoreId id) const {
+  MCM_EXPECTS(id.is_valid() && id.value() < cores_.size());
+  return cores_[id.value()];
+}
+
+const NumaNode& Machine::numa(NumaId id) const {
+  MCM_EXPECTS(id.is_valid() && id.value() < numa_nodes_.size());
+  return numa_nodes_[id.value()];
+}
+
+const Link& Machine::link(LinkId id) const {
+  MCM_EXPECTS(id.is_valid() && id.value() < links_.size());
+  return links_[id.value()];
+}
+
+const Nic& Machine::nic(NicId id) const {
+  MCM_EXPECTS(id.is_valid() && id.value() < nics_.size());
+  return nics_[id.value()];
+}
+
+std::size_t Machine::cores_per_socket() const {
+  MCM_EXPECTS(!sockets_.empty());
+  return sockets_.front().cores.size();
+}
+
+std::size_t Machine::numa_per_socket() const {
+  MCM_EXPECTS(!sockets_.empty());
+  return sockets_.front().numa_nodes.size();
+}
+
+SocketId Machine::socket_of_core(CoreId id) const { return core(id).socket; }
+
+SocketId Machine::socket_of_numa(NumaId id) const { return numa(id).socket; }
+
+bool Machine::is_local(SocketId socket, NumaId numa_id) const {
+  return socket_of_numa(numa_id) == socket;
+}
+
+NumaId Machine::first_numa_of(SocketId socket_id) const {
+  const Socket& s = socket(socket_id);
+  MCM_EXPECTS(!s.numa_nodes.empty());
+  NumaId lowest = s.numa_nodes.front();
+  for (NumaId m : s.numa_nodes) {
+    if (m < lowest) lowest = m;
+  }
+  return lowest;
+}
+
+LinkId Machine::inter_socket_link(SocketId a, SocketId b) const {
+  MCM_EXPECTS(a != b);
+  MCM_EXPECTS(a.value() < sockets_.size() && b.value() < sockets_.size());
+  const LinkId id = inter_socket_[a.value()][b.value()];
+  MCM_EXPECTS(id.is_valid());
+  return id;
+}
+
+LinkId Machine::controller_of(NumaId numa_id) const {
+  return numa(numa_id).controller;
+}
+
+LinkId Machine::remote_port_of(NumaId numa_id) const {
+  return numa(numa_id).remote_port;
+}
+
+std::vector<LinkId> Machine::cpu_path(SocketId from, NumaId numa_id) const {
+  std::vector<LinkId> path;
+  const SocketId target_socket = socket_of_numa(numa_id);
+  if (target_socket != from) {
+    path.push_back(inter_socket_link(from, target_socket));
+    path.push_back(remote_port_of(numa_id));
+  }
+  path.push_back(controller_of(numa_id));
+  return path;
+}
+
+std::vector<LinkId> Machine::dma_path(NicId nic_id, NumaId numa_id) const {
+  const Nic& n = nic(nic_id);
+  std::vector<LinkId> path;
+  path.push_back(n.pcie);
+  const SocketId target_socket = socket_of_numa(numa_id);
+  if (target_socket != n.socket) {
+    path.push_back(inter_socket_link(n.socket, target_socket));
+    path.push_back(remote_port_of(numa_id));
+  }
+  path.push_back(controller_of(numa_id));
+  return path;
+}
+
+std::vector<LinkId> Machine::dma_return_path(NicId nic_id,
+                                             NumaId numa_id) const {
+  const Nic& n = nic(nic_id);
+  std::vector<LinkId> path;
+  if (socket_of_numa(numa_id) != n.socket) {
+    path.push_back(remote_port_of(numa_id));
+  }
+  path.push_back(controller_of(numa_id));
+  return path;
+}
+
+Bandwidth Machine::nic_nominal_bandwidth(NicId nic_id, NumaId numa_id) const {
+  const Nic& n = nic(nic_id);
+  MCM_EXPECTS(numa_id.value() < n.dma_efficiency.size());
+  return n.wire_bandwidth * n.dma_efficiency[numa_id.value()];
+}
+
+void Machine::set_link_contention(LinkId id,
+                                  const ContentionSpec& contention) {
+  MCM_EXPECTS(id.is_valid() && id.value() < links_.size());
+  links_[id.value()].contention = contention;
+}
+
+void Machine::set_link_ambient_socket(LinkId id, SocketId socket) {
+  MCM_EXPECTS(id.is_valid() && id.value() < links_.size());
+  MCM_EXPECTS(!socket.is_valid() || socket.value() < sockets_.size());
+  links_[id.value()].ambient_socket = socket;
+}
+
+void Machine::validate() const {
+  MCM_EXPECTS(!sockets_.empty());
+  MCM_EXPECTS(!cores_.empty());
+  MCM_EXPECTS(!numa_nodes_.empty());
+
+  // Ids are positional.
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    MCM_EXPECTS(sockets_[i].id == SocketId(static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    MCM_EXPECTS(cores_[i].id == CoreId(static_cast<std::uint32_t>(i)));
+    MCM_EXPECTS(cores_[i].socket.value() < sockets_.size());
+  }
+  for (std::size_t i = 0; i < numa_nodes_.size(); ++i) {
+    MCM_EXPECTS(numa_nodes_[i].id == NumaId(static_cast<std::uint32_t>(i)));
+    MCM_EXPECTS(numa_nodes_[i].socket.value() < sockets_.size());
+    const LinkId ctrl = numa_nodes_[i].controller;
+    MCM_EXPECTS(ctrl.is_valid() && ctrl.value() < links_.size());
+    MCM_EXPECTS(links_[ctrl.value()].kind == LinkKind::kMemoryController);
+    const LinkId port = numa_nodes_[i].remote_port;
+    MCM_EXPECTS(port.is_valid() && port.value() < links_.size());
+    MCM_EXPECTS(links_[port.value()].kind == LinkKind::kRemotePort);
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    MCM_EXPECTS(links_[i].id == LinkId(static_cast<std::uint32_t>(i)));
+    MCM_EXPECTS(links_[i].capacity.bps() > 0.0);
+    MCM_EXPECTS(links_[i].contention.dma_floor.bps() >= 0.0);
+    MCM_EXPECTS(links_[i].contention.dma_requestor_weight >= 0.0);
+  }
+
+  // Uniform socket shapes (required by the paper's "#m" notation and by the
+  // benchmark sweep, which iterates over the first socket's cores).
+  const std::size_t cps = sockets_.front().cores.size();
+  const std::size_t nps = sockets_.front().numa_nodes.size();
+  MCM_EXPECTS(cps > 0 && nps > 0);
+  for (const Socket& s : sockets_) {
+    MCM_EXPECTS(s.cores.size() == cps);
+    MCM_EXPECTS(s.numa_nodes.size() == nps);
+    for (CoreId c : s.cores) MCM_EXPECTS(cores_[c.value()].socket == s.id);
+    for (NumaId m : s.numa_nodes) {
+      MCM_EXPECTS(numa_nodes_[m.value()].socket == s.id);
+    }
+  }
+
+  // Each core/NUMA appears in exactly one socket.
+  std::set<std::uint32_t> seen_cores;
+  std::set<std::uint32_t> seen_numa;
+  for (const Socket& s : sockets_) {
+    for (CoreId c : s.cores) MCM_EXPECTS(seen_cores.insert(c.value()).second);
+    for (NumaId m : s.numa_nodes) {
+      MCM_EXPECTS(seen_numa.insert(m.value()).second);
+    }
+  }
+  MCM_EXPECTS(seen_cores.size() == cores_.size());
+  MCM_EXPECTS(seen_numa.size() == numa_nodes_.size());
+
+  // Inter-socket link table is symmetric and complete.
+  MCM_EXPECTS(inter_socket_.size() == sockets_.size());
+  for (std::size_t a = 0; a < sockets_.size(); ++a) {
+    MCM_EXPECTS(inter_socket_[a].size() == sockets_.size());
+    for (std::size_t b = 0; b < sockets_.size(); ++b) {
+      if (a == b) {
+        MCM_EXPECTS(!inter_socket_[a][b].is_valid());
+        continue;
+      }
+      const LinkId id = inter_socket_[a][b];
+      MCM_EXPECTS(id.is_valid() && id.value() < links_.size());
+      MCM_EXPECTS(links_[id.value()].kind == LinkKind::kInterSocket);
+      MCM_EXPECTS(inter_socket_[b][a] == id);
+    }
+  }
+
+  // NICs.
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    const Nic& n = nics_[i];
+    MCM_EXPECTS(n.id == NicId(static_cast<std::uint32_t>(i)));
+    MCM_EXPECTS(n.socket.value() < sockets_.size());
+    MCM_EXPECTS(n.near_numa.value() < numa_nodes_.size());
+    MCM_EXPECTS(numa_nodes_[n.near_numa.value()].socket == n.socket);
+    MCM_EXPECTS(n.pcie.is_valid() && n.pcie.value() < links_.size());
+    MCM_EXPECTS(links_[n.pcie.value()].kind == LinkKind::kPcie);
+    MCM_EXPECTS(n.wire_bandwidth.bps() > 0.0);
+    MCM_EXPECTS(n.dma_efficiency.size() == numa_nodes_.size());
+    for (double e : n.dma_efficiency) MCM_EXPECTS(e > 0.0 && e <= 1.0);
+  }
+}
+
+}  // namespace mcm::topo

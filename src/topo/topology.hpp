@@ -1,0 +1,220 @@
+// Machine topology description — the reproduction's hwloc substitute.
+//
+// A `Machine` is the structural half of a platform: sockets containing cores
+// and NUMA nodes, one memory-controller link per NUMA node, one inter-socket
+// link per socket pair (UPI on Intel, Infinity Fabric on AMD), one PCIe link
+// per NIC, and the NICs themselves. Every shared resource on which the paper
+// observes contention is a `Link` with a capacity and a contention policy
+// specification consumed by the simulator (`mcm::sim`).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/ids.hpp"
+#include "util/units.hpp"
+
+namespace mcm::topo {
+
+/// Kind of shared link in the memory system.
+enum class LinkKind {
+  kMemoryController,  ///< serves one NUMA node's DRAM channels
+  kRemotePort,        ///< a controller's service queue for off-socket
+                      ///< requests (CPU loads/stores crossing the SMP link,
+                      ///< DMA from a NIC on another socket). Modelling this
+                      ///< separately from the raw inter-socket bus is what
+                      ///< reproduces the paper's key finding: two remote
+                      ///< streams contend when they target the *same* NUMA
+                      ///< node but not when they target different ones, so
+                      ///< the bottleneck is in the controller, not the bus.
+  kInterSocket,       ///< UPI / Infinity Fabric between two sockets
+  kPcie,              ///< PCIe lanes between a NIC and its socket
+};
+
+[[nodiscard]] const char* to_string(LinkKind kind);
+
+/// Hardware contention characteristics of a link, consumed by the simulator
+/// arbiter. These express the paper's §II-A hypotheses as per-link hardware
+/// behaviour:
+///  * CPU requests outrank DMA (NIC) requests,
+///  * DMA is never starved below a guaranteed floor,
+///  * effective capacity degrades linearly once too many requestors hit the
+///    link (the post-knee decline visible in every figure of the paper).
+struct ContentionSpec {
+  /// Minimum bandwidth always granted to the DMA class under contention
+  /// (the paper's anti-starvation floor). Zero means "no guarantee".
+  Bandwidth dma_floor;
+  /// Number of weighted requestors the link serves at full capacity.
+  double requestor_knee = 1e9;
+  /// Effective-capacity loss per weighted requestor beyond the knee.
+  Bandwidth degradation_per_requestor;
+  /// How many "requestor units" one DMA stream counts for, scaled by how
+  /// much of its nominal demand it is currently granted. NIC DMA engines
+  /// issue much larger bursts than a core, hence typically > 1.
+  double dma_requestor_weight = 1.0;
+  /// Host-socket coupling (meaningful on PCIe links): effective capacity
+  /// additionally degrades with the number of *active compute cores on the
+  /// link's ambient socket*, even though their streams never cross the
+  /// link. This models the IIO/uncore ingress sharing the socket fabric
+  /// with core traffic, where cores have priority — the reason the paper's
+  /// measurements show network bandwidth degrading under heavy computation
+  /// regardless of data placement.
+  double ambient_cpu_knee = 1e9;
+  Bandwidth ambient_cpu_degradation;
+  /// Soft DMA throttling: once CPU utilization of the link exceeds
+  /// `dma_soft_start`, the DMA class is progressively deprioritized — its
+  /// admitted share of nominal demand shrinks linearly down to
+  /// `dma_soft_min` at 100 % CPU utilization (never below the floor).
+  /// Defaults (1.0/1.0) disable the mechanism. This reproduces the gradual
+  /// early network decline the paper observes *before* the bus saturates
+  /// ("communications start to be impacted before the total bandwidth
+  /// threshold is reached", §IV-B-a).
+  double dma_soft_start = 1.0;
+  double dma_soft_min = 1.0;
+};
+
+/// A shared link of the memory system.
+struct Link {
+  LinkId id;
+  std::string name;
+  LinkKind kind = LinkKind::kMemoryController;
+  Bandwidth capacity;
+  ContentionSpec contention;
+  /// Socket whose active compute cores count towards this link's ambient
+  /// degradation (see ContentionSpec). Invalid = no ambient coupling.
+  SocketId ambient_socket = SocketId::invalid();
+};
+
+/// A physical CPU core.
+struct Core {
+  CoreId id;
+  SocketId socket;
+};
+
+/// A NUMA node: one memory bank plus the controller link serving it and the
+/// controller's remote-request port (see LinkKind::kRemotePort).
+struct NumaNode {
+  NumaId id;
+  SocketId socket;
+  LinkId controller;
+  LinkId remote_port;
+};
+
+/// A processor socket.
+struct Socket {
+  SocketId id;
+  std::vector<CoreId> cores;
+  std::vector<NumaId> numa_nodes;
+};
+
+/// A network interface. DMA efficiency models the NUMA sensitivity of the
+/// NIC: the achievable nominal network bandwidth when the communication
+/// buffer lives on NUMA node `m` is `wire_bandwidth * dma_efficiency[m]`.
+/// (On diablo the paper measures 22.4 GB/s next to the NIC vs 12.1 GB/s
+/// across the Infinity Fabric; on pyxis the per-node efficiencies are not
+/// explained by locality alone, which is exactly what defeats the model's
+/// placement heuristic there.)
+struct Nic {
+  NicId id;
+  std::string name;
+  SocketId socket;      ///< socket whose PCIe root hosts the NIC
+  NumaId near_numa;     ///< NUMA node physically closest to the NIC
+  LinkId pcie;          ///< PCIe link between NIC and memory system
+  Bandwidth wire_bandwidth;
+  std::vector<double> dma_efficiency;  ///< one factor per NUMA node
+};
+
+/// Immutable machine description. Build with `TopologyBuilder`.
+class Machine {
+ public:
+  Machine() = default;
+
+  // -- collections ---------------------------------------------------------
+  [[nodiscard]] const std::vector<Socket>& sockets() const {
+    return sockets_;
+  }
+  [[nodiscard]] const std::vector<Core>& cores() const { return cores_; }
+  [[nodiscard]] const std::vector<NumaNode>& numa_nodes() const {
+    return numa_nodes_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<Nic>& nics() const { return nics_; }
+
+  // -- element access ------------------------------------------------------
+  [[nodiscard]] const Socket& socket(SocketId id) const;
+  [[nodiscard]] const Core& core(CoreId id) const;
+  [[nodiscard]] const NumaNode& numa(NumaId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const Nic& nic(NicId id) const;
+
+  // -- counts --------------------------------------------------------------
+  [[nodiscard]] std::size_t socket_count() const { return sockets_.size(); }
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  [[nodiscard]] std::size_t numa_count() const { return numa_nodes_.size(); }
+  /// Cores per socket (uniform by construction).
+  [[nodiscard]] std::size_t cores_per_socket() const;
+  /// NUMA nodes per socket — the paper's `#m` (uniform by construction).
+  [[nodiscard]] std::size_t numa_per_socket() const;
+
+  // -- structure queries ---------------------------------------------------
+  [[nodiscard]] SocketId socket_of_core(CoreId id) const;
+  [[nodiscard]] SocketId socket_of_numa(NumaId id) const;
+  /// True when `numa` belongs to `socket` (a *local* access in paper terms).
+  [[nodiscard]] bool is_local(SocketId socket, NumaId numa) const;
+  /// First NUMA node belonging to `socket` (lowest id).
+  [[nodiscard]] NumaId first_numa_of(SocketId socket) const;
+  /// Inter-socket link between two distinct sockets.
+  [[nodiscard]] LinkId inter_socket_link(SocketId a, SocketId b) const;
+  /// Memory-controller link of a NUMA node.
+  [[nodiscard]] LinkId controller_of(NumaId numa) const;
+  /// Remote-request port of a NUMA node's controller.
+  [[nodiscard]] LinkId remote_port_of(NumaId numa) const;
+
+  // -- data paths ----------------------------------------------------------
+  /// Links traversed by a CPU stream from a core on `from` to memory on
+  /// `numa`. Local access: [controller]. Remote access:
+  /// [inter-socket, remote-port, controller].
+  [[nodiscard]] std::vector<LinkId> cpu_path(SocketId from,
+                                             NumaId numa) const;
+  /// Links traversed by NIC DMA into/out of memory on `numa`.
+  /// Same socket: [pcie, controller]. Other socket:
+  /// [pcie, inter-socket, remote-port, controller].
+  [[nodiscard]] std::vector<LinkId> dma_path(NicId nic, NumaId numa) const;
+  /// Links a *send-direction* DMA stream shares with the receive direction:
+  /// PCIe lanes and the inter-socket bus are full duplex, so only the
+  /// memory-side resources appear — [remote-port] (if cross-socket) and the
+  /// controller. Used for bidirectional (ping-pong) traffic.
+  [[nodiscard]] std::vector<LinkId> dma_return_path(NicId nic,
+                                                    NumaId numa) const;
+
+  /// Nominal network bandwidth achievable with communication buffers on
+  /// `numa` (wire bandwidth scaled by the NIC's DMA efficiency there).
+  [[nodiscard]] Bandwidth nic_nominal_bandwidth(NicId nic,
+                                                NumaId numa) const;
+
+  // -- controlled mutation (ablation studies) -------------------------------
+  /// Replace one link's contention behaviour. Structure stays untouched.
+  void set_link_contention(LinkId id, const ContentionSpec& contention);
+  /// Change or clear (pass SocketId::invalid()) a link's ambient socket.
+  void set_link_ambient_socket(LinkId id, SocketId socket);
+
+  /// Validate all structural invariants; throws ContractViolation on
+  /// inconsistency. Builder output is always valid; deserialized or
+  /// hand-assembled machines should be validated explicitly.
+  void validate() const;
+
+ private:
+  friend class TopologyBuilder;
+  friend class TopologyReader;
+
+  std::vector<Socket> sockets_;
+  std::vector<Core> cores_;
+  std::vector<NumaNode> numa_nodes_;
+  std::vector<Link> links_;
+  std::vector<Nic> nics_;
+  /// inter_socket_[a][b] for a != b; invalid on the diagonal.
+  std::vector<std::vector<LinkId>> inter_socket_;
+};
+
+}  // namespace mcm::topo

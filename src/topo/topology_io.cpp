@@ -1,0 +1,298 @@
+#include "topo/topology_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "topo/builder.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::topo {
+
+namespace {
+
+void emit(std::ostringstream& out, const std::string& key,
+          const std::string& value) {
+  out << key << ' ' << value << '\n';
+}
+
+void emit_gb(std::ostringstream& out, const std::string& key, Bandwidth bw) {
+  emit(out, key, format_fixed(bw.gb(), 6));
+}
+
+void emit_spec(std::ostringstream& out, const std::string& prefix,
+               Bandwidth capacity, const ContentionSpec& spec) {
+  emit_gb(out, prefix + ".capacity_gb", capacity);
+  emit_gb(out, prefix + ".dma_floor_gb", spec.dma_floor);
+  emit(out, prefix + ".knee", format_fixed(spec.requestor_knee, 6));
+  emit_gb(out, prefix + ".degradation_gb", spec.degradation_per_requestor);
+  emit(out, prefix + ".dma_weight",
+       format_fixed(spec.dma_requestor_weight, 6));
+  emit(out, prefix + ".dma_soft_start", format_fixed(spec.dma_soft_start, 6));
+  emit(out, prefix + ".dma_soft_min", format_fixed(spec.dma_soft_min, 6));
+}
+
+/// Key-value view over the parsed file. Values keep embedded spaces.
+class KeyValues {
+ public:
+  static std::optional<KeyValues> parse(const std::string& text,
+                                        std::string* error) {
+    KeyValues kv;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      const auto space = stripped.find(' ');
+      if (space == std::string::npos) {
+        if (error) {
+          *error = "line " + std::to_string(line_no) +
+                   ": expected 'key value', got '" + stripped + "'";
+        }
+        return std::nullopt;
+      }
+      kv.values_[stripped.substr(0, space)] =
+          trim(stripped.substr(space + 1));
+    }
+    return kv;
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Helper carrying the error slot so the extraction code stays linear.
+class Extractor {
+ public:
+  Extractor(const KeyValues& kv, std::string* error)
+      : kv_(kv), error_(error) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  std::string str(const std::string& key, const std::string& fallback = "") {
+    const auto v = kv_.get(key);
+    return v ? *v : fallback;
+  }
+
+  std::string required_str(const std::string& key) {
+    const auto v = kv_.get(key);
+    if (!v) fail("missing key '" + key + "'");
+    return v ? *v : "";
+  }
+
+  double number(const std::string& key, double fallback) {
+    const auto v = kv_.get(key);
+    if (!v) return fallback;
+    return to_number(key, *v);
+  }
+
+  double required_number(const std::string& key) {
+    const auto v = kv_.get(key);
+    if (!v) {
+      fail("missing key '" + key + "'");
+      return 0.0;
+    }
+    return to_number(key, *v);
+  }
+
+  ContentionSpec contention(const std::string& prefix) {
+    ContentionSpec spec;
+    spec.dma_floor = Bandwidth::gb_per_s(number(prefix + ".dma_floor_gb", 0));
+    spec.requestor_knee = number(prefix + ".knee", 1e9);
+    spec.degradation_per_requestor =
+        Bandwidth::gb_per_s(number(prefix + ".degradation_gb", 0));
+    spec.dma_requestor_weight = number(prefix + ".dma_weight", 1.0);
+    spec.dma_soft_start = number(prefix + ".dma_soft_start", 1.0);
+    spec.dma_soft_min = number(prefix + ".dma_soft_min", 1.0);
+    return spec;
+  }
+
+ private:
+  double to_number(const std::string& key, const std::string& value) {
+    try {
+      std::size_t consumed = 0;
+      const double parsed = std::stod(value, &consumed);
+      if (consumed != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      fail("key '" + key + "': not a number: '" + value + "'");
+      return 0.0;
+    }
+  }
+
+  void fail(const std::string& message) {
+    if (ok_ && error_) *error_ = message;
+    ok_ = false;
+  }
+
+  const KeyValues& kv_;
+  std::string* error_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string serialize_platform(const PlatformSpec& spec) {
+  const Machine& m = spec.machine;
+  std::ostringstream out;
+  emit(out, "platform", spec.name);
+  emit(out, "processor", spec.processor);
+  emit(out, "memory", spec.memory);
+  emit(out, "network", spec.network);
+  emit(out, "seed", std::to_string(spec.seed));
+  emit(out, "sockets", std::to_string(m.socket_count()));
+  emit(out, "cores_per_socket", std::to_string(m.cores_per_socket()));
+  emit(out, "numa_per_socket", std::to_string(m.numa_per_socket()));
+
+  const Link& mc = m.link(m.controller_of(NumaId(0)));
+  emit_spec(out, "controller", mc.capacity, mc.contention);
+  const Link& port = m.link(m.remote_port_of(NumaId(0)));
+  emit_spec(out, "remote_port", port.capacity, port.contention);
+  if (m.socket_count() > 1) {
+    const Link& bus = m.link(m.inter_socket_link(SocketId(0), SocketId(1)));
+    emit_spec(out, "inter_socket", bus.capacity, bus.contention);
+  }
+
+  if (!m.nics().empty()) {
+    const Nic& nic = m.nics().front();
+    emit(out, "nic.name", nic.name);
+    emit(out, "nic.socket", std::to_string(nic.socket.value()));
+    emit_gb(out, "nic.wire_gb", nic.wire_bandwidth);
+    emit_gb(out, "nic.pcie_gb", m.link(nic.pcie).capacity);
+    const ContentionSpec& pcie = m.link(nic.pcie).contention;
+    if (pcie.ambient_cpu_degradation.bps() > 0.0) {
+      emit(out, "nic.coupling_knee", format_fixed(pcie.ambient_cpu_knee, 6));
+      emit_gb(out, "nic.coupling_degradation_gb",
+              pcie.ambient_cpu_degradation);
+      emit_gb(out, "nic.coupling_floor_gb", pcie.dma_floor);
+    }
+    std::string efficiencies;
+    for (std::size_t i = 0; i < nic.dma_efficiency.size(); ++i) {
+      if (i > 0) efficiencies += ' ';
+      efficiencies += format_fixed(nic.dma_efficiency[i], 6);
+    }
+    emit(out, "nic.efficiency", efficiencies);
+  }
+
+  emit_gb(out, "compute.local_gb", spec.compute.per_core_local);
+  emit_gb(out, "compute.remote_gb", spec.compute.per_core_remote);
+  emit(out, "compute.curvature",
+       format_fixed(spec.compute.scaling_curvature, 6));
+  emit(out, "compute.llc_mib",
+       std::to_string(spec.compute.llc_bytes / kMiB));
+  emit(out, "noise.compute_sigma",
+       format_fixed(spec.noise.compute_sigma, 6));
+  emit(out, "noise.comm_sigma", format_fixed(spec.noise.comm_sigma, 6));
+  emit(out, "noise.cross_penalty",
+       format_fixed(spec.noise.cross_numa_dma_penalty, 6));
+  return out.str();
+}
+
+std::optional<PlatformSpec> parse_platform(const std::string& text,
+                                           std::string* error) {
+  const auto kv = KeyValues::parse(text, error);
+  if (!kv) return std::nullopt;
+  Extractor x(*kv, error);
+
+  PlatformSpec spec;
+  spec.name = x.required_str("platform");
+  spec.processor = x.str("processor");
+  spec.memory = x.str("memory");
+  spec.network = x.str("network");
+  // The seed must round-trip exactly; going through double would lose the
+  // low bits of large 64-bit seeds.
+  if (const auto seed_text = kv->get("seed")) {
+    try {
+      spec.seed = std::stoull(*seed_text);
+    } catch (const std::exception&) {
+      if (error) *error = "key 'seed': not an integer: '" + *seed_text + "'";
+      return std::nullopt;
+    }
+  }
+
+  const auto sockets = static_cast<std::size_t>(x.required_number("sockets"));
+  const auto cores =
+      static_cast<std::size_t>(x.required_number("cores_per_socket"));
+  const auto numa =
+      static_cast<std::size_t>(x.required_number("numa_per_socket"));
+  const double mc_cap = x.required_number("controller.capacity_gb");
+  if (!x.ok()) return std::nullopt;
+
+  TopologyBuilder b;
+  b.add_sockets(sockets, cores);
+  b.add_numa_per_socket(numa, Bandwidth::gb_per_s(mc_cap),
+                        x.contention("controller"));
+  if (sockets > 1) {
+    b.set_remote_port_capacity(
+        Bandwidth::gb_per_s(x.required_number("remote_port.capacity_gb")),
+        x.contention("remote_port"));
+    b.set_inter_socket_capacity(
+        Bandwidth::gb_per_s(x.required_number("inter_socket.capacity_gb")),
+        x.contention("inter_socket"));
+  }
+
+  const std::string nic_name = x.str("nic.name");
+  std::vector<double> efficiencies;
+  if (!nic_name.empty()) {
+    const auto nic_socket =
+        static_cast<std::uint32_t>(x.required_number("nic.socket"));
+    b.add_nic(nic_name, SocketId(nic_socket),
+              Bandwidth::gb_per_s(x.required_number("nic.wire_gb")),
+              Bandwidth::gb_per_s(x.required_number("nic.pcie_gb")));
+    for (const std::string& field : split(x.str("nic.efficiency"), ' ')) {
+      if (trim(field).empty()) continue;
+      efficiencies.push_back(std::stod(field));
+    }
+    if (efficiencies.size() != sockets * numa) {
+      if (x.ok() && error) {
+        *error = "nic.efficiency: expected " +
+                 std::to_string(sockets * numa) + " values, got " +
+                 std::to_string(efficiencies.size());
+      }
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < efficiencies.size(); ++i) {
+      b.set_nic_dma_efficiency(NicId(0),
+                               NumaId(static_cast<std::uint32_t>(i)),
+                               efficiencies[i]);
+    }
+    const double coupling_deg = x.number("nic.coupling_degradation_gb", 0.0);
+    if (coupling_deg > 0.0) {
+      b.set_nic_host_coupling(
+          NicId(0), x.number("nic.coupling_knee", 1e9),
+          Bandwidth::gb_per_s(coupling_deg),
+          Bandwidth::gb_per_s(x.number("nic.coupling_floor_gb", 0.0)));
+    }
+  }
+  if (!x.ok()) return std::nullopt;
+
+  spec.compute.per_core_local =
+      Bandwidth::gb_per_s(x.required_number("compute.local_gb"));
+  spec.compute.per_core_remote =
+      Bandwidth::gb_per_s(x.required_number("compute.remote_gb"));
+  spec.compute.scaling_curvature = x.number("compute.curvature", 0.0);
+  spec.compute.llc_bytes = static_cast<std::uint64_t>(
+                               x.number("compute.llc_mib", 0.0)) *
+                           kMiB;
+  spec.noise.compute_sigma = x.number("noise.compute_sigma", 0.0);
+  spec.noise.comm_sigma = x.number("noise.comm_sigma", 0.0);
+  spec.noise.cross_numa_dma_penalty = x.number("noise.cross_penalty", 0.0);
+  if (!x.ok()) return std::nullopt;
+
+  try {
+    spec.machine = b.build();
+  } catch (const ContractViolation& violation) {
+    if (error) *error = violation.what();
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace mcm::topo

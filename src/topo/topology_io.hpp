@@ -1,0 +1,34 @@
+// Text (de)serialization of PlatformSpec, so that users can describe their
+// own machines in a small config file instead of editing C++ presets.
+//
+// The format is line-based `key value`, `#` comments, blank lines ignored:
+//
+//   platform my-cluster-node
+//   processor 2 x Example CPU (8 cores)
+//   sockets 2
+//   cores_per_socket 8
+//   numa_per_socket 1
+//   controller.capacity_gb 60
+//   controller.dma_floor_gb 3
+//   ...
+//
+// Round-trip guarantee: parse(serialize(spec)) reproduces an equivalent
+// spec (structure, capacities, profiles and seed).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "topo/platforms.hpp"
+
+namespace mcm::topo {
+
+/// Render a PlatformSpec to the text format above.
+[[nodiscard]] std::string serialize_platform(const PlatformSpec& spec);
+
+/// Parse the text format. Returns std::nullopt and fills `error` (if given)
+/// when the input is malformed or misses required keys.
+[[nodiscard]] std::optional<PlatformSpec> parse_platform(
+    const std::string& text, std::string* error = nullptr);
+
+}  // namespace mcm::topo

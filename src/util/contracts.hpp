@@ -1,0 +1,47 @@
+// Lightweight precondition / postcondition checking.
+//
+// Contract violations indicate programming errors (bad arguments, broken
+// invariants) rather than environmental failures, so they throw a dedicated
+// exception type that tests can assert on and applications can treat as
+// fatal. The checks stay enabled in release builds: every caller of this
+// library is a benchmark or an analysis pipeline where silent corruption is
+// far more expensive than a branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+
+/// Thrown when a precondition (`MCM_EXPECTS`) or postcondition
+/// (`MCM_ENSURES`) does not hold.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace mcm
+
+#define MCM_EXPECTS(cond)                                                 \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::mcm::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                   __LINE__);                             \
+  } while (false)
+
+#define MCM_ENSURES(cond)                                                 \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::mcm::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                   __LINE__);                             \
+  } while (false)

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+
+namespace {
+
+[[nodiscard]] std::string escape_cell(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+[[nodiscard]] std::string render_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += escape_cell(cells[i]);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MCM_EXPECTS(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  MCM_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  std::string out = render_row(header_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << render();
+  return static_cast<bool>(file);
+}
+
+}  // namespace mcm

@@ -1,0 +1,33 @@
+// Minimal CSV writer: the figure benches dump their series as CSV so that a
+// user can re-plot the paper's figures with any plotting tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines; doubles embedded quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Precondition: same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render to a string, one trailing newline per row.
+  [[nodiscard]] std::string render() const;
+
+  /// Write to a file; returns false (and leaves no partial file contract) on
+  /// I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+
+double mean(std::span<const double> values) {
+  MCM_EXPECTS(!values.empty());
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double median(std::span<const double> values) {
+  MCM_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double sample_stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+Extremum argmax(std::span<const double> values) {
+  MCM_EXPECTS(!values.empty());
+  const auto it = std::max_element(values.begin(), values.end());
+  return {static_cast<std::size_t>(it - values.begin()), *it};
+}
+
+Extremum argmin(std::span<const double> values) {
+  MCM_EXPECTS(!values.empty());
+  const auto it = std::min_element(values.begin(), values.end());
+  return {static_cast<std::size_t>(it - values.begin()), *it};
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  MCM_EXPECTS(x.size() == y.size());
+  MCM_EXPECTS(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MCM_EXPECTS(sxx > 0.0);
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  } else {
+    // y is constant: a horizontal line fits exactly.
+    fit.r_squared = 1.0;
+  }
+  (void)n;
+  return fit;
+}
+
+double mape_percent(std::span<const double> actual,
+                    std::span<const double> predicted) {
+  MCM_EXPECTS(actual.size() == predicted.size());
+  MCM_EXPECTS(!actual.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    MCM_EXPECTS(actual[i] != 0.0);
+    acc += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+  }
+  return 100.0 * acc / static_cast<double>(actual.size());
+}
+
+double mean_of(std::span<const double> values) { return mean(values); }
+
+double clamp(double v, double lo, double hi) {
+  MCM_EXPECTS(lo <= hi);
+  return std::min(std::max(v, lo), hi);
+}
+
+std::vector<double> moving_average(std::span<const double> v,
+                                   std::size_t half_window) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::size_t lo = i >= half_window ? i - half_window : 0;
+    const std::size_t hi = std::min(v.size() - 1, i + half_window);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += v[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace mcm

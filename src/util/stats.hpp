@@ -1,0 +1,66 @@
+// Small statistics toolkit used by model calibration (extrema, segment
+// slopes) and evaluation (MAPE, summary statistics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcm {
+
+/// Index + value of an extremum found in a series.
+struct Extremum {
+  std::size_t index = 0;
+  double value = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 for an exact fit.
+  double r_squared = 0.0;
+};
+
+/// Arithmetic mean. Precondition: non-empty.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Median (averaging the two middle elements for even sizes).
+/// Precondition: non-empty.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+[[nodiscard]] double sample_stddev(std::span<const double> values);
+
+/// First index holding the maximum value. Precondition: non-empty.
+[[nodiscard]] Extremum argmax(std::span<const double> values);
+
+/// First index holding the minimum value. Precondition: non-empty.
+[[nodiscard]] Extremum argmin(std::span<const double> values);
+
+/// Ordinary least-squares fit of y against x.
+/// Preconditions: same size, at least 2 points, x not all equal.
+[[nodiscard]] LineFit fit_line(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Mean absolute percentage error (in percent, e.g. 3.2 for 3.2 %):
+///   100/n * sum(|actual - predicted| / |actual|)
+/// This is the error metric of the paper's Table II.
+/// Preconditions: same size, non-empty, no zero actual value.
+[[nodiscard]] double mape_percent(std::span<const double> actual,
+                                  std::span<const double> predicted);
+
+/// Mean of several MAPE values — used to aggregate per-placement errors into
+/// the per-platform rows of Table II. Precondition: non-empty.
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+/// Clamp helper kept here so numeric call sites read uniformly.
+[[nodiscard]] double clamp(double v, double lo, double hi);
+
+/// Simple centered moving average with the given half-window (window size
+/// 2*half + 1, truncated at the edges). Used to smooth noisy measured
+/// curves before locating extrema.
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> v,
+                                                 std::size_t half_window);
+
+}  // namespace mcm

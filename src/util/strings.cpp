@@ -1,0 +1,69 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+
+std::string format_fixed(double value, int decimals) {
+  MCM_EXPECTS(decimals >= 0 && decimals <= 12);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_gbps(double gb_per_s) {
+  return format_fixed(gb_per_s, 2) + " GB/s";
+}
+
+std::string format_percent(double percent) {
+  return format_fixed(percent, 2) + " %";
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == delim) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace mcm

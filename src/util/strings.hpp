@@ -1,0 +1,37 @@
+// String formatting helpers shared by the table/CSV renderers and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Format a double with the given number of decimal places (fixed notation).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Format a bandwidth value in GB/s, e.g. "12.34 GB/s".
+[[nodiscard]] std::string format_gbps(double gb_per_s);
+
+/// Format a percentage, e.g. "3.08 %".
+[[nodiscard]] std::string format_percent(double percent);
+
+/// Left-pad `text` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& text,
+                                   std::size_t width);
+
+/// Right-pad `text` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(const std::string& text,
+                                    std::size_t width);
+
+/// Split on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& text,
+                                             char delim);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& text,
+                               const std::string& prefix);
+
+}  // namespace mcm

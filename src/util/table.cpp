@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace mcm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)),
+      alignments_(header_.size(), Align::kLeft) {
+  MCM_EXPECTS(!header_.empty());
+}
+
+void AsciiTable::set_alignments(std::vector<Align> alignments) {
+  MCM_EXPECTS(alignments.size() == header_.size());
+  alignments_ = std::move(alignments);
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  MCM_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void AsciiTable::add_separator() { pending_separator_ = true; }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  const auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = alignments_[c] == Align::kRight
+                                     ? pad_left(cells[c], widths[c])
+                                     : pad_right(cells[c], widths[c]);
+      line += " " + padded + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  out += rule();
+  out += format_row(header_);
+  out += rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += rule();
+    out += format_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace mcm

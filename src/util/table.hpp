@@ -1,0 +1,48 @@
+// ASCII table renderer used by the benchmark binaries to print the paper's
+// tables and figure series in a shape directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Builds a fixed-width text table:
+///
+///   AsciiTable t({"platform", "error"});
+///   t.add_row({"henri", "2.32 %"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Column alignments default to left; call before render().
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Add a data row. Precondition: same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the full table including borders, one trailing newline.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace mcm

@@ -1,0 +1,121 @@
+// Strong-ish unit types for the quantities the library manipulates all day:
+// byte counts, durations and bandwidths. The paper reports everything in
+// GB/s (decimal gigabytes), so `Bandwidth::gb()` is the canonical display
+// unit throughout the code base.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// A duration in seconds. Thin wrapper so that durations and bandwidths
+/// cannot be mixed up in call sites.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Seconds& operator+=(Seconds other) {
+    value_ += other.value_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.value_ + b.value_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.value_ - b.value_);
+  }
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A memory/network bandwidth. Stored in bytes per second; constructed and
+/// displayed in decimal GB/s to match the paper's unit conventions.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_s(double v) {
+    return Bandwidth(v);
+  }
+  [[nodiscard]] static constexpr Bandwidth gb_per_s(double v) {
+    return Bandwidth(v * kGiga);
+  }
+
+  /// Value in bytes per second.
+  [[nodiscard]] constexpr double bps() const { return value_; }
+  /// Value in decimal GB/s (the paper's reporting unit).
+  [[nodiscard]] constexpr double gb() const { return value_ / kGiga; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return value_ == 0.0; }
+
+  constexpr Bandwidth& operator+=(Bandwidth other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Bandwidth& operator-=(Bandwidth other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Bandwidth& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth(a.value_ + b.value_);
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return Bandwidth(a.value_ - b.value_);
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double s) {
+    return Bandwidth(a.value_ * s);
+  }
+  friend constexpr Bandwidth operator*(double s, Bandwidth a) {
+    return Bandwidth(a.value_ * s);
+  }
+  friend constexpr Bandwidth operator/(Bandwidth a, double s) {
+    return Bandwidth(a.value_ / s);
+  }
+  /// Ratio of two bandwidths (dimensionless).
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  constexpr explicit Bandwidth(double bytes_per_second)
+      : value_(bytes_per_second) {}
+
+  double value_ = 0.0;
+};
+
+/// Time to move `bytes` at rate `bw`.
+[[nodiscard]] constexpr Seconds transfer_time(std::uint64_t bytes,
+                                              Bandwidth bw) {
+  return Seconds(static_cast<double>(bytes) / bw.bps());
+}
+
+/// Bandwidth achieved moving `bytes` in `elapsed`.
+[[nodiscard]] inline Bandwidth achieved_bandwidth(std::uint64_t bytes,
+                                                  Seconds elapsed) {
+  MCM_EXPECTS(elapsed.value() > 0.0);
+  return Bandwidth::bytes_per_s(static_cast<double>(bytes) / elapsed.value());
+}
+
+}  // namespace mcm

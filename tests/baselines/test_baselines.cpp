@@ -1,0 +1,152 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::baseline {
+namespace {
+
+bench::SweepResult calibration(const char* platform) {
+  bench::SimBackend backend(topo::make_platform(platform));
+  return bench::run_calibration_sweep(backend);
+}
+
+RegimeScalars simple_scalars(double b_comp, double b_comm, double capacity,
+                             std::size_t cores) {
+  RegimeScalars s;
+  s.b_comp_seq = b_comp;
+  s.b_comm_seq = b_comm;
+  s.capacity = capacity;
+  s.solo_capacity = capacity;
+  s.max_cores = cores;
+  return s;
+}
+
+TEST(Baselines, RegimeScalarsFromCurve) {
+  const bench::SweepResult sweep = calibration("henri");
+  const RegimeScalars local = regime_scalars(sweep.curves.front());
+  EXPECT_NEAR(local.b_comp_seq, 5.5, 0.2);
+  EXPECT_NEAR(local.b_comm_seq, 12.2, 0.3);
+  EXPECT_GT(local.capacity, 80.0);
+  EXPECT_GT(local.solo_capacity, 80.0);
+  EXPECT_EQ(local.max_cores, 17u);
+}
+
+TEST(Baselines, PerfectScalingIgnoresContention) {
+  const PerfectScalingBaseline baseline(
+      simple_scalars(5.0, 12.0, 50.0, 10),
+      simple_scalars(3.0, 11.0, 30.0, 10), 1);
+  const model::PredictedCurve curve =
+      baseline.predict(topo::NumaId(0), topo::NumaId(0));
+  // Even far past the 50 GB/s capacity, the prediction keeps scaling.
+  EXPECT_DOUBLE_EQ(curve.compute_parallel_gb[9], 50.0);
+  EXPECT_DOUBLE_EQ(curve.comm_parallel_gb[9], 12.0);
+}
+
+TEST(Baselines, QueueingSharesProportionally) {
+  const QueueingBaseline baseline(simple_scalars(5.0, 10.0, 50.0, 10),
+                                  simple_scalars(3.0, 10.0, 30.0, 10), 1);
+  const model::PredictedCurve curve =
+      baseline.predict(topo::NumaId(0), topo::NumaId(0));
+  // n = 4: demand 30 total < 50 -> everyone satisfied.
+  EXPECT_DOUBLE_EQ(curve.compute_parallel_gb[3], 20.0);
+  EXPECT_DOUBLE_EQ(curve.comm_parallel_gb[3], 10.0);
+  // n = 10: demand 60 > 50 -> proportional: compute 50*50/60, comm 10*50/60.
+  EXPECT_NEAR(curve.compute_parallel_gb[9], 50.0 * 50.0 / 60.0, 1e-9);
+  EXPECT_NEAR(curve.comm_parallel_gb[9], 10.0 * 50.0 / 60.0, 1e-9);
+}
+
+TEST(Baselines, QueueingHasNoFloor) {
+  // With many cores, the queueing model lets comm fade towards zero — the
+  // behaviour the paper's hypotheses (assured minimum) reject.
+  const QueueingBaseline baseline(simple_scalars(5.0, 10.0, 50.0, 40),
+                                  simple_scalars(5.0, 10.0, 50.0, 40), 1);
+  const model::PredictedCurve curve =
+      baseline.predict(topo::NumaId(0), topo::NumaId(0));
+  EXPECT_LT(curve.comm_parallel_gb[39], 2.5);
+}
+
+TEST(Baselines, LangguthSplitsEqually) {
+  const LangguthBaseline baseline(simple_scalars(5.0, 30.0, 50.0, 12),
+                                  simple_scalars(3.0, 30.0, 30.0, 12), 1);
+  const model::PredictedCurve curve =
+      baseline.predict(topo::NumaId(0), topo::NumaId(0));
+  // n = 10: demand 50 + 30 > 50: comm gets half the bus (25), compute the
+  // other half (25, below its 50 demand).
+  EXPECT_DOUBLE_EQ(curve.comm_parallel_gb[9], 25.0);
+  EXPECT_DOUBLE_EQ(curve.compute_parallel_gb[9], 25.0);
+}
+
+TEST(Baselines, LangguthGivesUnusedShareBack) {
+  const LangguthBaseline baseline(simple_scalars(5.0, 8.0, 50.0, 12),
+                                  simple_scalars(3.0, 8.0, 30.0, 12), 1);
+  const model::PredictedCurve curve =
+      baseline.predict(topo::NumaId(0), topo::NumaId(0));
+  // n = 12: compute demand 60 > 42 leftover; comm demand 8 < half bus.
+  EXPECT_DOUBLE_EQ(curve.comm_parallel_gb[11], 8.0);
+  EXPECT_DOUBLE_EQ(curve.compute_parallel_gb[11], 42.0);
+}
+
+TEST(Baselines, DisjointPlacementsAreContentionFreeInAllBaselines) {
+  const bench::SweepResult sweep = calibration("henri");
+  const auto queueing = make_baseline<QueueingBaseline>(sweep);
+  const model::PredictedCurve curve =
+      queueing.predict(topo::NumaId(0), topo::NumaId(1));
+  for (std::size_t i = 0; i < curve.comm_parallel_gb.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve.comm_parallel_gb[i], curve.comm_alone_gb[i]);
+  }
+}
+
+class BaselineComparison : public testing::TestWithParam<const char*> {};
+
+TEST_P(BaselineComparison, PaperModelBeatsEveryBaseline) {
+  bench::SimBackend backend(topo::make_platform(GetParam()));
+  const bench::SweepResult calib = bench::run_calibration_sweep(backend);
+  const bench::SweepResult full = bench::run_all_placements(backend);
+
+  const PaperModelPredictor paper(model::ContentionModel::from_sweep(calib));
+  const double paper_error = evaluate_predictor(paper, full).average;
+
+  const auto perfect = make_baseline<PerfectScalingBaseline>(calib);
+  const auto queueing = make_baseline<QueueingBaseline>(calib);
+  const auto langguth = make_baseline<LangguthBaseline>(calib);
+  EXPECT_LT(paper_error, evaluate_predictor(perfect, full).average)
+      << "perfect-scaling";
+  EXPECT_LT(paper_error, evaluate_predictor(queueing, full).average)
+      << "queueing";
+  EXPECT_LT(paper_error, evaluate_predictor(langguth, full).average)
+      << "equal-split";
+}
+
+INSTANTIATE_TEST_SUITE_P(ContendedPlatforms, BaselineComparison,
+                         testing::Values("henri", "henri-subnuma", "dahu",
+                                         "pyxis", "occigen"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Baselines, EvaluatePredictorNamesThePredictor) {
+  const bench::SweepResult sweep = calibration("occigen");
+  const auto baseline = make_baseline<PerfectScalingBaseline>(sweep);
+  const model::ErrorReport report = evaluate_predictor(baseline, sweep);
+  EXPECT_NE(report.platform.find("perfect-scaling"), std::string::npos);
+  EXPECT_EQ(report.placements.size(), 2u);
+}
+
+TEST(Baselines, MismatchedRegimesRejected) {
+  RegimeScalars local = simple_scalars(5.0, 10.0, 50.0, 10);
+  RegimeScalars remote = simple_scalars(3.0, 10.0, 30.0, 12);
+  EXPECT_THROW(PerfectScalingBaseline(local, remote, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::baseline

@@ -1,0 +1,82 @@
+#include "benchlib/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::bench {
+namespace {
+
+PlacementCurve sample_curve() {
+  PlacementCurve curve;
+  curve.comp_numa = topo::NumaId(0);
+  curve.comm_numa = topo::NumaId(1);
+  for (std::size_t n = 1; n <= 4; ++n) {
+    BandwidthPoint p;
+    p.cores = n;
+    p.compute_alone_gb = 5.0 * static_cast<double>(n);
+    p.comm_alone_gb = 12.0;
+    p.compute_parallel_gb = 4.5 * static_cast<double>(n);
+    p.comm_parallel_gb = 12.0 - static_cast<double>(n);
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+TEST(Curves, AtIsOneBased) {
+  const PlacementCurve c = sample_curve();
+  EXPECT_EQ(c.at(1).cores, 1u);
+  EXPECT_DOUBLE_EQ(c.at(3).compute_alone_gb, 15.0);
+  EXPECT_THROW((void)c.at(0), ContractViolation);
+  EXPECT_THROW((void)c.at(5), ContractViolation);
+}
+
+TEST(Curves, SeriesExtraction) {
+  const PlacementCurve c = sample_curve();
+  EXPECT_EQ(c.series(Series::kComputeAlone),
+            (std::vector<double>{5.0, 10.0, 15.0, 20.0}));
+  EXPECT_EQ(c.series(Series::kCommAlone),
+            (std::vector<double>{12.0, 12.0, 12.0, 12.0}));
+  EXPECT_EQ(c.series(Series::kCommParallel),
+            (std::vector<double>{11.0, 10.0, 9.0, 8.0}));
+}
+
+TEST(Curves, TotalParallelSumsBothStreams) {
+  const PlacementCurve c = sample_curve();
+  const auto total = c.total_parallel();
+  ASSERT_EQ(total.size(), 4u);
+  EXPECT_DOUBLE_EQ(total[0], 4.5 + 11.0);
+  EXPECT_DOUBLE_EQ(total[3], 18.0 + 8.0);
+}
+
+TEST(Curves, CsvHasHeaderAndOneRowPerPoint) {
+  const std::string csv = to_csv(sample_curve());
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);  // header + 4 points
+  EXPECT_NE(csv.find("cores,compute_alone_gb"), std::string::npos);
+  EXPECT_NE(csv.find("3,15.0000"), std::string::npos);
+}
+
+TEST(Curves, SweepLookup) {
+  SweepResult sweep;
+  sweep.platform = "x";
+  sweep.numa_per_socket = 1;
+  sweep.curves.push_back(sample_curve());
+  EXPECT_TRUE(sweep.has_curve(topo::NumaId(0), topo::NumaId(1)));
+  EXPECT_FALSE(sweep.has_curve(topo::NumaId(1), topo::NumaId(0)));
+  EXPECT_EQ(&sweep.curve(topo::NumaId(0), topo::NumaId(1)),
+            &sweep.curves.front());
+  EXPECT_THROW((void)sweep.curve(topo::NumaId(1), topo::NumaId(1)),
+               ContractViolation);
+}
+
+TEST(Curves, SeriesNames) {
+  EXPECT_STREQ(to_string(Series::kComputeAlone), "compute-alone");
+  EXPECT_STREQ(to_string(Series::kCommParallel), "comm-parallel");
+}
+
+}  // namespace
+}  // namespace mcm::bench

@@ -1,0 +1,92 @@
+// Measurement repetitions: averaging independent runs must reduce noise
+// and thus tighten the calibrated parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/calibration.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::bench {
+namespace {
+
+TEST(Repetitions, RunsSeeIndependentJitter) {
+  sim::SimMachine machine(topo::make_pyxis());
+  const double first = machine.measure_comm_alone(topo::NumaId(0)).gb();
+  machine.set_run_index(1);
+  const double second = machine.measure_comm_alone(topo::NumaId(0)).gb();
+  EXPECT_NE(first, second);
+  machine.set_run_index(0);
+  EXPECT_DOUBLE_EQ(machine.measure_comm_alone(topo::NumaId(0)).gb(), first);
+}
+
+TEST(Repetitions, SingleRepetitionMatchesRunZero) {
+  SimBackend a(topo::make_henri());
+  SimBackend b(topo::make_henri());
+  SweepOptions once;
+  once.max_cores = 5;
+  once.repetitions = 1;
+  const PlacementCurve with_option =
+      run_placement(a, topo::NumaId(0), topo::NumaId(0), once);
+  SweepOptions plain;
+  plain.max_cores = 5;
+  const PlacementCurve without =
+      run_placement(b, topo::NumaId(0), topo::NumaId(0), plain);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(with_option.points[i].compute_parallel_gb,
+                     without.points[i].compute_parallel_gb);
+  }
+}
+
+TEST(Repetitions, AveragingShrinksDeviationFromSteadyState) {
+  // On the noisy platform, the averaged curve must sit closer to the
+  // noise-free steady-state rates than a single run does.
+  const auto deviation = [](std::size_t reps) {
+    SimBackend backend(topo::make_pyxis());
+    SweepOptions options;
+    options.repetitions = reps;
+    const PlacementCurve curve =
+        run_placement(backend, topo::NumaId(0), topo::NumaId(0), options);
+    double acc = 0.0;
+    for (const BandwidthPoint& p : curve.points) {
+      const double steady = backend.machine()
+                                .steady_parallel(p.cores, topo::NumaId(0),
+                                                 topo::NumaId(0))
+                                .comm.gb();
+      acc += std::abs(p.comm_parallel_gb - steady) / steady;
+    }
+    return acc / static_cast<double>(curve.points.size());
+  };
+  EXPECT_LT(deviation(8), deviation(1));
+}
+
+TEST(Repetitions, DeterministicAcrossInvocations) {
+  SweepOptions options;
+  options.max_cores = 4;
+  options.repetitions = 3;
+  SimBackend a(topo::make_pyxis());
+  SimBackend b(topo::make_pyxis());
+  const PlacementCurve ca =
+      run_placement(a, topo::NumaId(0), topo::NumaId(1), options);
+  const PlacementCurve cb =
+      run_placement(b, topo::NumaId(0), topo::NumaId(1), options);
+  for (std::size_t i = 0; i < ca.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ca.points[i].comm_parallel_gb,
+                     cb.points[i].comm_parallel_gb);
+  }
+}
+
+TEST(Repetitions, ZeroRepetitionsRejected) {
+  SimBackend backend(topo::make_occigen());
+  SweepOptions options;
+  options.repetitions = 0;
+  EXPECT_THROW((void)run_placement(backend, topo::NumaId(0),
+                                   topo::NumaId(0), options),
+               mcm::ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::bench

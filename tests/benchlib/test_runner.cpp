@@ -1,0 +1,113 @@
+#include "benchlib/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::bench {
+namespace {
+
+TEST(Runner, PlacementSweepCoversAllCoreCounts) {
+  SimBackend backend(topo::make_occigen());
+  const PlacementCurve curve =
+      run_placement(backend, topo::NumaId(0), topo::NumaId(0));
+  ASSERT_EQ(curve.points.size(), backend.max_computing_cores());
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    EXPECT_EQ(curve.points[i].cores, i + 1);
+    EXPECT_GT(curve.points[i].compute_alone_gb, 0.0);
+    EXPECT_GT(curve.points[i].comm_alone_gb, 0.0);
+    EXPECT_GT(curve.points[i].compute_parallel_gb, 0.0);
+    EXPECT_GT(curve.points[i].comm_parallel_gb, 0.0);
+  }
+}
+
+TEST(Runner, CommAloneIsConstantAcrossCoreCounts) {
+  SimBackend backend(topo::make_occigen());
+  const PlacementCurve curve =
+      run_placement(backend, topo::NumaId(0), topo::NumaId(1));
+  for (const BandwidthPoint& p : curve.points) {
+    EXPECT_DOUBLE_EQ(p.comm_alone_gb, curve.points.front().comm_alone_gb);
+  }
+}
+
+TEST(Runner, MaxCoresOptionTruncatesSweep) {
+  SimBackend backend(topo::make_occigen());
+  SweepOptions options;
+  options.max_cores = 5;
+  const PlacementCurve curve =
+      run_placement(backend, topo::NumaId(0), topo::NumaId(0), options);
+  EXPECT_EQ(curve.points.size(), 5u);
+}
+
+TEST(Runner, AllPlacementsProducesNumaSquaredCurves) {
+  SimBackend backend(topo::make_occigen());
+  SweepOptions options;
+  options.max_cores = 4;
+  const SweepResult sweep = run_all_placements(backend, options);
+  EXPECT_EQ(sweep.platform, "occigen");
+  EXPECT_EQ(sweep.numa_per_socket, 1u);
+  EXPECT_EQ(sweep.curves.size(), 4u);  // 2 NUMA nodes -> 2^2 placements
+  for (std::uint32_t comp = 0; comp < 2; ++comp) {
+    for (std::uint32_t comm = 0; comm < 2; ++comm) {
+      EXPECT_TRUE(
+          sweep.has_curve(topo::NumaId(comp), topo::NumaId(comm)));
+    }
+  }
+}
+
+TEST(Runner, CalibrationPlacementsAreFirstNodesOfEachSocket) {
+  SimBackend two(topo::make_henri());
+  const CalibrationPlacements p2 = calibration_placements(two);
+  EXPECT_EQ(p2.local, topo::NumaId(0));
+  EXPECT_EQ(p2.remote, topo::NumaId(1));
+
+  SimBackend four(topo::make_henri_subnuma());
+  const CalibrationPlacements p4 = calibration_placements(four);
+  EXPECT_EQ(p4.local, topo::NumaId(0));
+  EXPECT_EQ(p4.remote, topo::NumaId(2));
+}
+
+TEST(Runner, CalibrationSweepMeasuresExactlyTwoPlacements) {
+  SimBackend backend(topo::make_henri_subnuma());
+  SweepOptions options;
+  options.max_cores = 4;
+  const SweepResult sweep = run_calibration_sweep(backend, options);
+  ASSERT_EQ(sweep.curves.size(), 2u);
+  EXPECT_EQ(sweep.curves[0].comp_numa, topo::NumaId(0));
+  EXPECT_EQ(sweep.curves[0].comm_numa, topo::NumaId(0));
+  EXPECT_EQ(sweep.curves[1].comp_numa, topo::NumaId(2));
+  EXPECT_EQ(sweep.curves[1].comm_numa, topo::NumaId(2));
+}
+
+TEST(Runner, SweepIsDeterministic) {
+  SimBackend a(topo::make_pyxis());
+  SimBackend b(topo::make_pyxis());
+  SweepOptions options;
+  options.max_cores = 6;
+  const PlacementCurve ca =
+      run_placement(a, topo::NumaId(0), topo::NumaId(1), options);
+  const PlacementCurve cb =
+      run_placement(b, topo::NumaId(0), topo::NumaId(1), options);
+  for (std::size_t i = 0; i < ca.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ca.points[i].compute_parallel_gb,
+                     cb.points[i].compute_parallel_gb);
+    EXPECT_DOUBLE_EQ(ca.points[i].comm_parallel_gb,
+                     cb.points[i].comm_parallel_gb);
+  }
+}
+
+TEST(Runner, RejectsInvalidPlacements) {
+  SimBackend backend(topo::make_occigen());
+  EXPECT_THROW(
+      (void)run_placement(backend, topo::NumaId(7), topo::NumaId(0)),
+      ContractViolation);
+  SweepOptions bad;
+  bad.core_step = 0;
+  EXPECT_THROW(
+      (void)run_placement(backend, topo::NumaId(0), topo::NumaId(0), bad),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::bench

@@ -1,0 +1,120 @@
+#include "benchlib/sweep_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::bench {
+namespace {
+
+SweepResult small_sweep(const char* platform = "occigen") {
+  SimBackend backend(topo::make_platform(platform));
+  return run_all_placements(backend);
+}
+
+TEST(SweepIo, RoundTripPreservesEverything) {
+  const SweepResult original = small_sweep();
+  const std::string csv = sweep_to_csv(original);
+  std::string error;
+  const auto parsed = sweep_from_csv(csv, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->platform, original.platform);
+  EXPECT_EQ(parsed->numa_per_socket, original.numa_per_socket);
+  ASSERT_EQ(parsed->curves.size(), original.curves.size());
+  for (const PlacementCurve& curve : original.curves) {
+    ASSERT_TRUE(parsed->has_curve(curve.comp_numa, curve.comm_numa));
+    const PlacementCurve& other =
+        parsed->curve(curve.comp_numa, curve.comm_numa);
+    ASSERT_EQ(other.points.size(), curve.points.size());
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      EXPECT_NEAR(other.points[i].compute_parallel_gb,
+                  curve.points[i].compute_parallel_gb, 1e-5);
+      EXPECT_NEAR(other.points[i].comm_alone_gb,
+                  curve.points[i].comm_alone_gb, 1e-5);
+    }
+  }
+}
+
+TEST(SweepIo, CalibrationFromSavedCsvMatchesDirectCalibration) {
+  // The offline workflow: save measurements, reload, calibrate — the
+  // resulting model must predict identically (up to CSV precision).
+  const SweepResult original = small_sweep("henri");
+  const auto reloaded = sweep_from_csv(sweep_to_csv(original));
+  ASSERT_TRUE(reloaded.has_value());
+  const auto direct = model::ContentionModel::from_sweep(original);
+  const auto offline = model::ContentionModel::from_sweep(*reloaded);
+  for (std::size_t n = 1; n <= direct.max_cores(); ++n) {
+    const auto a = direct.predict(topo::NumaId(0), topo::NumaId(1));
+    const auto b = offline.predict(topo::NumaId(0), topo::NumaId(1));
+    EXPECT_NEAR(a.comm_parallel_gb[n - 1], b.comm_parallel_gb[n - 1], 1e-4);
+    EXPECT_NEAR(a.compute_parallel_gb[n - 1], b.compute_parallel_gb[n - 1],
+                1e-4);
+  }
+}
+
+TEST(SweepIo, RowsInAnyOrderAreAccepted) {
+  const std::string csv =
+      "# platform x\n# numa_per_socket 1\n"
+      "comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,"
+      "compute_parallel_gb,comm_parallel_gb\n"
+      "0,0,3,15,12,14,9\n"
+      "0,0,1,5,12,5,12\n"
+      "0,0,2,10,12,10,11\n";
+  const auto sweep = sweep_from_csv(csv);
+  ASSERT_TRUE(sweep.has_value());
+  const PlacementCurve& curve =
+      sweep->curve(topo::NumaId(0), topo::NumaId(0));
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.at(2).compute_alone_gb, 10.0);
+}
+
+TEST(SweepIo, RejectsSparseCoreCounts) {
+  const std::string csv =
+      "# platform x\n# numa_per_socket 1\n"
+      "comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,"
+      "compute_parallel_gb,comm_parallel_gb\n"
+      "0,0,1,5,12,5,12\n"
+      "0,0,3,15,12,14,9\n";
+  std::string error;
+  EXPECT_FALSE(sweep_from_csv(csv, &error).has_value());
+  EXPECT_NE(error.find("dense"), std::string::npos) << error;
+}
+
+TEST(SweepIo, RejectsMissingHeaders) {
+  std::string error;
+  EXPECT_FALSE(sweep_from_csv("", &error).has_value());
+  const std::string no_numa =
+      "# platform x\n"
+      "comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,"
+      "compute_parallel_gb,comm_parallel_gb\n"
+      "0,0,1,5,12,5,12\n";
+  EXPECT_FALSE(sweep_from_csv(no_numa, &error).has_value());
+  EXPECT_NE(error.find("numa_per_socket"), std::string::npos) << error;
+}
+
+TEST(SweepIo, RejectsBadRows) {
+  const std::string base =
+      "# platform x\n# numa_per_socket 1\n"
+      "comp_numa,comm_numa,cores,compute_alone_gb,comm_alone_gb,"
+      "compute_parallel_gb,comm_parallel_gb\n";
+  std::string error;
+  EXPECT_FALSE(sweep_from_csv(base + "0,0,1,5,12\n", &error).has_value());
+  EXPECT_NE(error.find("7 fields"), std::string::npos);
+  EXPECT_FALSE(
+      sweep_from_csv(base + "0,0,one,5,12,5,12\n", &error).has_value());
+  EXPECT_NE(error.find("non-numeric"), std::string::npos);
+}
+
+TEST(SweepIo, RejectsWrongColumnHeader) {
+  std::string error;
+  const std::string csv =
+      "# platform x\n# numa_per_socket 1\nwrong,header\n0,0\n";
+  EXPECT_FALSE(sweep_from_csv(csv, &error).has_value());
+  EXPECT_NE(error.find("column header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::bench

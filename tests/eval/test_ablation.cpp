@@ -1,0 +1,105 @@
+#include "eval/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::eval {
+namespace {
+
+TEST(Ablation, VariantListStartsWithBaseline) {
+  const auto variants = hardware_variants();
+  ASSERT_GE(variants.size(), 5u);
+  EXPECT_EQ(variants.front(), "baseline");
+}
+
+TEST(Ablation, BaselineVariantIsIdentity) {
+  const topo::PlatformSpec original = topo::make_henri();
+  const topo::PlatformSpec same =
+      apply_hardware_variant(topo::make_henri(), "baseline");
+  for (std::size_t l = 0; l < original.machine.links().size(); ++l) {
+    EXPECT_DOUBLE_EQ(same.machine.links()[l].contention.dma_floor.gb(),
+                     original.machine.links()[l].contention.dma_floor.gb());
+  }
+}
+
+TEST(Ablation, NoDmaFloorRemovesFloors) {
+  const topo::PlatformSpec spec =
+      apply_hardware_variant(topo::make_henri(), "no-dma-floor");
+  for (const topo::Link& link : spec.machine.links()) {
+    EXPECT_LE(link.contention.dma_floor.gb(), 0.2 + 1e-9);
+  }
+}
+
+TEST(Ablation, NoHostCouplingClearsAmbientSockets) {
+  const topo::PlatformSpec spec =
+      apply_hardware_variant(topo::make_henri(), "no-host-coupling");
+  for (const topo::Link& link : spec.machine.links()) {
+    EXPECT_FALSE(link.ambient_socket.is_valid());
+    EXPECT_TRUE(link.contention.ambient_cpu_degradation.is_zero());
+  }
+}
+
+TEST(Ablation, UnknownVariantThrows) {
+  EXPECT_THROW(
+      (void)apply_hardware_variant(topo::make_henri(), "no-such-thing"),
+      ContractViolation);
+}
+
+TEST(Ablation, NoDmaFloorStarvesCommUnderFullLoad) {
+  // Mechanism check: without floors a fully loaded controller pushes the
+  // network close to zero.
+  bench::SimBackend backend(
+      apply_hardware_variant(topo::make_henri(), "no-dma-floor"));
+  const auto full = backend.machine().steady_parallel(
+      17, topo::NumaId(0), topo::NumaId(0));
+  EXPECT_LT(full.comm.gb(), 1.0);
+}
+
+TEST(Ablation, FairShareArbiterGivesCommMoreThanPriority) {
+  // Disable the NIC host coupling so that only the arbitration policy
+  // differs between the two runs (the PCIe clamp would otherwise bound
+  // both results identically at high core counts).
+  const topo::PlatformSpec spec =
+      apply_hardware_variant(topo::make_dahu(), "no-host-coupling");
+  bench::SimBackend priority(spec);
+  bench::SimBackend fair(spec, sim::ArbitrationPolicy::kFairShare);
+  const std::size_t n = 15;
+  const auto with_priority =
+      priority.machine().steady_parallel(n, topo::NumaId(0), topo::NumaId(0));
+  const auto with_fair =
+      fair.machine().steady_parallel(n, topo::NumaId(0), topo::NumaId(0));
+  // Max-min fairness treats the NIC like one more requestor instead of a
+  // lower class pinned to its floor, so it keeps more bandwidth...
+  EXPECT_GT(with_fair.comm.gb(), with_priority.comm.gb() + 1.0);
+  // ...at the expense of the computing cores.
+  EXPECT_LT(with_fair.compute.gb(), with_priority.compute.gb() - 0.5);
+}
+
+TEST(Ablation, RunHardwareAblationCoversAllVariants) {
+  const std::vector<AblationResult> results =
+      run_hardware_ablation("occigen");
+  ASSERT_EQ(results.size(), hardware_variants().size());
+  for (const AblationResult& result : results) {
+    EXPECT_FALSE(result.note.empty()) << result.variant;
+    EXPECT_GE(result.report.average, 0.0);
+  }
+  const std::string table = render_ablation(results);
+  EXPECT_NE(table.find("no-dma-floor"), std::string::npos);
+  EXPECT_NE(table.find("fair-share-arbiter"), std::string::npos);
+}
+
+TEST(Ablation, PredictorComparisonRanksPaperModelFirst) {
+  const std::vector<model::ErrorReport> reports =
+      run_predictor_comparison("henri");
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_NE(reports[0].platform.find("paper-model"), std::string::npos);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LT(reports[0].average, reports[i].average)
+        << reports[i].platform;
+  }
+}
+
+}  // namespace
+}  // namespace mcm::eval

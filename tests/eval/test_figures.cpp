@@ -1,0 +1,68 @@
+#include "eval/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::eval {
+namespace {
+
+TEST(Figures, MakeFigureCoversAllPlacements) {
+  const FigureData figure = make_figure("Figure 3", "henri");
+  EXPECT_EQ(figure.platform, "henri");
+  EXPECT_EQ(figure.subplots.size(), 4u);  // 2 NUMA nodes -> 2^2
+  std::size_t samples = 0;
+  for (const FigureSeries& series : figure.subplots) {
+    EXPECT_EQ(series.measured.points.size(), 17u);
+    EXPECT_EQ(series.predicted.comm_parallel_gb.size(), 17u);
+    if (series.is_sample) ++samples;
+  }
+  EXPECT_EQ(samples, 2u);
+}
+
+TEST(Figures, SubplotRenderShowsMeasuredAndModelColumns) {
+  const FigureData figure = make_figure("Figure 3", "henri");
+  const std::string text = render_subplot(figure.subplots.front());
+  EXPECT_NE(text.find("comp par (model)"), std::string::npos);
+  EXPECT_NE(text.find("comm par (model)"), std::string::npos);
+  EXPECT_NE(text.find("prediction error"), std::string::npos);
+  EXPECT_NE(text.find("[model sample]"), std::string::npos);
+}
+
+TEST(Figures, FigureRenderNamesPlatformAndId) {
+  const FigureData figure = make_figure("Figure 6", "occigen");
+  const std::string text = render_figure(figure);
+  EXPECT_NE(text.find("Figure 6"), std::string::npos);
+  EXPECT_NE(text.find("occigen"), std::string::npos);
+}
+
+TEST(Figures, CsvHasOneRowPerPlacementAndCoreCount) {
+  const FigureData figure = make_figure("Figure 6", "occigen");
+  const std::string csv = figure_csv(figure);
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  // header + 4 placements x 13 core counts
+  EXPECT_EQ(lines, 1u + 4u * 13u);
+}
+
+TEST(Figures, StackedViewAnnotatesAnchors) {
+  const FigureData figure = make_figure("Figure 2", "henri-subnuma");
+  const std::string text =
+      render_stacked(figure, topo::NumaId(0), topo::NumaId(0));
+  EXPECT_NE(text.find("Nmax_par"), std::string::npos);
+  EXPECT_NE(text.find("Nmax_seq"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(Figures, StackedViewRejectsUnknownPlacement) {
+  const FigureData figure = make_figure("Figure 3", "henri");
+  EXPECT_THROW(
+      (void)render_stacked(figure, topo::NumaId(7), topo::NumaId(0)),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::eval

@@ -1,0 +1,70 @@
+#include "eval/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiments.hpp"
+
+namespace mcm::eval {
+namespace {
+
+TEST(Tables, TableOneListsAllSixPlatforms) {
+  const std::string table = render_table1();
+  for (const char* name :
+       {"henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(table.find("Omni-Path"), std::string::npos);
+  EXPECT_NE(table.find("InfiniBand"), std::string::npos);
+}
+
+TEST(Tables, TableTwoHasOneRowPerPlatformPlusAverage) {
+  const std::vector<model::ErrorReport> reports = run_table2();
+  ASSERT_EQ(reports.size(), 6u);
+  EXPECT_EQ(reports[0].platform, "henri");
+  EXPECT_EQ(reports[5].platform, "occigen");
+  const std::string table = render_table2(reports);
+  EXPECT_NE(table.find("Average"), std::string::npos);
+}
+
+TEST(Tables, TableTwoReproducesPaperShape) {
+  const std::vector<model::ErrorReport> reports = run_table2();
+  // Headline claims of the paper's Table II, as orderings:
+  const auto find = [&](const std::string& name) -> const auto& {
+    for (const auto& r : reports) {
+      if (r.platform == name) return r;
+    }
+    throw std::runtime_error("missing " + name);
+  };
+  // occigen is the most accurate platform overall.
+  for (const auto& r : reports) {
+    if (r.platform != "occigen") {
+      EXPECT_LE(find("occigen").average, r.average) << r.platform;
+    }
+  }
+  // pyxis has the worst communication error, concentrated on non-samples.
+  for (const auto& r : reports) {
+    if (r.platform != "pyxis") {
+      EXPECT_GE(find("pyxis").comm_non_samples, r.comm_non_samples)
+          << r.platform;
+    }
+  }
+}
+
+TEST(Experiments, IndexCoversEveryTableAndFigure) {
+  const auto index = experiment_index();
+  ASSERT_EQ(index.size(), 16u);
+  std::size_t figures = 0;
+  std::size_t tables = 0;
+  for (const ExperimentInfo& info : index) {
+    EXPECT_FALSE(info.bench_target.empty());
+    if (info.artefact.find("Figure") != std::string::npos) ++figures;
+    if (info.artefact.find("Table") != std::string::npos) ++tables;
+  }
+  EXPECT_EQ(figures, 7u);  // Figures 2-8
+  EXPECT_EQ(tables, 2u);   // Tables I and II
+  EXPECT_NE(render_experiment_index().find("bench_fig4_henri_subnuma"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::eval

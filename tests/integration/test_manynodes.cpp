@@ -1,0 +1,89 @@
+// Reproduction of the paper's §IV-C-1 model limitation on machines with
+// many, asymmetric NUMA nodes (the `tetra` 4-socket ring platform).
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(ManyNodes, TetraStructure) {
+  const topo::PlatformSpec spec = topo::make_tetra();
+  EXPECT_EQ(spec.machine.socket_count(), 4u);
+  EXPECT_EQ(spec.machine.numa_count(), 4u);
+  EXPECT_NO_THROW(spec.machine.validate());
+}
+
+TEST(ManyNodes, RingLinksAreAsymmetric) {
+  const topo::Machine& m = topo::make_tetra().machine;
+  const double adjacent =
+      m.link(m.inter_socket_link(topo::SocketId(0), topo::SocketId(1)))
+          .capacity.gb();
+  const double opposite =
+      m.link(m.inter_socket_link(topo::SocketId(0), topo::SocketId(2)))
+          .capacity.gb();
+  EXPECT_GT(adjacent, opposite * 1.5);
+  // Symmetric override: (1,3) equals (0,2).
+  EXPECT_DOUBLE_EQ(
+      m.link(m.inter_socket_link(topo::SocketId(1), topo::SocketId(3)))
+          .capacity.gb(),
+      opposite);
+}
+
+TEST(ManyNodes, OppositeSocketComputeCeilingIsLower) {
+  sim::SimMachine m(topo::make_tetra());
+  const std::size_t n = m.max_computing_cores();
+  // Socket-0 cores writing to adjacent node 1 vs opposite node 2.
+  const double adjacent = m.steady_compute_alone(n, topo::NumaId(1)).gb();
+  const double opposite = m.steady_compute_alone(n, topo::NumaId(2)).gb();
+  EXPECT_GT(adjacent, opposite + 2.0);
+  // Node 3 is also adjacent on the ring: equivalent to node 1.
+  EXPECT_NEAR(m.steady_compute_alone(n, topo::NumaId(3)).gb(), adjacent,
+              0.2);
+}
+
+TEST(ManyNodes, HeuristicDegradesOnAsymmetricRemotes) {
+  // The paper's limitation, quantified: the placement heuristic stays
+  // sharp on its samples but loses accuracy on the non-sample placements
+  // of an asymmetric-remote machine — and clearly more so than on the
+  // symmetric 4-node machine (henri-subnuma).
+  const auto errors = [](const std::string& platform) {
+    bench::SimBackend backend(topo::make_platform(platform));
+    const auto model = model::ContentionModel::from_backend(backend);
+    return model.evaluate_against(bench::run_all_placements(backend));
+  };
+  const model::ErrorReport tetra = errors("tetra");
+  EXPECT_GT(tetra.comm_non_samples, 3.0 * tetra.comm_samples);
+  const model::ErrorReport subnuma = errors("henri-subnuma");
+  EXPECT_GT(tetra.comm_non_samples, subnuma.comm_non_samples + 3.0);
+}
+
+TEST(ManyNodes, WorstPredictionsInvolveTheOppositeSocket) {
+  bench::SimBackend backend(topo::make_tetra());
+  const auto model = model::ContentionModel::from_backend(backend);
+  const model::ErrorReport report =
+      model.evaluate_against(bench::run_all_placements(backend));
+  // Mean comp error of placements whose computation data sits on the
+  // opposite socket (node 2) vs the adjacent ones (nodes 1, 3).
+  double opposite = 0.0, adjacent = 0.0;
+  int n_opposite = 0, n_adjacent = 0;
+  for (const model::PlacementError& p : report.placements) {
+    if (p.comp_numa == topo::NumaId(2)) {
+      opposite += p.comp_mape;
+      ++n_opposite;
+    } else if (p.comp_numa == topo::NumaId(1) ||
+               p.comp_numa == topo::NumaId(3)) {
+      adjacent += p.comp_mape;
+      ++n_adjacent;
+    }
+  }
+  ASSERT_GT(n_opposite, 0);
+  ASSERT_GT(n_adjacent, 0);
+  EXPECT_GT(opposite / n_opposite, adjacent / n_adjacent);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,174 @@
+// End-to-end integration tests: measure -> calibrate -> predict -> score,
+// asserting the error magnitudes and qualitative lessons of the paper's
+// evaluation (Table II and §IV-C).
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm {
+namespace {
+
+model::ErrorReport full_report(const std::string& platform) {
+  bench::SimBackend backend(topo::make_platform(platform));
+  const auto model = model::ContentionModel::from_backend(backend);
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  return model.evaluate_against(sweep);
+}
+
+struct ErrorBound {
+  const char* platform;
+  double comm_all_max;  // % MAPE ceilings, scaled from the paper's Table II
+  double comp_all_max;
+  double average_max;
+};
+
+class TableTwo : public testing::TestWithParam<ErrorBound> {};
+
+TEST_P(TableTwo, ErrorsStayWithinPaperLikeBounds) {
+  const ErrorBound bound = GetParam();
+  const model::ErrorReport report = full_report(bound.platform);
+  EXPECT_LT(report.comm_all, bound.comm_all_max) << bound.platform;
+  EXPECT_LT(report.comp_all, bound.comp_all_max) << bound.platform;
+  EXPECT_LT(report.average, bound.average_max) << bound.platform;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, TableTwo,
+    testing::Values(ErrorBound{"henri", 6.0, 3.0, 4.0},
+                    ErrorBound{"henri-subnuma", 8.0, 5.0, 6.0},
+                    ErrorBound{"dahu", 6.0, 3.0, 4.0},
+                    ErrorBound{"diablo", 4.0, 2.5, 3.0},
+                    ErrorBound{"pyxis", 12.0, 5.0, 8.0},
+                    ErrorBound{"occigen", 2.0, 1.5, 1.5}),
+    [](const testing::TestParamInfo<ErrorBound>& info) {
+      std::string name = info.param.platform;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PaperLessons, OverallAverageErrorBelowFourPercentExcludingPyxis) {
+  // The paper's headline: average prediction error < 4 %. pyxis carries
+  // quirks the model explicitly cannot express (discussed in §IV-C-1), so
+  // the bound is checked on the well-behaved platforms and relaxed there.
+  double sum = 0.0;
+  int count = 0;
+  for (const char* platform :
+       {"henri", "henri-subnuma", "dahu", "diablo", "occigen"}) {
+    sum += full_report(platform).average;
+    ++count;
+  }
+  EXPECT_LT(sum / count, 4.0);
+}
+
+TEST(PaperLessons, OccigenIsTheMostAccuratePlatform) {
+  const double occigen = full_report("occigen").average;
+  for (const char* platform : {"henri", "dahu", "pyxis"}) {
+    EXPECT_LT(occigen, full_report(platform).average) << platform;
+  }
+}
+
+TEST(PaperLessons, PyxisHasWorstNonSampleCommError) {
+  const model::ErrorReport pyxis = full_report("pyxis");
+  EXPECT_GT(pyxis.comm_non_samples, pyxis.comm_samples);
+  for (const char* platform : {"henri", "dahu", "diablo", "occigen"}) {
+    EXPECT_GT(pyxis.comm_non_samples,
+              full_report(platform).comm_non_samples)
+        << platform;
+  }
+}
+
+TEST(PaperLessons, ContentionConcentratesOnThePlacementDiagonal) {
+  // henri-subnuma, 16 placements: compute bandwidth must collapse only
+  // where comp and comm share a NUMA node (paper Fig. 4 discussion).
+  bench::SimBackend backend(topo::make_henri_subnuma());
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  const std::size_t n = backend.max_computing_cores();
+  for (std::uint32_t comp = 0; comp < 4; ++comp) {
+    const double solo =
+        backend.machine()
+            .steady_compute_alone(n, topo::NumaId(comp))
+            .gb();
+    for (std::uint32_t comm = 0; comm < 4; ++comm) {
+      const double with_comm =
+          sweep.curve(topo::NumaId(comp), topo::NumaId(comm))
+              .at(n)
+              .compute_parallel_gb;
+      if (comp == comm) {
+        EXPECT_LT(with_comm, solo * 0.97)
+            << "diagonal (" << comp << ") should contend";
+      } else {
+        EXPECT_GT(with_comm, solo * 0.96)
+            << "off-diagonal (" << comp << "," << comm
+            << ") should not disturb compute";
+      }
+    }
+  }
+}
+
+TEST(PaperLessons, BottleneckIsTheControllerNotTheInterSocketBus) {
+  // Both streams remote: severe contention only when they target the SAME
+  // remote node, although both cross the inter-socket bus either way.
+  bench::SimBackend backend(topo::make_henri_subnuma());
+  const std::size_t n = backend.max_computing_cores();
+  const auto same =
+      backend.machine().steady_parallel(n, topo::NumaId(2), topo::NumaId(2));
+  const auto different =
+      backend.machine().steady_parallel(n, topo::NumaId(2), topo::NumaId(3));
+  EXPECT_LT(same.comm.gb() + same.compute.gb(),
+            different.comm.gb() + different.compute.gb() - 1.0);
+}
+
+TEST(PaperLessons, CommDegradesFirstThenComputation) {
+  // On henri's local diagonal, as cores increase: communications lose
+  // bandwidth before computations do, and communications never fall below
+  // the assured floor.
+  bench::SimBackend backend(topo::make_henri());
+  const bench::PlacementCurve curve =
+      bench::run_placement(backend, topo::NumaId(0), topo::NumaId(0));
+  const double nominal_comm = curve.points.front().comm_alone_gb;
+
+  std::size_t first_comm_drop = 0;
+  std::size_t first_comp_drop = 0;
+  for (const bench::BandwidthPoint& p : curve.points) {
+    if (first_comm_drop == 0 && p.comm_parallel_gb < nominal_comm * 0.9) {
+      first_comm_drop = p.cores;
+    }
+    if (first_comp_drop == 0 &&
+        p.compute_parallel_gb < p.compute_alone_gb * 0.95) {
+      first_comp_drop = p.cores;
+    }
+  }
+  ASSERT_GT(first_comm_drop, 0u) << "communications never degraded";
+  if (first_comp_drop != 0) {
+    EXPECT_LE(first_comm_drop, first_comp_drop);
+  }
+  // Assured minimum: comm never reaches zero even fully contended.
+  for (const bench::BandwidthPoint& p : curve.points) {
+    EXPECT_GT(p.comm_parallel_gb, 2.0);
+  }
+}
+
+TEST(PaperLessons, SubnumaSymmetryAcrossEquivalentRemoteNodes) {
+  // Fig. 4: placements hitting different NUMA nodes of the second socket
+  // behave identically (up to noise).
+  bench::SimBackend backend(topo::make_henri_subnuma());
+  bench::SweepOptions options;
+  options.max_cores = 8;
+  const auto c22 = bench::run_placement(backend, topo::NumaId(2),
+                                        topo::NumaId(2), options);
+  const auto c33 = bench::run_placement(backend, topo::NumaId(3),
+                                        topo::NumaId(3), options);
+  for (std::size_t i = 0; i < c22.points.size(); ++i) {
+    EXPECT_NEAR(c22.points[i].compute_parallel_gb,
+                c33.points[i].compute_parallel_gb,
+                c22.points[i].compute_parallel_gb * 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

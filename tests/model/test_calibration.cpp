@@ -1,0 +1,169 @@
+#include "model/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/prediction.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::model {
+namespace {
+
+/// Synthesize the benchmark curve the model itself would produce for a
+/// parameter set — the inverse of calibration.
+bench::PlacementCurve synthesize(const ModelParams& m) {
+  bench::PlacementCurve curve;
+  curve.comp_numa = topo::NumaId(0);
+  curve.comm_numa = topo::NumaId(0);
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    bench::BandwidthPoint p;
+    p.cores = n;
+    p.compute_alone_gb = compute_alone(m, n);
+    p.comm_alone_gb = m.b_comm_seq;
+    p.compute_parallel_gb = compute_parallel(m, n);
+    p.comm_parallel_gb = comm_parallel(m, n);
+    curve.points.push_back(p);
+  }
+  return curve;
+}
+
+/// A parameter set whose synthesized curve identifies every parameter
+/// uniquely (strict peaks, both slopes non-zero, floor reached).
+ModelParams identifiable_params() {
+  ModelParams m;
+  m.b_comp_seq = 5.0;
+  m.b_comm_seq = 12.0;
+  m.alpha = 0.25;
+  m.max_cores = 20;
+  m.n_par_max = 14;
+  m.t_par_max = 82.0;
+  m.n_seq_max = 16;
+  m.t_seq_max = 81.0;
+  m.t_par_max2 = 80.4;  // delta_l = 0.8 over 2 cores
+  m.delta_l = 0.8;
+  m.delta_r = 1.1;
+  m.validate();
+  return m;
+}
+
+/// Compare two parameter sets by the predictions they generate.
+void expect_equivalent(const ModelParams& a, const ModelParams& b,
+                       double tolerance) {
+  ASSERT_EQ(a.max_cores, b.max_cores);
+  for (std::size_t n = 1; n <= a.max_cores; ++n) {
+    EXPECT_NEAR(compute_parallel(a, n), compute_parallel(b, n), tolerance)
+        << "compute_parallel n=" << n;
+    EXPECT_NEAR(comm_parallel(a, n), comm_parallel(b, n), tolerance)
+        << "comm_parallel n=" << n;
+    EXPECT_NEAR(compute_alone(a, n), compute_alone(b, n), tolerance)
+        << "compute_alone n=" << n;
+  }
+}
+
+TEST(Calibration, RecoversScalarParametersExactly) {
+  const ModelParams original = identifiable_params();
+  const ModelParams recovered =
+      calibrate(synthesize(original), CalibrationOptions{0});
+  EXPECT_DOUBLE_EQ(recovered.b_comp_seq, original.b_comp_seq);
+  EXPECT_DOUBLE_EQ(recovered.b_comm_seq, original.b_comm_seq);
+  EXPECT_NEAR(recovered.alpha, original.alpha, 1e-9);
+  EXPECT_NEAR(recovered.t_par_max, original.t_par_max, 1e-9);
+  EXPECT_NEAR(recovered.t_par_max2, original.t_par_max2, 1e-9);
+}
+
+TEST(Calibration, RoundTripPredictionsMatch) {
+  const ModelParams original = identifiable_params();
+  const ModelParams recovered =
+      calibrate(synthesize(original), CalibrationOptions{0});
+  expect_equivalent(original, recovered, 1e-6);
+}
+
+TEST(Calibration, IsAFixedPoint) {
+  // Even when the first calibration lands on a different but equivalent
+  // parameterization, a second round must not move.
+  ModelParams m = identifiable_params();
+  m.delta_l = 0.0;  // create a plateau (degenerate identification)
+  m.t_par_max2 = m.t_par_max;
+  const ModelParams once = calibrate(synthesize(m), CalibrationOptions{0});
+  const ModelParams twice =
+      calibrate(synthesize(once), CalibrationOptions{0});
+  expect_equivalent(once, twice, 1e-6);
+}
+
+class CalibrationNoise : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalibrationNoise, RobustToMeasurementJitter) {
+  const ModelParams original = identifiable_params();
+  bench::PlacementCurve curve = synthesize(original);
+  Rng rng(GetParam());
+  for (auto& p : curve.points) {
+    p.compute_alone_gb *= 1.0 + 0.005 * rng.normal();
+    p.compute_parallel_gb *= 1.0 + 0.005 * rng.normal();
+    p.comm_alone_gb *= 1.0 + 0.005 * rng.normal();
+    p.comm_parallel_gb *= 1.0 + 0.005 * rng.normal();
+  }
+  const ModelParams recovered = calibrate(curve);
+  // Scalars within a few percent despite the jitter.
+  EXPECT_NEAR(recovered.b_comm_seq, original.b_comm_seq,
+              original.b_comm_seq * 0.02);
+  EXPECT_NEAR(recovered.t_par_max, original.t_par_max,
+              original.t_par_max * 0.02);
+  EXPECT_NEAR(recovered.alpha, original.alpha, 0.03);
+  // And the anchor core counts land on or next to the true ones.
+  EXPECT_NEAR(static_cast<double>(recovered.n_seq_max),
+              static_cast<double>(original.n_seq_max), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationNoise,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Calibration, NoContentionCurveYieldsZeroSlopes) {
+  // Flat comm + linear compute: a diablo-like platform.
+  bench::PlacementCurve curve;
+  curve.comp_numa = topo::NumaId(0);
+  curve.comm_numa = topo::NumaId(0);
+  for (std::size_t n = 1; n <= 16; ++n) {
+    bench::BandwidthPoint p;
+    p.cores = n;
+    p.compute_alone_gb = 3.0 * static_cast<double>(n);
+    p.comm_alone_gb = 20.0;
+    p.compute_parallel_gb = 3.0 * static_cast<double>(n);
+    p.comm_parallel_gb = 20.0;
+    curve.points.push_back(p);
+  }
+  const ModelParams m = calibrate(curve, CalibrationOptions{0});
+  EXPECT_DOUBLE_EQ(m.delta_l, 0.0);
+  EXPECT_DOUBLE_EQ(m.delta_r, 0.0);
+  EXPECT_NEAR(m.alpha, 1.0, 1e-9);
+  EXPECT_EQ(m.n_seq_max, 16u);
+  // Predictions: perfect overlap at every core count.
+  for (std::size_t n = 1; n <= 16; ++n) {
+    EXPECT_NEAR(compute_parallel(m, n), 3.0 * static_cast<double>(n), 1e-6);
+    EXPECT_NEAR(comm_parallel(m, n), 20.0, 1e-6);
+  }
+}
+
+TEST(Calibration, RejectsTooShortCurves) {
+  bench::PlacementCurve curve;
+  curve.points.resize(2);
+  curve.points[0].cores = 1;
+  curve.points[1].cores = 2;
+  EXPECT_THROW((void)calibrate(curve), ContractViolation);
+}
+
+TEST(Calibration, RejectsSparseCurves) {
+  bench::PlacementCurve curve;
+  for (std::size_t n : {1u, 3u, 5u, 7u}) {
+    bench::BandwidthPoint p;
+    p.cores = n;
+    p.compute_alone_gb = 1.0;
+    p.comm_alone_gb = 1.0;
+    p.compute_parallel_gb = 1.0;
+    p.comm_parallel_gb = 1.0;
+    curve.points.push_back(p);
+  }
+  EXPECT_THROW((void)calibrate(curve), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::model

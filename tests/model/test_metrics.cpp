@@ -1,0 +1,107 @@
+#include "model/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+namespace {
+
+TEST(Metrics, SeriesMapeMatchesHandValue) {
+  EXPECT_NEAR(series_mape({10.0, 20.0}, {9.0, 22.0}), 10.0, 1e-9);
+}
+
+TEST(Metrics, PlacementErrorChecksCoordinates) {
+  bench::PlacementCurve measured;
+  measured.comp_numa = topo::NumaId(0);
+  measured.comm_numa = topo::NumaId(1);
+  PredictedCurve predicted;
+  predicted.comp_numa = topo::NumaId(1);  // mismatch
+  predicted.comm_numa = topo::NumaId(1);
+  EXPECT_THROW((void)placement_error(measured, predicted, false),
+               ContractViolation);
+}
+
+class MetricsOnPlatform : public testing::TestWithParam<const char*> {};
+
+TEST_P(MetricsOnPlatform, EvaluateProducesConsistentAggregates) {
+  bench::SimBackend backend(topo::make_platform(GetParam()));
+  const auto model = ContentionModel::from_backend(backend);
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  const ErrorReport report = model.evaluate_against(sweep);
+
+  const std::size_t numa = backend.numa_count();
+  EXPECT_EQ(report.placements.size(), numa * numa);
+
+  std::size_t samples = 0;
+  for (const PlacementError& p : report.placements) {
+    EXPECT_GE(p.comm_mape, 0.0);
+    EXPECT_GE(p.comp_mape, 0.0);
+    if (p.is_sample) {
+      ++samples;
+      EXPECT_EQ(p.comp_numa, p.comm_numa);
+    }
+  }
+  EXPECT_EQ(samples, 2u);
+
+  // The aggregate is the mean of the two categories' means, weighted by
+  // placement counts; `all` must sit between the category values.
+  EXPECT_GE(report.comm_all + 1e-9,
+            std::min(report.comm_samples, report.comm_non_samples));
+  EXPECT_LE(report.comm_all - 1e-9,
+            std::max(report.comm_samples, report.comm_non_samples));
+  EXPECT_NEAR(report.average, 0.5 * (report.comm_all + report.comp_all),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, MetricsOnPlatform,
+                         testing::Values("henri", "henri-subnuma", "dahu",
+                                         "diablo", "pyxis", "occigen"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Metrics, SampleErrorIsZeroWhenModelReproducesItsOwnCurve) {
+  // Evaluate a model against the exact curves its own equations generate:
+  // sample placements must have zero error by construction.
+  bench::SimBackend backend(topo::make_occigen());
+  const auto model = ContentionModel::from_backend(backend);
+
+  bench::SweepResult synthetic;
+  synthetic.platform = "synthetic";
+  synthetic.numa_per_socket = backend.numa_per_socket();
+  for (std::uint32_t comm = 0; comm < backend.numa_count(); ++comm) {
+    for (std::uint32_t comp = 0; comp < backend.numa_count(); ++comp) {
+      const PredictedCurve p =
+          model.predict(topo::NumaId(comp), topo::NumaId(comm));
+      bench::PlacementCurve curve;
+      curve.comp_numa = topo::NumaId(comp);
+      curve.comm_numa = topo::NumaId(comm);
+      for (std::size_t n = 1; n <= model.max_cores(); ++n) {
+        bench::BandwidthPoint point;
+        point.cores = n;
+        point.compute_alone_gb = p.compute_alone_gb[n - 1];
+        point.comm_alone_gb = p.comm_alone_gb[n - 1];
+        point.compute_parallel_gb = p.compute_parallel_gb[n - 1];
+        point.comm_parallel_gb = p.comm_parallel_gb[n - 1];
+        curve.points.push_back(point);
+      }
+      synthetic.curves.push_back(curve);
+    }
+  }
+  const ErrorReport report = model.evaluate_against(synthetic);
+  EXPECT_NEAR(report.comm_all, 0.0, 1e-9);
+  EXPECT_NEAR(report.comp_all, 0.0, 1e-9);
+  EXPECT_NEAR(report.average, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcm::model

@@ -1,0 +1,116 @@
+#include "model/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/prediction.hpp"
+#include "model/report.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+namespace {
+
+TEST(ContentionModel, FromBackendCalibratesBothRegimes) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  // Local: single core ~5.5 GB/s, network ~12.2 GB/s.
+  EXPECT_NEAR(model.local().b_comp_seq, 5.5, 0.2);
+  EXPECT_NEAR(model.local().b_comm_seq, 12.2, 0.3);
+  // Remote: single core ~3.3 GB/s, network ~11.3 GB/s.
+  EXPECT_NEAR(model.remote().b_comp_seq, 3.3, 0.2);
+  EXPECT_NEAR(model.remote().b_comm_seq, 12.2 * 0.93, 0.3);
+  // Remote saturates earlier and lower.
+  EXPECT_LT(model.remote().t_seq_max, model.local().t_seq_max);
+  EXPECT_LT(model.remote().n_seq_max, model.local().n_seq_max);
+}
+
+TEST(ContentionModel, FromSweepRequiresCalibrationPlacements) {
+  bench::SweepResult sweep;
+  sweep.platform = "x";
+  sweep.numa_per_socket = 1;
+  // Missing curves entirely.
+  EXPECT_THROW((void)ContentionModel::from_sweep(sweep), ContractViolation);
+}
+
+TEST(ContentionModel, RecommendedCoresMatchesContentionOnset) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  const std::size_t recommended =
+      model.recommended_core_count(topo::NumaId(0), topo::NumaId(0));
+  // Below the recommendation: no contention in the model.
+  ASSERT_GE(recommended, 1u);
+  EXPECT_TRUE(fits_without_contention(model.local(), recommended));
+  if (recommended < model.max_cores()) {
+    EXPECT_FALSE(fits_without_contention(model.local(), recommended + 1));
+  }
+  // henri contends near 14-16 cores.
+  EXPECT_GE(recommended, 12u);
+  EXPECT_LE(recommended, 16u);
+}
+
+TEST(ContentionModel, RecommendedCoresOffDiagonalBoundByScaling) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  const std::size_t n =
+      model.recommended_core_count(topo::NumaId(0), topo::NumaId(1));
+  // Off-diagonal: bound is where solo compute scaling stops being perfect.
+  ASSERT_GE(n, 1u);
+  EXPECT_NEAR(compute_alone(model.local(), n),
+              static_cast<double>(n) * model.local().b_comp_seq, 1e-6);
+}
+
+TEST(ContentionModel, BestPlacementSeparatesDataOnContendedPlatform) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  const PlacementAdvice advice = model.best_placement(model.max_cores());
+  // At full core count the best total bandwidth never co-locates both data
+  // blocks on one node on a contended machine.
+  EXPECT_NE(advice.comp_numa, advice.comm_numa);
+  EXPECT_GT(advice.compute_gb, 0.0);
+  EXPECT_GT(advice.comm_gb, 0.0);
+  // And it must dominate the worst (diagonal local) placement.
+  const PredictedCurve diagonal =
+      model.predict(topo::NumaId(0), topo::NumaId(0));
+  const double diagonal_total =
+      diagonal.compute_parallel_gb.back() + diagonal.comm_parallel_gb.back();
+  EXPECT_GE(advice.compute_gb + advice.comm_gb, diagonal_total - 1e-9);
+}
+
+TEST(ContentionModel, BestPlacementValidatesCoreCount) {
+  bench::SimBackend backend(topo::make_occigen());
+  const auto model = ContentionModel::from_backend(backend);
+  EXPECT_THROW((void)model.best_placement(0), ContractViolation);
+  EXPECT_THROW((void)model.best_placement(model.max_cores() + 1),
+               ContractViolation);
+}
+
+TEST(ContentionModel, NumaCountCoversBothSockets) {
+  bench::SimBackend backend(topo::make_henri_subnuma());
+  const auto model = ContentionModel::from_backend(backend);
+  EXPECT_EQ(model.numa_count(), 4u);
+  EXPECT_EQ(model.max_cores(), 17u);
+}
+
+TEST(Report, ParameterTableRendersBothColumns) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  const std::string table = render_parameters(model);
+  EXPECT_NE(table.find("local"), std::string::npos);
+  EXPECT_NE(table.find("remote"), std::string::npos);
+  EXPECT_NE(table.find("Bcomm_seq"), std::string::npos);
+}
+
+TEST(Report, ErrorTableHasAverageRow) {
+  bench::SimBackend backend(topo::make_occigen());
+  const auto model = ContentionModel::from_backend(backend);
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  const ErrorReport report = model.evaluate_against(sweep);
+  const std::string table = render_error_table({report, report});
+  EXPECT_NE(table.find("Average"), std::string::npos);
+  EXPECT_NE(table.find("occigen"), std::string::npos);
+  const std::string single = render_error_report(report);
+  EXPECT_NE(single.find("samples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::model

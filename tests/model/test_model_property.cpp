@@ -1,0 +1,129 @@
+// Property-based tests of the prediction equations over random (but
+// internally consistent) parameter sets.
+#include <gtest/gtest.h>
+
+#include "model/prediction.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::model {
+namespace {
+
+ModelParams random_params(std::uint64_t seed) {
+  Rng rng(seed);
+  ModelParams m;
+  m.max_cores = 8 + rng.uniform_below(28);
+  m.b_comp_seq = rng.uniform(1.5, 7.0);
+  m.b_comm_seq = rng.uniform(5.0, 25.0);
+  m.alpha = rng.uniform(0.1, 1.0);
+  m.n_seq_max = 3 + rng.uniform_below(m.max_cores - 3);
+  m.n_par_max = 1 + rng.uniform_below(m.n_seq_max);
+  m.t_par_max =
+      static_cast<double>(m.n_par_max) * m.b_comp_seq +
+      rng.uniform(0.3, 1.0) * m.b_comm_seq;
+  m.t_seq_max = rng.uniform(0.85, 1.1) * m.t_par_max;
+  m.delta_l = rng.uniform(0.0, 1.2);
+  m.t_par_max2 = std::max(
+      m.t_par_max -
+          m.delta_l * static_cast<double>(m.n_seq_max - m.n_par_max),
+      0.3 * m.t_par_max);
+  // Re-derive delta_l so the anchors are consistent, as calibration does.
+  if (m.n_seq_max > m.n_par_max) {
+    m.delta_l = (m.t_par_max - m.t_par_max2) /
+                static_cast<double>(m.n_seq_max - m.n_par_max);
+  } else {
+    m.delta_l = 0.0;
+  }
+  m.delta_r = rng.uniform(0.0, 1.2);
+  // Keep T(n) positive over the whole domain.
+  const double t_end =
+      m.t_par_max2 -
+      m.delta_r * static_cast<double>(m.max_cores - m.n_seq_max);
+  if (t_end < 0.2 * m.t_par_max) {
+    m.delta_r = (m.t_par_max2 - 0.2 * m.t_par_max) /
+                std::max(1.0,
+                         static_cast<double>(m.max_cores - m.n_seq_max));
+  }
+  m.validate();
+  return m;
+}
+
+class PredictionProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredictionProperty, CommStaysWithinFloorAndNominal) {
+  const ModelParams m = random_params(GetParam());
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double comm = comm_parallel(m, n);
+    EXPECT_GE(comm, m.alpha * m.b_comm_seq - 1e-9) << "n=" << n;
+    EXPECT_LE(comm, m.b_comm_seq + 1e-9) << "n=" << n;
+  }
+}
+
+TEST_P(PredictionProperty, CommIsMonotonicallyNonIncreasing) {
+  const ModelParams m = random_params(GetParam());
+  double previous = 1e300;
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double comm = comm_parallel(m, n);
+    EXPECT_LE(comm, previous + 1e-9) << "n=" << n;
+    previous = comm;
+  }
+}
+
+TEST_P(PredictionProperty, ComputeNeverExceedsItsDemandOrTheBus) {
+  const ModelParams m = random_params(GetParam());
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double compute = compute_parallel(m, n);
+    EXPECT_GE(compute, -1e-9);
+    EXPECT_LE(compute, static_cast<double>(n) * m.b_comp_seq + 1e-9)
+        << "n=" << n;
+    EXPECT_LE(compute + comm_parallel(m, n),
+              std::max(total_bandwidth(m, n),
+                       static_cast<double>(n) * m.b_comp_seq +
+                           m.b_comm_seq) +
+                  1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST_P(PredictionProperty, SaturatedRegionConservesTotalBandwidth) {
+  const ModelParams m = random_params(GetParam());
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    if (fits_without_contention(m, n)) continue;
+    const double comm = comm_parallel(m, n);
+    const double compute = compute_parallel(m, n);
+    if (total_bandwidth(m, n) >= comm) {
+      EXPECT_NEAR(compute + comm, total_bandwidth(m, n), 1e-9) << "n=" << n;
+    } else {
+      // Degenerate tail: T(n) fell below the assured communication floor.
+      // The paper's eq. (3) would go negative; the implementation clamps
+      // computations at zero and keeps the floor.
+      EXPECT_DOUBLE_EQ(compute, 0.0) << "n=" << n;
+      EXPECT_NEAR(comm, alpha_of(m, n) * m.b_comm_seq, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(PredictionProperty, AloneComputeBoundsParallelCompute) {
+  const ModelParams m = random_params(GetParam());
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    // Running with communications can never be faster than the solo bound
+    // of perfect scaling.
+    EXPECT_LE(compute_parallel(m, n),
+              static_cast<double>(n) * m.b_comp_seq + 1e-9);
+    EXPECT_LE(compute_alone(m, n), m.t_seq_max + 1e-9);
+  }
+}
+
+TEST_P(PredictionProperty, AlphaInterpolationIsBounded) {
+  const ModelParams m = random_params(GetParam());
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double a = alpha_of(m, n);
+    EXPECT_GE(a, m.alpha - 1e-9) << "n=" << n;
+    EXPECT_LE(a, 1.0 + 1e-9) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictionProperty,
+                         testing::Range<std::uint64_t>(1, 40));
+
+}  // namespace
+}  // namespace mcm::model

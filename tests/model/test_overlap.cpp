@@ -1,0 +1,106 @@
+#include "model/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace mcm::model {
+namespace {
+
+ContentionModel henri_model() {
+  bench::SimBackend backend(topo::make_henri());
+  return ContentionModel::from_backend(backend);
+}
+
+IterationSpec typical_spec() {
+  IterationSpec spec;
+  spec.compute_bytes = 8.0 * static_cast<double>(kGiB);
+  spec.message_bytes = 64.0 * static_cast<double>(kMiB);
+  return spec;
+}
+
+TEST(Overlap, PlanCoversAllCoreCounts) {
+  const ContentionModel model = henri_model();
+  const OverlapPlan plan =
+      plan_overlap(model, typical_spec(), topo::NumaId(0), topo::NumaId(0));
+  ASSERT_EQ(plan.points.size(), model.max_cores());
+  for (const OverlapPoint& p : plan.points) {
+    EXPECT_GT(p.compute_seconds, 0.0);
+    EXPECT_GT(p.comm_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(p.iteration_seconds,
+                     std::max(p.compute_seconds, p.comm_seconds));
+  }
+  EXPECT_GE(plan.best_cores, 1u);
+  EXPECT_DOUBLE_EQ(plan.best_iteration_seconds,
+                   plan.at(plan.best_cores).iteration_seconds);
+}
+
+TEST(Overlap, SlowdownIsOneWithoutContention) {
+  // Few cores on the local diagonal: model predicts perfect scaling and
+  // nominal comm, so the naive estimate matches exactly.
+  const ContentionModel model = henri_model();
+  const OverlapPlan plan =
+      plan_overlap(model, typical_spec(), topo::NumaId(0), topo::NumaId(0));
+  EXPECT_NEAR(plan.at(2).contention_slowdown, 1.0, 1e-9);
+  EXPECT_NEAR(plan.at(6).contention_slowdown, 1.0, 1e-9);
+}
+
+TEST(Overlap, ContentionInflatesFullLoadIterations) {
+  const ContentionModel model = henri_model();
+  // Communication-heavy iteration: the comm share dominates at high core
+  // counts where it is squeezed to the floor.
+  IterationSpec spec;
+  spec.compute_bytes = 1.0 * static_cast<double>(kGiB);
+  spec.message_bytes = 256.0 * static_cast<double>(kMiB);
+  const OverlapPlan plan =
+      plan_overlap(model, spec, topo::NumaId(0), topo::NumaId(0));
+  EXPECT_GT(plan.at(model.max_cores()).contention_slowdown, 1.5);
+}
+
+TEST(Overlap, BestCoresIsNotAlwaysAllCores) {
+  // With a dominating message, adding cores past the contention point
+  // makes iterations *slower*; the planner must notice.
+  const ContentionModel model = henri_model();
+  IterationSpec spec;
+  spec.compute_bytes = 0.5 * static_cast<double>(kGiB);
+  spec.message_bytes = 512.0 * static_cast<double>(kMiB);
+  const OverlapPlan plan =
+      plan_overlap(model, spec, topo::NumaId(0), topo::NumaId(0));
+  EXPECT_LT(plan.best_cores, model.max_cores());
+  EXPECT_LT(plan.best_iteration_seconds,
+            plan.at(model.max_cores()).iteration_seconds);
+}
+
+TEST(Overlap, BestPlacementBeatsOrMatchesTheWorst) {
+  const ContentionModel model = henri_model();
+  const OverlapPlan best =
+      plan_overlap_best_placement(model, typical_spec());
+  const OverlapPlan diagonal =
+      plan_overlap(model, typical_spec(), topo::NumaId(0), topo::NumaId(0));
+  EXPECT_LE(best.best_iteration_seconds,
+            diagonal.best_iteration_seconds + 1e-12);
+}
+
+TEST(Overlap, SpecValidation) {
+  const ContentionModel model = henri_model();
+  IterationSpec bad;
+  bad.compute_bytes = 0.0;
+  bad.message_bytes = 1.0;
+  EXPECT_THROW(
+      (void)plan_overlap(model, bad, topo::NumaId(0), topo::NumaId(0)),
+      ContractViolation);
+}
+
+TEST(Overlap, AtValidatesRange) {
+  const ContentionModel model = henri_model();
+  const OverlapPlan plan =
+      plan_overlap(model, typical_spec(), topo::NumaId(0), topo::NumaId(1));
+  EXPECT_THROW((void)plan.at(0), ContractViolation);
+  EXPECT_THROW((void)plan.at(model.max_cores() + 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::model

@@ -1,0 +1,170 @@
+#include "model/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/prediction.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+namespace {
+
+ModelParams local_params() {
+  ModelParams m;
+  m.n_par_max = 14;
+  m.t_par_max = 88.0;
+  m.n_seq_max = 16;
+  m.t_seq_max = 88.0;
+  m.t_par_max2 = 86.5;
+  m.delta_l = 0.75;
+  m.delta_r = 0.9;
+  m.b_comp_seq = 5.5;
+  m.b_comm_seq = 12.0;
+  m.alpha = 1.0 / 3.0;
+  m.max_cores = 17;
+  return m;
+}
+
+ModelParams remote_params() {
+  ModelParams m;
+  m.n_par_max = 8;
+  m.t_par_max = 37.0;
+  m.n_seq_max = 11;
+  m.t_seq_max = 36.0;
+  m.t_par_max2 = 35.8;
+  m.delta_l = 0.4;
+  m.delta_r = 0.45;
+  m.b_comp_seq = 3.3;
+  m.b_comm_seq = 11.0;
+  m.alpha = 0.28;
+  m.max_cores = 17;
+  return m;
+}
+
+/// Two NUMA nodes per socket (#m = 2): nodes 0,1 local, 2,3 remote.
+PlacementModel two_per_socket() {
+  return PlacementModel(local_params(), remote_params(), 2);
+}
+
+TEST(Placement, LocalityPredicate) {
+  const PlacementModel pm = two_per_socket();
+  EXPECT_TRUE(pm.is_local(topo::NumaId(0)));
+  EXPECT_TRUE(pm.is_local(topo::NumaId(1)));
+  EXPECT_FALSE(pm.is_local(topo::NumaId(2)));
+  EXPECT_FALSE(pm.is_local(topo::NumaId(3)));
+}
+
+TEST(Placement, Equation6SameRemoteNodeUsesRemoteModel) {
+  const PlacementModel pm = two_per_socket();
+  for (std::size_t n = 1; n <= 17; ++n) {
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(2), topo::NumaId(2)),
+                     comm_parallel(remote_params(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Placement, Equation6RemoteCommElsewhereUsesLocalModelWithRemoteNominal) {
+  const PlacementModel pm = two_per_socket();
+  const ModelParams swapped =
+      local_params().with_comm_nominal(remote_params().b_comm_seq);
+  for (std::size_t n = 1; n <= 17; ++n) {
+    // comp local (0), comm remote (2): middle case of eq. (6).
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(0), topo::NumaId(2)),
+                     comm_parallel(swapped, n))
+        << "n=" << n;
+    // comp on remote node 3, comm on remote node 2 (different nodes):
+    // still the middle case.
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(3), topo::NumaId(2)),
+                     comm_parallel(swapped, n))
+        << "n=" << n;
+  }
+}
+
+TEST(Placement, Equation6LocalCommUsesLocalModel) {
+  const PlacementModel pm = two_per_socket();
+  for (std::size_t n = 1; n <= 17; ++n) {
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(2), topo::NumaId(0)),
+                     comm_parallel(local_params(), n))
+        << "n=" << n;
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(0), topo::NumaId(0)),
+                     comm_parallel(local_params(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Placement, Equation7DiagonalUsesParallelModel) {
+  const PlacementModel pm = two_per_socket();
+  for (std::size_t n = 1; n <= 17; ++n) {
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(0), topo::NumaId(0)),
+                     compute_parallel(local_params(), n));
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(2), topo::NumaId(2)),
+                     compute_parallel(remote_params(), n));
+  }
+}
+
+TEST(Placement, Equation7OffDiagonalUsesSoloModel) {
+  const PlacementModel pm = two_per_socket();
+  for (std::size_t n = 1; n <= 17; ++n) {
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(0), topo::NumaId(2)),
+                     compute_alone(local_params(), n));
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(2), topo::NumaId(1)),
+                     compute_alone(remote_params(), n));
+    // Different local nodes (only possible with #m >= 2).
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(0), topo::NumaId(1)),
+                     compute_alone(local_params(), n));
+  }
+}
+
+TEST(Placement, AloneSeriesFollowLocality) {
+  const PlacementModel pm = two_per_socket();
+  EXPECT_DOUBLE_EQ(pm.comm_alone(topo::NumaId(1)), 12.0);
+  EXPECT_DOUBLE_EQ(pm.comm_alone(topo::NumaId(3)), 11.0);
+  EXPECT_DOUBLE_EQ(pm.compute_alone(4, topo::NumaId(0)), 22.0);
+  EXPECT_DOUBLE_EQ(pm.compute_alone(4, topo::NumaId(2)), 13.2);
+}
+
+TEST(Placement, PredictProducesDenseCurves) {
+  const PlacementModel pm = two_per_socket();
+  const PredictedCurve curve =
+      pm.predict(topo::NumaId(1), topo::NumaId(2));
+  EXPECT_EQ(curve.comp_numa, topo::NumaId(1));
+  EXPECT_EQ(curve.comm_numa, topo::NumaId(2));
+  ASSERT_EQ(curve.compute_parallel_gb.size(), 17u);
+  ASSERT_EQ(curve.comm_parallel_gb.size(), 17u);
+  ASSERT_EQ(curve.compute_alone_gb.size(), 17u);
+  ASSERT_EQ(curve.comm_alone_gb.size(), 17u);
+  for (std::size_t i = 0; i < 17; ++i) {
+    EXPECT_GT(curve.compute_parallel_gb[i], 0.0);
+    EXPECT_GT(curve.comm_parallel_gb[i], 0.0);
+  }
+}
+
+TEST(Placement, SymmetryAcrossEquivalentRemoteNodes) {
+  // Nodes 2 and 3 are interchangeable to the model: every prediction must
+  // be identical — the symmetry the paper observes in Fig. 4.
+  const PlacementModel pm = two_per_socket();
+  for (std::size_t n = 1; n <= 17; ++n) {
+    EXPECT_DOUBLE_EQ(pm.comm_parallel(n, topo::NumaId(2), topo::NumaId(2)),
+                     pm.comm_parallel(n, topo::NumaId(3), topo::NumaId(3)));
+    EXPECT_DOUBLE_EQ(pm.compute_parallel(n, topo::NumaId(2), topo::NumaId(3)),
+                     pm.compute_parallel(n, topo::NumaId(3), topo::NumaId(2)));
+  }
+}
+
+TEST(Placement, RequiresMatchingMaxCores) {
+  ModelParams remote = remote_params();
+  remote.max_cores = 12;
+  remote.n_par_max = 8;
+  EXPECT_THROW(PlacementModel(local_params(), remote, 2),
+               ContractViolation);
+}
+
+TEST(Placement, SingleNodePerSocket) {
+  const PlacementModel pm(local_params(), remote_params(), 1);
+  EXPECT_TRUE(pm.is_local(topo::NumaId(0)));
+  EXPECT_FALSE(pm.is_local(topo::NumaId(1)));
+  EXPECT_DOUBLE_EQ(pm.comm_parallel(5, topo::NumaId(1), topo::NumaId(1)),
+                   comm_parallel(remote_params(), 5));
+}
+
+}  // namespace
+}  // namespace mcm::model

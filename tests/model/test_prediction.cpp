@@ -1,0 +1,204 @@
+#include "model/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+namespace {
+
+/// Hand-built parameter set mirroring a henri-like local regime:
+/// single core 5.5 GB/s, solo peak 88 at 16 cores, parallel peak 88 at 14,
+/// inflexion to 86.5 at 16, network 12 GB/s with a 1/3 floor.
+ModelParams henri_like() {
+  ModelParams m;
+  m.n_par_max = 14;
+  m.t_par_max = 88.0;
+  m.n_seq_max = 16;
+  m.t_seq_max = 88.0;
+  m.t_par_max2 = 86.5;
+  m.delta_l = 0.75;
+  m.delta_r = 0.9;
+  m.b_comp_seq = 5.5;
+  m.b_comm_seq = 12.0;
+  m.alpha = 1.0 / 3.0;
+  m.max_cores = 17;
+  m.validate();
+  return m;
+}
+
+TEST(Prediction, TotalBandwidthIsPiecewiseLinear) {
+  const ModelParams m = henri_like();
+  // Flat at Tmax_par up to Nmax_par.
+  EXPECT_DOUBLE_EQ(total_bandwidth(m, 1), 88.0);
+  EXPECT_DOUBLE_EQ(total_bandwidth(m, 14), 88.0);
+  // Left slope between Nmax_par and Nmax_seq.
+  EXPECT_DOUBLE_EQ(total_bandwidth(m, 15), 88.0 - 0.75);
+  EXPECT_DOUBLE_EQ(total_bandwidth(m, 16), 88.0 - 1.5);
+  // Right slope anchored at Tmax2_par after Nmax_seq.
+  EXPECT_DOUBLE_EQ(total_bandwidth(m, 17), 86.5 - 0.9);
+}
+
+TEST(Prediction, RequiredBandwidthIsEquationTwo) {
+  const ModelParams m = henri_like();
+  EXPECT_DOUBLE_EQ(required_bandwidth(m, 10), 10 * 5.5 + 12.0 / 3.0);
+}
+
+TEST(Prediction, FitsWithoutContentionThreshold) {
+  const ModelParams m = henri_like();
+  // R(n) = 5.5n + 4 < T(n): true up to n = 15 (86.5 < 87.25).
+  EXPECT_TRUE(fits_without_contention(m, 1));
+  EXPECT_TRUE(fits_without_contention(m, 15));
+  EXPECT_FALSE(fits_without_contention(m, 16));
+  EXPECT_FALSE(fits_without_contention(m, 17));
+}
+
+TEST(Prediction, ComputeScalesPerfectlyBeforeThreshold) {
+  const ModelParams m = henri_like();
+  for (std::size_t n = 1; n <= 15; ++n) {
+    EXPECT_DOUBLE_EQ(compute_parallel(m, n), n * 5.5) << "n=" << n;
+  }
+}
+
+TEST(Prediction, CommEqualsNominalWhileCoresLeaveRoom) {
+  const ModelParams m = henri_like();
+  // T(10) - 10*5.5 = 33 > 12 -> comm capped at nominal.
+  EXPECT_DOUBLE_EQ(comm_parallel(m, 10), 12.0);
+}
+
+TEST(Prediction, CommTakesLeftoverJustBeforeThreshold) {
+  const ModelParams m = henri_like();
+  // n=14: leftover = 88 - 77 = 11 < 12.
+  EXPECT_DOUBLE_EQ(comm_parallel(m, 14), 11.0);
+  // n=15: leftover = 87.25 - 82.5 = 4.75.
+  EXPECT_DOUBLE_EQ(comm_parallel(m, 15), 4.75);
+}
+
+TEST(Prediction, CommDropsToAlphaFloorAtNmaxSeqAndBeyond) {
+  const ModelParams m = henri_like();
+  EXPECT_DOUBLE_EQ(comm_parallel(m, 16), 4.0);  // alpha * 12
+  EXPECT_DOUBLE_EQ(comm_parallel(m, 17), 4.0);
+}
+
+TEST(Prediction, AlphaInterpolatesBetweenLastFitAndNmaxSeq) {
+  // Widen the gap so the interpolation region is non-trivial.
+  ModelParams m = henri_like();
+  m.n_par_max = 10;
+  m.n_seq_max = 16;
+  m.delta_l = 0.2;
+  m.t_par_max2 = 88.0 - 0.2 * 6;
+  // Last n with R(n) < T(n): R(n)=5.5n+4 vs T: n=15 -> 86.5 vs 87 fits;
+  // n=16 -> 92 vs 86.8 does not. So i = 15.
+  EXPECT_DOUBLE_EQ(alpha_of(m, 16), m.alpha);
+  const double base = (total_bandwidth(m, 15) - 15 * 5.5) / 12.0;
+  EXPECT_DOUBLE_EQ(alpha_of(m, 15), base);
+  EXPECT_GT(alpha_of(m, 15), m.alpha);
+}
+
+TEST(Prediction, ComputeGetsWhatCommLeavesUnderContention) {
+  const ModelParams m = henri_like();
+  for (std::size_t n : {16u, 17u}) {
+    EXPECT_NEAR(compute_parallel(m, n) + comm_parallel(m, n),
+                total_bandwidth(m, n), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Prediction, ComputeAloneFollowsEquationEight) {
+  const ModelParams m = henri_like();
+  EXPECT_DOUBLE_EQ(compute_alone(m, 4), 22.0);        // n * Bcomp
+  EXPECT_DOUBLE_EQ(compute_alone(m, 16), 86.5);       // capped by T(16)
+  EXPECT_DOUBLE_EQ(compute_alone(m, 17), 85.6);       // T(17)
+}
+
+TEST(Prediction, ComputeAloneNeverExceedsTmaxSeq) {
+  ModelParams m = henri_like();
+  m.t_par_max = 200.0;  // artificially relax T so Tmax_seq binds
+  m.t_par_max2 = 200.0;
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    EXPECT_LE(compute_alone(m, n), m.t_seq_max + 1e-9);
+  }
+}
+
+TEST(Prediction, NoContentionPlatformPredictsPerfectOverlap) {
+  // diablo-like: memory wide enough that demand never reaches capacity.
+  ModelParams m;
+  m.n_par_max = 31;
+  m.t_par_max = 120.0;
+  m.n_seq_max = 31;
+  m.t_seq_max = 99.0;
+  m.t_par_max2 = 120.0;
+  m.delta_l = 0.0;
+  m.delta_r = 0.0;
+  m.b_comp_seq = 3.1;
+  m.b_comm_seq = 22.4;
+  m.alpha = 0.9;
+  m.max_cores = 31;
+  for (std::size_t n = 1; n <= 31; ++n) {
+    EXPECT_DOUBLE_EQ(compute_parallel(m, n), n * 3.1);
+    EXPECT_DOUBLE_EQ(comm_parallel(m, n), 22.4);
+  }
+}
+
+TEST(Prediction, MonotonicityCommNeverIncreasesWithCores) {
+  const ModelParams m = henri_like();
+  double previous = 1e9;
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double comm = comm_parallel(m, n);
+    EXPECT_LE(comm, previous + 1e-9) << "n=" << n;
+    previous = comm;
+  }
+}
+
+TEST(Prediction, CommBoundedByNominalAndFloor) {
+  const ModelParams m = henri_like();
+  for (std::size_t n = 1; n <= m.max_cores; ++n) {
+    const double comm = comm_parallel(m, n);
+    EXPECT_LE(comm, m.b_comm_seq + 1e-9);
+    EXPECT_GE(comm, m.alpha * m.b_comm_seq - 1e-9);
+  }
+}
+
+TEST(Prediction, RejectsZeroCores) {
+  const ModelParams m = henri_like();
+  EXPECT_THROW((void)total_bandwidth(m, 0), ContractViolation);
+  EXPECT_THROW((void)comm_parallel(m, 0), ContractViolation);
+  EXPECT_THROW((void)compute_parallel(m, 0), ContractViolation);
+  EXPECT_THROW((void)compute_alone(m, 0), ContractViolation);
+}
+
+TEST(Parameters, ValidateCatchesInconsistencies) {
+  ModelParams m = henri_like();
+  m.alpha = 1.5;
+  EXPECT_THROW(m.validate(), ContractViolation);
+  m = henri_like();
+  m.t_par_max2 = m.t_par_max + 1.0;
+  EXPECT_THROW(m.validate(), ContractViolation);
+  m = henri_like();
+  m.n_par_max = m.max_cores + 5;
+  EXPECT_THROW(m.validate(), ContractViolation);
+  m = henri_like();
+  m.b_comp_seq = 0.0;
+  EXPECT_THROW(m.validate(), ContractViolation);
+}
+
+TEST(Parameters, WithCommNominalReplacesOnlyBcomm) {
+  const ModelParams m = henri_like();
+  const ModelParams swapped = m.with_comm_nominal(9.0);
+  EXPECT_DOUBLE_EQ(swapped.b_comm_seq, 9.0);
+  EXPECT_DOUBLE_EQ(swapped.b_comp_seq, m.b_comp_seq);
+  EXPECT_DOUBLE_EQ(swapped.alpha, m.alpha);
+  EXPECT_THROW((void)m.with_comm_nominal(0.0), ContractViolation);
+}
+
+TEST(Parameters, ToStringMentionsEveryParameter) {
+  const std::string text = to_string(henri_like());
+  for (const char* token :
+       {"Nmax_par", "Nmax_seq", "Tmax2_par", "delta_l", "delta_r",
+        "Bcomp_seq", "Bcomm_seq", "alpha"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace mcm::model

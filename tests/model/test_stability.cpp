@@ -1,0 +1,71 @@
+#include "model/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::model {
+namespace {
+
+TEST(Stability, ReportCoversRequestedRuns) {
+  const StabilityReport report =
+      calibration_stability(topo::make_occigen(), 5);
+  EXPECT_EQ(report.platform, "occigen");
+  EXPECT_EQ(report.runs, 5u);
+  EXPECT_GT(report.b_comp_seq.mean, 0.0);
+  EXPECT_GE(report.b_comp_seq.max, report.b_comp_seq.min);
+}
+
+TEST(Stability, LowNoisePlatformIsVeryStable) {
+  // The paper: "the run-to-run variability is very low". occigen has the
+  // lowest noise of the presets.
+  const StabilityReport report =
+      calibration_stability(topo::make_occigen(), 6);
+  EXPECT_LT(report.t_par_max.relative(), 0.01);
+  EXPECT_LT(report.b_comm_seq.relative(), 0.01);
+  EXPECT_LT(report.worst_comm_prediction_deviation, 0.05);
+}
+
+TEST(Stability, NoisyNetworkWobblesMore) {
+  const StabilityReport quiet =
+      calibration_stability(topo::make_occigen(), 6);
+  const StabilityReport noisy =
+      calibration_stability(topo::make_pyxis(), 6);
+  EXPECT_GT(noisy.b_comm_seq.relative(), quiet.b_comm_seq.relative());
+  EXPECT_GT(noisy.worst_comm_prediction_deviation,
+            quiet.worst_comm_prediction_deviation);
+}
+
+TEST(Stability, AnchorCountsStayOnTheSameCores) {
+  // Parameter extraction must not jump between distant core counts under
+  // measurement noise.
+  const StabilityReport report =
+      calibration_stability(topo::make_henri(), 6);
+  EXPECT_LE(report.n_seq_max.max - report.n_seq_max.min, 2.0);
+  EXPECT_LE(report.n_par_max.max - report.n_par_max.min, 3.0);
+}
+
+TEST(Stability, Deterministic) {
+  const StabilityReport a = calibration_stability(topo::make_henri(), 4);
+  const StabilityReport b = calibration_stability(topo::make_henri(), 4);
+  EXPECT_DOUBLE_EQ(a.t_par_max.mean, b.t_par_max.mean);
+  EXPECT_DOUBLE_EQ(a.alpha.stddev, b.alpha.stddev);
+}
+
+TEST(Stability, RejectsSingleRun) {
+  EXPECT_THROW((void)calibration_stability(topo::make_henri(), 1),
+               ContractViolation);
+}
+
+TEST(Stability, RenderListsAllParameters) {
+  const std::string text =
+      render_stability(calibration_stability(topo::make_occigen(), 3));
+  for (const char* token : {"Nmax_par", "Tmax_seq", "alpha", "relative",
+                            "prediction deviation"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace mcm::model

@@ -1,0 +1,190 @@
+#include "net/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 0) {
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::byte>((i * 31 + seed) & 0xff);
+  }
+  return data;
+}
+
+TEST(MiniMpi, RankAndSize) {
+  ShmWorld world;
+  EXPECT_EQ(world.comm(0).rank(), 0);
+  EXPECT_EQ(world.comm(1).rank(), 1);
+  EXPECT_EQ(world.comm(0).size(), 2);
+}
+
+TEST(MiniMpi, EagerSendCompletesWithoutReceiver) {
+  ShmWorld world;
+  const auto data = pattern(128);
+  Request r = world.comm(0).isend(1, 5, data);
+  EXPECT_TRUE(r.done());  // buffered
+  std::vector<std::byte> sink(128);
+  EXPECT_EQ(world.comm(1).recv(0, 5, sink), 128u);
+  EXPECT_EQ(sink, data);
+}
+
+TEST(MiniMpi, RendezvousCompletesOnlyAtMatch) {
+  ProtocolParams params;
+  params.eager_threshold = 64;
+  ShmWorld world(params);
+  const auto data = pattern(4096);
+  Request send = world.comm(0).isend(1, 1, data);
+  EXPECT_FALSE(send.done());
+  std::vector<std::byte> sink(4096);
+  Request recv = world.comm(1).irecv(0, 1, sink);
+  EXPECT_TRUE(recv.done());
+  EXPECT_TRUE(send.done());
+  EXPECT_EQ(sink, data);
+}
+
+TEST(MiniMpi, RecvBeforeSendMatches) {
+  ShmWorld world;
+  std::vector<std::byte> sink(64);
+  Request recv = world.comm(1).irecv(0, 9, sink);
+  EXPECT_FALSE(recv.done());
+  const auto data = pattern(64, 3);
+  world.comm(0).send(1, 9, data);
+  EXPECT_TRUE(recv.done());
+  EXPECT_EQ(recv.transferred(), 64u);
+  EXPECT_EQ(sink, data);
+}
+
+TEST(MiniMpi, TagsAreMatchedNotJustOrder) {
+  ShmWorld world;
+  const auto a = pattern(32, 1);
+  const auto b = pattern(32, 2);
+  (void)world.comm(0).isend(1, /*tag=*/1, a);
+  (void)world.comm(0).isend(1, /*tag=*/2, b);
+  std::vector<std::byte> sink_b(32);
+  std::vector<std::byte> sink_a(32);
+  EXPECT_EQ(world.comm(1).recv(0, 2, sink_b), 32u);  // tag 2 first
+  EXPECT_EQ(world.comm(1).recv(0, 1, sink_a), 32u);
+  EXPECT_EQ(sink_a, a);
+  EXPECT_EQ(sink_b, b);
+}
+
+TEST(MiniMpi, SameTagMessagesDoNotOvertake) {
+  ShmWorld world;
+  const auto first = pattern(16, 1);
+  const auto second = pattern(16, 2);
+  (void)world.comm(0).isend(1, 7, first);
+  (void)world.comm(0).isend(1, 7, second);
+  std::vector<std::byte> sink1(16);
+  std::vector<std::byte> sink2(16);
+  (void)world.comm(1).recv(0, 7, sink1);
+  (void)world.comm(1).recv(0, 7, sink2);
+  EXPECT_EQ(sink1, first);
+  EXPECT_EQ(sink2, second);
+}
+
+TEST(MiniMpi, AnyTagReceivesFirstAvailable) {
+  ShmWorld world;
+  const auto data = pattern(16, 4);
+  (void)world.comm(0).isend(1, 42, data);
+  std::vector<std::byte> sink(16);
+  Request r = world.comm(1).irecv(0, kAnyTag, sink);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(sink, data);
+}
+
+TEST(MiniMpi, ZeroByteMessage) {
+  ShmWorld world;
+  (void)world.comm(0).isend(1, 0, {});
+  std::vector<std::byte> sink(1);
+  EXPECT_EQ(world.comm(1).recv(0, 0, sink), 0u);
+}
+
+TEST(MiniMpi, LargeTransferAcrossThreads) {
+  ShmWorld world;
+  const std::size_t n = 8 * kMiB;
+  const auto data = pattern(n, 7);
+  std::vector<std::byte> sink(n);
+  std::thread receiver([&] {
+    Request r = world.comm(1).irecv(0, 3, sink);
+    world.comm(1).wait(r);
+  });
+  world.comm(0).send(1, 3, data);
+  receiver.join();
+  EXPECT_EQ(std::memcmp(sink.data(), data.data(), n), 0);
+}
+
+TEST(MiniMpi, PingPongAcrossThreads) {
+  ShmWorld world;
+  constexpr int kRounds = 50;
+  std::thread peer([&] {
+    std::vector<std::byte> buf(64);
+    for (int i = 0; i < kRounds; ++i) {
+      (void)world.comm(1).recv(0, i, buf);
+      world.comm(1).send(0, 1000 + i, buf);
+    }
+  });
+  std::vector<std::byte> buf(64);
+  for (int i = 0; i < kRounds; ++i) {
+    world.comm(0).send(1, i, pattern(64, i));
+    (void)world.comm(0).recv(1, 1000 + i, buf);
+    EXPECT_EQ(buf, pattern(64, i)) << "round " << i;
+  }
+  peer.join();
+}
+
+TEST(MiniMpi, BarrierSynchronizesBothRanks) {
+  ShmWorld world;
+  std::atomic<int> stage{0};
+  std::thread peer([&] {
+    world.comm(1).barrier();
+    stage.fetch_add(1);
+    world.comm(1).barrier();
+  });
+  world.comm(0).barrier();
+  stage.fetch_add(1);
+  world.comm(0).barrier();
+  peer.join();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(MiniMpi, TestReflectsCompletion) {
+  ProtocolParams params;
+  params.eager_threshold = 8;
+  ShmWorld world(params);
+  const auto data = pattern(256);
+  Request send = world.comm(0).isend(1, 2, data);
+  EXPECT_FALSE(world.comm(0).test(send));
+  std::vector<std::byte> sink(256);
+  (void)world.comm(1).recv(0, 2, sink);
+  EXPECT_TRUE(world.comm(0).test(send));
+}
+
+TEST(MiniMpi, InvalidArgumentsThrow) {
+  ShmWorld world;
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW((void)world.comm(0).isend(0, 1, buf), ContractViolation);
+  EXPECT_THROW((void)world.comm(0).isend(1, -3, buf), ContractViolation);
+  EXPECT_THROW((void)world.comm(0).irecv(0, 1, buf), ContractViolation);
+  EXPECT_THROW((void)world.comm(2), ContractViolation);
+}
+
+TEST(MiniMpi, TransferredRequiresCompletion) {
+  ProtocolParams params;
+  params.eager_threshold = 8;
+  ShmWorld world(params);
+  const auto data = pattern(64);
+  Request send = world.comm(0).isend(1, 2, data);
+  EXPECT_THROW((void)send.transferred(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::net

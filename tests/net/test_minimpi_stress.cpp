@@ -1,0 +1,126 @@
+// minimpi hardening: probe/sendrecv semantics and randomized two-thread
+// stress runs mixing message sizes, tags and protocols.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/minimpi.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> data(n);
+  for (auto& b : data) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  return data;
+}
+
+TEST(MiniMpiProbe, SeesQueuedMessageWithoutConsuming) {
+  ShmWorld world;
+  EXPECT_FALSE(world.comm(1).probe(0, 3).has_value());
+  const auto data = pattern(96, 1);
+  (void)world.comm(0).isend(1, 3, data);
+  const auto size = world.comm(1).probe(0, 3);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 96u);
+  // Probe again: still there.
+  EXPECT_TRUE(world.comm(1).probe(0, kAnyTag).has_value());
+  std::vector<std::byte> sink(96);
+  EXPECT_EQ(world.comm(1).recv(0, 3, sink), 96u);
+  EXPECT_FALSE(world.comm(1).probe(0, 3).has_value());
+}
+
+TEST(MiniMpiProbe, MatchesTagsExactly) {
+  ShmWorld world;
+  const auto data = pattern(8, 2);
+  (void)world.comm(0).isend(1, 7, data);
+  EXPECT_FALSE(world.comm(1).probe(0, 8).has_value());
+  EXPECT_TRUE(world.comm(1).probe(0, 7).has_value());
+}
+
+TEST(MiniMpiSendrecv, ExchangesRendezvousSizesWithoutDeadlock) {
+  ProtocolParams params;
+  params.eager_threshold = 64;  // force rendezvous for both directions
+  ShmWorld world(params);
+  const std::size_t n = 64 * kKiB;
+  const auto out0 = pattern(n, 10);
+  const auto out1 = pattern(n, 11);
+  std::vector<std::byte> in0(n);
+  std::vector<std::byte> in1(n);
+  std::thread peer([&] {
+    EXPECT_EQ(world.comm(1).sendrecv(0, 1, out1, 2, in1), n);
+  });
+  EXPECT_EQ(world.comm(0).sendrecv(1, 2, out0, 1, in0), n);
+  peer.join();
+  EXPECT_EQ(in0, out1);
+  EXPECT_EQ(in1, out0);
+}
+
+class MiniMpiStress : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MiniMpiStress, RandomizedTrafficDeliversEverythingIntact) {
+  ProtocolParams params;
+  params.eager_threshold = 512;  // exercise both protocols heavily
+  ShmWorld world(params);
+  constexpr int kMessages = 120;
+  const std::uint64_t seed = GetParam();
+
+  // Sender thread: kMessages with pseudo-random sizes on tag = index.
+  std::thread sender([&] {
+    Rng rng(seed);
+    for (int i = 0; i < kMessages; ++i) {
+      const std::size_t size = 1 + rng.uniform_below(8 * kKiB);
+      const auto data = pattern(size, seed * 1000 + i);
+      world.comm(0).send(1, i, data);
+    }
+  });
+
+  // Receiver: same size sequence (same generator), verify payloads.
+  Rng rng(seed);
+  for (int i = 0; i < kMessages; ++i) {
+    const std::size_t size = 1 + rng.uniform_below(8 * kKiB);
+    std::vector<std::byte> sink(size);
+    ASSERT_EQ(world.comm(1).recv(0, i, sink), size) << "message " << i;
+    EXPECT_EQ(sink, pattern(size, seed * 1000 + i)) << "message " << i;
+  }
+  sender.join();
+}
+
+TEST_P(MiniMpiStress, OutOfOrderTagsStillMatch) {
+  ShmWorld world;
+  constexpr int kMessages = 40;
+  const std::uint64_t seed = GetParam();
+
+  std::thread sender([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      world.comm(0).send(1, i, pattern(64, i));
+    }
+  });
+
+  // Receive in a shuffled order: matching is by tag, not arrival.
+  std::vector<int> order(kMessages);
+  for (int i = 0; i < kMessages; ++i) order[static_cast<std::size_t>(i)] = i;
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_below(i)]);
+  }
+  for (int tag : order) {
+    std::vector<std::byte> sink(64);
+    ASSERT_EQ(world.comm(1).recv(0, tag, sink), 64u);
+    EXPECT_EQ(sink, pattern(64, tag)) << "tag " << tag;
+  }
+  sender.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniMpiStress,
+                         testing::Values(3u, 17u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace mcm::net

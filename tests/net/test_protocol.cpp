@@ -1,0 +1,73 @@
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+namespace {
+
+TEST(Protocol, ModeSelectionAtThreshold) {
+  ProtocolParams params;
+  params.eager_threshold = 1024;
+  EXPECT_EQ(select_mode(params, 1), ProtocolMode::kEager);
+  EXPECT_EQ(select_mode(params, 1024), ProtocolMode::kEager);
+  EXPECT_EQ(select_mode(params, 1025), ProtocolMode::kRendezvous);
+}
+
+TEST(Protocol, MessageTimeAddsLatencyAndSerialization) {
+  ProtocolParams params;
+  params.eager_threshold = 1024;
+  params.base_latency = Seconds(1e-6);
+  params.rendezvous_latency = Seconds(3e-6);
+  const Bandwidth bw = Bandwidth::gb_per_s(10.0);
+  // Eager: 1 us + 1000/1e10 s.
+  EXPECT_NEAR(message_time(params, 1000, bw).value(), 1e-6 + 1e-7, 1e-12);
+  // Rendezvous: 4 us + serialization.
+  EXPECT_NEAR(message_time(params, 10'000'000, bw).value(),
+              4e-6 + 1e-3, 1e-9);
+}
+
+TEST(Protocol, EffectiveBandwidthApproachesLinkRateForLargeMessages) {
+  ProtocolParams params;
+  const Bandwidth bw = Bandwidth::gb_per_s(12.0);
+  const Bandwidth small = effective_bandwidth(params, 4 * kKiB, bw);
+  const Bandwidth large = effective_bandwidth(params, 64 * kMiB, bw);
+  EXPECT_LT(small.gb(), large.gb());
+  EXPECT_GT(large.gb(), 11.9);
+  EXPECT_LE(large.gb(), 12.0);
+}
+
+TEST(Protocol, LatencyDominatesSmallMessages) {
+  ProtocolParams params;
+  params.base_latency = Seconds(2e-6);
+  const Bandwidth bw = Bandwidth::gb_per_s(12.0);
+  // 1 KiB at 12 GB/s serializes in ~85 ns << 2 us latency.
+  const Bandwidth eff = effective_bandwidth(params, kKiB, bw);
+  EXPECT_LT(eff.gb(), 0.6);
+}
+
+TEST(Protocol, ValidateRejectsBadParams) {
+  ProtocolParams params;
+  params.chunk_bytes = 0;
+  EXPECT_THROW(params.validate(), ContractViolation);
+  params = ProtocolParams{};
+  params.base_latency = Seconds(-1.0);
+  EXPECT_THROW(params.validate(), ContractViolation);
+}
+
+TEST(Protocol, MessageTimeRejectsDegenerateInput) {
+  ProtocolParams params;
+  EXPECT_THROW((void)message_time(params, 0, Bandwidth::gb_per_s(1.0)),
+               ContractViolation);
+  EXPECT_THROW((void)message_time(params, 1, Bandwidth{}),
+               ContractViolation);
+}
+
+TEST(Protocol, ModeNames) {
+  EXPECT_STREQ(to_string(ProtocolMode::kEager), "eager");
+  EXPECT_STREQ(to_string(ProtocolMode::kRendezvous), "rendezvous");
+}
+
+}  // namespace
+}  // namespace mcm::net

@@ -1,0 +1,78 @@
+#include "net/sim_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/platforms.hpp"
+
+namespace mcm::net {
+namespace {
+
+using topo::NumaId;
+
+TEST(SimChannel, LargeMessageTimeMatchesNicBandwidth) {
+  sim::SimMachine machine(topo::make_henri());
+  SimChannel channel(machine);
+  const std::uint64_t bytes = 64 * kMiB;
+  const double expected =
+      static_cast<double>(bytes) /
+      machine.steady_comm_alone(NumaId(0)).bps();
+  EXPECT_NEAR(channel.message_time(bytes, NumaId(0)).value(), expected,
+              expected * 0.01);
+}
+
+TEST(SimChannel, LoadIncreasesMessageTimeOnSharedNode) {
+  sim::SimMachine machine(topo::make_henri());
+  SimChannel channel(machine);
+  const std::uint64_t bytes = 64 * kMiB;
+  const Seconds idle = channel.message_time(bytes, NumaId(0));
+  const Seconds loaded = channel.message_time_under_load(
+      bytes, machine.max_computing_cores(), NumaId(0), NumaId(0));
+  EXPECT_GT(loaded.value(), idle.value() * 2.0);
+}
+
+TEST(SimChannel, ZeroCoresMeansIdleTiming) {
+  sim::SimMachine machine(topo::make_henri());
+  SimChannel channel(machine);
+  const std::uint64_t bytes = 4 * kMiB;
+  EXPECT_DOUBLE_EQ(
+      channel.message_time_under_load(bytes, 0, NumaId(0), NumaId(0)).value(),
+      channel.message_time(bytes, NumaId(0)).value());
+}
+
+TEST(SimChannel, SmallMessagesAreLatencyBound) {
+  sim::SimMachine machine(topo::make_henri());
+  ProtocolParams params;
+  params.base_latency = Seconds(2e-6);
+  SimChannel channel(machine, params);
+  // 1 KiB: bandwidth term is negligible, latency dominates — and contention
+  // barely moves the needle (the paper's observation that small messages
+  // suffer less from memory contention).
+  const Seconds idle = channel.message_time(kKiB, NumaId(0));
+  const Seconds loaded = channel.message_time_under_load(
+      kKiB, machine.max_computing_cores(), NumaId(0), NumaId(0));
+  EXPECT_LT(loaded.value(), idle.value() * 1.6);
+}
+
+TEST(SimChannel, EffectiveBandwidthGrowsWithMessageSize) {
+  sim::SimMachine machine(topo::make_henri());
+  SimChannel channel(machine);
+  double previous = 0.0;
+  for (std::uint64_t bytes : {64 * kKiB, kMiB, 16 * kMiB, 64 * kMiB}) {
+    const double bw =
+        channel.effective_bandwidth_under_load(bytes, 4, NumaId(0), NumaId(0))
+            .gb();
+    EXPECT_GT(bw, previous);
+    previous = bw;
+  }
+}
+
+TEST(SimChannel, DiabloLocalityVisibleThroughChannel) {
+  sim::SimMachine machine(topo::make_diablo());
+  SimChannel channel(machine);
+  const std::uint64_t bytes = 64 * kMiB;
+  EXPECT_GT(channel.message_time(bytes, NumaId(0)).value(),
+            channel.message_time(bytes, NumaId(1)).value() * 1.5);
+}
+
+}  // namespace
+}  // namespace mcm::net

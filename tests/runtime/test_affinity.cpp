@@ -1,0 +1,44 @@
+#include "runtime/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mcm::runtime {
+namespace {
+
+TEST(Affinity, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(hardware_concurrency(), 1u);
+}
+
+TEST(Affinity, BindToCpuZeroSucceedsAndSticks) {
+  // CPU 0 always exists. Run in a scratch thread so the test runner's own
+  // thread keeps its affinity.
+  std::thread t([] {
+    const bool bound = bind_current_thread_to_cpu(0);
+    EXPECT_TRUE(bound);
+    if (bound) {
+      const auto cpu = current_cpu();
+      ASSERT_TRUE(cpu.has_value());
+      EXPECT_EQ(*cpu, 0u);
+    }
+  });
+  t.join();
+}
+
+TEST(Affinity, BindToAbsurdCpuFails) {
+  std::thread t([] {
+    EXPECT_FALSE(bind_current_thread_to_cpu(100'000));
+  });
+  t.join();
+}
+
+TEST(Affinity, CurrentCpuIsWithinRangeWhenKnown) {
+  const auto cpu = current_cpu();
+  if (cpu.has_value()) {
+    EXPECT_LT(*cpu, 4096u);
+  }
+}
+
+}  // namespace
+}  // namespace mcm::runtime

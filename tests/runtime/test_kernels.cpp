@@ -1,0 +1,95 @@
+#include "runtime/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm::runtime {
+namespace {
+
+TEST(Kernels, FillWritesEveryByte) {
+  std::vector<std::byte> buffer(4096 + 7);  // odd size: head/tail paths
+  nt_fill(buffer, std::byte{0xab});
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    ASSERT_EQ(buffer[i], std::byte{0xab}) << "offset " << i;
+  }
+}
+
+TEST(Kernels, FillHandlesUnalignedStart) {
+  std::vector<std::byte> backing(256, std::byte{0});
+  // Slice starting at an odd offset.
+  const std::span<std::byte> slice(backing.data() + 3, 200);
+  nt_fill(slice, std::byte{0x11});
+  EXPECT_EQ(backing[2], std::byte{0});    // untouched before
+  EXPECT_EQ(backing[3], std::byte{0x11});
+  EXPECT_EQ(backing[202], std::byte{0x11});
+  EXPECT_EQ(backing[203], std::byte{0});  // untouched after
+}
+
+TEST(Kernels, FillEmptyBufferIsNoop) {
+  std::vector<std::byte> buffer;
+  EXPECT_NO_THROW(nt_fill(buffer, std::byte{1}));
+}
+
+TEST(Kernels, CopyReproducesSource) {
+  std::vector<std::byte> src(10'000);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i * 7);
+  }
+  std::vector<std::byte> dst(src.size(), std::byte{0});
+  nt_copy(dst, src);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Kernels, CopyWithMisalignedDestination) {
+  std::vector<std::byte> src(128);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i);
+  }
+  std::vector<std::byte> backing(256, std::byte{0xff});
+  const std::span<std::byte> dst(backing.data() + 5, 128);
+  nt_copy(dst, src);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(dst[i], src[i]) << i;
+  }
+  // Bytes bracketing the destination window stay untouched.
+  EXPECT_EQ(backing[4], std::byte{0xff});
+  EXPECT_EQ(backing[133], std::byte{0xff});
+}
+
+TEST(Kernels, CopyRejectsSizeMismatch) {
+  std::vector<std::byte> src(8);
+  std::vector<std::byte> dst(9);
+  EXPECT_THROW(nt_copy(dst, src), ContractViolation);
+}
+
+TEST(Kernels, StreamingStoresAvailableOnX86) {
+#if defined(__x86_64__)
+  EXPECT_TRUE(has_streaming_stores());
+#else
+  SUCCEED();
+#endif
+}
+
+TEST(Kernels, TimedFillReportsPlausibleBandwidth) {
+  std::vector<std::byte> buffer(4 * kMiB);
+  const Bandwidth bw = timed_fill(buffer, std::byte{0x42}, 3);
+  // Anything between 100 MB/s and 1 TB/s is plausible across CI machines;
+  // the point is that it is positive and finite.
+  EXPECT_GT(bw.gb(), 0.1);
+  EXPECT_LT(bw.gb(), 1000.0);
+}
+
+TEST(Kernels, TimedFillValidatesArguments) {
+  std::vector<std::byte> buffer(16);
+  EXPECT_THROW((void)timed_fill(buffer, std::byte{0}, 0),
+               ContractViolation);
+  std::vector<std::byte> empty;
+  EXPECT_THROW((void)timed_fill(empty, std::byte{0}, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::runtime

@@ -1,0 +1,87 @@
+#include "runtime/native_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/runner.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::runtime {
+namespace {
+
+NativeConfig small_config() {
+  NativeConfig config;
+  config.compute_cores = 2;
+  config.working_set_bytes = 1 * kMiB;
+  config.message_bytes = 1 * kMiB;
+  config.comm_rounds = 2;
+  config.fill_repetitions = 1;
+  return config;
+}
+
+TEST(NativeBackend, ReportsConfiguredShape) {
+  NativeBackend backend(small_config());
+  EXPECT_EQ(backend.max_computing_cores(), 2u);
+  EXPECT_EQ(backend.numa_count(), 1u);
+  EXPECT_EQ(backend.numa_per_socket(), 1u);
+  EXPECT_EQ(backend.name(), "native");
+}
+
+TEST(NativeBackend, ComputeAloneYieldsPositiveBandwidth) {
+  NativeBackend backend(small_config());
+  const Bandwidth one = backend.compute_alone(1, topo::NumaId(0));
+  const Bandwidth two = backend.compute_alone(2, topo::NumaId(0));
+  EXPECT_GT(one.gb(), 0.0);
+  EXPECT_GT(two.gb(), 0.0);
+}
+
+TEST(NativeBackend, CommAloneYieldsPositiveBandwidth) {
+  NativeBackend backend(small_config());
+  EXPECT_GT(backend.comm_alone(topo::NumaId(0)).gb(), 0.0);
+}
+
+TEST(NativeBackend, ParallelMeasuresBothStreams) {
+  NativeBackend backend(small_config());
+  const sim::ParallelMeasurement result =
+      backend.parallel(1, topo::NumaId(0), topo::NumaId(0));
+  EXPECT_GT(result.compute.gb(), 0.0);
+  EXPECT_GT(result.comm.gb(), 0.0);
+}
+
+TEST(NativeBackend, WorksThroughTheSweepRunner) {
+  NativeBackend backend(small_config());
+  bench::SweepOptions options;
+  options.max_cores = 2;
+  const bench::PlacementCurve curve = bench::run_placement(
+      backend, topo::NumaId(0), topo::NumaId(0), options);
+  ASSERT_EQ(curve.points.size(), 2u);
+  for (const bench::BandwidthPoint& p : curve.points) {
+    EXPECT_GT(p.compute_alone_gb, 0.0);
+    EXPECT_GT(p.comm_parallel_gb, 0.0);
+  }
+}
+
+TEST(NativeBackend, ValidatesArguments) {
+  NativeBackend backend(small_config());
+  EXPECT_THROW((void)backend.compute_alone(0, topo::NumaId(0)),
+               ContractViolation);
+  EXPECT_THROW((void)backend.compute_alone(3, topo::NumaId(0)),
+               ContractViolation);
+  EXPECT_THROW((void)backend.comm_alone(topo::NumaId(1)),
+               ContractViolation);
+  NativeConfig bad = small_config();
+  bad.numa_per_socket = 2;  // > numa_count
+  EXPECT_THROW(NativeBackend rejected(bad), ContractViolation);
+}
+
+TEST(NativeBackend, DefaultConfigResolvesCores) {
+  NativeConfig config;
+  config.working_set_bytes = kMiB;
+  config.message_bytes = kMiB;
+  config.comm_rounds = 1;
+  config.fill_repetitions = 1;
+  NativeBackend backend(config);
+  EXPECT_GE(backend.max_computing_cores(), 1u);
+}
+
+}  // namespace
+}  // namespace mcm::runtime

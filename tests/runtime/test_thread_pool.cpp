@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm::runtime {
+namespace {
+
+TEST(ThreadPool, RunsTaskOnEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all([&](std::size_t worker) { hits[worker].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIndicesAreDistinct) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  pool.run_on_all([&](std::size_t worker) {
+    std::lock_guard lock(mutex);
+    seen.insert(worker);
+  });
+  EXPECT_EQ(seen, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(0, 101, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForWithOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SequentialInvocationsReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_on_all([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, MoreWorkersThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPool) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> value{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { value.fetch_add(1); });
+  EXPECT_EQ(value.load(), 10);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), ContractViolation);
+}
+
+TEST(ThreadPool, PinnedPoolStillRuns) {
+  ThreadPool pool(2, /*pin_to_cpus=*/true);
+  std::atomic<int> value{0};
+  pool.run_on_all([&](std::size_t) { value.fetch_add(1); });
+  EXPECT_EQ(value.load(), 2);
+}
+
+}  // namespace
+}  // namespace mcm::runtime

@@ -1,0 +1,285 @@
+#include "sim/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "topo/builder.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::ContentionSpec;
+using topo::LinkId;
+using topo::Machine;
+using topo::NicId;
+using topo::NumaId;
+using topo::SocketId;
+using topo::TopologyBuilder;
+
+/// 2 sockets x 1 NUMA, controller 50 GB/s with 5 GB/s DMA floor, remote
+/// port 25 GB/s, one 10 GB/s NIC behind socket 0.
+Machine test_machine(double knee = 1e9, double degradation = 0.0,
+                     double dma_weight = 2.0) {
+  ContentionSpec mc;
+  mc.dma_floor = Bandwidth::gb_per_s(5.0);
+  mc.requestor_knee = knee;
+  mc.degradation_per_requestor = Bandwidth::gb_per_s(degradation);
+  mc.dma_requestor_weight = dma_weight;
+
+  ContentionSpec port;
+  port.dma_floor = Bandwidth::gb_per_s(3.0);
+  port.requestor_knee = knee;
+  port.degradation_per_requestor = Bandwidth::gb_per_s(degradation);
+  port.dma_requestor_weight = dma_weight;
+
+  TopologyBuilder b;
+  b.add_sockets(2, 8);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), mc);
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), port);
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), ContentionSpec{});
+  b.add_nic("nic", SocketId(0), Bandwidth::gb_per_s(10.0),
+            Bandwidth::gb_per_s(12.0));
+  return b.build();
+}
+
+StreamSpec cpu_stream(const Machine& m, double gb, NumaId numa) {
+  StreamSpec s;
+  s.cls = StreamClass::kCpu;
+  s.demand = Bandwidth::gb_per_s(gb);
+  s.path = m.cpu_path(SocketId(0), numa);
+  return s;
+}
+
+StreamSpec dma_stream(const Machine& m, double gb, NumaId numa) {
+  StreamSpec s;
+  s.cls = StreamClass::kDma;
+  s.demand = Bandwidth::gb_per_s(gb);
+  s.path = m.dma_path(NicId(0), numa);
+  return s;
+}
+
+double total_gb(const ArbiterResult& r) {
+  double acc = 0.0;
+  for (Bandwidth bw : r.allocation) acc += bw.gb();
+  return acc;
+}
+
+TEST(Arbiter, NoContentionMeansFullDemand) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(cpu_stream(m, 5.0, NumaId(0)));  // 20 < 45
+  }
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));  // 30 < 50
+  const ArbiterResult r = arbiter.solve(streams);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.allocation[i].gb(), 5.0, 1e-6);
+  }
+  EXPECT_NEAR(r.allocation[4].gb(), 10.0, 1e-6);
+}
+
+TEST(Arbiter, LinkUsageNeverExceedsEffectiveCapacity) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 12; ++i) {
+    streams.push_back(cpu_stream(m, 6.0, NumaId(0)));  // 72 >> 50
+  }
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  for (std::size_t l = 0; l < m.links().size(); ++l) {
+    EXPECT_LE(r.link_usage[l].gb(),
+              r.link_effective_capacity[l].gb() + 1e-6)
+        << "link " << m.link(LinkId(static_cast<std::uint32_t>(l))).name;
+  }
+}
+
+TEST(Arbiter, AllocationsNeverExceedDemand) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 12; ++i) streams.push_back(cpu_stream(m, 6.0, NumaId(0)));
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_LE(r.allocation[i].gb(), streams[i].demand.gb() + 1e-9);
+    EXPECT_GE(r.allocation[i].gb(), 0.0);
+  }
+}
+
+TEST(Arbiter, DmaFloorIsGuaranteedUnderCpuPressure) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  // CPU demand alone (72 GB/s) would fill the 50 GB/s controller entirely.
+  for (int i = 0; i < 12; ++i) streams.push_back(cpu_stream(m, 6.0, NumaId(0)));
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  // DMA keeps the configured 5 GB/s floor of the controller link.
+  EXPECT_NEAR(r.allocation.back().gb(), 5.0, 1e-3);
+}
+
+TEST(Arbiter, CpuHasPriorityOverDma) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  // 8 cores x 5.5 = 44; with 10 of DMA the 50 GB/s controller is over
+  // capacity. CPU must get its full 44, DMA the remaining 6.
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 8; ++i) streams.push_back(cpu_stream(m, 5.5, NumaId(0)));
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  double cpu = 0.0;
+  for (int i = 0; i < 8; ++i) cpu += r.allocation[i].gb();
+  EXPECT_NEAR(cpu, 44.0, 1e-3);
+  EXPECT_NEAR(r.allocation.back().gb(), 6.0, 1e-3);
+}
+
+TEST(Arbiter, FairShareWithinCpuClass) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 10; ++i) streams.push_back(cpu_stream(m, 6.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  for (std::size_t i = 1; i < streams.size(); ++i) {
+    EXPECT_NEAR(r.allocation[i].gb(), r.allocation[0].gb(), 1e-6);
+  }
+  EXPECT_NEAR(total_gb(r), 50.0, 1e-3);
+}
+
+TEST(Arbiter, UnevenDemandsGetMaxMinShares) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  // One small stream (2 GB/s) plus two large ones on a 50 GB/s link:
+  // max-min gives the small stream its demand, the rest split evenly.
+  std::vector<StreamSpec> streams{cpu_stream(m, 2.0, NumaId(0)),
+                                  cpu_stream(m, 40.0, NumaId(0)),
+                                  cpu_stream(m, 40.0, NumaId(0))};
+  const ArbiterResult r = arbiter.solve(streams);
+  EXPECT_NEAR(r.allocation[0].gb(), 2.0, 1e-3);
+  EXPECT_NEAR(r.allocation[1].gb(), 24.0, 1e-3);
+  EXPECT_NEAR(r.allocation[2].gb(), 24.0, 1e-3);
+}
+
+TEST(Arbiter, RemotePathBottlenecksOnRemotePort) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 8; ++i) streams.push_back(cpu_stream(m, 6.0, NumaId(1)));
+  const ArbiterResult r = arbiter.solve(streams);
+  // 48 demanded, remote port capacity is 25.
+  EXPECT_NEAR(total_gb(r), 25.0, 1e-3);
+}
+
+TEST(Arbiter, DifferentNumaNodesDoNotContend) {
+  // The key lesson of the paper: remote streams to *different* NUMA nodes
+  // share only the wide inter-socket bus and keep their demand.
+  ContentionSpec none;
+  TopologyBuilder b;
+  b.add_sockets(2, 8);
+  b.add_numa_per_socket(2, Bandwidth::gb_per_s(50.0), none);
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), none);
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(60.0), none);
+  b.add_nic("nic", SocketId(0), Bandwidth::gb_per_s(10.0),
+            Bandwidth::gb_per_s(12.0));
+  const Machine m = b.build();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 6; ++i) streams.push_back(cpu_stream(m, 4.0, NumaId(2)));
+  streams.push_back(dma_stream(m, 10.0, NumaId(3)));
+  const ArbiterResult r = arbiter.solve(streams);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(r.allocation[i].gb(), 4.0, 1e-3);
+  }
+  EXPECT_NEAR(r.allocation.back().gb(), 10.0, 1e-3);
+}
+
+TEST(Arbiter, RequestorDegradationShrinksCapacity) {
+  const Machine m = test_machine(/*knee=*/4.0, /*degradation=*/1.0);
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 8; ++i) streams.push_back(cpu_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  // 8 requestors, knee 4, slope 1: effective capacity 50 - 4 = 46.
+  EXPECT_NEAR(total_gb(r), 46.0, 1e-3);
+}
+
+TEST(Arbiter, DmaWeightCountsTowardsDegradation) {
+  const Machine m = test_machine(/*knee=*/4.0, /*degradation=*/1.0,
+                                 /*dma_weight=*/3.0);
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 8; ++i) streams.push_back(cpu_stream(m, 10.0, NumaId(0)));
+  streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+  const ArbiterResult r = arbiter.solve(streams);
+  // DMA is squeezed to its 5 GB/s floor (utilization 0.5), so weighted
+  // requestors = 8 + 3 * 0.5 = 9.5 and capacity = 50 - 5.5 = 44.5.
+  EXPECT_NEAR(r.allocation.back().gb(), 5.0, 0.05);
+  EXPECT_NEAR(total_gb(r), 44.5, 0.1);
+}
+
+TEST(Arbiter, DeterministicAcrossCalls) {
+  const Machine m = test_machine(6.0, 0.7, 2.5);
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams;
+  for (int i = 0; i < 7; ++i) streams.push_back(cpu_stream(m, 5.5, NumaId(1)));
+  streams.push_back(dma_stream(m, 9.0, NumaId(1)));
+  const ArbiterResult a = arbiter.solve(streams);
+  const ArbiterResult b = arbiter.solve(streams);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.allocation[i].gb(), b.allocation[i].gb());
+  }
+}
+
+TEST(Arbiter, AddingCpuLoadNeverHelpsDma) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  double previous_dma = 1e9;
+  for (int cores = 0; cores <= 12; ++cores) {
+    std::vector<StreamSpec> streams;
+    for (int i = 0; i < cores; ++i) {
+      streams.push_back(cpu_stream(m, 6.0, NumaId(0)));
+    }
+    streams.push_back(dma_stream(m, 10.0, NumaId(0)));
+    const ArbiterResult r = arbiter.solve(streams);
+    const double dma = r.allocation.back().gb();
+    EXPECT_LE(dma, previous_dma + 1e-6) << "cores=" << cores;
+    previous_dma = dma;
+  }
+}
+
+TEST(Arbiter, ZeroDemandStreamsGetZero) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  std::vector<StreamSpec> streams{cpu_stream(m, 0.0, NumaId(0)),
+                                  cpu_stream(m, 5.0, NumaId(0))};
+  const ArbiterResult r = arbiter.solve(streams);
+  EXPECT_DOUBLE_EQ(r.allocation[0].gb(), 0.0);
+  EXPECT_NEAR(r.allocation[1].gb(), 5.0, 1e-6);
+}
+
+TEST(Arbiter, EmptyInputIsFine) {
+  const Machine m = test_machine();
+  Arbiter arbiter(m);
+  const ArbiterResult r = arbiter.solve({});
+  EXPECT_TRUE(r.allocation.empty());
+}
+
+TEST(Arbiter, PcieLimitsDmaBeforeController) {
+  // NIC with 10 GB/s wire but only a 6 GB/s PCIe link.
+  ContentionSpec none;
+  TopologyBuilder b;
+  b.add_sockets(1, 4);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), none);
+  b.add_nic("nic", SocketId(0), Bandwidth::gb_per_s(10.0),
+            Bandwidth::gb_per_s(6.0));
+  const Machine m = b.build();
+  Arbiter arbiter(m);
+  const std::vector<StreamSpec> streams{dma_stream(m, 10.0, NumaId(0))};
+  const ArbiterResult r = arbiter.solve(streams);
+  EXPECT_NEAR(r.allocation[0].gb(), 6.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace mcm::sim

@@ -1,0 +1,148 @@
+// Property-based tests of the arbiter: random machines and random stream
+// mixes, checking the invariants that must hold for every input.
+#include <gtest/gtest.h>
+
+#include "sim/arbiter.hpp"
+#include "topo/builder.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::ContentionSpec;
+using topo::Machine;
+using topo::NicId;
+using topo::NumaId;
+using topo::SocketId;
+using topo::TopologyBuilder;
+
+struct RandomCase {
+  Machine machine;
+  std::vector<StreamSpec> streams;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  Rng rng(seed);
+
+  const auto random_spec = [&] {
+    ContentionSpec spec;
+    spec.dma_floor = Bandwidth::gb_per_s(rng.uniform(0.0, 6.0));
+    spec.requestor_knee = rng.uniform(2.0, 40.0);
+    spec.degradation_per_requestor =
+        Bandwidth::gb_per_s(rng.uniform(0.0, 1.5));
+    spec.dma_requestor_weight = rng.uniform(0.5, 4.0);
+    spec.dma_soft_start = rng.uniform(0.4, 1.0);
+    spec.dma_soft_min = rng.uniform(0.3, 1.0);
+    return spec;
+  };
+
+  RandomCase out;
+  const std::size_t numa_per_socket = 1 + rng.uniform_below(2);
+  TopologyBuilder b;
+  b.add_sockets(2, 4 + rng.uniform_below(12));
+  b.add_numa_per_socket(numa_per_socket,
+                        Bandwidth::gb_per_s(rng.uniform(30.0, 120.0)),
+                        random_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(rng.uniform(15.0, 60.0)),
+                             random_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(rng.uniform(30.0, 90.0)),
+                              random_spec());
+  b.add_nic("nic", SocketId(rng.uniform_below(2)),
+            Bandwidth::gb_per_s(rng.uniform(5.0, 25.0)),
+            Bandwidth::gb_per_s(rng.uniform(8.0, 30.0)));
+  out.machine = b.build();
+
+  const std::size_t numa_count = out.machine.numa_count();
+  const std::size_t cpu_streams = rng.uniform_below(20);
+  for (std::size_t i = 0; i < cpu_streams; ++i) {
+    StreamSpec stream;
+    stream.cls = StreamClass::kCpu;
+    stream.demand = Bandwidth::gb_per_s(rng.uniform(0.0, 8.0));
+    const SocketId source(static_cast<std::uint32_t>(rng.uniform_below(2)));
+    const NumaId target(
+        static_cast<std::uint32_t>(rng.uniform_below(numa_count)));
+    stream.path = out.machine.cpu_path(source, target);
+    stream.source_socket = source;
+    out.streams.push_back(std::move(stream));
+  }
+  const std::size_t dma_streams = rng.uniform_below(3);
+  for (std::size_t i = 0; i < dma_streams; ++i) {
+    StreamSpec stream;
+    stream.cls = StreamClass::kDma;
+    stream.demand = Bandwidth::gb_per_s(rng.uniform(0.5, 25.0));
+    const NumaId target(
+        static_cast<std::uint32_t>(rng.uniform_below(numa_count)));
+    stream.path = out.machine.dma_path(NicId(0), target);
+    stream.source_socket = out.machine.nic(NicId(0)).socket;
+    out.streams.push_back(std::move(stream));
+  }
+  return out;
+}
+
+class ArbiterProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbiterProperty, InvariantsHoldOnRandomInputs) {
+  const RandomCase c = make_case(GetParam());
+  for (const ArbitrationPolicy policy :
+       {ArbitrationPolicy::kCpuPriorityWithFloor,
+        ArbitrationPolicy::kFairShare}) {
+    Arbiter arbiter(c.machine, policy);
+    const ArbiterResult result = arbiter.solve(c.streams);
+
+    ASSERT_EQ(result.allocation.size(), c.streams.size());
+    // 1. Allocations bounded by demand, non-negative.
+    for (std::size_t i = 0; i < c.streams.size(); ++i) {
+      EXPECT_GE(result.allocation[i].gb(), -1e-9);
+      EXPECT_LE(result.allocation[i].gb(),
+                c.streams[i].demand.gb() + 1e-9);
+    }
+    // 2. No link over effective capacity.
+    for (std::size_t l = 0; l < c.machine.links().size(); ++l) {
+      EXPECT_LE(result.link_usage[l].gb(),
+                result.link_effective_capacity[l].gb() + 1e-6)
+          << "link " << l << " policy " << to_string(policy);
+    }
+    // 3. Deterministic.
+    const ArbiterResult again = arbiter.solve(c.streams);
+    for (std::size_t i = 0; i < c.streams.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.allocation[i].gb(), again.allocation[i].gb());
+    }
+    // 4. Solver terminated within its budget.
+    EXPECT_LE(result.iterations, 200);
+  }
+}
+
+TEST_P(ArbiterProperty, UncontendedStreamsKeepTheirDemand) {
+  // Scale all demands down massively: nothing can contend, everyone gets
+  // exactly their (tiny) demand.
+  RandomCase c = make_case(GetParam());
+  for (StreamSpec& stream : c.streams) stream.demand = stream.demand / 1e4;
+  Arbiter arbiter(c.machine);
+  const ArbiterResult result = arbiter.solve(c.streams);
+  for (std::size_t i = 0; i < c.streams.size(); ++i) {
+    EXPECT_NEAR(result.allocation[i].gb(), c.streams[i].demand.gb(),
+                1e-9);
+  }
+}
+
+TEST_P(ArbiterProperty, ScalingAllDemandsNeverRaisesTotalAboveCapacity) {
+  RandomCase c = make_case(GetParam());
+  Arbiter arbiter(c.machine);
+  for (const double factor : {1.0, 2.0, 8.0}) {
+    std::vector<StreamSpec> streams = c.streams;
+    for (StreamSpec& stream : streams) {
+      stream.demand = stream.demand * factor;
+    }
+    const ArbiterResult result = arbiter.solve(streams);
+    for (std::size_t l = 0; l < c.machine.links().size(); ++l) {
+      EXPECT_LE(result.link_usage[l].gb(),
+                result.link_effective_capacity[l].gb() + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterProperty,
+                         testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace mcm::sim

@@ -1,0 +1,199 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builder.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::ContentionSpec;
+using topo::Machine;
+using topo::NicId;
+using topo::NumaId;
+using topo::SocketId;
+using topo::TopologyBuilder;
+
+/// Single socket, one 10 GB/s-controller NUMA node, one 4 GB/s NIC.
+Machine tiny_machine() {
+  ContentionSpec none;
+  TopologyBuilder b;
+  b.add_sockets(1, 4);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(10.0), none);
+  b.add_nic("nic", SocketId(0), Bandwidth::gb_per_s(4.0),
+            Bandwidth::gb_per_s(5.0));
+  return b.build();
+}
+
+StreamSpec cpu(const Machine& m, double gb) {
+  return StreamSpec{StreamClass::kCpu, Bandwidth::gb_per_s(gb),
+                    m.cpu_path(SocketId(0), NumaId(0))};
+}
+
+StreamSpec dma(const Machine& m, double gb) {
+  return StreamSpec{StreamClass::kDma, Bandwidth::gb_per_s(gb),
+                    m.dma_path(NicId(0), NumaId(0))};
+}
+
+TEST(Engine, SingleTransferCompletesAtExpectedTime) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  // 2 GB at 4 GB/s -> 0.5 s.
+  const TransferId id = engine.start_transfer(dma(m, 4.0), 2'000'000'000ull);
+  const auto completions = engine.run_until(Seconds(1.0));
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].id, id);
+  EXPECT_NEAR(completions[0].time.value(), 0.5, 1e-9);
+  EXPECT_FALSE(engine.is_active(id));
+  EXPECT_EQ(engine.bytes_moved(id), 2'000'000'000ull);
+}
+
+TEST(Engine, FlowMovesBytesProportionallyToTime) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  const TransferId id = engine.start_flow(cpu(m, 3.0));
+  const auto completions = engine.run_until(Seconds(2.0));
+  EXPECT_TRUE(completions.empty());
+  EXPECT_TRUE(engine.is_active(id));
+  EXPECT_NEAR(static_cast<double>(engine.bytes_moved(id)), 6e9, 1e3);
+}
+
+TEST(Engine, TransferSlowsDownWhenContended) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  // Two CPU flows of 4 GB/s each plus a 4 GB/s DMA transfer on a 10 GB/s
+  // controller: CPU priority leaves 2 GB/s for DMA (no floor configured).
+  engine.start_flow(cpu(m, 4.0));
+  engine.start_flow(cpu(m, 4.0));
+  const TransferId msg = engine.start_transfer(dma(m, 4.0), 1'000'000'000ull);
+  EXPECT_NEAR(engine.current_rate(msg).gb(), 2.0, 1e-6);
+  const auto completions = engine.run_until(Seconds(1.0));
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0].time.value(), 0.5, 1e-6);
+}
+
+TEST(Engine, RatesRecoverWhenFlowStops) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  const TransferId hog1 = engine.start_flow(cpu(m, 4.0));
+  const TransferId hog2 = engine.start_flow(cpu(m, 4.0));
+  const TransferId msg = engine.start_transfer(dma(m, 4.0), 4'000'000'000ull);
+  // First run 0.5 s under contention: DMA moves 1 GB at 2 GB/s.
+  (void)engine.run_until(Seconds(0.5));
+  EXPECT_NEAR(static_cast<double>(engine.bytes_moved(msg)), 1e9, 1e6);
+  engine.stop(hog1);
+  engine.stop(hog2);
+  // Unconstrained now: remaining 3 GB at 4 GB/s -> completes at 1.25 s.
+  const auto completions = engine.run_until(Seconds(2.0));
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0].time.value(), 1.25, 1e-6);
+}
+
+TEST(Engine, RunUntilNextCompletionStopsAtDeadline) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  engine.start_transfer(dma(m, 4.0), 8'000'000'000ull);  // needs 2 s
+  const auto completion = engine.run_until_next_completion(Seconds(1.0));
+  EXPECT_FALSE(completion.has_value());
+  EXPECT_NEAR(engine.now().value(), 1.0, 1e-9);
+}
+
+TEST(Engine, RunUntilNextCompletionReturnsEarliest) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  const TransferId slow = engine.start_transfer(cpu(m, 2.0), 4'000'000'000ull);
+  const TransferId fast = engine.start_transfer(dma(m, 4.0), 2'000'000'000ull);
+  const auto first = engine.run_until_next_completion(Seconds(10.0));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, fast);
+  EXPECT_NEAR(first->time.value(), 0.5, 1e-9);
+  const auto second = engine.run_until_next_completion(Seconds(10.0));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, slow);
+  EXPECT_NEAR(second->time.value(), 2.0, 1e-9);
+}
+
+TEST(Engine, BackToBackMessagesYieldSteadyBandwidth) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  const std::uint64_t msg_bytes = 400'000'000ull;  // 0.1 s each at 4 GB/s
+  std::uint64_t received = 0;
+  TransferId current = engine.start_transfer(dma(m, 4.0), msg_bytes);
+  while (engine.now() < Seconds(1.0)) {
+    const auto completion = engine.run_until_next_completion(Seconds(1.0));
+    if (!completion) break;
+    received += msg_bytes;
+    current = engine.start_transfer(dma(m, 4.0), msg_bytes);
+  }
+  (void)current;
+  EXPECT_EQ(received, 10u * msg_bytes);
+}
+
+TEST(Engine, StopIsIdempotentOnCompleted) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  const TransferId id = engine.start_transfer(dma(m, 4.0), 1'000'000ull);
+  (void)engine.run_until(Seconds(1.0));
+  EXPECT_FALSE(engine.is_active(id));
+  EXPECT_NO_THROW(engine.stop(id));
+}
+
+TEST(Engine, UnknownIdThrows) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  EXPECT_THROW(engine.stop(42), ContractViolation);
+  EXPECT_THROW((void)engine.bytes_moved(42), ContractViolation);
+  EXPECT_THROW((void)engine.is_active(42), ContractViolation);
+}
+
+TEST(Engine, RejectsZeroByteTransferAndZeroDemand) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  EXPECT_THROW((void)engine.start_transfer(dma(m, 4.0), 0), ContractViolation);
+  EXPECT_THROW((void)engine.start_flow(cpu(m, 0.0)), ContractViolation);
+}
+
+TEST(Engine, RunUntilRejectsPastDeadline) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  (void)engine.run_until(Seconds(1.0));
+  EXPECT_THROW((void)engine.run_until(Seconds(0.5)), ContractViolation);
+}
+
+TEST(Engine, TraceRecordsLifecycle) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  engine.trace().enable();
+  const TransferId flow = engine.start_flow(cpu(m, 1.0));
+  engine.start_transfer(dma(m, 4.0), 400'000'000ull);
+  (void)engine.run_until(Seconds(1.0));
+  engine.stop(flow);
+  EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferStarted), 2u);
+  EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferCompleted), 1u);
+  EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferStopped), 1u);
+  EXPECT_GE(engine.trace().count(TraceEventKind::kRatesRecomputed), 1u);
+}
+
+TEST(Engine, TraceDisabledRecordsNothing) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  engine.start_flow(cpu(m, 1.0));
+  (void)engine.run_until(Seconds(0.5));
+  EXPECT_TRUE(engine.trace().events().empty());
+}
+
+TEST(Engine, SimultaneousCompletionsAllReported) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  // Two CPU transfers with equal demand and size complete together.
+  engine.start_transfer(cpu(m, 2.0), 1'000'000'000ull);
+  engine.start_transfer(cpu(m, 2.0), 1'000'000'000ull);
+  const auto completions = engine.run_until(Seconds(2.0));
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0].time.value(), 0.5, 1e-9);
+  EXPECT_NEAR(completions[1].time.value(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcm::sim

@@ -1,0 +1,95 @@
+// Tests for the LLC-aware cached-kernel extension (paper §VI future work:
+// "take into account the last level cache").
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::NumaId;
+
+TEST(Llc, NonTemporalKernelsBypassTheCache) {
+  SimMachine m(topo::make_henri());
+  EXPECT_DOUBLE_EQ(m.llc_hit_fraction(1), 0.0);
+  m.set_compute_kernel(ComputeKernel::kCopy);
+  EXPECT_DOUBLE_EQ(m.llc_hit_fraction(1), 0.0);
+}
+
+TEST(Llc, HitFractionFollowsFootprint) {
+  SimMachine m(topo::make_henri());  // 25 MiB LLC
+  m.set_compute_kernel(ComputeKernel::kCachedFill);
+  m.set_working_set_bytes(5 * kMiB);
+  // 1 core: 5 MiB footprint fully cached (capped at 0.95).
+  EXPECT_DOUBLE_EQ(m.llc_hit_fraction(1), 0.95);
+  // 10 cores: 50 MiB footprint, cache covers half.
+  EXPECT_NEAR(m.llc_hit_fraction(10), 0.5, 1e-9);
+  // 17 cores: 85 MiB footprint.
+  EXPECT_NEAR(m.llc_hit_fraction(17), 25.0 / 85.0, 1e-9);
+}
+
+TEST(Llc, CachedKernelReducesMemoryTraffic) {
+  SimMachine nt(topo::make_henri());
+  SimMachine cached(topo::make_henri());
+  cached.set_compute_kernel(ComputeKernel::kCachedFill);
+  cached.set_working_set_bytes(8 * kMiB);
+  for (std::size_t n : {1u, 4u, 12u}) {
+    EXPECT_LT(cached.steady_compute_alone(n, NumaId(0)).gb(),
+              nt.steady_compute_alone(n, NumaId(0)).gb())
+        << "n=" << n;
+  }
+}
+
+TEST(Llc, CachedKernelSoftensContention) {
+  // With a cache-resident working set the memory system barely sees the
+  // computation, so the network keeps (almost) its nominal bandwidth even
+  // at full core count.
+  SimMachine nt(topo::make_henri());
+  SimMachine cached(topo::make_henri());
+  cached.set_compute_kernel(ComputeKernel::kCachedFill);
+  cached.set_working_set_bytes(kMiB);
+  const std::size_t n = nt.max_computing_cores();
+  const double comm_nt = nt.steady_parallel(n, NumaId(0), NumaId(0)).comm.gb();
+  const double comm_cached =
+      cached.steady_parallel(n, NumaId(0), NumaId(0)).comm.gb();
+  EXPECT_GT(comm_cached, comm_nt + 3.0);
+}
+
+TEST(Llc, LargeWorkingSetsConvergeToUncachedBehaviour) {
+  SimMachine nt(topo::make_henri());
+  SimMachine cached(topo::make_henri());
+  cached.set_compute_kernel(ComputeKernel::kCachedFill);
+  cached.set_working_set_bytes(kGiB);  // 17 GiB aggregate >> 25 MiB LLC
+  const std::size_t n = 12;
+  EXPECT_NEAR(cached.steady_compute_alone(n, NumaId(0)).gb(),
+              nt.steady_compute_alone(n, NumaId(0)).gb(),
+              nt.steady_compute_alone(n, NumaId(0)).gb() * 0.03);
+}
+
+TEST(Llc, MachinesWithoutLlcSpecSeeNoEffect) {
+  topo::PlatformSpec spec = topo::make_henri();
+  spec.compute.llc_bytes = 0;
+  SimMachine m(spec);
+  m.set_compute_kernel(ComputeKernel::kCachedFill);
+  EXPECT_DOUBLE_EQ(m.llc_hit_fraction(4), 0.0);
+}
+
+TEST(Llc, WorkingSetValidation) {
+  SimMachine m(topo::make_henri());
+  EXPECT_EQ(m.working_set_bytes(), 64ull * kMiB);
+  EXPECT_THROW(m.set_working_set_bytes(0), ContractViolation);
+}
+
+TEST(Llc, KernelNameIncludesCachedFill) {
+  EXPECT_STREQ(to_string(ComputeKernel::kCachedFill), "cached-fill");
+}
+
+TEST(Llc, PlatformPresetsCarryLlcSizes) {
+  EXPECT_EQ(topo::make_henri().compute.llc_bytes, 25ull * kMiB);
+  EXPECT_EQ(topo::make_diablo().compute.llc_bytes, 128ull * kMiB);
+}
+
+}  // namespace
+}  // namespace mcm::sim

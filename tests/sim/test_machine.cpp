@@ -1,0 +1,177 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/platforms.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::NumaId;
+
+TEST(SimMachine, MaxComputingCoresLeavesOneForComm) {
+  SimMachine henri(topo::make_henri());
+  EXPECT_EQ(henri.max_computing_cores(), 17u);
+  SimMachine occigen(topo::make_occigen());
+  EXPECT_EQ(occigen.max_computing_cores(), 13u);
+}
+
+TEST(SimMachine, SingleCoreGetsItsNominalBandwidth) {
+  SimMachine m(topo::make_henri());
+  const Bandwidth bw = m.steady_compute_alone(1, NumaId(0));
+  EXPECT_NEAR(bw.gb(), 5.5, 1e-6);
+}
+
+TEST(SimMachine, ComputeAloneScalesThenSaturates) {
+  SimMachine m(topo::make_henri());
+  // Perfect scaling region.
+  EXPECT_NEAR(m.steady_compute_alone(4, NumaId(0)).gb(), 22.0, 1e-3);
+  EXPECT_NEAR(m.steady_compute_alone(10, NumaId(0)).gb(), 55.0, 1e-3);
+  // Saturated region: well below perfect scaling.
+  const double at_17 = m.steady_compute_alone(17, NumaId(0)).gb();
+  EXPECT_LT(at_17, 17 * 5.5 - 3.0);
+  EXPECT_GT(at_17, 70.0);
+}
+
+TEST(SimMachine, RemoteComputeIsSlowerThanLocal) {
+  SimMachine m(topo::make_henri());
+  for (std::size_t n : {1u, 8u, 17u}) {
+    EXPECT_LT(m.steady_compute_alone(n, NumaId(1)).gb(),
+              m.steady_compute_alone(n, NumaId(0)).gb() + 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(SimMachine, CommAloneMatchesNicNominal) {
+  SimMachine m(topo::make_henri());
+  EXPECT_NEAR(m.steady_comm_alone(NumaId(0)).gb(), 12.2, 1e-3);
+  EXPECT_NEAR(m.steady_comm_alone(NumaId(1)).gb(), 12.2 * 0.93, 1e-3);
+}
+
+TEST(SimMachine, ParallelContentionSqueezesCommToFloor) {
+  SimMachine m(topo::make_henri());
+  const ParallelMeasurement full =
+      m.steady_parallel(17, NumaId(0), NumaId(0));
+  // henri's controller guarantees 4 GB/s to DMA.
+  EXPECT_NEAR(full.comm.gb(), 4.0, 0.1);
+  // Compute is also reduced relative to running alone.
+  EXPECT_LT(full.compute.gb(), m.steady_compute_alone(17, NumaId(0)).gb());
+}
+
+TEST(SimMachine, FewCoresLeaveCommAtNominal) {
+  SimMachine m(topo::make_henri());
+  const ParallelMeasurement light =
+      m.steady_parallel(2, NumaId(0), NumaId(0));
+  EXPECT_NEAR(light.comm.gb(), 12.2, 0.05);
+  EXPECT_NEAR(light.compute.gb(), 11.0, 0.05);
+}
+
+TEST(SimMachine, DifferentNumaPlacementsLeaveComputeUntouched) {
+  SimMachine m(topo::make_henri_subnuma());
+  // Compute on node 0, communications on node 1: different controllers, so
+  // computations keep their solo bandwidth at any core count (the paper's
+  // "computations are almost not impacted in other cases").
+  for (std::size_t n : {2u, 9u, 17u}) {
+    const ParallelMeasurement apart =
+        m.steady_parallel(n, NumaId(0), NumaId(1));
+    EXPECT_NEAR(apart.compute.gb(), m.steady_compute_alone(n, NumaId(0)).gb(),
+                0.5)
+        << "n=" << n;
+  }
+  // With few cores the network is untouched too...
+  const ParallelMeasurement light = m.steady_parallel(2, NumaId(0), NumaId(1));
+  EXPECT_NEAR(light.comm.gb(), m.steady_comm_alone(NumaId(1)).gb(), 0.2);
+  // ...but a fully loaded socket steals fabric bandwidth from the NIC's
+  // PCIe ingress regardless of placement (host-socket coupling), as the
+  // paper's machines show for communications.
+  const ParallelMeasurement heavy =
+      m.steady_parallel(17, NumaId(0), NumaId(1));
+  EXPECT_LT(heavy.comm.gb(), m.steady_comm_alone(NumaId(1)).gb() - 3.0);
+}
+
+TEST(SimMachine, SameRemoteNodeContendsHardestAcrossSockets) {
+  SimMachine m(topo::make_henri_subnuma());
+  // Mid-sweep, where the shared remote port is saturated but the host
+  // fabric is not yet: contention shows only when both streams target the
+  // same remote node. (At the very end of the sweep both placements sit on
+  // their respective bandwidth floors.)
+  const ParallelMeasurement same =
+      m.steady_parallel(8, NumaId(2), NumaId(2));
+  const ParallelMeasurement different =
+      m.steady_parallel(8, NumaId(2), NumaId(3));
+  EXPECT_LT(same.comm.gb(), different.comm.gb() - 1.0);
+}
+
+TEST(SimMachine, MeasurementsAreDeterministic) {
+  SimMachine a(topo::make_pyxis());
+  SimMachine b(topo::make_pyxis());
+  EXPECT_DOUBLE_EQ(a.measure_compute_alone(9, NumaId(0)).gb(),
+                   b.measure_compute_alone(9, NumaId(0)).gb());
+  EXPECT_DOUBLE_EQ(a.measure_comm_alone(NumaId(1)).gb(),
+                   b.measure_comm_alone(NumaId(1)).gb());
+  const ParallelMeasurement pa = a.measure_parallel(9, NumaId(0), NumaId(1));
+  const ParallelMeasurement pb = b.measure_parallel(9, NumaId(0), NumaId(1));
+  EXPECT_DOUBLE_EQ(pa.compute.gb(), pb.compute.gb());
+  EXPECT_DOUBLE_EQ(pa.comm.gb(), pb.comm.gb());
+}
+
+TEST(SimMachine, MeasuredTracksSteadyWithinNoise) {
+  SimMachine m(topo::make_henri());
+  for (std::size_t n : {1u, 6u, 12u, 17u}) {
+    const double steady = m.steady_compute_alone(n, NumaId(0)).gb();
+    const double measured = m.measure_compute_alone(n, NumaId(0)).gb();
+    EXPECT_NEAR(measured, steady, steady * 0.02) << "n=" << n;
+  }
+}
+
+TEST(SimMachine, PyxisCrossNumaPenaltyHitsOnlyMixedPlacements) {
+  SimMachine m(topo::make_pyxis());
+  const double penalty = m.spec().noise.cross_numa_dma_penalty;
+  ASSERT_GT(penalty, 0.0);
+  const ParallelMeasurement mixed = m.measure_parallel(4, NumaId(0), NumaId(1));
+  const ParallelMeasurement steady = m.steady_parallel(4, NumaId(0), NumaId(1));
+  // Mixed placement: measured comm is depressed by roughly the penalty.
+  EXPECT_LT(mixed.comm.gb(), steady.comm.gb() * (1.0 - penalty * 0.5));
+  const ParallelMeasurement diag = m.measure_parallel(4, NumaId(1), NumaId(1));
+  const ParallelMeasurement diag_steady =
+      m.steady_parallel(4, NumaId(1), NumaId(1));
+  EXPECT_NEAR(diag.comm.gb(), diag_steady.comm.gb(),
+              diag_steady.comm.gb() * 0.15);
+}
+
+TEST(SimMachine, DiabloNicLocalitySplit) {
+  SimMachine m(topo::make_diablo());
+  EXPECT_NEAR(m.steady_comm_alone(NumaId(1)).gb(), 22.4, 0.1);
+  EXPECT_NEAR(m.steady_comm_alone(NumaId(0)).gb(), 12.1, 0.2);
+}
+
+TEST(SimMachine, OccigenCommKeepsNominalUnderContention) {
+  SimMachine m(topo::make_occigen());
+  const ParallelMeasurement remote =
+      m.steady_parallel(13, NumaId(1), NumaId(1));
+  const double nominal = m.steady_comm_alone(NumaId(1)).gb();
+  EXPECT_GT(remote.comm.gb(), nominal * 0.93);
+  // And computations take the hit.
+  EXPECT_LT(remote.compute.gb(),
+            m.steady_compute_alone(13, NumaId(1)).gb() - 3.0);
+}
+
+TEST(SimMachine, MessageSizeIsConfigurable) {
+  SimMachine m(topo::make_henri());
+  EXPECT_EQ(m.message_bytes(), 64ull * kMiB);
+  m.set_message_bytes(4 * kMiB);
+  EXPECT_EQ(m.message_bytes(), 4ull * kMiB);
+  EXPECT_THROW(m.set_message_bytes(0), ContractViolation);
+}
+
+TEST(SimMachine, RejectsOutOfRangeCoreCounts) {
+  SimMachine m(topo::make_henri());
+  EXPECT_THROW((void)m.steady_compute_alone(0, NumaId(0)),
+               ContractViolation);
+  EXPECT_THROW((void)m.steady_compute_alone(18, NumaId(0)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::sim

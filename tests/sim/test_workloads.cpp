@@ -1,0 +1,130 @@
+// Tests for the paper's §VI future-work workload variants: bidirectional
+// (ping-pong) communications and copy compute kernels.
+#include <gtest/gtest.h>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "model/model.hpp"
+#include "sim/machine.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::NumaId;
+
+TEST(Workloads, DefaultsMatchThePaperSetup) {
+  SimMachine m(topo::make_henri());
+  EXPECT_EQ(m.comm_pattern(), CommPattern::kReceiveOnly);
+  EXPECT_EQ(m.compute_kernel(), ComputeKernel::kFill);
+}
+
+TEST(Workloads, EnumNames) {
+  EXPECT_STREQ(to_string(CommPattern::kReceiveOnly), "receive-only");
+  EXPECT_STREQ(to_string(CommPattern::kBidirectional), "bidirectional");
+  EXPECT_STREQ(to_string(ComputeKernel::kFill), "fill");
+  EXPECT_STREQ(to_string(ComputeKernel::kCopy), "copy");
+}
+
+TEST(Workloads, CopyKernelRaisesPerCoreTraffic) {
+  SimMachine m(topo::make_henri());
+  const double fill = m.steady_compute_alone(1, NumaId(0)).gb();
+  m.set_compute_kernel(ComputeKernel::kCopy);
+  const double copy = m.steady_compute_alone(1, NumaId(0)).gb();
+  EXPECT_NEAR(copy, fill * kernel_traffic_factor(ComputeKernel::kCopy),
+              1e-6);
+}
+
+TEST(Workloads, CopyKernelSaturatesWithFewerCores) {
+  SimMachine fill(topo::make_henri());
+  SimMachine copy(topo::make_henri());
+  copy.set_compute_kernel(ComputeKernel::kCopy);
+  // Find the first core count where scaling stops being perfect.
+  const auto knee = [](SimMachine& m) {
+    const double per_core = m.steady_compute_alone(1, NumaId(0)).gb();
+    for (std::size_t n = 2; n <= m.max_computing_cores(); ++n) {
+      if (m.steady_compute_alone(n, NumaId(0)).gb() <
+          static_cast<double>(n) * per_core - 0.1) {
+        return n;
+      }
+    }
+    return m.max_computing_cores() + 1;
+  };
+  EXPECT_LT(knee(copy), knee(fill));
+}
+
+TEST(Workloads, BidirectionalCommReducesReceiveBandwidthUnderLoad) {
+  SimMachine pong(topo::make_henri());
+  SimMachine pingpong(topo::make_henri());
+  pingpong.set_comm_pattern(CommPattern::kBidirectional);
+  // Near saturation the controller leftover must now be split between the
+  // receive and send directions, and at full load the DMA floor is shared.
+  const double rx_only =
+      pong.steady_parallel(14, NumaId(0), NumaId(0)).comm.gb();
+  const double rx_bidir =
+      pingpong.steady_parallel(14, NumaId(0), NumaId(0)).comm.gb();
+  EXPECT_LT(rx_bidir, rx_only - 0.5);
+  const double rx_floor =
+      pingpong.steady_parallel(17, NumaId(0), NumaId(0)).comm.gb();
+  EXPECT_NEAR(rx_floor, 2.0, 0.3);  // half of henri's 4 GB/s floor
+}
+
+TEST(Workloads, BidirectionalIdleCommStillReachesNominal) {
+  // PCIe and the wire are full duplex: without compute load, the receive
+  // direction keeps its nominal bandwidth.
+  SimMachine m(topo::make_henri());
+  m.set_comm_pattern(CommPattern::kBidirectional);
+  EXPECT_NEAR(m.steady_comm_alone(NumaId(0)).gb(), 12.2, 0.3);
+}
+
+TEST(Workloads, BidirectionalContentionStartsEarlier) {
+  SimMachine pong(topo::make_henri());
+  SimMachine pingpong(topo::make_henri());
+  pingpong.set_comm_pattern(CommPattern::kBidirectional);
+  const auto onset = [](SimMachine& m) {
+    const double nominal = m.steady_comm_alone(NumaId(0)).gb();
+    for (std::size_t n = 1; n <= m.max_computing_cores(); ++n) {
+      if (m.steady_parallel(n, NumaId(0), NumaId(0)).comm.gb() <
+          nominal * 0.9) {
+        return n;
+      }
+    }
+    return m.max_computing_cores() + 1;
+  };
+  EXPECT_LE(onset(pingpong), onset(pong));
+}
+
+TEST(Workloads, ModelStillCalibratesOnVariantWorkloads) {
+  // The paper's conjecture: for other kernels/message patterns the model
+  // form still applies, only the parameters change. Calibrate on each
+  // variant's own sweep and check the sample-placement error stays small.
+  for (const bool bidirectional : {false, true}) {
+    for (const bool copy : {false, true}) {
+      bench::SimBackend backend(topo::make_henri());
+      if (bidirectional) {
+        backend.machine().set_comm_pattern(CommPattern::kBidirectional);
+      }
+      if (copy) backend.machine().set_compute_kernel(ComputeKernel::kCopy);
+      const auto model = model::ContentionModel::from_backend(backend);
+      const bench::SweepResult sweep = bench::run_all_placements(backend);
+      const model::ErrorReport report = model.evaluate_against(sweep);
+      EXPECT_LT(report.comp_samples, 4.0)
+          << "bidir=" << bidirectional << " copy=" << copy;
+      EXPECT_LT(report.comm_samples, 10.0)
+          << "bidir=" << bidirectional << " copy=" << copy;
+    }
+  }
+}
+
+TEST(Workloads, MeasuredBidirectionalTracksSteady) {
+  SimMachine m(topo::make_occigen());
+  m.set_comm_pattern(CommPattern::kBidirectional);
+  const double steady =
+      m.steady_parallel(8, NumaId(0), NumaId(0)).comm.gb();
+  const double measured =
+      m.measure_parallel(8, NumaId(0), NumaId(0)).comm.gb();
+  EXPECT_NEAR(measured, steady, steady * 0.05);
+}
+
+}  // namespace
+}  // namespace mcm::sim

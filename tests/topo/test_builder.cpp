@@ -1,0 +1,125 @@
+#include "topo/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::topo {
+namespace {
+
+ContentionSpec some_spec() {
+  ContentionSpec spec;
+  spec.dma_floor = Bandwidth::gb_per_s(2.0);
+  spec.requestor_knee = 8.0;
+  spec.degradation_per_requestor = Bandwidth::gb_per_s(0.5);
+  spec.dma_requestor_weight = 2.0;
+  return spec;
+}
+
+Machine dual_socket_machine() {
+  TopologyBuilder b;
+  b.add_sockets(2, 4);
+  b.add_numa_per_socket(2, Bandwidth::gb_per_s(50.0), some_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), some_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), some_spec());
+  b.add_nic("nic0", SocketId(0), Bandwidth::gb_per_s(10.0),
+            Bandwidth::gb_per_s(12.0));
+  return b.build();
+}
+
+TEST(Builder, BuildsExpectedCounts) {
+  const Machine m = dual_socket_machine();
+  EXPECT_EQ(m.socket_count(), 2u);
+  EXPECT_EQ(m.core_count(), 8u);
+  EXPECT_EQ(m.numa_count(), 4u);
+  EXPECT_EQ(m.cores_per_socket(), 4u);
+  EXPECT_EQ(m.numa_per_socket(), 2u);
+  EXPECT_EQ(m.nics().size(), 1u);
+  // 4 controllers + 4 remote ports + 1 inter-socket + 1 pcie.
+  EXPECT_EQ(m.links().size(), 10u);
+}
+
+TEST(Builder, CoreAndNumaIdsAreDensePerSocket) {
+  const Machine m = dual_socket_machine();
+  EXPECT_EQ(m.socket_of_core(CoreId(0)), SocketId(0));
+  EXPECT_EQ(m.socket_of_core(CoreId(3)), SocketId(0));
+  EXPECT_EQ(m.socket_of_core(CoreId(4)), SocketId(1));
+  EXPECT_EQ(m.socket_of_numa(NumaId(0)), SocketId(0));
+  EXPECT_EQ(m.socket_of_numa(NumaId(1)), SocketId(0));
+  EXPECT_EQ(m.socket_of_numa(NumaId(2)), SocketId(1));
+  EXPECT_EQ(m.first_numa_of(SocketId(1)), NumaId(2));
+}
+
+TEST(Builder, NicDefaultsNearFirstNumaOfItsSocket) {
+  const Machine m = dual_socket_machine();
+  const Nic& nic = m.nic(NicId(0));
+  EXPECT_EQ(nic.socket, SocketId(0));
+  EXPECT_EQ(nic.near_numa, NumaId(0));
+  EXPECT_EQ(m.link(nic.pcie).kind, LinkKind::kPcie);
+}
+
+TEST(Builder, NicEfficiencyOverride) {
+  TopologyBuilder b;
+  b.add_sockets(2, 2);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), some_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), some_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), some_spec());
+  b.add_nic("nic0", SocketId(1), Bandwidth::gb_per_s(20.0),
+            Bandwidth::gb_per_s(25.0));
+  b.set_nic_dma_efficiency(NicId(0), NumaId(0), 0.5);
+  const Machine m = b.build();
+  EXPECT_DOUBLE_EQ(m.nic_nominal_bandwidth(NicId(0), NumaId(0)).gb(), 10.0);
+  EXPECT_DOUBLE_EQ(m.nic_nominal_bandwidth(NicId(0), NumaId(1)).gb(), 20.0);
+  EXPECT_EQ(m.nic(NicId(0)).near_numa, NumaId(1));
+}
+
+TEST(Builder, SingleSocketNeedsNoInterSocketLink) {
+  TopologyBuilder b;
+  b.add_sockets(1, 4);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), some_spec());
+  const Machine m = b.build();
+  EXPECT_EQ(m.socket_count(), 1u);
+  // 1 controller + 1 remote port.
+  EXPECT_EQ(m.links().size(), 2u);
+}
+
+TEST(Builder, DualSocketRequiresInterSocketAndRemotePort) {
+  TopologyBuilder b;
+  b.add_sockets(2, 4);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), some_spec());
+  EXPECT_THROW((void)b.build(), ContractViolation);
+}
+
+TEST(Builder, RejectsDoubleSocketDeclaration) {
+  TopologyBuilder b;
+  b.add_sockets(2, 4);
+  EXPECT_THROW(b.add_sockets(2, 4), ContractViolation);
+}
+
+TEST(Builder, RejectsNicOnUnknownSocket) {
+  TopologyBuilder b;
+  b.add_sockets(1, 2);
+  EXPECT_THROW(b.add_nic("x", SocketId(3), Bandwidth::gb_per_s(1.0),
+                         Bandwidth::gb_per_s(1.0)),
+               ContractViolation);
+}
+
+TEST(Builder, RejectsOutOfRangeEfficiency) {
+  TopologyBuilder b;
+  b.add_sockets(1, 2);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(10.0), some_spec());
+  b.add_nic("x", SocketId(0), Bandwidth::gb_per_s(1.0),
+            Bandwidth::gb_per_s(1.0));
+  EXPECT_THROW(b.set_nic_dma_efficiency(NicId(0), NumaId(0), 0.0),
+               ContractViolation);
+  EXPECT_THROW(b.set_nic_dma_efficiency(NicId(0), NumaId(0), 1.5),
+               ContractViolation);
+}
+
+TEST(Builder, BuiltMachinePassesValidation) {
+  const Machine m = dual_socket_machine();
+  EXPECT_NO_THROW(m.validate());
+}
+
+}  // namespace
+}  // namespace mcm::topo

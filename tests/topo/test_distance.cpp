@@ -1,0 +1,67 @@
+#include "topo/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builder.hpp"
+
+namespace mcm::topo {
+namespace {
+
+Machine machine(std::size_t sockets, std::size_t numa_per_socket) {
+  TopologyBuilder b;
+  b.add_sockets(sockets, 2);
+  b.add_numa_per_socket(numa_per_socket, Bandwidth::gb_per_s(50.0),
+                        ContentionSpec{});
+  if (sockets > 1) {
+    b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), ContentionSpec{});
+    b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), ContentionSpec{});
+  }
+  return b.build();
+}
+
+TEST(Distance, DiagonalIsSelfDistance) {
+  const DistanceMatrix d(machine(2, 2));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(d.at(NumaId(i), NumaId(i)), 10u);
+  }
+}
+
+TEST(Distance, SameSocketBeatsCrossSocket) {
+  const DistanceMatrix d(machine(2, 2));
+  EXPECT_LT(d.at(NumaId(0), NumaId(1)), d.at(NumaId(0), NumaId(2)));
+}
+
+TEST(Distance, Symmetric) {
+  const DistanceMatrix d(machine(2, 2));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(d.at(NumaId(i), NumaId(j)), d.at(NumaId(j), NumaId(i)));
+    }
+  }
+}
+
+TEST(Distance, IsLocalMatchesSocketStructure) {
+  const DistanceMatrix d(machine(2, 2));
+  EXPECT_TRUE(d.is_local(NumaId(0), NumaId(0)));
+  EXPECT_TRUE(d.is_local(NumaId(0), NumaId(1)));
+  EXPECT_FALSE(d.is_local(NumaId(0), NumaId(2)));
+}
+
+TEST(Distance, NearestOtherPrefersSameSocket) {
+  const DistanceMatrix d(machine(2, 2));
+  EXPECT_EQ(d.nearest_other(NumaId(0)), NumaId(1));
+  EXPECT_EQ(d.nearest_other(NumaId(3)), NumaId(2));
+}
+
+TEST(Distance, NearestOtherCrossSocketWhenSingleNodePerSocket) {
+  const DistanceMatrix d(machine(2, 1));
+  EXPECT_EQ(d.nearest_other(NumaId(0)), NumaId(1));
+}
+
+TEST(Distance, SizeMatchesNumaCount) {
+  EXPECT_EQ(DistanceMatrix(machine(2, 2)).size(), 4u);
+  EXPECT_EQ(DistanceMatrix(machine(2, 1)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcm::topo

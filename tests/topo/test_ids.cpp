@@ -1,0 +1,43 @@
+#include "topo/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace mcm::topo {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  EXPECT_FALSE(CoreId{}.is_valid());
+  EXPECT_EQ(CoreId{}, CoreId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  const NumaId id(7);
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(SocketId(0), SocketId(1));
+  EXPECT_EQ(SocketId(3), SocketId(3));
+  EXPECT_NE(SocketId(3), SocketId(4));
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<CoreId, NumaId>);
+  static_assert(!std::is_same_v<SocketId, LinkId>);
+  SUCCEED();
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<LinkId> set;
+  set.insert(LinkId(1));
+  set.insert(LinkId(2));
+  set.insert(LinkId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcm::topo

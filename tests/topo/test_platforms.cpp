@@ -1,0 +1,119 @@
+#include "topo/platforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm::topo {
+namespace {
+
+// Table I structural facts, platform by platform.
+struct TableRow {
+  const char* name;
+  std::size_t cores_per_socket;
+  std::size_t numa_total;
+  const char* network;
+};
+
+class PlatformTable : public testing::TestWithParam<TableRow> {};
+
+TEST_P(PlatformTable, MatchesTableOne) {
+  const TableRow row = GetParam();
+  const PlatformSpec spec = make_platform(row.name);
+  EXPECT_EQ(spec.name, row.name);
+  EXPECT_EQ(spec.machine.socket_count(), 2u);
+  EXPECT_EQ(spec.machine.cores_per_socket(), row.cores_per_socket);
+  EXPECT_EQ(spec.machine.numa_count(), row.numa_total);
+  EXPECT_EQ(spec.network, row.network);
+  EXPECT_NO_THROW(spec.machine.validate());
+}
+
+TEST_P(PlatformTable, HasExactlyOneNic) {
+  const PlatformSpec spec = make_platform(GetParam().name);
+  EXPECT_EQ(spec.machine.nics().size(), 1u);
+}
+
+TEST_P(PlatformTable, ComputeProfileIsPositiveAndLocalFasterThanRemote) {
+  const PlatformSpec spec = make_platform(GetParam().name);
+  EXPECT_GT(spec.compute.per_core_local.gb(), 0.0);
+  EXPECT_GT(spec.compute.per_core_remote.gb(), 0.0);
+  EXPECT_GE(spec.compute.per_core_local.gb(),
+            spec.compute.per_core_remote.gb());
+}
+
+TEST_P(PlatformTable, SeedsAreStablePerPlatform) {
+  const PlatformSpec a = make_platform(GetParam().name);
+  const PlatformSpec b = make_platform(GetParam().name);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_NE(a.seed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PlatformTable,
+    testing::Values(TableRow{"henri", 18, 2, "InfiniBand"},
+                    TableRow{"henri-subnuma", 18, 4, "InfiniBand"},
+                    TableRow{"dahu", 16, 2, "Omni-Path"},
+                    TableRow{"diablo", 32, 2, "InfiniBand"},
+                    TableRow{"pyxis", 32, 2, "InfiniBand"},
+                    TableRow{"occigen", 14, 2, "InfiniBand"}),
+    [](const testing::TestParamInfo<TableRow>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Platforms, RegistryListsSixPlatformsInPaperOrder) {
+  const auto names = platform_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "henri");
+  EXPECT_EQ(names[1], "henri-subnuma");
+  EXPECT_EQ(names[5], "occigen");
+}
+
+TEST(Platforms, UnknownNameThrows) {
+  EXPECT_THROW((void)make_platform("not-a-platform"), mcm::ContractViolation);
+}
+
+TEST(Platforms, DiabloNicSitsOnSecondSocketAndIsLocalitySensitive) {
+  const PlatformSpec spec = make_diablo();
+  const Nic& nic = spec.machine.nic(NicId(0));
+  EXPECT_EQ(nic.socket, SocketId(1));
+  // Paper §IV-B-c: 22.4 GB/s next to the NIC, 12.1 GB/s across the fabric.
+  EXPECT_NEAR(spec.machine.nic_nominal_bandwidth(NicId(0), NumaId(1)).gb(),
+              22.4, 0.1);
+  EXPECT_NEAR(spec.machine.nic_nominal_bandwidth(NicId(0), NumaId(0)).gb(),
+              12.1, 0.2);
+}
+
+TEST(Platforms, PyxisCarriesTheQuirksTheModelCannotSee) {
+  const PlatformSpec spec = make_pyxis();
+  EXPECT_GT(spec.noise.cross_numa_dma_penalty, 0.0);
+  EXPECT_GT(spec.noise.comm_sigma, make_henri().noise.comm_sigma);
+  EXPECT_GT(spec.compute.scaling_curvature, 0.0);
+}
+
+TEST(Platforms, OccigenDmaFloorsKeepCommAtNominal) {
+  // "Only computations are impacted": the DMA floor of every contended link
+  // must sit at or above the nominal network bandwidth.
+  const PlatformSpec spec = make_occigen();
+  const Machine& m = spec.machine;
+  const double worst_nominal =
+      m.nic_nominal_bandwidth(NicId(0), NumaId(1)).gb();
+  const Link& port = m.link(m.remote_port_of(NumaId(1)));
+  EXPECT_GE(port.contention.dma_floor.gb(), worst_nominal * 0.95);
+}
+
+TEST(Platforms, HenriSubnumaSharesHenriStructureWithMoreNodes) {
+  const PlatformSpec henri = make_henri();
+  const PlatformSpec sub = make_henri_subnuma();
+  EXPECT_EQ(henri.machine.cores_per_socket(),
+            sub.machine.cores_per_socket());
+  EXPECT_EQ(henri.machine.numa_per_socket(), 1u);
+  EXPECT_EQ(sub.machine.numa_per_socket(), 2u);
+  EXPECT_EQ(henri.processor, sub.processor);
+}
+
+}  // namespace
+}  // namespace mcm::topo

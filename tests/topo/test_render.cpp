@@ -1,0 +1,44 @@
+#include "topo/render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::topo {
+namespace {
+
+TEST(Render, MentionsEveryStructuralElement) {
+  const std::string text = render_platform(make_henri());
+  for (const char* token :
+       {"platform henri", "socket 0", "socket 1", "numa node 0",
+        "numa node 1", "cores 0-17", "cores 18-35", "nic mlx5_0",
+        "inter-socket bus", "compute kernel", "noise"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Render, ShowsContentionCharacteristics) {
+  const std::string text = render_platform(make_henri());
+  EXPECT_NE(text.find("dma floor 4.0 GB/s"), std::string::npos) << text;
+  EXPECT_NE(text.find("knee 14 requestors"), std::string::npos) << text;
+  EXPECT_NE(text.find("soft-throttle"), std::string::npos) << text;
+}
+
+TEST(Render, ShowsNicEfficiencyAsymmetry) {
+  const std::string text = render_platform(make_diablo());
+  EXPECT_NE(text.find("dma efficiency per numa node: 0.54 1.00"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Render, ShowsPyxisQuirks) {
+  const std::string text = render_platform(make_pyxis());
+  EXPECT_NE(text.find("cross-numa dma penalty"), std::string::npos);
+  EXPECT_NE(text.find("scaling curvature"), std::string::npos);
+}
+
+TEST(Render, SubnumaShowsFourNodes) {
+  const std::string text = render_platform(make_henri_subnuma());
+  EXPECT_NE(text.find("numa node 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::topo

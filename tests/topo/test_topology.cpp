@@ -1,0 +1,108 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builder.hpp"
+
+namespace mcm::topo {
+namespace {
+
+ContentionSpec plain_spec() { return ContentionSpec{}; }
+
+Machine machine_2x2() {
+  TopologyBuilder b;
+  b.add_sockets(2, 4);
+  b.add_numa_per_socket(2, Bandwidth::gb_per_s(50.0), plain_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), plain_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), plain_spec());
+  b.add_nic("nic0", SocketId(0), Bandwidth::gb_per_s(10.0),
+            Bandwidth::gb_per_s(12.0));
+  return b.build();
+}
+
+TEST(Topology, IsLocal) {
+  const Machine m = machine_2x2();
+  EXPECT_TRUE(m.is_local(SocketId(0), NumaId(0)));
+  EXPECT_TRUE(m.is_local(SocketId(0), NumaId(1)));
+  EXPECT_FALSE(m.is_local(SocketId(0), NumaId(2)));
+  EXPECT_TRUE(m.is_local(SocketId(1), NumaId(3)));
+}
+
+TEST(Topology, LocalCpuPathIsControllerOnly) {
+  const Machine m = machine_2x2();
+  const auto path = m.cpu_path(SocketId(0), NumaId(1));
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], m.controller_of(NumaId(1)));
+  EXPECT_EQ(m.link(path[0]).kind, LinkKind::kMemoryController);
+}
+
+TEST(Topology, RemoteCpuPathCrossesBusPortController) {
+  const Machine m = machine_2x2();
+  const auto path = m.cpu_path(SocketId(0), NumaId(3));
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(m.link(path[0]).kind, LinkKind::kInterSocket);
+  EXPECT_EQ(path[1], m.remote_port_of(NumaId(3)));
+  EXPECT_EQ(path[2], m.controller_of(NumaId(3)));
+}
+
+TEST(Topology, LocalDmaPathIsPcieThenController) {
+  const Machine m = machine_2x2();
+  const auto path = m.dma_path(NicId(0), NumaId(0));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(m.link(path[0]).kind, LinkKind::kPcie);
+  EXPECT_EQ(path[1], m.controller_of(NumaId(0)));
+}
+
+TEST(Topology, RemoteDmaPathCrossesBusAndPort) {
+  const Machine m = machine_2x2();
+  const auto path = m.dma_path(NicId(0), NumaId(2));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(m.link(path[0]).kind, LinkKind::kPcie);
+  EXPECT_EQ(m.link(path[1]).kind, LinkKind::kInterSocket);
+  EXPECT_EQ(path[2], m.remote_port_of(NumaId(2)));
+  EXPECT_EQ(path[3], m.controller_of(NumaId(2)));
+}
+
+TEST(Topology, InterSocketLinkIsSymmetric) {
+  const Machine m = machine_2x2();
+  EXPECT_EQ(m.inter_socket_link(SocketId(0), SocketId(1)),
+            m.inter_socket_link(SocketId(1), SocketId(0)));
+}
+
+TEST(Topology, InterSocketLinkRejectsSameSocket) {
+  const Machine m = machine_2x2();
+  EXPECT_THROW((void)m.inter_socket_link(SocketId(0), SocketId(0)),
+               mcm::ContractViolation);
+}
+
+TEST(Topology, ElementAccessValidatesIds) {
+  const Machine m = machine_2x2();
+  EXPECT_THROW((void)m.core(CoreId(99)), mcm::ContractViolation);
+  EXPECT_THROW((void)m.numa(NumaId::invalid()), mcm::ContractViolation);
+  EXPECT_THROW((void)m.link(LinkId(1000)), mcm::ContractViolation);
+  EXPECT_THROW((void)m.nic(NicId(5)), mcm::ContractViolation);
+}
+
+TEST(Topology, LinkKindNames) {
+  EXPECT_STREQ(to_string(LinkKind::kMemoryController), "memory-controller");
+  EXPECT_STREQ(to_string(LinkKind::kRemotePort), "remote-port");
+  EXPECT_STREQ(to_string(LinkKind::kInterSocket), "inter-socket");
+  EXPECT_STREQ(to_string(LinkKind::kPcie), "pcie");
+}
+
+TEST(Topology, NicNominalBandwidthUsesEfficiency) {
+  TopologyBuilder b;
+  b.add_sockets(2, 2);
+  b.add_numa_per_socket(1, Bandwidth::gb_per_s(50.0), plain_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(25.0), plain_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(40.0), plain_spec());
+  b.add_nic("nic0", SocketId(0), Bandwidth::gb_per_s(12.0),
+            Bandwidth::gb_per_s(14.0));
+  b.set_nic_dma_efficiency(NicId(0), NumaId(1), 0.75);
+  const Machine m = b.build();
+  EXPECT_DOUBLE_EQ(m.nic_nominal_bandwidth(NicId(0), NumaId(0)).gb(), 12.0);
+  EXPECT_DOUBLE_EQ(m.nic_nominal_bandwidth(NicId(0), NumaId(1)).gb(), 9.0);
+}
+
+}  // namespace
+}  // namespace mcm::topo

@@ -1,0 +1,125 @@
+#include "topo/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::topo {
+namespace {
+
+class RoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, SerializeParseSerializeIsStable) {
+  const PlatformSpec original = make_platform(GetParam());
+  const std::string text = serialize_platform(original);
+  std::string error;
+  const auto parsed = parse_platform(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(serialize_platform(*parsed), text);
+}
+
+TEST_P(RoundTrip, ParsedSpecMatchesOriginalStructure) {
+  const PlatformSpec original = make_platform(GetParam());
+  const auto parsed = parse_platform(serialize_platform(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, original.name);
+  EXPECT_EQ(parsed->processor, original.processor);
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->machine.socket_count(), original.machine.socket_count());
+  EXPECT_EQ(parsed->machine.core_count(), original.machine.core_count());
+  EXPECT_EQ(parsed->machine.numa_count(), original.machine.numa_count());
+  EXPECT_DOUBLE_EQ(parsed->compute.per_core_local.gb(),
+                   original.compute.per_core_local.gb());
+  EXPECT_DOUBLE_EQ(parsed->noise.comm_sigma, original.noise.comm_sigma);
+  const Nic& a = parsed->machine.nic(NicId(0));
+  const Nic& b = original.machine.nic(NicId(0));
+  EXPECT_EQ(a.socket, b.socket);
+  EXPECT_EQ(a.dma_efficiency.size(), b.dma_efficiency.size());
+  for (std::size_t i = 0; i < a.dma_efficiency.size(); ++i) {
+    EXPECT_NEAR(a.dma_efficiency[i], b.dma_efficiency[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, RoundTrip,
+                         testing::Values("henri", "henri-subnuma", "dahu",
+                                         "diablo", "pyxis", "occigen"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TopologyIo, MinimalSingleSocketSpec) {
+  const std::string text = R"(# minimal machine
+platform tiny
+sockets 1
+cores_per_socket 2
+numa_per_socket 1
+controller.capacity_gb 20
+compute.local_gb 4
+compute.remote_gb 4
+)";
+  std::string error;
+  const auto spec = parse_platform(text, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "tiny");
+  EXPECT_EQ(spec->machine.core_count(), 2u);
+  EXPECT_TRUE(spec->machine.nics().empty());
+}
+
+TEST(TopologyIo, MissingRequiredKeyReportsError) {
+  std::string error;
+  const auto spec = parse_platform("platform x\nsockets 1\n", &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("missing key"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, MalformedLineReportsLineNumber) {
+  std::string error;
+  const auto spec = parse_platform("platform x\nbogusline\n", &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, NonNumericValueReportsKey) {
+  std::string error;
+  const auto spec = parse_platform(
+      "platform x\nsockets quux\ncores_per_socket 1\nnuma_per_socket 1\n"
+      "controller.capacity_gb 10\ncompute.local_gb 1\ncompute.remote_gb 1\n",
+      &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("sockets"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, WrongEfficiencyCountReportsError) {
+  const std::string text = R"(platform x
+sockets 2
+cores_per_socket 2
+numa_per_socket 1
+controller.capacity_gb 20
+remote_port.capacity_gb 10
+inter_socket.capacity_gb 15
+nic.name n0
+nic.socket 0
+nic.wire_gb 10
+nic.pcie_gb 12
+nic.efficiency 1.0
+compute.local_gb 4
+compute.remote_gb 3
+)";
+  std::string error;
+  const auto spec = parse_platform(text, &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("nic.efficiency"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "\n# comment\nplatform tiny\nsockets 1\ncores_per_socket 1\n"
+      "numa_per_socket 1\ncontroller.capacity_gb 10\n\n"
+      "compute.local_gb 2\ncompute.remote_gb 2\n";
+  EXPECT_TRUE(parse_platform(text).has_value());
+}
+
+}  // namespace
+}  // namespace mcm::topo

@@ -1,0 +1,37 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrueCondition) {
+  EXPECT_NO_THROW(MCM_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(MCM_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsContractViolation) {
+  EXPECT_THROW(MCM_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+  try {
+    MCM_EXPECTS(2 < 1);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(MCM_EXPECTS(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter csv({"n", "bandwidth"});
+  csv.add_row({"1", "5.5"});
+  csv.add_row({"2", "11.0"});
+  EXPECT_EQ(csv.render(), "n,bandwidth\n1,5.5\n2,11.0\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  EXPECT_EQ(csv.render(),
+            "text\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), ContractViolation);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"a"});
+  csv.add_row({"1"});
+  const std::string path = testing::TempDir() + "/mcm_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir/file.csv"));
+}
+
+}  // namespace
+}  // namespace mcm

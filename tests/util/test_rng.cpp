@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t v = rng.uniform_below(8);
+    EXPECT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformBelowRejectsZero) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.uniform_below(0), ContractViolation);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(19);
+  const int n = 50'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(23);
+  const int n = 50'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.02);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(27);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), ContractViolation);
+}
+
+TEST(StableHash, StableAcrossCalls) {
+  EXPECT_EQ(stable_hash("henri"), stable_hash("henri"));
+  EXPECT_NE(stable_hash("henri"), stable_hash("dahu"));
+  EXPECT_NE(stable_hash(""), stable_hash(" "));
+}
+
+TEST(StableHash, CombineIsOrderSensitive) {
+  const std::uint64_t a = stable_hash("a");
+  const std::uint64_t b = stable_hash("b");
+  EXPECT_NE(hash_combine(a, b), hash_combine(b, a));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)mean(v), ContractViolation);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, SampleStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(sample_stddev(v), 2.138089935, 1e-6);
+  const std::vector<double> single{1.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(single), 0.0);
+}
+
+TEST(Stats, ArgmaxFindsFirstMaximum) {
+  const std::vector<double> v{1.0, 9.0, 3.0, 9.0};
+  const Extremum e = argmax(v);
+  EXPECT_EQ(e.index, 1u);
+  EXPECT_DOUBLE_EQ(e.value, 9.0);
+}
+
+TEST(Stats, ArgminFindsFirstMinimum) {
+  const std::vector<double> v{4.0, -1.0, 2.0, -1.0};
+  const Extremum e = argmin(v);
+  EXPECT_EQ(e.index, 1u);
+  EXPECT_DOUBLE_EQ(e.value, -1.0);
+}
+
+TEST(Stats, FitLineRecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineConstantSeries) {
+  const std::vector<double> x{0.0, 1.0, 2.0};
+  const std::vector<double> y{4.0, 4.0, 4.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Stats, FitLineRejectsDegenerateInput) {
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)fit_line(x, y), ContractViolation);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)fit_line(one, one), ContractViolation);
+}
+
+TEST(Stats, MapeMatchesHandComputation) {
+  const std::vector<double> actual{100.0, 50.0};
+  const std::vector<double> predicted{90.0, 55.0};
+  // (10/100 + 5/50) / 2 * 100 = 10 %.
+  EXPECT_NEAR(mape_percent(actual, predicted), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeIsZeroForPerfectPrediction) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape_percent(v, v), 0.0);
+}
+
+TEST(Stats, MapeRejectsZeroActual) {
+  const std::vector<double> actual{0.0};
+  const std::vector<double> predicted{1.0};
+  EXPECT_THROW((void)mape_percent(actual, predicted), ContractViolation);
+}
+
+TEST(Stats, ClampBounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_THROW((void)clamp(0.0, 2.0, 1.0), ContractViolation);
+}
+
+TEST(Stats, MovingAverageSmoothsSpike) {
+  const std::vector<double> v{1.0, 1.0, 10.0, 1.0, 1.0};
+  const std::vector<double> smoothed = moving_average(v, 1);
+  ASSERT_EQ(smoothed.size(), v.size());
+  EXPECT_DOUBLE_EQ(smoothed[2], 4.0);
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.0);
+}
+
+TEST(Stats, MovingAverageZeroWindowIsIdentity) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(moving_average(v, 0), v);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,56 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Strings, FormatGbps) { EXPECT_EQ(format_gbps(12.345), "12.35 GB/s"); }
+
+TEST(Strings, FormatPercent) { EXPECT_EQ(format_percent(3.08), "3.08 %"); }
+
+TEST(Strings, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Strings, PadRight) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("platform henri", "platform"));
+  EXPECT_FALSE(starts_with("plat", "platform"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace mcm

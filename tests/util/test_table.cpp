@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| beta  | 22    |"), std::string::npos) << out;
+}
+
+TEST(AsciiTable, ColumnsWidenToLongestCell) {
+  AsciiTable t({"x"});
+  t.add_row({"longer-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| longer-cell |"), std::string::npos) << out;
+}
+
+TEST(AsciiTable, RightAlignment) {
+  AsciiTable t({"n", "bw"});
+  t.set_alignments({Align::kLeft, Align::kRight});
+  t.add_row({"1", "5.5"});
+  t.add_row({"10", "55.0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|  5.5 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| 55.0 |"), std::string::npos) << out;
+}
+
+TEST(AsciiTable, SeparatorInsertedBetweenGroups) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Four rules: top, under header, the separator, bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 1;
+  }
+  EXPECT_EQ(rules, 4u) << out;
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(AsciiTable, RowCount) {
+  AsciiTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mcm

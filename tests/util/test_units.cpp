@@ -1,0 +1,70 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Units, BandwidthRoundTripsGbPerS) {
+  const Bandwidth bw = Bandwidth::gb_per_s(12.5);
+  EXPECT_DOUBLE_EQ(bw.gb(), 12.5);
+  EXPECT_DOUBLE_EQ(bw.bps(), 12.5e9);
+}
+
+TEST(Units, BandwidthArithmetic) {
+  const Bandwidth a = Bandwidth::gb_per_s(10.0);
+  const Bandwidth b = Bandwidth::gb_per_s(4.0);
+  EXPECT_DOUBLE_EQ((a + b).gb(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).gb(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).gb(), 5.0);
+  EXPECT_DOUBLE_EQ((2.0 * b).gb(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).gb(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Units, BandwidthComparisons) {
+  EXPECT_LT(Bandwidth::gb_per_s(1.0), Bandwidth::gb_per_s(2.0));
+  EXPECT_EQ(Bandwidth::gb_per_s(3.0), Bandwidth::bytes_per_s(3e9));
+  EXPECT_TRUE(Bandwidth{}.is_zero());
+  EXPECT_FALSE(Bandwidth::gb_per_s(0.1).is_zero());
+}
+
+TEST(Units, CompoundAssignment) {
+  Bandwidth bw = Bandwidth::gb_per_s(1.0);
+  bw += Bandwidth::gb_per_s(2.0);
+  EXPECT_DOUBLE_EQ(bw.gb(), 3.0);
+  bw -= Bandwidth::gb_per_s(0.5);
+  EXPECT_DOUBLE_EQ(bw.gb(), 2.5);
+}
+
+TEST(Units, TransferTime) {
+  // 64 MiB at 1 GB/s.
+  const Seconds t = transfer_time(64 * kMiB, Bandwidth::gb_per_s(1.0));
+  EXPECT_NEAR(t.value(), 64.0 * 1024 * 1024 / 1e9, 1e-12);
+}
+
+TEST(Units, AchievedBandwidth) {
+  const Bandwidth bw = achieved_bandwidth(2'000'000'000ull, Seconds(2.0));
+  EXPECT_DOUBLE_EQ(bw.gb(), 1.0);
+  EXPECT_THROW((void)achieved_bandwidth(1, Seconds(0.0)), ContractViolation);
+}
+
+TEST(Units, SecondsArithmeticAndOrdering) {
+  const Seconds a(1.5);
+  const Seconds b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_GT(a, b);
+  Seconds c(0.0);
+  c += a;
+  EXPECT_DOUBLE_EQ(c.value(), 1.5);
+}
+
+TEST(Units, BinaryConstants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * 1024ull * 1024ull);
+}
+
+}  // namespace
+}  // namespace mcm

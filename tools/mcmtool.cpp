@@ -1,0 +1,335 @@
+// mcmtool — command-line front end of the memory-contention library.
+//
+//   mcmtool platforms                         list the built-in platforms
+//   mcmtool describe  <platform|file>         topology & behaviour tree
+//   mcmtool calibrate <platform|file>         run the 2 sweeps, print params
+//   mcmtool sweep     <platform|file> [--placements all|calibration]
+//                                      [--csv FILE]
+//   mcmtool predict   <platform|file> --comp N --comm M [--cores K]
+//   mcmtool advise    <platform|file> [--cores K]
+//   mcmtool errors    <platform|file>         Table-II row for one platform
+//   mcmtool table2                            full Table II on all presets
+//
+// <platform|file> is a preset name (henri, dahu, ...) or a path to a
+// platform description file (see topo/topology_io.hpp for the format).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/runner.hpp"
+#include "benchlib/sweep_io.hpp"
+#include "eval/tables.hpp"
+#include "model/model.hpp"
+#include "model/overlap.hpp"
+#include "model/report.hpp"
+#include "topo/platforms.hpp"
+#include "topo/render.hpp"
+#include "topo/topology_io.hpp"
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mcm;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  platforms                         list built-in platforms\n"
+      "  describe  <platform|file>         topology & behaviour tree\n"
+      "  calibrate <platform|file>         calibrate and print parameters\n"
+      "  sweep     <platform|file> [--placements all|calibration] "
+      "[--csv FILE] [--reps N]\n"
+      "  predict   <platform|file> --comp N --comm M [--cores K]\n"
+      "  advise    <platform|file> [--cores K]\n"
+      "  errors    <platform|file>         Table-II row for the platform\n"
+      "  plan      <platform|file> --compute-gib X --message-mib Y\n"
+      "                                    overlap planning per core count\n"
+      "  table2                            Table II on every preset\n"
+      "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
+      "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
+      argv0);
+  return 2;
+}
+
+/// Resolve a preset name (Table-I presets plus the tetra extension) or a
+/// description-file path.
+std::optional<topo::PlatformSpec> load_platform(const std::string& name) {
+  try {
+    return topo::make_platform(name);
+  } catch (const ContractViolation&) {
+    // Not a preset: fall through to file loading.
+  }
+  std::ifstream file(name);
+  if (!file) {
+    std::fprintf(stderr,
+                 "error: '%s' is neither a preset platform nor a readable "
+                 "file\n",
+                 name.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  auto spec = topo::parse_platform(text.str(), &error);
+  if (!spec) {
+    std::fprintf(stderr, "error: cannot parse '%s': %s\n", name.c_str(),
+                 error.c_str());
+  }
+  return spec;
+}
+
+/// Trivial flag scanner: returns the value after `flag` or fallback.
+std::string flag_value(int argc, char** argv, const char* flag,
+                       const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_platforms() {
+  AsciiTable table({"name", "processor", "network", "numa nodes"});
+  for (const std::string& name : topo::platform_names()) {
+    const topo::PlatformSpec spec = topo::make_platform(name);
+    table.add_row({spec.name, spec.processor, spec.network,
+                   std::to_string(spec.machine.numa_count())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_describe(const topo::PlatformSpec& spec) {
+  std::fputs(topo::render_platform(spec).c_str(), stdout);
+  return 0;
+}
+
+int cmd_calibrate(const topo::PlatformSpec& spec) {
+  bench::SimBackend backend(spec);
+  const auto model = model::ContentionModel::from_backend(backend);
+  std::printf("%s", model::render_parameters(model).c_str());
+  return 0;
+}
+
+int cmd_sweep(const topo::PlatformSpec& spec, const std::string& placements,
+              const std::string& csv_path, std::size_t repetitions) {
+  bench::SimBackend backend(spec);
+  bench::SweepOptions options;
+  options.repetitions = repetitions;
+  const bench::SweepResult sweep =
+      placements == "calibration"
+          ? bench::run_calibration_sweep(backend, options)
+          : bench::run_all_placements(backend, options);
+  const std::string csv = bench::sweep_to_csv(sweep);
+  std::fputs(csv.c_str(), stdout);
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+      return 1;
+    }
+    out << csv;
+    std::printf("# written to %s (feed back with calibrate-csv / "
+                "errors-csv)\n",
+                csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(const topo::PlatformSpec& spec, int argc, char** argv) {
+  const std::string comp_text = flag_value(argc, argv, "--comp", "");
+  const std::string comm_text = flag_value(argc, argv, "--comm", "");
+  if (comp_text.empty() || comm_text.empty()) {
+    std::fprintf(stderr, "error: predict requires --comp N and --comm M\n");
+    return 2;
+  }
+  bench::SimBackend backend(spec);
+  const auto model = model::ContentionModel::from_backend(backend);
+  const topo::NumaId comp(
+      static_cast<std::uint32_t>(std::stoul(comp_text)));
+  const topo::NumaId comm(
+      static_cast<std::uint32_t>(std::stoul(comm_text)));
+  if (comp.value() >= model.numa_count() ||
+      comm.value() >= model.numa_count()) {
+    std::fprintf(stderr, "error: NUMA node out of range (0..%zu)\n",
+                 model.numa_count() - 1);
+    return 2;
+  }
+  const model::PredictedCurve curve = model.predict(comp, comm);
+
+  const std::string cores_text = flag_value(argc, argv, "--cores", "");
+  if (!cores_text.empty()) {
+    const std::size_t cores = std::stoul(cores_text);
+    if (cores < 1 || cores > model.max_cores()) {
+      std::fprintf(stderr, "error: --cores must be in 1..%zu\n",
+                   model.max_cores());
+      return 2;
+    }
+    std::printf("%zu cores, comp data on node %u, comm data on node %u: "
+                "compute %.2f GB/s, network %.2f GB/s\n",
+                cores, comp.value(), comm.value(),
+                curve.compute_parallel_gb[cores - 1],
+                curve.comm_parallel_gb[cores - 1]);
+    return 0;
+  }
+  AsciiTable table({"cores", "compute GB/s", "network GB/s"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kRight});
+  for (std::size_t n = 1; n <= model.max_cores(); ++n) {
+    table.add_row({std::to_string(n),
+                   format_fixed(curve.compute_parallel_gb[n - 1], 2),
+                   format_fixed(curve.comm_parallel_gb[n - 1], 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_advise(const topo::PlatformSpec& spec, int argc, char** argv) {
+  bench::SimBackend backend(spec);
+  const auto model = model::ContentionModel::from_backend(backend);
+  const std::string cores_text = flag_value(argc, argv, "--cores", "");
+  const std::size_t cores =
+      cores_text.empty() ? model.max_cores() : std::stoul(cores_text);
+  if (cores < 1 || cores > model.max_cores()) {
+    std::fprintf(stderr, "error: --cores must be in 1..%zu\n",
+                 model.max_cores());
+    return 2;
+  }
+  const model::PlacementAdvice advice = model.best_placement(cores);
+  std::printf("with %zu computing cores: place computation data on node "
+              "%u and communication data on node %u\n",
+              cores, advice.comp_numa.value(), advice.comm_numa.value());
+  std::printf("predicted bandwidths: compute %.2f GB/s, network %.2f "
+              "GB/s\n",
+              advice.compute_gb, advice.comm_gb);
+  std::printf("contention-free core budget for that placement: %zu\n",
+              model.recommended_core_count(advice.comp_numa,
+                                           advice.comm_numa));
+  return 0;
+}
+
+int cmd_errors(const topo::PlatformSpec& spec) {
+  bench::SimBackend backend(spec);
+  const auto model = model::ContentionModel::from_backend(backend);
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  std::printf("%s",
+              model::render_error_report(model.evaluate_against(sweep))
+                  .c_str());
+  return 0;
+}
+
+std::optional<bench::SweepResult> load_sweep_csv(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  auto sweep = bench::sweep_from_csv(text.str(), &error);
+  if (!sweep) {
+    std::fprintf(stderr, "error: cannot parse '%s': %s\n", path.c_str(),
+                 error.c_str());
+  }
+  return sweep;
+}
+
+int cmd_calibrate_csv(const std::string& path) {
+  const auto sweep = load_sweep_csv(path);
+  if (!sweep) return 1;
+  const auto model = model::ContentionModel::from_sweep(*sweep);
+  std::printf("%s", model::render_parameters(model).c_str());
+  return 0;
+}
+
+int cmd_errors_csv(const std::string& path) {
+  const auto sweep = load_sweep_csv(path);
+  if (!sweep) return 1;
+  const auto model = model::ContentionModel::from_sweep(*sweep);
+  std::printf("%s",
+              model::render_error_report(model.evaluate_against(*sweep))
+                  .c_str());
+  return 0;
+}
+
+int cmd_plan(const topo::PlatformSpec& spec, int argc, char** argv) {
+  const double compute_gib =
+      std::stod(flag_value(argc, argv, "--compute-gib", "8"));
+  const double message_mib =
+      std::stod(flag_value(argc, argv, "--message-mib", "64"));
+  bench::SimBackend backend(spec);
+  const auto model = model::ContentionModel::from_backend(backend);
+
+  model::IterationSpec iteration;
+  iteration.compute_bytes = compute_gib * static_cast<double>(kGiB);
+  iteration.message_bytes = message_mib * static_cast<double>(kMiB);
+  const model::OverlapPlan plan =
+      model::plan_overlap_best_placement(model, iteration);
+
+  AsciiTable table({"cores", "compute ms", "comm ms", "iteration ms",
+                    "contention slowdown"});
+  table.set_alignments({Align::kRight, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+  for (const model::OverlapPoint& p : plan.points) {
+    table.add_row({std::to_string(p.cores),
+                   format_fixed(p.compute_seconds * 1e3, 2),
+                   format_fixed(p.comm_seconds * 1e3, 2),
+                   format_fixed(p.iteration_seconds * 1e3, 2),
+                   format_fixed(p.contention_slowdown, 2) + "x"});
+  }
+  std::printf("Best placement: computation data on node %u, communication "
+              "data on node %u\n%s",
+              plan.comp_numa.value(), plan.comm_numa.value(),
+              table.render().c_str());
+  std::printf("Best core count: %zu (%.2f ms per iteration)\n",
+              plan.best_cores, plan.best_iteration_seconds * 1e3);
+  return 0;
+}
+
+int cmd_table2() {
+  std::printf("%s", eval::render_table2(eval::run_table2()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    if (command == "platforms") return cmd_platforms();
+    if (command == "table2") return cmd_table2();
+    if (command == "calibrate-csv" && argc >= 3) {
+      return cmd_calibrate_csv(argv[2]);
+    }
+    if (command == "errors-csv" && argc >= 3) return cmd_errors_csv(argv[2]);
+
+    if (argc < 3) return usage(argv[0]);
+    const auto spec = load_platform(argv[2]);
+    if (!spec) return 1;
+    if (command == "describe") return cmd_describe(*spec);
+    if (command == "calibrate") return cmd_calibrate(*spec);
+    if (command == "sweep") {
+      return cmd_sweep(*spec,
+                       flag_value(argc, argv, "--placements", "all"),
+                       flag_value(argc, argv, "--csv", ""),
+                       std::stoul(flag_value(argc, argv, "--reps", "1")));
+    }
+    if (command == "predict") return cmd_predict(*spec, argc, argv);
+    if (command == "advise") return cmd_advise(*spec, argc, argv);
+    if (command == "errors") return cmd_errors(*spec);
+    if (command == "plan") return cmd_plan(*spec, argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

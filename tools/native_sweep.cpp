@@ -1,0 +1,84 @@
+// native_sweep — run the benchmark sweep on THIS machine (real kernels on a
+// pinned thread pool, loopback messages) and emit the sweep CSV that
+// `mcmtool calibrate-csv` / `errors-csv` consume.
+//
+// This closes the real-hardware loop: measure here, model anywhere. On a
+// single-NUMA machine (laptops, containers) all placements collapse to
+// node 0, which is enough to inspect curves but not to calibrate the
+// two-regime model; on a multi-socket machine raise --numa accordingly and
+// add memory binding in runtime::NativeBackend.
+//
+//   native_sweep [--cores N] [--working-set-mib M] [--message-mib M]
+//                [--rounds R] [--pin] [--csv FILE]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "benchlib/runner.hpp"
+#include "benchlib/sweep_io.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/kernels.hpp"
+#include "runtime/native_backend.hpp"
+
+namespace {
+
+using namespace mcm;
+
+std::string flag_value(int argc, char** argv, const char* flag,
+                       const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::NativeConfig config;
+  config.compute_cores = std::stoul(flag_value(argc, argv, "--cores", "0"));
+  config.working_set_bytes =
+      std::stoull(flag_value(argc, argv, "--working-set-mib", "16")) * kMiB;
+  config.message_bytes =
+      std::stoull(flag_value(argc, argv, "--message-mib", "16")) * kMiB;
+  config.comm_rounds = std::stoi(flag_value(argc, argv, "--rounds", "4"));
+  config.pin_threads = has_flag(argc, argv, "--pin");
+
+  std::printf("# native sweep on this machine: %zu logical CPUs, "
+              "streaming stores %s\n",
+              runtime::hardware_concurrency(),
+              runtime::has_streaming_stores() ? "available" : "unavailable");
+
+  runtime::NativeBackend backend(config);
+  std::printf("# computing cores: %zu, working set %llu MiB/core, "
+              "messages %llu MiB x %d\n",
+              backend.max_computing_cores(),
+              static_cast<unsigned long long>(config.working_set_bytes /
+                                              kMiB),
+              static_cast<unsigned long long>(config.message_bytes / kMiB),
+              config.comm_rounds);
+
+  const bench::SweepResult sweep = bench::run_all_placements(backend);
+  const std::string csv = bench::sweep_to_csv(sweep);
+  std::fputs(csv.c_str(), stdout);
+
+  const std::string csv_path = flag_value(argc, argv, "--csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+      return 1;
+    }
+    out << csv;
+    std::printf("# written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
