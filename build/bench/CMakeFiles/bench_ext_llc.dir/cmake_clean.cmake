@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_llc.dir/bench_ext_llc.cpp.o"
+  "CMakeFiles/bench_ext_llc.dir/bench_ext_llc.cpp.o.d"
+  "bench_ext_llc"
+  "bench_ext_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

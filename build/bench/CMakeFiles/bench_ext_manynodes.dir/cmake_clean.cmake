@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_manynodes.dir/bench_ext_manynodes.cpp.o"
+  "CMakeFiles/bench_ext_manynodes.dir/bench_ext_manynodes.cpp.o.d"
+  "bench_ext_manynodes"
+  "bench_ext_manynodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_manynodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_stacked.dir/bench_fig2_stacked.cpp.o"
+  "CMakeFiles/bench_fig2_stacked.dir/bench_fig2_stacked.cpp.o.d"
+  "bench_fig2_stacked"
+  "bench_fig2_stacked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_stacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

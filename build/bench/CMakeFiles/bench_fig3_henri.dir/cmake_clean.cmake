@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_henri.dir/bench_fig3_henri.cpp.o"
+  "CMakeFiles/bench_fig3_henri.dir/bench_fig3_henri.cpp.o.d"
+  "bench_fig3_henri"
+  "bench_fig3_henri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_henri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_henri_subnuma.cpp" "bench/CMakeFiles/bench_fig4_henri_subnuma.dir/bench_fig4_henri_subnuma.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_henri_subnuma.dir/bench_fig4_henri_subnuma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/mcm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_henri_subnuma.dir/bench_fig4_henri_subnuma.cpp.o"
+  "CMakeFiles/bench_fig4_henri_subnuma.dir/bench_fig4_henri_subnuma.cpp.o.d"
+  "bench_fig4_henri_subnuma"
+  "bench_fig4_henri_subnuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_henri_subnuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_henri_subnuma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_diablo.dir/bench_fig5_diablo.cpp.o"
+  "CMakeFiles/bench_fig5_diablo.dir/bench_fig5_diablo.cpp.o.d"
+  "bench_fig5_diablo"
+  "bench_fig5_diablo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_diablo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_occigen.dir/bench_fig6_occigen.cpp.o"
+  "CMakeFiles/bench_fig6_occigen.dir/bench_fig6_occigen.cpp.o.d"
+  "bench_fig6_occigen"
+  "bench_fig6_occigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_occigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

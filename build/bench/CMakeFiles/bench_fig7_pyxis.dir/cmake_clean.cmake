@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pyxis.dir/bench_fig7_pyxis.cpp.o"
+  "CMakeFiles/bench_fig7_pyxis.dir/bench_fig7_pyxis.cpp.o.d"
+  "bench_fig7_pyxis"
+  "bench_fig7_pyxis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pyxis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

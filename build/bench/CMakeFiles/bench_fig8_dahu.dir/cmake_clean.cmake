@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dahu.dir/bench_fig8_dahu.cpp.o"
+  "CMakeFiles/bench_fig8_dahu.dir/bench_fig8_dahu.cpp.o.d"
+  "bench_fig8_dahu"
+  "bench_fig8_dahu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dahu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

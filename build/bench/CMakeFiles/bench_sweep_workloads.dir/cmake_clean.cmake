@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_workloads.dir/bench_sweep_workloads.cpp.o"
+  "CMakeFiles/bench_sweep_workloads.dir/bench_sweep_workloads.cpp.o.d"
+  "bench_sweep_workloads"
+  "bench_sweep_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_errors.dir/bench_tab2_errors.cpp.o"
+  "CMakeFiles/bench_tab2_errors.dir/bench_tab2_errors.cpp.o.d"
+  "bench_tab2_errors"
+  "bench_tab2_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_stencil.dir/cluster_stencil.cpp.o"
+  "CMakeFiles/cluster_stencil.dir/cluster_stencil.cpp.o.d"
+  "cluster_stencil"
+  "cluster_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

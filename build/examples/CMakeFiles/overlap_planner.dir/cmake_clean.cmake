@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_planner.dir/overlap_planner.cpp.o"
+  "CMakeFiles/overlap_planner.dir/overlap_planner.cpp.o.d"
+  "overlap_planner"
+  "overlap_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

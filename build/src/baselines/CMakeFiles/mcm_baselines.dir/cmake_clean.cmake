@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/mcm_baselines.dir/baselines.cpp.o.d"
+  "libmcm_baselines.a"
+  "libmcm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

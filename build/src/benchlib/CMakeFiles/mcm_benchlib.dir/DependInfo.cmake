@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/curves.cpp" "src/benchlib/CMakeFiles/mcm_benchlib.dir/curves.cpp.o" "gcc" "src/benchlib/CMakeFiles/mcm_benchlib.dir/curves.cpp.o.d"
+  "/root/repo/src/benchlib/runner.cpp" "src/benchlib/CMakeFiles/mcm_benchlib.dir/runner.cpp.o" "gcc" "src/benchlib/CMakeFiles/mcm_benchlib.dir/runner.cpp.o.d"
+  "/root/repo/src/benchlib/sweep_io.cpp" "src/benchlib/CMakeFiles/mcm_benchlib.dir/sweep_io.cpp.o" "gcc" "src/benchlib/CMakeFiles/mcm_benchlib.dir/sweep_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_benchlib.dir/curves.cpp.o"
+  "CMakeFiles/mcm_benchlib.dir/curves.cpp.o.d"
+  "CMakeFiles/mcm_benchlib.dir/runner.cpp.o"
+  "CMakeFiles/mcm_benchlib.dir/runner.cpp.o.d"
+  "CMakeFiles/mcm_benchlib.dir/sweep_io.cpp.o"
+  "CMakeFiles/mcm_benchlib.dir/sweep_io.cpp.o.d"
+  "libmcm_benchlib.a"
+  "libmcm_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

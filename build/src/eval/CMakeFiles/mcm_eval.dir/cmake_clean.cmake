@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_eval.dir/ablation.cpp.o"
+  "CMakeFiles/mcm_eval.dir/ablation.cpp.o.d"
+  "CMakeFiles/mcm_eval.dir/experiments.cpp.o"
+  "CMakeFiles/mcm_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/mcm_eval.dir/figures.cpp.o"
+  "CMakeFiles/mcm_eval.dir/figures.cpp.o.d"
+  "CMakeFiles/mcm_eval.dir/tables.cpp.o"
+  "CMakeFiles/mcm_eval.dir/tables.cpp.o.d"
+  "libmcm_eval.a"
+  "libmcm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

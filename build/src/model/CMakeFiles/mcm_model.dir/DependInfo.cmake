@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/calibration.cpp" "src/model/CMakeFiles/mcm_model.dir/calibration.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/model/metrics.cpp" "src/model/CMakeFiles/mcm_model.dir/metrics.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/metrics.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/mcm_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/overlap.cpp" "src/model/CMakeFiles/mcm_model.dir/overlap.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/overlap.cpp.o.d"
+  "/root/repo/src/model/parameters.cpp" "src/model/CMakeFiles/mcm_model.dir/parameters.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/parameters.cpp.o.d"
+  "/root/repo/src/model/placement.cpp" "src/model/CMakeFiles/mcm_model.dir/placement.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/placement.cpp.o.d"
+  "/root/repo/src/model/prediction.cpp" "src/model/CMakeFiles/mcm_model.dir/prediction.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/prediction.cpp.o.d"
+  "/root/repo/src/model/report.cpp" "src/model/CMakeFiles/mcm_model.dir/report.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/report.cpp.o.d"
+  "/root/repo/src/model/stability.cpp" "src/model/CMakeFiles/mcm_model.dir/stability.cpp.o" "gcc" "src/model/CMakeFiles/mcm_model.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

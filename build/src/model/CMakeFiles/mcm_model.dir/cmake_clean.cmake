@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_model.dir/calibration.cpp.o"
+  "CMakeFiles/mcm_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/metrics.cpp.o"
+  "CMakeFiles/mcm_model.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/model.cpp.o"
+  "CMakeFiles/mcm_model.dir/model.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/overlap.cpp.o"
+  "CMakeFiles/mcm_model.dir/overlap.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/parameters.cpp.o"
+  "CMakeFiles/mcm_model.dir/parameters.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/placement.cpp.o"
+  "CMakeFiles/mcm_model.dir/placement.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/prediction.cpp.o"
+  "CMakeFiles/mcm_model.dir/prediction.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/report.cpp.o"
+  "CMakeFiles/mcm_model.dir/report.cpp.o.d"
+  "CMakeFiles/mcm_model.dir/stability.cpp.o"
+  "CMakeFiles/mcm_model.dir/stability.cpp.o.d"
+  "libmcm_model.a"
+  "libmcm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/minimpi.cpp" "src/net/CMakeFiles/mcm_net.dir/minimpi.cpp.o" "gcc" "src/net/CMakeFiles/mcm_net.dir/minimpi.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/mcm_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/mcm_net.dir/protocol.cpp.o.d"
+  "/root/repo/src/net/sim_channel.cpp" "src/net/CMakeFiles/mcm_net.dir/sim_channel.cpp.o" "gcc" "src/net/CMakeFiles/mcm_net.dir/sim_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_net.dir/minimpi.cpp.o"
+  "CMakeFiles/mcm_net.dir/minimpi.cpp.o.d"
+  "CMakeFiles/mcm_net.dir/protocol.cpp.o"
+  "CMakeFiles/mcm_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/mcm_net.dir/sim_channel.cpp.o"
+  "CMakeFiles/mcm_net.dir/sim_channel.cpp.o.d"
+  "libmcm_net.a"
+  "libmcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

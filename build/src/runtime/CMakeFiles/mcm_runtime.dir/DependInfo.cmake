@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/affinity.cpp" "src/runtime/CMakeFiles/mcm_runtime.dir/affinity.cpp.o" "gcc" "src/runtime/CMakeFiles/mcm_runtime.dir/affinity.cpp.o.d"
+  "/root/repo/src/runtime/kernels.cpp" "src/runtime/CMakeFiles/mcm_runtime.dir/kernels.cpp.o" "gcc" "src/runtime/CMakeFiles/mcm_runtime.dir/kernels.cpp.o.d"
+  "/root/repo/src/runtime/native_backend.cpp" "src/runtime/CMakeFiles/mcm_runtime.dir/native_backend.cpp.o" "gcc" "src/runtime/CMakeFiles/mcm_runtime.dir/native_backend.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/mcm_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/mcm_runtime.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_runtime.dir/affinity.cpp.o"
+  "CMakeFiles/mcm_runtime.dir/affinity.cpp.o.d"
+  "CMakeFiles/mcm_runtime.dir/kernels.cpp.o"
+  "CMakeFiles/mcm_runtime.dir/kernels.cpp.o.d"
+  "CMakeFiles/mcm_runtime.dir/native_backend.cpp.o"
+  "CMakeFiles/mcm_runtime.dir/native_backend.cpp.o.d"
+  "CMakeFiles/mcm_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcm_runtime.dir/thread_pool.cpp.o.d"
+  "libmcm_runtime.a"
+  "libmcm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

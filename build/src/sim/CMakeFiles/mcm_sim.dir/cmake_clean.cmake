@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_sim.dir/arbiter.cpp.o"
+  "CMakeFiles/mcm_sim.dir/arbiter.cpp.o.d"
+  "CMakeFiles/mcm_sim.dir/engine.cpp.o"
+  "CMakeFiles/mcm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mcm_sim.dir/machine.cpp.o"
+  "CMakeFiles/mcm_sim.dir/machine.cpp.o.d"
+  "libmcm_sim.a"
+  "libmcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

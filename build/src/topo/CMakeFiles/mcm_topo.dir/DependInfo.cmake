@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builder.cpp" "src/topo/CMakeFiles/mcm_topo.dir/builder.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/builder.cpp.o.d"
+  "/root/repo/src/topo/distance.cpp" "src/topo/CMakeFiles/mcm_topo.dir/distance.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/distance.cpp.o.d"
+  "/root/repo/src/topo/platforms.cpp" "src/topo/CMakeFiles/mcm_topo.dir/platforms.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/platforms.cpp.o.d"
+  "/root/repo/src/topo/render.cpp" "src/topo/CMakeFiles/mcm_topo.dir/render.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/render.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/mcm_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/topology_io.cpp" "src/topo/CMakeFiles/mcm_topo.dir/topology_io.cpp.o" "gcc" "src/topo/CMakeFiles/mcm_topo.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

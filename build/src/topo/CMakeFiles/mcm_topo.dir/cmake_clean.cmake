@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_topo.dir/builder.cpp.o"
+  "CMakeFiles/mcm_topo.dir/builder.cpp.o.d"
+  "CMakeFiles/mcm_topo.dir/distance.cpp.o"
+  "CMakeFiles/mcm_topo.dir/distance.cpp.o.d"
+  "CMakeFiles/mcm_topo.dir/platforms.cpp.o"
+  "CMakeFiles/mcm_topo.dir/platforms.cpp.o.d"
+  "CMakeFiles/mcm_topo.dir/render.cpp.o"
+  "CMakeFiles/mcm_topo.dir/render.cpp.o.d"
+  "CMakeFiles/mcm_topo.dir/topology.cpp.o"
+  "CMakeFiles/mcm_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/mcm_topo.dir/topology_io.cpp.o"
+  "CMakeFiles/mcm_topo.dir/topology_io.cpp.o.d"
+  "libmcm_topo.a"
+  "libmcm_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_util.dir/csv.cpp.o"
+  "CMakeFiles/mcm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mcm_util.dir/rng.cpp.o"
+  "CMakeFiles/mcm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcm_util.dir/stats.cpp.o"
+  "CMakeFiles/mcm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mcm_util.dir/strings.cpp.o"
+  "CMakeFiles/mcm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mcm_util.dir/table.cpp.o"
+  "CMakeFiles/mcm_util.dir/table.cpp.o.d"
+  "libmcm_util.a"
+  "libmcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

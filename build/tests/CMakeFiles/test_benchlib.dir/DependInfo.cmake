@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchlib/test_curves.cpp" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_curves.cpp.o" "gcc" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_curves.cpp.o.d"
+  "/root/repo/tests/benchlib/test_repetitions.cpp" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_repetitions.cpp.o" "gcc" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_repetitions.cpp.o.d"
+  "/root/repo/tests/benchlib/test_runner.cpp" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_runner.cpp.o" "gcc" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_runner.cpp.o.d"
+  "/root/repo/tests/benchlib/test_sweep_io.cpp" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_sweep_io.cpp.o" "gcc" "tests/CMakeFiles/test_benchlib.dir/benchlib/test_sweep_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

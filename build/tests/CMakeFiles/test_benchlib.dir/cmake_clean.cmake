@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchlib.dir/benchlib/test_curves.cpp.o"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_curves.cpp.o.d"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_repetitions.cpp.o"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_repetitions.cpp.o.d"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_runner.cpp.o"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_runner.cpp.o.d"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_sweep_io.cpp.o"
+  "CMakeFiles/test_benchlib.dir/benchlib/test_sweep_io.cpp.o.d"
+  "test_benchlib"
+  "test_benchlib.pdb"
+  "test_benchlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/test_ablation.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_ablation.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_figures.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_figures.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_tables.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_tables.cpp.o.d"
+  "test_eval"
+  "test_eval.pdb"
+  "test_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_calibration.cpp" "tests/CMakeFiles/test_model.dir/model/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_calibration.cpp.o.d"
+  "/root/repo/tests/model/test_metrics.cpp" "tests/CMakeFiles/test_model.dir/model/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_metrics.cpp.o.d"
+  "/root/repo/tests/model/test_model.cpp" "tests/CMakeFiles/test_model.dir/model/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_model.cpp.o.d"
+  "/root/repo/tests/model/test_model_property.cpp" "tests/CMakeFiles/test_model.dir/model/test_model_property.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_model_property.cpp.o.d"
+  "/root/repo/tests/model/test_overlap.cpp" "tests/CMakeFiles/test_model.dir/model/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_overlap.cpp.o.d"
+  "/root/repo/tests/model/test_placement.cpp" "tests/CMakeFiles/test_model.dir/model/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_placement.cpp.o.d"
+  "/root/repo/tests/model/test_prediction.cpp" "tests/CMakeFiles/test_model.dir/model/test_prediction.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_prediction.cpp.o.d"
+  "/root/repo/tests/model/test_stability.cpp" "tests/CMakeFiles/test_model.dir/model/test_stability.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/test_stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mcm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

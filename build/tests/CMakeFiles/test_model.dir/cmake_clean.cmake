@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/test_calibration.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_calibration.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_metrics.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_metrics.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_model.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_model.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_model_property.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_model_property.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_overlap.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_overlap.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_placement.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_placement.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_prediction.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_prediction.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/test_stability.cpp.o"
+  "CMakeFiles/test_model.dir/model/test_stability.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_minimpi.cpp" "tests/CMakeFiles/test_net.dir/net/test_minimpi.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_minimpi.cpp.o.d"
+  "/root/repo/tests/net/test_minimpi_stress.cpp" "tests/CMakeFiles/test_net.dir/net/test_minimpi_stress.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_minimpi_stress.cpp.o.d"
+  "/root/repo/tests/net/test_protocol.cpp" "tests/CMakeFiles/test_net.dir/net/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_protocol.cpp.o.d"
+  "/root/repo/tests/net/test_sim_channel.cpp" "tests/CMakeFiles/test_net.dir/net/test_sim_channel.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_sim_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

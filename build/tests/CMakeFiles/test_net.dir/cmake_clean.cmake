@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_minimpi.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_minimpi.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_minimpi_stress.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_minimpi_stress.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_protocol.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_protocol.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_sim_channel.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_sim_channel.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

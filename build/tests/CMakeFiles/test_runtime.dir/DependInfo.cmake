@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_affinity.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_affinity.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_affinity.cpp.o.d"
+  "/root/repo/tests/runtime/test_kernels.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o.d"
+  "/root/repo/tests/runtime/test_native_backend.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_native_backend.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_native_backend.cpp.o.d"
+  "/root/repo/tests/runtime/test_thread_pool.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_affinity.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_affinity.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_kernels.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_native_backend.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_native_backend.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

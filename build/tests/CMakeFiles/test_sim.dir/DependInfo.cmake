@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_arbiter.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_arbiter.cpp.o.d"
+  "/root/repo/tests/sim/test_arbiter_property.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_arbiter_property.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_arbiter_property.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_llc.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_llc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_llc.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_workloads.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mcm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

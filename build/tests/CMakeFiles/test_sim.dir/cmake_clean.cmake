@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_arbiter.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_arbiter.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_arbiter_property.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_arbiter_property.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_llc.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_llc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_workloads.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_workloads.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

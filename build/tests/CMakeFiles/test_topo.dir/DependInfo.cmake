@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topo/test_builder.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_builder.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_builder.cpp.o.d"
+  "/root/repo/tests/topo/test_distance.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_distance.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_distance.cpp.o.d"
+  "/root/repo/tests/topo/test_ids.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_ids.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_ids.cpp.o.d"
+  "/root/repo/tests/topo/test_platforms.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_platforms.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_platforms.cpp.o.d"
+  "/root/repo/tests/topo/test_render.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_render.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_render.cpp.o.d"
+  "/root/repo/tests/topo/test_topology.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_topology.cpp.o.d"
+  "/root/repo/tests/topo/test_topology_io.cpp" "tests/CMakeFiles/test_topo.dir/topo/test_topology_io.cpp.o" "gcc" "tests/CMakeFiles/test_topo.dir/topo/test_topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

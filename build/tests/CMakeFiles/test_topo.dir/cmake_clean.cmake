@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/test_builder.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_builder.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_distance.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_distance.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_ids.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_ids.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_platforms.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_platforms.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_render.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_render.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_topology.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_topology.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_topology_io.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_topology_io.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmtool.dir/mcmtool.cpp.o"
+  "CMakeFiles/mcmtool.dir/mcmtool.cpp.o.d"
+  "mcmtool"
+  "mcmtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

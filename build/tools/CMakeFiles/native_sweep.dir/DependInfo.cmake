@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/native_sweep.cpp" "tools/CMakeFiles/native_sweep.dir/native_sweep.cpp.o" "gcc" "tools/CMakeFiles/native_sweep.dir/native_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mcm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/mcm_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mcm_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_sweep.dir/native_sweep.cpp.o"
+  "CMakeFiles/native_sweep.dir/native_sweep.cpp.o.d"
+  "native_sweep"
+  "native_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
