@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
   std::printf("Overlap outlook on a henri-class machine (halo on node 0, "
               "computation data on node 0):\n");
   for (std::size_t n : {4ul, 8ul, 12ul, 16ul}) {
-    const model::PredictedCurve curve = model.predict(node0, node0);
+    const model::PredictedCurve curve = model.predict({node0, node0});
     const double comm = curve.comm_parallel_gb[n - 1];
     const double nominal = curve.comm_alone_gb[n - 1];
     std::printf("  %2zu cores: network runs at %5.2f of %5.2f GB/s "
@@ -147,6 +147,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nWith all cores computing, prefer the advisor's placement "
               "(see placement_advisor) or cap the core count at %zu.\n",
-              model.recommended_core_count(node0, node0));
+              model.recommended_core_count({node0, node0}));
   return 0;
 }

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t comm = 0; comm < model.numa_count(); ++comm) {
     for (std::uint32_t comp = 0; comp < model.numa_count(); ++comp) {
       const model::PredictedCurve curve =
-          model.predict(topo::NumaId(comp), topo::NumaId(comm));
+          model.predict({topo::NumaId(comp), topo::NumaId(comm)});
       rows.push_back(Row{topo::NumaId(comp), topo::NumaId(comm),
                          curve.compute_parallel_gb[cores - 1],
                          curve.comm_parallel_gb[cores - 1]});
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
               best.comp_numa.value(), best.comm_numa.value());
   std::printf("Contention-free core budget for the recommended placement: "
               "%zu cores\n\n",
-              model.recommended_core_count(best.comp_numa, best.comm_numa));
+              model.recommended_core_count({best.comp_numa, best.comm_numa}));
 
   // NUMA distances, for context (the advisor beats naive nearest-node
   // placement precisely when contention matters more than distance).

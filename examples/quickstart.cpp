@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   const topo::NumaId comp(0);
   const topo::NumaId comm(
       static_cast<std::uint32_t>(backend.numa_per_socket()));
-  const model::PredictedCurve predicted = model.predict(comp, comm);
+  const model::PredictedCurve predicted = model.predict({comp, comm});
 
   AsciiTable table({"cores", "compute GB/s (model)", "comm GB/s (model)"});
   table.set_alignments({Align::kRight, Align::kRight, Align::kRight});
@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
   // 4. Advisor: contention-free core counts and best placement.
   std::printf("Recommended cores before contention, same-node placement: "
               "%zu\n",
-              model.recommended_core_count(topo::NumaId(0),
-                                           topo::NumaId(0)));
+              model.recommended_core_count(
+                  {topo::NumaId(0), topo::NumaId(0)}));
   const model::PlacementAdvice advice =
       model.best_placement(model.max_cores());
   std::printf("Best placement at %zu cores: comp data on node %u, comm "

@@ -23,6 +23,19 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
   MCM_EXPECTS(comp.value() < backend.numa_count());
   MCM_EXPECTS(comm.value() < backend.numa_count());
 
+  const obs::Observer& obs = options.observer;
+  const obs::WallClock clock;
+  obs::Counter* met_points = nullptr;
+  obs::BandwidthHistogram* met_compute = nullptr;
+  obs::BandwidthHistogram* met_comm = nullptr;
+  if (obs.metrics != nullptr) {
+    obs.metrics->counter("bench.runner.placements").add();
+    met_points = &obs.metrics->counter("bench.runner.points");
+    met_compute =
+        &obs.metrics->histogram("bench.runner.compute_parallel_gb");
+    met_comm = &obs.metrics->histogram("bench.runner.comm_parallel_gb");
+  }
+
   PlacementCurve curve;
   curve.comp_numa = comp;
   curve.comm_numa = comm;
@@ -41,6 +54,7 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
   comm_alone_gb /= reps;
 
   for (std::size_t n = 1; n <= max_cores; n += options.core_step) {
+    const double point_start_us = obs.trace != nullptr ? clock.now_us() : 0.0;
     BandwidthPoint point;
     point.cores = n;
     point.comm_alone_gb = comm_alone_gb;
@@ -55,8 +69,40 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
     point.compute_parallel_gb /= reps;
     point.comm_parallel_gb /= reps;
     curve.points.push_back(point);
+
+    if (met_points != nullptr) {
+      met_points->add();
+      met_compute->record(Bandwidth::gb_per_s(point.compute_parallel_gb));
+      met_comm->record(Bandwidth::gb_per_s(point.comm_parallel_gb));
+    }
+    if (obs.trace != nullptr) {
+      obs::TraceEvent event;
+      event.name = "cores";
+      event.category = "bench";
+      event.phase = obs::TracePhase::kComplete;
+      event.ts_us = point_start_us;
+      event.dur_us = clock.now_us() - point_start_us;
+      event.track = comp.value() * 100 + comm.value();
+      event.arg("cores", static_cast<double>(n))
+          .arg("compute_gb", point.compute_parallel_gb)
+          .arg("comm_gb", point.comm_parallel_gb);
+      obs.trace->record(event);
+    }
   }
   backend.set_run(0);
+  if (obs.trace != nullptr) {
+    // Wraps the per-core spans above: same track, full wall time of the
+    // placement (the clock started before the comm-alone measurements).
+    obs::TraceEvent event;
+    event.name = "placement";
+    event.category = "bench";
+    event.phase = obs::TracePhase::kComplete;
+    event.ts_us = 0.0;
+    event.dur_us = clock.now_us();
+    event.track = comp.value() * 100 + comm.value();
+    event.arg("comp_numa", comp.value()).arg("comm_numa", comm.value());
+    obs.trace->record(event);
+  }
   // Dense 1..N points are required downstream (PlacementCurve::at).
   MCM_ENSURES(options.core_step != 1 ||
               curve.points.size() == max_cores);

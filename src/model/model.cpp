@@ -28,7 +28,9 @@ ContentionModel ContentionModel::from_backend(
 }
 
 std::size_t ContentionModel::recommended_core_count(
-    topo::NumaId comp, topo::NumaId comm) const {
+    Placement placement) const {
+  const topo::NumaId comp = placement.comp;
+  const topo::NumaId comm = placement.comm;
   // The placement determines which parameter set governs contention on the
   // communication side (eq. 6); computations only contend when sharing the
   // node (eq. 7). When they do not share, compute scaling is bounded by the

@@ -4,9 +4,9 @@
 //
 //   bench::SimBackend backend(topo::make_henri());
 //   auto model = model::ContentionModel::from_backend(backend);
-//   auto curve = model.predict(topo::NumaId(0), topo::NumaId(1));
-//   std::size_t n = model.recommended_core_count(topo::NumaId(0),
-//                                                topo::NumaId(0));
+//   auto curve = model.predict({topo::NumaId(0), topo::NumaId(1)});
+//   std::size_t n = model.recommended_core_count(
+//       {topo::NumaId(0), topo::NumaId(0)});
 //
 // Calibration runs the benchmark sweep on the two placements of §III
 // (both-local and both-remote), extracts the two parameter sets, and the
@@ -54,17 +54,24 @@ class ContentionModel {
   }
 
   /// Predict all four bandwidth series for a placement.
+  [[nodiscard]] PredictedCurve predict(Placement placement) const {
+    return model_.predict(placement);
+  }
   [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
                                        topo::NumaId comm) const {
-    return model_.predict(comp, comm);
+    return predict(Placement{comp, comm});
   }
 
   /// Largest core count for which the model predicts no memory contention
   /// for this placement (R(n) < T(n)); 0 if even one core contends.
   /// This is the "how many cores should compute" hint of the paper's
   /// conclusion.
-  [[nodiscard]] std::size_t recommended_core_count(topo::NumaId comp,
-                                                   topo::NumaId comm) const;
+  [[nodiscard]] std::size_t recommended_core_count(
+      Placement placement) const;
+  [[nodiscard]] std::size_t recommended_core_count(
+      topo::NumaId comp, topo::NumaId comm) const {
+    return recommended_core_count(Placement{comp, comm});
+  }
 
   /// Placement maximizing predicted total bandwidth (compute + comm) for a
   /// given number of computing cores. Ties break towards lower node ids.

@@ -57,8 +57,9 @@ double PlacementModel::comm_alone(topo::NumaId comm) const {
   return (is_local(comm) ? local_ : remote_).b_comm_seq;
 }
 
-PredictedCurve PlacementModel::predict(topo::NumaId comp,
-                                       topo::NumaId comm) const {
+PredictedCurve PlacementModel::predict(Placement placement) const {
+  const topo::NumaId comp = placement.comp;
+  const topo::NumaId comm = placement.comm;
   PredictedCurve curve;
   curve.comp_numa = comp;
   curve.comm_numa = comm;

@@ -13,6 +13,18 @@
 
 namespace mcm::model {
 
+/// A data placement: which NUMA node holds the computation data blocks and
+/// which holds the communication buffers — the (mcomp, mcomm) pair every
+/// prediction of the paper is parameterized by. The struct form is the
+/// primary API; two-NumaId overloads delegate to it (positional NumaId
+/// pairs proved easy to swap silently at call sites).
+struct Placement {
+  topo::NumaId comp;
+  topo::NumaId comm;
+
+  friend constexpr bool operator==(Placement, Placement) = default;
+};
+
 /// The predicted counterpart of a measured bench::PlacementCurve.
 struct PredictedCurve {
   topo::NumaId comp_numa;
@@ -60,8 +72,11 @@ class PlacementModel {
   [[nodiscard]] double comm_alone(topo::NumaId comm) const;
 
   /// All four series for one placement, for cores 1..max_cores.
+  [[nodiscard]] PredictedCurve predict(Placement placement) const;
   [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
-                                       topo::NumaId comm) const;
+                                       topo::NumaId comm) const {
+    return predict(Placement{comp, comm});
+  }
 
  private:
   /// The parameter set eq. (6) selects for communications.

@@ -54,6 +54,67 @@ class MailboxPair {
   std::deque<RecvEntry> pending_recvs[2];
   int barrier_count = 0;
   long barrier_generation = 0;
+
+  /// Observability, attached once before traffic starts (ShmWorld's
+  /// contract); instruments are pre-resolved so emission under the mailbox
+  /// lock never touches the registry mutex.
+  obs::Observer obs;
+  obs::WallClock clock;
+  obs::Counter* met_isend = nullptr;
+  obs::Counter* met_irecv = nullptr;
+  obs::Counter* met_eager = nullptr;
+  obs::Counter* met_rendezvous = nullptr;
+  obs::Counter* met_delivered_msgs = nullptr;
+  obs::Counter* met_delivered_bytes = nullptr;
+
+  void attach(const obs::Observer& observer) {
+    obs = observer;
+    if (obs.metrics != nullptr) {
+      met_isend = &obs.metrics->counter("net.minimpi.isend");
+      met_irecv = &obs.metrics->counter("net.minimpi.irecv");
+      met_eager = &obs.metrics->counter("net.minimpi.eager_msgs");
+      met_rendezvous = &obs.metrics->counter("net.minimpi.rendezvous_msgs");
+      met_delivered_msgs =
+          &obs.metrics->counter("net.minimpi.delivered_msgs");
+      met_delivered_bytes =
+          &obs.metrics->counter("net.minimpi.delivered_bytes");
+    } else {
+      met_isend = nullptr;
+      met_irecv = nullptr;
+      met_eager = nullptr;
+      met_rendezvous = nullptr;
+      met_delivered_msgs = nullptr;
+      met_delivered_bytes = nullptr;
+    }
+  }
+
+  void note_post(int rank, const char* what, std::size_t bytes, int tag) {
+    if (obs.trace == nullptr) return;
+    obs::TraceEvent event;
+    event.name = what;
+    event.category = "net";
+    event.ts_us = clock.now_us();
+    event.track = static_cast<std::uint32_t>(rank);
+    event.arg("bytes", static_cast<double>(bytes))
+        .arg("tag", static_cast<double>(tag));
+    obs.trace->record(event);
+  }
+
+  void note_deliver(std::size_t bytes) {
+    if (met_delivered_msgs != nullptr) {
+      met_delivered_msgs->add();
+      met_delivered_bytes->add(bytes);
+    }
+    if (obs.trace != nullptr) {
+      obs::TraceEvent event;
+      event.name = "deliver";
+      event.category = "net";
+      event.ts_us = clock.now_us();
+      event.track = 2;  // delivery track, distinct from the two ranks
+      event.arg("bytes", static_cast<double>(bytes));
+      obs.trace->record(event);
+    }
+  }
 };
 
 namespace {
@@ -96,6 +157,16 @@ Request Communicator::isend(int dest, int tag,
   detail::MailboxPair& mb = *mailboxes_;
   std::unique_lock lock(mb.mutex);
 
+  if (mb.met_isend != nullptr) {
+    mb.met_isend->add();
+    (select_mode(mb.params, std::max<std::uint64_t>(data.size(), 1)) ==
+             ProtocolMode::kEager
+         ? mb.met_eager
+         : mb.met_rendezvous)
+        ->add();
+  }
+  mb.note_post(rank_, "isend", data.size(), tag);
+
   auto op = std::make_shared<detail::PendingOp>();
 
   // Match against an already-posted receive (FIFO).
@@ -107,6 +178,7 @@ Request Communicator::isend(int dest, int tag,
     send.op = op;
     send.source = data;
     detail::deliver(send, *it);
+    mb.note_deliver(data.size());
     recvs.erase(it);
     mb.cv.notify_all();
     return Request(std::move(op));
@@ -137,6 +209,9 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
   detail::MailboxPair& mb = *mailboxes_;
   std::unique_lock lock(mb.mutex);
 
+  if (mb.met_irecv != nullptr) mb.met_irecv->add();
+  mb.note_post(rank_, "irecv", data.size(), tag);
+
   auto op = std::make_shared<detail::PendingOp>();
 
   auto& sends = mb.pending_sends[rank_];
@@ -146,7 +221,9 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
     recv.tag = tag;
     recv.op = op;
     recv.destination = data;
+    const std::size_t delivered = it->payload().size();
     detail::deliver(*it, recv);
+    mb.note_deliver(delivered);
     sends.erase(it);
     mb.cv.notify_all();
     return Request(std::move(op));
@@ -237,6 +314,11 @@ ShmWorld::~ShmWorld() = default;
 Communicator& ShmWorld::comm(int rank) {
   MCM_EXPECTS(rank == 0 || rank == 1);
   return comms_[static_cast<std::size_t>(rank)];
+}
+
+void ShmWorld::attach_observer(const obs::Observer& observer) {
+  std::lock_guard lock(mailboxes_->mutex);
+  mailboxes_->attach(observer);
 }
 
 }  // namespace mcm::net

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/observer.hpp"
 
 namespace mcm::net {
 
@@ -123,6 +124,13 @@ class ShmWorld {
   [[nodiscard]] Communicator& comm(int rank);
 
   [[nodiscard]] const ProtocolParams& protocol() const { return params_; }
+
+  /// Attach message-lifecycle observability (thread-safe; both ranks emit
+  /// concurrently). Counters: net.minimpi.isend / irecv / eager_msgs /
+  /// rendezvous_msgs / delivered_msgs / delivered_bytes. Trace: wall-clock
+  /// "isend"/"irecv" instants on track = rank and "deliver" instants.
+  /// Attach before starting traffic; zero-cost when never called.
+  void attach_observer(const obs::Observer& observer);
 
  private:
   ProtocolParams params_;

@@ -9,8 +9,20 @@ SimChannel::SimChannel(const sim::SimMachine& machine, ProtocolParams params)
   params_.validate();
 }
 
+void SimChannel::attach_observer(const obs::Observer& observer) {
+  if (observer.metrics != nullptr) {
+    met_messages_ = &observer.metrics->counter("net.sim_channel.messages");
+    met_effective_ =
+        &observer.metrics->histogram("net.sim_channel.effective_gb");
+  } else {
+    met_messages_ = nullptr;
+    met_effective_ = nullptr;
+  }
+}
+
 Seconds SimChannel::message_time(std::uint64_t bytes,
                                  topo::NumaId comm) const {
+  if (met_messages_ != nullptr) met_messages_->add();
   return net::message_time(params_, bytes,
                            machine_->steady_comm_alone(comm));
 }
@@ -20,6 +32,7 @@ Seconds SimChannel::message_time_under_load(std::uint64_t bytes,
                                             topo::NumaId comp,
                                             topo::NumaId comm) const {
   if (cores == 0) return message_time(bytes, comm);
+  if (met_messages_ != nullptr) met_messages_->add();
   const sim::ParallelMeasurement rates =
       machine_->steady_parallel(cores, comp, comm);
   return net::message_time(params_, bytes, rates.comm);
@@ -28,8 +41,10 @@ Seconds SimChannel::message_time_under_load(std::uint64_t bytes,
 Bandwidth SimChannel::effective_bandwidth_under_load(
     std::uint64_t bytes, std::size_t cores, topo::NumaId comp,
     topo::NumaId comm) const {
-  return achieved_bandwidth(
+  const Bandwidth effective = achieved_bandwidth(
       bytes, message_time_under_load(bytes, cores, comp, comm));
+  if (met_effective_ != nullptr) met_effective_->record(effective);
+  return effective;
 }
 
 }  // namespace mcm::net

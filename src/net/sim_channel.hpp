@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "net/protocol.hpp"
+#include "obs/observer.hpp"
 #include "sim/machine.hpp"
 
 namespace mcm::net {
@@ -35,9 +36,17 @@ class SimChannel {
       std::uint64_t bytes, std::size_t cores, topo::NumaId comp,
       topo::NumaId comm) const;
 
+  /// Attach metrics (counter net.sim_channel.messages, histogram
+  /// net.sim_channel.effective_gb of answered message bandwidths).
+  /// Observation only; answers are unchanged, zero-cost when detached.
+  void attach_observer(const obs::Observer& observer);
+
  private:
   const sim::SimMachine* machine_;
   ProtocolParams params_;
+
+  obs::Counter* met_messages_ = nullptr;
+  obs::BandwidthHistogram* met_effective_ = nullptr;
 };
 
 }  // namespace mcm::net

@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mcm::obs {
+
+namespace {
+
+/// Shortest round-trippable-enough representation: %g prints integers
+/// without trailing zeros and small rates without artificial precision.
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+BandwidthHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<BandwidthHistogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    for (std::size_t i = 0; i < BandwidthHistogram::kBucketCount; ++i) {
+      h.buckets[i] = histogram->bucket(i);
+    }
+    h.count = histogram->count();
+    h.sum_gb = histogram->sum_gb();
+    h.mean_gb = histogram->mean_gb();
+    snap.histograms.emplace(name, h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsRegistry::to_text() const { return render_text(snapshot()); }
+
+std::string MetricsRegistry::to_json() const { return render_json(snapshot()); }
+
+std::string render_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << name << ' ' << format_double(value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << name << " count=" << h.count
+        << " mean_gb=" << format_double(h.mean_gb) << '\n';
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      out << name << "{le=";
+      if (i < BandwidthHistogram::kBucketBoundsGb.size()) {
+        out << format_double(BandwidthHistogram::kBucketBoundsGb[i]);
+      } else {
+        out << "+inf";
+      }
+      out << "} " << h.buckets[i] << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << format_double(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"count\":" << h.count
+        << ",\"sum_gb\":" << format_double(h.sum_gb) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ',';
+      out << h.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,171 @@
+// Lock-cheap metrics registry: named counters, gauges and bandwidth
+// histograms shared by every bandwidth-moving subsystem (sim, net, bench,
+// runtime).
+//
+// Design rules, in order of importance:
+//  1. Updating an instrument never takes a lock: counters and gauges are
+//     single atomics updated with relaxed ordering, histogram buckets are
+//     an array of atomics. Contended increments cost one atomic RMW.
+//  2. Looking an instrument up by name takes the registry mutex; hot paths
+//     resolve their instruments once (at observer-attach time) and keep the
+//     returned pointer, which stays valid for the registry's lifetime.
+//  3. `snapshot()` is a consistent-enough copy for reporting: each value is
+//     read atomically, the set of instruments is read under the mutex.
+//
+// Exported as plain text (one `name value` line per instrument) and as a
+// JSON object, both stable-ordered by name so outputs diff cleanly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mcm::obs {
+
+/// Monotonic event count. Wraps around on std::uint64_t overflow (standard
+/// unsigned semantics) — callers counting bytes at hardware rates would
+/// need centuries to get there.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, pool size, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram of observed bandwidths with fixed power-of-two buckets in
+/// GB/s. The range 0.25..128 GB/s brackets everything the paper measures
+/// (a fraction of a DDR channel up to an aggregate dual-socket machine).
+class BandwidthHistogram {
+ public:
+  /// Upper bounds of the finite buckets, in GB/s; one extra bucket catches
+  /// everything above the last bound.
+  static constexpr std::array<double, 10> kBucketBoundsGb = {
+      0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+  static constexpr std::size_t kBucketCount = kBucketBoundsGb.size() + 1;
+
+  void record(Bandwidth bw) {
+    const double gb = bw.gb();
+    std::size_t bucket = kBucketBoundsGb.size();
+    for (std::size_t i = 0; i < kBucketBoundsGb.size(); ++i) {
+      if (gb <= kBucketBoundsGb[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed CAS loop: sum_gb is reporting-only, no ordering needed.
+    double sum = sum_gb_.load(std::memory_order_relaxed);
+    while (!sum_gb_.compare_exchange_weak(sum, sum + gb,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum_gb() const {
+    return sum_gb_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_gb() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum_gb() / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_gb_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_gb_{0.0};
+};
+
+/// Point-in-time copy of one histogram, for snapshots.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, BandwidthHistogram::kBucketCount> buckets{};
+  std::uint64_t count = 0;
+  double sum_gb = 0.0;
+  double mean_gb = 0.0;
+};
+
+/// Point-in-time copy of the whole registry. Maps are sorted by name so
+/// exports are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. The returned reference stays valid for the
+  /// registry's lifetime; hot paths should resolve once and keep it.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] BandwidthHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every instrument (registrations are kept).
+  void reset();
+
+  /// `name value` lines, one per instrument, sorted by name. Histograms
+  /// render count/mean plus the non-empty buckets.
+  [[nodiscard]] std::string to_text() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: element addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<BandwidthHistogram>> histograms_;
+};
+
+/// Render a snapshot in the registry's text format (exposed separately so
+/// saved snapshots can be printed later).
+[[nodiscard]] std::string render_text(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string render_json(const MetricsSnapshot& snapshot);
+
+}  // namespace mcm::obs

@@ -1,0 +1,23 @@
+// The attachment point instrumented subsystems share: a pair of optional
+// pointers to a metrics registry and a trace sink, both null by default
+// (the "null sink"). Components copy the Observer by value at attach time
+// and guard every emission on the relevant pointer, so an unattached
+// component pays exactly one branch per would-be event and allocates
+// nothing — the zero-cost guarantee docs/observability.md documents.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mcm::obs {
+
+struct Observer {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  [[nodiscard]] constexpr bool attached() const {
+    return metrics != nullptr || trace != nullptr;
+  }
+};
+
+}  // namespace mcm::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace mcm::obs {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Timestamps with sub-microsecond fractions survive the round trip into
+/// chrome://tracing; %.3f keeps nanosecond resolution without noise.
+[[nodiscard]] std::string format_us(double us) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f", us);
+  return buffer;
+}
+
+[[nodiscard]] std::string format_value(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+void write_event(std::ostream& out, const TraceEvent& e) {
+  out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+      << e.category << "\",\"ph\":\"" << static_cast<char>(e.phase)
+      << "\",\"ts\":" << format_us(e.ts_us);
+  if (e.phase == TracePhase::kComplete) {
+    out << ",\"dur\":" << format_us(e.dur_us);
+  }
+  out << ",\"pid\":1,\"tid\":" << e.track;
+  if (e.arg_count > 0) {
+    out << ",\"args\":{";
+    for (std::size_t i = 0; i < e.arg_count; ++i) {
+      if (i > 0) out << ',';
+      out << '"' << e.args[i].key << "\":" << format_value(e.args[i].value);
+    }
+    out << '}';
+  } else if (e.phase == TracePhase::kCounter) {
+    // Counter events without args render as an empty series; give the
+    // viewer something to plot.
+    out << ",\"args\":{\"value\":0}";
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void ChromeTraceSink::record(const TraceEvent& event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(event);
+}
+
+void ChromeTraceSink::set_track_name(std::uint32_t track,
+                                     const std::string& name) {
+  std::lock_guard lock(mutex_);
+  track_names_.emplace_back(track, name);
+}
+
+std::size_t ChromeTraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::size_t ChromeTraceSink::count(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+void ChromeTraceSink::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  track_names_.clear();
+}
+
+void ChromeTraceSink::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "[";
+  bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) out << ",\n ";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << track << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",\n ";
+    first = false;
+    write_event(out, e);
+  }
+  out << "]\n";
+}
+
+std::string ChromeTraceSink::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+WallClock::WallClock() {
+  origin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+}
+
+double WallClock::now_us() const {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now_ns - origin_ns_) * 1e-3;
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,103 @@
+// Structured trace sink: subsystems emit timestamped events (engine slice
+// boundaries, arbiter rate grants, transfer lifecycle, sweep phases,
+// message lifecycle) into an abstract TraceSink. The shipped sink buffers
+// them and exports Chrome `trace_event` JSON loadable in chrome://tracing
+// or https://ui.perfetto.dev.
+//
+// Emission discipline: producers never construct a TraceEvent unless a
+// sink is attached, so tracing costs one pointer test when disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mcm::obs {
+
+/// The Chrome trace-event phases the library emits. The enumerator value
+/// is the `"ph"` character of the JSON format.
+enum class TracePhase : char {
+  kComplete = 'X',  ///< a span with a duration
+  kInstant = 'i',   ///< a point in time
+  kCounter = 'C',   ///< a sampled value, rendered as a time series
+};
+
+/// One structured event. Timestamps are microseconds on the producer's
+/// timeline: simulated time for sim::Engine, wall time for the benchmark
+/// runner and the message layer — one trace never mixes the two.
+struct TraceEvent {
+  struct Arg {
+    const char* key = nullptr;
+    double value = 0.0;
+  };
+  static constexpr std::size_t kMaxArgs = 4;
+
+  std::string name;
+  const char* category = "mcm";
+  TracePhase phase = TracePhase::kInstant;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< kComplete only
+  /// Rendered as the Chrome `tid`, so related events share a track.
+  std::uint32_t track = 0;
+  std::array<Arg, kMaxArgs> args{};
+  std::size_t arg_count = 0;
+
+  TraceEvent& arg(const char* key, double value) {
+    if (arg_count < kMaxArgs) args[arg_count++] = Arg{key, value};
+    return *this;
+  }
+};
+
+/// Abstract consumer. Implementations must be safe to call from multiple
+/// threads (the message layer and the thread pool emit concurrently).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffering sink with Chrome trace_event JSON export.
+class ChromeTraceSink : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override;
+
+  /// Label one track; exported as a `thread_name` metadata event.
+  void set_track_name(std::uint32_t track, const std::string& name);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Events of one name (test helper).
+  [[nodiscard]] std::size_t count(const std::string& name) const;
+  void clear();
+
+  /// The full trace as a Chrome trace_event JSON array.
+  [[nodiscard]] std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+};
+
+/// Microsecond wall clock anchored at construction, for producers whose
+/// events live on the real timeline.
+class WallClock {
+ public:
+  WallClock();
+  [[nodiscard]] double now_us() const;
+
+ private:
+  std::int64_t origin_ns_ = 0;
+};
+
+/// Microseconds of a simulated timestamp.
+[[nodiscard]] constexpr double to_trace_us(Seconds t) {
+  return t.value() * 1e6;
+}
+
+}  // namespace mcm::obs

@@ -48,15 +48,56 @@ void ThreadPool::worker_loop(std::size_t index, bool pin) {
   }
 }
 
+void ThreadPool::attach_observer(const obs::Observer& observer) {
+  std::lock_guard lock(mutex_);
+  MCM_EXPECTS(remaining_ == 0);  // between dispatches only
+  obs_ = observer;
+  if (obs_.metrics != nullptr) {
+    met_dispatches_ = &obs_.metrics->counter("runtime.pool.dispatches");
+    met_busy_us_ = &obs_.metrics->counter("runtime.pool.busy_us");
+    met_queue_depth_ = &obs_.metrics->gauge("runtime.pool.queue_depth");
+    obs_.metrics->gauge("runtime.pool.workers")
+        .set(static_cast<double>(threads_.size()));
+  } else {
+    met_dispatches_ = nullptr;
+    met_busy_us_ = nullptr;
+    met_queue_depth_ = nullptr;
+  }
+}
+
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
+  const bool observed = obs_.attached();
+  const double start_us = observed ? clock_.now_us() : 0.0;
   std::unique_lock lock(mutex_);
   MCM_EXPECTS(remaining_ == 0);  // not reentrant
   task_ = &task;
   remaining_ = threads_.size();
   ++generation_;
+  if (met_queue_depth_ != nullptr) {
+    met_queue_depth_->set(static_cast<double>(remaining_));
+  }
   start_cv_.notify_all();
   done_cv_.wait(lock, [&] { return remaining_ == 0; });
   task_ = nullptr;
+  if (observed) {
+    const double dur_us = clock_.now_us() - start_us;
+    if (met_dispatches_ != nullptr) {
+      met_dispatches_->add();
+      met_busy_us_->add(static_cast<std::uint64_t>(dur_us));
+      met_queue_depth_->set(0.0);
+    }
+    if (obs_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.name = "dispatch";
+      event.category = "runtime";
+      event.phase = obs::TracePhase::kComplete;
+      event.ts_us = start_us;
+      event.dur_us = dur_us;
+      event.track = 0;
+      event.arg("workers", static_cast<double>(threads_.size()));
+      obs_.trace->record(event);
+    }
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/observer.hpp"
+
 namespace mcm::runtime {
 
 class ThreadPool {
@@ -34,6 +36,14 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Attach dispatch observability. Gauge runtime.pool.workers (set once)
+  /// and runtime.pool.queue_depth (workers still running the current
+  /// dispatch, sampled at dispatch/completion); counters
+  /// runtime.pool.dispatches and runtime.pool.busy_us (summed wall time of
+  /// dispatches, i.e. task latency); trace "dispatch" spans on track 0.
+  /// Call from the dispatching thread only, between dispatches.
+  void attach_observer(const obs::Observer& observer);
+
  private:
   void worker_loop(std::size_t index, bool pin);
 
@@ -45,6 +55,12 @@ class ThreadPool {
   std::size_t generation_ = 0;
   std::size_t remaining_ = 0;
   bool shutting_down_ = false;
+
+  obs::Observer obs_;
+  obs::WallClock clock_;
+  obs::Counter* met_dispatches_ = nullptr;
+  obs::Counter* met_busy_us_ = nullptr;
+  obs::Gauge* met_queue_depth_ = nullptr;
 };
 
 }  // namespace mcm::runtime

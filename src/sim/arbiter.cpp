@@ -92,6 +92,21 @@ void max_min_fill(const std::vector<int>& stream_ids,
 Arbiter::Arbiter(const topo::Machine& machine, ArbitrationPolicy policy)
     : machine_(&machine), policy_(policy) {}
 
+void Arbiter::attach_observer(const obs::Observer& observer) {
+  if (observer.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *observer.metrics;
+    met_solves_ = &reg.counter("sim.arbiter.solves");
+    met_iterations_ = &reg.counter("sim.arbiter.iterations");
+    met_grant_cpu_ = &reg.histogram("sim.arbiter.grant_cpu_gb");
+    met_grant_dma_ = &reg.histogram("sim.arbiter.grant_dma_gb");
+  } else {
+    met_solves_ = nullptr;
+    met_iterations_ = nullptr;
+    met_grant_cpu_ = nullptr;
+    met_grant_dma_ = nullptr;
+  }
+}
+
 ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
   const std::size_t link_count = machine_->links().size();
   const std::size_t n = streams.size();
@@ -281,6 +296,15 @@ ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
   for (std::size_t l = 0; l < link_count; ++l) {
     result.link_effective_capacity.push_back(
         Bandwidth::bytes_per_s(cap_eff[l]));
+  }
+  if (met_solves_ != nullptr) {
+    met_solves_->add();
+    met_iterations_->add(static_cast<std::uint64_t>(iterations));
+    for (std::size_t s = 0; s < n; ++s) {
+      (streams[s].cls == StreamClass::kCpu ? met_grant_cpu_
+                                           : met_grant_dma_)
+          ->record(result.allocation[s]);
+    }
   }
   return result;
 }

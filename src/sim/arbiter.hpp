@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/stream.hpp"
 #include "topo/topology.hpp"
 
@@ -68,9 +69,19 @@ class Arbiter {
   /// demand get zero. Deterministic: same input, same output.
   [[nodiscard]] ArbiterResult solve(std::span<const StreamSpec> streams) const;
 
+  /// Attach metrics (counters sim.arbiter.solves / iterations, histograms
+  /// sim.arbiter.grant_cpu_gb / grant_dma_gb of per-stream granted rates).
+  /// Solving is unchanged — observation only, zero-cost when detached.
+  void attach_observer(const obs::Observer& observer);
+
  private:
   const topo::Machine* machine_;
   ArbitrationPolicy policy_;
+
+  obs::Counter* met_solves_ = nullptr;
+  obs::Counter* met_iterations_ = nullptr;
+  obs::BandwidthHistogram* met_grant_cpu_ = nullptr;
+  obs::BandwidthHistogram* met_grant_dma_ = nullptr;
 };
 
 }  // namespace mcm::sim

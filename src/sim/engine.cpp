@@ -17,6 +17,32 @@ constexpr double kByteEps = 1.0;
 Engine::Engine(const topo::Machine& machine, ArbitrationPolicy policy)
     : machine_(&machine), arbiter_(machine, policy) {}
 
+void Engine::attach_observer(const obs::Observer& observer) {
+  obs_ = observer;
+  arbiter_.attach_observer(observer);
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *obs_.metrics;
+    met_transfers_started_ = &reg.counter("sim.engine.transfers_started");
+    met_flows_started_ = &reg.counter("sim.engine.flows_started");
+    met_transfers_completed_ =
+        &reg.counter("sim.engine.transfers_completed");
+    met_transfers_stopped_ = &reg.counter("sim.engine.transfers_stopped");
+    met_slices_ = &reg.counter("sim.engine.slices");
+    met_rate_refreshes_ = &reg.counter("sim.engine.rate_refreshes");
+    met_grant_cpu_ = &reg.histogram("sim.engine.grant_cpu_gb");
+    met_grant_dma_ = &reg.histogram("sim.engine.grant_dma_gb");
+  } else {
+    met_transfers_started_ = nullptr;
+    met_flows_started_ = nullptr;
+    met_transfers_completed_ = nullptr;
+    met_transfers_stopped_ = nullptr;
+    met_slices_ = nullptr;
+    met_rate_refreshes_ = nullptr;
+    met_grant_cpu_ = nullptr;
+    met_grant_dma_ = nullptr;
+  }
+}
+
 TransferId Engine::start_transfer(const StreamSpec& spec,
                                   std::uint64_t bytes) {
   MCM_EXPECTS(bytes > 0);
@@ -30,6 +56,17 @@ TransferId Engine::start_transfer(const StreamSpec& spec,
   active_.push_back(id);
   rates_dirty_ = true;
   trace_.record(now_, TraceEventKind::kTransferStarted, id);
+  if (met_transfers_started_ != nullptr) met_transfers_started_->add();
+  if (obs_.trace != nullptr) {
+    obs::TraceEvent event;
+    event.name = "transfer-start";
+    event.category = "sim";
+    event.ts_us = obs::to_trace_us(now_);
+    event.track = static_cast<std::uint32_t>(id);
+    event.arg("transfer", static_cast<double>(id))
+        .arg("bytes", static_cast<double>(bytes));
+    obs_.trace->record(event);
+  }
   return id;
 }
 
@@ -44,18 +81,40 @@ TransferId Engine::start_flow(const StreamSpec& spec) {
   active_.push_back(id);
   rates_dirty_ = true;
   trace_.record(now_, TraceEventKind::kTransferStarted, id);
+  if (met_flows_started_ != nullptr) met_flows_started_->add();
+  if (obs_.trace != nullptr) {
+    obs::TraceEvent event;
+    event.name = "flow-start";
+    event.category = "sim";
+    event.ts_us = obs::to_trace_us(now_);
+    event.track = static_cast<std::uint32_t>(id);
+    event.arg("transfer", static_cast<double>(id));
+    obs_.trace->record(event);
+  }
   return id;
 }
 
-void Engine::stop(TransferId id) {
+StopResult Engine::stop(TransferId id) {
   const auto it = transfers_.find(id);
-  MCM_EXPECTS(it != transfers_.end());
-  if (!it->second.active) return;
+  if (it == transfers_.end()) return StopResult::kUnknownId;
+  if (!it->second.active) return StopResult::kAlreadyComplete;
   it->second.active = false;
   it->second.rate = 0.0;
   active_.erase(std::find(active_.begin(), active_.end(), id));
   rates_dirty_ = true;
   trace_.record(now_, TraceEventKind::kTransferStopped, id);
+  if (met_transfers_stopped_ != nullptr) met_transfers_stopped_->add();
+  if (obs_.trace != nullptr) {
+    obs::TraceEvent event;
+    event.name = "transfer-stop";
+    event.category = "sim";
+    event.ts_us = obs::to_trace_us(now_);
+    event.track = static_cast<std::uint32_t>(id);
+    event.arg("transfer", static_cast<double>(id))
+        .arg("bytes", it->second.bytes_done);
+    obs_.trace->record(event);
+  }
+  return StopResult::kStopped;
 }
 
 bool Engine::is_active(TransferId id) const { return transfer(id).active; }
@@ -87,6 +146,28 @@ void Engine::refresh_rates() {
   }
   rates_dirty_ = false;
   trace_.record(now_, TraceEventKind::kRatesRecomputed, 0);
+  if (met_rate_refreshes_ != nullptr) met_rate_refreshes_->add();
+  if (met_grant_cpu_ != nullptr) {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const Transfer& t = transfers_.at(active_[i]);
+      (t.spec.cls == StreamClass::kCpu ? met_grant_cpu_ : met_grant_dma_)
+          ->record(result.allocation[i]);
+    }
+  }
+  if (obs_.trace != nullptr) {
+    // One counter series per transfer: the arbitrated rate over simulated
+    // time, i.e. the per-slice bandwidth split the paper reasons about.
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      obs::TraceEvent event;
+      event.name = "grant";
+      event.category = "sim";
+      event.phase = obs::TracePhase::kCounter;
+      event.ts_us = obs::to_trace_us(now_);
+      event.track = static_cast<std::uint32_t>(active_[i]);
+      event.arg("gb_per_s", result.allocation[i].gb());
+      obs_.trace->record(event);
+    }
+  }
 }
 
 void Engine::advance(Seconds dt, std::vector<Completion>& out) {
@@ -96,6 +177,18 @@ void Engine::advance(Seconds dt, std::vector<Completion>& out) {
       Transfer& t = transfers_.at(id);
       t.bytes_done =
           std::min(t.bytes_total, t.bytes_done + t.rate * dt.value());
+    }
+    if (met_slices_ != nullptr) met_slices_->add();
+    if (obs_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.name = "slice";
+      event.category = "sim";
+      event.phase = obs::TracePhase::kComplete;
+      event.ts_us = obs::to_trace_us(now_);
+      event.dur_us = obs::to_trace_us(dt);
+      event.track = 0;
+      event.arg("streams", static_cast<double>(active_.size()));
+      obs_.trace->record(event);
     }
     now_ += dt;
   }
@@ -117,6 +210,17 @@ void Engine::advance(Seconds dt, std::vector<Completion>& out) {
     active_.erase(std::find(active_.begin(), active_.end(), id));
     rates_dirty_ = true;
     trace_.record(now_, TraceEventKind::kTransferCompleted, id);
+    if (met_transfers_completed_ != nullptr) met_transfers_completed_->add();
+    if (obs_.trace != nullptr) {
+      obs::TraceEvent event;
+      event.name = "transfer-complete";
+      event.category = "sim";
+      event.ts_us = obs::to_trace_us(now_);
+      event.track = static_cast<std::uint32_t>(id);
+      event.arg("transfer", static_cast<double>(id))
+          .arg("bytes", t.bytes_total);
+      obs_.trace->record(event);
+    }
     out.push_back(Completion{id, now_});
   }
 }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/arbiter.hpp"
 #include "sim/stream.hpp"
 #include "sim/trace.hpp"
@@ -27,6 +28,27 @@ struct Completion {
   Seconds time;
 };
 
+/// Outcome of Engine::stop(). Never an exception: callers retiring
+/// transfers race-free against completions check the status instead.
+enum class StopResult : std::uint8_t {
+  kStopped,          ///< was active, now removed from the stream set
+  kAlreadyComplete,  ///< finite transfer had already completed (or was
+                     ///< stopped before) — a no-op
+  kUnknownId,        ///< id was never issued by this engine
+};
+
+[[nodiscard]] constexpr const char* to_string(StopResult result) {
+  switch (result) {
+    case StopResult::kStopped:
+      return "stopped";
+    case StopResult::kAlreadyComplete:
+      return "already-complete";
+    case StopResult::kUnknownId:
+      return "unknown-id";
+  }
+  return "unknown";
+}
+
 class Engine {
  public:
   explicit Engine(
@@ -39,9 +61,9 @@ class Engine {
   /// Start an endless flow (runs until stopped).
   TransferId start_flow(const StreamSpec& spec);
 
-  /// Remove an active transfer/flow. Idempotent on completed transfers;
-  /// throws for unknown ids.
-  void stop(TransferId id);
+  /// Remove an active transfer/flow. Never throws: completed transfers
+  /// report kAlreadyComplete, ids this engine never issued kUnknownId.
+  StopResult stop(TransferId id);
 
   /// True while the transfer is running (finite and unfinished, or a flow
   /// that has not been stopped).
@@ -66,6 +88,18 @@ class Engine {
 
   [[nodiscard]] Trace& trace() { return trace_; }
 
+  /// Attach a metrics registry and/or structured trace sink (either may be
+  /// null). Pass a default-constructed Observer to detach. With nothing
+  /// attached every hook is a single branch — the engine's arithmetic and
+  /// event ordering are bit-identical to an uninstrumented run.
+  ///
+  /// Counters: sim.engine.transfers_started / flows_started /
+  /// transfers_completed / transfers_stopped / slices / rate_refreshes.
+  /// Histograms: sim.engine.grant_cpu_gb / grant_dma_gb (granted rates).
+  /// Trace: "slice" complete events on track 0, per-transfer "grant" rate
+  /// series, "transfer-start/-complete/-stop" instants.
+  void attach_observer(const obs::Observer& observer);
+
  private:
   struct Transfer {
     StreamSpec spec;
@@ -89,6 +123,18 @@ class Engine {
   Seconds now_{0.0};
   bool rates_dirty_ = true;
   Trace trace_;
+
+  obs::Observer obs_;
+  // Instruments resolved once at attach time (see MetricsRegistry rule 2);
+  // all null when no registry is attached.
+  obs::Counter* met_transfers_started_ = nullptr;
+  obs::Counter* met_flows_started_ = nullptr;
+  obs::Counter* met_transfers_completed_ = nullptr;
+  obs::Counter* met_transfers_stopped_ = nullptr;
+  obs::Counter* met_slices_ = nullptr;
+  obs::Counter* met_rate_refreshes_ = nullptr;
+  obs::BandwidthHistogram* met_grant_cpu_ = nullptr;
+  obs::BandwidthHistogram* met_grant_dma_ = nullptr;
 };
 
 }  // namespace mcm::sim

@@ -81,7 +81,7 @@ TEST(Metrics, SampleErrorIsZeroWhenModelReproducesItsOwnCurve) {
   for (std::uint32_t comm = 0; comm < backend.numa_count(); ++comm) {
     for (std::uint32_t comp = 0; comp < backend.numa_count(); ++comp) {
       const PredictedCurve p =
-          model.predict(topo::NumaId(comp), topo::NumaId(comm));
+          model.predict({topo::NumaId(comp), topo::NumaId(comm)});
       bench::PlacementCurve curve;
       curve.comp_numa = topo::NumaId(comp);
       curve.comm_numa = topo::NumaId(comm);

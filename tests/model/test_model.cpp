@@ -24,6 +24,21 @@ TEST(ContentionModel, FromBackendCalibratesBothRegimes) {
   EXPECT_LT(model.remote().n_seq_max, model.local().n_seq_max);
 }
 
+TEST(ContentionModel, PlacementStructAndNumaPairOverloadsAgree) {
+  bench::SimBackend backend(topo::make_henri());
+  const auto model = ContentionModel::from_backend(backend);
+  const Placement placement{topo::NumaId(0), topo::NumaId(1)};
+  const PredictedCurve via_struct = model.predict(placement);
+  const PredictedCurve via_pair =
+      model.predict(topo::NumaId(0), topo::NumaId(1));
+  EXPECT_EQ(via_struct.compute_parallel_gb, via_pair.compute_parallel_gb);
+  EXPECT_EQ(via_struct.comm_parallel_gb, via_pair.comm_parallel_gb);
+  EXPECT_EQ(model.recommended_core_count(placement),
+            model.recommended_core_count(placement.comp, placement.comm));
+  EXPECT_EQ(placement, (Placement{topo::NumaId(0), topo::NumaId(1)}));
+  EXPECT_NE(placement, (Placement{topo::NumaId(1), topo::NumaId(0)}));
+}
+
 TEST(ContentionModel, FromSweepRequiresCalibrationPlacements) {
   bench::SweepResult sweep;
   sweep.platform = "x";
@@ -36,7 +51,7 @@ TEST(ContentionModel, RecommendedCoresMatchesContentionOnset) {
   bench::SimBackend backend(topo::make_henri());
   const auto model = ContentionModel::from_backend(backend);
   const std::size_t recommended =
-      model.recommended_core_count(topo::NumaId(0), topo::NumaId(0));
+      model.recommended_core_count({topo::NumaId(0), topo::NumaId(0)});
   // Below the recommendation: no contention in the model.
   ASSERT_GE(recommended, 1u);
   EXPECT_TRUE(fits_without_contention(model.local(), recommended));
@@ -52,7 +67,7 @@ TEST(ContentionModel, RecommendedCoresOffDiagonalBoundByScaling) {
   bench::SimBackend backend(topo::make_henri());
   const auto model = ContentionModel::from_backend(backend);
   const std::size_t n =
-      model.recommended_core_count(topo::NumaId(0), topo::NumaId(1));
+      model.recommended_core_count({topo::NumaId(0), topo::NumaId(1)});
   // Off-diagonal: bound is where solo compute scaling stops being perfect.
   ASSERT_GE(n, 1u);
   EXPECT_NEAR(compute_alone(model.local(), n),
@@ -70,7 +85,7 @@ TEST(ContentionModel, BestPlacementSeparatesDataOnContendedPlatform) {
   EXPECT_GT(advice.comm_gb, 0.0);
   // And it must dominate the worst (diagonal local) placement.
   const PredictedCurve diagonal =
-      model.predict(topo::NumaId(0), topo::NumaId(0));
+      model.predict({topo::NumaId(0), topo::NumaId(0)});
   const double diagonal_total =
       diagonal.compute_parallel_gb.back() + diagonal.comm_parallel_gb.back();
   EXPECT_GE(advice.compute_gb + advice.comm_gb, diagonal_total - 1e-9);

@@ -125,7 +125,7 @@ TEST(Placement, AloneSeriesFollowLocality) {
 TEST(Placement, PredictProducesDenseCurves) {
   const PlacementModel pm = two_per_socket();
   const PredictedCurve curve =
-      pm.predict(topo::NumaId(1), topo::NumaId(2));
+      pm.predict({topo::NumaId(1), topo::NumaId(2)});
   EXPECT_EQ(curve.comp_numa, topo::NumaId(1));
   EXPECT_EQ(curve.comm_numa, topo::NumaId(2));
   ASSERT_EQ(curve.compute_parallel_gb.size(), 17u);

@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcm::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, WrapsOnOverflow) {
+  Counter c;
+  c.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<std::uint64_t>::max());
+  // Documented behaviour: standard unsigned wrap-around, no UB, no trap.
+  c.add(3);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(7.5);
+  g.set(-2.0);
+  EXPECT_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(BandwidthHistogram, BucketsBracketTheBounds) {
+  BandwidthHistogram h;
+  h.record(Bandwidth::gb_per_s(0.2));    // <= 0.25: bucket 0
+  h.record(Bandwidth::gb_per_s(0.25));   // inclusive upper bound: bucket 0
+  h.record(Bandwidth::gb_per_s(128.0));  // last finite bucket
+  h.record(Bandwidth::gb_per_s(500.0));  // overflow bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(BandwidthHistogram::kBucketBoundsGb.size() - 1), 1u);
+  EXPECT_EQ(h.bucket(BandwidthHistogram::kBucketBoundsGb.size()), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum_gb(), 0.2 + 0.25 + 128.0 + 500.0, 1e-9);
+  EXPECT_NEAR(h.mean_gb(), h.sum_gb() / 4.0, 1e-12);
+}
+
+TEST(BandwidthHistogram, MeanOfEmptyIsZero) {
+  BandwidthHistogram h;
+  EXPECT_EQ(h.mean_gb(), 0.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("sim.engine.slices");
+  a.add(5);
+  // Same name resolves to the same instrument, even after other inserts.
+  registry.counter("zzz").add();
+  registry.gauge("runtime.pool.workers").set(4);
+  Counter& b = registry.counter("sim.engine.slices");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(MetricsRegistry, SnapshotAndReset) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.snapshot().empty());
+  registry.counter("a.count").add(3);
+  registry.gauge("b.depth").set(2.5);
+  registry.histogram("c.bw").record(Bandwidth::gb_per_s(6.0));
+
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_FALSE(snap.empty());
+  EXPECT_EQ(snap.counters.at("a.count"), 3u);
+  EXPECT_EQ(snap.gauges.at("b.depth"), 2.5);
+  EXPECT_EQ(snap.histograms.at("c.bw").count, 1u);
+  EXPECT_NEAR(snap.histograms.at("c.bw").mean_gb, 6.0, 1e-9);
+
+  registry.reset();
+  snap = registry.snapshot();
+  // Registrations survive a reset; values are zeroed.
+  EXPECT_EQ(snap.counters.at("a.count"), 0u);
+  EXPECT_EQ(snap.gauges.at("b.depth"), 0.0);
+  EXPECT_EQ(snap.histograms.at("c.bw").count, 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("contended.count");
+  BandwidthHistogram& histogram = registry.histogram("contended.bw");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(Bandwidth::gb_per_s(1.5));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(histogram.sum_gb(), 1.5 * kThreads * kPerThread, 1e-6);
+}
+
+TEST(MetricsRegistry, TextExportIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.histogram("m.bw").record(Bandwidth::gb_per_s(3.0));
+  const std::string text = registry.to_text();
+  const std::size_t first = text.find("a.first 2");
+  const std::size_t hist = text.find("m.bw count=1");
+  const std::size_t last = text.find("z.last 1");
+  ASSERT_NE(first, std::string::npos) << text;
+  ASSERT_NE(hist, std::string::npos) << text;
+  ASSERT_NE(last, std::string::npos) << text;
+  EXPECT_LT(first, last);
+  // Non-empty buckets render as {le=bound} lines.
+  EXPECT_NE(text.find("m.bw{le=4} 1"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, JsonExportHasAllSections) {
+  MetricsRegistry registry;
+  registry.counter("n.count").add(7);
+  registry.gauge("n.gauge").set(1.25);
+  registry.histogram("n.bw").record(Bandwidth::gb_per_s(2.0));
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"n.count\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"n.gauge\":1.25"), std::string::npos) << json;
+  // Free render functions agree with the member exports.
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(render_text(snap), registry.to_text());
+  EXPECT_EQ(render_json(snap), registry.to_json());
+}
+
+}  // namespace
+}  // namespace mcm::obs

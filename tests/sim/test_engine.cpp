@@ -82,8 +82,8 @@ TEST(Engine, RatesRecoverWhenFlowStops) {
   // First run 0.5 s under contention: DMA moves 1 GB at 2 GB/s.
   (void)engine.run_until(Seconds(0.5));
   EXPECT_NEAR(static_cast<double>(engine.bytes_moved(msg)), 1e9, 1e6);
-  engine.stop(hog1);
-  engine.stop(hog2);
+  EXPECT_EQ(engine.stop(hog1), StopResult::kStopped);
+  EXPECT_EQ(engine.stop(hog2), StopResult::kStopped);
   // Unconstrained now: remaining 3 GB at 4 GB/s -> completes at 1.25 s.
   const auto completions = engine.run_until(Seconds(2.0));
   ASSERT_EQ(completions.size(), 1u);
@@ -130,21 +130,40 @@ TEST(Engine, BackToBackMessagesYieldSteadyBandwidth) {
   EXPECT_EQ(received, 10u * msg_bytes);
 }
 
-TEST(Engine, StopIsIdempotentOnCompleted) {
+TEST(Engine, StopReportsAlreadyCompleteOnCompleted) {
   const Machine m = tiny_machine();
   Engine engine(m);
   const TransferId id = engine.start_transfer(dma(m, 4.0), 1'000'000ull);
   (void)engine.run_until(Seconds(1.0));
   EXPECT_FALSE(engine.is_active(id));
-  EXPECT_NO_THROW(engine.stop(id));
+  EXPECT_EQ(engine.stop(id), StopResult::kAlreadyComplete);
 }
 
-TEST(Engine, UnknownIdThrows) {
+TEST(Engine, StopReportsAlreadyCompleteOnDoubleStop) {
   const Machine m = tiny_machine();
   Engine engine(m);
-  EXPECT_THROW(engine.stop(42), ContractViolation);
+  const TransferId flow = engine.start_flow(cpu(m, 1.0));
+  EXPECT_EQ(engine.stop(flow), StopResult::kStopped);
+  EXPECT_EQ(engine.stop(flow), StopResult::kAlreadyComplete);
+}
+
+TEST(Engine, StopReportsUnknownId) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
+  EXPECT_EQ(engine.stop(42), StopResult::kUnknownId);
+}
+
+TEST(Engine, UnknownIdThrowsOnQueries) {
+  const Machine m = tiny_machine();
+  Engine engine(m);
   EXPECT_THROW((void)engine.bytes_moved(42), ContractViolation);
   EXPECT_THROW((void)engine.is_active(42), ContractViolation);
+}
+
+TEST(Engine, StopResultNamesAreStable) {
+  EXPECT_STREQ(to_string(StopResult::kStopped), "stopped");
+  EXPECT_STREQ(to_string(StopResult::kAlreadyComplete), "already-complete");
+  EXPECT_STREQ(to_string(StopResult::kUnknownId), "unknown-id");
 }
 
 TEST(Engine, RejectsZeroByteTransferAndZeroDemand) {
@@ -168,7 +187,7 @@ TEST(Engine, TraceRecordsLifecycle) {
   const TransferId flow = engine.start_flow(cpu(m, 1.0));
   engine.start_transfer(dma(m, 4.0), 400'000'000ull);
   (void)engine.run_until(Seconds(1.0));
-  engine.stop(flow);
+  (void)engine.stop(flow);
   EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferStarted), 2u);
   EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferCompleted), 1u);
   EXPECT_EQ(engine.trace().count(TraceEventKind::kTransferStopped), 1u);

@@ -9,6 +9,10 @@
 //   mcmtool advise    <platform|file> [--cores K]
 //   mcmtool errors    <platform|file>         Table-II row for one platform
 //   mcmtool table2                            full Table II on all presets
+//   mcmtool trace     <platform|file> [--out FILE]
+//                                      Chrome trace of a short engine run
+//   mcmtool stats     <platform|file> [--json]
+//                                      metrics snapshot of the same run
 //
 // <platform|file> is a preset name (henri, dahu, ...) or a path to a
 // platform description file (see topo/topology_io.hpp for the format).
@@ -27,6 +31,10 @@
 #include "model/model.hpp"
 #include "model/overlap.hpp"
 #include "model/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
 #include "topo/platforms.hpp"
 #include "topo/render.hpp"
 #include "topo/topology_io.hpp"
@@ -53,6 +61,12 @@ int usage(const char* argv0) {
       "  plan      <platform|file> --compute-gib X --message-mib Y\n"
       "                                    overlap planning per core count\n"
       "  table2                            Table II on every preset\n"
+      "  trace     <platform|file> [--out FILE]\n"
+      "                                    Chrome trace of a short engine "
+      "run\n"
+      "  stats     <platform|file> [--json]\n"
+      "                                    metrics snapshot of the same "
+      "run\n"
       "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
       "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
       argv0);
@@ -299,6 +313,84 @@ int cmd_table2() {
   return 0;
 }
 
+/// Shared scenario for `trace` and `stats`: one CPU flow contending with
+/// two DMA transfers through the first NUMA node, run to completion. Small
+/// enough to eyeball, rich enough to exercise every engine event kind
+/// (slice, grant, transfer-start/complete/stop).
+bool run_observed_scenario(const topo::PlatformSpec& spec,
+                           const obs::Observer& observer) {
+  const topo::Machine& machine = spec.machine;
+  if (machine.nics().empty()) {
+    std::fprintf(stderr,
+                 "error: platform '%s' has no NIC; the traced scenario "
+                 "needs a DMA path\n",
+                 spec.name.c_str());
+    return false;
+  }
+  sim::Engine engine(machine);
+  engine.attach_observer(observer);
+
+  const topo::SocketId socket(0);
+  const topo::NumaId numa = machine.first_numa_of(socket);
+  sim::StreamSpec cpu;
+  cpu.cls = sim::StreamClass::kCpu;
+  cpu.demand = machine.link(machine.controller_of(numa)).capacity * 0.5;
+  cpu.path = machine.cpu_path(socket, numa);
+  cpu.source_socket = socket;
+
+  const topo::NicId nic = machine.nics().front().id;
+  sim::StreamSpec dma;
+  dma.cls = sim::StreamClass::kDma;
+  dma.demand = machine.nic_nominal_bandwidth(nic, numa);
+  dma.path = machine.dma_path(nic, numa);
+  dma.source_socket = machine.nic(nic).socket;
+
+  const sim::TransferId flow = engine.start_flow(cpu);
+  (void)engine.start_transfer(dma, 64 * kMiB);
+  (void)engine.start_transfer(dma, 64 * kMiB);
+  (void)engine.run_until(Seconds(5.0));
+  (void)engine.stop(flow);
+  return true;
+}
+
+int cmd_trace(const topo::PlatformSpec& spec, int argc, char** argv) {
+  obs::ChromeTraceSink sink;
+  sink.set_track_name(0, "engine");
+  obs::Observer observer;
+  observer.trace = &sink;
+  if (!run_observed_scenario(spec, observer)) return 1;
+
+  const std::string out_path = flag_value(argc, argv, "--out", "");
+  if (out_path.empty()) {
+    std::fputs(sink.to_json().c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  sink.write_json(out);
+  std::printf("%zu events written to %s (open in chrome://tracing or "
+              "ui.perfetto.dev)\n",
+              sink.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
+  obs::MetricsRegistry registry;
+  obs::Observer observer;
+  observer.metrics = &registry;
+  if (!run_observed_scenario(spec, observer)) return 1;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  std::fputs((json ? registry.to_json() : registry.to_text()).c_str(),
+             stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,6 +419,8 @@ int main(int argc, char** argv) {
     if (command == "advise") return cmd_advise(*spec, argc, argv);
     if (command == "errors") return cmd_errors(*spec);
     if (command == "plan") return cmd_plan(*spec, argc, argv);
+    if (command == "trace") return cmd_trace(*spec, argc, argv);
+    if (command == "stats") return cmd_stats(*spec, argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
