@@ -9,10 +9,18 @@
 #include "eval/ablation.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("ablation_arbiter");
+  run.report().platform = "henri,occigen";
   for (const char* platform : {"henri", "occigen"}) {
+    const auto timer = run.stage(std::string("ablation_") + platform);
     const auto results = mcm::eval::run_hardware_ablation(platform);
     std::printf("== Hardware-mechanism ablation on %s ==\n%s\n", platform,
                 mcm::eval::render_ablation(results).c_str());
+    for (const mcm::eval::AblationResult& result : results) {
+      run.report().add_metric(
+          std::string(platform) + "." + result.variant + ".mape.average",
+          result.report.average);
+    }
   }
 
   benchmark::RegisterBenchmark(
@@ -21,5 +29,5 @@ int main(int argc, char** argv) {
           benchmark::DoNotOptimize(mcm::eval::run_hardware_ablation("henri"));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -8,11 +8,19 @@
 #include "model/report.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("ablation_baselines");
+  run.report().platform = "henri,henri-subnuma,occigen";
   for (const char* platform : {"henri", "henri-subnuma", "occigen"}) {
+    const auto timer = run.stage(std::string("predictors_") + platform);
     const std::vector<mcm::model::ErrorReport> reports =
         mcm::eval::run_predictor_comparison(platform);
     std::printf("== Predictor comparison on %s ==\n%s\n", platform,
                 mcm::model::render_error_table(reports).c_str());
+    for (const mcm::model::ErrorReport& report : reports) {
+      run.report().add_metric(std::string(platform) + "." +
+                                  report.platform + ".mape.average",
+                              report.average);
+    }
   }
 
   benchmark::RegisterBenchmark(
@@ -22,5 +30,5 @@ int main(int argc, char** argv) {
               mcm::eval::run_predictor_comparison("henri"));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

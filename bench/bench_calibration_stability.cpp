@@ -7,11 +7,28 @@
 #include "model/stability.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("calibration_stability");
+  run.report().platform = "occigen,henri,pyxis";
+  // Smoke keeps the protocol valid (>= 2 runs) but trims the repetitions;
+  // the checked-in baseline reports are generated in smoke mode too.
+  const std::size_t runs = mcm::benchx::smoke_reps(10, 3);
   for (const char* platform : {"occigen", "henri", "pyxis"}) {
+    const auto timer = run.stage(std::string("stability_") + platform);
     const mcm::model::StabilityReport report =
         mcm::model::calibration_stability(
-            mcm::topo::make_platform(platform), 10);
+            mcm::topo::make_platform(platform), runs);
     std::printf("%s\n", mcm::model::render_stability(report).c_str());
+    run.report().add_metric(
+        std::string(platform) + ".worst_comm_prediction_deviation",
+        report.worst_comm_prediction_deviation);
+    run.report().add_metric(
+        std::string(platform) + ".worst_compute_prediction_deviation",
+        report.worst_compute_prediction_deviation);
+    run.report().add_metric(std::string(platform) + ".alpha_relative",
+                            report.alpha.relative());
+    run.report().add_metric(
+        std::string(platform) + ".t_par_max_relative",
+        report.t_par_max.relative());
   }
 
   benchmark::RegisterBenchmark(
@@ -21,5 +38,5 @@ int main(int argc, char** argv) {
               mcm::topo::make_henri(), 10));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -14,6 +14,8 @@
 
 int main(int argc, char** argv) {
   using namespace mcm;
+  benchx::BenchRun run("ext_llc");
+  run.report().platform = "henri";
 
   AsciiTable table({"working set/core", "LLC hit @ full load",
                     "compute GB/s (mem traffic)", "network GB/s",
@@ -23,20 +25,28 @@ int main(int argc, char** argv) {
 
   const topo::NumaId node0(0);
   double nominal = 0.0;
-  for (const std::uint64_t mib : {1ull, 2ull, 4ull, 8ull, 16ull, 64ull,
-                                  256ull}) {
-    sim::SimMachine machine(topo::make_henri());
-    machine.set_compute_kernel(sim::ComputeKernel::kCachedFill);
-    machine.set_working_set_bytes(mib * kMiB);
-    const std::size_t n = machine.max_computing_cores();
-    if (nominal == 0.0) nominal = machine.steady_comm_alone(node0).gb();
-    const auto rates = machine.steady_parallel(n, node0, node0);
-    table.add_row(
-        {std::to_string(mib) + " MiB",
-         format_percent(100.0 * machine.llc_hit_fraction(n)),
-         format_fixed(rates.compute.gb(), 2),
-         format_fixed(rates.comm.gb(), 2),
-         format_percent(100.0 * rates.comm.gb() / nominal)});
+  {
+    const auto timer = run.stage("llc_sweep");
+    for (const std::uint64_t mib : {1ull, 2ull, 4ull, 8ull, 16ull, 64ull,
+                                    256ull}) {
+      sim::SimMachine machine(topo::make_henri());
+      machine.set_compute_kernel(sim::ComputeKernel::kCachedFill);
+      machine.set_working_set_bytes(mib * kMiB);
+      const std::size_t n = machine.max_computing_cores();
+      if (nominal == 0.0) nominal = machine.steady_comm_alone(node0).gb();
+      const auto rates = machine.steady_parallel(n, node0, node0);
+      table.add_row(
+          {std::to_string(mib) + " MiB",
+           format_percent(100.0 * machine.llc_hit_fraction(n)),
+           format_fixed(rates.compute.gb(), 2),
+           format_fixed(rates.comm.gb(), 2),
+           format_percent(100.0 * rates.comm.gb() / nominal)});
+      const std::string prefix = "ws_" + std::to_string(mib) + "mib";
+      run.report().add_metric(prefix + ".llc_hit_pct",
+                              100.0 * machine.llc_hit_fraction(n));
+      run.report().add_metric(prefix + ".compute_gb", rates.compute.gb());
+      run.report().add_metric(prefix + ".comm_gb", rates.comm.gb());
+    }
   }
   // Reference: the paper's non-temporal kernel at the same core count.
   sim::SimMachine reference(topo::make_henri());
@@ -47,6 +57,9 @@ int main(int argc, char** argv) {
                  format_fixed(nt.compute.gb(), 2),
                  format_fixed(nt.comm.gb(), 2),
                  format_percent(100.0 * nt.comm.gb() / nominal)});
+  run.report().add_metric("nominal_comm_gb", nominal);
+  run.report().add_metric("non_temporal.comm_gb", nt.comm.gb());
+  run.report().add_metric("non_temporal.compute_gb", nt.compute.gb());
 
   std::printf("== LLC extension: cached fill kernel on henri, all %zu "
               "cores, both data blocks on node 0 ==\n%s\n",
@@ -63,5 +76,5 @@ int main(int argc, char** argv) {
               topo::NumaId(0)));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return benchx::finish(run, argc, argv);
 }

@@ -27,16 +27,24 @@ mcm::model::ErrorReport platform_errors(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("ext_manynodes");
+  run.report().platform = "tetra,henri-subnuma";
   std::printf("== The 4-socket ring machine ==\n%s\n",
               mcm::topo::render_platform(mcm::topo::make_tetra()).c_str());
 
-  const mcm::model::ErrorReport tetra = platform_errors("tetra");
+  mcm::model::ErrorReport tetra;
+  mcm::model::ErrorReport subnuma;
+  {
+    const auto timer = run.stage("four_node_errors");
+    tetra = platform_errors("tetra");
+    subnuma = platform_errors("henri-subnuma");
+  }
   std::printf("%s\n", mcm::model::render_error_report(tetra).c_str());
-
-  const mcm::model::ErrorReport subnuma = platform_errors("henri-subnuma");
   std::printf("== Contrast: symmetric 4-node machine vs asymmetric ring "
               "==\n%s\n",
               mcm::model::render_error_table({subnuma, tetra}).c_str());
+  run.add_error_report(tetra, "tetra");
+  run.add_error_report(subnuma, "henri-subnuma");
   std::printf(
       "The placement heuristic (eq. 6/7) assumes one remote regime; the "
       "ring's\nopposite-socket placements (node 2 for socket-0 cores) "
@@ -44,5 +52,5 @@ int main(int argc, char** argv) {
       "stated model limit.\n\n");
 
   mcm::benchx::register_pipeline_benchmarks("tetra");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -4,14 +4,19 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
-  const mcm::eval::FigureData figure =
-      mcm::eval::make_figure("Figure 2", "henri-subnuma");
-  std::fputs(mcm::eval::render_stacked(figure, mcm::topo::NumaId(0),
-                                       mcm::topo::NumaId(0))
-                 .c_str(),
-             stdout);
+  mcm::benchx::BenchRun run("fig2_stacked");
+  {
+    const auto timer = run.stage("figure");
+    const mcm::eval::FigureData figure =
+        mcm::eval::make_figure("Figure 2", "henri-subnuma");
+    run.add_figure(figure);
+    std::fputs(mcm::eval::render_stacked(figure, mcm::topo::NumaId(0),
+                                         mcm::topo::NumaId(0))
+                   .c_str(),
+               stdout);
+  }
   std::printf("\n");
 
   mcm::benchx::register_pipeline_benchmarks("henri-subnuma");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

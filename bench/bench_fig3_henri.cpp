@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig3_henri");
   mcm::benchx::emit_figure("Figure 3", "henri",
-                           "bench_fig3_henri.csv");
+                           "bench_fig3_henri.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("henri");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig4_henri_subnuma");
   mcm::benchx::emit_figure("Figure 4", "henri-subnuma",
-                           "bench_fig4_henri_subnuma.csv");
+                           "bench_fig4_henri_subnuma.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("henri-subnuma");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig5_diablo");
   mcm::benchx::emit_figure("Figure 5", "diablo",
-                           "bench_fig5_diablo.csv");
+                           "bench_fig5_diablo.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("diablo");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig6_occigen");
   mcm::benchx::emit_figure("Figure 6", "occigen",
-                           "bench_fig6_occigen.csv");
+                           "bench_fig6_occigen.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("occigen");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

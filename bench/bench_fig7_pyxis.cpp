@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig7_pyxis");
   mcm::benchx::emit_figure("Figure 7", "pyxis",
-                           "bench_fig7_pyxis.csv");
+                           "bench_fig7_pyxis.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("pyxis");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

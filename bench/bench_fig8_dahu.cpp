@@ -4,8 +4,9 @@
 #include "bench/common.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("fig8_dahu");
   mcm::benchx::emit_figure("Figure 8", "dahu",
-                           "bench_fig8_dahu.csv");
+                           "bench_fig8_dahu.csv", &run);
   mcm::benchx::register_pipeline_benchmarks("dahu");
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

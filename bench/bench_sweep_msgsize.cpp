@@ -11,6 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace mcm;
+  benchx::BenchRun run("sweep_msgsize");
+  run.report().platform = "henri";
   sim::SimMachine machine(topo::make_henri());
   const net::SimChannel channel(machine);
   const topo::NumaId node0(0);
@@ -20,18 +22,28 @@ int main(int argc, char** argv) {
                     "contention loss"});
   table.set_alignments({Align::kRight, Align::kRight, Align::kRight,
                         Align::kRight});
-  for (std::uint64_t kib :
-       {4ull, 64ull, 256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
-    const std::uint64_t bytes = kib * kKiB;
-    const double idle =
-        channel.effective_bandwidth_under_load(bytes, 0, node0, node0).gb();
-    const double loaded =
-        channel
-            .effective_bandwidth_under_load(bytes, full_load, node0, node0)
-            .gb();
-    table.add_row({std::to_string(kib) + " KiB", format_gbps(idle),
-                   format_gbps(loaded),
-                   format_percent(100.0 * (1.0 - loaded / idle))});
+  {
+    const auto timer = run.stage("msgsize_sweep");
+    for (std::uint64_t kib :
+         {4ull, 64ull, 256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
+      const std::uint64_t bytes = kib * kKiB;
+      const double idle =
+          channel.effective_bandwidth_under_load(bytes, 0, node0, node0)
+              .gb();
+      const double loaded =
+          channel
+              .effective_bandwidth_under_load(bytes, full_load, node0,
+                                              node0)
+              .gb();
+      const std::string prefix = "msg_" + std::to_string(kib) + "kib";
+      run.report().add_metric(prefix + ".idle_gb", idle);
+      run.report().add_metric(prefix + ".loaded_gb", loaded);
+      run.report().add_metric(prefix + ".contention_loss_pct",
+                              100.0 * (1.0 - loaded / idle));
+      table.add_row({std::to_string(kib) + " KiB", format_gbps(idle),
+                     format_gbps(loaded),
+                     format_percent(100.0 * (1.0 - loaded / idle))});
+    }
   }
   std::printf("== Message-size sensitivity of memory contention (henri, "
               "both data blocks on node 0, %zu computing cores) ==\n%s\n",
@@ -47,5 +59,5 @@ int main(int argc, char** argv) {
               topo::NumaId(0)));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return benchx::finish(run, argc, argv);
 }

@@ -23,6 +23,8 @@ struct Variant {
 
 int main(int argc, char** argv) {
   using namespace mcm;
+  benchx::BenchRun run("sweep_workloads");
+  run.report().platform = "henri";
 
   const Variant variants[] = {
       {"fill + receive-only (paper)", sim::CommPattern::kReceiveOnly,
@@ -39,7 +41,10 @@ int main(int argc, char** argv) {
                     "Tmax_par", "sample error (recalibrated)"});
   table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
                         Align::kRight, Align::kRight});
+  std::size_t variant_index = 0;
   for (const Variant& variant : variants) {
+    const auto timer =
+        run.stage("variant_" + std::to_string(variant_index));
     bench::SimBackend backend(topo::make_henri());
     backend.machine().set_comm_pattern(variant.pattern);
     backend.machine().set_compute_kernel(variant.kernel);
@@ -72,6 +77,17 @@ int main(int argc, char** argv) {
                    format_gbps(model.local().t_par_max),
                    format_percent(0.5 * (report.comm_samples +
                                          report.comp_samples))});
+
+    const std::string prefix = "variant_" + std::to_string(variant_index);
+    run.report().add_metric(prefix + ".onset_cores",
+                            static_cast<double>(onset));
+    run.report().add_metric(prefix + ".comm_floor_gb", floor_gb);
+    run.report().add_metric(prefix + ".t_par_max_gb",
+                            model.local().t_par_max);
+    run.report().add_metric(
+        prefix + ".sample_mape",
+        0.5 * (report.comm_samples + report.comp_samples));
+    ++variant_index;
   }
   std::printf("== Workload variants on henri (both data blocks on node 0) "
               "==\n%s\n",
@@ -88,5 +104,5 @@ int main(int argc, char** argv) {
               model::ContentionModel::from_backend(backend));
         }
       });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return benchx::finish(run, argc, argv);
 }

@@ -5,10 +5,21 @@
 #include "eval/tables.hpp"
 
 int main(int argc, char** argv) {
+  mcm::benchx::BenchRun run("tab1_platforms");
   std::printf("== Table I: characteristics of testbed platforms ==\n%s\n",
               mcm::eval::render_table1().c_str());
   std::printf("== Experiment index ==\n%s\n",
               mcm::eval::render_experiment_index().c_str());
+  {
+    const auto timer = run.stage("platforms");
+    run.report().platform = "all";
+    for (const std::string& name : mcm::topo::platform_names()) {
+      const mcm::topo::PlatformSpec spec = mcm::topo::make_platform(name);
+      run.report().add_metric(
+          name + ".numa_nodes",
+          static_cast<double>(spec.machine.numa_count()));
+    }
+  }
 
   benchmark::RegisterBenchmark("build_all_platforms",
                                [](benchmark::State& state) {
@@ -20,5 +31,5 @@ int main(int argc, char** argv) {
                                    }
                                  }
                                });
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

@@ -8,10 +8,24 @@
 #include "eval/tables.hpp"
 
 int main(int argc, char** argv) {
-  const std::vector<mcm::model::ErrorReport> reports =
-      mcm::eval::run_table2();
-  std::printf("== Table II: model errors on testbed platforms ==\n%s\n",
-              mcm::eval::render_table2(reports).c_str());
+  mcm::benchx::BenchRun run("tab2_errors");
+  run.report().platform = "all";
+  {
+    const auto timer = run.stage("table2");
+    const std::vector<mcm::model::ErrorReport> reports =
+        mcm::eval::run_table2();
+    std::printf("== Table II: model errors on testbed platforms ==\n%s\n",
+                mcm::eval::render_table2(reports).c_str());
+    double average = 0.0;
+    for (const mcm::model::ErrorReport& report : reports) {
+      run.add_error_report(report, report.platform);
+      average += report.average;
+    }
+    if (!reports.empty()) {
+      run.report().add_metric(
+          "mape.average", average / static_cast<double>(reports.size()));
+    }
+  }
 
   benchmark::RegisterBenchmark(
       "full_table2_pipeline", [](benchmark::State& state) {
@@ -22,5 +36,5 @@ int main(int argc, char** argv) {
   for (const char* platform : {"henri", "pyxis"}) {
     mcm::benchx::register_pipeline_benchmarks(platform);
   }
-  return mcm::benchx::run_benchmarks(argc, argv);
+  return mcm::benchx::finish(run, argc, argv);
 }

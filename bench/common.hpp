@@ -1,30 +1,185 @@
 // Shared scaffolding of the reproduction benchmark binaries.
 //
-// Every binary does two things:
+// Every binary does three things:
 //  1. print the paper artefact it reproduces (figure series or table) and
-//     drop the raw series as a CSV file next to the working directory, and
-//  2. register google-benchmark timings for the pipeline stages involved,
+//     drop the raw series as a CSV file next to the working directory,
+//  2. emit a machine-readable BENCH_<name>.json report (schema in
+//     benchlib/report.hpp) with result metrics — MAPE vs. the paper
+//     reference, per-placement bandwidths — and per-stage wall times;
+//     `mcmtool bench-diff` gates CI on these, and
+//  3. register google-benchmark timings for the pipeline stages involved,
 //     so `--benchmark_filter` etc. work as usual.
+//
+// Smoke mode: with MCM_BENCH_SMOKE=1 in the environment the binaries skip
+// the google-benchmark timing loops (the expensive part — every registered
+// benchmark re-runs whole pipelines until statistically stable) and shrink
+// explicitly heavy repetition loops, so the full suite runs in seconds as
+// a CI job. The reproduction pipelines themselves run unreduced, keeping
+// the report *metrics* identical between smoke and full runs — which is
+// what makes the checked-in baseline reports comparable against CI smoke
+// runs.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "benchlib/backend.hpp"
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "eval/figures.hpp"
+#include "model/metrics.hpp"
 #include "model/model.hpp"
+#include "obs/trace.hpp"
 #include "topo/platforms.hpp"
+#include "util/stats.hpp"
 
 namespace mcm::benchx {
 
-/// Print a full figure reproduction and write `<csv_name>` with the series.
+/// True when the environment asks for the CI smoke reduction.
+inline bool smoke_mode() {
+  const char* value = std::getenv("MCM_BENCH_SMOKE");
+  return value != nullptr && value[0] == '1';
+}
+
+/// Smoke-aware repetition count: `full` normally, `reduced` under
+/// MCM_BENCH_SMOKE=1. For binaries with explicitly heavy loops.
+inline std::size_t smoke_reps(std::size_t full, std::size_t reduced = 1) {
+  return smoke_mode() ? reduced : full;
+}
+
+/// Collects the report of one benchmark binary and writes
+/// `BENCH_<name>.json` when finished. Construct first thing in main();
+/// stage timers and result metrics hang off it.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) {
+    report_.name = std::move(name);
+    report_.smoke = smoke_mode();
+  }
+
+  [[nodiscard]] bench::BenchReport& report() { return report_; }
+
+  /// RAII wall timer for one pipeline stage; records into the report.
+  class Stage {
+   public:
+    Stage(bench::BenchReport& report, std::string name)
+        : report_(&report), name_(std::move(name)) {}
+    Stage(const Stage&) = delete;
+    Stage& operator=(const Stage&) = delete;
+    ~Stage() { report_->record_stage(name_, clock_.now_us() * 1e-6); }
+
+   private:
+    bench::BenchReport* report_;
+    std::string name_;
+    obs::WallClock clock_;
+  };
+
+  [[nodiscard]] Stage stage(std::string name) {
+    return Stage(report_, std::move(name));
+  }
+
+  /// Fold a full figure reproduction into the report: per-placement MAPE
+  /// (model vs. the reproduced paper measurement) and bandwidth series,
+  /// plus the Table-II style aggregates.
+  void add_figure(const eval::FigureData& figure) {
+    if (report_.platform.empty()) {
+      report_.platform = figure.platform;
+    } else if (report_.platform != figure.platform) {
+      report_.platform += "," + figure.platform;
+    }
+    std::vector<double> comm_mapes;
+    std::vector<double> comp_mapes;
+    for (const eval::FigureSeries& series : figure.subplots) {
+      const model::PlacementError error = model::placement_error(
+          series.measured, series.predicted, series.is_sample);
+      const std::string prefix =
+          "placement_" + std::to_string(series.measured.comp_numa.value()) +
+          "_" + std::to_string(series.measured.comm_numa.value());
+      report_.add_metric(prefix + ".comm_mape", error.comm_mape);
+      report_.add_metric(prefix + ".comp_mape", error.comp_mape);
+      report_.add_series(
+          prefix + ".comm_parallel_gb",
+          series.measured.series(bench::Series::kCommParallel));
+      report_.add_series(
+          prefix + ".compute_parallel_gb",
+          series.measured.series(bench::Series::kComputeParallel));
+      report_.add_series(prefix + ".comm_parallel_model_gb",
+                         series.predicted.comm_parallel_gb);
+      report_.add_series(prefix + ".compute_parallel_model_gb",
+                         series.predicted.compute_parallel_gb);
+      comm_mapes.push_back(error.comm_mape);
+      comp_mapes.push_back(error.comp_mape);
+      if (!series.measured.points.empty()) {
+        report_.add_metric(
+            prefix + ".comm_alone_gb",
+            series.measured.points.front().comm_alone_gb);
+        report_.add_metric(
+            prefix + ".compute_parallel_peak_gb",
+            *std::max_element(
+                report_.series[prefix + ".compute_parallel_gb"].begin(),
+                report_.series[prefix + ".compute_parallel_gb"].end()));
+      }
+    }
+    if (!comm_mapes.empty()) {
+      report_.add_metric("mape.comm_all", mean_of(comm_mapes));
+      report_.add_metric("mape.comp_all", mean_of(comp_mapes));
+      report_.add_metric(
+          "mape.average",
+          0.5 * (mean_of(comm_mapes) + mean_of(comp_mapes)));
+      report_.add_metric("placements",
+                         static_cast<double>(figure.subplots.size()));
+    }
+  }
+
+  /// Fold a Table-II style error report in, metrics prefixed
+  /// `<prefix>.` (e.g. "henri.mape.comm_all").
+  void add_error_report(const model::ErrorReport& errors,
+                        const std::string& prefix) {
+    report_.add_metric(prefix + ".mape.comm_samples", errors.comm_samples);
+    report_.add_metric(prefix + ".mape.comm_non_samples",
+                       errors.comm_non_samples);
+    report_.add_metric(prefix + ".mape.comm_all", errors.comm_all);
+    report_.add_metric(prefix + ".mape.comp_samples", errors.comp_samples);
+    report_.add_metric(prefix + ".mape.comp_non_samples",
+                       errors.comp_non_samples);
+    report_.add_metric(prefix + ".mape.comp_all", errors.comp_all);
+    report_.add_metric(prefix + ".mape.average", errors.average);
+  }
+
+  /// Write BENCH_<name>.json into the working directory; returns 0 on
+  /// success (the binaries return this from main()).
+  int write() {
+    const std::string path = "BENCH_" + report_.name + ".json";
+    std::string error;
+    if (!report_.write_file(path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("benchmark report written to %s\n", path.c_str());
+    return 0;
+  }
+
+ private:
+  bench::BenchReport report_;
+};
+
+/// Print a full figure reproduction, write `<csv_name>` with the series,
+/// and (when `run` is non-null) fold the result into its report under a
+/// "figure" stage.
 inline void emit_figure(const std::string& figure_id,
                         const std::string& platform,
-                        const std::string& csv_name) {
+                        const std::string& csv_name,
+                        BenchRun* run = nullptr) {
+  std::optional<BenchRun::Stage> timer;
+  if (run != nullptr) timer.emplace(run->report(), "figure");
   const eval::FigureData figure = eval::make_figure(figure_id, platform);
+  if (run != nullptr) run->add_figure(figure);
   std::fputs(eval::render_figure(figure).c_str(), stdout);
   const std::string csv = eval::figure_csv(figure);
   if (FILE* f = std::fopen(csv_name.c_str(), "w")) {
@@ -69,13 +224,31 @@ inline void register_pipeline_benchmarks(const std::string& platform) {
       });
 }
 
-/// Initialize and run google-benchmark (call after registration).
+/// Initialize and run google-benchmark (call after registration). Under
+/// MCM_BENCH_SMOKE=1 the timing loops are skipped entirely.
 inline int run_benchmarks(int argc, char** argv) {
+  if (smoke_mode()) {
+    std::printf("MCM_BENCH_SMOKE=1: skipping google-benchmark timing "
+                "loops\n");
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+/// The common tail of every bench main(): run the timing loops, then
+/// write the report. A report-write failure fails the binary even when
+/// the benchmarks ran fine.
+inline int finish(BenchRun& run, int argc, char** argv) {
+  {
+    const BenchRun::Stage timer(run.report(), "google_benchmark");
+    const int rc = run_benchmarks(argc, argv);
+    if (rc != 0) return rc;
+  }
+  return run.write();
 }
 
 }  // namespace mcm::benchx

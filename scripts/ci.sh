@@ -1,0 +1,84 @@
+#!/bin/sh
+# CI pipeline, runnable locally: tier-1 build + tests, the sanitizer
+# subset, the benchmark smoke suite, and the bench-diff regression gate
+# against the checked-in baseline reports.
+#
+#   scripts/ci.sh            run everything
+#   scripts/ci.sh tier1      build + full ctest only
+#   scripts/ci.sh sanitize   ASan+UBSan build + `ctest -L sanitize`
+#   scripts/ci.sh bench      MCM_BENCH_SMOKE=1 suite + baseline diffs
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+JOBS=$(nproc 2>/dev/null || echo 4)
+STAGE=${1:-all}
+
+tier1() {
+  echo "== tier1: build + ctest =="
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j "$JOBS"
+  (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+}
+
+sanitize() {
+  echo "== sanitize: ASan+UBSan subset =="
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS"
+  (cd "$ROOT/build-sanitize" && ctest -L sanitize --output-on-failure \
+      -j "$JOBS")
+}
+
+bench_smoke() {
+  echo "== bench: smoke suite + regression gate =="
+  # Reuse the tier-1 build; make sure the bench binaries exist.
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS"
+  WORK="$ROOT/build/bench-smoke"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  for bin in "$ROOT"/build/bench/bench_*; do
+    [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    echo "-- $name (smoke)"
+    MCM_BENCH_SMOKE=1 "$bin" >"$name.log" 2>&1 || {
+      cat "$name.log"
+      echo "FAIL: $name"
+      exit 1
+    }
+  done
+  # Gate every report that has a checked-in baseline; complain about
+  # baselines whose benchmark vanished.
+  status=0
+  for baseline in "$ROOT"/bench/baselines/BENCH_*.json; do
+    [ -e "$baseline" ] || {
+      echo "note: no baselines in bench/baselines; skipping diff gate"
+      break
+    }
+    report=$(basename "$baseline")
+    if [ ! -f "$WORK/$report" ]; then
+      echo "FAIL: baseline $report has no candidate report"
+      status=1
+      continue
+    fi
+    echo "-- bench-diff $report"
+    "$ROOT"/build/tools/mcmtool bench-diff "$baseline" "$WORK/$report" \
+      || status=1
+  done
+  return $status
+}
+
+case "$STAGE" in
+  tier1) tier1 ;;
+  sanitize) sanitize ;;
+  bench) bench_smoke ;;
+  all)
+    tier1
+    sanitize
+    bench_smoke
+    ;;
+  *)
+    echo "usage: $0 [tier1|sanitize|bench|all]" >&2
+    exit 2
+    ;;
+esac
+echo "ci.sh: $STAGE OK"

@@ -1,0 +1,243 @@
+#include "benchlib/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcm::bench {
+
+namespace {
+
+// Guards against division by a zero baseline while still flagging a
+// metric that moved off zero (the ratio explodes past any tolerance).
+constexpr double kRelEps = 1e-12;
+
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* build_git_describe() {
+#ifdef MCM_GIT_DESCRIBE
+  return MCM_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema_version\":" << kSchemaVersion << ",\"name\":\""
+      << json_escape(name) << "\",\"platform\":\"" << json_escape(platform)
+      << "\",\"git\":\"" << json_escape(git) << "\",\"smoke\":"
+      << (smoke ? "true" : "false");
+  out << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":" << format_double(value);
+  }
+  out << "},\"series\":{";
+  first = true;
+  for (const auto& [key, values] : series) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out << ',';
+      out << format_double(values[i]);
+    }
+    out << ']';
+  }
+  out << "},\"stages\":{";
+  first = true;
+  for (const auto& [stage, seconds] : stage_seconds) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(stage) << "\":" << format_double(seconds);
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool BenchReport::write_file(const std::string& path,
+                             std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<BenchReport> report_from_json(const std::string& text,
+                                            std::string* error) {
+  const auto fail = [&](const std::string& message)
+      -> std::optional<BenchReport> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(text, &parse_error);
+  if (!doc) return fail("invalid JSON: " + parse_error);
+  if (!doc->is_object()) return fail("report must be a JSON object");
+
+  const std::optional<double> schema = doc->number_at("schema_version");
+  if (!schema) return fail("missing numeric 'schema_version'");
+  if (static_cast<int>(*schema) != BenchReport::kSchemaVersion) {
+    return fail("unsupported schema_version " +
+                std::to_string(static_cast<int>(*schema)) + " (expected " +
+                std::to_string(BenchReport::kSchemaVersion) + ")");
+  }
+  const std::optional<std::string> name = doc->string_at("name");
+  if (!name || name->empty()) return fail("missing 'name'");
+
+  BenchReport report;
+  report.name = *name;
+  report.platform = doc->string_at("platform").value_or("");
+  report.git = doc->string_at("git").value_or("unknown");
+  if (const json::Value* smoke = doc->find("smoke");
+      smoke != nullptr && smoke->is_bool()) {
+    report.smoke = smoke->as_bool();
+  }
+
+  const json::Value* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return fail("missing 'metrics' object");
+  }
+  for (const auto& [key, value] : metrics->as_object()) {
+    if (!value.is_number()) {
+      return fail("metric '" + key + "' is not a number");
+    }
+    report.metrics.emplace(key, value.as_number());
+  }
+
+  if (const json::Value* series = doc->find("series");
+      series != nullptr && series->is_object()) {
+    for (const auto& [key, value] : series->as_object()) {
+      if (!value.is_array()) {
+        return fail("series '" + key + "' is not an array");
+      }
+      std::vector<double> values;
+      values.reserve(value.as_array().size());
+      for (const json::Value& item : value.as_array()) {
+        if (!item.is_number()) {
+          return fail("series '" + key + "' holds a non-number");
+        }
+        values.push_back(item.as_number());
+      }
+      report.series.emplace(key, std::move(values));
+    }
+  }
+  if (const json::Value* stages = doc->find("stages");
+      stages != nullptr && stages->is_object()) {
+    for (const auto& [key, value] : stages->as_object()) {
+      if (value.is_number()) {
+        report.stage_seconds.emplace(key, value.as_number());
+      }
+    }
+  }
+  return report;
+}
+
+bool ReportDiff::regression() const {
+  return !comparable || beyond_count() > 0 || !missing_in_candidate.empty();
+}
+
+std::size_t ReportDiff::beyond_count() const {
+  std::size_t n = 0;
+  for (const ReportDiffEntry& entry : entries) {
+    if (entry.beyond) ++n;
+  }
+  return n;
+}
+
+ReportDiff diff_reports(const BenchReport& baseline,
+                        const BenchReport& candidate,
+                        double rel_tolerance) {
+  ReportDiff diff;
+  if (baseline.name != candidate.name) {
+    diff.error = "reports describe different benchmarks ('" +
+                 baseline.name + "' vs '" + candidate.name + "')";
+    return diff;
+  }
+  diff.comparable = true;
+
+  for (const auto& [key, base_value] : baseline.metrics) {
+    const auto it = candidate.metrics.find(key);
+    if (it == candidate.metrics.end()) {
+      diff.missing_in_candidate.push_back(key);
+      continue;
+    }
+    ReportDiffEntry entry;
+    entry.key = key;
+    entry.baseline = base_value;
+    entry.candidate = it->second;
+    entry.rel_diff = std::abs(entry.candidate - entry.baseline) /
+                     std::max(std::abs(entry.baseline), kRelEps);
+    entry.beyond = entry.rel_diff > rel_tolerance;
+    diff.entries.push_back(std::move(entry));
+  }
+  for (const auto& [key, _] : candidate.metrics) {
+    if (baseline.metrics.find(key) == baseline.metrics.end()) {
+      diff.extra_in_candidate.push_back(key);
+    }
+  }
+  return diff;
+}
+
+std::string render_diff(const ReportDiff& diff, double rel_tolerance) {
+  std::ostringstream out;
+  if (!diff.comparable) {
+    out << "not comparable: " << diff.error << '\n';
+    return out.str();
+  }
+  AsciiTable table({"metric", "baseline", "candidate", "rel diff", ""});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kLeft});
+  for (const ReportDiffEntry& entry : diff.entries) {
+    table.add_row({entry.key, format_fixed(entry.baseline, 6),
+                   format_fixed(entry.candidate, 6),
+                   format_percent(100.0 * entry.rel_diff),
+                   entry.beyond ? "REGRESSION" : ""});
+  }
+  out << table.render();
+  for (const std::string& key : diff.missing_in_candidate) {
+    out << "missing in candidate: " << key << "  REGRESSION\n";
+  }
+  for (const std::string& key : diff.extra_in_candidate) {
+    out << "new in candidate: " << key << '\n';
+  }
+  out << diff.entries.size() << " metrics compared, "
+      << diff.beyond_count() << " beyond " << format_percent(
+             100.0 * rel_tolerance)
+      << " tolerance\n";
+  return out.str();
+}
+
+}  // namespace mcm::bench

@@ -1,0 +1,99 @@
+// Machine-readable benchmark reports and their regression diff.
+//
+// Every `bench_*` binary drops a `BENCH_<name>.json` next to its CSV: a
+// versioned document with provenance (schema version, platform, git
+// describe), scalar result metrics (MAPE vs. the paper reference,
+// per-placement bandwidths), raw series, and per-stage wall times. The
+// reports are the repo's perf trajectory; `mcmtool bench-diff` compares a
+// baseline and a candidate with a relative threshold and exits non-zero
+// on regression, which is what makes them CI-enforceable.
+//
+// Diff semantics: only `metrics` are gated (deterministic simulator
+// outputs); `stages` are wall times — machine noise — and `series` raw
+// data, both informational.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcm::bench {
+
+/// `git describe --always --dirty` captured at configure time ("unknown"
+/// outside a git checkout).
+[[nodiscard]] const char* build_git_describe();
+
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string name;      ///< report id, e.g. "fig3_henri"
+  std::string platform;  ///< platform preset(s) the run used
+  std::string git = build_git_describe();
+  bool smoke = false;    ///< run under MCM_BENCH_SMOKE reductions?
+
+  /// Gated scalar results, e.g. "mape.comm_all" or
+  /// "placement_0_0.comm_parallel_gb".
+  std::map<std::string, double> metrics;
+  /// Raw series (per-core-count bandwidths, ...), informational.
+  std::map<std::string, std::vector<double>> series;
+  /// Wall time per pipeline stage in seconds, informational.
+  std::map<std::string, double> stage_seconds;
+
+  void add_metric(const std::string& key, double value) {
+    metrics[key] = value;
+  }
+  void add_series(const std::string& key, std::vector<double> values) {
+    series[key] = std::move(values);
+  }
+  void record_stage(const std::string& stage, double seconds) {
+    stage_seconds[stage] = seconds;
+  }
+
+  [[nodiscard]] std::string to_json() const;
+  /// Serialize to `path`; false (with `error`) on I/O failure.
+  bool write_file(const std::string& path,
+                  std::string* error = nullptr) const;
+};
+
+/// Parse + schema-validate a report document. Rejects missing/mismatched
+/// schema_version, missing name, or non-numeric metric values.
+[[nodiscard]] std::optional<BenchReport> report_from_json(
+    const std::string& text, std::string* error = nullptr);
+
+/// One gated metric compared across two reports.
+struct ReportDiffEntry {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_diff = 0.0;  ///< |candidate-baseline| / max(|baseline|, eps)
+  bool beyond = false;    ///< rel_diff > tolerance
+};
+
+struct ReportDiff {
+  /// False when the reports cannot be meaningfully compared (different
+  /// name or schema); `error` says why.
+  bool comparable = false;
+  std::string error;
+  std::vector<ReportDiffEntry> entries;  ///< one per shared metric key
+  std::vector<std::string> missing_in_candidate;
+  std::vector<std::string> extra_in_candidate;
+
+  /// The gate: incomparable reports, any metric beyond tolerance, or a
+  /// metric that vanished from the candidate.
+  [[nodiscard]] bool regression() const;
+  /// Entries with beyond == true.
+  [[nodiscard]] std::size_t beyond_count() const;
+};
+
+/// Compare candidate against baseline; `rel_tolerance` is the allowed
+/// relative drift per metric (0.05 = 5 %).
+[[nodiscard]] ReportDiff diff_reports(const BenchReport& baseline,
+                                      const BenchReport& candidate,
+                                      double rel_tolerance);
+
+/// Human-readable diff table (every metric, flagged rows marked).
+[[nodiscard]] std::string render_diff(const ReportDiff& diff,
+                                      double rel_tolerance);
+
+}  // namespace mcm::bench

@@ -1,5 +1,6 @@
 #include "benchlib/runner.hpp"
 
+#include "obs/span.hpp"
 #include "util/contracts.hpp"
 
 namespace mcm::bench {
@@ -43,6 +44,14 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
   const std::size_t max_cores = effective_max_cores(backend, options);
   const double reps = static_cast<double>(options.repetitions);
 
+  // Wraps every per-core-count span below (same track); constructed
+  // first so it is recorded last, covering the full placement wall time
+  // including the comm-alone measurements.
+  obs::ScopedSpan placement_span(obs.trace, "placement", "bench",
+                                 comp.value() * 100 + comm.value(), 0.0);
+  placement_span.arg("comp_numa", comp.value())
+      .arg("comm_numa", comm.value());
+
   // Communications alone do not depend on the core count; measured once
   // per run and replicated so every point is self-contained (as in the
   // benchmark's per-run output files).
@@ -54,7 +63,8 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
   comm_alone_gb /= reps;
 
   for (std::size_t n = 1; n <= max_cores; n += options.core_step) {
-    const double point_start_us = obs.trace != nullptr ? clock.now_us() : 0.0;
+    obs::ScopedSpan point_span(obs.trace, clock, "cores", "bench",
+                               comp.value() * 100 + comm.value());
     BandwidthPoint point;
     point.cores = n;
     point.comm_alone_gb = comm_alone_gb;
@@ -75,34 +85,15 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
       met_compute->record(Bandwidth::gb_per_s(point.compute_parallel_gb));
       met_comm->record(Bandwidth::gb_per_s(point.comm_parallel_gb));
     }
-    if (obs.trace != nullptr) {
-      obs::TraceEvent event;
-      event.name = "cores";
-      event.category = "bench";
-      event.phase = obs::TracePhase::kComplete;
-      event.ts_us = point_start_us;
-      event.dur_us = clock.now_us() - point_start_us;
-      event.track = comp.value() * 100 + comm.value();
-      event.arg("cores", static_cast<double>(n))
-          .arg("compute_gb", point.compute_parallel_gb)
-          .arg("comm_gb", point.comm_parallel_gb);
-      obs.trace->record(event);
-    }
+    point_span.arg("cores", static_cast<double>(n))
+        .arg("compute_gb", point.compute_parallel_gb)
+        .arg("comm_gb", point.comm_parallel_gb);
+    // Native producers drive the sampler on the wall timeline, one offer
+    // per measured point.
+    if (obs.sampler != nullptr) obs.sampler->maybe_sample(clock.now_us());
   }
   backend.set_run(0);
-  if (obs.trace != nullptr) {
-    // Wraps the per-core spans above: same track, full wall time of the
-    // placement (the clock started before the comm-alone measurements).
-    obs::TraceEvent event;
-    event.name = "placement";
-    event.category = "bench";
-    event.phase = obs::TracePhase::kComplete;
-    event.ts_us = 0.0;
-    event.dur_us = clock.now_us();
-    event.track = comp.value() * 100 + comm.value();
-    event.arg("comp_numa", comp.value()).arg("comm_numa", comm.value());
-    obs.trace->record(event);
-  }
+  placement_span.set_end(clock.now_us());
   // Dense 1..N points are required downstream (PlacementCurve::at).
   MCM_ENSURES(options.core_step != 1 ||
               curve.points.size() == max_cores);

@@ -22,11 +22,12 @@ struct SweepOptions {
   /// Repetitions per measurement; points are averaged across runs (the
   /// paper's benchmark averages several runs per configuration).
   std::size_t repetitions = 1;
-  /// Optional observability attachment (both pointers may be null, the
+  /// Optional observability attachment (all pointers may be null, the
   /// default): counters bench.runner.placements / points, histograms
   /// bench.runner.compute_parallel_gb / comm_parallel_gb of measured
-  /// bandwidths, and wall-clock "placement"/"cores" phase spans on the
-  /// trace sink. Measurements themselves are unaffected.
+  /// bandwidths, wall-clock "placement"/"cores" phase spans on the trace
+  /// sink, and one wall-time sampler offer per measured point.
+  /// Measurements themselves are unaffected.
   obs::Observer observer;
 };
 

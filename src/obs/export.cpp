@@ -1,0 +1,143 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace mcm::obs {
+
+namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  if (name.rfind("mcm_", 0) != 0) out = "mcm_";
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << ' ' << format_double(value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < BandwidthHistogram::kBucketBoundsGb.size();
+         ++i) {
+      cumulative += h.buckets[i];
+      out << prom << "_bucket{le=\""
+          << format_double(BandwidthHistogram::kBucketBoundsGb[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+        << prom << "_sum " << format_double(h.sum_gb) << '\n'
+        << prom << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+SeriesSummary summarize_series(const std::vector<double>& values) {
+  SeriesSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[argmin(values).index];
+  s.max = values[argmax(values).index];
+  s.mean = mean(values);
+  s.median = median(values);
+  s.stddev = sample_stddev(values);
+  return s;
+}
+
+std::string summary_to_json(const SeriesSummary& summary) {
+  std::ostringstream out;
+  out << "{\"count\":" << summary.count
+      << ",\"min\":" << format_double(summary.min)
+      << ",\"max\":" << format_double(summary.max)
+      << ",\"mean\":" << format_double(summary.mean)
+      << ",\"median\":" << format_double(summary.median)
+      << ",\"stddev\":" << format_double(summary.stddev) << '}';
+  return out.str();
+}
+
+std::string render_json_report(const ReportMeta& meta,
+                               const MetricsSnapshot& snapshot,
+                               const TimelineSampler* timeline) {
+  std::ostringstream out;
+  out << "{\"schema_version\":" << ReportMeta::kSchemaVersion
+      << ",\"name\":\"" << json_escape(meta.name) << "\",\"platform\":\""
+      << json_escape(meta.platform) << "\",\"git\":\""
+      << json_escape(meta.git) << "\",\"metrics\":"
+      << render_json(snapshot);
+  if (timeline != nullptr) {
+    out << ",\"timeline\":" << timeline->to_json();
+
+    // One summary per sampled instrument, sorted so reports diff cleanly.
+    const std::vector<TimelineSample> window = timeline->samples();
+    std::set<std::string> counters, gauges, histograms;
+    for (const TimelineSample& s : window) {
+      for (const auto& [name, _] : s.values.counters) counters.insert(name);
+      for (const auto& [name, _] : s.values.gauges) gauges.insert(name);
+      for (const auto& [name, _] : s.values.histograms) {
+        histograms.insert(name);
+      }
+    }
+    out << ",\"summary\":{";
+    bool first = true;
+    const auto emit = [&](const std::string& name,
+                          const std::vector<double>& series) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << json_escape(name)
+          << "\":" << summary_to_json(summarize_series(series));
+    };
+    for (const std::string& name : counters) {
+      emit(name, timeline->counter_series(name));
+    }
+    for (const std::string& name : gauges) {
+      emit(name, timeline->gauge_series(name));
+    }
+    for (const std::string& name : histograms) {
+      emit(name + ".mean_gb", timeline->histogram_mean_series(name));
+    }
+    out << '}';
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace mcm::obs

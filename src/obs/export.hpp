@@ -1,0 +1,70 @@
+// Pluggable exports of metrics snapshots and timelines:
+//
+//  * Prometheus text exposition format (version 0.0.4) — instrument names
+//    are sanitized to [a-zA-Z0-9_] and prefixed `mcm_`; bandwidth
+//    histograms render as native Prometheus histograms (cumulative
+//    `_bucket{le=...}` series plus `_sum` / `_count`).
+//  * A versioned JSON report — machine-readable run summary with
+//    provenance (`schema_version`, producer name, platform, git describe),
+//    the full snapshot, and, when a TimelineSampler is supplied, its
+//    per-instrument series plus summary statistics (util/stats).
+//
+// Both are pure functions of a snapshot, so saved snapshots can be
+// re-rendered later and golden-file tests stay trivial.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace mcm::obs {
+
+/// Sanitize an instrument name for Prometheus: every character outside
+/// [a-zA-Z0-9_] becomes '_', and the result is prefixed "mcm_" (unless
+/// already so prefixed). "sim.engine.slices" -> "mcm_sim_engine_slices".
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// The whole snapshot in Prometheus text exposition format, instruments
+/// sorted by name. Counters -> `counter`, gauges -> `gauge`, bandwidth
+/// histograms -> `histogram` with cumulative buckets in GB/s.
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Provenance header of a JSON report. `schema_version` identifies the
+/// report layout; bump it when the structure changes incompatibly.
+struct ReportMeta {
+  static constexpr int kSchemaVersion = 1;
+  std::string name;      ///< producer, e.g. "mcmtool-stats" or "fig3_henri"
+  std::string platform;  ///< platform preset / machine the run used
+  std::string git;       ///< `git describe` of the build, "" if unknown
+};
+
+/// Min/mean/median/max/stddev of one sampled series.
+struct SeriesSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+/// Summarize a series with util/stats (all zeros when empty).
+[[nodiscard]] SeriesSummary summarize_series(
+    const std::vector<double>& values);
+
+/// Versioned JSON report:
+/// {"schema_version":1,"name":..,"platform":..,"git":..,
+///  "metrics":<render_json(snapshot)>,
+///  "timeline":<sampler.to_json()>,         // when sampler != nullptr
+///  "summary":{"<instrument>":{count,min,max,mean,median,stddev},..}}
+/// Summaries cover every sampled counter, gauge and histogram-mean series.
+[[nodiscard]] std::string render_json_report(
+    const ReportMeta& meta, const MetricsSnapshot& snapshot,
+    const TimelineSampler* timeline = nullptr);
+
+/// Render one SeriesSummary as a JSON object (shared with the benchmark
+/// report writer).
+[[nodiscard]] std::string summary_to_json(const SeriesSummary& summary);
+
+}  // namespace mcm::obs

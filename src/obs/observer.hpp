@@ -1,12 +1,14 @@
-// The attachment point instrumented subsystems share: a pair of optional
-// pointers to a metrics registry and a trace sink, both null by default
-// (the "null sink"). Components copy the Observer by value at attach time
-// and guard every emission on the relevant pointer, so an unattached
-// component pays exactly one branch per would-be event and allocates
-// nothing — the zero-cost guarantee docs/observability.md documents.
+// The attachment point instrumented subsystems share: optional pointers
+// to a metrics registry, a trace sink and a timeline sampler, all null by
+// default (the "null sink"). Components copy the Observer by value at
+// attach time and guard every emission on the relevant pointer, so an
+// unattached component pays exactly one branch per would-be event and
+// allocates nothing — the zero-cost guarantee docs/observability.md
+// documents.
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace mcm::obs {
@@ -14,9 +16,13 @@ namespace mcm::obs {
 struct Observer {
   MetricsRegistry* metrics = nullptr;
   TraceSink* trace = nullptr;
+  /// Driven by producers at their natural time boundaries (engine slices,
+  /// sweep points) via maybe_sample; usually samples the same registry as
+  /// `metrics`, but any registry works.
+  TimelineSampler* sampler = nullptr;
 
   [[nodiscard]] constexpr bool attached() const {
-    return metrics != nullptr || trace != nullptr;
+    return metrics != nullptr || trace != nullptr || sampler != nullptr;
   }
 };
 

@@ -1,0 +1,248 @@
+#include "obs/sampler.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mcm::obs {
+
+namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+TimelineSampler::TimelineSampler(const MetricsRegistry& registry,
+                                 std::size_t capacity, double period_us)
+    : registry_(&registry), capacity_(capacity), period_us_(period_us) {
+  MCM_EXPECTS(capacity >= 1);
+  MCM_EXPECTS(period_us >= 0.0);
+  ring_.reserve(capacity);
+}
+
+void TimelineSampler::sample(double t_us) {
+  // Snapshot outside the sampler lock: the registry has its own mutex and
+  // snapshotting may take a while on large registries.
+  TimelineSample entry;
+  entry.t_us = t_us;
+  entry.values = registry_->snapshot();
+
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+  has_last_ = true;
+  last_kept_us_ = t_us;
+}
+
+bool TimelineSampler::maybe_sample(double t_us) {
+  {
+    std::lock_guard lock(mutex_);
+    if (has_last_ && t_us - last_kept_us_ < period_us_) return false;
+  }
+  sample(t_us);
+  return true;
+}
+
+std::size_t TimelineSampler::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TimelineSampler::total_samples() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+void TimelineSampler::clear() {
+  // Empties the retained window and re-arms the cadence; total_samples()
+  // keeps counting across clears (it is a lifetime statistic).
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  has_last_ = false;
+}
+
+std::vector<TimelineSample> TimelineSampler::ordered_locked() const {
+  std::vector<TimelineSample> out;
+  out.reserve(ring_.size());
+  // Before wraparound head_ is 0 and the ring is already oldest-first;
+  // after wraparound the oldest entry sits at head_.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TimelineSample> TimelineSampler::samples() const {
+  std::lock_guard lock(mutex_);
+  return ordered_locked();
+}
+
+std::vector<double> TimelineSampler::times_us() const {
+  std::lock_guard lock(mutex_);
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  for (const TimelineSample& s : ordered_locked()) out.push_back(s.t_us);
+  return out;
+}
+
+std::vector<double> TimelineSampler::counter_series(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  for (const TimelineSample& s : ordered_locked()) {
+    const auto it = s.values.counters.find(name);
+    out.push_back(it == s.values.counters.end()
+                      ? 0.0
+                      : static_cast<double>(it->second));
+  }
+  return out;
+}
+
+std::vector<double> TimelineSampler::gauge_series(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  for (const TimelineSample& s : ordered_locked()) {
+    const auto it = s.values.gauges.find(name);
+    out.push_back(it == s.values.gauges.end() ? 0.0 : it->second);
+  }
+  return out;
+}
+
+std::vector<double> TimelineSampler::histogram_mean_series(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<double> out;
+  out.reserve(ring_.size());
+  for (const TimelineSample& s : ordered_locked()) {
+    const auto it = s.values.histograms.find(name);
+    out.push_back(it == s.values.histograms.end() ? 0.0
+                                                  : it->second.mean_gb);
+  }
+  return out;
+}
+
+std::string TimelineSampler::to_csv() const {
+  std::lock_guard lock(mutex_);
+  const std::vector<TimelineSample> window = ordered_locked();
+
+  // Column set: the union of instruments over the window, so a series
+  // that appeared mid-run still gets a full column (zeros before birth).
+  std::set<std::string> counters, gauges, histograms;
+  for (const TimelineSample& s : window) {
+    for (const auto& [name, _] : s.values.counters) counters.insert(name);
+    for (const auto& [name, _] : s.values.gauges) gauges.insert(name);
+    for (const auto& [name, _] : s.values.histograms) {
+      histograms.insert(name);
+    }
+  }
+
+  std::ostringstream out;
+  out << "t_us";
+  for (const std::string& name : counters) out << ',' << name;
+  for (const std::string& name : gauges) out << ',' << name;
+  for (const std::string& name : histograms) {
+    out << ',' << name << ".count," << name << ".mean_gb";
+  }
+  out << '\n';
+  for (const TimelineSample& s : window) {
+    out << format_double(s.t_us);
+    for (const std::string& name : counters) {
+      const auto it = s.values.counters.find(name);
+      out << ','
+          << (it == s.values.counters.end() ? 0 : it->second);
+    }
+    for (const std::string& name : gauges) {
+      const auto it = s.values.gauges.find(name);
+      out << ','
+          << format_double(it == s.values.gauges.end() ? 0.0 : it->second);
+    }
+    for (const std::string& name : histograms) {
+      const auto it = s.values.histograms.find(name);
+      if (it == s.values.histograms.end()) {
+        out << ",0,0";
+      } else {
+        out << ',' << it->second.count << ','
+            << format_double(it->second.mean_gb);
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string TimelineSampler::to_json() const {
+  std::lock_guard lock(mutex_);
+  const std::vector<TimelineSample> window = ordered_locked();
+
+  std::set<std::string> counters, gauges, histograms;
+  for (const TimelineSample& s : window) {
+    for (const auto& [name, _] : s.values.counters) counters.insert(name);
+    for (const auto& [name, _] : s.values.gauges) gauges.insert(name);
+    for (const auto& [name, _] : s.values.histograms) {
+      histograms.insert(name);
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"period_us\":" << format_double(period_us_) << ",\"t_us\":[";
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (i > 0) out << ',';
+    out << format_double(window[i].t_us);
+  }
+  out << ']';
+
+  const auto emit_group = [&](const char* key,
+                              const std::set<std::string>& names,
+                              const auto& value_of) {
+    out << ",\"" << key << "\":{";
+    bool first = true;
+    for (const std::string& name : names) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << name << "\":[";
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        if (i > 0) out << ',';
+        out << format_double(value_of(window[i], name));
+      }
+      out << ']';
+    }
+    out << '}';
+  };
+  emit_group("counters", counters,
+             [](const TimelineSample& s, const std::string& name) {
+               const auto it = s.values.counters.find(name);
+               return it == s.values.counters.end()
+                          ? 0.0
+                          : static_cast<double>(it->second);
+             });
+  emit_group("gauges", gauges,
+             [](const TimelineSample& s, const std::string& name) {
+               const auto it = s.values.gauges.find(name);
+               return it == s.values.gauges.end() ? 0.0 : it->second;
+             });
+  emit_group("histogram_means", histograms,
+             [](const TimelineSample& s, const std::string& name) {
+               const auto it = s.values.histograms.find(name);
+               return it == s.values.histograms.end() ? 0.0
+                                                      : it->second.mean_gb;
+             });
+  out << '}';
+  return out.str();
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,101 @@
+// Time-series sampling of a MetricsRegistry: periodic snapshots into a
+// fixed-capacity ring buffer, turning the end-of-run counters into the
+// bandwidth-over-time view the paper's figures are made of.
+//
+// The sampler is timeline-agnostic: callers stamp each sample with
+// microseconds on *their* timeline — simulated time when sim::Engine
+// drives it at slice boundaries, wall time when the benchmark runner (or
+// any native producer) drives it. One sampler never mixes the two, same
+// rule as the trace sinks.
+//
+// Concurrency: `sample`/`maybe_sample` and the export functions serialize
+// on an internal mutex; instrument *updates* stay lock-free (snapshots
+// read each atomic individually, per the MetricsRegistry contract), so
+// attaching a sampler never adds a lock to a hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mcm::obs {
+
+/// One ring-buffer entry: a registry snapshot and when it was taken.
+struct TimelineSample {
+  double t_us = 0.0;
+  MetricsSnapshot values;
+};
+
+class TimelineSampler {
+ public:
+  /// Sample `registry` at most every `period_us` into a ring of
+  /// `capacity` entries (oldest overwritten first). capacity >= 1,
+  /// period_us >= 0 (0 keeps every offered sample).
+  TimelineSampler(const MetricsRegistry& registry, std::size_t capacity,
+                  double period_us);
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Unconditionally snapshot the registry, stamped `t_us`.
+  void sample(double t_us);
+
+  /// Snapshot only if at least `period_us` elapsed since the last kept
+  /// sample (the first offer is always kept). Returns true if sampled.
+  /// This is the hook producers call at their natural boundaries (engine
+  /// slices, sweep points) — cheap to call far more often than the period.
+  bool maybe_sample(double t_us);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] double period_us() const { return period_us_; }
+  /// Samples currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Samples ever taken, including ones overwritten after wraparound or
+  /// dropped by clear() — a lifetime statistic.
+  [[nodiscard]] std::uint64_t total_samples() const;
+  /// Drop the retained window and re-arm the cadence (the next offer is
+  /// kept). total_samples() is unaffected.
+  void clear();
+
+  /// Copy of the retained window, oldest first.
+  [[nodiscard]] std::vector<TimelineSample> samples() const;
+
+  /// Timestamps of the retained window, oldest first.
+  [[nodiscard]] std::vector<double> times_us() const;
+  /// Per-sample values of one instrument over the retained window (0 where
+  /// the instrument did not exist yet). Histograms yield their mean GB/s.
+  [[nodiscard]] std::vector<double> counter_series(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<double> gauge_series(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<double> histogram_mean_series(
+      const std::string& name) const;
+
+  /// Wide CSV: `t_us` column, then one column per instrument seen in the
+  /// window (sorted; histograms contribute `<name>.count` and
+  /// `<name>.mean_gb`). Missing-at-the-time instruments render as 0.
+  [[nodiscard]] std::string to_csv() const;
+  /// JSON object: {"period_us":..,"t_us":[..],"counters":{name:[..]},
+  /// "gauges":{..},"histogram_means":{..}} — columnar, so series plot
+  /// directly.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  [[nodiscard]] std::vector<TimelineSample> ordered_locked() const;
+
+  const MetricsRegistry* registry_;
+  const std::size_t capacity_;
+  const double period_us_;
+
+  mutable std::mutex mutex_;
+  std::vector<TimelineSample> ring_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::uint64_t total_ = 0;
+  bool has_last_ = false;
+  double last_kept_us_ = 0.0;
+};
+
+}  // namespace mcm::obs

@@ -1,0 +1,79 @@
+// RAII trace span: captures a start timestamp at construction and emits a
+// single kComplete TraceEvent at scope exit, so instrumented code cannot
+// leak an unmatched begin/end pair (early return, exception, forgotten
+// second emission).
+//
+// Two timing modes:
+//  * wall mode — pass a WallClock; start is sampled at construction, the
+//    duration at destruction. For native producers (bench runner, thread
+//    pool).
+//  * manual mode — pass an explicit start timestamp and call `set_end`
+//    before scope exit. For producers on a simulated timeline
+//    (sim::Engine), where "now" is a variable, not a clock.
+//
+// Null-sink discipline (same as every obs hook): with sink == nullptr the
+// constructor stores two pointers and everything else — clock reads,
+// string copies, arg recording, the destructor — is a no-op, so an
+// unattached span costs one branch per call.
+#pragma once
+
+#include "obs/trace.hpp"
+
+namespace mcm::obs {
+
+class ScopedSpan {
+ public:
+  /// Wall mode: span from construction to destruction on `clock`'s
+  /// timeline. `clock` must outlive the span.
+  ScopedSpan(TraceSink* sink, const WallClock& clock, const char* name,
+             const char* category, std::uint32_t track)
+      : sink_(sink), clock_(&clock) {
+    if (sink_ == nullptr) return;
+    event_.name = name;
+    event_.category = category;
+    event_.phase = TracePhase::kComplete;
+    event_.track = track;
+    event_.ts_us = clock_->now_us();
+  }
+
+  /// Manual mode: the caller owns the timeline; call set_end() before the
+  /// span dies (an unset end records a zero-duration span at `start_us`).
+  ScopedSpan(TraceSink* sink, const char* name, const char* category,
+             std::uint32_t track, double start_us)
+      : sink_(sink) {
+    if (sink_ == nullptr) return;
+    event_.name = name;
+    event_.category = category;
+    event_.phase = TracePhase::kComplete;
+    event_.track = track;
+    event_.ts_us = start_us;
+    end_us_ = start_us;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (sink_ == nullptr) return;
+    event_.dur_us =
+        (clock_ != nullptr ? clock_->now_us() : end_us_) - event_.ts_us;
+    sink_->record(event_);
+  }
+
+  /// Attach an arg (kept up to TraceEvent::kMaxArgs); no-op when unattached.
+  ScopedSpan& arg(const char* key, double value) {
+    if (sink_ != nullptr) event_.arg(key, value);
+    return *this;
+  }
+
+  /// Manual mode only: the timestamp the span ends at.
+  void set_end(double end_us) { end_us_ = end_us; }
+
+ private:
+  TraceSink* sink_;
+  const WallClock* clock_ = nullptr;
+  TraceEvent event_;
+  double end_us_ = 0.0;
+};
+
+}  // namespace mcm::obs

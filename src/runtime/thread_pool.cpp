@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
+#include "obs/span.hpp"
 #include "runtime/affinity.hpp"
 #include "util/contracts.hpp"
 
@@ -66,8 +67,13 @@ void ThreadPool::attach_observer(const obs::Observer& observer) {
 }
 
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
-  const bool observed = obs_.attached();
-  const double start_us = observed ? clock_.now_us() : 0.0;
+  // RAII span covers the whole dispatch (records at scope exit); the
+  // metrics timing below keeps its own clock reads since a registry can
+  // be attached without a trace sink.
+  obs::ScopedSpan span(obs_.trace, clock_, "dispatch", "runtime", 0);
+  span.arg("workers", static_cast<double>(threads_.size()));
+  const bool metered = met_dispatches_ != nullptr;
+  const double start_us = metered ? clock_.now_us() : 0.0;
   std::unique_lock lock(mutex_);
   MCM_EXPECTS(remaining_ == 0);  // not reentrant
   task_ = &task;
@@ -79,24 +85,11 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
   start_cv_.notify_all();
   done_cv_.wait(lock, [&] { return remaining_ == 0; });
   task_ = nullptr;
-  if (observed) {
-    const double dur_us = clock_.now_us() - start_us;
-    if (met_dispatches_ != nullptr) {
-      met_dispatches_->add();
-      met_busy_us_->add(static_cast<std::uint64_t>(dur_us));
-      met_queue_depth_->set(0.0);
-    }
-    if (obs_.trace != nullptr) {
-      obs::TraceEvent event;
-      event.name = "dispatch";
-      event.category = "runtime";
-      event.phase = obs::TracePhase::kComplete;
-      event.ts_us = start_us;
-      event.dur_us = dur_us;
-      event.track = 0;
-      event.arg("workers", static_cast<double>(threads_.size()));
-      obs_.trace->record(event);
-    }
+  if (metered) {
+    met_dispatches_->add();
+    met_busy_us_->add(
+        static_cast<std::uint64_t>(clock_.now_us() - start_us));
+    met_queue_depth_->set(0.0);
   }
 }
 

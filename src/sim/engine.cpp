@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/span.hpp"
 #include "util/contracts.hpp"
 
 namespace mcm::sim {
@@ -173,24 +174,24 @@ void Engine::refresh_rates() {
 void Engine::advance(Seconds dt, std::vector<Completion>& out) {
   MCM_EXPECTS(dt.value() >= 0.0);
   if (dt.value() > 0.0) {
+    // Manual-time span: starts at the slice's begin, closed after the
+    // clock advances — the RAII pair cannot be left unmatched.
+    obs::ScopedSpan slice(obs_.trace, "slice", "sim", 0,
+                          obs::to_trace_us(now_));
+    slice.arg("streams", static_cast<double>(active_.size()));
     for (TransferId id : active_) {
       Transfer& t = transfers_.at(id);
       t.bytes_done =
           std::min(t.bytes_total, t.bytes_done + t.rate * dt.value());
     }
     if (met_slices_ != nullptr) met_slices_->add();
-    if (obs_.trace != nullptr) {
-      obs::TraceEvent event;
-      event.name = "slice";
-      event.category = "sim";
-      event.phase = obs::TracePhase::kComplete;
-      event.ts_us = obs::to_trace_us(now_);
-      event.dur_us = obs::to_trace_us(dt);
-      event.track = 0;
-      event.arg("streams", static_cast<double>(active_.size()));
-      obs_.trace->record(event);
-    }
     now_ += dt;
+    slice.set_end(obs::to_trace_us(now_));
+    // Slice boundaries are the engine's natural sampling points: the
+    // stream set (and thus every granted rate) is constant within one.
+    if (obs_.sampler != nullptr) {
+      obs_.sampler->maybe_sample(obs::to_trace_us(now_));
+    }
   }
   // Collect completions (finite transfers only). Iterate over a copy since
   // completion mutates active_.

@@ -88,16 +88,19 @@ class Engine {
 
   [[nodiscard]] Trace& trace() { return trace_; }
 
-  /// Attach a metrics registry and/or structured trace sink (either may be
-  /// null). Pass a default-constructed Observer to detach. With nothing
-  /// attached every hook is a single branch — the engine's arithmetic and
-  /// event ordering are bit-identical to an uninstrumented run.
+  /// Attach a metrics registry, structured trace sink and/or timeline
+  /// sampler (any may be null). Pass a default-constructed Observer to
+  /// detach. With nothing attached every hook is a single branch — the
+  /// engine's arithmetic and event ordering are bit-identical to an
+  /// uninstrumented run.
   ///
   /// Counters: sim.engine.transfers_started / flows_started /
   /// transfers_completed / transfers_stopped / slices / rate_refreshes.
   /// Histograms: sim.engine.grant_cpu_gb / grant_dma_gb (granted rates).
   /// Trace: "slice" complete events on track 0, per-transfer "grant" rate
   /// series, "transfer-start/-complete/-stop" instants.
+  /// Sampler: offered simulated-time stamps at every slice boundary
+  /// (maybe_sample), i.e. whenever the arbitrated rates may change.
   void attach_observer(const obs::Observer& observer);
 
  private:

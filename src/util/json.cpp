@@ -1,0 +1,254 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace mcm::json {
+
+bool Value::as_bool() const {
+  MCM_EXPECTS(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double Value::as_number() const {
+  MCM_EXPECTS(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  MCM_EXPECTS(kind_ == Kind::kString);
+  return string_;
+}
+
+const Value::Array& Value::as_array() const {
+  MCM_EXPECTS(kind_ == Kind::kArray);
+  return array_;
+}
+
+const Value::Object& Value::as_object() const {
+  MCM_EXPECTS(kind_ == Kind::kObject);
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> Value::number_at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+std::optional<std::string> Value::string_at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    std::optional<Value> value = parse_value();
+    if (value) {
+      skip_whitespace();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after document");
+        value = std::nullopt;
+      }
+    }
+    if (!value && error != nullptr) *error = error_;
+    return value;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(const char* literal) {
+    const std::size_t start = pos_;
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        pos_ = start;
+        return false;
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return parse_number();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Keep it simple: \uXXXX decodes to '?' outside ASCII — the
+            // repo's own writers never emit it.
+            if (text_.size() - pos_ < 4) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            out.push_back(code > 0 && code < 128
+                              ? static_cast<char>(code)
+                              : '?');
+            break;
+          }
+          default:
+            fail(std::string("invalid escape '\\") + esc + "'");
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() ||
+        end != token.c_str() + token.size()) {
+      fail("malformed number '" + token + "'");
+      return std::nullopt;
+    }
+    return Value(value);
+  }
+
+  std::optional<Value> parse_array() {
+    (void)consume('[');
+    Value::Array items;
+    skip_whitespace();
+    if (consume(']')) return Value(std::move(items));
+    while (true) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_whitespace();
+      if (consume(']')) return Value(std::move(items));
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    (void)consume('{');
+    Value::Object members;
+    skip_whitespace();
+    if (consume('}')) return Value(std::move(members));
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.insert_or_assign(std::move(*key), std::move(*value));
+      skip_whitespace();
+      if (consume('}')) return Value(std::move(members));
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace mcm::json

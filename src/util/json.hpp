@@ -1,0 +1,70 @@
+// Minimal JSON value + recursive-descent parser, enough to read back the
+// documents this repo writes (benchmark reports, metrics exports):
+// objects, arrays, strings with \"-style escapes, numbers, booleans,
+// null. No streaming, no comments, doubles for every number — fine for
+// reports of a few hundred kilobytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcm::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// std::map (not unordered) so iteration — and anything rendered from
+  /// it — is deterministic.
+  using Object = std::map<std::string, Value>;
+  using Array = std::vector<Value>;
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; precondition: matching kind (contract-checked).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// find() + as_number/as_string conveniences for flat report access.
+  [[nodiscard]] std::optional<double> number_at(
+      const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> string_at(
+      const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected). On failure returns nullopt and, if `error` is
+/// non-null, a human-readable message with the byte offset.
+[[nodiscard]] std::optional<Value> parse(const std::string& text,
+                                         std::string* error = nullptr);
+
+}  // namespace mcm::json

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchlib/report.hpp"
+
+namespace mcm::bench {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.name = "fig3_henri";
+  report.platform = "henri";
+  report.git = "v1-test";
+  report.smoke = true;
+  report.add_metric("mape.comm_all", 4.0);
+  report.add_metric("mape.comp_all", 2.0);
+  report.add_metric("placement_0_0.comm_alone_gb", 10.5);
+  report.add_series("comm_parallel_gb", {10.5, 9.0, 8.25});
+  report.record_stage("figure", 0.125);
+  return report;
+}
+
+TEST(BenchReport, JsonRoundTripPreservesEverything) {
+  const BenchReport original = sample_report();
+  std::string error;
+  const auto parsed = report_from_json(original.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name, original.name);
+  EXPECT_EQ(parsed->platform, original.platform);
+  EXPECT_EQ(parsed->git, original.git);
+  EXPECT_EQ(parsed->smoke, original.smoke);
+  EXPECT_EQ(parsed->metrics, original.metrics);
+  EXPECT_EQ(parsed->series, original.series);
+  EXPECT_EQ(parsed->stage_seconds, original.stage_seconds);
+}
+
+TEST(BenchReport, RejectsBadSchema) {
+  std::string error;
+  EXPECT_FALSE(report_from_json("not json", &error).has_value());
+  EXPECT_FALSE(
+      report_from_json(R"({"name":"x","metrics":{}})", &error).has_value())
+      << "missing schema_version must be rejected";
+  EXPECT_FALSE(report_from_json(
+                   R"({"schema_version":99,"name":"x","metrics":{}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
+  EXPECT_FALSE(report_from_json(
+                   R"({"schema_version":1,"metrics":{}})", &error)
+                   .has_value())
+      << "missing name must be rejected";
+  EXPECT_FALSE(report_from_json(
+                   R"({"schema_version":1,"name":"x"})", &error)
+                   .has_value())
+      << "missing metrics must be rejected";
+  EXPECT_FALSE(report_from_json(
+                   R"({"schema_version":1,"name":"x",)"
+                   R"("metrics":{"m":"oops"}})",
+                   &error)
+                   .has_value())
+      << "non-numeric metric must be rejected";
+}
+
+TEST(BenchDiff, IdenticalReportsPass) {
+  const BenchReport report = sample_report();
+  const ReportDiff diff = diff_reports(report, report, 0.02);
+  EXPECT_TRUE(diff.comparable);
+  EXPECT_FALSE(diff.regression());
+  EXPECT_EQ(diff.beyond_count(), 0u);
+  EXPECT_EQ(diff.entries.size(), report.metrics.size());
+}
+
+TEST(BenchDiff, SmallWobblePassesLargeRegressionFlagged) {
+  const BenchReport baseline = sample_report();
+
+  BenchReport wobble = baseline;
+  wobble.metrics["mape.comm_all"] *= 1.01;  // 1 % drift
+  EXPECT_FALSE(diff_reports(baseline, wobble, 0.02).regression());
+
+  BenchReport regressed = baseline;
+  regressed.metrics["mape.comm_all"] *= 1.10;  // 10 % drift
+  const ReportDiff diff = diff_reports(baseline, regressed, 0.02);
+  EXPECT_TRUE(diff.regression());
+  EXPECT_EQ(diff.beyond_count(), 1u);
+  const std::string rendered = render_diff(diff, 0.02);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos) << rendered;
+}
+
+TEST(BenchDiff, ThresholdIsConfigurable) {
+  const BenchReport baseline = sample_report();
+  BenchReport candidate = baseline;
+  candidate.metrics["mape.comm_all"] *= 1.10;
+  EXPECT_TRUE(diff_reports(baseline, candidate, 0.02).regression());
+  EXPECT_FALSE(diff_reports(baseline, candidate, 0.25).regression());
+}
+
+TEST(BenchDiff, MissingMetricIsARegressionExtraIsNot) {
+  const BenchReport baseline = sample_report();
+
+  BenchReport shrunk = baseline;
+  shrunk.metrics.erase("mape.comm_all");
+  const ReportDiff missing = diff_reports(baseline, shrunk, 0.02);
+  EXPECT_TRUE(missing.regression());
+  ASSERT_EQ(missing.missing_in_candidate.size(), 1u);
+  EXPECT_EQ(missing.missing_in_candidate[0], "mape.comm_all");
+
+  BenchReport grown = baseline;
+  grown.add_metric("brand.new", 1.0);
+  const ReportDiff extra = diff_reports(baseline, grown, 0.02);
+  EXPECT_FALSE(extra.regression());
+  ASSERT_EQ(extra.extra_in_candidate.size(), 1u);
+}
+
+TEST(BenchDiff, ZeroBaselineMovingOffZeroIsFlagged) {
+  BenchReport baseline = sample_report();
+  baseline.metrics["zero"] = 0.0;
+  BenchReport candidate = baseline;
+  candidate.metrics["zero"] = 0.5;
+  EXPECT_TRUE(diff_reports(baseline, candidate, 0.02).regression());
+  // A zero staying zero is fine.
+  EXPECT_FALSE(diff_reports(baseline, baseline, 0.02).regression());
+}
+
+TEST(BenchDiff, DifferentBenchmarksAreNotComparable) {
+  BenchReport baseline = sample_report();
+  BenchReport other = sample_report();
+  other.name = "fig5_diablo";
+  const ReportDiff diff = diff_reports(baseline, other, 0.02);
+  EXPECT_FALSE(diff.comparable);
+  EXPECT_TRUE(diff.regression());
+  EXPECT_NE(render_diff(diff, 0.02).find("not comparable"),
+            std::string::npos);
+}
+
+TEST(BenchReport, StagesAndSeriesAreInformationalOnly) {
+  const BenchReport baseline = sample_report();
+  BenchReport candidate = baseline;
+  candidate.stage_seconds["figure"] = 10.0;       // wall-time noise
+  candidate.series["comm_parallel_gb"] = {1.0};  // raw data changed
+  EXPECT_FALSE(diff_reports(baseline, candidate, 0.02).regression());
+}
+
+}  // namespace
+}  // namespace mcm::bench

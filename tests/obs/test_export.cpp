@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "util/units.hpp"
+
+namespace mcm::obs {
+namespace {
+
+/// Hand-built deterministic registry: one of everything, with values that
+/// exercise bucket edges (0.2 -> first bucket, 4.0 -> mid, 200 -> overflow).
+void populate(MetricsRegistry& registry) {
+  registry.counter("sim.engine.slices").add(42);
+  registry.counter("net.messages").add(3);
+  registry.gauge("runtime.pool.workers").set(8);
+  registry.gauge("bench.progress").set(0.75);
+  BandwidthHistogram& h = registry.histogram("sim.engine.grant_dma_gb");
+  h.record(Bandwidth::gb_per_s(0.2));
+  h.record(Bandwidth::gb_per_s(4.0));
+  h.record(Bandwidth::gb_per_s(200.0));
+}
+
+/// Compare `actual` against the golden file; regenerate the golden when
+/// MCM_OBS_REGEN_GOLDEN is set (then the comparison trivially passes).
+void expect_matches_golden(const std::string& actual,
+                           const std::string& filename) {
+  const std::string path = std::string(MCM_OBS_GOLDEN_DIR) + "/" + filename;
+  if (std::getenv("MCM_OBS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot regenerate " << path;
+    out << actual;
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file) << "missing golden file " << path
+                    << " (regenerate with MCM_OBS_REGEN_GOLDEN=1)";
+  std::ostringstream text;
+  text << file.rdbuf();
+  EXPECT_EQ(actual, text.str()) << "golden mismatch for " << filename
+                                << "; if intentional, regenerate with "
+                                   "MCM_OBS_REGEN_GOLDEN=1";
+}
+
+TEST(PrometheusExport, NameSanitization) {
+  EXPECT_EQ(prometheus_name("sim.engine.slices"), "mcm_sim_engine_slices");
+  EXPECT_EQ(prometheus_name("grant-dma gb/s"), "mcm_grant_dma_gb_s");
+  EXPECT_EQ(prometheus_name("mcm_already_prefixed"), "mcm_already_prefixed");
+  EXPECT_EQ(prometheus_name(""), "mcm_");
+}
+
+TEST(PrometheusExport, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string prom = render_prometheus(registry.snapshot());
+  // 0.2 lands in le="0.25"; everything cumulates up to the +Inf bucket.
+  EXPECT_NE(prom.find("mcm_sim_engine_grant_dma_gb_bucket{le=\"0.25\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcm_sim_engine_grant_dma_gb_bucket{le=\"4\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcm_sim_engine_grant_dma_gb_bucket{le=\"128\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcm_sim_engine_grant_dma_gb_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcm_sim_engine_grant_dma_gb_count 3"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(PrometheusExport, MatchesGoldenFile) {
+  MetricsRegistry registry;
+  populate(registry);
+  expect_matches_golden(render_prometheus(registry.snapshot()),
+                        "golden_metrics.prom");
+}
+
+TEST(JsonReport, SummaryStatisticsAreCorrect) {
+  const SeriesSummary s = summarize_series({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(summarize_series({}).count, 0u);
+}
+
+TEST(JsonReport, MatchesGoldenFile) {
+  MetricsRegistry registry;
+  TimelineSampler sampler(registry, 16, 0.0);
+  registry.counter("sim.engine.slices").add(10);
+  sampler.sample(0.0);
+  populate(registry);  // slices -> 52, the rest appears mid-window
+  sampler.sample(1000.0);
+
+  ReportMeta meta;
+  meta.name = "golden-report";
+  meta.platform = "henri";
+  meta.git = "test";  // pinned so the golden is build-independent
+  expect_matches_golden(
+      render_json_report(meta, registry.snapshot(), &sampler),
+      "golden_report.json");
+}
+
+TEST(JsonReport, OmitsTimelineWhenNoSampler) {
+  MetricsRegistry registry;
+  populate(registry);
+  ReportMeta meta;
+  meta.name = "no-timeline";
+  const std::string report =
+      render_json_report(meta, registry.snapshot(), nullptr);
+  EXPECT_NE(report.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(report.find("\"metrics\":{"), std::string::npos);
+  EXPECT_EQ(report.find("\"timeline\""), std::string::npos);
+  EXPECT_EQ(report.find("\"summary\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::obs

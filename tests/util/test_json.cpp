@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+namespace mcm::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->as_bool());
+  EXPECT_FALSE(parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2")->as_number(), -350.0);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\n")")->as_string(), "a\"b\\c\n");
+  EXPECT_EQ(parse(R"("A")")->as_string(), "A");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto value =
+      parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(value.has_value());
+  const Value::Array& a = value->find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_TRUE(a[2].find("b")->as_bool());
+  EXPECT_TRUE(value->find("c")->find("d")->is_null());
+  EXPECT_EQ(value->string_at("e"), "x");
+  EXPECT_EQ(value->find("missing"), nullptr);
+  EXPECT_EQ(value->number_at("e"), std::nullopt);  // wrong kind
+}
+
+TEST(Json, AllowsSurroundingWhitespaceOnly) {
+  EXPECT_TRUE(parse("  {\"a\": 1}\n").has_value());
+  std::string error;
+  EXPECT_FALSE(parse("{} trailing", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "\"unterminated",
+        "nul", "01x", "{1:2}"}) {
+    std::string error;
+    EXPECT_FALSE(parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Json, AccessorsAreContractChecked) {
+  const Value v = *parse("42");
+  EXPECT_THROW((void)v.as_string(), mcm::ContractViolation);
+  EXPECT_THROW((void)v.as_object(), mcm::ContractViolation);
+}
+
+TEST(Json, RoundTripsReportShapedDocument) {
+  const char* doc =
+      R"({"schema_version":1,"name":"fig3_henri","metrics":)"
+      R"({"mape.comm_all":3.25,"mape.comp_all":2.5}})";
+  const auto value = parse(doc);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value->number_at("schema_version"), 1.0);
+  EXPECT_DOUBLE_EQ(*value->find("metrics")->number_at("mape.comm_all"),
+                   3.25);
+}
+
+}  // namespace
+}  // namespace mcm::json

@@ -11,8 +11,10 @@
 //   mcmtool table2                            full Table II on all presets
 //   mcmtool trace     <platform|file> [--out FILE]
 //                                      Chrome trace of a short engine run
-//   mcmtool stats     <platform|file> [--json]
+//   mcmtool stats     <platform|file> [--format text|json|prometheus]
 //                                      metrics snapshot of the same run
+//   mcmtool bench-diff <baseline.json> <candidate.json> [--threshold PCT]
+//                                      regression gate over BENCH reports
 //
 // <platform|file> is a preset name (henri, dahu, ...) or a path to a
 // platform description file (see topo/topology_io.hpp for the format).
@@ -25,14 +27,17 @@
 #include <vector>
 
 #include "benchlib/backend.hpp"
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "benchlib/sweep_io.hpp"
 #include "eval/tables.hpp"
 #include "model/model.hpp"
 #include "model/overlap.hpp"
 #include "model/report.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "topo/platforms.hpp"
@@ -64,9 +69,12 @@ int usage(const char* argv0) {
       "  trace     <platform|file> [--out FILE]\n"
       "                                    Chrome trace of a short engine "
       "run\n"
-      "  stats     <platform|file> [--json]\n"
+      "  stats     <platform|file> [--format text|json|prometheus]\n"
       "                                    metrics snapshot of the same "
       "run\n"
+      "  bench-diff <baseline.json> <candidate.json> [--threshold PCT]\n"
+      "                                    compare BENCH reports; exit 1 "
+      "on regression\n"
       "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
       "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
       argv0);
@@ -379,16 +387,80 @@ int cmd_trace(const topo::PlatformSpec& spec, int argc, char** argv) {
 
 int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
   obs::MetricsRegistry registry;
+  // The engine offers samples at slice boundaries (i.e. at events), at
+  // most one per 10 simulated ms. The short scenario has few events, so
+  // the timeline is sparse and the ring never wraps.
+  obs::TimelineSampler sampler(registry, /*capacity=*/1024,
+                               /*period_us=*/10'000.0);
   obs::Observer observer;
   observer.metrics = &registry;
+  observer.sampler = &sampler;
   if (!run_observed_scenario(spec, observer)) return 1;
-  bool json = false;
+
+  std::string format = flag_value(argc, argv, "--format", "text");
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--json") == 0) format = "json";  // legacy
   }
-  std::fputs((json ? registry.to_json() : registry.to_text()).c_str(),
-             stdout);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  if (format == "text") {
+    std::fputs(obs::render_text(snapshot).c_str(), stdout);
+  } else if (format == "prometheus") {
+    std::fputs(obs::render_prometheus(snapshot).c_str(), stdout);
+  } else if (format == "json") {
+    obs::ReportMeta meta;
+    meta.name = "mcmtool-stats";
+    meta.platform = spec.name;
+    meta.git = bench::build_git_describe();
+    std::fputs(obs::render_json_report(meta, snapshot, &sampler).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --format '%s' (text, json, prometheus)\n",
+                 format.c_str());
+    return 2;
+  }
   return 0;
+}
+
+std::optional<bench::BenchReport> load_report(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  auto report = bench::report_from_json(text.str(), &error);
+  if (!report) {
+    std::fprintf(stderr, "error: cannot parse '%s': %s\n", path.c_str(),
+                 error.c_str());
+  }
+  return report;
+}
+
+int cmd_bench_diff(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: mcmtool bench-diff <baseline.json> "
+                 "<candidate.json> [--threshold PCT]\n");
+    return 2;
+  }
+  const auto baseline = load_report(argv[2]);
+  const auto candidate = load_report(argv[3]);
+  if (!baseline || !candidate) return 2;
+  const double threshold_pct =
+      std::stod(flag_value(argc, argv, "--threshold", "2"));
+  if (threshold_pct < 0.0) {
+    std::fprintf(stderr, "error: --threshold must be >= 0\n");
+    return 2;
+  }
+  const double tolerance = threshold_pct / 100.0;
+  const bench::ReportDiff diff =
+      bench::diff_reports(*baseline, *candidate, tolerance);
+  std::fputs(bench::render_diff(diff, tolerance).c_str(), stdout);
+  return diff.regression() ? 1 : 0;
 }
 
 }  // namespace
@@ -403,6 +475,7 @@ int main(int argc, char** argv) {
       return cmd_calibrate_csv(argv[2]);
     }
     if (command == "errors-csv" && argc >= 3) return cmd_errors_csv(argv[2]);
+    if (command == "bench-diff") return cmd_bench_diff(argc, argv);
 
     if (argc < 3) return usage(argv[0]);
     const auto spec = load_platform(argv[2]);
