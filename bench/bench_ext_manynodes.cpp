@@ -16,12 +16,12 @@
 
 namespace {
 
-mcm::model::ErrorReport platform_errors(const std::string& name) {
-  mcm::bench::SimBackend backend(mcm::topo::make_platform(name));
-  const auto model = mcm::model::ContentionModel::from_backend(backend);
-  const mcm::bench::SweepResult sweep =
-      mcm::bench::run_all_placements(backend);
-  return model.evaluate_against(sweep);
+mcm::model::ErrorReport platform_errors(mcm::pipeline::Runner& runner,
+                                        const std::string& name) {
+  mcm::pipeline::ScenarioSpec spec;
+  spec.name = "manynodes-" + name;
+  spec.platform = name;
+  return runner.run(spec).errors;
 }
 
 }  // namespace
@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
   mcm::model::ErrorReport subnuma;
   {
     const auto timer = run.stage("four_node_errors");
-    tetra = platform_errors("tetra");
-    subnuma = platform_errors("henri-subnuma");
+    tetra = platform_errors(run.runner(), "tetra");
+    subnuma = platform_errors(run.runner(), "henri-subnuma");
   }
   std::printf("%s\n", mcm::model::render_error_report(tetra).c_str());
   std::printf("== Contrast: symmetric 4-node machine vs asymmetric ring "

@@ -1,0 +1,130 @@
+// E-PIPE1 — the scenario pipeline itself (infrastructure, ours): the
+// declarative measure→calibrate→predict→score runner that every figure
+// and table reproduction routes through. Exercises and times its two perf
+// features — the calibration cache (a warm re-run skips both calibration
+// sweeps, observable via pipeline.cache.hits) and the parallel placement
+// sweep (bit-identical to the serial one by construction) — plus the JSON
+// persistence that carries calibrations across processes.
+#include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/cache.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace mcm;
+
+/// Bit-identical sweep comparison (no tolerance: determinism is the
+/// contract, not an approximation).
+[[nodiscard]] bool identical_sweeps(const bench::SweepResult& a,
+                                    const bench::SweepResult& b) {
+  if (a.curves.size() != b.curves.size()) return false;
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    const bench::PlacementCurve& ca = a.curves[i];
+    const bench::PlacementCurve& cb = b.curves[i];
+    if (ca.comp_numa != cb.comp_numa || ca.comm_numa != cb.comm_numa ||
+        ca.points.size() != cb.points.size()) {
+      return false;
+    }
+    for (std::size_t p = 0; p < ca.points.size(); ++p) {
+      if (ca.points[p].cores != cb.points[p].cores ||
+          ca.points[p].compute_alone_gb != cb.points[p].compute_alone_gb ||
+          ca.points[p].comm_alone_gb != cb.points[p].comm_alone_gb ||
+          ca.points[p].compute_parallel_gb !=
+              cb.points[p].compute_parallel_gb ||
+          ca.points[p].comm_parallel_gb !=
+              cb.points[p].comm_parallel_gb) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchRun run("pipeline_scenarios");
+  run.report().platform = "henri";
+
+  pipeline::ScenarioSpec spec;
+  spec.name = "pipeline-henri";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kAll;
+
+  // -- Cold vs cached run through one runner, hit/miss counters observed.
+  obs::MetricsRegistry metrics;
+  pipeline::RunnerOptions options;
+  options.observer.metrics = &metrics;
+  pipeline::Runner runner(options);
+
+  pipeline::ScenarioResult cold;
+  {
+    const auto timer = run.stage("cold_run");
+    cold = runner.run(spec);
+  }
+  pipeline::ScenarioResult cached;
+  {
+    const auto timer = run.stage("cached_run");
+    cached = runner.run(spec);
+  }
+  MCM_ENSURES(!cold.cache_hit);
+  MCM_ENSURES(cached.cache_hit);
+  MCM_ENSURES(identical_sweeps(cold.sweep, cached.sweep));
+  std::printf("cold run:   calibrate %.1f ms, measure %.1f ms\n",
+              cold.timings.calibrate_us * 1e-3,
+              cold.timings.measure_us * 1e-3);
+  std::printf("cached run: calibrate %.1f ms, measure %.1f ms "
+              "(calibration served from cache)\n",
+              cached.timings.calibrate_us * 1e-3,
+              cached.timings.measure_us * 1e-3);
+  run.add_error_report(cold.errors, "henri");
+  run.report().add_metric(
+      "cache.hits",
+      static_cast<double>(metrics.counter("pipeline.cache.hits").value()));
+  run.report().add_metric(
+      "cache.misses",
+      static_cast<double>(
+          metrics.counter("pipeline.cache.misses").value()));
+
+  // -- Parallel sweep must be bit-identical to the serial one.
+  bool deterministic = false;
+  {
+    const auto timer = run.stage("parallel_vs_serial");
+    pipeline::RunnerOptions serial_options;
+    serial_options.parallelism = 1;
+    pipeline::Runner serial(serial_options);
+    pipeline::Runner parallel;  // one worker per placement
+    const pipeline::ScenarioResult a = serial.run(spec);
+    const pipeline::ScenarioResult b = parallel.run(spec);
+    deterministic = identical_sweeps(a.sweep, b.sweep) &&
+                    identical_sweeps(a.sweep, cold.sweep);
+  }
+  MCM_ENSURES(deterministic);
+  std::printf("parallel sweep bit-identical to serial: yes\n");
+  run.report().add_metric("determinism.identical",
+                          deterministic ? 1.0 : 0.0);
+
+  // -- Persistence: a fresh runner warmed from the saved cache file must
+  //    start with a hit.
+  {
+    const auto timer = run.stage("cache_persistence");
+    std::string error;
+    MCM_ENSURES(runner.cache().save_file("pipeline_cache.json", &error));
+    pipeline::Runner reloaded;
+    MCM_ENSURES(
+        reloaded.cache().load_file("pipeline_cache.json", &error));
+    const pipeline::ScenarioResult warm = reloaded.run(spec);
+    MCM_ENSURES(warm.cache_hit);
+    MCM_ENSURES(identical_sweeps(warm.sweep, cold.sweep));
+    run.report().add_metric(
+        "cache.persisted_entries",
+        static_cast<double>(reloaded.cache().size()));
+    std::printf("calibration cache round-tripped through "
+                "pipeline_cache.json (%zu entries)\n\n",
+                reloaded.cache().size());
+  }
+
+  benchx::register_pipeline_benchmarks("henri");
+  return benchx::finish(run, argc, argv);
+}

@@ -45,12 +45,12 @@ int main(int argc, char** argv) {
   for (const Variant& variant : variants) {
     const auto timer =
         run.stage("variant_" + std::to_string(variant_index));
+
+    // Contention onset: first core count where comm loses 10 % of nominal
+    // on the both-local diagonal (steady values, no benchmark noise).
     bench::SimBackend backend(topo::make_henri());
     backend.machine().set_comm_pattern(variant.pattern);
     backend.machine().set_compute_kernel(variant.kernel);
-
-    // Contention onset: first core count where comm loses 10 % of nominal
-    // on the both-local diagonal.
     const topo::NumaId node0(0);
     const double nominal =
         backend.machine().steady_comm_alone(node0).gb();
@@ -65,16 +65,22 @@ int main(int argc, char** argv) {
       floor_gb = std::min(floor_gb, comm);
     }
 
-    const auto model = model::ContentionModel::from_backend(backend);
-    const bench::SweepResult sweep = bench::run_all_placements(backend);
-    const model::ErrorReport report = model.evaluate_against(sweep);
+    // Recalibrated model + full sweep + Table-II score, one scenario per
+    // workload variant (each keyed separately in the calibration cache).
+    pipeline::ScenarioSpec spec;
+    spec.name = std::string("workload-") + variant.name;
+    spec.platform = "henri";
+    spec.comm_pattern = variant.pattern;
+    spec.compute_kernel = variant.kernel;
+    const pipeline::ScenarioResult result = run.runner().run(spec);
+    const model::ErrorReport& report = result.errors;
 
     table.add_row({variant.name,
                    onset <= backend.max_computing_cores()
                        ? std::to_string(onset) + " cores"
                        : "none",
                    format_gbps(floor_gb),
-                   format_gbps(model.local().t_par_max),
+                   format_gbps(result.local.t_par_max),
                    format_percent(0.5 * (report.comm_samples +
                                          report.comp_samples))});
 
@@ -83,7 +89,7 @@ int main(int argc, char** argv) {
                             static_cast<double>(onset));
     run.report().add_metric(prefix + ".comm_floor_gb", floor_gb);
     run.report().add_metric(prefix + ".t_par_max_gb",
-                            model.local().t_par_max);
+                            result.local.t_par_max);
     run.report().add_metric(
         prefix + ".sample_mape",
         0.5 * (report.comm_samples + report.comp_samples));
@@ -96,12 +102,13 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark(
       "variant_pipeline/copy_bidirectional", [](benchmark::State& state) {
         for (auto _ : state) {
-          bench::SimBackend backend(topo::make_henri());
-          backend.machine().set_comm_pattern(
-              sim::CommPattern::kBidirectional);
-          backend.machine().set_compute_kernel(sim::ComputeKernel::kCopy);
-          benchmark::DoNotOptimize(
-              model::ContentionModel::from_backend(backend));
+          pipeline::Runner runner;
+          pipeline::ScenarioSpec spec;
+          spec.platform = "henri";
+          spec.placements = pipeline::PlacementSet::kCalibration;
+          spec.comm_pattern = sim::CommPattern::kBidirectional;
+          spec.compute_kernel = sim::ComputeKernel::kCopy;
+          benchmark::DoNotOptimize(runner.run(spec));
         }
       });
   return benchx::finish(run, argc, argv);

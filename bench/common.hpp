@@ -29,13 +29,12 @@
 #include <string>
 #include <vector>
 
-#include "benchlib/backend.hpp"
 #include "benchlib/report.hpp"
-#include "benchlib/runner.hpp"
 #include "eval/figures.hpp"
 #include "model/metrics.hpp"
 #include "model/model.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/platforms.hpp"
 #include "util/stats.hpp"
 
@@ -64,6 +63,10 @@ class BenchRun {
   }
 
   [[nodiscard]] bench::BenchReport& report() { return report_; }
+
+  /// The binary's scenario runner: every pipeline run of the binary goes
+  /// through it, so calibrations are shared via its cache.
+  [[nodiscard]] pipeline::Runner& runner() { return runner_; }
 
   /// RAII wall timer for one pipeline stage; records into the report.
   class Stage {
@@ -167,6 +170,7 @@ class BenchRun {
 
  private:
   bench::BenchReport report_;
+  pipeline::Runner runner_;
 };
 
 /// Print a full figure reproduction, write `<csv_name>` with the series,
@@ -178,7 +182,11 @@ inline void emit_figure(const std::string& figure_id,
                         BenchRun* run = nullptr) {
   std::optional<BenchRun::Stage> timer;
   if (run != nullptr) timer.emplace(run->report(), "figure");
-  const eval::FigureData figure = eval::make_figure(figure_id, platform);
+  std::optional<pipeline::Runner> local_runner;
+  pipeline::Runner& runner =
+      run != nullptr ? run->runner() : local_runner.emplace();
+  const eval::FigureData figure =
+      eval::make_figure(runner, figure_id, platform);
   if (run != nullptr) run->add_figure(figure);
   std::fputs(eval::render_figure(figure).c_str(), stdout);
   const std::string csv = eval::figure_csv(figure);
@@ -189,37 +197,63 @@ inline void emit_figure(const std::string& figure_id,
   }
 }
 
+/// The calibration-only scenario the standard timing benchmarks run.
+[[nodiscard]] inline pipeline::ScenarioSpec calibration_scenario(
+    const std::string& platform) {
+  pipeline::ScenarioSpec spec;
+  spec.name = platform + "-calibration";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
 /// Register the standard pipeline timings for one platform.
 inline void register_pipeline_benchmarks(const std::string& platform) {
   benchmark::RegisterBenchmark(
       ("calibration_sweep/" + platform).c_str(),
       [platform](benchmark::State& state) {
+        // A fresh runner per iteration: times the cold path, with the two
+        // calibration sweeps actually measured.
         for (auto _ : state) {
-          bench::SimBackend backend(topo::make_platform(platform));
-          benchmark::DoNotOptimize(bench::run_calibration_sweep(backend));
+          pipeline::Runner runner;
+          benchmark::DoNotOptimize(
+              runner.run(calibration_scenario(platform)));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      ("scenario_cached/" + platform).c_str(),
+      [platform](benchmark::State& state) {
+        // Warm runner: every iteration hits the calibration cache, so
+        // this times the cache + predict + score overhead alone.
+        pipeline::Runner runner;
+        const pipeline::ScenarioSpec spec = calibration_scenario(platform);
+        benchmark::DoNotOptimize(runner.run(spec));
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(runner.run(spec));
         }
       });
   benchmark::RegisterBenchmark(
       ("model_calibration/" + platform).c_str(),
       [platform](benchmark::State& state) {
-        bench::SimBackend backend(topo::make_platform(platform));
-        const bench::SweepResult sweep =
-            bench::run_calibration_sweep(backend);
+        pipeline::Runner runner;
+        const pipeline::ScenarioResult scenario =
+            runner.run(calibration_scenario(platform));
         for (auto _ : state) {
-          benchmark::DoNotOptimize(model::ContentionModel::from_sweep(sweep));
+          benchmark::DoNotOptimize(
+              model::ContentionModel::from_sweep(scenario.calibration));
         }
       });
   benchmark::RegisterBenchmark(
       ("model_prediction/" + platform).c_str(),
       [platform](benchmark::State& state) {
-        bench::SimBackend backend(topo::make_platform(platform));
-        const model::ContentionModel model =
-            model::ContentionModel::from_backend(backend);
+        pipeline::Runner runner;
+        const pipeline::ScenarioResult scenario =
+            runner.run(calibration_scenario(platform));
+        const model::ContentionModel model = scenario.contention_model();
+        const topo::NumaId remote(static_cast<std::uint32_t>(
+            scenario.sweep.numa_per_socket));
         for (auto _ : state) {
-          benchmark::DoNotOptimize(
-              model.predict(topo::NumaId(0),
-                            topo::NumaId(static_cast<std::uint32_t>(
-                                backend.numa_per_socket()))));
+          benchmark::DoNotOptimize(model.predict(topo::NumaId(0), remote));
         }
       });
 }

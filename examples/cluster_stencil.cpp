@@ -18,9 +18,9 @@
 #include <thread>
 #include <vector>
 
-#include "benchlib/backend.hpp"
 #include "model/model.hpp"
 #include "net/minimpi.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/platforms.hpp"
 
 namespace {
@@ -131,8 +131,12 @@ int main(int argc, char** argv) {
   }
 
   // -- Part 2: ask the model how well this overlap would work at scale -----
-  bench::SimBackend backend(topo::make_henri());
-  const auto model = model::ContentionModel::from_backend(backend);
+  pipeline::ScenarioSpec spec;
+  spec.name = "cluster-stencil";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  pipeline::Runner runner;
+  const auto model = runner.run(spec).contention_model();
   const topo::NumaId node0(0);
 
   std::printf("Overlap outlook on a henri-class machine (halo on node 0, "

@@ -15,8 +15,8 @@
 #include <cstdlib>
 #include <string>
 
-#include "benchlib/backend.hpp"
 #include "model/overlap.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/platforms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -28,8 +28,12 @@ int main(int argc, char** argv) {
   const double work_gib = argc > 2 ? std::atof(argv[2]) : 8.0;
   const double message_mib = argc > 3 ? std::atof(argv[3]) : 64.0;
 
-  bench::SimBackend backend(topo::make_platform(platform));
-  const auto model = model::ContentionModel::from_backend(backend);
+  pipeline::ScenarioSpec spec;
+  spec.name = "overlap-planner";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  pipeline::Runner runner;
+  const auto model = runner.run(spec).contention_model();
 
   model::IterationSpec iteration;
   iteration.compute_bytes = work_gib * static_cast<double>(kGiB);

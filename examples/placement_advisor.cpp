@@ -12,8 +12,8 @@
 #include <string>
 #include <vector>
 
-#include "benchlib/backend.hpp"
 #include "model/model.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/distance.hpp"
 #include "topo/platforms.hpp"
 #include "util/strings.hpp"
@@ -23,8 +23,14 @@ int main(int argc, char** argv) {
   using namespace mcm;
 
   const std::string platform = argc > 1 ? argv[1] : "henri-subnuma";
-  bench::SimBackend backend(topo::make_platform(platform));
-  const auto model = model::ContentionModel::from_backend(backend);
+  // The calibration-only scenario: the advisor needs just the two §III
+  // placements, everything else comes from the model.
+  pipeline::ScenarioSpec spec;
+  spec.name = "placement-advisor";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  pipeline::Runner runner;
+  const auto model = runner.run(spec).contention_model();
   const std::size_t cores =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2]))
                : model.max_cores();
@@ -77,7 +83,8 @@ int main(int argc, char** argv) {
 
   // NUMA distances, for context (the advisor beats naive nearest-node
   // placement precisely when contention matters more than distance).
-  const topo::DistanceMatrix distances(backend.machine().machine());
+  const topo::DistanceMatrix distances(
+      topo::make_platform(platform).machine);
   std::printf("NUMA distance matrix (SLIT style):\n");
   for (std::uint32_t i = 0; i < distances.size(); ++i) {
     std::printf("  node %u:", i);

@@ -1,15 +1,16 @@
-// Quickstart: calibrate the contention model on a (simulated) platform,
-// inspect its parameters, predict a placement it has never measured, and
-// check the prediction error against ground truth.
+// Quickstart: run the full scenario pipeline on a (simulated) platform —
+// calibrate the contention model, inspect its parameters, predict a
+// placement the calibration never measured, and check the prediction
+// error against ground truth. One declarative ScenarioSpec drives all
+// four stages (measure -> calibrate -> predict -> score).
 //
 // Usage: quickstart [platform]   (default: henri)
 #include <cstdio>
 #include <string>
 
-#include "benchlib/backend.hpp"
-#include "benchlib/runner.hpp"
 #include "model/model.hpp"
 #include "model/report.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/platforms.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -20,12 +21,20 @@ int main(int argc, char** argv) {
   const std::string platform = argc > 1 ? argv[1] : "henri";
   std::printf("== Quickstart on platform '%s' ==\n\n", platform.c_str());
 
-  // 1. Build the simulated machine and a measurement backend.
-  bench::SimBackend backend(topo::make_platform(platform));
+  // 1. Describe the run declaratively: which platform, which placements.
+  //    PlacementSet::kAll measures every placement so the scenario can
+  //    score the model against ground truth at the end; the calibration
+  //    placements of paper §III are part of that sweep.
+  pipeline::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kAll;
 
-  // 2. Calibrate: the model only needs the two placements of paper §III
-  //    (both data blocks local, both remote).
-  const auto model = model::ContentionModel::from_backend(backend);
+  // 2. Run it. The runner measures, calibrates (or hits its calibration
+  //    cache), predicts and scores in one call.
+  pipeline::Runner runner;
+  const pipeline::ScenarioResult result = runner.run(spec);
+  const model::ContentionModel model = result.contention_model();
   std::printf("Calibrated parameters:\n%s\n",
               model::render_parameters(model).c_str());
 
@@ -33,7 +42,7 @@ int main(int argc, char** argv) {
   //    computation data local (node 0), communication data remote (#m).
   const topo::NumaId comp(0);
   const topo::NumaId comm(
-      static_cast<std::uint32_t>(backend.numa_per_socket()));
+      static_cast<std::uint32_t>(result.sweep.numa_per_socket));
   const model::PredictedCurve predicted = model.predict({comp, comm});
 
   AsciiTable table({"cores", "compute GB/s (model)", "comm GB/s (model)"});
@@ -59,9 +68,8 @@ int main(int argc, char** argv) {
               model.max_cores(), advice.comp_numa.value(),
               advice.comm_numa.value(), advice.compute_gb, advice.comm_gb);
 
-  // 5. Validate: measure every placement and compare with the model.
-  const bench::SweepResult sweep = bench::run_all_placements(backend);
-  const model::ErrorReport report = model.evaluate_against(sweep);
-  std::printf("%s", model::render_error_report(report).c_str());
+  // 5. Validate: the scenario already measured every placement and scored
+  //    the model against it (Table-II style MAPE).
+  std::printf("%s", model::render_error_report(result.errors).c_str());
   return 0;
 }

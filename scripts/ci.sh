@@ -7,6 +7,8 @@
 #   scripts/ci.sh tier1      build + full ctest only
 #   scripts/ci.sh sanitize   ASan+UBSan build + `ctest -L sanitize`
 #   scripts/ci.sh bench      MCM_BENCH_SMOKE=1 suite + baseline diffs
+#   scripts/ci.sh pipeline   `mcmtool run-scenario` smoke spec: cold +
+#                            cached runs, gated with bench-diff
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -67,17 +69,59 @@ bench_smoke() {
   return $status
 }
 
+pipeline_smoke() {
+  echo "== pipeline: run-scenario smoke spec + regression gate =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target mcmtool
+  WORK="$ROOT/build/pipeline-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  # Cold run: measures + calibrates, persists the calibration cache and
+  # emits the BENCH report the baseline gate checks.
+  "$ROOT"/build/tools/mcmtool run-scenario \
+      "$ROOT"/scripts/scenario_smoke.json \
+      --cache scenario_cache.json --report BENCH_scenario_smoke.json \
+      >cold.log 2>&1 || { cat cold.log; echo "FAIL: cold run"; exit 1; }
+  grep -q "^calibration: measured$" cold.log || {
+    cat cold.log
+    echo "FAIL: cold run did not measure its calibration"
+    exit 1
+  }
+  # Warm run: the persisted cache must serve the calibration (the
+  # observable contract behind pipeline.cache.hits), with identical
+  # metrics in the report.
+  "$ROOT"/build/tools/mcmtool run-scenario \
+      "$ROOT"/scripts/scenario_smoke.json \
+      --cache scenario_cache.json --report BENCH_scenario_warm.json \
+      >warm.log 2>&1 || { cat warm.log; echo "FAIL: warm run"; exit 1; }
+  grep -q "^calibration: cache hit$" warm.log || {
+    cat warm.log
+    echo "FAIL: warm run did not hit the calibration cache"
+    exit 1
+  }
+  echo "-- bench-diff BENCH_scenario_smoke.json (baseline)"
+  "$ROOT"/build/tools/mcmtool bench-diff \
+      "$ROOT"/bench/baselines/pipeline/BENCH_scenario_smoke.json \
+      BENCH_scenario_smoke.json
+  echo "-- bench-diff cold vs warm (must be identical)"
+  "$ROOT"/build/tools/mcmtool bench-diff \
+      BENCH_scenario_smoke.json BENCH_scenario_warm.json --threshold 0
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
   bench) bench_smoke ;;
+  pipeline) pipeline_smoke ;;
   all)
     tier1
     sanitize
     bench_smoke
+    pipeline_smoke
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|all]" >&2
     exit 2
     ;;
 esac

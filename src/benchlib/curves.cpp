@@ -1,5 +1,7 @@
 #include "benchlib/curves.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -21,10 +23,15 @@ const char* to_string(Series series) {
 }
 
 const BandwidthPoint& PlacementCurve::at(std::size_t cores) const {
-  MCM_EXPECTS(cores >= 1 && cores <= points.size());
-  const BandwidthPoint& point = points[cores - 1];
-  MCM_ENSURES(point.cores == cores);
-  return point;
+  MCM_EXPECTS(cores >= 1);
+  // Look up by core count, not position: sparse sweeps (core_step > 1)
+  // store fewer points than core counts. Points are in ascending order of
+  // cores, so binary search applies.
+  const auto it = std::lower_bound(
+      points.begin(), points.end(), cores,
+      [](const BandwidthPoint& p, std::size_t n) { return p.cores < n; });
+  MCM_EXPECTS(it != points.end() && it->cores == cores);
+  return *it;
 }
 
 std::vector<double> PlacementCurve::series(Series which) const {

@@ -46,7 +46,9 @@ struct PlacementCurve {
 
   [[nodiscard]] std::size_t max_cores() const { return points.size(); }
 
-  /// Point for `cores` computing cores (1-based). Throws if out of range.
+  /// Point measured with `cores` computing cores. Looks the point up by
+  /// its core count, so sparse curves (SweepOptions::core_step > 1) work;
+  /// throws if that count was not measured.
   [[nodiscard]] const BandwidthPoint& at(std::size_t cores) const;
 
   /// Extract one series as a dense vector indexed by cores-1.

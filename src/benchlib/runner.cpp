@@ -94,9 +94,6 @@ PlacementCurve run_placement(Backend& backend, topo::NumaId comp,
   }
   backend.set_run(0);
   placement_span.set_end(clock.now_us());
-  // Dense 1..N points are required downstream (PlacementCurve::at).
-  MCM_ENSURES(options.core_step != 1 ||
-              curve.points.size() == max_cores);
   return curve;
 }
 

@@ -1,9 +1,8 @@
 #include "eval/ablation.hpp"
 
 #include "baselines/baselines.hpp"
-#include "benchlib/backend.hpp"
-#include "benchlib/runner.hpp"
 #include "model/model.hpp"
+#include "pipeline/runner.hpp"
 #include "util/contracts.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -11,13 +10,6 @@
 namespace mcm::eval {
 
 namespace {
-
-[[nodiscard]] model::ErrorReport evaluate_backend(bench::SimBackend& backend) {
-  const model::ContentionModel model =
-      model::ContentionModel::from_backend(backend);
-  const bench::SweepResult sweep = bench::run_all_placements(backend);
-  return model.evaluate_against(sweep);
-}
 
 [[nodiscard]] const char* variant_note(const std::string& variant) {
   if (variant == "baseline") return "all mechanisms active";
@@ -77,35 +69,44 @@ topo::PlatformSpec apply_hardware_variant(topo::PlatformSpec spec,
 }
 
 std::vector<AblationResult> run_hardware_ablation(
-    const std::string& platform) {
+    pipeline::Runner& runner, const std::string& platform) {
   std::vector<AblationResult> results;
   for (const std::string& variant : hardware_variants()) {
-    const topo::PlatformSpec spec =
+    pipeline::ScenarioSpec spec;
+    spec.name = platform + "-" + variant;
+    spec.platform = platform;
+    spec.platform_override =
         apply_hardware_variant(topo::make_platform(platform), variant);
-    const sim::ArbitrationPolicy policy =
-        variant == "fair-share-arbiter"
-            ? sim::ArbitrationPolicy::kFairShare
-            : sim::ArbitrationPolicy::kCpuPriorityWithFloor;
-    bench::SimBackend backend(spec, policy);
+    spec.variant = variant;
+    spec.policy = variant == "fair-share-arbiter"
+                      ? sim::ArbitrationPolicy::kFairShare
+                      : sim::ArbitrationPolicy::kCpuPriorityWithFloor;
     AblationResult result;
     result.variant = variant;
     result.note = variant_note(variant);
-    result.report = evaluate_backend(backend);
+    result.report = runner.run(spec).errors;
     results.push_back(std::move(result));
   }
   return results;
 }
 
-std::vector<model::ErrorReport> run_predictor_comparison(
+std::vector<AblationResult> run_hardware_ablation(
     const std::string& platform) {
-  bench::SimBackend backend(topo::make_platform(platform));
-  const bench::SweepResult calibration =
-      bench::run_calibration_sweep(backend);
-  const bench::SweepResult full = bench::run_all_placements(backend);
+  pipeline::Runner runner;
+  return run_hardware_ablation(runner, platform);
+}
+
+std::vector<model::ErrorReport> run_predictor_comparison(
+    pipeline::Runner& runner, const std::string& platform) {
+  pipeline::ScenarioSpec spec;
+  spec.name = platform + "-predictors";
+  spec.platform = platform;
+  const pipeline::ScenarioResult scenario = runner.run(spec);
+  const bench::SweepResult& calibration = scenario.calibration;
+  const bench::SweepResult& full = scenario.sweep;
 
   std::vector<model::ErrorReport> reports;
-  const baseline::PaperModelPredictor paper(
-      model::ContentionModel::from_sweep(calibration));
+  const baseline::PaperModelPredictor paper(scenario.contention_model());
   reports.push_back(baseline::evaluate_predictor(paper, full));
   const auto queueing =
       baseline::make_baseline<baseline::QueueingBaseline>(calibration);
@@ -117,6 +118,12 @@ std::vector<model::ErrorReport> run_predictor_comparison(
       baseline::make_baseline<baseline::PerfectScalingBaseline>(calibration);
   reports.push_back(baseline::evaluate_predictor(perfect, full));
   return reports;
+}
+
+std::vector<model::ErrorReport> run_predictor_comparison(
+    const std::string& platform) {
+  pipeline::Runner runner;
+  return run_predictor_comparison(runner, platform);
 }
 
 std::string render_ablation(const std::vector<AblationResult>& results) {

@@ -15,6 +15,10 @@
 #include "model/metrics.hpp"
 #include "topo/platforms.hpp"
 
+namespace mcm::pipeline {
+class Runner;
+}  // namespace mcm::pipeline
+
 namespace mcm::eval {
 
 struct AblationResult {
@@ -31,11 +35,19 @@ struct AblationResult {
 [[nodiscard]] topo::PlatformSpec apply_hardware_variant(
     topo::PlatformSpec spec, const std::string& variant);
 
-/// Run calibrate + evaluate on every hardware variant of `platform`.
+/// Run the full scenario on every hardware variant of `platform` via
+/// `runner`. Variants are keyed individually in the runner's calibration
+/// cache (spec.variant carries the variant name).
+[[nodiscard]] std::vector<AblationResult> run_hardware_ablation(
+    pipeline::Runner& runner, const std::string& platform);
 [[nodiscard]] std::vector<AblationResult> run_hardware_ablation(
     const std::string& platform);
 
-/// Run the Table-II protocol for the paper's model and all baselines.
+/// Run the Table-II protocol for the paper's model and all baselines. The
+/// scenario pipeline supplies both the calibration sweeps (shared with the
+/// baselines) and the full measured sweep everything is scored against.
+[[nodiscard]] std::vector<model::ErrorReport> run_predictor_comparison(
+    pipeline::Runner& runner, const std::string& platform);
 [[nodiscard]] std::vector<model::ErrorReport> run_predictor_comparison(
     const std::string& platform);
 

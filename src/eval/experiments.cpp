@@ -55,6 +55,10 @@ std::vector<ExperimentInfo> experiment_index() {
       {"E-EXT5", "extension (paper SIV-A)",
        "calibration stability under independent measurement noise",
        "bench_calibration_stability"},
+      {"E-PIPE1", "infrastructure (ours)",
+       "scenario pipeline: cached calibration and parallel placement "
+       "sweeps behind every figure/table run",
+       "bench_pipeline_scenarios"},
   };
 }
 

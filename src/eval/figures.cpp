@@ -3,11 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "benchlib/backend.hpp"
-#include "benchlib/runner.hpp"
-#include "model/calibration.hpp"
 #include "model/metrics.hpp"
-#include "topo/platforms.hpp"
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -15,32 +11,35 @@
 
 namespace mcm::eval {
 
-FigureData make_figure(const std::string& figure_id,
+FigureData make_figure(pipeline::Runner& runner,
+                       const std::string& figure_id,
                        const std::string& platform) {
-  bench::SimBackend backend(topo::make_platform(platform));
-  const model::ContentionModel model =
-      model::ContentionModel::from_backend(backend);
-  const bench::SweepResult sweep = bench::run_all_placements(backend);
-
-  const topo::NumaId local_sample(0);
-  const topo::NumaId remote_sample(
-      static_cast<std::uint32_t>(sweep.numa_per_socket));
+  pipeline::ScenarioSpec spec;
+  spec.name = figure_id;
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kAll;
+  const pipeline::ScenarioResult result = runner.run(spec);
 
   FigureData figure;
   figure.figure_id = figure_id;
   figure.platform = platform;
-  figure.numa_per_socket = sweep.numa_per_socket;
-  for (const bench::PlacementCurve& measured : sweep.curves) {
+  figure.numa_per_socket = result.sweep.numa_per_socket;
+  figure.local = result.local;
+  figure.remote = result.remote;
+  for (std::size_t i = 0; i < result.sweep.curves.size(); ++i) {
     FigureSeries series;
-    series.measured = measured;
-    series.predicted = model.predict(measured.comp_numa, measured.comm_numa);
-    series.is_sample =
-        measured.comp_numa == measured.comm_numa &&
-        (measured.comp_numa == local_sample ||
-         measured.comp_numa == remote_sample);
+    series.measured = result.sweep.curves[i];
+    series.predicted = result.predicted[i];
+    series.is_sample = result.errors.placements[i].is_sample;
     figure.subplots.push_back(std::move(series));
   }
   return figure;
+}
+
+FigureData make_figure(const std::string& figure_id,
+                       const std::string& platform) {
+  pipeline::Runner runner;
+  return make_figure(runner, figure_id, platform);
 }
 
 std::string render_subplot(const FigureSeries& series) {
@@ -55,14 +54,15 @@ std::string render_subplot(const FigureSeries& series) {
   AsciiTable table({"cores", "comp alone", "comm alone", "comp par",
                     "comp par (model)", "comm par", "comm par (model)"});
   table.set_alignments(std::vector<Align>(7, Align::kRight));
-  for (std::size_t n = 1; n <= m.points.size(); ++n) {
-    const bench::BandwidthPoint& p = m.at(n);
-    table.add_row({std::to_string(n), format_fixed(p.compute_alone_gb, 2),
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    const bench::BandwidthPoint& p = m.points[i];
+    table.add_row({std::to_string(p.cores),
+                   format_fixed(p.compute_alone_gb, 2),
                    format_fixed(p.comm_alone_gb, 2),
                    format_fixed(p.compute_parallel_gb, 2),
-                   format_fixed(series.predicted.compute_parallel_gb[n - 1], 2),
+                   format_fixed(series.predicted.compute_parallel_gb[i], 2),
                    format_fixed(p.comm_parallel_gb, 2),
-                   format_fixed(series.predicted.comm_parallel_gb[n - 1], 2)});
+                   format_fixed(series.predicted.comm_parallel_gb[i], 2)});
   }
   const model::PlacementError error = model::placement_error(
       series.measured, series.predicted, series.is_sample);
@@ -89,21 +89,19 @@ std::string figure_csv(const FigureData& figure) {
                  "model_comm_parallel_gb"});
   for (const FigureSeries& series : figure.subplots) {
     const bench::PlacementCurve& m = series.measured;
-    for (std::size_t n = 1; n <= m.points.size(); ++n) {
-      const bench::BandwidthPoint& p = m.at(n);
+    for (std::size_t i = 0; i < m.points.size(); ++i) {
+      const bench::BandwidthPoint& p = m.points[i];
       csv.add_row({std::to_string(m.comp_numa.value()),
                    std::to_string(m.comm_numa.value()),
-                   series.is_sample ? "1" : "0", std::to_string(n),
+                   series.is_sample ? "1" : "0", std::to_string(p.cores),
                    format_fixed(p.compute_alone_gb, 4),
                    format_fixed(p.comm_alone_gb, 4),
                    format_fixed(p.compute_parallel_gb, 4),
                    format_fixed(p.comm_parallel_gb, 4),
-                   format_fixed(series.predicted.compute_alone_gb[n - 1], 4),
-                   format_fixed(series.predicted.comm_alone_gb[n - 1], 4),
-                   format_fixed(series.predicted.compute_parallel_gb[n - 1],
-                                4),
-                   format_fixed(series.predicted.comm_parallel_gb[n - 1],
-                                4)});
+                   format_fixed(series.predicted.compute_alone_gb[i], 4),
+                   format_fixed(series.predicted.comm_alone_gb[i], 4),
+                   format_fixed(series.predicted.compute_parallel_gb[i], 4),
+                   format_fixed(series.predicted.comm_parallel_gb[i], 4)});
     }
   }
   return csv.render();
@@ -120,6 +118,7 @@ std::string render_stacked(const FigureData& figure, topo::NumaId comp,
     }
   }
   MCM_EXPECTS(found != nullptr);
+  MCM_EXPECTS(found->is_sample);
   const bench::PlacementCurve& m = found->measured;
 
   // Scale: 60 character columns for the largest stacked value.
@@ -130,7 +129,11 @@ std::string render_stacked(const FigureData& figure, topo::NumaId comp,
   }
   const double per_char = peak / 60.0;
 
-  const model::ModelParams params = model::calibrate(m);
+  // The annotated anchors come from the pipeline's calibrate stage —
+  // sample curves are exactly the curves those parameters were extracted
+  // from.
+  const model::ModelParams& params =
+      comp.value() == 0 ? figure.local : figure.remote;
   std::string out =
       "Stacked memory bandwidth, computation data on node " +
       std::to_string(comp.value()) + ", communication data on node " +

@@ -1,6 +1,10 @@
 // Figure reproduction: for one platform, generate the measured and
 // predicted bandwidth series of every placement — the content of the
 // paper's Figures 3 to 8 — and render them as text tables and CSV.
+//
+// The data comes out of the scenario pipeline (pipeline::Runner): one
+// all-placements scenario per figure, so figures share the runner's
+// calibration cache with every other consumer.
 #pragma once
 
 #include <string>
@@ -8,10 +12,13 @@
 
 #include "benchlib/curves.hpp"
 #include "model/model.hpp"
+#include "pipeline/runner.hpp"
 
 namespace mcm::eval {
 
 /// One subplot of a figure: a placement's measured curve + model curve.
+/// `predicted` is aligned to the measured core counts (index i predicts
+/// measured.points[i]).
 struct FigureSeries {
   bench::PlacementCurve measured;
   model::PredictedCurve predicted;
@@ -23,10 +30,20 @@ struct FigureData {
   std::string figure_id;  ///< e.g. "Figure 3"
   std::string platform;
   std::size_t numa_per_socket = 0;
+  /// The calibrated parameter sets behind the predictions (render_stacked
+  /// annotates its chart with them).
+  model::ModelParams local;
+  model::ModelParams remote;
   std::vector<FigureSeries> subplots;
 };
 
-/// Run the complete measure + calibrate + predict pipeline for `platform`.
+/// Run the measure → calibrate → predict scenario for `platform` on
+/// `runner` (warm calibrations come from its cache).
+[[nodiscard]] FigureData make_figure(pipeline::Runner& runner,
+                                     const std::string& figure_id,
+                                     const std::string& platform);
+
+/// Convenience form with a private single-use runner.
 [[nodiscard]] FigureData make_figure(const std::string& figure_id,
                                      const std::string& platform);
 
@@ -42,7 +59,9 @@ struct FigureData {
 
 /// The stacked-bandwidth view of Fig. 2: an ASCII area chart of compute +
 /// communication bandwidth by core count, annotated with the calibrated
-/// anchor points (Nmax_par, Nmax_seq, ...).
+/// anchor points (Nmax_par, Nmax_seq, ...). The placement must be one of
+/// the two calibration samples — those are the curves the annotated
+/// parameters were extracted from.
 [[nodiscard]] std::string render_stacked(const FigureData& figure,
                                          topo::NumaId comp,
                                          topo::NumaId comm);

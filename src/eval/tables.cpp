@@ -1,9 +1,7 @@
 #include "eval/tables.hpp"
 
-#include "benchlib/backend.hpp"
-#include "benchlib/runner.hpp"
-#include "model/model.hpp"
 #include "model/report.hpp"
+#include "pipeline/runner.hpp"
 #include "topo/platforms.hpp"
 #include "util/table.hpp"
 
@@ -18,16 +16,20 @@ std::string render_table1() {
   return table.render();
 }
 
-std::vector<model::ErrorReport> run_table2() {
+std::vector<model::ErrorReport> run_table2(pipeline::Runner& runner) {
   std::vector<model::ErrorReport> reports;
   for (const std::string& name : topo::platform_names()) {
-    bench::SimBackend backend(topo::make_platform(name));
-    const model::ContentionModel model =
-        model::ContentionModel::from_backend(backend);
-    const bench::SweepResult sweep = bench::run_all_placements(backend);
-    reports.push_back(model.evaluate_against(sweep));
+    pipeline::ScenarioSpec spec;
+    spec.name = "table2-" + name;
+    spec.platform = name;
+    reports.push_back(runner.run(spec).errors);
   }
   return reports;
+}
+
+std::vector<model::ErrorReport> run_table2() {
+  pipeline::Runner runner;
+  return run_table2(runner);
 }
 
 std::string render_table2(const std::vector<model::ErrorReport>& reports) {

@@ -7,13 +7,22 @@
 
 #include "model/metrics.hpp"
 
+namespace mcm::pipeline {
+class Runner;
+}  // namespace mcm::pipeline
+
 namespace mcm::eval {
 
 /// Render Table I from the platform presets.
 [[nodiscard]] std::string render_table1();
 
-/// Run the full measure + calibrate + evaluate pipeline on every preset
-/// platform; one ErrorReport per platform in Table I order.
+/// Run the full measure → calibrate → predict → score scenario on every
+/// preset platform via `runner` (sharing its calibration cache); one
+/// ErrorReport per platform in Table I order.
+[[nodiscard]] std::vector<model::ErrorReport> run_table2(
+    pipeline::Runner& runner);
+
+/// Convenience form with a private single-use runner.
 [[nodiscard]] std::vector<model::ErrorReport> run_table2();
 
 /// Render the Table II reproduction (adds the average row).

@@ -1,0 +1,265 @@
+#include "pipeline/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace mcm::pipeline {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+/// Shortest representation that round-trips a double exactly — cached
+/// curves must reload bit-identical or determinism tests would flag the
+/// cache itself.
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_params(std::ostringstream& out, const model::ModelParams& p) {
+  out << "{\"n_par_max\":" << p.n_par_max                      //
+      << ",\"t_par_max\":" << format_double(p.t_par_max)       //
+      << ",\"n_seq_max\":" << p.n_seq_max                      //
+      << ",\"t_seq_max\":" << format_double(p.t_seq_max)       //
+      << ",\"t_par_max2\":" << format_double(p.t_par_max2)     //
+      << ",\"delta_l\":" << format_double(p.delta_l)           //
+      << ",\"delta_r\":" << format_double(p.delta_r)           //
+      << ",\"b_comp_seq\":" << format_double(p.b_comp_seq)     //
+      << ",\"b_comm_seq\":" << format_double(p.b_comm_seq)     //
+      << ",\"alpha\":" << format_double(p.alpha)               //
+      << ",\"max_cores\":" << p.max_cores << '}';
+}
+
+[[nodiscard]] bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+[[nodiscard]] bool read_params(const json::Value& doc,
+                               model::ModelParams* out,
+                               std::string* error) {
+  if (!doc.is_object()) return fail(error, "params must be an object");
+  const struct {
+    const char* key;
+    double* target;
+  } doubles[] = {
+      {"t_par_max", &out->t_par_max},   {"t_seq_max", &out->t_seq_max},
+      {"t_par_max2", &out->t_par_max2}, {"delta_l", &out->delta_l},
+      {"delta_r", &out->delta_r},       {"b_comp_seq", &out->b_comp_seq},
+      {"b_comm_seq", &out->b_comm_seq}, {"alpha", &out->alpha},
+  };
+  for (const auto& field : doubles) {
+    const auto value = doc.number_at(field.key);
+    if (!value) {
+      return fail(error, std::string("params missing '") + field.key + "'");
+    }
+    *field.target = *value;
+  }
+  const struct {
+    const char* key;
+    std::size_t* target;
+  } sizes[] = {{"n_par_max", &out->n_par_max},
+               {"n_seq_max", &out->n_seq_max},
+               {"max_cores", &out->max_cores}};
+  for (const auto& field : sizes) {
+    const auto value = doc.number_at(field.key);
+    if (!value || *value < 0.0) {
+      return fail(error, std::string("params missing '") + field.key + "'");
+    }
+    *field.target = static_cast<std::size_t>(*value);
+  }
+  return true;
+}
+
+[[nodiscard]] bool read_entry(const json::Value& doc,
+                              CalibrationCache::Entry* out,
+                              std::string* error) {
+  if (!doc.is_object()) return fail(error, "entry must be an object");
+  const auto platform = doc.string_at("platform");
+  const auto numa_per_socket = doc.number_at("numa_per_socket");
+  if (!platform || !numa_per_socket || *numa_per_socket < 1.0) {
+    return fail(error, "entry missing platform / numa_per_socket");
+  }
+  out->calibration.platform = *platform;
+  out->calibration.numa_per_socket =
+      static_cast<std::size_t>(*numa_per_socket);
+
+  const json::Value* local = doc.find("local");
+  const json::Value* remote = doc.find("remote");
+  if (local == nullptr || remote == nullptr ||
+      !read_params(*local, &out->local, error) ||
+      !read_params(*remote, &out->remote, error)) {
+    if (error != nullptr && error->empty()) *error = "entry missing params";
+    return false;
+  }
+
+  const json::Value* curves = doc.find("curves");
+  if (curves == nullptr || !curves->is_array()) {
+    return fail(error, "entry missing 'curves' array");
+  }
+  for (const json::Value& curve_doc : curves->as_array()) {
+    const auto comp = curve_doc.number_at("comp_numa");
+    const auto comm = curve_doc.number_at("comm_numa");
+    const json::Value* points =
+        curve_doc.is_object() ? curve_doc.find("points") : nullptr;
+    if (!comp || !comm || *comp < 0.0 || *comm < 0.0 ||
+        points == nullptr || !points->is_array()) {
+      return fail(error, "malformed curve in cache entry");
+    }
+    bench::PlacementCurve curve;
+    curve.comp_numa = topo::NumaId(static_cast<std::uint32_t>(*comp));
+    curve.comm_numa = topo::NumaId(static_cast<std::uint32_t>(*comm));
+    for (const json::Value& row : points->as_array()) {
+      if (!row.is_array() || row.as_array().size() != 5) {
+        return fail(error, "curve point must be a 5-element array");
+      }
+      const json::Value::Array& cols = row.as_array();
+      for (const json::Value& col : cols) {
+        if (!col.is_number()) {
+          return fail(error, "curve point values must be numbers");
+        }
+      }
+      bench::BandwidthPoint point;
+      point.cores = static_cast<std::size_t>(cols[0].as_number());
+      point.compute_alone_gb = cols[1].as_number();
+      point.comm_alone_gb = cols[2].as_number();
+      point.compute_parallel_gb = cols[3].as_number();
+      point.comm_parallel_gb = cols[4].as_number();
+      curve.points.push_back(point);
+    }
+    out->calibration.curves.push_back(std::move(curve));
+  }
+  if (out->calibration.curves.empty()) {
+    return fail(error, "cache entry has no curves");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<CalibrationCache::Entry> CalibrationCache::find(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CalibrationCache::put(const std::string& key, Entry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, std::move(entry));
+}
+
+std::size_t CalibrationCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void CalibrationCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string CalibrationCache::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"schema_version\":" << kSchemaVersion << ",\"entries\":{";
+  bool first_entry = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first_entry) out << ',';
+    first_entry = false;
+    out << '"' << json_escape(key) << "\":{\"platform\":\""
+        << json_escape(entry.calibration.platform)
+        << "\",\"numa_per_socket\":" << entry.calibration.numa_per_socket
+        << ",\"local\":";
+    write_params(out, entry.local);
+    out << ",\"remote\":";
+    write_params(out, entry.remote);
+    out << ",\"curves\":[";
+    bool first_curve = true;
+    for (const bench::PlacementCurve& curve : entry.calibration.curves) {
+      if (!first_curve) out << ',';
+      first_curve = false;
+      out << "{\"comp_numa\":" << curve.comp_numa.value()
+          << ",\"comm_numa\":" << curve.comm_numa.value()
+          << ",\"points\":[";
+      bool first_point = true;
+      for (const bench::BandwidthPoint& p : curve.points) {
+        if (!first_point) out << ',';
+        first_point = false;
+        out << '[' << p.cores << ',' << format_double(p.compute_alone_gb)
+            << ',' << format_double(p.comm_alone_gb) << ','
+            << format_double(p.compute_parallel_gb) << ','
+            << format_double(p.comm_parallel_gb) << ']';
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool CalibrationCache::load_json(const std::string& text,
+                                 std::string* error) {
+  const std::optional<json::Value> doc = json::parse(text, error);
+  if (!doc) return false;
+  const auto version = doc->number_at("schema_version");
+  if (!version || static_cast<int>(*version) != kSchemaVersion) {
+    return fail(error, "calibration cache: missing or unsupported "
+                       "schema_version");
+  }
+  const json::Value* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_object()) {
+    return fail(error, "calibration cache: missing 'entries' object");
+  }
+  // Parse everything before mutating, so a malformed document cannot
+  // leave the cache half-loaded.
+  std::map<std::string, Entry> parsed;
+  for (const auto& [key, entry_doc] : entries->as_object()) {
+    Entry entry;
+    if (!read_entry(entry_doc, &entry, error)) return false;
+    parsed.insert_or_assign(key, std::move(entry));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : parsed) {
+    entries_.insert_or_assign(key, std::move(entry));
+  }
+  return true;
+}
+
+bool CalibrationCache::save_file(const std::string& path,
+                                 std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return fail(error, "cannot write '" + path + "'");
+  out << to_json() << '\n';
+  out.flush();
+  if (!out) return fail(error, "write to '" + path + "' failed");
+  return true;
+}
+
+bool CalibrationCache::load_file(const std::string& path,
+                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return load_json(text.str(), error);
+}
+
+}  // namespace mcm::pipeline

@@ -1,0 +1,62 @@
+// Calibration cache: spec fingerprint → calibrated parameters + the two
+// measured calibration curves.
+//
+// Calibration is the expensive, repeated prefix of every scenario — two
+// full placement sweeps. The cache keys entries by
+// ScenarioSpec::fingerprint() (platform, variant, policy, core range/step,
+// repetitions, workload, smoothing), so any spec change that could alter
+// the calibration invalidates the key naturally. In-memory use is
+// thread-safe; optional JSON persistence (via util/json) lets `mcmtool
+// run-scenario --cache FILE` and long-lived services keep calibrations
+// across processes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "benchlib/curves.hpp"
+#include "model/parameters.hpp"
+
+namespace mcm::pipeline {
+
+class CalibrationCache {
+ public:
+  struct Entry {
+    /// The two calibration curves, (0,0) and (#m,#m), as measured.
+    bench::SweepResult calibration;
+    /// Parameters extracted from them (local = first curve, remote =
+    /// second), stored so cached scenarios skip the calibrate stage too.
+    model::ModelParams local;
+    model::ModelParams remote;
+  };
+
+  /// Copy of the entry for `key`, or nullopt on miss.
+  [[nodiscard]] std::optional<Entry> find(const std::string& key) const;
+  void put(const std::string& key, Entry entry);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Serialize every entry (schema in docs/pipeline.md). Deterministic
+  /// output: entries ordered by key.
+  [[nodiscard]] std::string to_json() const;
+  /// Merge entries parsed from `text` into the cache (existing keys are
+  /// overwritten). False + `error` on malformed documents; the cache is
+  /// left unchanged then.
+  bool load_json(const std::string& text, std::string* error = nullptr);
+
+  /// File persistence built on the JSON form. `load_file` on a missing
+  /// file fails; callers wanting cold-start semantics check existence.
+  bool save_file(const std::string& path,
+                 std::string* error = nullptr) const;
+  bool load_file(const std::string& path, std::string* error = nullptr);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mcm::pipeline

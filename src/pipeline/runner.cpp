@@ -1,0 +1,290 @@
+#include "pipeline/runner.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "benchlib/runner.hpp"
+#include "model/calibration.hpp"
+#include "obs/span.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::pipeline {
+
+namespace {
+
+/// Index of the placement inside `placements`, or npos.
+[[nodiscard]] std::size_t find_placement(
+    const std::vector<model::Placement>& placements,
+    model::Placement target) {
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    if (placements[i] == target) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+model::PlacementModel ScenarioResult::placement_model() const {
+  return model::PlacementModel(local, remote, calibration.numa_per_socket);
+}
+
+model::ContentionModel ScenarioResult::contention_model() const {
+  return model::ContentionModel::from_sweep(calibration, spec.calibration);
+}
+
+std::unique_ptr<bench::Backend> make_backend(const ScenarioSpec& spec) {
+  auto backend =
+      std::make_unique<bench::SimBackend>(spec.resolve_platform(),
+                                          spec.policy);
+  backend->machine().set_comm_pattern(spec.comm_pattern);
+  backend->machine().set_compute_kernel(spec.compute_kernel);
+  return backend;
+}
+
+std::vector<model::Placement> expand_placements(const ScenarioSpec& spec) {
+  const topo::PlatformSpec platform = spec.resolve_platform();
+  const std::size_t numa = platform.machine.numa_count();
+  const std::size_t per_socket = platform.machine.numa_per_socket();
+
+  std::vector<model::Placement> placements;
+  switch (spec.placements) {
+    case PlacementSet::kAll:
+      // Communications in the outer loop, matching
+      // bench::run_all_placements — consumers rely on this order.
+      for (std::size_t comm = 0; comm < numa; ++comm) {
+        for (std::size_t comp = 0; comp < numa; ++comp) {
+          placements.push_back(model::Placement{
+              topo::NumaId(static_cast<std::uint32_t>(comp)),
+              topo::NumaId(static_cast<std::uint32_t>(comm))});
+        }
+      }
+      break;
+    case PlacementSet::kCalibration: {
+      const topo::NumaId local(0);
+      const topo::NumaId remote(static_cast<std::uint32_t>(per_socket));
+      placements.push_back(model::Placement{local, local});
+      placements.push_back(model::Placement{remote, remote});
+      break;
+    }
+    case PlacementSet::kExplicit:
+      MCM_EXPECTS(!spec.explicit_placements.empty());
+      for (const model::Placement& p : spec.explicit_placements) {
+        MCM_EXPECTS(p.comp.value() < numa);
+        MCM_EXPECTS(p.comm.value() < numa);
+        placements.push_back(p);
+      }
+      break;
+  }
+  return placements;
+}
+
+model::PredictedCurve align_prediction(
+    const model::PredictedCurve& dense,
+    const bench::PlacementCurve& measured) {
+  model::PredictedCurve aligned;
+  aligned.comp_numa = dense.comp_numa;
+  aligned.comm_numa = dense.comm_numa;
+  for (const bench::BandwidthPoint& point : measured.points) {
+    MCM_EXPECTS(point.cores >= 1);
+    const std::size_t index = point.cores - 1;
+    MCM_EXPECTS(index < dense.comm_parallel_gb.size());
+    aligned.compute_alone_gb.push_back(dense.compute_alone_gb[index]);
+    aligned.comm_alone_gb.push_back(dense.comm_alone_gb[index]);
+    aligned.compute_parallel_gb.push_back(dense.compute_parallel_gb[index]);
+    aligned.comm_parallel_gb.push_back(dense.comm_parallel_gb[index]);
+  }
+  return aligned;
+}
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
+  if (options_.observer.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.observer.metrics;
+    met_runs_ = &m.counter("pipeline.runs");
+    met_cache_hits_ = &m.counter("pipeline.cache.hits");
+    met_cache_misses_ = &m.counter("pipeline.cache.misses");
+    met_placements_ = &m.counter("pipeline.placements");
+    met_measured_ = &m.counter("pipeline.measured_placements");
+  }
+}
+
+Runner::~Runner() = default;
+
+CalibrationCache& Runner::cache() {
+  return options_.cache != nullptr ? *options_.cache : own_cache_;
+}
+
+runtime::ThreadPool* Runner::pool_for(std::size_t jobs) {
+  if (jobs <= 1) return nullptr;
+  if (options_.pool != nullptr) return options_.pool;
+  if (options_.parallelism == 1) return nullptr;
+  if (own_pool_ == nullptr) {
+    std::size_t workers = options_.parallelism;
+    if (workers == 0) {
+      workers = std::max<std::size_t>(
+          2, std::thread::hardware_concurrency());
+    }
+    own_pool_ = std::make_unique<runtime::ThreadPool>(workers);
+  }
+  return own_pool_.get();
+}
+
+std::vector<bench::PlacementCurve> Runner::measure_placements(
+    const ScenarioSpec& spec,
+    const std::vector<model::Placement>& placements,
+    const bench::SweepOptions& sweep_options) {
+  std::vector<bench::PlacementCurve> curves(placements.size());
+  const auto body = [&](std::size_t i) {
+    // A fresh backend per placement: simulator measurements depend only on
+    // (platform seed, run index, coordinate), so this matches a shared
+    // serial backend bit-for-bit while keeping placements independent.
+    const std::unique_ptr<bench::Backend> backend = make_backend(spec);
+    curves[i] = bench::run_placement(*backend, placements[i].comp,
+                                     placements[i].comm, sweep_options);
+  };
+  runtime::ThreadPool* pool = pool_for(placements.size());
+  if (pool != nullptr) {
+    pool->parallel_for(0, placements.size(), body);
+  } else {
+    for (std::size_t i = 0; i < placements.size(); ++i) body(i);
+  }
+  if (met_measured_ != nullptr) met_measured_->add(placements.size());
+  return curves;
+}
+
+ScenarioResult Runner::run(const ScenarioSpec& spec) {
+  if (met_runs_ != nullptr) met_runs_->add();
+  const obs::ScopedSpan scenario_span(options_.observer.trace, clock_,
+                                      "scenario", "pipeline", 0);
+
+  ScenarioResult result;
+  result.spec = spec;
+
+  bench::SweepOptions measure_options;
+  measure_options.max_cores = spec.max_cores;
+  measure_options.core_step = spec.core_step;
+  measure_options.repetitions = spec.repetitions;
+  measure_options.observer = options_.observer;
+  // model::calibrate requires a dense sweep whatever the measure step.
+  bench::SweepOptions calibration_options = measure_options;
+  calibration_options.core_step = 1;
+
+  // --- calibrate ------------------------------------------------------
+  {
+    const obs::ScopedSpan span(options_.observer.trace, clock_, "calibrate",
+                               "pipeline", 0);
+    const double start_us = clock_.now_us();
+    const std::string key = spec.cacheable() ? spec.fingerprint() : "";
+    const std::optional<CalibrationCache::Entry> cached =
+        key.empty() ? std::nullopt : cache().find(key);
+    if (cached) {
+      result.calibration = cached->calibration;
+      result.local = cached->local;
+      result.remote = cached->remote;
+      result.cache_hit = true;
+      if (met_cache_hits_ != nullptr) met_cache_hits_->add();
+    } else {
+      if (met_cache_misses_ != nullptr) met_cache_misses_->add();
+      ScenarioSpec calibration_spec = spec;
+      calibration_spec.placements = PlacementSet::kCalibration;
+      const std::vector<model::Placement> placements =
+          expand_placements(calibration_spec);
+      result.calibration.curves =
+          measure_placements(spec, placements, calibration_options);
+      const topo::PlatformSpec platform = spec.resolve_platform();
+      result.calibration.platform = platform.name;
+      result.calibration.numa_per_socket =
+          platform.machine.numa_per_socket();
+      result.local =
+          model::calibrate(result.calibration.curves[0], spec.calibration);
+      result.remote =
+          model::calibrate(result.calibration.curves[1], spec.calibration);
+      if (!key.empty()) {
+        cache().put(key, CalibrationCache::Entry{result.calibration,
+                                                 result.local,
+                                                 result.remote});
+      }
+    }
+    result.timings.calibrate_us = clock_.now_us() - start_us;
+  }
+
+  // --- measure --------------------------------------------------------
+  {
+    const obs::ScopedSpan span(options_.observer.trace, clock_, "measure",
+                               "pipeline", 0);
+    const double start_us = clock_.now_us();
+    const std::vector<model::Placement> placements =
+        expand_placements(spec);
+    if (met_placements_ != nullptr) met_placements_->add(placements.size());
+
+    result.sweep.platform = result.calibration.platform;
+    result.sweep.numa_per_socket = result.calibration.numa_per_socket;
+    result.sweep.curves.resize(placements.size());
+
+    // The calibration curves already cover their placements when the
+    // measure protocol is dense too — splice instead of re-sweeping.
+    std::vector<model::Placement> to_measure;
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      std::size_t reuse = static_cast<std::size_t>(-1);
+      if (spec.core_step == 1) {
+        const std::vector<model::Placement> calibrated = {
+            model::Placement{result.calibration.curves[0].comp_numa,
+                             result.calibration.curves[0].comm_numa},
+            model::Placement{result.calibration.curves[1].comp_numa,
+                             result.calibration.curves[1].comm_numa}};
+        reuse = find_placement(calibrated, placements[i]);
+      }
+      if (reuse != static_cast<std::size_t>(-1)) {
+        result.sweep.curves[i] = result.calibration.curves[reuse];
+      } else {
+        to_measure.push_back(placements[i]);
+        slots.push_back(i);
+      }
+    }
+    std::vector<bench::PlacementCurve> measured =
+        measure_placements(spec, to_measure, measure_options);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      result.sweep.curves[slots[i]] = std::move(measured[i]);
+    }
+    result.timings.measure_us = clock_.now_us() - start_us;
+  }
+
+  // --- predict --------------------------------------------------------
+  {
+    const obs::ScopedSpan span(options_.observer.trace, clock_, "predict",
+                               "pipeline", 0);
+    const double start_us = clock_.now_us();
+    const model::PlacementModel model = result.placement_model();
+    for (const bench::PlacementCurve& curve : result.sweep.curves) {
+      result.predicted.push_back(align_prediction(
+          model.predict(curve.comp_numa, curve.comm_numa), curve));
+    }
+    result.timings.predict_us = clock_.now_us() - start_us;
+  }
+
+  // --- score ----------------------------------------------------------
+  {
+    const obs::ScopedSpan span(options_.observer.trace, clock_, "score",
+                               "pipeline", 0);
+    const double start_us = clock_.now_us();
+    // evaluate_with walks sweep.curves in order; serve the pre-aligned
+    // prediction for each so sparse sweeps score point-by-point.
+    std::size_t next = 0;
+    result.errors = model::evaluate_with(
+        result.sweep.platform, result.sweep,
+        [&](topo::NumaId comp, topo::NumaId comm) {
+          MCM_EXPECTS(next < result.predicted.size());
+          const model::PredictedCurve& aligned = result.predicted[next++];
+          MCM_EXPECTS(aligned.comp_numa == comp);
+          MCM_EXPECTS(aligned.comm_numa == comm);
+          return aligned;
+        });
+    result.timings.score_us = clock_.now_us() - start_us;
+  }
+
+  return result;
+}
+
+}  // namespace mcm::pipeline

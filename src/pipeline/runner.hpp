@@ -1,0 +1,139 @@
+// The scenario runner: one declarative ScenarioSpec in, one ScenarioResult
+// out, through the paper's four stages as an observable pipeline:
+//
+//   calibrate  — measure the two §III placements (or hit the calibration
+//                cache) and extract Mlocal / Mremote
+//   measure    — sweep every placement the spec selects (§IV-A-1),
+//                placements dispatched in parallel on a thread pool
+//   predict    — evaluate the placement model for each measured placement
+//                (§III-C), aligned to the measured core counts
+//   score      — Table-II MAPE aggregation of measured vs predicted
+//
+// Determinism: placements are measured on fresh per-placement backends
+// whose jitter depends only on (platform seed, run index, coordinate), so
+// the parallel sweep is bit-identical to the serial one, and cached
+// calibrations are bit-identical to remeasured ones.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "benchlib/backend.hpp"
+#include "benchlib/curves.hpp"
+#include "model/metrics.hpp"
+#include "model/model.hpp"
+#include "obs/observer.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/spec.hpp"
+
+namespace mcm::runtime {
+class ThreadPool;
+}  // namespace mcm::runtime
+
+namespace mcm::pipeline {
+
+/// Wall-clock cost of each stage, microseconds.
+struct StageTimings {
+  double calibrate_us = 0.0;
+  double measure_us = 0.0;
+  double predict_us = 0.0;
+  double score_us = 0.0;
+};
+
+/// Everything one scenario run produces.
+struct ScenarioResult {
+  ScenarioSpec spec;
+
+  /// Calibrate stage: the two calibration curves (always dense, cores
+  /// 1..max — model::calibrate requires a dense sweep) and the extracted
+  /// parameter sets.
+  bench::SweepResult calibration;
+  model::ModelParams local;
+  model::ModelParams remote;
+  /// True when the calibrate stage was served from the cache (no sweeps).
+  bool cache_hit = false;
+
+  /// Measure stage: one curve per selected placement, spec order.
+  bench::SweepResult sweep;
+  /// Predict stage: parallel to sweep.curves, subsampled to the measured
+  /// core counts (so sparse sweeps score against matching predictions).
+  std::vector<model::PredictedCurve> predicted;
+  /// Score stage: Table-II row over the measured placements.
+  model::ErrorReport errors;
+
+  StageTimings timings;
+
+  /// The combined local+remote placement model behind `predicted`.
+  [[nodiscard]] model::PlacementModel placement_model() const;
+  /// Convenience wrapper exposing the advisor API (recommended core
+  /// counts, best placement). Rebuilt from the calibration curves.
+  [[nodiscard]] model::ContentionModel contention_model() const;
+};
+
+struct RunnerOptions {
+  /// Shared calibration cache; null = the runner owns a private one.
+  CalibrationCache* cache = nullptr;
+  /// Shared measurement pool; null = the runner lazily creates its own.
+  runtime::ThreadPool* pool = nullptr;
+  /// Worker count for the lazily-created pool: 0 = one per placement,
+  /// capped at hardware concurrency; 1 = measure serially (no pool).
+  /// Ignored when `pool` is set.
+  std::size_t parallelism = 0;
+  /// Counters pipeline.runs / cache.hits / cache.misses / placements /
+  /// measured_placements, "scenario" + per-stage wall spans on track 0.
+  obs::Observer observer;
+};
+
+/// Instantiate the spec's backend: simulator on the resolved platform with
+/// the spec's policy, comm pattern and compute kernel applied.
+[[nodiscard]] std::unique_ptr<bench::Backend> make_backend(
+    const ScenarioSpec& spec);
+
+/// The measure-stage placement list, in canonical order (kAll iterates
+/// communications in the outer loop like bench::run_all_placements).
+[[nodiscard]] std::vector<model::Placement> expand_placements(
+    const ScenarioSpec& spec);
+
+/// Subsample a dense prediction (indexed cores-1) at the core counts
+/// `measured` actually covers, so the two can be scored point-by-point.
+[[nodiscard]] model::PredictedCurve align_prediction(
+    const model::PredictedCurve& dense,
+    const bench::PlacementCurve& measured);
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Execute all four stages for `spec`.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec);
+
+  /// The cache in effect (the shared one, or the runner's own).
+  [[nodiscard]] CalibrationCache& cache();
+
+ private:
+  /// Measure `placements` on fresh per-placement backends, parallel when
+  /// a pool is in effect. Results land in placement order.
+  [[nodiscard]] std::vector<bench::PlacementCurve> measure_placements(
+      const ScenarioSpec& spec,
+      const std::vector<model::Placement>& placements,
+      const bench::SweepOptions& sweep_options);
+  [[nodiscard]] runtime::ThreadPool* pool_for(std::size_t jobs);
+
+  RunnerOptions options_;
+  CalibrationCache own_cache_;
+  std::unique_ptr<runtime::ThreadPool> own_pool_;
+  obs::WallClock clock_;
+
+  obs::Counter* met_runs_ = nullptr;
+  obs::Counter* met_cache_hits_ = nullptr;
+  obs::Counter* met_cache_misses_ = nullptr;
+  obs::Counter* met_placements_ = nullptr;
+  obs::Counter* met_measured_ = nullptr;
+};
+
+}  // namespace mcm::pipeline

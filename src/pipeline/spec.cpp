@@ -1,0 +1,254 @@
+#include "pipeline/spec.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/json.hpp"
+
+namespace mcm::pipeline {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(PlacementSet set) {
+  switch (set) {
+    case PlacementSet::kAll:
+      return "all";
+    case PlacementSet::kCalibration:
+      return "calibration";
+    case PlacementSet::kExplicit:
+      return "explicit";
+  }
+  return "unknown";
+}
+
+std::optional<sim::ArbitrationPolicy> parse_policy(const std::string& name) {
+  if (name == to_string(sim::ArbitrationPolicy::kCpuPriorityWithFloor)) {
+    return sim::ArbitrationPolicy::kCpuPriorityWithFloor;
+  }
+  if (name == to_string(sim::ArbitrationPolicy::kFairShare)) {
+    return sim::ArbitrationPolicy::kFairShare;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::CommPattern> parse_comm_pattern(const std::string& name) {
+  if (name == to_string(sim::CommPattern::kReceiveOnly)) {
+    return sim::CommPattern::kReceiveOnly;
+  }
+  if (name == to_string(sim::CommPattern::kBidirectional)) {
+    return sim::CommPattern::kBidirectional;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::ComputeKernel> parse_compute_kernel(
+    const std::string& name) {
+  for (const sim::ComputeKernel kernel :
+       {sim::ComputeKernel::kFill, sim::ComputeKernel::kCopy,
+        sim::ComputeKernel::kCachedFill}) {
+    if (name == to_string(kernel)) return kernel;
+  }
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::fingerprint() const {
+  MCM_EXPECTS(cacheable());
+  std::ostringstream out;
+  out << "platform=" << platform;
+  if (!variant.empty()) out << "|variant=" << variant;
+  out << "|policy=" << sim::to_string(policy)           //
+      << "|max_cores=" << max_cores                     //
+      << "|core_step=" << core_step                     //
+      << "|repetitions=" << repetitions                 //
+      << "|comm=" << sim::to_string(comm_pattern)       //
+      << "|kernel=" << sim::to_string(compute_kernel)   //
+      << "|smoothing=" << calibration.smoothing_half_window;
+  return out.str();
+}
+
+topo::PlatformSpec ScenarioSpec::resolve_platform() const {
+  if (platform_override) return *platform_override;
+  return topo::make_platform(platform);
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"name\": \"" << json_escape(name) << "\",\n"
+      << "  \"platform\": \"" << json_escape(platform) << "\",\n"
+      << "  \"policy\": \"" << sim::to_string(policy) << "\",\n"
+      << "  \"placements\": ";
+  if (placements == PlacementSet::kExplicit) {
+    out << '[';
+    for (std::size_t i = 0; i < explicit_placements.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << '[' << explicit_placements[i].comp.value() << ", "
+          << explicit_placements[i].comm.value() << ']';
+    }
+    out << ']';
+  } else {
+    out << '"' << to_string(placements) << '"';
+  }
+  out << ",\n"
+      << "  \"max_cores\": " << max_cores << ",\n"
+      << "  \"core_step\": " << core_step << ",\n"
+      << "  \"repetitions\": " << repetitions << ",\n"
+      << "  \"comm_pattern\": \"" << sim::to_string(comm_pattern) << "\",\n"
+      << "  \"compute_kernel\": \"" << sim::to_string(compute_kernel)
+      << "\",\n"
+      << "  \"smoothing_half_window\": "
+      << calibration.smoothing_half_window << "\n}";
+  return out.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Read a non-negative integer member into `out`; absent keys keep the
+/// default. Rejects negatives and non-numbers.
+[[nodiscard]] bool read_size(const json::Value& doc, const char* key,
+                             std::size_t* out, std::string* error) {
+  const json::Value* v = doc.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->as_number() < 0.0) {
+    return fail(error, std::string("'") + key +
+                           "' must be a non-negative number");
+  }
+  *out = static_cast<std::size_t>(v->as_number());
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& text,
+                                                    std::string* error) {
+  const std::optional<json::Value> doc = json::parse(text, error);
+  if (!doc) return std::nullopt;
+  if (!doc->is_object()) {
+    fail(error, "scenario spec must be a JSON object");
+    return std::nullopt;
+  }
+
+  static const char* const kKnownKeys[] = {
+      "name",         "platform",    "policy",
+      "placements",   "max_cores",   "core_step",
+      "repetitions",  "comm_pattern", "compute_kernel",
+      "smoothing_half_window"};
+  for (const auto& [key, value] : doc->as_object()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : kKnownKeys) known = known || key == k;
+    if (!known) {
+      fail(error, "unknown scenario spec key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+
+  ScenarioSpec spec;
+  const std::optional<std::string> platform = doc->string_at("platform");
+  if (!platform || platform->empty()) {
+    fail(error, "scenario spec requires a 'platform' string");
+    return std::nullopt;
+  }
+  spec.platform = *platform;
+  if (const auto name = doc->string_at("name")) spec.name = *name;
+
+  if (const auto policy = doc->string_at("policy")) {
+    const auto parsed = parse_policy(*policy);
+    if (!parsed) {
+      fail(error, "unknown policy '" + *policy + "'");
+      return std::nullopt;
+    }
+    spec.policy = *parsed;
+  }
+
+  if (const json::Value* p = doc->find("placements")) {
+    if (p->is_string()) {
+      if (p->as_string() == "all") {
+        spec.placements = PlacementSet::kAll;
+      } else if (p->as_string() == "calibration") {
+        spec.placements = PlacementSet::kCalibration;
+      } else {
+        fail(error, "placements must be \"all\", \"calibration\" or a "
+                    "[[comp, comm], ...] array");
+        return std::nullopt;
+      }
+    } else if (p->is_array()) {
+      spec.placements = PlacementSet::kExplicit;
+      for (const json::Value& pair : p->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2 ||
+            !pair.as_array()[0].is_number() ||
+            !pair.as_array()[1].is_number() ||
+            pair.as_array()[0].as_number() < 0.0 ||
+            pair.as_array()[1].as_number() < 0.0) {
+          fail(error, "each explicit placement must be a [comp, comm] "
+                      "pair of non-negative node ids");
+          return std::nullopt;
+        }
+        spec.explicit_placements.push_back(model::Placement{
+            topo::NumaId(static_cast<std::uint32_t>(
+                pair.as_array()[0].as_number())),
+            topo::NumaId(static_cast<std::uint32_t>(
+                pair.as_array()[1].as_number()))});
+      }
+      if (spec.explicit_placements.empty()) {
+        fail(error, "explicit placements array must not be empty");
+        return std::nullopt;
+      }
+    } else {
+      fail(error, "placements must be a string or an array");
+      return std::nullopt;
+    }
+  }
+
+  if (!read_size(*doc, "max_cores", &spec.max_cores, error) ||
+      !read_size(*doc, "core_step", &spec.core_step, error) ||
+      !read_size(*doc, "repetitions", &spec.repetitions, error) ||
+      !read_size(*doc, "smoothing_half_window",
+                 &spec.calibration.smoothing_half_window, error)) {
+    return std::nullopt;
+  }
+  if (spec.core_step < 1) {
+    fail(error, "'core_step' must be >= 1");
+    return std::nullopt;
+  }
+  if (spec.repetitions < 1) {
+    fail(error, "'repetitions' must be >= 1");
+    return std::nullopt;
+  }
+
+  if (const auto pattern = doc->string_at("comm_pattern")) {
+    const auto parsed = parse_comm_pattern(*pattern);
+    if (!parsed) {
+      fail(error, "unknown comm_pattern '" + *pattern + "'");
+      return std::nullopt;
+    }
+    spec.comm_pattern = *parsed;
+  }
+  if (const auto kernel = doc->string_at("compute_kernel")) {
+    const auto parsed = parse_compute_kernel(*kernel);
+    if (!parsed) {
+      fail(error, "unknown compute_kernel '" + *kernel + "'");
+      return std::nullopt;
+    }
+    spec.compute_kernel = *parsed;
+  }
+  return spec;
+}
+
+}  // namespace mcm::pipeline

@@ -1,0 +1,98 @@
+// Declarative scenario descriptions for the paper's evaluation pipeline.
+//
+// A ScenarioSpec names everything one measure→calibrate→predict→score run
+// depends on: the platform (preset name or explicit PlatformSpec), the
+// placements to measure, the sweep protocol (core range/step,
+// repetitions), the arbitration policy and the workload variant. Specs
+// serialize to/from JSON (the `mcmtool run-scenario` input format, schema
+// in docs/pipeline.md) and fingerprint themselves for the calibration
+// cache: two specs with the same fingerprint are guaranteed to produce
+// identical calibration sweeps.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/calibration.hpp"
+#include "model/placement.hpp"
+#include "sim/machine.hpp"
+#include "topo/platforms.hpp"
+
+namespace mcm::pipeline {
+
+/// Which placements the measure stage sweeps.
+enum class PlacementSet : std::uint8_t {
+  kAll,          ///< every (comp, comm) pair — #numa^2 sweeps
+  kCalibration,  ///< only the two calibration placements (0,0), (#m,#m)
+  kExplicit,     ///< exactly ScenarioSpec::explicit_placements
+};
+
+[[nodiscard]] const char* to_string(PlacementSet set);
+
+struct ScenarioSpec {
+  /// Scenario id, used for report names and display; optional.
+  std::string name;
+  /// Platform preset name (topo::make_platform) — or, with
+  /// `platform_override`, just the display label.
+  std::string platform;
+  /// Programmatic platforms (ablation variants, file-loaded topologies)
+  /// bypass the preset lookup. Not representable in JSON.
+  std::optional<topo::PlatformSpec> platform_override;
+  /// Extra fingerprint discriminator for overridden platforms (e.g. the
+  /// ablation variant name). An override with an empty variant is not
+  /// cacheable — the cache cannot know what the spec changed.
+  std::string variant;
+
+  sim::ArbitrationPolicy policy =
+      sim::ArbitrationPolicy::kCpuPriorityWithFloor;
+
+  PlacementSet placements = PlacementSet::kAll;
+  std::vector<model::Placement> explicit_placements;
+
+  /// Sweep protocol (bench::SweepOptions mirror).
+  std::size_t max_cores = 0;  ///< 0 = all available
+  std::size_t core_step = 1;
+  std::size_t repetitions = 1;
+
+  /// Workload variant (paper §VI future-work axes).
+  sim::CommPattern comm_pattern = sim::CommPattern::kReceiveOnly;
+  sim::ComputeKernel compute_kernel = sim::ComputeKernel::kFill;
+
+  model::CalibrationOptions calibration;
+
+  /// False when the calibration result cannot be keyed: a platform
+  /// override without a variant label.
+  [[nodiscard]] bool cacheable() const {
+    return !platform_override.has_value() || !variant.empty();
+  }
+
+  /// Cache key: covers every field that influences the calibration
+  /// sweeps and the extracted parameters (platform, variant, policy, core
+  /// range/step, repetitions, workload, smoothing) — but not the
+  /// placement selection, which only affects the measure stage.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Resolve the platform: `platform_override` if set, else the preset.
+  /// Throws ContractViolation on unknown preset names.
+  [[nodiscard]] topo::PlatformSpec resolve_platform() const;
+
+  /// JSON document (schema in docs/pipeline.md).
+  [[nodiscard]] std::string to_json() const;
+  /// Parse + validate a spec document. Unknown keys are rejected, so a
+  /// typoed field cannot silently fall back to a default.
+  [[nodiscard]] static std::optional<ScenarioSpec> from_json(
+      const std::string& text, std::string* error = nullptr);
+};
+
+/// Enum spellings used by the JSON schema (shared with to_string of the
+/// sim enums). Return nullopt on unknown names.
+[[nodiscard]] std::optional<sim::ArbitrationPolicy> parse_policy(
+    const std::string& name);
+[[nodiscard]] std::optional<sim::CommPattern> parse_comm_pattern(
+    const std::string& name);
+[[nodiscard]] std::optional<sim::ComputeKernel> parse_compute_kernel(
+    const std::string& name);
+
+}  // namespace mcm::pipeline

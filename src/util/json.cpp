@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 #include "util/contracts.hpp"
@@ -127,6 +128,51 @@ class Parser {
     return std::nullopt;
   }
 
+  /// Four hex digits of a \uXXXX escape (cursor past the 'u').
+  std::optional<std::uint32_t> parse_hex4() {
+    if (text_.size() - pos_ < 4) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t code = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail(std::string("invalid hex digit '") + c + "' in \\u escape");
+        return std::nullopt;
+      }
+      code = code * 16 + digit;
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  /// Append `code` (a valid scalar value, <= U+10FFFF) as UTF-8.
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   std::optional<std::string> parse_string() {
     if (!consume('"')) {
       fail("expected '\"'");
@@ -149,18 +195,31 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            // Keep it simple: \uXXXX decodes to '?' outside ASCII — the
-            // repo's own writers never emit it.
-            if (text_.size() - pos_ < 4) {
-              fail("truncated \\u escape");
+            const std::optional<std::uint32_t> unit = parse_hex4();
+            if (!unit) return std::nullopt;
+            std::uint32_t code = *unit;
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              fail("lone low surrogate in \\u escape");
               return std::nullopt;
             }
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            const long code = std::strtol(hex.c_str(), nullptr, 16);
-            out.push_back(code > 0 && code < 128
-                              ? static_cast<char>(code)
-                              : '?');
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: a \uXXXX low surrogate must follow; the
+              // pair combines into one supplementary-plane code point.
+              if (text_.size() - pos_ < 2 || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                fail("high surrogate not followed by \\u escape");
+                return std::nullopt;
+              }
+              pos_ += 2;
+              const std::optional<std::uint32_t> low = parse_hex4();
+              if (!low) return std::nullopt;
+              if (*low < 0xDC00 || *low > 0xDFFF) {
+                fail("high surrogate not followed by low surrogate");
+                return std::nullopt;
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+            }
+            append_utf8(out, code);
             break;
           }
           default:

@@ -31,6 +31,19 @@ TEST(Curves, AtIsOneBased) {
   EXPECT_THROW((void)c.at(5), ContractViolation);
 }
 
+TEST(Curves, AtLooksUpSparseCurvesByCoreCount) {
+  // A core_step=2 sweep measures cores 1, 3 only: at() must find the
+  // measured counts and reject the skipped ones.
+  PlacementCurve sparse = sample_curve();
+  sparse.points.erase(sparse.points.begin() + 3);  // drop cores == 4
+  sparse.points.erase(sparse.points.begin() + 1);  // drop cores == 2
+  EXPECT_EQ(sparse.at(1).cores, 1u);
+  EXPECT_DOUBLE_EQ(sparse.at(3).compute_alone_gb, 15.0);
+  EXPECT_THROW((void)sparse.at(2), ContractViolation);
+  EXPECT_THROW((void)sparse.at(4), ContractViolation);
+  EXPECT_THROW((void)sparse.at(5), ContractViolation);
+}
+
 TEST(Curves, SeriesExtraction) {
   const PlacementCurve c = sample_curve();
   EXPECT_EQ(c.series(Series::kComputeAlone),

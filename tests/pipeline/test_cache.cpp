@@ -1,0 +1,166 @@
+#include "pipeline/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mcm::pipeline {
+namespace {
+
+/// A small but fully populated entry with awkward doubles, to exercise
+/// exact round-tripping.
+CalibrationCache::Entry make_entry() {
+  CalibrationCache::Entry entry;
+  entry.calibration.platform = "henri";
+  entry.calibration.numa_per_socket = 1;
+  bench::PlacementCurve local;
+  local.comp_numa = topo::NumaId(0);
+  local.comm_numa = topo::NumaId(0);
+  local.points = {{1, 5.5, 12.25, 5.0, 12.0},
+                  {2, 11.0, 12.25, 10.1234567890123456, 11.75}};
+  bench::PlacementCurve remote;
+  remote.comp_numa = topo::NumaId(1);
+  remote.comm_numa = topo::NumaId(1);
+  remote.points = {{1, 3.25, 11.5, 3.0, 11.0},
+                   {2, 6.5, 11.5, 6.0, 10.0}};
+  entry.calibration.curves = {local, remote};
+  entry.local.n_par_max = 2;
+  entry.local.t_par_max = 87.0 + 1.0 / 3.0;  // not representable exactly
+  entry.local.n_seq_max = 2;
+  entry.local.t_seq_max = 86.0;
+  entry.local.t_par_max2 = 85.5;
+  entry.local.delta_l = 1.0e-17;
+  entry.local.delta_r = 0.25;
+  entry.local.b_comp_seq = 5.5;
+  entry.local.b_comm_seq = 12.25;
+  entry.local.alpha = 0.32999999999999996;
+  entry.local.max_cores = 2;
+  entry.remote = entry.local;
+  entry.remote.t_par_max = 36.7;
+  return entry;
+}
+
+void expect_entry_equal(const CalibrationCache::Entry& a,
+                        const CalibrationCache::Entry& b) {
+  EXPECT_EQ(a.calibration.platform, b.calibration.platform);
+  EXPECT_EQ(a.calibration.numa_per_socket, b.calibration.numa_per_socket);
+  ASSERT_EQ(a.calibration.curves.size(), b.calibration.curves.size());
+  for (std::size_t c = 0; c < a.calibration.curves.size(); ++c) {
+    const bench::PlacementCurve& ca = a.calibration.curves[c];
+    const bench::PlacementCurve& cb = b.calibration.curves[c];
+    EXPECT_EQ(ca.comp_numa, cb.comp_numa);
+    EXPECT_EQ(ca.comm_numa, cb.comm_numa);
+    ASSERT_EQ(ca.points.size(), cb.points.size());
+    for (std::size_t p = 0; p < ca.points.size(); ++p) {
+      EXPECT_EQ(ca.points[p].cores, cb.points[p].cores);
+      // Bitwise equality: persistence must not round.
+      EXPECT_EQ(ca.points[p].compute_alone_gb, cb.points[p].compute_alone_gb);
+      EXPECT_EQ(ca.points[p].comm_alone_gb, cb.points[p].comm_alone_gb);
+      EXPECT_EQ(ca.points[p].compute_parallel_gb,
+                cb.points[p].compute_parallel_gb);
+      EXPECT_EQ(ca.points[p].comm_parallel_gb,
+                cb.points[p].comm_parallel_gb);
+    }
+  }
+  EXPECT_EQ(a.local.n_par_max, b.local.n_par_max);
+  EXPECT_EQ(a.local.t_par_max, b.local.t_par_max);
+  EXPECT_EQ(a.local.delta_l, b.local.delta_l);
+  EXPECT_EQ(a.local.alpha, b.local.alpha);
+  EXPECT_EQ(a.local.max_cores, b.local.max_cores);
+  EXPECT_EQ(a.remote.t_par_max, b.remote.t_par_max);
+}
+
+TEST(CalibrationCache, FindMissesThenHitsAfterPut) {
+  CalibrationCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.find("platform=henri"));
+  cache.put("platform=henri", make_entry());
+  EXPECT_EQ(cache.size(), 1u);
+  const auto found = cache.find("platform=henri");
+  ASSERT_TRUE(found);
+  expect_entry_equal(*found, make_entry());
+  EXPECT_FALSE(cache.find("platform=dahu"));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.find("platform=henri"));
+}
+
+TEST(CalibrationCache, PutOverwritesExistingKey) {
+  CalibrationCache cache;
+  cache.put("k", make_entry());
+  CalibrationCache::Entry updated = make_entry();
+  updated.local.t_par_max = 99.0;
+  cache.put("k", updated);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find("k")->local.t_par_max, 99.0);
+}
+
+TEST(CalibrationCache, JsonRoundTripIsExact) {
+  CalibrationCache cache;
+  cache.put("platform=henri|policy=cpu-priority-with-floor", make_entry());
+  CalibrationCache::Entry other = make_entry();
+  other.calibration.platform = "dahu";
+  cache.put("platform=dahu|policy=fair-share", other);
+
+  CalibrationCache loaded;
+  std::string error;
+  ASSERT_TRUE(loaded.load_json(cache.to_json(), &error)) << error;
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto entry =
+      loaded.find("platform=henri|policy=cpu-priority-with-floor");
+  ASSERT_TRUE(entry);
+  expect_entry_equal(*entry, make_entry());
+  // Deterministic serialization: same entries, same document.
+  EXPECT_EQ(loaded.to_json(), cache.to_json());
+}
+
+TEST(CalibrationCache, MalformedDocumentsLeaveTheCacheUntouched) {
+  CalibrationCache cache;
+  cache.put("keep", make_entry());
+  std::string error;
+  EXPECT_FALSE(cache.load_json("not json at all", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(cache.load_json(R"({"schema_version": 99, "entries": {}})",
+                               &error));
+  EXPECT_FALSE(cache.load_json(R"({"entries": {}})", &error));
+  EXPECT_FALSE(cache.load_json(
+      R"({"schema_version": 1, "entries": {"x": {"platform": "p"}}})",
+      &error));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.find("keep"));
+}
+
+TEST(CalibrationCache, LoadJsonMergesIntoExistingEntries) {
+  CalibrationCache source;
+  source.put("a", make_entry());
+  CalibrationCache target;
+  CalibrationCache::Entry stale = make_entry();
+  stale.local.t_par_max = 1.0;
+  target.put("a", stale);
+  target.put("b", make_entry());
+  ASSERT_TRUE(target.load_json(source.to_json()));
+  EXPECT_EQ(target.size(), 2u);
+  EXPECT_EQ(target.find("a")->local.t_par_max, make_entry().local.t_par_max);
+}
+
+TEST(CalibrationCache, FileRoundTripAndMissingFile) {
+  const std::string path =
+      testing::TempDir() + "/mcm_calibration_cache_test.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  std::string error;
+  ASSERT_TRUE(cache.save_file(path, &error)) << error;
+
+  CalibrationCache loaded;
+  ASSERT_TRUE(loaded.load_file(path, &error)) << error;
+  EXPECT_EQ(loaded.size(), 1u);
+  expect_entry_equal(*loaded.find("platform=henri"), make_entry());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(loaded.load_file(path + ".does-not-exist", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mcm::pipeline

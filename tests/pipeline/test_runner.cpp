@@ -1,0 +1,229 @@
+#include "pipeline/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mcm::pipeline {
+namespace {
+
+ScenarioSpec henri_spec(PlacementSet placements = PlacementSet::kAll) {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.platform = "henri";
+  spec.placements = placements;
+  return spec;
+}
+
+void expect_identical_sweeps(const bench::SweepResult& a,
+                             const bench::SweepResult& b) {
+  ASSERT_EQ(a.curves.size(), b.curves.size());
+  for (std::size_t i = 0; i < a.curves.size(); ++i) {
+    const bench::PlacementCurve& ca = a.curves[i];
+    const bench::PlacementCurve& cb = b.curves[i];
+    EXPECT_EQ(ca.comp_numa, cb.comp_numa);
+    EXPECT_EQ(ca.comm_numa, cb.comm_numa);
+    ASSERT_EQ(ca.points.size(), cb.points.size());
+    for (std::size_t p = 0; p < ca.points.size(); ++p) {
+      // Bit-identical, not approximately equal: the parallel sweep and
+      // the cache must not perturb results at all.
+      EXPECT_EQ(ca.points[p].cores, cb.points[p].cores);
+      EXPECT_EQ(ca.points[p].compute_alone_gb, cb.points[p].compute_alone_gb);
+      EXPECT_EQ(ca.points[p].comm_alone_gb, cb.points[p].comm_alone_gb);
+      EXPECT_EQ(ca.points[p].compute_parallel_gb,
+                cb.points[p].compute_parallel_gb);
+      EXPECT_EQ(ca.points[p].comm_parallel_gb,
+                cb.points[p].comm_parallel_gb);
+    }
+  }
+}
+
+void expect_identical_errors(const model::ErrorReport& a,
+                             const model::ErrorReport& b) {
+  EXPECT_EQ(a.comm_samples, b.comm_samples);
+  EXPECT_EQ(a.comm_non_samples, b.comm_non_samples);
+  EXPECT_EQ(a.comm_all, b.comm_all);
+  EXPECT_EQ(a.comp_samples, b.comp_samples);
+  EXPECT_EQ(a.comp_non_samples, b.comp_non_samples);
+  EXPECT_EQ(a.comp_all, b.comp_all);
+  EXPECT_EQ(a.average, b.average);
+}
+
+TEST(Runner, ParallelSweepIsBitIdenticalToSerial) {
+  RunnerOptions serial_options;
+  serial_options.parallelism = 1;
+  Runner serial(serial_options);
+  Runner parallel;  // lazily creates its pool, one worker per placement
+  const ScenarioResult a = serial.run(henri_spec());
+  const ScenarioResult b = parallel.run(henri_spec());
+  expect_identical_sweeps(a.sweep, b.sweep);
+  expect_identical_sweeps(a.calibration, b.calibration);
+  expect_identical_errors(a.errors, b.errors);
+}
+
+TEST(Runner, SharedThreadPoolWorksToo) {
+  runtime::ThreadPool pool(2, /*pin_to_cpus=*/false);
+  RunnerOptions options;
+  options.pool = &pool;
+  Runner shared(options);
+  RunnerOptions serial_options;
+  serial_options.parallelism = 1;
+  Runner serial(serial_options);
+  expect_identical_sweeps(shared.run(henri_spec()).sweep,
+                          serial.run(henri_spec()).sweep);
+}
+
+TEST(Runner, SecondRunHitsTheCalibrationCache) {
+  obs::MetricsRegistry metrics;
+  RunnerOptions options;
+  options.observer.metrics = &metrics;
+  Runner runner(options);
+
+  const ScenarioResult cold = runner.run(henri_spec());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(metrics.counter("pipeline.cache.hits").value(), 0u);
+  EXPECT_EQ(metrics.counter("pipeline.cache.misses").value(), 1u);
+  EXPECT_EQ(runner.cache().size(), 1u);
+
+  const ScenarioResult warm = runner.run(henri_spec());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(metrics.counter("pipeline.cache.hits").value(), 1u);
+  EXPECT_EQ(metrics.counter("pipeline.cache.misses").value(), 1u);
+  EXPECT_EQ(runner.cache().size(), 1u);
+
+  // A cached calibration must not change any output.
+  expect_identical_sweeps(cold.calibration, warm.calibration);
+  expect_identical_sweeps(cold.sweep, warm.sweep);
+  expect_identical_errors(cold.errors, warm.errors);
+  EXPECT_EQ(cold.local.t_par_max, warm.local.t_par_max);
+  EXPECT_EQ(cold.remote.alpha, warm.remote.alpha);
+}
+
+TEST(Runner, CacheKeysDiscriminateCalibrationInputs) {
+  obs::MetricsRegistry metrics;
+  RunnerOptions options;
+  options.observer.metrics = &metrics;
+  Runner runner(options);
+
+  // Calibration-only scenarios keep this cheap; each differing input must
+  // miss and add its own entry.
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(henri_spec(PlacementSet::kCalibration));
+  ScenarioSpec other_platform = specs.back();
+  other_platform.platform = "occigen";
+  specs.push_back(other_platform);
+  ScenarioSpec other_policy = specs.front();
+  other_policy.policy = sim::ArbitrationPolicy::kFairShare;
+  specs.push_back(other_policy);
+  ScenarioSpec other_range = specs.front();
+  other_range.max_cores = 6;
+  specs.push_back(other_range);
+  ScenarioSpec other_step = specs.front();
+  other_step.core_step = 2;
+  specs.push_back(other_step);
+  ScenarioSpec other_workload = specs.front();
+  other_workload.comm_pattern = sim::CommPattern::kBidirectional;
+  other_workload.compute_kernel = sim::ComputeKernel::kCopy;
+  specs.push_back(other_workload);
+
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_FALSE(runner.run(spec).cache_hit) << spec.fingerprint();
+  }
+  EXPECT_EQ(runner.cache().size(), specs.size());
+  EXPECT_EQ(metrics.counter("pipeline.cache.misses").value(), specs.size());
+
+  // Re-running every spec hits every key.
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_TRUE(runner.run(spec).cache_hit) << spec.fingerprint();
+  }
+  EXPECT_EQ(metrics.counter("pipeline.cache.hits").value(), specs.size());
+
+  // The placement selection shares the calibration key.
+  EXPECT_TRUE(runner.run(henri_spec(PlacementSet::kAll)).cache_hit);
+}
+
+TEST(Runner, UncacheableSpecsNeverTouchTheCache) {
+  Runner runner;
+  ScenarioSpec spec = henri_spec(PlacementSet::kCalibration);
+  spec.platform_override = topo::make_platform("henri");
+  ASSERT_FALSE(spec.cacheable());
+  EXPECT_FALSE(runner.run(spec).cache_hit);
+  EXPECT_FALSE(runner.run(spec).cache_hit);
+  EXPECT_EQ(runner.cache().size(), 0u);
+}
+
+TEST(Runner, PersistedCacheWarmsAFreshRunner) {
+  const std::string path =
+      testing::TempDir() + "/mcm_runner_cache_test.json";
+  Runner cold_runner;
+  const ScenarioResult cold =
+      cold_runner.run(henri_spec(PlacementSet::kCalibration));
+  EXPECT_FALSE(cold.cache_hit);
+  std::string error;
+  ASSERT_TRUE(cold_runner.cache().save_file(path, &error)) << error;
+
+  Runner warm_runner;
+  ASSERT_TRUE(warm_runner.cache().load_file(path, &error)) << error;
+  const ScenarioResult warm =
+      warm_runner.run(henri_spec(PlacementSet::kCalibration));
+  EXPECT_TRUE(warm.cache_hit);
+  expect_identical_sweeps(cold.calibration, warm.calibration);
+  EXPECT_EQ(cold.local.t_par_max, warm.local.t_par_max);
+  EXPECT_EQ(cold.remote.t_par_max, warm.remote.t_par_max);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, SparseCoreStepScoresAgainstAlignedPredictions) {
+  Runner runner;
+  ScenarioSpec spec = henri_spec();
+  spec.core_step = 3;
+  const ScenarioResult result = runner.run(spec);
+  ASSERT_EQ(result.predicted.size(), result.sweep.curves.size());
+  for (std::size_t i = 0; i < result.sweep.curves.size(); ++i) {
+    const bench::PlacementCurve& curve = result.sweep.curves[i];
+    // Sparse measurement: strictly fewer points than the dense range, and
+    // the prediction is subsampled to exactly the measured core counts.
+    EXPECT_LT(curve.points.size(), result.calibration.curves[0].points.size());
+    ASSERT_EQ(result.predicted[i].comm_parallel_gb.size(),
+              curve.points.size());
+    ASSERT_EQ(result.predicted[i].compute_parallel_gb.size(),
+              curve.points.size());
+  }
+  // Calibration stays dense regardless (model::calibrate needs it).
+  for (const bench::PlacementCurve& curve : result.calibration.curves) {
+    for (std::size_t p = 0; p < curve.points.size(); ++p) {
+      EXPECT_EQ(curve.points[p].cores, p + 1);
+    }
+  }
+  EXPECT_GT(result.errors.average, 0.0);
+}
+
+TEST(Runner, ExplicitPlacementsMeasureExactlyThoseCurves) {
+  Runner runner;
+  ScenarioSpec spec = henri_spec(PlacementSet::kExplicit);
+  spec.explicit_placements = {{topo::NumaId(1), topo::NumaId(0)}};
+  const ScenarioResult result = runner.run(spec);
+  ASSERT_EQ(result.sweep.curves.size(), 1u);
+  EXPECT_EQ(result.sweep.curves[0].comp_numa, topo::NumaId(1));
+  EXPECT_EQ(result.sweep.curves[0].comm_numa, topo::NumaId(0));
+  EXPECT_EQ(result.predicted.size(), 1u);
+}
+
+TEST(Runner, ResultExposesTheAdvisorModel) {
+  Runner runner;
+  const ScenarioResult result =
+      runner.run(henri_spec(PlacementSet::kCalibration));
+  const model::ContentionModel model = result.contention_model();
+  EXPECT_EQ(model.max_cores(), result.calibration.curves[0].points.size());
+  const model::PlacementAdvice advice =
+      model.best_placement(model.max_cores());
+  EXPECT_LT(advice.comp_numa.value(), model.numa_count());
+  EXPECT_LT(advice.comm_numa.value(), model.numa_count());
+}
+
+}  // namespace
+}  // namespace mcm::pipeline

@@ -1,0 +1,151 @@
+#include "pipeline/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/platforms.hpp"
+
+namespace mcm::pipeline {
+namespace {
+
+TEST(ScenarioSpec, JsonRoundTripPreservesEveryField) {
+  ScenarioSpec spec;
+  spec.name = "round \"trip\"";
+  spec.platform = "henri";
+  spec.policy = sim::ArbitrationPolicy::kFairShare;
+  spec.placements = PlacementSet::kExplicit;
+  spec.explicit_placements = {{topo::NumaId(0), topo::NumaId(1)},
+                              {topo::NumaId(1), topo::NumaId(0)}};
+  spec.max_cores = 8;
+  spec.core_step = 2;
+  spec.repetitions = 3;
+  spec.comm_pattern = sim::CommPattern::kBidirectional;
+  spec.compute_kernel = sim::ComputeKernel::kCopy;
+  spec.calibration.smoothing_half_window = 2;
+
+  std::string error;
+  const auto parsed = ScenarioSpec::from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->name, spec.name);
+  EXPECT_EQ(parsed->platform, spec.platform);
+  EXPECT_EQ(parsed->policy, spec.policy);
+  EXPECT_EQ(parsed->placements, PlacementSet::kExplicit);
+  ASSERT_EQ(parsed->explicit_placements.size(), 2u);
+  EXPECT_EQ(parsed->explicit_placements[0].comp, topo::NumaId(0));
+  EXPECT_EQ(parsed->explicit_placements[0].comm, topo::NumaId(1));
+  EXPECT_EQ(parsed->max_cores, 8u);
+  EXPECT_EQ(parsed->core_step, 2u);
+  EXPECT_EQ(parsed->repetitions, 3u);
+  EXPECT_EQ(parsed->comm_pattern, sim::CommPattern::kBidirectional);
+  EXPECT_EQ(parsed->compute_kernel, sim::ComputeKernel::kCopy);
+  EXPECT_EQ(parsed->calibration.smoothing_half_window, 2u);
+}
+
+TEST(ScenarioSpec, DefaultsSurviveMinimalDocument) {
+  std::string error;
+  const auto spec = ScenarioSpec::from_json(R"({"platform": "dahu"})",
+                                            &error);
+  ASSERT_TRUE(spec) << error;
+  EXPECT_EQ(spec->platform, "dahu");
+  EXPECT_EQ(spec->policy, sim::ArbitrationPolicy::kCpuPriorityWithFloor);
+  EXPECT_EQ(spec->placements, PlacementSet::kAll);
+  EXPECT_EQ(spec->core_step, 1u);
+  EXPECT_EQ(spec->repetitions, 1u);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeys) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "max_coers": 4})", &error));
+  EXPECT_NE(error.find("max_coers"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, RejectsMissingPlatformAndBadEnums) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::from_json(R"({"name": "x"})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "policy": "round-robin"})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "comm_pattern": "simplex"})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "compute_kernel": "saxpy"})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "placements": "some"})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "placements": [[0]]})", &error));
+  EXPECT_FALSE(ScenarioSpec::from_json(
+      R"({"platform": "henri", "core_step": 0})", &error));
+}
+
+TEST(ScenarioSpec, FingerprintCoversEveryCalibrationInput) {
+  const ScenarioSpec base = [] {
+    ScenarioSpec s;
+    s.platform = "henri";
+    return s;
+  }();
+  const std::string fp = base.fingerprint();
+
+  ScenarioSpec other = base;
+  other.platform = "dahu";
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.policy = sim::ArbitrationPolicy::kFairShare;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.max_cores = 8;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.core_step = 2;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.repetitions = 4;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.comm_pattern = sim::CommPattern::kBidirectional;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.compute_kernel = sim::ComputeKernel::kCachedFill;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.calibration.smoothing_half_window = 3;
+  EXPECT_NE(other.fingerprint(), fp);
+
+  other = base;
+  other.variant = "ablation";
+  EXPECT_NE(other.fingerprint(), fp);
+
+  // The placement selection only affects the measure stage, never the
+  // calibration, so it must NOT change the key.
+  other = base;
+  other.placements = PlacementSet::kCalibration;
+  other.name = "different-name";
+  EXPECT_EQ(other.fingerprint(), fp);
+}
+
+TEST(ScenarioSpec, OverriddenPlatformNeedsVariantToBeCacheable) {
+  ScenarioSpec spec;
+  spec.platform = "henri";
+  EXPECT_TRUE(spec.cacheable());
+  spec.platform_override = topo::make_platform("henri");
+  EXPECT_FALSE(spec.cacheable());
+  spec.variant = "tweaked";
+  EXPECT_TRUE(spec.cacheable());
+}
+
+TEST(ScenarioSpec, ResolvePrefersTheOverride) {
+  ScenarioSpec spec;
+  spec.platform = "henri";
+  spec.platform_override = topo::make_platform("dahu");
+  EXPECT_EQ(spec.resolve_platform().name, "dahu");
+  spec.platform_override.reset();
+  EXPECT_EQ(spec.resolve_platform().name, "henri");
+}
+
+}  // namespace
+}  // namespace mcm::pipeline

@@ -22,6 +22,33 @@ TEST(Json, ParsesEscapes) {
   EXPECT_EQ(parse(R"("A")")->as_string(), "A");
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // One escape per UTF-8 length class: ASCII, 2-byte, 3-byte, and an
+  // astral-plane surrogate pair (4-byte).
+  EXPECT_EQ(parse(R"("\u0041")")->as_string(), "A");
+  EXPECT_EQ(parse(R"("\u00e9")")->as_string(), "\xc3\xa9");      // e-acute
+  EXPECT_EQ(parse(R"("\u20ac")")->as_string(), "\xe2\x82\xac");  // euro
+  EXPECT_EQ(parse(R"("\ud83d\ude00")")->as_string(),
+            "\xf0\x9f\x98\x80");  // emoji via surrogate pair
+  EXPECT_EQ(parse(R"("a\u0000b")")->as_string(),
+            (std::string{'a', '\0', 'b'}));
+}
+
+TEST(Json, RejectsBadUnicodeEscapes) {
+  for (const char* bad : {
+           R"("\u12")",        // too short
+           R"("\u12g4")",      // non-hex digit
+           R"("\ud800")",      // lone high surrogate
+           R"("\ud800\n")",    // high surrogate not followed by \u
+           R"("\ud800A")",  // high surrogate + non-low-surrogate
+           R"("\ude00")",      // lone low surrogate
+       }) {
+    std::string error;
+    EXPECT_FALSE(parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
 TEST(Json, ParsesNestedStructures) {
   const auto value =
       parse(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");

@@ -15,6 +15,10 @@
 //                                      metrics snapshot of the same run
 //   mcmtool bench-diff <baseline.json> <candidate.json> [--threshold PCT]
 //                                      regression gate over BENCH reports
+//   mcmtool run-scenario <spec.json> [--cache FILE] [--report FILE]
+//                                      [--parallel N]
+//                                      full measure->calibrate->predict->
+//                                      score pipeline from a JSON spec
 //
 // <platform|file> is a preset name (henri, dahu, ...) or a path to a
 // platform description file (see topo/topology_io.hpp for the format).
@@ -39,6 +43,7 @@
 #include "obs/observer.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/runner.hpp"
 #include "sim/engine.hpp"
 #include "topo/platforms.hpp"
 #include "topo/render.hpp"
@@ -75,6 +80,10 @@ int usage(const char* argv0) {
       "  bench-diff <baseline.json> <candidate.json> [--threshold PCT]\n"
       "                                    compare BENCH reports; exit 1 "
       "on regression\n"
+      "  run-scenario <spec.json> [--cache FILE] [--report FILE] "
+      "[--parallel N]\n"
+      "                                    run a declarative scenario "
+      "(docs/pipeline.md)\n"
       "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
       "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
       argv0);
@@ -133,22 +142,42 @@ int cmd_describe(const topo::PlatformSpec& spec) {
   return 0;
 }
 
+/// One-shot scenario for a CLI platform (preset or file-loaded). The
+/// loaded PlatformSpec rides along as an override so a file platform that
+/// shadows a preset name never re-resolves to the preset; the "cli"
+/// variant keeps the spec cacheable within the process.
+pipeline::ScenarioSpec make_scenario(const topo::PlatformSpec& platform,
+                                     pipeline::PlacementSet placements) {
+  pipeline::ScenarioSpec spec;
+  spec.name = platform.name;
+  spec.platform = platform.name;
+  spec.platform_override = platform;
+  spec.variant = "cli";
+  spec.placements = placements;
+  return spec;
+}
+
+/// Run the calibration-only scenario and return the advisor model.
+model::ContentionModel calibrated_model(const topo::PlatformSpec& spec) {
+  pipeline::Runner runner;
+  return runner.run(make_scenario(spec, pipeline::PlacementSet::kCalibration))
+      .contention_model();
+}
+
 int cmd_calibrate(const topo::PlatformSpec& spec) {
-  bench::SimBackend backend(spec);
-  const auto model = model::ContentionModel::from_backend(backend);
-  std::printf("%s", model::render_parameters(model).c_str());
+  std::printf("%s", model::render_parameters(calibrated_model(spec)).c_str());
   return 0;
 }
 
 int cmd_sweep(const topo::PlatformSpec& spec, const std::string& placements,
               const std::string& csv_path, std::size_t repetitions) {
-  bench::SimBackend backend(spec);
-  bench::SweepOptions options;
-  options.repetitions = repetitions;
-  const bench::SweepResult sweep =
-      placements == "calibration"
-          ? bench::run_calibration_sweep(backend, options)
-          : bench::run_all_placements(backend, options);
+  pipeline::ScenarioSpec scenario = make_scenario(
+      spec, placements == "calibration"
+                ? pipeline::PlacementSet::kCalibration
+                : pipeline::PlacementSet::kAll);
+  scenario.repetitions = repetitions;
+  pipeline::Runner runner;
+  const bench::SweepResult sweep = runner.run(scenario).sweep;
   const std::string csv = bench::sweep_to_csv(sweep);
   std::fputs(csv.c_str(), stdout);
   if (!csv_path.empty()) {
@@ -172,8 +201,7 @@ int cmd_predict(const topo::PlatformSpec& spec, int argc, char** argv) {
     std::fprintf(stderr, "error: predict requires --comp N and --comm M\n");
     return 2;
   }
-  bench::SimBackend backend(spec);
-  const auto model = model::ContentionModel::from_backend(backend);
+  const auto model = calibrated_model(spec);
   const topo::NumaId comp(
       static_cast<std::uint32_t>(std::stoul(comp_text)));
   const topo::NumaId comm(
@@ -213,8 +241,7 @@ int cmd_predict(const topo::PlatformSpec& spec, int argc, char** argv) {
 }
 
 int cmd_advise(const topo::PlatformSpec& spec, int argc, char** argv) {
-  bench::SimBackend backend(spec);
-  const auto model = model::ContentionModel::from_backend(backend);
+  const auto model = calibrated_model(spec);
   const std::string cores_text = flag_value(argc, argv, "--cores", "");
   const std::size_t cores =
       cores_text.empty() ? model.max_cores() : std::stoul(cores_text);
@@ -237,12 +264,10 @@ int cmd_advise(const topo::PlatformSpec& spec, int argc, char** argv) {
 }
 
 int cmd_errors(const topo::PlatformSpec& spec) {
-  bench::SimBackend backend(spec);
-  const auto model = model::ContentionModel::from_backend(backend);
-  const bench::SweepResult sweep = bench::run_all_placements(backend);
-  std::printf("%s",
-              model::render_error_report(model.evaluate_against(sweep))
-                  .c_str());
+  pipeline::Runner runner;
+  const pipeline::ScenarioResult result =
+      runner.run(make_scenario(spec, pipeline::PlacementSet::kAll));
+  std::printf("%s", model::render_error_report(result.errors).c_str());
   return 0;
 }
 
@@ -287,8 +312,7 @@ int cmd_plan(const topo::PlatformSpec& spec, int argc, char** argv) {
       std::stod(flag_value(argc, argv, "--compute-gib", "8"));
   const double message_mib =
       std::stod(flag_value(argc, argv, "--message-mib", "64"));
-  bench::SimBackend backend(spec);
-  const auto model = model::ContentionModel::from_backend(backend);
+  const auto model = calibrated_model(spec);
 
   model::IterationSpec iteration;
   iteration.compute_bytes = compute_gib * static_cast<double>(kGiB);
@@ -463,6 +487,106 @@ int cmd_bench_diff(int argc, char** argv) {
   return diff.regression() ? 1 : 0;
 }
 
+int cmd_run_scenario(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: mcmtool run-scenario <spec.json> [--cache FILE] "
+                 "[--report FILE] [--parallel N]\n");
+    return 2;
+  }
+  const std::string spec_path = argv[2];
+  std::ifstream file(spec_path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  std::string error;
+  const auto spec = pipeline::ScenarioSpec::from_json(text.str(), &error);
+  if (!spec) {
+    std::fprintf(stderr, "error: cannot parse '%s': %s\n",
+                 spec_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const std::string cache_path = flag_value(argc, argv, "--cache", "");
+  const std::string report_path = flag_value(argc, argv, "--report", "");
+  pipeline::CalibrationCache cache;
+  if (!cache_path.empty() && std::ifstream(cache_path).good() &&
+      !cache.load_file(cache_path, &error)) {
+    std::fprintf(stderr, "error: cannot load cache '%s': %s\n",
+                 cache_path.c_str(), error.c_str());
+    return 1;
+  }
+  pipeline::RunnerOptions options;
+  options.cache = &cache;
+  options.parallelism =
+      std::stoul(flag_value(argc, argv, "--parallel", "0"));
+  pipeline::Runner runner(options);
+  const pipeline::ScenarioResult result = runner.run(*spec);
+
+  std::printf("scenario:    %s\n",
+              result.spec.name.empty() ? "(unnamed)"
+                                       : result.spec.name.c_str());
+  std::printf("platform:    %s\n", result.sweep.platform.c_str());
+  std::printf("placements:  %zu measured (%s)\n",
+              result.sweep.curves.size(),
+              pipeline::to_string(result.spec.placements));
+  std::printf("calibration: %s\n",
+              result.cache_hit ? "cache hit" : "measured");
+  std::printf("stage wall times: calibrate %.1f ms, measure %.1f ms, "
+              "predict %.1f ms, score %.1f ms\n\n",
+              result.timings.calibrate_us * 1e-3,
+              result.timings.measure_us * 1e-3,
+              result.timings.predict_us * 1e-3,
+              result.timings.score_us * 1e-3);
+  std::printf("%s\n",
+              model::render_parameters(result.contention_model()).c_str());
+  std::printf("%s", model::render_error_report(result.errors).c_str());
+
+  if (!report_path.empty()) {
+    // BENCH-format report so `mcmtool bench-diff` can gate scenario runs.
+    // Only the (deterministic) model-quality numbers become metrics; the
+    // cache state and wall times are run-dependent and stay out.
+    bench::BenchReport report;
+    report.name = result.spec.name.empty() ? "scenario" : result.spec.name;
+    report.platform = result.sweep.platform;
+    report.add_metric("placements",
+                      static_cast<double>(result.sweep.curves.size()));
+    report.add_metric("mape.comm_samples", result.errors.comm_samples);
+    report.add_metric("mape.comm_non_samples",
+                      result.errors.comm_non_samples);
+    report.add_metric("mape.comm_all", result.errors.comm_all);
+    report.add_metric("mape.comp_samples", result.errors.comp_samples);
+    report.add_metric("mape.comp_non_samples",
+                      result.errors.comp_non_samples);
+    report.add_metric("mape.comp_all", result.errors.comp_all);
+    report.add_metric("mape.average", result.errors.average);
+    report.add_metric("params.local.t_par_max", result.local.t_par_max);
+    report.add_metric("params.remote.t_par_max", result.remote.t_par_max);
+    report.record_stage("calibrate", result.timings.calibrate_us * 1e-6);
+    report.record_stage("measure", result.timings.measure_us * 1e-6);
+    report.record_stage("predict", result.timings.predict_us * 1e-6);
+    report.record_stage("score", result.timings.score_us * 1e-6);
+    if (!report.write_file(report_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  if (!cache_path.empty()) {
+    if (!cache.save_file(cache_path, &error)) {
+      std::fprintf(stderr, "error: cannot save cache '%s': %s\n",
+                   cache_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("calibration cache (%zu entries) written to %s\n",
+                cache.size(), cache_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -476,6 +600,7 @@ int main(int argc, char** argv) {
     }
     if (command == "errors-csv" && argc >= 3) return cmd_errors_csv(argv[2]);
     if (command == "bench-diff") return cmd_bench_diff(argc, argv);
+    if (command == "run-scenario") return cmd_run_scenario(argc, argv);
 
     if (argc < 3) return usage(argv[0]);
     const auto spec = load_platform(argv[2]);
