@@ -9,6 +9,8 @@
 #   scripts/ci.sh bench      MCM_BENCH_SMOKE=1 suite + baseline diffs
 #   scripts/ci.sh pipeline   `mcmtool run-scenario` smoke spec: cold +
 #                            cached runs, gated with bench-diff
+#   scripts/ci.sh fault      fault-injection suite (`ctest -L fault`),
+#                            cold build and under ASan+UBSan
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -109,19 +111,34 @@ pipeline_smoke() {
       BENCH_scenario_smoke.json BENCH_scenario_warm.json --threshold 0
 }
 
+fault_suite() {
+  echo "== fault: fault-injection suite, cold + sanitizers =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target test_fault
+  (cd "$ROOT/build" && ctest -L fault --output-on-failure -j "$JOBS")
+  # Timeouts, retries and peer-gone wakeups cross threads under a lock —
+  # rerun the same tests instrumented.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_fault
+  (cd "$ROOT/build-sanitize" && ctest -L fault --output-on-failure \
+      -j "$JOBS")
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
   bench) bench_smoke ;;
   pipeline) pipeline_smoke ;;
+  fault) fault_suite ;;
   all)
     tier1
     sanitize
     bench_smoke
     pipeline_smoke
+    fault_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|all]" >&2
     exit 2
     ;;
 esac

@@ -33,32 +33,41 @@ struct Row {
     }
     return std::nullopt;
   }
-  // std::stoul silently wraps negative inputs; reject them explicitly.
-  for (const std::string& field : fields) {
-    if (!field.empty() && field[0] == '-') {
-      if (error) {
-        *error = "line " + std::to_string(line_no) + ": negative field";
-      }
-      return std::nullopt;
-    }
-  }
-  try {
-    Row row;
-    row.comp = static_cast<std::uint32_t>(std::stoul(fields[0]));
-    row.comm = static_cast<std::uint32_t>(std::stoul(fields[1]));
-    row.cores = std::stoul(fields[2]);
-    row.point.cores = row.cores;
-    row.point.compute_alone_gb = std::stod(fields[3]);
-    row.point.comm_alone_gb = std::stod(fields[4]);
-    row.point.compute_parallel_gb = std::stod(fields[5]);
-    row.point.comm_parallel_gb = std::stod(fields[6]);
-    return row;
-  } catch (const std::exception&) {
+  // parse_u64 rejects signs outright (std::stoul silently wraps negative
+  // inputs) and parse_double rejects trailing garbage and locale-formatted
+  // decimals; both make a truncated or hand-edited CSV fail loudly.
+  const auto bad_field = [&](std::size_t column) {
     if (error) {
-      *error = "line " + std::to_string(line_no) + ": non-numeric field";
+      *error = "line " + std::to_string(line_no) + ": field " +
+               std::to_string(column + 1) + ": not a number: '" +
+               fields[column] + "'";
     }
     return std::nullopt;
+  };
+  const auto ints = [&](std::size_t column) {
+    return parse_u64(fields[column]);
+  };
+  const auto reals = [&](std::size_t column) -> std::optional<double> {
+    const auto v = parse_double(fields[column]);
+    if (!v || *v < 0.0) return std::nullopt;
+    return v;
+  };
+  Row row;
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (!ints(c)) return bad_field(c);
   }
+  for (std::size_t c = 3; c < 7; ++c) {
+    if (!reals(c)) return bad_field(c);
+  }
+  row.comp = static_cast<std::uint32_t>(*ints(0));
+  row.comm = static_cast<std::uint32_t>(*ints(1));
+  row.cores = static_cast<std::size_t>(*ints(2));
+  row.point.cores = row.cores;
+  row.point.compute_alone_gb = *reals(3);
+  row.point.comm_alone_gb = *reals(4);
+  row.point.compute_parallel_gb = *reals(5);
+  row.point.comm_parallel_gb = *reals(6);
+  return row;
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+#include "net/fault.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+
+void RetryPolicy::validate() const {
+  MCM_EXPECTS(timeout.value() > 0.0);
+  MCM_EXPECTS(backoff >= 1.0);
+}
+
+void FaultPlan::validate() const {
+  MCM_EXPECTS(delay_probability >= 0.0 && delay_probability <= 1.0);
+  MCM_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
+  MCM_EXPECTS(delay.value() >= 0.0);
+  MCM_EXPECTS(redelivery_delay.value() >= 0.0);
+}
+
+}  // namespace mcm::net

@@ -1,0 +1,101 @@
+// Fault model of the mcm::net transport layer.
+//
+// The paper's evaluation ran on real clusters where NICs stall, links
+// jitter and messages get retransmitted; the reproduction's transport is
+// an in-process shared-memory world that never fails. This header adds
+// the failure vocabulary: a typed net::Error (so callers can distinguish
+// a deadline expiry from a departed peer), a RetryPolicy for blocking
+// receives, and a seeded, deterministic FaultPlan that ShmWorld can
+// inject into its transport — message delays, drop-with-redelivery, and
+// induced rendezvous stalls.
+//
+// Observability: an attached obs::Observer (ShmWorld::attach_observer)
+// counts net.faults.injected / net.retries / net.timeouts and emits one
+// trace instant per injected fault ("fault:delay" / "fault:drop" /
+// "fault:stall" on the sending rank's track).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace mcm::net {
+
+/// Why a blocking operation gave up.
+enum class ErrorKind : std::uint8_t {
+  kTimeout,   ///< a wait_for / recv deadline expired
+  kPeerGone,  ///< the peer rank was marked gone (ShmWorld::mark_peer_gone)
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorKind kind) {
+  return kind == ErrorKind::kTimeout ? "timeout" : "peer-gone";
+}
+
+/// Environmental transport failure — unlike ContractViolation (a
+/// programming error), an Error is expected under faults and meant to be
+/// caught and handled (retry, mark the placement failed, ...).
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& what_arg)
+      : std::runtime_error(what_arg), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Deadline + retry schedule for blocking receives: attempt i waits
+/// `timeout * backoff^i`, so the total budget grows geometrically. Every
+/// attempt after the first counts one net.retries; exhausting the last
+/// attempt counts one net.timeouts and throws Error(kTimeout).
+struct RetryPolicy {
+  /// Deadline of the first wait attempt.
+  Seconds timeout{0.1};
+  /// Extra attempts after the first (0 = a plain deadline, no retry).
+  std::size_t max_retries = 0;
+  /// Per-retry deadline multiplier (exponential backoff); must be >= 1.
+  double backoff = 2.0;
+
+  void validate() const;
+};
+
+/// Seeded deterministic fault plan for the ShmWorld transport. Decisions
+/// are drawn from a private xoshiro stream in message-post order, so a
+/// fixed posting order always injects the same faults. All probabilities
+/// are in [0, 1]; a default-constructed plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Message delay: with `delay_probability`, a message becomes visible to
+  /// the receiver only `delay` after it was posted (the sender's eager
+  /// completion is unaffected — the fault sits on the wire, not in the
+  /// send buffer).
+  double delay_probability = 0.0;
+  Seconds delay{0.0};
+
+  /// Drop with redelivery: with `drop_probability`, the first copy of a
+  /// message is lost and the "retransmission" arrives `redelivery_delay`
+  /// after the post. FIFO order per (source, tag) is preserved — later
+  /// messages never overtake the dropped one, as with MPI seq numbers.
+  double drop_probability = 0.0;
+  Seconds redelivery_delay{0.0};
+
+  /// Induced rendezvous stall: every `stall_every`-th rendezvous-mode
+  /// message (1-based; 0 = never) never becomes deliverable. Only a
+  /// wait_for / recv deadline or mark_peer_gone gets the waiter out.
+  std::size_t stall_every = 0;
+
+  void validate() const;
+
+  /// True when any fault can fire.
+  [[nodiscard]] bool armed() const {
+    return delay_probability > 0.0 || drop_probability > 0.0 ||
+           stall_every != 0;
+  }
+};
+
+}  // namespace mcm::net

@@ -1,13 +1,22 @@
 #include "net/minimpi.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <optional>
 
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace mcm::net {
 
 namespace detail {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
 
 struct PendingOp {
   // `done` is read lock-free by Request::done() while the mailbox lock
@@ -33,6 +42,10 @@ class MailboxPair {
     /// Eager: owned copy of the payload.
     std::vector<std::byte> eager_copy;
     bool eager = false;
+    /// Wall time (mailbox clock, us) from which the message may be
+    /// delivered; 0 = immediately, kNever = stalled forever. Set by the
+    /// fault layer; always 0 on the fault-free fast paths.
+    double available_at_us = 0.0;
 
     [[nodiscard]] std::span<const std::byte> payload() const {
       return eager ? std::span<const std::byte>(eager_copy) : source;
@@ -55,6 +68,15 @@ class MailboxPair {
   int barrier_count = 0;
   long barrier_generation = 0;
 
+  /// Fault layer. Armed by ShmWorld::inject_faults before traffic starts;
+  /// decisions are drawn under the mailbox lock in message-post order.
+  FaultPlan plan;
+  bool faults_armed = false;
+  std::optional<Rng> fault_rng;
+  std::size_t rendezvous_seen = 0;
+  /// peer_gone[r]: rank r was declared dead (ShmWorld::mark_peer_gone).
+  bool peer_gone[2] = {false, false};
+
   /// Observability, attached once before traffic starts (ShmWorld's
   /// contract); instruments are pre-resolved so emission under the mailbox
   /// lock never touches the registry mutex.
@@ -66,6 +88,9 @@ class MailboxPair {
   obs::Counter* met_rendezvous = nullptr;
   obs::Counter* met_delivered_msgs = nullptr;
   obs::Counter* met_delivered_bytes = nullptr;
+  obs::Counter* met_faults = nullptr;
+  obs::Counter* met_retries = nullptr;
+  obs::Counter* met_timeouts = nullptr;
 
   void attach(const obs::Observer& observer) {
     obs = observer;
@@ -78,6 +103,9 @@ class MailboxPair {
           &obs.metrics->counter("net.minimpi.delivered_msgs");
       met_delivered_bytes =
           &obs.metrics->counter("net.minimpi.delivered_bytes");
+      met_faults = &obs.metrics->counter("net.faults.injected");
+      met_retries = &obs.metrics->counter("net.retries");
+      met_timeouts = &obs.metrics->counter("net.timeouts");
     } else {
       met_isend = nullptr;
       met_irecv = nullptr;
@@ -85,6 +113,9 @@ class MailboxPair {
       met_rendezvous = nullptr;
       met_delivered_msgs = nullptr;
       met_delivered_bytes = nullptr;
+      met_faults = nullptr;
+      met_retries = nullptr;
+      met_timeouts = nullptr;
     }
   }
 
@@ -115,6 +146,52 @@ class MailboxPair {
       obs.trace->record(event);
     }
   }
+
+  void note_fault(int rank, const char* what, std::size_t bytes, int tag) {
+    if (met_faults != nullptr) met_faults->add();
+    if (obs.trace == nullptr) return;
+    obs::TraceEvent event;
+    event.name = what;
+    event.category = "net";
+    event.ts_us = clock.now_us();
+    event.track = static_cast<std::uint32_t>(rank);
+    event.arg("bytes", static_cast<double>(bytes))
+        .arg("tag", static_cast<double>(tag));
+    obs.trace->record(event);
+  }
+
+  /// Fate of a message posted by `rank`, as a delivery-availability time:
+  /// 0 = deliver immediately, kNever = stalled. Consumes the fault RNG in
+  /// post order, so a fixed posting order injects the same faults.
+  [[nodiscard]] double fault_available_at(int rank, ProtocolMode mode,
+                                          std::size_t bytes, int tag) {
+    if (!faults_armed) return 0.0;
+    if (plan.stall_every != 0 && mode == ProtocolMode::kRendezvous &&
+        ++rendezvous_seen % plan.stall_every == 0) {
+      note_fault(rank, "fault:stall", bytes, tag);
+      return kNever;
+    }
+    if (plan.delay_probability > 0.0 &&
+        fault_rng->uniform() < plan.delay_probability) {
+      note_fault(rank, "fault:delay", bytes, tag);
+      return clock.now_us() + plan.delay.value() * 1e6;
+    }
+    if (plan.drop_probability > 0.0 &&
+        fault_rng->uniform() < plan.drop_probability) {
+      note_fault(rank, "fault:drop", bytes, tag);
+      return clock.now_us() + plan.redelivery_delay.value() * 1e6;
+    }
+    return 0.0;
+  }
+
+  /// Deliver every matched pair whose message is ripe at `now_us`,
+  /// preserving FIFO per (source, tag): a receive blocked on an unripe
+  /// head-of-line message stays blocked — later same-tag messages never
+  /// overtake it. Returns the earliest future availability among blocked
+  /// head-of-line matches (the next useful wake-up), or kNever.
+  /// Caller holds the mailbox lock. Declared here, defined after the
+  /// file-local deliver()/tags_match() helpers.
+  double progress(double now_us);
 };
 
 namespace {
@@ -137,6 +214,40 @@ void deliver(const MailboxPair::SendEntry& send,
 }
 
 }  // namespace
+
+double MailboxPair::progress(double now_us) {
+  double next_wake = kNever;
+  for (int rank = 0; rank < 2; ++rank) {
+    auto& recvs = pending_recvs[rank];
+    auto& sends = pending_sends[rank];
+    bool delivered = true;
+    while (delivered) {
+      delivered = false;
+      for (auto rit = recvs.begin(); rit != recvs.end(); ++rit) {
+        const auto sit =
+            std::find_if(sends.begin(), sends.end(),
+                         [&](const SendEntry& send) {
+                           return tags_match(rit->tag, send.tag);
+                         });
+        if (sit == sends.end()) continue;
+        if (sit->available_at_us > now_us) {
+          next_wake = std::min(next_wake, sit->available_at_us);
+          continue;
+        }
+        const std::size_t bytes = sit->payload().size();
+        deliver(*sit, *rit);
+        note_deliver(bytes);
+        sends.erase(sit);
+        recvs.erase(rit);
+        cv.notify_all();
+        delivered = true;  // iterators invalidated: rescan this rank
+        break;
+      }
+    }
+  }
+  return next_wake;
+}
+
 }  // namespace detail
 
 bool Request::done() const {
@@ -145,8 +256,9 @@ bool Request::done() const {
 }
 
 std::size_t Request::transferred() const {
-  MCM_EXPECTS(op_ != nullptr);
-  MCM_EXPECTS(op_->done.load(std::memory_order_acquire));
+  // done() also checks op_ != nullptr; before completion the byte count
+  // is meaningless, so reading it is a contract violation (see header).
+  MCM_EXPECTS(done());
   return op_->transferred;
 }
 
@@ -168,30 +280,40 @@ Request Communicator::isend(int dest, int tag,
   mb.note_post(rank_, "isend", data.size(), tag);
 
   auto op = std::make_shared<detail::PendingOp>();
+  const ProtocolMode mode =
+      select_mode(mb.params, std::max<std::uint64_t>(data.size(), 1));
 
-  // Match against an already-posted receive (FIFO).
-  auto& recvs = mb.pending_recvs[dest];
-  for (auto it = recvs.begin(); it != recvs.end(); ++it) {
-    if (!detail::tags_match(it->tag, tag)) continue;
-    detail::MailboxPair::SendEntry send;
-    send.tag = tag;
-    send.op = op;
-    send.source = data;
-    detail::deliver(send, *it);
-    mb.note_deliver(data.size());
-    recvs.erase(it);
-    mb.cv.notify_all();
-    return Request(std::move(op));
+  // Fault-free fast path: match against an already-posted receive (FIFO).
+  // With faults armed everything goes through the queue + progress(), so
+  // a delayed message can never overtake and a queued unripe message can
+  // never be bypassed.
+  if (!mb.faults_armed) {
+    auto& recvs = mb.pending_recvs[dest];
+    for (auto it = recvs.begin(); it != recvs.end(); ++it) {
+      if (!detail::tags_match(it->tag, tag)) continue;
+      detail::MailboxPair::SendEntry send;
+      send.tag = tag;
+      send.op = op;
+      send.source = data;
+      detail::deliver(send, *it);
+      mb.note_deliver(data.size());
+      recvs.erase(it);
+      mb.cv.notify_all();
+      return Request(std::move(op));
+    }
   }
 
-  // No receiver yet: queue. Eager messages are buffered and complete now;
-  // rendezvous messages keep pointing at the caller's buffer and complete
-  // at match time (the caller must keep the buffer alive, as with MPI).
+  // Queue. Eager messages are buffered and complete now (even when the
+  // fault layer delays their delivery: the fault sits on the wire, not in
+  // the send buffer); rendezvous messages keep pointing at the caller's
+  // buffer and complete at match time (the caller must keep the buffer
+  // alive, as with MPI).
   detail::MailboxPair::SendEntry entry;
   entry.tag = tag;
   entry.op = op;
-  if (select_mode(mb.params, std::max<std::uint64_t>(data.size(), 1)) ==
-      ProtocolMode::kEager) {
+  entry.available_at_us = mb.fault_available_at(rank_, mode, data.size(),
+                                                tag);
+  if (mode == ProtocolMode::kEager) {
     entry.eager = true;
     entry.eager_copy.assign(data.begin(), data.end());
     op->transferred = data.size();
@@ -200,6 +322,7 @@ Request Communicator::isend(int dest, int tag,
     entry.source = data;
   }
   mb.pending_sends[dest].push_back(std::move(entry));
+  if (mb.faults_armed) mb.progress(mb.clock.now_us());
   return Request(std::move(op));
 }
 
@@ -214,19 +337,22 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
 
   auto op = std::make_shared<detail::PendingOp>();
 
-  auto& sends = mb.pending_sends[rank_];
-  for (auto it = sends.begin(); it != sends.end(); ++it) {
-    if (!detail::tags_match(tag, it->tag)) continue;
-    detail::MailboxPair::RecvEntry recv;
-    recv.tag = tag;
-    recv.op = op;
-    recv.destination = data;
-    const std::size_t delivered = it->payload().size();
-    detail::deliver(*it, recv);
-    mb.note_deliver(delivered);
-    sends.erase(it);
-    mb.cv.notify_all();
-    return Request(std::move(op));
+  // Fault-free fast path; see isend for why faults disable it.
+  if (!mb.faults_armed) {
+    auto& sends = mb.pending_sends[rank_];
+    for (auto it = sends.begin(); it != sends.end(); ++it) {
+      if (!detail::tags_match(tag, it->tag)) continue;
+      detail::MailboxPair::RecvEntry recv;
+      recv.tag = tag;
+      recv.op = op;
+      recv.destination = data;
+      const std::size_t delivered = it->payload().size();
+      detail::deliver(*it, recv);
+      mb.note_deliver(delivered);
+      sends.erase(it);
+      mb.cv.notify_all();
+      return Request(std::move(op));
+    }
   }
 
   detail::MailboxPair::RecvEntry entry;
@@ -234,21 +360,61 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
   entry.op = op;
   entry.destination = data;
   mb.pending_recvs[rank_].push_back(std::move(entry));
+  if (mb.faults_armed) mb.progress(mb.clock.now_us());
   return Request(std::move(op));
 }
 
 void Communicator::wait(Request& request) {
+  const bool completed = wait_until(request, detail::kNever);
+  MCM_EXPECTS(completed);  // no deadline: only done or peer-gone exits
+}
+
+void Communicator::wait_for(Request& request, Seconds timeout) {
+  MCM_EXPECTS(timeout.value() > 0.0);
+  detail::MailboxPair& mb = *mailboxes_;
+  const double deadline_us = mb.clock.now_us() + timeout.value() * 1e6;
+  if (wait_until(request, deadline_us)) return;
+  {
+    std::lock_guard lock(mb.mutex);
+    if (mb.met_timeouts != nullptr) mb.met_timeouts->add();
+  }
+  throw Error(ErrorKind::kTimeout,
+              "wait_for: request still pending after " +
+                  std::to_string(timeout.value()) + " s");
+}
+
+bool Communicator::wait_until(const Request& request, double deadline_us) {
   MCM_EXPECTS(request.op_ != nullptr);
   detail::MailboxPair& mb = *mailboxes_;
   std::unique_lock lock(mb.mutex);
-  mb.cv.wait(lock, [&] {
-    return request.op_->done.load(std::memory_order_acquire);
-  });
+  while (true) {
+    if (request.op_->done.load(std::memory_order_acquire)) return true;
+    if (mb.peer_gone[1 - rank_]) {
+      throw Error(ErrorKind::kPeerGone,
+                  "wait: rank " + std::to_string(1 - rank_) +
+                      " is gone and the request is still pending");
+    }
+    const double now_us = mb.clock.now_us();
+    // Passive transport: the waiter drives delivery of ripe messages.
+    const double next_ripe_us =
+        mb.faults_armed ? mb.progress(now_us) : detail::kNever;
+    if (request.op_->done.load(std::memory_order_acquire)) return true;
+    if (now_us >= deadline_us) return false;
+    const double wake_us = std::min(next_ripe_us, deadline_us);
+    if (wake_us == detail::kNever) {
+      mb.cv.wait(lock);
+    } else {
+      mb.cv.wait_for(lock, std::chrono::duration<double, std::micro>(
+                               wake_us - now_us));
+    }
+  }
 }
 
 bool Communicator::test(const Request& request) const {
   MCM_EXPECTS(request.op_ != nullptr);
-  std::unique_lock lock(mailboxes_->mutex);
+  detail::MailboxPair& mb = *mailboxes_;
+  std::unique_lock lock(mb.mutex);
+  if (mb.faults_armed) mb.progress(mb.clock.now_us());
   return request.op_->done.load(std::memory_order_acquire);
 }
 
@@ -265,13 +431,46 @@ std::size_t Communicator::recv(int source, int tag,
   return request.transferred();
 }
 
+std::size_t Communicator::recv(int source, int tag,
+                               std::span<std::byte> data,
+                               const RetryPolicy& policy) {
+  policy.validate();
+  detail::MailboxPair& mb = *mailboxes_;
+  Request request = irecv(source, tag, data);
+  Seconds attempt_timeout = policy.timeout;
+  // Each attempt uses wait_until directly (not wait_for): an expired
+  // intermediate attempt is a retry, not a timeout — net.timeouts counts
+  // only the final give-up.
+  for (std::size_t attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const double deadline_us =
+        mb.clock.now_us() + attempt_timeout.value() * 1e6;
+    if (wait_until(request, deadline_us)) return request.transferred();
+    if (attempt < policy.max_retries) {
+      std::lock_guard lock(mb.mutex);
+      if (mb.met_retries != nullptr) mb.met_retries->add();
+    }
+    attempt_timeout = Seconds(attempt_timeout.value() * policy.backoff);
+  }
+  {
+    std::lock_guard lock(mb.mutex);
+    if (mb.met_timeouts != nullptr) mb.met_timeouts->add();
+  }
+  throw Error(ErrorKind::kTimeout,
+              "recv: no matching message after " +
+                  std::to_string(policy.max_retries + 1) + " attempt(s)");
+}
+
 std::optional<std::size_t> Communicator::probe(int source, int tag) const {
   MCM_EXPECTS(source == 1 - rank_);
   MCM_EXPECTS(tag >= 0 || tag == kAnyTag);
   detail::MailboxPair& mb = *mailboxes_;
   std::unique_lock lock(mb.mutex);
+  const double now_us = mb.clock.now_us();
   for (const auto& send : mb.pending_sends[rank_]) {
-    if (detail::tags_match(tag, send.tag)) return send.payload().size();
+    if (!detail::tags_match(tag, send.tag)) continue;
+    // An in-flight (delayed / dropped / stalled) message is not visible.
+    if (mb.faults_armed && send.available_at_us > now_us) return std::nullopt;
+    return send.payload().size();
   }
   return std::nullopt;
 }
@@ -319,6 +518,22 @@ Communicator& ShmWorld::comm(int rank) {
 void ShmWorld::attach_observer(const obs::Observer& observer) {
   std::lock_guard lock(mailboxes_->mutex);
   mailboxes_->attach(observer);
+}
+
+void ShmWorld::inject_faults(const FaultPlan& plan) {
+  plan.validate();
+  std::lock_guard lock(mailboxes_->mutex);
+  mailboxes_->plan = plan;
+  mailboxes_->faults_armed = plan.armed();
+  mailboxes_->fault_rng.emplace(plan.seed);
+  mailboxes_->rendezvous_seen = 0;
+}
+
+void ShmWorld::mark_peer_gone(int rank) {
+  MCM_EXPECTS(rank == 0 || rank == 1);
+  std::lock_guard lock(mailboxes_->mutex);
+  mailboxes_->peer_gone[rank] = true;
+  mailboxes_->cv.notify_all();
 }
 
 }  // namespace mcm::net

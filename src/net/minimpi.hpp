@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/protocol.hpp"
 #include "obs/observer.hpp"
 
@@ -50,7 +51,9 @@ class Request {
   /// True when the operation has completed (non-blocking check).
   [[nodiscard]] bool done() const;
 
-  /// Number of bytes actually transferred (valid once done).
+  /// Number of bytes actually transferred. Precondition: done() — before
+  /// completion the count is meaningless, so reading it throws
+  /// ContractViolation instead of returning a silently-invalid value.
   [[nodiscard]] std::size_t transferred() const;
 
  private:
@@ -75,8 +78,16 @@ class Communicator {
   /// outlive completion and be large enough for the matched message.
   Request irecv(int source, int tag, std::span<std::byte> data);
 
-  /// Block until `request` completes.
+  /// Block until `request` completes. Throws Error(kPeerGone) if the peer
+  /// is (or becomes) marked gone while the request is still pending —
+  /// the caller is never left hanging on a dead rank.
   void wait(Request& request);
+
+  /// Block until `request` completes or `timeout` elapses. On expiry
+  /// counts net.timeouts and throws Error(kTimeout); the request stays
+  /// pending and may still complete under a later wait. Throws
+  /// Error(kPeerGone) like wait().
+  void wait_for(Request& request, Seconds timeout);
 
   /// Non-blocking completion check.
   [[nodiscard]] bool test(const Request& request) const;
@@ -85,6 +96,15 @@ class Communicator {
   void send(int dest, int tag, std::span<const std::byte> data);
   /// Returns the number of bytes received.
   std::size_t recv(int source, int tag, std::span<std::byte> data);
+
+  /// Blocking receive with a deadline and exponential-backoff retry:
+  /// attempt i waits policy.timeout * policy.backoff^i; each attempt
+  /// after the first counts one net.retries. Exhausting every attempt
+  /// counts one net.timeouts and throws Error(kTimeout) — the posted
+  /// receive then stays pending, so `data` must outlive the world or the
+  /// message's eventual arrival. Returns the number of bytes received.
+  std::size_t recv(int source, int tag, std::span<std::byte> data,
+                   const RetryPolicy& policy);
 
   /// Non-blocking probe: size of the first queued message matching
   /// (source, tag), or std::nullopt when none is waiting. Does not consume
@@ -105,6 +125,10 @@ class Communicator {
   friend class ShmWorld;
   Communicator(int rank, detail::MailboxPair* mailboxes)
       : rank_(rank), mailboxes_(mailboxes) {}
+
+  /// Shared wait loop: blocks until done, peer-gone, or `deadline_us` on
+  /// the mailbox clock (infinity = no deadline). Returns false on expiry.
+  [[nodiscard]] bool wait_until(const Request& request, double deadline_us);
 
   int rank_ = 0;
   detail::MailboxPair* mailboxes_ = nullptr;
@@ -127,10 +151,23 @@ class ShmWorld {
 
   /// Attach message-lifecycle observability (thread-safe; both ranks emit
   /// concurrently). Counters: net.minimpi.isend / irecv / eager_msgs /
-  /// rendezvous_msgs / delivered_msgs / delivered_bytes. Trace: wall-clock
-  /// "isend"/"irecv" instants on track = rank and "deliver" instants.
-  /// Attach before starting traffic; zero-cost when never called.
+  /// rendezvous_msgs / delivered_msgs / delivered_bytes, plus the fault
+  /// layer's net.faults.injected / net.retries / net.timeouts. Trace:
+  /// wall-clock "isend"/"irecv" instants on track = rank, "deliver"
+  /// instants, and "fault:delay"/"fault:drop"/"fault:stall" instants for
+  /// injected faults. Attach before starting traffic; zero-cost when
+  /// never called.
   void attach_observer(const obs::Observer& observer);
+
+  /// Arm a fault plan (validated). Like attach_observer, call before
+  /// traffic starts; an unarmed plan keeps the fault-free fast paths.
+  /// Faults are deterministic for a fixed message posting order.
+  void inject_faults(const FaultPlan& plan);
+
+  /// Declare `rank` dead: every wait on an operation with that peer —
+  /// pending now or posted later — throws Error(kPeerGone) instead of
+  /// blocking. Models a crashed/hung peer process.
+  void mark_peer_gone(int rank);
 
  private:
   ProtocolParams params_;

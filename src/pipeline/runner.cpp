@@ -6,6 +6,7 @@
 
 #include "benchlib/runner.hpp"
 #include "model/calibration.hpp"
+#include "net/fault.hpp"
 #include "obs/span.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/contracts.hpp"
@@ -25,6 +26,18 @@ namespace {
 }
 
 }  // namespace
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kPartial:
+      return "partial";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 model::PlacementModel ScenarioResult::placement_model() const {
   return model::PlacementModel(local, remote, calibration.numa_per_socket);
@@ -106,6 +119,7 @@ Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
     met_cache_misses_ = &m.counter("pipeline.cache.misses");
     met_placements_ = &m.counter("pipeline.placements");
     met_measured_ = &m.counter("pipeline.measured_placements");
+    met_failed_ = &m.counter("pipeline.placements_failed");
   }
 }
 
@@ -130,18 +144,47 @@ runtime::ThreadPool* Runner::pool_for(std::size_t jobs) {
   return own_pool_.get();
 }
 
-std::vector<bench::PlacementCurve> Runner::measure_placements(
+Runner::MeasuredPlacements Runner::measure_placements(
     const ScenarioSpec& spec,
     const std::vector<model::Placement>& placements,
-    const bench::SweepOptions& sweep_options) {
-  std::vector<bench::PlacementCurve> curves(placements.size());
+    const bench::SweepOptions& sweep_options, bool isolate_failures) {
+  MeasuredPlacements out;
+  out.curves.resize(placements.size());
+  out.errors.resize(placements.size());
+  out.attempts.assign(placements.size(), 0);
   const auto body = [&](std::size_t i) {
-    // A fresh backend per placement: simulator measurements depend only on
-    // (platform seed, run index, coordinate), so this matches a shared
-    // serial backend bit-for-bit while keeping placements independent.
-    const std::unique_ptr<bench::Backend> backend = make_backend(spec);
-    curves[i] = bench::run_placement(*backend, placements[i].comp,
-                                     placements[i].comm, sweep_options);
+    const InjectedFailure* injected =
+        isolate_failures ? spec.injected_failure(placements[i]) : nullptr;
+    const std::size_t max_attempts =
+        isolate_failures ? options_.max_retries + 1 : 1;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      out.attempts[i] = attempt + 1;
+      try {
+        if (injected != nullptr && (injected->failing_attempts == 0 ||
+                                    attempt < injected->failing_attempts)) {
+          throw net::Error(
+              net::ErrorKind::kTimeout,
+              "injected failure (placement " +
+                  std::to_string(placements[i].comp.value()) + "," +
+                  std::to_string(placements[i].comm.value()) + ", attempt " +
+                  std::to_string(attempt + 1) + ")");
+        }
+        // A fresh backend per placement (and per attempt): simulator
+        // measurements depend only on (platform seed, run index,
+        // coordinate), so this matches a shared serial backend
+        // bit-for-bit while keeping placements — and retries —
+        // independent.
+        const std::unique_ptr<bench::Backend> backend = make_backend(spec);
+        out.curves[i] = bench::run_placement(*backend, placements[i].comp,
+                                             placements[i].comm,
+                                             sweep_options);
+        out.errors[i].clear();
+        return;
+      } catch (const std::exception& error) {
+        if (!isolate_failures) throw;
+        out.errors[i] = error.what();
+      }
+    }
   };
   runtime::ThreadPool* pool = pool_for(placements.size());
   if (pool != nullptr) {
@@ -150,7 +193,7 @@ std::vector<bench::PlacementCurve> Runner::measure_placements(
     for (std::size_t i = 0; i < placements.size(); ++i) body(i);
   }
   if (met_measured_ != nullptr) met_measured_->add(placements.size());
-  return curves;
+  return out;
 }
 
 ScenarioResult Runner::run(const ScenarioSpec& spec) {
@@ -190,8 +233,12 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
       calibration_spec.placements = PlacementSet::kCalibration;
       const std::vector<model::Placement> placements =
           expand_placements(calibration_spec);
+      // No failure isolation here: without both calibration curves there
+      // is no model, so a calibrate-stage failure aborts the run.
       result.calibration.curves =
-          measure_placements(spec, placements, calibration_options);
+          measure_placements(spec, placements, calibration_options,
+                             /*isolate_failures=*/false)
+              .curves;
       const topo::PlatformSpec platform = spec.resolve_platform();
       result.calibration.platform = platform.name;
       result.calibration.numa_per_socket =
@@ -224,11 +271,14 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
 
     // The calibration curves already cover their placements when the
     // measure protocol is dense too — splice instead of re-sweeping.
+    // Placements poisoned by inject_failures never splice: they must go
+    // through the failing measure path.
     std::vector<model::Placement> to_measure;
     std::vector<std::size_t> slots;
     for (std::size_t i = 0; i < placements.size(); ++i) {
       std::size_t reuse = static_cast<std::size_t>(-1);
-      if (spec.core_step == 1) {
+      if (spec.core_step == 1 &&
+          spec.injected_failure(placements[i]) == nullptr) {
         const std::vector<model::Placement> calibrated = {
             model::Placement{result.calibration.curves[0].comp_numa,
                              result.calibration.curves[0].comm_numa},
@@ -243,11 +293,28 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
         slots.push_back(i);
       }
     }
-    std::vector<bench::PlacementCurve> measured =
-        measure_placements(spec, to_measure, measure_options);
+    MeasuredPlacements measured =
+        measure_placements(spec, to_measure, measure_options,
+                           /*isolate_failures=*/true);
     for (std::size_t i = 0; i < slots.size(); ++i) {
-      result.sweep.curves[slots[i]] = std::move(measured[i]);
+      if (measured.errors[i].empty()) {
+        result.sweep.curves[slots[i]] = std::move(measured.curves[i]);
+        continue;
+      }
+      // Keep the failed slot (right ids, no points) so the sweep layout —
+      // and every successful cell — matches a fault-free run exactly.
+      result.sweep.curves[slots[i]].comp_numa = to_measure[i].comp;
+      result.sweep.curves[slots[i]].comm_numa = to_measure[i].comm;
+      result.failures.push_back(PlacementFailure{
+          to_measure[i], measured.errors[i], measured.attempts[i]});
     }
+    if (met_failed_ != nullptr && !result.failures.empty()) {
+      met_failed_->add(result.failures.size());
+    }
+    result.status = result.failures.empty() ? RunStatus::kOk
+                    : result.failures.size() == placements.size()
+                        ? RunStatus::kFailed
+                        : RunStatus::kPartial;
     result.timings.measure_us = clock_.now_us() - start_us;
   }
 
@@ -258,6 +325,8 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
     const double start_us = clock_.now_us();
     const model::PlacementModel model = result.placement_model();
     for (const bench::PlacementCurve& curve : result.sweep.curves) {
+      // Failed cells have no measured points; align_prediction then
+      // yields an empty prediction with the right ids.
       result.predicted.push_back(align_prediction(
           model.predict(curve.comp_numa, curve.comm_numa), curve));
     }
@@ -269,18 +338,33 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
     const obs::ScopedSpan span(options_.observer.trace, clock_, "score",
                                "pipeline", 0);
     const double start_us = clock_.now_us();
-    // evaluate_with walks sweep.curves in order; serve the pre-aligned
-    // prediction for each so sparse sweeps score point-by-point.
-    std::size_t next = 0;
-    result.errors = model::evaluate_with(
-        result.sweep.platform, result.sweep,
-        [&](topo::NumaId comp, topo::NumaId comm) {
-          MCM_EXPECTS(next < result.predicted.size());
-          const model::PredictedCurve& aligned = result.predicted[next++];
-          MCM_EXPECTS(aligned.comp_numa == comp);
-          MCM_EXPECTS(aligned.comm_numa == comm);
-          return aligned;
-        });
+    // Score only the successfully measured cells: failed cells (empty
+    // curves) would poison the MAPE aggregation. With nothing measured
+    // (status kFailed) the report stays default-initialized.
+    bench::SweepResult scored;
+    scored.platform = result.sweep.platform;
+    scored.numa_per_socket = result.sweep.numa_per_socket;
+    std::vector<model::PredictedCurve> scored_predictions;
+    for (std::size_t i = 0; i < result.sweep.curves.size(); ++i) {
+      if (result.sweep.curves[i].points.empty()) continue;
+      scored.curves.push_back(result.sweep.curves[i]);
+      scored_predictions.push_back(result.predicted[i]);
+    }
+    if (!scored.curves.empty()) {
+      // evaluate_with walks curves in order; serve the pre-aligned
+      // prediction for each so sparse sweeps score point-by-point.
+      std::size_t next = 0;
+      result.errors = model::evaluate_with(
+          scored.platform, scored,
+          [&](topo::NumaId comp, topo::NumaId comm) {
+            MCM_EXPECTS(next < scored_predictions.size());
+            const model::PredictedCurve& aligned =
+                scored_predictions[next++];
+            MCM_EXPECTS(aligned.comp_numa == comp);
+            MCM_EXPECTS(aligned.comm_numa == comm);
+            return aligned;
+          });
+    }
     result.timings.score_us = clock_.now_us() - start_us;
   }
 

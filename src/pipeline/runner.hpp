@@ -41,6 +41,24 @@ struct StageTimings {
   double score_us = 0.0;
 };
 
+/// Measure-stage outcome of the whole run.
+enum class RunStatus : std::uint8_t {
+  kOk,       ///< every placement measured
+  kPartial,  ///< some placements failed; the rest were scored normally
+  kFailed,   ///< every placement failed — no model-quality numbers
+};
+
+[[nodiscard]] const char* to_string(RunStatus status);
+
+/// One placement the measure stage could not produce a curve for.
+struct PlacementFailure {
+  model::Placement placement;
+  /// what() of the last attempt's exception.
+  std::string error;
+  /// Attempts consumed (1 + retries).
+  std::size_t attempts = 0;
+};
+
 /// Everything one scenario run produces.
 struct ScenarioResult {
   ScenarioSpec spec;
@@ -54,13 +72,23 @@ struct ScenarioResult {
   /// True when the calibrate stage was served from the cache (no sweeps).
   bool cache_hit = false;
 
-  /// Measure stage: one curve per selected placement, spec order.
+  /// Measure stage: one curve per selected placement, spec order. A
+  /// failed placement keeps its slot with the right (comp, comm) ids but
+  /// no points, so successful cells stay bit-identical to a fault-free
+  /// run.
   bench::SweepResult sweep;
   /// Predict stage: parallel to sweep.curves, subsampled to the measured
   /// core counts (so sparse sweeps score against matching predictions).
+  /// Empty for failed cells.
   std::vector<model::PredictedCurve> predicted;
-  /// Score stage: Table-II row over the measured placements.
+  /// Score stage: Table-II row over the successfully measured placements
+  /// (default-initialized when status == kFailed).
   model::ErrorReport errors;
+
+  /// Failure isolation: placements whose measurement threw after every
+  /// retry (spec order), and the overall verdict.
+  std::vector<PlacementFailure> failures;
+  RunStatus status = RunStatus::kOk;
 
   StageTimings timings;
 
@@ -80,8 +108,12 @@ struct RunnerOptions {
   /// capped at hardware concurrency; 1 = measure serially (no pool).
   /// Ignored when `pool` is set.
   std::size_t parallelism = 0;
+  /// Extra measure attempts per placement after a failure (measure stage
+  /// only; a calibrate-stage failure always aborts the run).
+  std::size_t max_retries = 0;
   /// Counters pipeline.runs / cache.hits / cache.misses / placements /
-  /// measured_placements, "scenario" + per-stage wall spans on track 0.
+  /// measured_placements / placements_failed, "scenario" + per-stage wall
+  /// spans on track 0.
   obs::Observer observer;
 };
 
@@ -116,12 +148,24 @@ class Runner {
   [[nodiscard]] CalibrationCache& cache();
 
  private:
+  struct MeasuredPlacements {
+    std::vector<bench::PlacementCurve> curves;
+    /// Parallel to curves: what() of the last failure, empty = success.
+    std::vector<std::string> errors;
+    /// Parallel to curves: attempts consumed.
+    std::vector<std::size_t> attempts;
+  };
+
   /// Measure `placements` on fresh per-placement backends, parallel when
-  /// a pool is in effect. Results land in placement order.
-  [[nodiscard]] std::vector<bench::PlacementCurve> measure_placements(
+  /// a pool is in effect. Results land in placement order. With
+  /// `isolate_failures`, a placement whose measurement throws (or that the
+  /// spec poisons via inject_failures) is retried up to
+  /// options_.max_retries times and then recorded in `errors` instead of
+  /// aborting the sweep; without it, the first exception propagates.
+  [[nodiscard]] MeasuredPlacements measure_placements(
       const ScenarioSpec& spec,
       const std::vector<model::Placement>& placements,
-      const bench::SweepOptions& sweep_options);
+      const bench::SweepOptions& sweep_options, bool isolate_failures);
   [[nodiscard]] runtime::ThreadPool* pool_for(std::size_t jobs);
 
   RunnerOptions options_;
@@ -134,6 +178,7 @@ class Runner {
   obs::Counter* met_cache_misses_ = nullptr;
   obs::Counter* met_placements_ = nullptr;
   obs::Counter* met_measured_ = nullptr;
+  obs::Counter* met_failed_ = nullptr;
 };
 
 }  // namespace mcm::pipeline

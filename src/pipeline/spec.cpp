@@ -63,6 +63,14 @@ std::optional<sim::ComputeKernel> parse_compute_kernel(
   return std::nullopt;
 }
 
+const InjectedFailure* ScenarioSpec::injected_failure(
+    model::Placement placement) const {
+  for (const InjectedFailure& failure : inject_failures) {
+    if (failure.placement == placement) return &failure;
+  }
+  return nullptr;
+}
+
 std::string ScenarioSpec::fingerprint() const {
   MCM_EXPECTS(cacheable());
   std::ostringstream out;
@@ -100,8 +108,18 @@ std::string ScenarioSpec::to_json() const {
   } else {
     out << '"' << to_string(placements) << '"';
   }
-  out << ",\n"
-      << "  \"max_cores\": " << max_cores << ",\n"
+  out << ",\n";
+  if (!inject_failures.empty()) {
+    out << "  \"inject_failures\": [";
+    for (std::size_t i = 0; i < inject_failures.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << '[' << inject_failures[i].placement.comp.value() << ", "
+          << inject_failures[i].placement.comm.value() << ", "
+          << inject_failures[i].failing_attempts << ']';
+    }
+    out << "],\n";
+  }
+  out << "  \"max_cores\": " << max_cores << ",\n"
       << "  \"core_step\": " << core_step << ",\n"
       << "  \"repetitions\": " << repetitions << ",\n"
       << "  \"comm_pattern\": \"" << sim::to_string(comm_pattern) << "\",\n"
@@ -148,7 +166,7 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& text,
       "name",         "platform",    "policy",
       "placements",   "max_cores",   "core_step",
       "repetitions",  "comm_pattern", "compute_kernel",
-      "smoothing_half_window"};
+      "smoothing_half_window", "inject_failures"};
   for (const auto& [key, value] : doc->as_object()) {
     (void)value;
     bool known = false;
@@ -213,6 +231,42 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& text,
     } else {
       fail(error, "placements must be a string or an array");
       return std::nullopt;
+    }
+  }
+
+  if (const json::Value* inject = doc->find("inject_failures")) {
+    if (!inject->is_array()) {
+      fail(error, "'inject_failures' must be an array of [comp, comm] or "
+                  "[comp, comm, failing_attempts] entries");
+      return std::nullopt;
+    }
+    for (const json::Value& entry : inject->as_array()) {
+      const bool shaped =
+          entry.is_array() &&
+          (entry.as_array().size() == 2 || entry.as_array().size() == 3);
+      bool numeric = shaped;
+      if (shaped) {
+        for (const json::Value& field : entry.as_array()) {
+          numeric = numeric && field.is_number() && field.as_number() >= 0.0;
+        }
+      }
+      if (!numeric) {
+        fail(error, "each inject_failures entry must be [comp, comm] or "
+                    "[comp, comm, failing_attempts] with non-negative "
+                    "numbers");
+        return std::nullopt;
+      }
+      InjectedFailure failure;
+      failure.placement = model::Placement{
+          topo::NumaId(static_cast<std::uint32_t>(
+              entry.as_array()[0].as_number())),
+          topo::NumaId(static_cast<std::uint32_t>(
+              entry.as_array()[1].as_number()))};
+      if (entry.as_array().size() == 3) {
+        failure.failing_attempts =
+            static_cast<std::size_t>(entry.as_array()[2].as_number());
+      }
+      spec.inject_failures.push_back(failure);
     }
   }
 

@@ -31,6 +31,15 @@ enum class PlacementSet : std::uint8_t {
 
 [[nodiscard]] const char* to_string(PlacementSet set);
 
+/// Poison one measured placement: its measurement throws net::Error for
+/// the first `failing_attempts` attempts (0 = every attempt, i.e. the
+/// placement can never succeed). Used to exercise the runner's
+/// partial-failure isolation and `--max-retries` recovery.
+struct InjectedFailure {
+  model::Placement placement;
+  std::size_t failing_attempts = 0;
+};
+
 struct ScenarioSpec {
   /// Scenario id, used for report names and display; optional.
   std::string name;
@@ -61,6 +70,16 @@ struct ScenarioSpec {
   sim::ComputeKernel compute_kernel = sim::ComputeKernel::kFill;
 
   model::CalibrationOptions calibration;
+
+  /// Measure-stage fault injection (JSON key `inject_failures`:
+  /// [[comp, comm]] or [[comp, comm, failing_attempts]] entries). Only
+  /// the measure stage consults this — calibration sweeps are never
+  /// poisoned, so the list stays out of the cache fingerprint.
+  std::vector<InjectedFailure> inject_failures;
+
+  /// The injected failure for `placement`, if any.
+  [[nodiscard]] const InjectedFailure* injected_failure(
+      model::Placement placement) const;
 
   /// False when the calibration result cannot be keyed: a platform
   /// override without a variant label.

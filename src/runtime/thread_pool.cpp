@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include <utility>
+
 #include "obs/span.hpp"
 #include "runtime/affinity.hpp"
 #include "util/contracts.hpp"
@@ -41,9 +43,20 @@ void ThreadPool::worker_loop(std::size_t index, bool pin) {
       seen_generation = generation_;
       task = task_;
     }
-    (*task)(index);
+    std::exception_ptr error;
+    try {
+      (*task)(index);
+    } catch (...) {
+      // Letting the exception escape a worker thread would std::terminate
+      // and leave remaining_ forever nonzero (deadlocking the destructor);
+      // capture it for the dispatching thread instead.
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
@@ -90,6 +103,10 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
     met_busy_us_->add(
         static_cast<std::uint64_t>(clock_.now_us() - start_us));
     met_queue_depth_->set(0.0);
+  }
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
   }
 }
 

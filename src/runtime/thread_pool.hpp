@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,11 +29,16 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
   /// Run `task(worker_index)` once on every worker, in parallel; blocks
-  /// until all workers finished. Not reentrant.
+  /// until all workers finished. Not reentrant. A task that throws does
+  /// not kill the process: every worker still finishes its call, the pool
+  /// stays usable, and the first exception (by completion order) is
+  /// rethrown here on the dispatching thread.
   void run_on_all(const std::function<void(std::size_t)>& task);
 
   /// Parallel loop over [begin, end) with static contiguous partitioning:
   /// `body(i)` is invoked exactly once per index. Blocks until done.
+  /// Exceptions propagate as in run_on_all; note a worker whose body
+  /// throws abandons the rest of its own chunk.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -55,6 +61,9 @@ class ThreadPool {
   std::size_t generation_ = 0;
   std::size_t remaining_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task in the current dispatch; rethrown
+  /// by run_on_all once every worker has finished.
+  std::exception_ptr first_error_;
 
   obs::Observer obs_;
   obs::WallClock clock_;

@@ -31,7 +31,8 @@ void emit_spec(std::ostringstream& out, const std::string& prefix,
   emit(out, prefix + ".dma_soft_min", format_fixed(spec.dma_soft_min, 6));
 }
 
-/// Key-value view over the parsed file. Values keep embedded spaces.
+/// Key-value view over the parsed file. Values keep embedded spaces; the
+/// source line of every key is kept so parse errors can point at it.
 class KeyValues {
  public:
   static std::optional<KeyValues> parse(const std::string& text,
@@ -53,7 +54,7 @@ class KeyValues {
         return std::nullopt;
       }
       kv.values_[stripped.substr(0, space)] =
-          trim(stripped.substr(space + 1));
+          Entry{trim(stripped.substr(space + 1)), line_no};
     }
     return kv;
   }
@@ -61,11 +62,21 @@ class KeyValues {
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto it = values_.find(key);
     if (it == values_.end()) return std::nullopt;
-    return it->second;
+    return it->second.value;
+  }
+
+  /// Source line of `key`, or 0 when absent.
+  [[nodiscard]] int line_of(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? 0 : it->second.line;
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  struct Entry {
+    std::string value;
+    int line = 0;
+  };
+  std::map<std::string, Entry> values_;
 };
 
 /// Helper carrying the error slot so the extraction code stays linear.
@@ -116,15 +127,15 @@ class Extractor {
 
  private:
   double to_number(const std::string& key, const std::string& value) {
-    try {
-      std::size_t consumed = 0;
-      const double parsed = std::stod(value, &consumed);
-      if (consumed != value.size()) throw std::invalid_argument(value);
-      return parsed;
-    } catch (const std::exception&) {
-      fail("key '" + key + "': not a number: '" + value + "'");
+    // parse_double rejects partial consumption ("3.0x", "1,5") and ignores
+    // the global locale, unlike std::stod.
+    const std::optional<double> parsed = parse_double(value);
+    if (!parsed) {
+      fail("line " + std::to_string(kv_.line_of(key)) + ": key '" + key +
+           "': not a number: '" + value + "'");
       return 0.0;
     }
+    return *parsed;
   }
 
   void fail(const std::string& message) {
@@ -209,12 +220,15 @@ std::optional<PlatformSpec> parse_platform(const std::string& text,
   // The seed must round-trip exactly; going through double would lose the
   // low bits of large 64-bit seeds.
   if (const auto seed_text = kv->get("seed")) {
-    try {
-      spec.seed = std::stoull(*seed_text);
-    } catch (const std::exception&) {
-      if (error) *error = "key 'seed': not an integer: '" + *seed_text + "'";
+    const std::optional<std::uint64_t> seed = parse_u64(*seed_text);
+    if (!seed) {
+      if (error) {
+        *error = "line " + std::to_string(kv->line_of("seed")) +
+                 ": key 'seed': not an integer: '" + *seed_text + "'";
+      }
       return std::nullopt;
     }
+    spec.seed = *seed;
   }
 
   const auto sockets = static_cast<std::size_t>(x.required_number("sockets"));
@@ -246,9 +260,21 @@ std::optional<PlatformSpec> parse_platform(const std::string& text,
     b.add_nic(nic_name, SocketId(nic_socket),
               Bandwidth::gb_per_s(x.required_number("nic.wire_gb")),
               Bandwidth::gb_per_s(x.required_number("nic.pcie_gb")));
-    for (const std::string& field : split(x.str("nic.efficiency"), ' ')) {
-      if (trim(field).empty()) continue;
-      efficiencies.push_back(std::stod(field));
+    const std::vector<std::string> fields =
+        split(x.str("nic.efficiency"), ' ');
+    for (std::size_t column = 0; column < fields.size(); ++column) {
+      const std::string field = trim(fields[column]);
+      if (field.empty()) continue;
+      const std::optional<double> parsed = parse_double(field);
+      if (!parsed) {
+        if (error) {
+          *error = "line " + std::to_string(kv->line_of("nic.efficiency")) +
+                   ": nic.efficiency: field " + std::to_string(column + 1) +
+                   ": not a number: '" + field + "'";
+        }
+        return std::nullopt;
+      }
+      efficiencies.push_back(*parsed);
     }
     if (efficiencies.size() != sockets * numa) {
       if (x.ok() && error) {

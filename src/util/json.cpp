@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/contracts.hpp"
+#include "util/strings.hpp"
 
 namespace mcm::json {
 
@@ -245,14 +246,15 @@ class Parser {
       ++pos_;
     }
     const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == token.c_str() ||
-        end != token.c_str() + token.size()) {
+    // parse_double is locale-independent (std::strtod honours the global
+    // locale's decimal point, which would reject valid JSON under e.g.
+    // de_DE) and rejects partially-consumed tokens like "1.2.3".
+    const std::optional<double> value = parse_double(token);
+    if (!value) {
       fail("malformed number '" + token + "'");
       return std::nullopt;
     }
-    return Value(value);
+    return Value(*value);
   }
 
   std::optional<Value> parse_array() {

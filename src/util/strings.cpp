@@ -1,6 +1,8 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "util/contracts.hpp"
@@ -64,6 +66,32 @@ std::string trim(const std::string& text) {
 bool starts_with(const std::string& text, const std::string& prefix) {
   return text.size() >= prefix.size() &&
          text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // std::from_chars does not accept a leading '+'; the number grammars we
+  // parse (JSON, topology files, CSV) do not emit one either, but accept
+  // it for hand-written files.
+  if (text.front() == '+') text.remove_prefix(1);
+  double value = 0.0;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  // from_chars accepts "inf"/"nan"; none of our formats do.
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
 }
 
 }  // namespace mcm

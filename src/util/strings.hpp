@@ -1,7 +1,10 @@
 // String formatting helpers shared by the table/CSV renderers and reports.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mcm {
@@ -33,5 +36,17 @@ namespace mcm {
 /// True if `text` begins with `prefix`.
 [[nodiscard]] bool starts_with(const std::string& text,
                                const std::string& prefix);
+
+/// Locale-independent parse of a complete decimal number (the classic-"C"
+/// grammar the JSON parser accepts: optional sign, digits, '.', exponent).
+/// Returns nullopt when `text` is empty, not fully consumed (trailing
+/// garbage), non-finite ("inf"/"nan") or out of range — unlike std::stod,
+/// which honours the global locale and silently ignores trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Locale-independent parse of a complete non-negative decimal integer.
+/// Returns nullopt on empty input, sign characters, trailing garbage or
+/// overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
 
 }  // namespace mcm

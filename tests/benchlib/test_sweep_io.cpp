@@ -105,7 +105,18 @@ TEST(SweepIo, RejectsBadRows) {
   EXPECT_NE(error.find("7 fields"), std::string::npos);
   EXPECT_FALSE(
       sweep_from_csv(base + "0,0,one,5,12,5,12\n", &error).has_value());
-  EXPECT_NE(error.find("non-numeric"), std::string::npos);
+  EXPECT_NE(error.find("field 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("not a number"), std::string::npos) << error;
+  // Trailing garbage after a valid prefix must not parse (std::stod used
+  // to accept "5.0x" silently).
+  EXPECT_FALSE(
+      sweep_from_csv(base + "0,0,1,5.0x,12,5,12\n", &error).has_value());
+  EXPECT_NE(error.find("field 4"), std::string::npos) << error;
+  // Negative bandwidths and negative ids are rejected, not wrapped.
+  EXPECT_FALSE(
+      sweep_from_csv(base + "0,-1,1,5,12,5,12\n", &error).has_value());
+  EXPECT_FALSE(
+      sweep_from_csv(base + "0,0,1,-5,12,5,12\n", &error).has_value());
 }
 
 TEST(SweepIo, RejectsWrongColumnHeader) {

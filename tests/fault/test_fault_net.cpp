@@ -1,0 +1,278 @@
+// Fault-injection tests of the mcm::net transport: delays must be
+// survivable with retry/backoff, stalls must surface as typed timeouts
+// instead of hangs, drops must redeliver in FIFO order, and all of it
+// must be deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/minimpi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 0) {
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::byte>((i * 31 + seed) & 0xff);
+  }
+  return data;
+}
+
+TEST(FaultPlan, ValidatesProbabilitiesAndDurations) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.armed());
+  plan.delay_probability = 1.5;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan.delay_probability = 0.5;
+  plan.delay = Seconds(-1.0);
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan.delay = Seconds(0.01);
+  plan.validate();
+  EXPECT_TRUE(plan.armed());
+}
+
+TEST(RetryPolicy, ValidatesTimeoutAndBackoff) {
+  RetryPolicy policy;
+  policy.timeout = Seconds(0.0);
+  EXPECT_THROW(policy.validate(), ContractViolation);
+  policy.timeout = Seconds(0.01);
+  policy.backoff = 0.5;
+  EXPECT_THROW(policy.validate(), ContractViolation);
+  policy.backoff = 1.0;
+  policy.validate();
+}
+
+TEST(FaultNet, InjectedDelayIsSurvivedByRetryWithBackoff) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  ShmWorld world;
+  world.attach_observer(observer);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.delay_probability = 1.0;
+  plan.delay = Seconds(0.03);
+  world.inject_faults(plan);
+
+  const auto data = pattern(64, 1);
+  (void)world.comm(0).isend(1, 4, data);
+  EXPECT_EQ(metrics.counter("net.faults.injected").value(), 1u);
+
+  // First attempts (5 ms, 10 ms) expire before the 30 ms delay; backoff
+  // grows the deadline until the message becomes deliverable.
+  RetryPolicy policy;
+  policy.timeout = Seconds(0.005);
+  policy.max_retries = 10;
+  policy.backoff = 2.0;
+  std::vector<std::byte> sink(64);
+  EXPECT_EQ(world.comm(1).recv(0, 4, sink, policy), 64u);
+  EXPECT_EQ(sink, data);
+  EXPECT_GE(metrics.counter("net.retries").value(), 1u);
+  EXPECT_EQ(metrics.counter("net.timeouts").value(), 0u);
+}
+
+TEST(FaultNet, InducedStallHitsWaitForDeadlineWithTypedError) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  ProtocolParams params;
+  params.eager_threshold = 8;  // 64-byte message goes rendezvous
+  ShmWorld world(params);
+  world.attach_observer(observer);
+
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.stall_every = 1;
+  world.inject_faults(plan);
+
+  const auto data = pattern(64, 2);
+  Request send = world.comm(0).isend(1, 9, data);
+  std::vector<std::byte> sink(64);
+  Request recv = world.comm(1).irecv(0, 9, sink);
+
+  try {
+    world.comm(1).wait_for(recv, Seconds(0.02));
+    FAIL() << "expected Error(kTimeout)";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kTimeout);
+  }
+  EXPECT_FALSE(send.done());
+  EXPECT_FALSE(recv.done());
+  EXPECT_EQ(metrics.counter("net.faults.injected").value(), 1u);
+  EXPECT_EQ(metrics.counter("net.timeouts").value(), 1u);
+}
+
+TEST(FaultNet, RecvRetryExhaustionCountsOneTimeout) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  ProtocolParams params;
+  params.eager_threshold = 8;
+  ShmWorld world(params);
+  world.attach_observer(observer);
+
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.stall_every = 1;
+  world.inject_faults(plan);
+
+  const auto data = pattern(32, 3);
+  (void)world.comm(0).isend(1, 2, data);
+
+  RetryPolicy policy;
+  policy.timeout = Seconds(0.002);
+  policy.max_retries = 2;
+  std::vector<std::byte> sink(32);
+  try {
+    (void)world.comm(1).recv(0, 2, sink, policy);
+    FAIL() << "expected Error(kTimeout)";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kTimeout);
+  }
+  // One net.retries per extra attempt; net.timeouts only on the final
+  // give-up, however many attempts preceded it.
+  EXPECT_EQ(metrics.counter("net.retries").value(), 2u);
+  EXPECT_EQ(metrics.counter("net.timeouts").value(), 1u);
+}
+
+TEST(FaultNet, DroppedMessagesAreRedeliveredInFifoOrder) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  ShmWorld world;
+  world.attach_observer(observer);
+
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_probability = 1.0;
+  plan.redelivery_delay = Seconds(0.01);
+  world.inject_faults(plan);
+
+  const auto first = pattern(16, 1);
+  const auto second = pattern(16, 2);
+  (void)world.comm(0).isend(1, 7, first);
+  (void)world.comm(0).isend(1, 7, second);
+  EXPECT_EQ(metrics.counter("net.faults.injected").value(), 2u);
+  // probe must not see an in-flight (dropped, not yet redelivered)
+  // message.
+  EXPECT_FALSE(world.comm(1).probe(0, 7).has_value());
+
+  std::vector<std::byte> sink1(16);
+  std::vector<std::byte> sink2(16);
+  (void)world.comm(1).recv(0, 7, sink1);
+  (void)world.comm(1).recv(0, 7, sink2);
+  EXPECT_EQ(sink1, first);
+  EXPECT_EQ(sink2, second);
+}
+
+TEST(FaultNet, DelayedHeadOfLineBlocksLaterSameTagMessages) {
+  ShmWorld world;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.delay_probability = 0.5;
+  plan.delay = Seconds(0.015);
+  world.inject_faults(plan);
+
+  // Whatever subset of these gets delayed, same-tag delivery order must
+  // match posting order — a delayed head of line is never overtaken.
+  constexpr int kMessages = 8;
+  for (int i = 0; i < kMessages; ++i) {
+    (void)world.comm(0).isend(1, 5, pattern(16, i));
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    std::vector<std::byte> sink(16);
+    (void)world.comm(1).recv(0, 5, sink);
+    EXPECT_EQ(sink, pattern(16, i)) << "message " << i;
+  }
+}
+
+TEST(FaultNet, SameSeedInjectsIdenticalFaultSequence) {
+  const auto count_faults = [](std::uint64_t seed) {
+    obs::MetricsRegistry metrics;
+    obs::Observer observer;
+    observer.metrics = &metrics;
+    ShmWorld world;
+    world.attach_observer(observer);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.delay_probability = 0.4;
+    plan.delay = Seconds(0.002);
+    world.inject_faults(plan);
+    for (int i = 0; i < 32; ++i) {
+      (void)world.comm(0).isend(1, i, pattern(8, i));
+    }
+    for (int i = 0; i < 32; ++i) {
+      std::vector<std::byte> sink(8);
+      (void)world.comm(1).recv(0, i, sink);
+    }
+    return metrics.counter("net.faults.injected").value();
+  };
+  const std::uint64_t first = count_faults(42);
+  EXPECT_GE(first, 1u);
+  EXPECT_LT(first, 32u);
+  EXPECT_EQ(first, count_faults(42));
+}
+
+TEST(FaultNet, PeerGoneTurnsWaitIntoTypedError) {
+  ProtocolParams params;
+  params.eager_threshold = 8;
+  ShmWorld world(params);
+  const auto data = pattern(64, 4);
+  Request send = world.comm(0).isend(1, 1, data);  // rendezvous, pending
+  world.mark_peer_gone(1);
+  try {
+    world.comm(0).wait(send);
+    FAIL() << "expected Error(kPeerGone)";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kPeerGone);
+  }
+}
+
+TEST(FaultNet, PeerGoneWakesABlockedWaiter) {
+  ProtocolParams params;
+  params.eager_threshold = 8;
+  ShmWorld world(params);
+  const auto data = pattern(64, 5);
+  Request send = world.comm(0).isend(1, 1, data);
+  std::thread reaper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    world.mark_peer_gone(1);
+  });
+  EXPECT_THROW(world.comm(0).wait(send), Error);
+  reaper.join();
+}
+
+TEST(FaultNet, UnarmedPlanKeepsImmediateDelivery) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  ShmWorld world;
+  world.attach_observer(observer);
+  world.inject_faults(FaultPlan{});  // armed() == false: fast paths stay
+
+  const auto data = pattern(32, 6);
+  (void)world.comm(0).isend(1, 3, data);
+  std::vector<std::byte> sink(32);
+  EXPECT_EQ(world.comm(1).recv(0, 3, sink), 32u);
+  EXPECT_EQ(sink, data);
+  EXPECT_EQ(metrics.counter("net.faults.injected").value(), 0u);
+}
+
+TEST(FaultNet, WaitForReturnsPromptlyWhenAlreadyDone) {
+  ShmWorld world;
+  const auto data = pattern(16, 7);
+  Request send = world.comm(0).isend(1, 1, data);  // eager: done at post
+  world.comm(0).wait_for(send, Seconds(0.001));
+  EXPECT_EQ(send.transferred(), 16u);
+}
+
+}  // namespace
+}  // namespace mcm::net

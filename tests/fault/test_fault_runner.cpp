@@ -1,0 +1,181 @@
+// Partial-failure isolation in the pipeline Runner: a poisoned placement
+// must not take down the sweep, retries must recover flaky placements,
+// and every successful cell must stay bit-identical to a fault-free run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "pipeline/runner.hpp"
+
+namespace mcm::pipeline {
+namespace {
+
+ScenarioSpec henri_spec() {
+  ScenarioSpec spec;
+  spec.name = "fault-test";
+  spec.platform = "henri";
+  spec.placements = PlacementSet::kAll;
+  return spec;
+}
+
+void expect_identical_curves(const bench::PlacementCurve& a,
+                             const bench::PlacementCurve& b) {
+  EXPECT_EQ(a.comp_numa, b.comp_numa);
+  EXPECT_EQ(a.comm_numa, b.comm_numa);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    // Bit-identical, not approximately equal: failure isolation must not
+    // perturb the surviving cells at all.
+    EXPECT_EQ(a.points[p].cores, b.points[p].cores);
+    EXPECT_EQ(a.points[p].compute_alone_gb, b.points[p].compute_alone_gb);
+    EXPECT_EQ(a.points[p].comm_alone_gb, b.points[p].comm_alone_gb);
+    EXPECT_EQ(a.points[p].compute_parallel_gb,
+              b.points[p].compute_parallel_gb);
+    EXPECT_EQ(a.points[p].comm_parallel_gb, b.points[p].comm_parallel_gb);
+  }
+}
+
+TEST(FaultRunner, PoisonedPlacementYieldsPartialNotAbort) {
+  const model::Placement poisoned{topo::NumaId(0), topo::NumaId(1)};
+
+  obs::MetricsRegistry metrics;
+  RunnerOptions options;
+  options.observer.metrics = &metrics;
+  Runner runner(options);
+
+  ScenarioSpec spec = henri_spec();
+  spec.inject_failures.push_back(InjectedFailure{poisoned, 0});
+  const ScenarioResult faulty = runner.run(spec);
+
+  Runner clean_runner;
+  const ScenarioResult clean = clean_runner.run(henri_spec());
+
+  EXPECT_EQ(faulty.status, RunStatus::kPartial);
+  EXPECT_STREQ(to_string(faulty.status), "partial");
+  ASSERT_EQ(faulty.failures.size(), 1u);
+  EXPECT_EQ(faulty.failures[0].placement, poisoned);
+  EXPECT_EQ(faulty.failures[0].attempts, 1u);
+  EXPECT_NE(faulty.failures[0].error.find("injected failure"),
+            std::string::npos);
+  EXPECT_EQ(metrics.counter("pipeline.placements_failed").value(), 1u);
+
+  // The failed cell keeps its slot (right ids, no points); every other
+  // cell is bit-identical to the fault-free sweep.
+  ASSERT_EQ(faulty.sweep.curves.size(), clean.sweep.curves.size());
+  for (std::size_t i = 0; i < faulty.sweep.curves.size(); ++i) {
+    const bench::PlacementCurve& cell = faulty.sweep.curves[i];
+    if (model::Placement{cell.comp_numa, cell.comm_numa} == poisoned) {
+      EXPECT_TRUE(cell.points.empty());
+      continue;
+    }
+    expect_identical_curves(cell, clean.sweep.curves[i]);
+  }
+  // The score covers the surviving cells, so it is still a real number.
+  EXPECT_GT(faulty.errors.average, 0.0);
+}
+
+TEST(FaultRunner, EveryPlacementFailingMarksRunFailed) {
+  ScenarioSpec spec = henri_spec();
+  spec.placements = PlacementSet::kExplicit;
+  spec.explicit_placements = {
+      model::Placement{topo::NumaId(0), topo::NumaId(0)},
+      model::Placement{topo::NumaId(0), topo::NumaId(1)}};
+  for (const model::Placement& placement : spec.explicit_placements) {
+    spec.inject_failures.push_back(InjectedFailure{placement, 0});
+  }
+  Runner runner;
+  const ScenarioResult result = runner.run(spec);
+  EXPECT_EQ(result.status, RunStatus::kFailed);
+  EXPECT_EQ(result.failures.size(), 2u);
+  // Nothing measured, nothing scored.
+  EXPECT_EQ(result.errors.average, 0.0);
+  // Calibration is never poisoned, so the model itself still exists.
+  EXPECT_GT(result.local.t_par_max, 0.0);
+}
+
+TEST(FaultRunner, MaxRetriesRecoversAFlakyPlacement) {
+  const model::Placement flaky{topo::NumaId(1), topo::NumaId(0)};
+  ScenarioSpec spec = henri_spec();
+  spec.inject_failures.push_back(InjectedFailure{flaky, /*attempts=*/2});
+
+  RunnerOptions options;
+  options.max_retries = 2;
+  Runner runner(options);
+  const ScenarioResult recovered = runner.run(spec);
+  EXPECT_EQ(recovered.status, RunStatus::kOk);
+  EXPECT_TRUE(recovered.failures.empty());
+
+  // Retried measurements are deterministic: the recovered sweep matches
+  // a fault-free one bit for bit.
+  Runner clean_runner;
+  const ScenarioResult clean = clean_runner.run(henri_spec());
+  ASSERT_EQ(recovered.sweep.curves.size(), clean.sweep.curves.size());
+  for (std::size_t i = 0; i < clean.sweep.curves.size(); ++i) {
+    expect_identical_curves(recovered.sweep.curves[i],
+                            clean.sweep.curves[i]);
+  }
+  EXPECT_EQ(recovered.errors.average, clean.errors.average);
+}
+
+TEST(FaultRunner, TooFewRetriesStillFailsTheFlakyPlacement) {
+  const model::Placement flaky{topo::NumaId(1), topo::NumaId(0)};
+  ScenarioSpec spec = henri_spec();
+  spec.inject_failures.push_back(InjectedFailure{flaky, /*attempts=*/3});
+
+  RunnerOptions options;
+  options.max_retries = 1;
+  Runner runner(options);
+  const ScenarioResult result = runner.run(spec);
+  EXPECT_EQ(result.status, RunStatus::kPartial);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].attempts, 2u);  // 1 + max_retries
+}
+
+TEST(FaultRunner, FingerprintIgnoresInjectedFailures) {
+  ScenarioSpec spec = henri_spec();
+  const std::string clean_fingerprint = spec.fingerprint();
+  spec.inject_failures.push_back(
+      InjectedFailure{model::Placement{topo::NumaId(0), topo::NumaId(1)}, 0});
+  // Calibration sweeps are never poisoned, so a poisoned run may share
+  // the cache entry of a clean one.
+  EXPECT_EQ(spec.fingerprint(), clean_fingerprint);
+}
+
+TEST(FaultRunner, InjectFailuresSurviveJsonRoundTrip) {
+  ScenarioSpec spec = henri_spec();
+  spec.inject_failures.push_back(
+      InjectedFailure{model::Placement{topo::NumaId(0), topo::NumaId(1)}, 0});
+  spec.inject_failures.push_back(
+      InjectedFailure{model::Placement{topo::NumaId(1), topo::NumaId(1)}, 3});
+
+  std::string error;
+  const auto parsed = ScenarioSpec::from_json(spec.to_json(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->inject_failures.size(), 2u);
+  EXPECT_EQ(parsed->inject_failures[0].placement,
+            spec.inject_failures[0].placement);
+  EXPECT_EQ(parsed->inject_failures[0].failing_attempts, 0u);
+  EXPECT_EQ(parsed->inject_failures[1].placement,
+            spec.inject_failures[1].placement);
+  EXPECT_EQ(parsed->inject_failures[1].failing_attempts, 3u);
+}
+
+TEST(FaultRunner, RejectsMalformedInjectFailures) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::from_json(
+                   R"({"platform": "henri", "inject_failures": [[0]]})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("inject_failures"), std::string::npos);
+  EXPECT_FALSE(ScenarioSpec::from_json(
+                   R"({"platform": "henri", "inject_failures": 3})", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      ScenarioSpec::from_json(
+          R"({"platform": "henri", "inject_failures": [[0, -1]]})", &error)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace mcm::pipeline

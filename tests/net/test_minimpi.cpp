@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
 #include <thread>
@@ -106,6 +107,71 @@ TEST(MiniMpi, ZeroByteMessage) {
   (void)world.comm(0).isend(1, 0, {});
   std::vector<std::byte> sink(1);
   EXPECT_EQ(world.comm(1).recv(0, 0, sink), 0u);
+}
+
+TEST(MiniMpiProbe, AnyTagProbeSeesFifoHead) {
+  ShmWorld world;
+  const auto first = pattern(24, 1);
+  const auto second = pattern(48, 2);
+  (void)world.comm(0).isend(1, /*tag=*/5, first);
+  (void)world.comm(0).isend(1, /*tag=*/6, second);
+  // probe(kAnyTag) must report the first queued message, and an any-tag
+  // receive must consume that same message — probe and matching agree.
+  const auto probed = world.comm(1).probe(0, kAnyTag);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(*probed, 24u);
+  std::vector<std::byte> sink(64);
+  EXPECT_EQ(world.comm(1).recv(0, kAnyTag, sink), 24u);
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), sink.begin()));
+  EXPECT_EQ(world.comm(1).probe(0, kAnyTag), std::optional<std::size_t>(48));
+}
+
+TEST(MiniMpi, SendrecvAtExactlyEagerThreshold) {
+  ProtocolParams params;
+  params.eager_threshold = 64;
+  ShmWorld world(params);
+  // Exactly the threshold stays eager ("strictly larger" goes
+  // rendezvous): the send half completes at post, so a one-thread
+  // exchange cannot deadlock even without the peer posted yet.
+  const auto mine = pattern(64, 1);
+  const auto theirs = pattern(64, 2);
+  std::vector<std::byte> from_peer(64);
+  std::vector<std::byte> from_main(64);
+  std::thread peer([&] {
+    (void)world.comm(1).sendrecv(0, /*send_tag=*/2, theirs,
+                                 /*recv_tag=*/1, from_main);
+  });
+  const std::size_t got = world.comm(0).sendrecv(1, /*send_tag=*/1, mine,
+                                                 /*recv_tag=*/2, from_peer);
+  peer.join();
+  EXPECT_EQ(got, 64u);
+  EXPECT_EQ(from_peer, theirs);
+  EXPECT_EQ(from_main, mine);
+
+  // One byte over the threshold switches to rendezvous: the send can no
+  // longer complete at post time.
+  const auto big = pattern(65, 3);
+  Request pending = world.comm(0).isend(1, 9, big);
+  EXPECT_FALSE(pending.done());
+  std::vector<std::byte> sink(65);
+  EXPECT_EQ(world.comm(1).recv(0, 9, sink), 65u);
+  EXPECT_TRUE(pending.done());
+}
+
+TEST(MiniMpi, ZeroByteMessagesKeepFifoAndProbeSemantics) {
+  ShmWorld world;
+  (void)world.comm(0).isend(1, 3, {});
+  const auto payload = pattern(8, 5);
+  (void)world.comm(0).isend(1, 3, payload);
+  // A zero-byte message is a real message: probe reports size 0 (not
+  // "nothing queued") and same-tag FIFO still applies.
+  const auto probed = world.comm(1).probe(0, 3);
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(*probed, 0u);
+  std::vector<std::byte> sink(8);
+  EXPECT_EQ(world.comm(1).recv(0, 3, sink), 0u);
+  EXPECT_EQ(world.comm(1).recv(0, 3, sink), 8u);
+  EXPECT_EQ(sink, payload);
 }
 
 TEST(MiniMpi, LargeTransferAcrossThreads) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -81,6 +84,54 @@ TEST(ThreadPool, SingleWorkerPool) {
 
 TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(ThreadPool pool(0), ContractViolation);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrowsOnDispatcher) {
+  // Regression: a throwing task used to escape the worker thread, which
+  // calls std::terminate and — had it survived — would have leaked
+  // remaining_ and deadlocked the destructor.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run_on_all([&](std::size_t worker) {
+        if (worker == 2) throw std::runtime_error("boom");
+        completed.fetch_add(1);
+      }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 3);  // the other workers still ran
+}
+
+TEST(ThreadPool, PoolIsUsableAfterThrowingTask) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run_on_all([](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> value{0};
+  pool.run_on_all([&](std::size_t) { value.fetch_add(1); });
+  EXPECT_EQ(value.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(3);
+  std::string message;
+  try {
+    pool.parallel_for(0, 30, [](std::size_t i) {
+      if (i == 17) throw std::runtime_error("index 17");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    message = error.what();
+  }
+  EXPECT_EQ(message, "index 17");
+}
+
+TEST(ThreadPool, DestructorSurvivesAfterThrowingTask) {
+  auto pool = std::make_unique<ThreadPool>(2);
+  EXPECT_THROW(
+      pool->run_on_all([](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  pool.reset();  // must join, not deadlock
+  SUCCEED();
 }
 
 TEST(ThreadPool, PinnedPoolStillRuns) {

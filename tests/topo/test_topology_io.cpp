@@ -89,6 +89,59 @@ TEST(TopologyIo, NonNumericValueReportsKey) {
       &error);
   EXPECT_FALSE(spec.has_value());
   EXPECT_NE(error.find("sockets"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, TrailingGarbageAfterNumberIsRejected) {
+  // std::stod would have parsed "10.0junk" as 10.0; the classic-locale
+  // helper rejects partially-consumed values and names the line.
+  std::string error;
+  const auto spec = parse_platform(
+      "platform x\nsockets 1\ncores_per_socket 1\nnuma_per_socket 1\n"
+      "controller.capacity_gb 10.0junk\ncompute.local_gb 1\n"
+      "compute.remote_gb 1\n",
+      &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("controller.capacity_gb"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("line 5"), std::string::npos) << error;
+  EXPECT_NE(error.find("10.0junk"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, GarbageEfficiencyFieldReportsLineAndColumn) {
+  const std::string text = R"(platform x
+sockets 2
+cores_per_socket 2
+numa_per_socket 1
+controller.capacity_gb 20
+remote_port.capacity_gb 10
+inter_socket.capacity_gb 15
+nic.name n0
+nic.socket 0
+nic.wire_gb 10
+nic.pcie_gb 12
+nic.efficiency 1.0 0.9oops
+compute.local_gb 4
+compute.remote_gb 3
+)";
+  std::string error;
+  const auto spec = parse_platform(text, &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("nic.efficiency"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 12"), std::string::npos) << error;
+  EXPECT_NE(error.find("field 2"), std::string::npos) << error;
+}
+
+TEST(TopologyIo, GarbageSeedIsRejected) {
+  std::string error;
+  const auto spec = parse_platform(
+      "platform x\nseed 12junk\nsockets 1\ncores_per_socket 1\n"
+      "numa_per_socket 1\ncontroller.capacity_gb 10\ncompute.local_gb 1\n"
+      "compute.remote_gb 1\n",
+      &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
 }
 
 TEST(TopologyIo, WrongEfficiencyCountReportsError) {

@@ -52,5 +52,40 @@ TEST(Strings, StartsWith) {
   EXPECT_TRUE(starts_with("anything", ""));
 }
 
+TEST(Strings, ParseDoubleAcceptsCompleteNumbers) {
+  EXPECT_EQ(parse_double("0"), 0.0);
+  EXPECT_EQ(parse_double("-3.5"), -3.5);
+  EXPECT_EQ(parse_double("+2.25"), 2.25);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("2.5E-1"), 0.25);
+  EXPECT_EQ(parse_double(".5"), 0.5);
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  // Trailing garbage after a valid prefix — the std::stod failure mode.
+  EXPECT_FALSE(parse_double("3.0x").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("1,5").has_value());
+  EXPECT_FALSE(parse_double(" 1").has_value());
+  EXPECT_FALSE(parse_double("1 ").has_value());
+  // Non-finite spellings are not part of any of our formats.
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64("12abc").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(parse_u64("1.5").has_value());
+}
+
 }  // namespace
 }  // namespace mcm

@@ -16,7 +16,7 @@
 //   mcmtool bench-diff <baseline.json> <candidate.json> [--threshold PCT]
 //                                      regression gate over BENCH reports
 //   mcmtool run-scenario <spec.json> [--cache FILE] [--report FILE]
-//                                      [--parallel N]
+//                                      [--parallel N] [--max-retries N]
 //                                      full measure->calibrate->predict->
 //                                      score pipeline from a JSON spec
 //
@@ -81,9 +81,11 @@ int usage(const char* argv0) {
       "                                    compare BENCH reports; exit 1 "
       "on regression\n"
       "  run-scenario <spec.json> [--cache FILE] [--report FILE] "
-      "[--parallel N]\n"
+      "[--parallel N] [--max-retries N]\n"
       "                                    run a declarative scenario "
-      "(docs/pipeline.md)\n"
+      "(docs/pipeline.md); exit 1\n"
+      "                                    only when every placement "
+      "fails\n"
       "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
       "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
       argv0);
@@ -491,7 +493,7 @@ int cmd_run_scenario(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: mcmtool run-scenario <spec.json> [--cache FILE] "
-                 "[--report FILE] [--parallel N]\n");
+                 "[--report FILE] [--parallel N] [--max-retries N]\n");
     return 2;
   }
   const std::string spec_path = argv[2];
@@ -523,6 +525,8 @@ int cmd_run_scenario(int argc, char** argv) {
   options.cache = &cache;
   options.parallelism =
       std::stoul(flag_value(argc, argv, "--parallel", "0"));
+  options.max_retries =
+      std::stoul(flag_value(argc, argv, "--max-retries", "0"));
   pipeline::Runner runner(options);
   const pipeline::ScenarioResult result = runner.run(*spec);
 
@@ -530,9 +534,17 @@ int cmd_run_scenario(int argc, char** argv) {
               result.spec.name.empty() ? "(unnamed)"
                                        : result.spec.name.c_str());
   std::printf("platform:    %s\n", result.sweep.platform.c_str());
-  std::printf("placements:  %zu measured (%s)\n",
-              result.sweep.curves.size(),
+  std::printf("status:      %s\n", pipeline::to_string(result.status));
+  std::printf("placements:  %zu measured, %zu failed (%s)\n",
+              result.sweep.curves.size() - result.failures.size(),
+              result.failures.size(),
               pipeline::to_string(result.spec.placements));
+  for (const pipeline::PlacementFailure& failure : result.failures) {
+    std::fprintf(stderr, "placement (%u,%u) failed after %zu attempt%s: %s\n",
+                 failure.placement.comp.value(),
+                 failure.placement.comm.value(), failure.attempts,
+                 failure.attempts == 1 ? "" : "s", failure.error.c_str());
+  }
   std::printf("calibration: %s\n",
               result.cache_hit ? "cache hit" : "measured");
   std::printf("stage wall times: calibrate %.1f ms, measure %.1f ms, "
@@ -554,6 +566,8 @@ int cmd_run_scenario(int argc, char** argv) {
     report.platform = result.sweep.platform;
     report.add_metric("placements",
                       static_cast<double>(result.sweep.curves.size()));
+    report.add_metric("placements_failed",
+                      static_cast<double>(result.failures.size()));
     report.add_metric("mape.comm_samples", result.errors.comm_samples);
     report.add_metric("mape.comm_non_samples",
                       result.errors.comm_non_samples);
@@ -584,7 +598,9 @@ int cmd_run_scenario(int argc, char** argv) {
     std::printf("calibration cache (%zu entries) written to %s\n",
                 cache.size(), cache_path.c_str());
   }
-  return 0;
+  // Partial results are still results: fail the invocation only when the
+  // sweep produced nothing at all.
+  return result.status == pipeline::RunStatus::kFailed ? 1 : 0;
 }
 
 }  // namespace
