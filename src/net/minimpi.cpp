@@ -322,7 +322,13 @@ Request Communicator::isend(int dest, int tag,
     entry.source = data;
   }
   mb.pending_sends[dest].push_back(std::move(entry));
-  if (mb.faults_armed) mb.progress(mb.clock.now_us());
+  if (mb.faults_armed) {
+    mb.progress(mb.clock.now_us());
+    // A peer may already be blocked in a no-deadline wait() that computed
+    // next-ripe = never before this post; progress() only notifies on
+    // delivery, so wake waiters to re-derive their wake-up time.
+    mb.cv.notify_all();
+  }
   return Request(std::move(op));
 }
 
@@ -360,7 +366,12 @@ Request Communicator::irecv(int source, int tag, std::span<std::byte> data) {
   entry.op = op;
   entry.destination = data;
   mb.pending_recvs[rank_].push_back(std::move(entry));
-  if (mb.faults_armed) mb.progress(mb.clock.now_us());
+  if (mb.faults_armed) {
+    mb.progress(mb.clock.now_us());
+    // Same as isend: a blocked no-deadline waiter must re-derive its
+    // wake-up time now that this receive may match an unripe send.
+    mb.cv.notify_all();
+  }
   return Request(std::move(op));
 }
 

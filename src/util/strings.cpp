@@ -72,8 +72,16 @@ std::optional<double> parse_double(std::string_view text) {
   if (text.empty()) return std::nullopt;
   // std::from_chars does not accept a leading '+'; the number grammars we
   // parse (JSON, topology files, CSV) do not emit one either, but accept
-  // it for hand-written files.
-  if (text.front() == '+') text.remove_prefix(1);
+  // it for hand-written files. Strip it only when a digit or '.' follows,
+  // so garbage like "+-1" or a bare "+" stays rejected.
+  if (text.front() == '+') {
+    if (text.size() < 2 ||
+        (!std::isdigit(static_cast<unsigned char>(text[1])) &&
+         text[1] != '.')) {
+      return std::nullopt;
+    }
+    text.remove_prefix(1);
+  }
   double value = 0.0;
   const char* const first = text.data();
   const char* const last = text.data() + text.size();

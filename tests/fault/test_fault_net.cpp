@@ -194,6 +194,59 @@ TEST(FaultNet, DelayedHeadOfLineBlocksLaterSameTagMessages) {
   }
 }
 
+TEST(FaultNet, DelayedPostWakesAnAlreadyBlockedWaiter) {
+  // Lost-wakeup regression: the receiver blocks in a no-deadline recv()
+  // (next-ripe = never) BEFORE the sender posts a delayed message. The
+  // post must wake the waiter so it re-derives a finite wake-up time and
+  // drives delivery once the delay elapses; without that notify this
+  // test hangs forever.
+  ShmWorld world;
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.delay_probability = 1.0;
+  plan.delay = Seconds(0.02);
+  world.inject_faults(plan);
+
+  const auto data = pattern(32, 8);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    (void)world.comm(0).isend(1, 6, data);
+  });
+  std::vector<std::byte> sink(32);
+  EXPECT_EQ(world.comm(1).recv(0, 6, sink), 32u);
+  EXPECT_EQ(sink, data);
+  sender.join();
+}
+
+TEST(FaultNet, LatePostedRecvWakesABlockedRendezvousSender) {
+  // Mirror of the lost-wakeup test on the irecv side: the sender blocks
+  // in a no-deadline wait() on a delayed rendezvous send with no
+  // matching receive (next-ripe = never). Posting the receive must wake
+  // it so it picks up the now-finite ripe time and drives delivery.
+  ProtocolParams params;
+  params.eager_threshold = 8;  // 64-byte message goes rendezvous
+  ShmWorld world(params);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.delay_probability = 1.0;
+  plan.delay = Seconds(0.02);
+  world.inject_faults(plan);
+
+  const auto data = pattern(64, 9);
+  std::vector<std::byte> sink(64);
+  Request recv;
+  std::thread receiver([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    recv = world.comm(1).irecv(0, 4, sink);
+  });
+  Request send = world.comm(0).isend(1, 4, data);
+  world.comm(0).wait(send);
+  receiver.join();
+  world.comm(1).wait(recv);
+  EXPECT_EQ(recv.transferred(), 64u);
+  EXPECT_EQ(sink, data);
+}
+
 TEST(FaultNet, SameSeedInjectsIdenticalFaultSequence) {
   const auto count_faults = [](std::uint64_t seed) {
     obs::MetricsRegistry metrics;

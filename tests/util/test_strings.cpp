@@ -59,6 +59,7 @@ TEST(Strings, ParseDoubleAcceptsCompleteNumbers) {
   EXPECT_EQ(parse_double("1e3"), 1000.0);
   EXPECT_EQ(parse_double("2.5E-1"), 0.25);
   EXPECT_EQ(parse_double(".5"), 0.5);
+  EXPECT_EQ(parse_double("+.5"), 0.5);
 }
 
 TEST(Strings, ParseDoubleRejectsGarbage) {
@@ -70,6 +71,11 @@ TEST(Strings, ParseDoubleRejectsGarbage) {
   EXPECT_FALSE(parse_double("1,5").has_value());
   EXPECT_FALSE(parse_double(" 1").has_value());
   EXPECT_FALSE(parse_double("1 ").has_value());
+  // A '+' only introduces a number; it never legitimises a second sign.
+  EXPECT_FALSE(parse_double("+").has_value());
+  EXPECT_FALSE(parse_double("+-1").has_value());
+  EXPECT_FALSE(parse_double("++1").has_value());
+  EXPECT_FALSE(parse_double("+e3").has_value());
   // Non-finite spellings are not part of any of our formats.
   EXPECT_FALSE(parse_double("inf").has_value());
   EXPECT_FALSE(parse_double("nan").has_value());
