@@ -253,7 +253,7 @@ inline void register_pipeline_benchmarks(const std::string& platform) {
         const topo::NumaId remote(static_cast<std::uint32_t>(
             scenario.sweep.numa_per_socket));
         for (auto _ : state) {
-          benchmark::DoNotOptimize(model.predict(topo::NumaId(0), remote));
+          benchmark::DoNotOptimize(model.predict({topo::NumaId(0), remote}));
         }
       });
 }

@@ -1,0 +1,111 @@
+// Service quickstart: run an in-process prediction service, serve it on
+// a Unix-domain socket, and talk to it through svc::Client — the same
+// three calls `mcmtool query` makes (docs/service.md).
+//
+// The session shows the service-side economics: the first predict pays
+// for a calibration, the second identical one is answered from the
+// sharded calibration cache, and the stats method reports both through
+// the svc.* counters.
+//
+// Usage: service_client [socket-path]   (default: /tmp/mcmd-example.sock)
+#include <cstdio>
+#include <string>
+
+#include "pipeline/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/mcmd-example.sock";
+
+  // 1. The service core plus a socket transport, both in-process. A real
+  //    deployment runs `mcmd --socket PATH` instead; everything below is
+  //    identical from the client's point of view.
+  svc::Service service;
+  svc::SocketServerOptions socket_options;
+  socket_options.path = path;
+  svc::SocketServer server(service, socket_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("== service on %s ==\n\n", path.c_str());
+
+  // 2. Connect and check the protocol handshake.
+  auto client = svc::Client::connect(path, &error);
+  if (!client) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto health = client->health(&error);
+  if (!health || !health->ok) {
+    std::fprintf(stderr, "error: health check failed\n");
+    return 1;
+  }
+  std::printf("health: protocol v%.0f\n\n",
+              health->result.number_at("protocol").value_or(0.0));
+
+  // 3. Two identical predictions. The spec is exactly the
+  //    `mcmtool run-scenario` document; the calibration placements are
+  //    enough for the service to fit the model.
+  pipeline::ScenarioSpec spec;
+  spec.name = "service-quickstart";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+
+  for (int round = 1; round <= 2; ++round) {
+    const auto reply =
+        client->predict(spec, svc::TrafficClass::kInteractive, &error);
+    if (!reply) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!reply->ok) {
+      std::fprintf(stderr, "error: %s: %s\n",
+                   svc::to_string(reply->error.code),
+                   reply->error.message.c_str());
+      return 1;
+    }
+    const bool cache_hit =
+        reply->result.find("cache_hit") != nullptr &&
+        reply->result.find("cache_hit")->is_bool() &&
+        reply->result.find("cache_hit")->as_bool();
+    std::printf("predict #%d: status %s, calibration %s\n", round,
+                reply->result.string_at("status").value_or("?").c_str(),
+                cache_hit ? "cache hit" : "measured");
+  }
+
+  // 4. The stats method sees both rounds: one calibration executed, one
+  //    shard hit on the repeat.
+  const auto stats = client->stats(svc::StatsFormat::kJson, &error);
+  if (!stats || !stats->ok) {
+    std::fprintf(stderr, "error: stats failed\n");
+    return 1;
+  }
+  const json::Value* counters = stats->result.find("counters");
+  const auto counter = [&](const char* name) {
+    const json::Value* value =
+        counters != nullptr ? counters->find(name) : nullptr;
+    return value != nullptr ? value->as_number() : 0.0;
+  };
+  std::printf("\nstats: %.0f requests, %.0f calibration(s) executed, "
+              "%.0f shed, cache %.0f entr%s in %.0f shards\n",
+              counter("svc.requests"), counter("svc.calibrations"),
+              counter("svc.shed"),
+              stats->result.number_at("cache_entries").value_or(0.0),
+              stats->result.number_at("cache_entries").value_or(0.0) == 1.0
+                  ? "y"
+                  : "ies",
+              stats->result.number_at("cache_shards").value_or(0.0));
+
+  server.stop();
+  std::printf("\nDone. `mcmd --socket %s` + `mcmtool query` replays this "
+              "session from the shell.\n",
+              path.c_str());
+  return 0;
+}

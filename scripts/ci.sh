@@ -11,6 +11,9 @@
 #                            cached runs, gated with bench-diff
 #   scripts/ci.sh fault      fault-injection suite (`ctest -L fault`),
 #                            cold build and under ASan+UBSan
+#   scripts/ci.sh service    mcmd golden-request replay (byte-diffed),
+#                            socket query vs local run, and the svc test
+#                            suite under ASan+UBSan
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -124,21 +127,92 @@ fault_suite() {
       -j "$JOBS")
 }
 
+service_suite() {
+  echo "== service: mcmd replay + socket query + sanitized svc suite =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target mcmd mcmtool
+  WORK="$ROOT/build/service-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  # Golden replay, twice: the service is deterministic, so the reply
+  # bytes must match between runs (no timing assertions — the golden
+  # request count stays under the admission burst, so no sheds either).
+  "$ROOT"/build/tools/mcmd --stdio \
+      <"$ROOT"/scripts/service_smoke.requests >replay_a.out \
+      2>replay_a.log || { cat replay_a.log; echo "FAIL: replay A"; exit 1; }
+  "$ROOT"/build/tools/mcmd --stdio \
+      <"$ROOT"/scripts/service_smoke.requests >replay_b.out \
+      2>/dev/null || { echo "FAIL: replay B"; exit 1; }
+  cmp replay_a.out replay_b.out || {
+    echo "FAIL: golden replay replies differ between runs"
+    exit 1
+  }
+  grep -q "served 7 requests" replay_a.log || {
+    cat replay_a.log
+    echo "FAIL: replay did not serve the full golden file"
+    exit 1
+  }
+  # Socket transport: a cold query must be byte-identical to the local
+  # run-scenario result document, and the second query must be answered
+  # from the sharded cache (visible in the stats counters).
+  SOCK="/tmp/mcm-ci-$$.sock"
+  "$ROOT"/build/tools/mcmd --socket "$SOCK" 2>serve.log &
+  MCMD_PID=$!
+  for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  [ -S "$SOCK" ] || { cat serve.log; echo "FAIL: mcmd never bound"; exit 1; }
+  status=0
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" \
+      --spec "$ROOT"/scripts/scenario_smoke.json >query_cold.out \
+      || status=1
+  "$ROOT"/build/tools/mcmtool run-scenario \
+      "$ROOT"/scripts/scenario_smoke.json --result-json \
+      2>/dev/null >local.out || status=1
+  cmp query_cold.out local.out || {
+    echo "FAIL: socket query is not byte-identical to run-scenario"
+    status=1
+  }
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" \
+      --spec "$ROOT"/scripts/scenario_smoke.json >query_warm.out \
+      || status=1
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" --method stats \
+      >stats.out || status=1
+  grep -q '"svc.calibrations":1' stats.out || {
+    echo "FAIL: expected exactly one calibration across both queries"
+    status=1
+  }
+  grep -q '"pipeline.cache.hits":1' stats.out || {
+    echo "FAIL: warm query did not hit the calibration cache"
+    status=1
+  }
+  kill "$MCMD_PID" 2>/dev/null || true
+  wait "$MCMD_PID" 2>/dev/null || true
+  [ "$status" -eq 0 ] || exit 1
+  # Concurrency claims (single-flight, shard locking, socket shutdown)
+  # are only as good as their data races — rerun the suite instrumented.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_svc
+  (cd "$ROOT/build-sanitize" && ctest -L svc --output-on-failure \
+      -j "$JOBS")
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
   bench) bench_smoke ;;
   pipeline) pipeline_smoke ;;
   fault) fault_suite ;;
+  service) service_suite ;;
   all)
     tier1
     sanitize
     bench_smoke
     pipeline_smoke
     fault_suite
+    service_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|all]" >&2
     exit 2
     ;;
 esac

@@ -37,7 +37,7 @@ class PaperModelPredictor final : public Predictor {
   [[nodiscard]] std::string name() const override { return "paper-model"; }
   [[nodiscard]] model::PredictedCurve predict(
       topo::NumaId comp, topo::NumaId comm) const override {
-    return model_.predict(comp, comm);
+    return model_.predict({comp, comm});
   }
   [[nodiscard]] std::size_t max_cores() const override {
     return model_.max_cores();

@@ -76,7 +76,7 @@ ErrorReport evaluate(const PlacementModel& model,
   MCM_EXPECTS(sweep.numa_per_socket == model.numa_per_socket());
   return evaluate_with(sweep.platform, sweep,
                        [&model](topo::NumaId comp, topo::NumaId comm) {
-                         return model.predict(comp, comm);
+                         return model.predict({comp, comm});
                        });
 }
 

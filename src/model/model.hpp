@@ -57,10 +57,6 @@ class ContentionModel {
   [[nodiscard]] PredictedCurve predict(Placement placement) const {
     return model_.predict(placement);
   }
-  [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
-                                       topo::NumaId comm) const {
-    return predict(Placement{comp, comm});
-  }
 
   /// Largest core count for which the model predicts no memory contention
   /// for this placement (R(n) < T(n)); 0 if even one core contends.
@@ -68,10 +64,6 @@ class ContentionModel {
   /// conclusion.
   [[nodiscard]] std::size_t recommended_core_count(
       Placement placement) const;
-  [[nodiscard]] std::size_t recommended_core_count(
-      topo::NumaId comp, topo::NumaId comm) const {
-    return recommended_core_count(Placement{comp, comm});
-  }
 
   /// Placement maximizing predicted total bandwidth (compute + comm) for a
   /// given number of computing cores. Ties break towards lower node ids.

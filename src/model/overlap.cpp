@@ -21,7 +21,7 @@ OverlapPlan plan_overlap(const ContentionModel& model,
                          const IterationSpec& spec, topo::NumaId comp,
                          topo::NumaId comm) {
   spec.validate();
-  const PredictedCurve curve = model.predict(comp, comm);
+  const PredictedCurve curve = model.predict({comp, comm});
 
   OverlapPlan plan;
   plan.comp_numa = comp;

@@ -16,8 +16,8 @@ namespace mcm::model {
 /// A data placement: which NUMA node holds the computation data blocks and
 /// which holds the communication buffers — the (mcomp, mcomm) pair every
 /// prediction of the paper is parameterized by. The struct form is the
-/// primary API; two-NumaId overloads delegate to it (positional NumaId
-/// pairs proved easy to swap silently at call sites).
+/// only API (positional NumaId pairs proved easy to swap silently at call
+/// sites; the deprecated two-NumaId overloads are gone).
 struct Placement {
   topo::NumaId comp;
   topo::NumaId comm;
@@ -73,10 +73,6 @@ class PlacementModel {
 
   /// All four series for one placement, for cores 1..max_cores.
   [[nodiscard]] PredictedCurve predict(Placement placement) const;
-  [[nodiscard]] PredictedCurve predict(topo::NumaId comp,
-                                       topo::NumaId comm) const {
-    return predict(Placement{comp, comm});
-  }
 
  private:
   /// The parameter set eq. (6) selects for communications.

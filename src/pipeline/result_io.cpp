@@ -1,0 +1,149 @@
+#include "pipeline/result_io.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace mcm::pipeline {
+
+namespace {
+
+using json::Value;
+
+[[nodiscard]] Value number(double v) { return Value(v); }
+[[nodiscard]] Value number(std::size_t v) {
+  return Value(static_cast<double>(v));
+}
+[[nodiscard]] Value number(std::uint32_t v) {
+  return Value(static_cast<double>(v));
+}
+
+[[nodiscard]] Value curve_to_value(const bench::PlacementCurve& curve) {
+  Value::Array points;
+  for (const bench::BandwidthPoint& p : curve.points) {
+    Value::Array row;
+    row.push_back(number(p.cores));
+    row.push_back(number(p.compute_alone_gb));
+    row.push_back(number(p.comm_alone_gb));
+    row.push_back(number(p.compute_parallel_gb));
+    row.push_back(number(p.comm_parallel_gb));
+    points.push_back(Value(std::move(row)));
+  }
+  Value::Object out;
+  out.emplace("comm_numa", number(curve.comm_numa.value()));
+  out.emplace("comp_numa", number(curve.comp_numa.value()));
+  out.emplace("points", Value(std::move(points)));
+  return Value(std::move(out));
+}
+
+[[nodiscard]] Value predicted_to_value(const model::PredictedCurve& curve) {
+  const auto series = [](const std::vector<double>& values) {
+    Value::Array out;
+    for (double v : values) out.push_back(Value(v));
+    return Value(std::move(out));
+  };
+  Value::Object out;
+  out.emplace("comm_alone_gb", series(curve.comm_alone_gb));
+  out.emplace("comm_numa", number(curve.comm_numa.value()));
+  out.emplace("comm_parallel_gb", series(curve.comm_parallel_gb));
+  out.emplace("comp_numa", number(curve.comp_numa.value()));
+  out.emplace("compute_alone_gb", series(curve.compute_alone_gb));
+  out.emplace("compute_parallel_gb", series(curve.compute_parallel_gb));
+  return Value(std::move(out));
+}
+
+[[nodiscard]] Value errors_to_value(const model::ErrorReport& report) {
+  Value::Array placements;
+  for (const model::PlacementError& e : report.placements) {
+    Value::Object row;
+    row.emplace("comm_mape", number(e.comm_mape));
+    row.emplace("comm_numa", number(e.comm_numa.value()));
+    row.emplace("comp_mape", number(e.comp_mape));
+    row.emplace("comp_numa", number(e.comp_numa.value()));
+    row.emplace("is_sample", Value(e.is_sample));
+    placements.push_back(Value(std::move(row)));
+  }
+  Value::Object out;
+  out.emplace("average", number(report.average));
+  out.emplace("comm_all", number(report.comm_all));
+  out.emplace("comm_non_samples", number(report.comm_non_samples));
+  out.emplace("comm_samples", number(report.comm_samples));
+  out.emplace("comp_all", number(report.comp_all));
+  out.emplace("comp_non_samples", number(report.comp_non_samples));
+  out.emplace("comp_samples", number(report.comp_samples));
+  out.emplace("placements", Value(std::move(placements)));
+  out.emplace("platform", Value(report.platform));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+json::Value params_to_value(const model::ModelParams& params) {
+  Value::Object out;
+  out.emplace("alpha", number(params.alpha));
+  out.emplace("b_comm_seq", number(params.b_comm_seq));
+  out.emplace("b_comp_seq", number(params.b_comp_seq));
+  out.emplace("delta_l", number(params.delta_l));
+  out.emplace("delta_r", number(params.delta_r));
+  out.emplace("max_cores", number(params.max_cores));
+  out.emplace("n_par_max", number(params.n_par_max));
+  out.emplace("n_seq_max", number(params.n_seq_max));
+  out.emplace("t_par_max", number(params.t_par_max));
+  out.emplace("t_par_max2", number(params.t_par_max2));
+  out.emplace("t_seq_max", number(params.t_seq_max));
+  return Value(std::move(out));
+}
+
+json::Value sweep_to_value(const bench::SweepResult& sweep) {
+  Value::Array curves;
+  for (const bench::PlacementCurve& curve : sweep.curves) {
+    curves.push_back(curve_to_value(curve));
+  }
+  Value::Object out;
+  out.emplace("curves", Value(std::move(curves)));
+  out.emplace("numa_per_socket", number(sweep.numa_per_socket));
+  out.emplace("platform", Value(sweep.platform));
+  return Value(std::move(out));
+}
+
+json::Value result_to_value(const ScenarioResult& result) {
+  Value::Array failures;
+  for (const PlacementFailure& f : result.failures) {
+    Value::Object row;
+    row.emplace("attempts", number(f.attempts));
+    row.emplace("comm", number(f.placement.comm.value()));
+    row.emplace("comp", number(f.placement.comp.value()));
+    row.emplace("error", Value(f.error));
+    failures.push_back(Value(std::move(row)));
+  }
+  Value::Array predicted;
+  for (const model::PredictedCurve& curve : result.predicted) {
+    predicted.push_back(predicted_to_value(curve));
+  }
+
+  // The spec rides along in its wire form so a reply is self-describing.
+  // to_json() is lossless (round-trip tested), and re-parsing it here
+  // keeps the canonical rendering in one place (json::serialize).
+  const std::optional<Value> spec = json::parse(result.spec.to_json());
+  MCM_ENSURES(spec.has_value());
+
+  Value::Object out;
+  out.emplace("cache_hit", Value(result.cache_hit));
+  out.emplace("calibration", sweep_to_value(result.calibration));
+  out.emplace("errors", errors_to_value(result.errors));
+  out.emplace("failures", Value(std::move(failures)));
+  out.emplace("local", params_to_value(result.local));
+  out.emplace("predicted", Value(std::move(predicted)));
+  out.emplace("remote", params_to_value(result.remote));
+  out.emplace("schema_version", number(std::size_t{1}));
+  out.emplace("spec", *spec);
+  out.emplace("status", Value(std::string(to_string(result.status))));
+  out.emplace("sweep", sweep_to_value(result.sweep));
+  return Value(std::move(out));
+}
+
+std::string result_to_json(const ScenarioResult& result) {
+  return json::serialize(result_to_value(result));
+}
+
+}  // namespace mcm::pipeline

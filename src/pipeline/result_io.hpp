@@ -1,0 +1,33 @@
+// Deterministic JSON form of a ScenarioResult — the `result` payload of
+// the prediction service's `predict` replies and of `mcmtool run-scenario
+// --result-json`. Both producers build the same json::Value tree and
+// render it with json::serialize, so a service reply is bit-identical to
+// a local run on the same spec (the acceptance contract of
+// docs/service.md).
+//
+// Deliberately excluded: StageTimings (wall-clock, never deterministic).
+// Included: cache_hit — deterministic for a fixed request sequence and
+// the observable the warm-path tests assert on.
+#pragma once
+
+#include <string>
+
+#include "pipeline/runner.hpp"
+#include "util/json.hpp"
+
+namespace mcm::pipeline {
+
+/// One model::ModelParams as a JSON object (same fields as the
+/// calibration-cache schema).
+[[nodiscard]] json::Value params_to_value(const model::ModelParams& params);
+
+/// One measured sweep: {"curves":[...],"numa_per_socket":N,"platform":s}.
+[[nodiscard]] json::Value sweep_to_value(const bench::SweepResult& sweep);
+
+/// The full result tree (schema_version 1, docs/service.md).
+[[nodiscard]] json::Value result_to_value(const ScenarioResult& result);
+
+/// json::serialize(result_to_value(result)) — canonical single-line text.
+[[nodiscard]] std::string result_to_json(const ScenarioResult& result);
+
+}  // namespace mcm::pipeline

@@ -133,6 +133,7 @@ runtime::ThreadPool* Runner::pool_for(std::size_t jobs) {
   if (jobs <= 1) return nullptr;
   if (options_.pool != nullptr) return options_.pool;
   if (options_.parallelism == 1) return nullptr;
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
   if (own_pool_ == nullptr) {
     std::size_t workers = options_.parallelism;
     if (workers == 0) {
@@ -196,7 +197,8 @@ Runner::MeasuredPlacements Runner::measure_placements(
   return out;
 }
 
-ScenarioResult Runner::run(const ScenarioSpec& spec) {
+ScenarioResult Runner::run(const ScenarioSpec& spec,
+                           CalibrationCache& calibration_cache) {
   if (met_runs_ != nullptr) met_runs_->add();
   const obs::ScopedSpan scenario_span(options_.observer.trace, clock_,
                                       "scenario", "pipeline", 0);
@@ -220,7 +222,7 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
     const double start_us = clock_.now_us();
     const std::string key = spec.cacheable() ? spec.fingerprint() : "";
     const std::optional<CalibrationCache::Entry> cached =
-        key.empty() ? std::nullopt : cache().find(key);
+        key.empty() ? std::nullopt : calibration_cache.find(key);
     if (cached) {
       result.calibration = cached->calibration;
       result.local = cached->local;
@@ -248,9 +250,10 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
       result.remote =
           model::calibrate(result.calibration.curves[1], spec.calibration);
       if (!key.empty()) {
-        cache().put(key, CalibrationCache::Entry{result.calibration,
-                                                 result.local,
-                                                 result.remote});
+        calibration_cache.put(key,
+                              CalibrationCache::Entry{result.calibration,
+                                                      result.local,
+                                                      result.remote});
       }
     }
     result.timings.calibrate_us = clock_.now_us() - start_us;
@@ -328,7 +331,7 @@ ScenarioResult Runner::run(const ScenarioSpec& spec) {
       // Failed cells have no measured points; align_prediction then
       // yields an empty prediction with the right ids.
       result.predicted.push_back(align_prediction(
-          model.predict(curve.comp_numa, curve.comm_numa), curve));
+          model.predict({curve.comp_numa, curve.comm_numa}), curve));
     }
     result.timings.predict_us = clock_.now_us() - start_us;
   }

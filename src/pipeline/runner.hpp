@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "benchlib/backend.hpp"
@@ -141,10 +142,24 @@ class Runner {
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
 
-  /// Execute all four stages for `spec`.
-  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec);
+  /// Execute all four stages for `spec`, resolving calibrations through
+  /// `calibration_cache`. This is the one entry point every consumer —
+  /// CLI, examples, prediction service — funnels through; the cache is a
+  /// per-call parameter so a service can route each request to a shard.
+  ///
+  /// Reentrancy: safe to call concurrently from multiple threads as long
+  /// as the measure stage stays serial (options.parallelism == 1, the
+  /// service configuration) or every caller supplies its own pool —
+  /// ThreadPool dispatch itself is single-slot. All counters are atomic.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec,
+                                   CalibrationCache& calibration_cache);
 
-  /// The cache in effect (the shared one, or the runner's own).
+  /// Convenience overload using the options cache (or the private one).
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) {
+    return run(spec, cache());
+  }
+
+  /// The default cache in effect (the shared one, or the runner's own).
   [[nodiscard]] CalibrationCache& cache();
 
  private:
@@ -170,6 +185,8 @@ class Runner {
 
   RunnerOptions options_;
   CalibrationCache own_cache_;
+  /// Guards lazy own_pool_ creation under concurrent run() calls.
+  std::mutex pool_mutex_;
   std::unique_ptr<runtime::ThreadPool> own_pool_;
   obs::WallClock clock_;
 

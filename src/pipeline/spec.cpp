@@ -10,13 +10,7 @@ namespace mcm::pipeline {
 namespace {
 
 [[nodiscard]] std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
+  return json::escape(s);
 }
 
 }  // namespace
@@ -155,8 +149,14 @@ bool fail(std::string* error, const std::string& message) {
 
 std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& text,
                                                     std::string* error) {
-  const std::optional<json::Value> doc = json::parse(text, error);
-  if (!doc) return std::nullopt;
+  const std::optional<json::Value> parsed = json::parse(text, error);
+  if (!parsed) return std::nullopt;
+  return from_value(*parsed, error);
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::from_value(const json::Value& value,
+                                                     std::string* error) {
+  const json::Value* doc = &value;
   if (!doc->is_object()) {
     fail(error, "scenario spec must be a JSON object");
     return std::nullopt;
@@ -303,6 +303,22 @@ std::optional<ScenarioSpec> ScenarioSpec::from_json(const std::string& text,
     spec.compute_kernel = *parsed;
   }
   return spec;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.name == b.name && a.platform == b.platform &&
+         a.platform_override.has_value() ==
+             b.platform_override.has_value() &&
+         a.variant == b.variant && a.policy == b.policy &&
+         a.placements == b.placements &&
+         a.explicit_placements == b.explicit_placements &&
+         a.max_cores == b.max_cores && a.core_step == b.core_step &&
+         a.repetitions == b.repetitions &&
+         a.comm_pattern == b.comm_pattern &&
+         a.compute_kernel == b.compute_kernel &&
+         a.calibration.smoothing_half_window ==
+             b.calibration.smoothing_half_window &&
+         a.inject_failures == b.inject_failures;
 }
 
 }  // namespace mcm::pipeline

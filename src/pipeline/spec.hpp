@@ -20,6 +20,10 @@
 #include "sim/machine.hpp"
 #include "topo/platforms.hpp"
 
+namespace mcm::json {
+class Value;
+}  // namespace mcm::json
+
 namespace mcm::pipeline {
 
 /// Which placements the measure stage sweeps.
@@ -38,6 +42,9 @@ enum class PlacementSet : std::uint8_t {
 struct InjectedFailure {
   model::Placement placement;
   std::size_t failing_attempts = 0;
+
+  friend constexpr bool operator==(const InjectedFailure&,
+                                   const InjectedFailure&) = default;
 };
 
 struct ScenarioSpec {
@@ -97,12 +104,25 @@ struct ScenarioSpec {
   /// Throws ContractViolation on unknown preset names.
   [[nodiscard]] topo::PlatformSpec resolve_platform() const;
 
-  /// JSON document (schema in docs/pipeline.md).
+  /// JSON document (schema in docs/pipeline.md; this is also the `spec`
+  /// member of a service `predict`/`calibrate` request, see
+  /// docs/service.md). Guaranteed lossless: parse(to_json()) == *this for
+  /// every JSON-representable spec (platform_override is not, and rides
+  /// along only in-process).
   [[nodiscard]] std::string to_json() const;
   /// Parse + validate a spec document. Unknown keys are rejected, so a
   /// typoed field cannot silently fall back to a default.
   [[nodiscard]] static std::optional<ScenarioSpec> from_json(
       const std::string& text, std::string* error = nullptr);
+  /// Same validation on an already-parsed JSON value (the service protocol
+  /// embeds specs inside request frames and parses the frame once).
+  [[nodiscard]] static std::optional<ScenarioSpec> from_value(
+      const json::Value& doc, std::string* error = nullptr);
+
+  /// Equality over the wire-representable state (every JSON field) plus
+  /// the override discriminators: overrides compare by presence and
+  /// `variant`, not by deep PlatformSpec contents.
+  friend bool operator==(const ScenarioSpec& a, const ScenarioSpec& b);
 };
 
 /// Enum spellings used by the JSON schema (shared with to_string of the

@@ -1,0 +1,134 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mcm::svc {
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(std::exchange(other.next_id_, 1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = std::exchange(other.next_id_, 1);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Client> Client::connect(const std::string& socket_path,
+                                      std::string* error) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    set_error(error, "socket path too long: " + socket_path);
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, std::string("socket: ") + std::strerror(errno));
+    return std::nullopt;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::string message = "connect ";
+    message.append(socket_path).append(": ").append(std::strerror(errno));
+    set_error(error, message);
+    ::close(fd);
+    return std::nullopt;
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+std::optional<Reply> Client::call(Request request, std::string* error) {
+  if (!connected()) {
+    set_error(error, "client is not connected");
+    return std::nullopt;
+  }
+  if (request.id.empty()) {
+    request.id = "c" + std::to_string(next_id_++);
+  }
+  if (!write_frame_fd(fd_, render_request(request))) {
+    set_error(error, "send failed: server went away");
+    close();
+    return std::nullopt;
+  }
+  std::string payload;
+  std::string frame_error;
+  if (!read_frame_fd(fd_, &payload, &frame_error)) {
+    set_error(error, frame_error.empty()
+                         ? std::string("server closed the connection")
+                         : frame_error);
+    close();
+    return std::nullopt;
+  }
+  std::string reply_error;
+  std::optional<Reply> reply = parse_reply(payload, &reply_error);
+  if (!reply) {
+    set_error(error, reply_error);
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<Reply> Client::predict(const pipeline::ScenarioSpec& spec,
+                                     TrafficClass cls,
+                                     std::string* error) {
+  Request request;
+  request.method = Method::kPredict;
+  request.traffic_class = cls;
+  request.spec = spec;
+  return call(std::move(request), error);
+}
+
+std::optional<Reply> Client::calibrate(const pipeline::ScenarioSpec& spec,
+                                       TrafficClass cls,
+                                       std::string* error) {
+  Request request;
+  request.method = Method::kCalibrate;
+  request.traffic_class = cls;
+  request.spec = spec;
+  return call(std::move(request), error);
+}
+
+std::optional<Reply> Client::stats(StatsFormat format,
+                                   std::string* error) {
+  Request request;
+  request.method = Method::kStats;
+  request.stats_format = format;
+  return call(std::move(request), error);
+}
+
+std::optional<Reply> Client::health(std::string* error) {
+  Request request;
+  request.method = Method::kHealth;
+  return call(std::move(request), error);
+}
+
+}  // namespace mcm::svc

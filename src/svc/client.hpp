@@ -1,0 +1,64 @@
+// C++ client of the mcmd prediction service: one Unix-socket connection,
+// blocking call/reply. This is the API `mcmtool query`,
+// examples/service_client.cpp and any embedding tool use — nobody
+// hand-rolls frames.
+//
+// A Reply's `result` is a parsed json::Value; json::serialize(result)
+// reproduces the service's canonical bytes exactly (serialize ∘ parse is
+// identity on canonical documents), which is how `mcmtool query` prints
+// byte-identical output to `mcmtool run-scenario --result-json`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace mcm::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a serving mcmd. nullopt + `error` when the socket does
+  /// not accept.
+  [[nodiscard]] static std::optional<Client> connect(
+      const std::string& socket_path, std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request, wait for its reply. nullopt + `error` on
+  /// transport failure or an unparseable reply; an error *reply* is
+  /// returned normally (ok == false). An empty request id is replaced
+  /// with a generated "c<n>" id.
+  [[nodiscard]] std::optional<Reply> call(Request request,
+                                          std::string* error = nullptr);
+
+  /// Convenience wrappers over call().
+  [[nodiscard]] std::optional<Reply> predict(
+      const pipeline::ScenarioSpec& spec,
+      TrafficClass cls = TrafficClass::kInteractive,
+      std::string* error = nullptr);
+  [[nodiscard]] std::optional<Reply> calibrate(
+      const pipeline::ScenarioSpec& spec,
+      TrafficClass cls = TrafficClass::kInteractive,
+      std::string* error = nullptr);
+  [[nodiscard]] std::optional<Reply> stats(
+      StatsFormat format = StatsFormat::kJson,
+      std::string* error = nullptr);
+  [[nodiscard]] std::optional<Reply> health(std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mcm::svc

@@ -1,0 +1,73 @@
+#include "svc/limiter.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace mcm::svc {
+
+ClockFn default_clock() {
+  return [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+}
+
+void TokenBucketOptions::validate() const {
+  MCM_EXPECTS(capacity > 0.0);
+  MCM_EXPECTS(refill_per_sec >= 0.0);
+}
+
+TokenBucket::TokenBucket(TokenBucketOptions options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  options_.validate();
+  MCM_EXPECTS(clock_ != nullptr);
+  tokens_ = options_.capacity;
+  last_refill_ = clock_();
+}
+
+void TokenBucket::refill_locked(double now) {
+  // A non-monotonic step (now < last) refills nothing and re-anchors, so
+  // a clock glitch can never mint a giant burst.
+  if (now > last_refill_) {
+    tokens_ = std::min(options_.capacity,
+                       tokens_ + (now - last_refill_) *
+                                     options_.refill_per_sec);
+  }
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_acquire(double tokens) {
+  MCM_EXPECTS(tokens > 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(clock_());
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(clock_());
+  return tokens_;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         ClockFn clock)
+    : interactive_(options.interactive,
+                   clock ? clock : default_clock()),
+      bulk_(options.bulk, clock ? std::move(clock) : default_clock()) {}
+
+bool AdmissionController::admit(TrafficClass cls) {
+  return cls == TrafficClass::kInteractive ? interactive_.try_acquire()
+                                           : bulk_.try_acquire();
+}
+
+double AdmissionController::available(TrafficClass cls) {
+  return cls == TrafficClass::kInteractive ? interactive_.available()
+                                           : bulk_.available();
+}
+
+}  // namespace mcm::svc

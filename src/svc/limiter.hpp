@@ -1,0 +1,83 @@
+// Token-bucket admission control for the prediction service.
+//
+// Each traffic class (interactive queries vs bulk sweeps) owns one
+// bucket: `capacity` tokens of burst, refilled continuously at
+// `refill_per_sec`. A request costs one token; when the class bucket is
+// empty the request is shed with an `overloaded` error reply instead of
+// queueing — the service degrades by rejecting bulk work early rather
+// than by growing unbounded queues (docs/service.md).
+//
+// The clock is injected (seconds, monotonic, arbitrary epoch) so tests
+// drive refill deterministically without sleeping; production uses
+// steady_clock via default_clock().
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "svc/protocol.hpp"
+
+namespace mcm::svc {
+
+/// Monotonic seconds source. Only differences matter.
+using ClockFn = std::function<double()>;
+
+/// std::chrono::steady_clock, as seconds.
+[[nodiscard]] ClockFn default_clock();
+
+struct TokenBucketOptions {
+  /// Burst size in tokens; also the initial fill. Must be > 0.
+  double capacity = 8.0;
+  /// Continuous refill rate, tokens per second. Must be >= 0 (0 = a pure
+  /// one-shot budget, useful in tests).
+  double refill_per_sec = 4.0;
+
+  void validate() const;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(TokenBucketOptions options, ClockFn clock);
+
+  /// Take `tokens` if available; false (and no change) otherwise.
+  [[nodiscard]] bool try_acquire(double tokens = 1.0);
+
+  /// Refill to now and report the balance (test / gauge hook).
+  [[nodiscard]] double available();
+
+ private:
+  void refill_locked(double now);
+
+  TokenBucketOptions options_;
+  ClockFn clock_;
+  std::mutex mutex_;
+  double tokens_;
+  double last_refill_;
+};
+
+struct AdmissionOptions {
+  /// Interactive queries: generous burst, fast refill — a human or a CI
+  /// step asking for single predictions should effectively never shed.
+  TokenBucketOptions interactive{8.0, 16.0};
+  /// Bulk sweeps: small burst, slow refill — saturating clients are shed
+  /// once they outrun the service's calibration throughput.
+  TokenBucketOptions bulk{2.0, 1.0};
+};
+
+/// The two class buckets behind one admit() call.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {},
+                               ClockFn clock = {});
+
+  /// Charge one request to `cls`; false = shed.
+  [[nodiscard]] bool admit(TrafficClass cls);
+
+  [[nodiscard]] double available(TrafficClass cls);
+
+ private:
+  TokenBucket interactive_;
+  TokenBucket bulk_;
+};
+
+}  // namespace mcm::svc

@@ -1,0 +1,421 @@
+#include "svc/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::svc {
+namespace {
+
+/// Every key a v1 request envelope may carry. Method-specific rules
+/// (spec vs stats-only keys) are enforced after the membership check so
+/// a typo is always reported as "unknown key", never as a missing field.
+constexpr const char* kEnvelopeKeys[] = {"v",     "id",   "method",
+                                         "class", "spec", "format"};
+
+[[nodiscard]] bool known_envelope_key(const std::string& key) {
+  for (const char* known : kEnvelopeKeys) {
+    if (key == known) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] ParsedRequest fail(std::string id, ErrorCode code,
+                                 std::string message) {
+  ParsedRequest out;
+  out.id = std::move(id);
+  out.error = {code, std::move(message)};
+  return out;
+}
+
+[[nodiscard]] std::optional<ErrorCode> parse_error_code(
+    const std::string& name) {
+  for (ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kUnsupportedVersion,
+        ErrorCode::kUnknownMethod, ErrorCode::kInvalidSpec,
+        ErrorCode::kOverloaded, ErrorCode::kInternal}) {
+    if (name == to_string(code)) return code;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kPredict: return "predict";
+    case Method::kCalibrate: return "calibrate";
+    case Method::kStats: return "stats";
+    case Method::kHealth: return "health";
+  }
+  return "?";
+}
+
+const char* to_string(TrafficClass cls) {
+  return cls == TrafficClass::kInteractive ? "interactive" : "bulk";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kUnsupportedVersion: return "unsupported-version";
+    case ErrorCode::kUnknownMethod: return "unknown-method";
+    case ErrorCode::kInvalidSpec: return "invalid-spec";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<Method> parse_method(const std::string& name) {
+  for (Method method : {Method::kPredict, Method::kCalibrate, Method::kStats,
+                        Method::kHealth}) {
+    if (name == to_string(method)) return method;
+  }
+  return std::nullopt;
+}
+
+std::optional<TrafficClass> parse_traffic_class(const std::string& name) {
+  if (name == "interactive") return TrafficClass::kInteractive;
+  if (name == "bulk") return TrafficClass::kBulk;
+  return std::nullopt;
+}
+
+ParsedRequest parse_request(const std::string& payload) {
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(payload, &parse_error);
+  if (!doc) {
+    return fail("", ErrorCode::kBadRequest,
+                "request is not valid JSON: " + parse_error);
+  }
+  if (!doc->is_object()) {
+    return fail("", ErrorCode::kBadRequest, "request must be a JSON object");
+  }
+  // Best-effort id up front, so every later failure still correlates.
+  std::string id = doc->string_at("id").value_or("");
+
+  for (const auto& [key, value] : doc->as_object()) {
+    (void)value;
+    if (!known_envelope_key(key)) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "unknown request key '" + key + "'");
+    }
+  }
+
+  const json::Value* version = doc->find("v");
+  if (version == nullptr || !version->is_number()) {
+    return fail(id, ErrorCode::kBadRequest,
+                "request requires a numeric 'v' version");
+  }
+  if (version->as_number() !=
+      static_cast<double>(kProtocolVersion)) {
+    return fail(id, ErrorCode::kUnsupportedVersion,
+                "this server speaks protocol v1 only");
+  }
+
+  const json::Value* id_value = doc->find("id");
+  if (id_value == nullptr || !id_value->is_string()) {
+    return fail(id, ErrorCode::kBadRequest,
+                "request requires a string 'id'");
+  }
+
+  const std::optional<std::string> method_name = doc->string_at("method");
+  if (!method_name) {
+    return fail(id, ErrorCode::kBadRequest,
+                "request requires a string 'method'");
+  }
+  const std::optional<Method> method = parse_method(*method_name);
+  if (!method) {
+    return fail(id, ErrorCode::kUnknownMethod,
+                "unknown method '" + *method_name + "'");
+  }
+
+  Request request;
+  request.id = id;
+  request.method = *method;
+
+  const bool runs_pipeline =
+      *method == Method::kPredict || *method == Method::kCalibrate;
+
+  if (const json::Value* cls = doc->find("class"); cls != nullptr) {
+    if (!runs_pipeline) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'class' only applies to predict/calibrate");
+    }
+    if (!cls->is_string()) {
+      return fail(id, ErrorCode::kBadRequest, "'class' must be a string");
+    }
+    const auto parsed = parse_traffic_class(cls->as_string());
+    if (!parsed) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "unknown traffic class '" + cls->as_string() +
+                      "' (interactive, bulk)");
+    }
+    request.traffic_class = *parsed;
+  }
+
+  if (const json::Value* format = doc->find("format"); format != nullptr) {
+    if (*method != Method::kStats) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'format' only applies to stats");
+    }
+    if (!format->is_string()) {
+      return fail(id, ErrorCode::kBadRequest, "'format' must be a string");
+    }
+    if (format->as_string() == "json") {
+      request.stats_format = StatsFormat::kJson;
+    } else if (format->as_string() == "prometheus") {
+      request.stats_format = StatsFormat::kPrometheus;
+    } else {
+      return fail(id, ErrorCode::kBadRequest,
+                  "unknown stats format '" + format->as_string() +
+                      "' (json, prometheus)");
+    }
+  }
+
+  const json::Value* spec = doc->find("spec");
+  if (runs_pipeline) {
+    if (spec == nullptr) {
+      return fail(id, ErrorCode::kBadRequest,
+                  std::string(to_string(*method)) + " requires a 'spec'");
+    }
+    std::string spec_error;
+    std::optional<pipeline::ScenarioSpec> parsed =
+        pipeline::ScenarioSpec::from_value(*spec, &spec_error);
+    if (!parsed) {
+      return fail(id, ErrorCode::kInvalidSpec, spec_error);
+    }
+    request.spec = std::move(*parsed);
+  } else if (spec != nullptr) {
+    return fail(id, ErrorCode::kBadRequest,
+                std::string(to_string(*method)) + " does not take a 'spec'");
+  }
+
+  ParsedRequest out;
+  out.id = id;
+  out.request = std::move(request);
+  return out;
+}
+
+std::string render_request(const Request& request) {
+  const bool runs_pipeline = request.method == Method::kPredict ||
+                             request.method == Method::kCalibrate;
+  MCM_EXPECTS(!runs_pipeline || request.spec.has_value());
+
+  json::Value::Object envelope;
+  envelope["v"] = json::Value(static_cast<double>(request.version));
+  envelope["id"] = json::Value(request.id);
+  envelope["method"] = json::Value(std::string(to_string(request.method)));
+  if (runs_pipeline) {
+    envelope["class"] =
+        json::Value(std::string(to_string(request.traffic_class)));
+    std::optional<json::Value> spec = json::parse(request.spec->to_json());
+    MCM_ENSURES(spec.has_value());
+    envelope["spec"] = std::move(*spec);
+  }
+  if (request.method == Method::kStats &&
+      request.stats_format == StatsFormat::kPrometheus) {
+    envelope["format"] = json::Value(std::string("prometheus"));
+  }
+  return json::serialize(json::Value(std::move(envelope)));
+}
+
+std::string render_result_reply(const std::string& id,
+                                const json::Value& result) {
+  json::Value::Object envelope;
+  envelope["v"] = json::Value(static_cast<double>(kProtocolVersion));
+  envelope["id"] = json::Value(id);
+  envelope["ok"] = json::Value(true);
+  envelope["result"] = result;
+  return json::serialize(json::Value(std::move(envelope)));
+}
+
+std::string render_error_reply(const std::string& id,
+                               const WireError& error) {
+  json::Value::Object detail;
+  detail["code"] = json::Value(std::string(to_string(error.code)));
+  detail["message"] = json::Value(error.message);
+  json::Value::Object envelope;
+  envelope["v"] = json::Value(static_cast<double>(kProtocolVersion));
+  envelope["id"] = json::Value(id);
+  envelope["ok"] = json::Value(false);
+  envelope["error"] = json::Value(std::move(detail));
+  return json::serialize(json::Value(std::move(envelope)));
+}
+
+std::string render_reply(const Reply& reply) {
+  return reply.ok ? render_result_reply(reply.id, reply.result)
+                  : render_error_reply(reply.id, reply.error);
+}
+
+std::optional<Reply> parse_reply(const std::string& payload,
+                                 std::string* error) {
+  const auto set_error = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+  };
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(payload, &parse_error);
+  if (!doc || !doc->is_object()) {
+    set_error("reply is not a JSON object: " + parse_error);
+    return std::nullopt;
+  }
+  const std::optional<double> version = doc->number_at("v");
+  if (!version || *version != static_cast<double>(kProtocolVersion)) {
+    set_error("reply is not protocol v1");
+    return std::nullopt;
+  }
+  const std::optional<std::string> id = doc->string_at("id");
+  const json::Value* ok = doc->find("ok");
+  if (!id || ok == nullptr || !ok->is_bool()) {
+    set_error("reply requires string 'id' and boolean 'ok'");
+    return std::nullopt;
+  }
+  Reply reply;
+  reply.id = *id;
+  reply.ok = ok->as_bool();
+  if (reply.ok) {
+    const json::Value* result = doc->find("result");
+    if (result == nullptr) {
+      set_error("ok reply carries no 'result'");
+      return std::nullopt;
+    }
+    reply.result = *result;
+  } else {
+    const json::Value* detail = doc->find("error");
+    if (detail == nullptr || !detail->is_object()) {
+      set_error("error reply carries no 'error' object");
+      return std::nullopt;
+    }
+    const std::optional<std::string> code = detail->string_at("code");
+    const std::optional<std::string> message = detail->string_at("message");
+    if (!code || !message) {
+      set_error("error detail requires 'code' and 'message'");
+      return std::nullopt;
+    }
+    const std::optional<ErrorCode> parsed = parse_error_code(*code);
+    if (!parsed) {
+      set_error("unknown error code '" + *code + "'");
+      return std::nullopt;
+    }
+    reply.error = {*parsed, *message};
+  }
+  return reply;
+}
+
+bool read_frame(std::istream& in, std::string* payload, std::string* error) {
+  MCM_EXPECTS(payload != nullptr);
+  if (error != nullptr) error->clear();
+  std::string header;
+  if (!std::getline(in, header)) {
+    // Clean EOF only when nothing at all was read.
+    if (!header.empty() && error != nullptr) {
+      *error = "truncated frame header";
+    }
+    return false;
+  }
+  const std::optional<std::uint64_t> length = parse_u64(header);
+  if (!length || *length > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "malformed frame length '" + header + "'";
+    }
+    return false;
+  }
+  payload->resize(static_cast<std::size_t>(*length));
+  if (*length > 0 &&
+      !in.read(payload->data(), static_cast<std::streamsize>(*length))) {
+    if (error != nullptr) *error = "truncated frame payload";
+    return false;
+  }
+  if (in.get() != '\n') {
+    if (error != nullptr) *error = "missing frame terminator";
+    return false;
+  }
+  return true;
+}
+
+void write_frame(std::ostream& out, const std::string& payload) {
+  out << payload.size() << '\n' << payload << '\n';
+  out.flush();
+}
+
+bool read_frame_fd(int fd, std::string* payload, std::string* error) {
+  MCM_EXPECTS(payload != nullptr);
+  if (error != nullptr) error->clear();
+  const auto set_error = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+  };
+  // Header: tiny, so per-byte reads are fine.
+  std::string header;
+  for (;;) {
+    char byte = 0;
+    const ssize_t n = ::read(fd, &byte, 1);
+    if (n == 0) {
+      if (!header.empty()) set_error("truncated frame header");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(std::string("read: ") + std::strerror(errno));
+      return false;
+    }
+    if (byte == '\n') break;
+    if (header.size() > 20) {
+      set_error("frame header too long");
+      return false;
+    }
+    header.push_back(byte);
+  }
+  const std::optional<std::uint64_t> length = parse_u64(header);
+  if (!length || *length > kMaxFrameBytes) {
+    set_error("malformed frame length '" + header + "'");
+    return false;
+  }
+  // Payload plus the trailing '\n'.
+  std::string body(static_cast<std::size_t>(*length) + 1, '\0');
+  std::size_t got = 0;
+  while (got < body.size()) {
+    const ssize_t n = ::read(fd, body.data() + got, body.size() - got);
+    if (n == 0) {
+      set_error("truncated frame payload");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(std::string("read: ") + std::strerror(errno));
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  if (body.back() != '\n') {
+    set_error("missing frame terminator");
+    return false;
+  }
+  body.pop_back();
+  *payload = std::move(body);
+  return true;
+}
+
+bool write_frame_fd(int fd, const std::string& payload) {
+  std::string frame = std::to_string(payload.size());
+  frame.push_back('\n');
+  frame.append(payload);
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace mcm::svc

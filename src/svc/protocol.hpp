@@ -1,0 +1,154 @@
+// Wire protocol v1 of the mcmd prediction service (docs/service.md).
+//
+// Transport: length-prefixed JSON frames. A frame is the ASCII decimal
+// byte length of the payload, '\n', the payload bytes, '\n'. The same
+// framing runs over a Unix domain socket (mcmd --socket) and over
+// stdin/stdout (mcmd --stdio, the deterministic replay mode CI diffs).
+//
+// Request payload (one JSON object; unknown keys are rejected, like
+// ScenarioSpec documents):
+//
+//   {"v": 1, "id": "r1", "method": "predict", "class": "interactive",
+//    "spec": { ...ScenarioSpec document... }}
+//
+//   v       required; protocol major version, must be 1. Within v1 the
+//           schema only ever grows additively (new optional keys).
+//   id      required string; echoed verbatim in the reply so clients can
+//           match replies to requests.
+//   method  "predict" | "calibrate" | "stats" | "health".
+//   class   optional; "interactive" (default) | "bulk" — the admission
+//           class the token-bucket limiter charges (svc/limiter.hpp).
+//   spec    required for predict/calibrate, rejected for stats/health;
+//           the same ScenarioSpec schema `mcmtool run-scenario` reads.
+//   format  stats only, optional; "json" (default) | "prometheus".
+//
+// Reply payload:
+//
+//   {"id": "r1", "ok": true, "result": {...}, "v": 1}
+//   {"error": {"code": "overloaded", "message": "..."}, "id": "r1",
+//    "ok": false, "v": 1}
+//
+// Replies are rendered with json::serialize, so a reply to a given
+// request sequence is byte-identical across runs and a `predict` result
+// is byte-identical to `mcmtool run-scenario --result-json` on the same
+// spec.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "pipeline/spec.hpp"
+#include "util/json.hpp"
+
+namespace mcm::svc {
+
+/// Protocol major version this build speaks.
+inline constexpr int kProtocolVersion = 1;
+
+/// Frames larger than this are rejected as malformed rather than
+/// buffered (a corrupt length prefix must not trigger a giant allocation).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+enum class Method : std::uint8_t { kPredict, kCalibrate, kStats, kHealth };
+
+/// Admission classes of the token-bucket limiter: `interactive` for
+/// latency-sensitive single queries, `bulk` for sweep traffic that may be
+/// shed under load (docs/service.md).
+enum class TrafficClass : std::uint8_t { kInteractive, kBulk };
+
+/// Stats rendering requested by the client.
+enum class StatsFormat : std::uint8_t { kJson, kPrometheus };
+
+/// Typed error codes carried in error replies, in the spirit of
+/// net::ErrorKind: a machine-readable discriminator plus a free-form
+/// message.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest,          ///< unparseable payload / malformed frame
+  kUnsupportedVersion,  ///< "v" is not kProtocolVersion
+  kUnknownMethod,       ///< "method" names nothing this build speaks
+  kInvalidSpec,         ///< "spec" failed ScenarioSpec validation
+  kOverloaded,          ///< shed by admission control (HTTP-429 analogue)
+  kInternal,            ///< the pipeline threw while serving the request
+};
+
+[[nodiscard]] const char* to_string(Method method);
+[[nodiscard]] const char* to_string(TrafficClass cls);
+[[nodiscard]] const char* to_string(ErrorCode code);
+[[nodiscard]] std::optional<Method> parse_method(const std::string& name);
+[[nodiscard]] std::optional<TrafficClass> parse_traffic_class(
+    const std::string& name);
+
+struct WireError {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+/// One decoded request frame.
+struct Request {
+  int version = kProtocolVersion;
+  std::string id;
+  Method method = Method::kHealth;
+  TrafficClass traffic_class = TrafficClass::kInteractive;
+  StatsFormat stats_format = StatsFormat::kJson;
+  /// Engaged for predict / calibrate.
+  std::optional<pipeline::ScenarioSpec> spec;
+};
+
+/// One decoded reply frame. `result` is meaningful when ok, `error` when
+/// not.
+struct Reply {
+  std::string id;
+  bool ok = false;
+  json::Value result;
+  WireError error;
+};
+
+/// parse_request outcome: `request` engaged on success; on failure
+/// `error` says why and `id` is the best-effort request id (so the error
+/// reply can still be correlated when the envelope parsed but a field
+/// did not).
+struct ParsedRequest {
+  std::optional<Request> request;
+  std::string id;
+  WireError error;
+};
+
+/// Decode + validate one request payload. Unknown keys anywhere in the
+/// envelope are rejected; the embedded spec is validated by
+/// ScenarioSpec::from_value with the same strictness.
+[[nodiscard]] ParsedRequest parse_request(const std::string& payload);
+
+/// Encode a request payload (the client side of parse_request; the
+/// output round-trips through parse_request for every wire-representable
+/// request). Precondition: predict/calibrate requests carry a spec.
+[[nodiscard]] std::string render_request(const Request& request);
+
+/// Canonical reply payloads (json::serialize — deterministic bytes).
+[[nodiscard]] std::string render_result_reply(const std::string& id,
+                                              const json::Value& result);
+[[nodiscard]] std::string render_error_reply(const std::string& id,
+                                             const WireError& error);
+[[nodiscard]] std::string render_reply(const Reply& reply);
+
+/// Decode a reply payload (client side). nullopt + `error` on documents
+/// that are not a v1 reply envelope.
+[[nodiscard]] std::optional<Reply> parse_reply(const std::string& payload,
+                                               std::string* error = nullptr);
+
+/// Stream framing. read_frame returns false on clean EOF (error empty)
+/// and on malformed input (error set); a malformed length line is not
+/// recoverable — the byte stream has no resync point.
+[[nodiscard]] bool read_frame(std::istream& in, std::string* payload,
+                              std::string* error);
+void write_frame(std::ostream& out, const std::string& payload);
+
+/// File-descriptor framing for the socket transport. read_frame_fd
+/// returns false on EOF (error empty) or malformed/short input (error
+/// set); write_frame_fd returns false when the peer went away mid-write.
+[[nodiscard]] bool read_frame_fd(int fd, std::string* payload,
+                                 std::string* error);
+[[nodiscard]] bool write_frame_fd(int fd, const std::string& payload);
+
+}  // namespace mcm::svc

@@ -1,0 +1,373 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "pipeline/result_io.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace mcm::svc {
+namespace {
+
+pipeline::RunnerOptions runner_options(obs::MetricsRegistry* registry,
+                                       std::size_t max_retries) {
+  pipeline::RunnerOptions options;
+  // Serial measure stage: Runner::run is then safe to call concurrently
+  // from every transport worker, and no wall-clock pool metrics leak
+  // into the (deterministic) stats replies.
+  options.parallelism = 1;
+  options.max_retries = max_retries;
+  options.observer.metrics = registry;
+  return options;
+}
+
+}  // namespace
+
+ShardedCalibrationCache::ShardedCalibrationCache(std::size_t shards) {
+  MCM_EXPECTS(shards >= 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<pipeline::CalibrationCache>());
+  }
+}
+
+std::size_t ShardedCalibrationCache::shard_index(
+    const std::string& fingerprint) const {
+  return std::hash<std::string>{}(fingerprint) % shards_.size();
+}
+
+pipeline::CalibrationCache& ShardedCalibrationCache::shard(
+    std::size_t index) {
+  MCM_EXPECTS(index < shards_.size());
+  return *shards_[index];
+}
+
+std::size_t ShardedCalibrationCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_shards),
+      admission_(options_.admission, options_.clock),
+      runner_(runner_options(&registry_, options_.max_retries)) {
+  met_requests_ = &registry_.counter("svc.requests");
+  met_shed_ = &registry_.counter("svc.shed");
+  met_errors_ = &registry_.counter("svc.errors");
+  met_singleflight_ = &registry_.counter("svc.singleflight_hits");
+  met_calibrations_ = &registry_.counter("svc.calibrations");
+  met_shard_hits_.reserve(cache_.shard_count());
+  met_shard_misses_.reserve(cache_.shard_count());
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
+    const std::string prefix = "svc.cache.shard" + std::to_string(i);
+    met_shard_hits_.push_back(&registry_.counter(prefix + ".hits"));
+    met_shard_misses_.push_back(&registry_.counter(prefix + ".misses"));
+  }
+}
+
+std::string Service::handle(const std::string& payload) {
+  met_requests_->add();
+  ParsedRequest parsed = parse_request(payload);
+  if (!parsed.request) {
+    met_errors_->add();
+    return render_error_reply(parsed.id, parsed.error);
+  }
+  return render_reply(dispatch(*parsed.request));
+}
+
+Reply Service::handle_request(const Request& request) {
+  met_requests_->add();
+  return dispatch(request);
+}
+
+Reply Service::dispatch(const Request& request) {
+  Reply reply;
+  reply.id = request.id;
+  try {
+    switch (request.method) {
+      case Method::kHealth: {
+        json::Value::Object result;
+        result["protocol"] =
+            json::Value(static_cast<double>(kProtocolVersion));
+        result["status"] = json::Value(std::string("ok"));
+        reply.ok = true;
+        reply.result = json::Value(std::move(result));
+        return reply;
+      }
+      case Method::kStats:
+        reply.ok = true;
+        reply.result = stats_result(request.stats_format);
+        return reply;
+      case Method::kPredict:
+      case Method::kCalibrate:
+        if (!admission_.admit(request.traffic_class)) {
+          met_shed_->add();
+          reply.error = {
+              ErrorCode::kOverloaded,
+              std::string("rate limit exceeded for class '") +
+                  to_string(request.traffic_class) + "'"};
+          return reply;
+        }
+        return run_pipeline(request);
+    }
+  } catch (const std::exception& error) {
+    met_errors_->add();
+    reply.ok = false;
+    reply.result = json::Value();
+    reply.error = {ErrorCode::kInternal, error.what()};
+  }
+  return reply;
+}
+
+Reply Service::run_pipeline(const Request& request) {
+  MCM_EXPECTS(request.spec.has_value());
+  pipeline::ScenarioSpec spec = *request.spec;
+  if (request.method == Method::kCalibrate) {
+    // Pre-warm only: sweep just the two calibration placements. The
+    // fingerprint ignores the placement selection, so the entry this
+    // populates is exactly the one a later predict on the same spec
+    // hits.
+    spec.placements = pipeline::PlacementSet::kCalibration;
+    spec.explicit_placements.clear();
+    spec.inject_failures.clear();
+  }
+  const pipeline::ScenarioResult result = run_single_flight(spec);
+
+  Reply reply;
+  reply.id = request.id;
+  if (result.status == pipeline::RunStatus::kFailed) {
+    met_errors_->add();
+    reply.error = {ErrorCode::kInternal,
+                   "every placement failed" +
+                       (result.failures.empty()
+                            ? std::string()
+                            : ": " + result.failures.front().error)};
+    return reply;
+  }
+  reply.ok = true;
+  if (request.method == Method::kPredict) {
+    reply.result = pipeline::result_to_value(result);
+  } else {
+    json::Value::Object out;
+    out["cache_hit"] = json::Value(result.cache_hit);
+    out["fingerprint"] = json::Value(
+        result.spec.cacheable() ? result.spec.fingerprint()
+                                : std::string());
+    out["local"] = pipeline::params_to_value(result.local);
+    out["remote"] = pipeline::params_to_value(result.remote);
+    reply.result = json::Value(std::move(out));
+  }
+  return reply;
+}
+
+pipeline::ScenarioResult Service::run_single_flight(
+    const pipeline::ScenarioSpec& spec) {
+  if (!spec.cacheable()) {
+    // In-process callers can hand over platform-override specs the wire
+    // cannot express; those bypass sharding (nothing to key on).
+    pipeline::CalibrationCache private_cache;
+    return runner_.run(spec, private_cache);
+  }
+  const std::string fingerprint = spec.fingerprint();
+  const std::size_t index = cache_.shard_index(fingerprint);
+  pipeline::CalibrationCache& shard = cache_.shard(index);
+  for (;;) {
+    if (shard.find(fingerprint).has_value()) {
+      met_shard_hits_[index]->add();
+      return runner_.run(spec, shard);
+    }
+    std::unique_lock<std::mutex> lock(flights_mutex_);
+    if (auto it = flights_.find(fingerprint); it != flights_.end()) {
+      // Follower: wait for the leader, then re-check the shard — the
+      // leader may have failed without populating it, in which case the
+      // next lap elects a new leader.
+      const std::shared_ptr<Flight> flight = it->second;
+      met_singleflight_->add();
+      flight->cv.wait(lock, [&] { return flight->done; });
+      continue;
+    }
+    const auto flight = std::make_shared<Flight>();
+    flights_.emplace(fingerprint, flight);
+    lock.unlock();
+    met_shard_misses_[index]->add();
+    try {
+      pipeline::ScenarioResult result = runner_.run(spec, shard);
+      if (!result.cache_hit) met_calibrations_->add();
+      finish_flight(fingerprint, flight);
+      return result;
+    } catch (...) {
+      finish_flight(fingerprint, flight);
+      throw;
+    }
+  }
+}
+
+void Service::finish_flight(const std::string& fingerprint,
+                            const std::shared_ptr<Flight>& flight) {
+  std::lock_guard<std::mutex> lock(flights_mutex_);
+  flight->done = true;
+  flights_.erase(fingerprint);
+  flight->cv.notify_all();
+}
+
+json::Value Service::stats_result(StatsFormat format) {
+  const obs::MetricsSnapshot snapshot = registry_.snapshot();
+  if (format == StatsFormat::kPrometheus) {
+    json::Value::Object out;
+    out["prometheus"] = json::Value(obs::render_prometheus(snapshot));
+    return json::Value(std::move(out));
+  }
+  std::optional<json::Value> metrics =
+      json::parse(obs::render_json(snapshot));
+  MCM_ENSURES(metrics.has_value() && metrics->is_object());
+  json::Value::Object out = metrics->as_object();
+  out["cache_entries"] = json::Value(static_cast<double>(cache_.size()));
+  out["cache_shards"] =
+      json::Value(static_cast<double>(cache_.shard_count()));
+  return json::Value(std::move(out));
+}
+
+std::size_t serve_stdio(Service& service, std::istream& in,
+                        std::ostream& out) {
+  std::size_t served = 0;
+  std::string payload;
+  std::string error;
+  for (;;) {
+    if (!read_frame(in, &payload, &error)) {
+      if (!error.empty()) {
+        write_frame(out, render_error_reply(
+                             "", {ErrorCode::kBadRequest, error}));
+      }
+      return served;
+    }
+    write_frame(out, service.handle(payload));
+    ++served;
+  }
+}
+
+SocketServer::SocketServer(Service& service, SocketServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  MCM_EXPECTS(!options_.path.empty());
+  MCM_EXPECTS(options_.workers >= 1);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int& fd : stop_pipe_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    return false;
+  };
+  if (running()) return fail("server already running");
+
+  sockaddr_un addr{};
+  if (options_.path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long: " + options_.path);
+  }
+  // Nonblocking listener: workers race on accept(), losers see EAGAIN
+  // instead of blocking past the stop signal.
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    return fail(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.path.c_str(),
+              options_.path.size() + 1);
+  ::unlink(options_.path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + options_.path + ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return fail(std::string("listen: ") + std::strerror(errno));
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    return fail(std::string("pipe: ") + std::strerror(errno));
+  }
+  pool_ = std::make_unique<runtime::ThreadPool>(options_.workers);
+  // The pool's one dispatch IS the accept loop; it returns when the
+  // self-pipe fires. Issued from a private thread because run_on_all
+  // blocks its caller.
+  dispatcher_ = std::thread([this] {
+    pool_->run_on_all([this](std::size_t) { worker_loop(); });
+  });
+  return true;
+}
+
+void SocketServer::stop() {
+  if (!running()) return;
+  // The stop byte is deliberately never consumed: it keeps the pipe
+  // readable so every worker's poll — accept loop and per-connection
+  // loop alike — sees it.
+  const char byte = 's';
+  (void)!::write(stop_pipe_[1], &byte, 1);
+  dispatcher_.join();
+  pool_.reset();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::unlink(options_.path.c_str());
+}
+
+void SocketServer::worker_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;  // lost the accept race to another worker
+    serve_connection(conn);
+    ::close(conn);
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string payload;
+  std::string error;
+  for (;;) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;
+    if (!read_frame_fd(fd, &payload, &error)) {
+      if (!error.empty()) {
+        (void)write_frame_fd(
+            fd, render_error_reply("", {ErrorCode::kBadRequest, error}));
+      }
+      return;
+    }
+    if (!write_frame_fd(fd, service_.handle(payload))) return;
+  }
+}
+
+}  // namespace mcm::svc

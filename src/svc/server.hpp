@@ -1,0 +1,185 @@
+// The prediction service: protocol dispatch, single-flight calibration
+// dedup and the sharded calibration cache, plus the two transports that
+// drive it (Unix-domain socket, stdin/stdout).
+//
+// Layering:
+//
+//   Service        — transport-free core. One handle() call per request
+//                    payload; admission control, cache sharding,
+//                    single-flight, and the one pipeline::Runner every
+//                    consumer funnels through. Thread-safe: transports
+//                    call handle() concurrently.
+//   SocketServer   — accept loop over an AF_UNIX socket, connections
+//                    served by runtime::ThreadPool workers.
+//   serve_stdio    — sequential frame loop over iostreams; the
+//                    deterministic replay mode `scripts/ci.sh service`
+//                    diffs golden request files against.
+//
+// Single-flight: concurrent predict/calibrate requests whose specs share
+// a calibration fingerprint elect one leader; the leader runs the
+// pipeline (populating the fingerprint's cache shard) while followers
+// wait on the flight and then re-check the shard, so N identical
+// concurrent requests execute exactly one calibration
+// (svc.singleflight_hits counts the waits).
+//
+// Counters (svc.* in the owned registry, exported by the stats method):
+//   svc.requests           every frame handled, including malformed ones
+//   svc.shed               requests rejected by admission control
+//   svc.errors             error replies other than sheds
+//   svc.singleflight_hits  waits coalesced onto another flight's leader
+//   svc.calibrations       calibrations actually executed (cache misses
+//                          that ran the calibrate stage)
+//   svc.cache.shard<i>.{hits,misses}  per-shard lookup outcomes
+// plus everything the pipeline Runner counts (pipeline.*, bench.*).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/runner.hpp"
+#include "svc/limiter.hpp"
+#include "svc/protocol.hpp"
+
+namespace mcm::svc {
+
+/// Calibration cache split into independently locked shards selected by
+/// fingerprint hash, so concurrent requests for different calibrations
+/// never contend on one cache mutex.
+class ShardedCalibrationCache {
+ public:
+  explicit ShardedCalibrationCache(std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_index(const std::string& fingerprint)
+      const;
+  [[nodiscard]] pipeline::CalibrationCache& shard(std::size_t index);
+
+  /// Entries across all shards.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  std::vector<std::unique_ptr<pipeline::CalibrationCache>> shards_;
+};
+
+struct ServiceOptions {
+  /// Cache shard count; must be >= 1.
+  std::size_t cache_shards = 8;
+  AdmissionOptions admission;
+  /// Limiter clock; null = steady_clock. Injected by tests.
+  ClockFn clock;
+  /// Measure-stage retries forwarded to the Runner.
+  std::size_t max_retries = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// One request payload in, one reply payload out. Never throws; every
+  /// failure becomes an error reply. Safe to call concurrently.
+  [[nodiscard]] std::string handle(const std::string& payload);
+
+  /// Typed core of handle(), for in-process callers and tests.
+  [[nodiscard]] Reply handle_request(const Request& request);
+
+  /// The service metrics (svc.*, pipeline.*, ...) — also what the stats
+  /// method reports.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return registry_;
+  }
+  [[nodiscard]] ShardedCalibrationCache& cache() { return cache_; }
+
+ private:
+  /// A calibration in flight; followers wait on `cv` under
+  /// flights_mutex_ until the leader sets done.
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  [[nodiscard]] Reply dispatch(const Request& request);
+  [[nodiscard]] Reply run_pipeline(const Request& request);
+  [[nodiscard]] pipeline::ScenarioResult run_single_flight(
+      const pipeline::ScenarioSpec& spec);
+  void finish_flight(const std::string& fingerprint,
+                     const std::shared_ptr<Flight>& flight);
+  [[nodiscard]] json::Value stats_result(StatsFormat format);
+
+  ServiceOptions options_;
+  obs::MetricsRegistry registry_;
+  ShardedCalibrationCache cache_;
+  AdmissionController admission_;
+  pipeline::Runner runner_;
+
+  std::mutex flights_mutex_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+
+  obs::Counter* met_requests_;
+  obs::Counter* met_shed_;
+  obs::Counter* met_errors_;
+  obs::Counter* met_singleflight_;
+  obs::Counter* met_calibrations_;
+  std::vector<obs::Counter*> met_shard_hits_;
+  std::vector<obs::Counter*> met_shard_misses_;
+};
+
+/// Sequential request/reply loop over length-prefixed frames: the mcmd
+/// --stdio transport. Stops at EOF or on a malformed frame (after
+/// emitting one bad-request reply — framing has no resync point).
+/// Returns the number of requests served.
+std::size_t serve_stdio(Service& service, std::istream& in,
+                        std::ostream& out);
+
+struct SocketServerOptions {
+  /// AF_UNIX socket path; must fit sockaddr_un (~100 bytes). An existing
+  /// file at the path is replaced.
+  std::string path;
+  /// Connection-handler workers (one blocked connection per worker).
+  std::size_t workers = 2;
+  int backlog = 16;
+};
+
+/// Accept loop over a Unix-domain socket. Workers are a
+/// runtime::ThreadPool whose single run_on_all dispatch is the accept
+/// loop itself, issued from an internal thread; stop() wakes the workers
+/// through a self-pipe (closing the listen fd alone would not interrupt
+/// a blocked poll portably).
+class SocketServer {
+ public:
+  SocketServer(Service& service, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen + start the workers. False (with `error`) when the
+  /// socket cannot be set up; the server is then inert.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+  void stop();
+  [[nodiscard]] bool running() const { return dispatcher_.joinable(); }
+
+ private:
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Service& service_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace mcm::svc

@@ -1,7 +1,10 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/contracts.hpp"
@@ -310,6 +313,113 @@ class Parser {
 
 std::optional<Value> parse(const std::string& text, std::string* error) {
   return Parser(text).run(error);
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan spelling; null keeps the document parseable.
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  // Shortest representation that round-trips exactly, so
+  // parse(serialize(x)) == x bit-for-bit.
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, result.ptr);
+}
+
+void serialize_value(std::string& out, const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber:
+      serialize_number(out, value.as_number());
+      break;
+    case Value::Kind::kString:
+      out.push_back('"');
+      out += escape(value.as_string());
+      out.push_back('"');
+      break;
+    case Value::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& element : value.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        serialize_value(out, element);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += escape(key);
+        out += "\":";
+        serialize_value(out, member);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string serialize(const Value& value) {
+  std::string out;
+  serialize_value(out, value);
+  return out;
 }
 
 }  // namespace mcm::json

@@ -67,4 +67,17 @@ class Value {
 [[nodiscard]] std::optional<Value> parse(const std::string& text,
                                          std::string* error = nullptr);
 
+/// Escape a string for embedding between JSON quotes: `"` and `\` get a
+/// backslash, control characters become the standard short escapes
+/// (\n, \t, ...) or \u00XX. Output re-parses to the input exactly.
+[[nodiscard]] std::string escape(const std::string& text);
+
+/// Canonical single-line rendering: object keys in Object (std::map)
+/// order, no whitespace, strings via escape(), numbers in shortest
+/// round-trip form (std::to_chars), non-finite numbers as null. Because
+/// the form is canonical, serialize(parse(serialize(v))) == serialize(v) —
+/// the property the service wire format relies on for bit-identical
+/// replies.
+[[nodiscard]] std::string serialize(const Value& value);
+
 }  // namespace mcm::json

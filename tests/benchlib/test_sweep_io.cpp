@@ -47,8 +47,8 @@ TEST(SweepIo, CalibrationFromSavedCsvMatchesDirectCalibration) {
   const auto direct = model::ContentionModel::from_sweep(original);
   const auto offline = model::ContentionModel::from_sweep(*reloaded);
   for (std::size_t n = 1; n <= direct.max_cores(); ++n) {
-    const auto a = direct.predict(topo::NumaId(0), topo::NumaId(1));
-    const auto b = offline.predict(topo::NumaId(0), topo::NumaId(1));
+    const auto a = direct.predict({topo::NumaId(0), topo::NumaId(1)});
+    const auto b = offline.predict({topo::NumaId(0), topo::NumaId(1)});
     EXPECT_NEAR(a.comm_parallel_gb[n - 1], b.comm_parallel_gb[n - 1], 1e-4);
     EXPECT_NEAR(a.compute_parallel_gb[n - 1], b.compute_parallel_gb[n - 1],
                 1e-4);

@@ -24,17 +24,14 @@ TEST(ContentionModel, FromBackendCalibratesBothRegimes) {
   EXPECT_LT(model.remote().n_seq_max, model.local().n_seq_max);
 }
 
-TEST(ContentionModel, PlacementStructAndNumaPairOverloadsAgree) {
+TEST(ContentionModel, PlacementStructApi) {
   bench::SimBackend backend(topo::make_henri());
   const auto model = ContentionModel::from_backend(backend);
   const Placement placement{topo::NumaId(0), topo::NumaId(1)};
-  const PredictedCurve via_struct = model.predict(placement);
-  const PredictedCurve via_pair =
-      model.predict(topo::NumaId(0), topo::NumaId(1));
-  EXPECT_EQ(via_struct.compute_parallel_gb, via_pair.compute_parallel_gb);
-  EXPECT_EQ(via_struct.comm_parallel_gb, via_pair.comm_parallel_gb);
-  EXPECT_EQ(model.recommended_core_count(placement),
-            model.recommended_core_count(placement.comp, placement.comm));
+  const PredictedCurve curve = model.predict(placement);
+  EXPECT_EQ(curve.compute_parallel_gb.size(), model.max_cores());
+  EXPECT_EQ(curve.comm_parallel_gb.size(), model.max_cores());
+  EXPECT_LE(model.recommended_core_count(placement), model.max_cores());
   EXPECT_EQ(placement, (Placement{topo::NumaId(0), topo::NumaId(1)}));
   EXPECT_NE(placement, (Placement{topo::NumaId(1), topo::NumaId(0)}));
 }

@@ -1,0 +1,100 @@
+// Satellite of the service PR: parse ∘ serialize must be the identity on
+// every spec document the repo ships — the service protocol embeds specs
+// in request frames and re-serializes them, so a lossy round-trip would
+// silently change what the service measures.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipeline/spec.hpp"
+
+namespace mcm::pipeline {
+namespace {
+
+std::vector<std::string> shipped_spec_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MCM_SPEC_DIR)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  files.push_back(MCM_SMOKE_SPEC);
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+TEST(SpecRoundTrip, ShippedDirectoryIsNotEmpty) {
+  EXPECT_GE(shipped_spec_files().size(), 4u)
+      << "examples/specs/ plus scripts/scenario_smoke.json";
+}
+
+TEST(SpecRoundTrip, ParseSerializeParseIsIdentityOnShippedSpecs) {
+  for (const std::string& path : shipped_spec_files()) {
+    SCOPED_TRACE(path);
+    std::string error;
+    const auto spec = ScenarioSpec::from_json(slurp(path), &error);
+    ASSERT_TRUE(spec) << error;
+    const auto reparsed = ScenarioSpec::from_json(spec->to_json(), &error);
+    ASSERT_TRUE(reparsed) << error;
+    EXPECT_TRUE(*reparsed == *spec)
+        << "parse(serialize(spec)) != spec for " << path;
+    EXPECT_EQ(reparsed->fingerprint(), spec->fingerprint());
+    EXPECT_EQ(reparsed->to_json(), spec->to_json())
+        << "serialization must be stable after one round trip";
+  }
+}
+
+TEST(SpecRoundTrip, PropertyHoldsAcrossTheFieldSpace) {
+  // Enumerate a small lattice of wire-representable specs; every corner
+  // must survive the round trip, including explicit placements and
+  // injected failures.
+  std::vector<ScenarioSpec> corpus;
+  for (const PlacementSet placements :
+       {PlacementSet::kAll, PlacementSet::kCalibration,
+        PlacementSet::kExplicit}) {
+    for (const sim::ArbitrationPolicy policy :
+         {sim::ArbitrationPolicy::kCpuPriorityWithFloor,
+          sim::ArbitrationPolicy::kFairShare}) {
+      for (const std::size_t step : {std::size_t(1), std::size_t(3)}) {
+        ScenarioSpec spec;
+        spec.name = "lattice \"quoted\"";
+        spec.platform = "henri";
+        spec.policy = policy;
+        spec.placements = placements;
+        if (placements == PlacementSet::kExplicit) {
+          spec.explicit_placements = {{topo::NumaId(0), topo::NumaId(1)},
+                                      {topo::NumaId(1), topo::NumaId(1)}};
+        }
+        spec.max_cores = 6;
+        spec.core_step = step;
+        spec.repetitions = 2;
+        spec.comm_pattern = sim::CommPattern::kBidirectional;
+        spec.compute_kernel = sim::ComputeKernel::kCachedFill;
+        spec.calibration.smoothing_half_window = 2;
+        spec.inject_failures = {
+            {{topo::NumaId(0), topo::NumaId(1)}, 2}};
+        corpus.push_back(spec);
+      }
+    }
+  }
+  for (const ScenarioSpec& spec : corpus) {
+    std::string error;
+    const auto reparsed = ScenarioSpec::from_json(spec.to_json(), &error);
+    ASSERT_TRUE(reparsed) << error << "\n" << spec.to_json();
+    EXPECT_TRUE(*reparsed == spec) << spec.to_json();
+  }
+}
+
+}  // namespace
+}  // namespace mcm::pipeline

@@ -1,0 +1,240 @@
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mcm::svc {
+namespace {
+
+// ---------------------------------------------------------------- framing
+
+TEST(Framing, RoundTripsPayloadsIncludingEmbeddedNewlines) {
+  const std::vector<std::string> payloads = {
+      "{}", "", "line\nbreak", std::string(1000, 'x')};
+  for (const std::string& payload : payloads) {
+    std::stringstream stream;
+    write_frame(stream, payload);
+    std::string read;
+    std::string error;
+    ASSERT_TRUE(read_frame(stream, &read, &error)) << error;
+    EXPECT_EQ(read, payload);
+  }
+}
+
+TEST(Framing, BackToBackFramesStaySeparated) {
+  std::stringstream stream;
+  write_frame(stream, "first");
+  write_frame(stream, "second {\"k\": 1}");
+  std::string payload;
+  std::string error;
+  ASSERT_TRUE(read_frame(stream, &payload, &error));
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(read_frame(stream, &payload, &error));
+  EXPECT_EQ(payload, "second {\"k\": 1}");
+  EXPECT_FALSE(read_frame(stream, &payload, &error));
+  EXPECT_TRUE(error.empty()) << "clean EOF must not set an error";
+}
+
+TEST(Framing, CleanEofReturnsFalseWithoutError) {
+  std::stringstream stream;
+  std::string payload;
+  std::string error = "sentinel";
+  EXPECT_FALSE(read_frame(stream, &payload, &error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(Framing, MalformedHeaderSetsError) {
+  const std::vector<std::string> inputs = {
+      "not-a-number\n{}\n", "-3\nabc\n", "12abc\nxxxxxxxxxxxx\n"};
+  for (const std::string& text : inputs) {
+    std::stringstream stream(text);
+    std::string payload;
+    std::string error;
+    EXPECT_FALSE(read_frame(stream, &payload, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Framing, TruncatedBodySetsError) {
+  std::stringstream stream("10\nshort\n");
+  std::string payload;
+  std::string error;
+  EXPECT_FALSE(read_frame(stream, &payload, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Framing, OversizedLengthIsRejectedWithoutAllocating) {
+  std::stringstream stream(std::to_string(kMaxFrameBytes + 1) + "\nx\n");
+  std::string payload;
+  std::string error;
+  EXPECT_FALSE(read_frame(stream, &payload, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------------------------------------- requests
+
+pipeline::ScenarioSpec sample_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "proto";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+TEST(RequestCodec, RoundTripsEveryWireField) {
+  Request request;
+  request.id = "r-42";
+  request.method = Method::kCalibrate;
+  request.traffic_class = TrafficClass::kBulk;
+  request.spec = sample_spec();
+
+  const ParsedRequest parsed = parse_request(render_request(request));
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  EXPECT_EQ(parsed.request->id, "r-42");
+  EXPECT_EQ(parsed.request->method, Method::kCalibrate);
+  EXPECT_EQ(parsed.request->traffic_class, TrafficClass::kBulk);
+  ASSERT_TRUE(parsed.request->spec.has_value());
+  EXPECT_EQ(*parsed.request->spec, sample_spec());
+}
+
+TEST(RequestCodec, StatsFormatRoundTrips) {
+  Request request;
+  request.id = "s";
+  request.method = Method::kStats;
+  request.stats_format = StatsFormat::kPrometheus;
+  const ParsedRequest parsed = parse_request(render_request(request));
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  EXPECT_EQ(parsed.request->stats_format, StatsFormat::kPrometheus);
+}
+
+TEST(RequestCodec, RejectsUnknownEnvelopeKeys) {
+  const ParsedRequest parsed = parse_request(
+      R"({"v": 1, "id": "x", "method": "health", "bogus": true})");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(parsed.error.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(parsed.id, "x") << "best-effort id for error correlation";
+}
+
+TEST(RequestCodec, RejectsWrongVersion) {
+  const ParsedRequest parsed =
+      parse_request(R"({"v": 2, "id": "x", "method": "health"})");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(parsed.error.code, ErrorCode::kUnsupportedVersion);
+}
+
+TEST(RequestCodec, RejectsMissingVersionIdAndMethod) {
+  EXPECT_EQ(parse_request(R"({"id": "x", "method": "health"})").error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(R"({"v": 1, "method": "health"})").error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x"})").error.code,
+            ErrorCode::kBadRequest);
+}
+
+TEST(RequestCodec, RejectsUnknownMethod) {
+  const ParsedRequest parsed =
+      parse_request(R"({"v": 1, "id": "x", "method": "frobnicate"})");
+  EXPECT_EQ(parsed.error.code, ErrorCode::kUnknownMethod);
+}
+
+TEST(RequestCodec, PredictNeedsASpecAndHealthRejectsOne) {
+  EXPECT_EQ(
+      parse_request(R"({"v": 1, "id": "x", "method": "predict"})")
+          .error.code,
+      ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "spec": {"platform": "henri"}})")
+                .error.code,
+            ErrorCode::kBadRequest);
+}
+
+TEST(RequestCodec, InvalidSpecGetsItsOwnErrorCode) {
+  const ParsedRequest parsed = parse_request(
+      R"({"v": 1, "id": "x", "method": "predict",
+          "spec": {"platform": "henri", "bogus": 1}})");
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(parsed.error.code, ErrorCode::kInvalidSpec);
+}
+
+TEST(RequestCodec, ClassOnlyOnPipelineMethodsFormatOnlyOnStats) {
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "class": "bulk"})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "format": "json"})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  const ParsedRequest stats = parse_request(
+      R"({"v": 1, "id": "x", "method": "stats", "format": "prometheus"})");
+  ASSERT_TRUE(stats.request.has_value()) << stats.error.message;
+  EXPECT_EQ(stats.request->stats_format, StatsFormat::kPrometheus);
+}
+
+TEST(RequestCodec, NonJsonPayloadIsBadRequest) {
+  EXPECT_EQ(parse_request("not json at all").error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request("[1, 2]").error.code, ErrorCode::kBadRequest);
+}
+
+// ---------------------------------------------------------------- replies
+
+TEST(ReplyCodec, ResultReplyRoundTrips) {
+  json::Value result = json::parse(R"({"answer": 42})").value();
+  const std::string payload = render_result_reply("r1", result);
+  std::string error;
+  const auto reply = parse_reply(payload, &error);
+  ASSERT_TRUE(reply) << error;
+  EXPECT_TRUE(reply->ok);
+  EXPECT_EQ(reply->id, "r1");
+  EXPECT_EQ(reply->result.number_at("answer"), 42.0);
+}
+
+TEST(ReplyCodec, ErrorReplyRoundTripsCodeAndMessage) {
+  const std::string payload = render_error_reply(
+      "r2", {ErrorCode::kOverloaded, "rate limit exceeded"});
+  std::string error;
+  const auto reply = parse_reply(payload, &error);
+  ASSERT_TRUE(reply) << error;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->id, "r2");
+  EXPECT_EQ(reply->error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(reply->error.message, "rate limit exceeded");
+}
+
+TEST(ReplyCodec, ReplyBytesAreCanonical) {
+  // serialize ∘ parse must be the identity on a rendered reply — this is
+  // what makes `mcmtool query` output byte-identical to the local
+  // `run-scenario --result-json` document.
+  json::Value result = json::parse(R"({"b": 1, "a": [1.5, null]})").value();
+  const std::string payload = render_result_reply("id", result);
+  EXPECT_EQ(json::serialize(json::parse(payload).value()), payload);
+}
+
+TEST(ReplyCodec, RejectsNonReplyDocuments) {
+  std::string error;
+  EXPECT_FALSE(parse_reply("nope", &error));
+  EXPECT_FALSE(parse_reply(R"({"ok": true})", &error));
+  EXPECT_FALSE(parse_reply(R"({"id": "x", "ok": false, "v": 1})", &error))
+      << "error replies must carry an error object";
+}
+
+TEST(EnumSpellings, RoundTrip) {
+  for (const Method method : {Method::kPredict, Method::kCalibrate,
+                              Method::kStats, Method::kHealth}) {
+    EXPECT_EQ(parse_method(to_string(method)), method);
+  }
+  for (const TrafficClass cls :
+       {TrafficClass::kInteractive, TrafficClass::kBulk}) {
+    EXPECT_EQ(parse_traffic_class(to_string(cls)), cls);
+  }
+  EXPECT_FALSE(parse_method("bogus"));
+  EXPECT_FALSE(parse_traffic_class("bogus"));
+}
+
+}  // namespace
+}  // namespace mcm::svc

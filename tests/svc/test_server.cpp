@@ -1,0 +1,341 @@
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pipeline/result_io.hpp"
+#include "pipeline/runner.hpp"
+#include "svc/client.hpp"
+#include "util/json.hpp"
+
+namespace mcm::svc {
+namespace {
+
+pipeline::ScenarioSpec calibration_spec(const std::string& platform =
+                                            "henri") {
+  pipeline::ScenarioSpec spec;
+  spec.name = "svc-test";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+Request simple_request(const std::string& id, Method method) {
+  Request request;
+  request.id = id;
+  request.method = method;
+  return request;
+}
+
+Request predict_request(const pipeline::ScenarioSpec& spec,
+                        const std::string& id,
+                        TrafficClass cls = TrafficClass::kInteractive) {
+  Request request;
+  request.id = id;
+  request.method = Method::kPredict;
+  request.traffic_class = cls;
+  request.spec = spec;
+  return request;
+}
+
+double counter(const Service& service, const std::string& name) {
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return static_cast<double>(value);
+  }
+  return 0.0;
+}
+
+TEST(ShardedCache, FingerprintsSpreadDeterministically) {
+  ShardedCalibrationCache cache(4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  const std::size_t index = cache.shard_index("some-fingerprint");
+  EXPECT_LT(index, 4u);
+  EXPECT_EQ(cache.shard_index("some-fingerprint"), index)
+      << "same fingerprint, same shard";
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Service, HealthReportsProtocolVersion) {
+  Service service;
+  const Reply reply = service.handle_request(
+      simple_request("h1", Method::kHealth));
+  ASSERT_TRUE(reply.ok) << reply.error.message;
+  EXPECT_EQ(reply.id, "h1");
+  EXPECT_EQ(reply.result.number_at("protocol"), 1.0);
+  EXPECT_EQ(reply.result.string_at("status"), "ok");
+}
+
+TEST(Service, ColdPredictMatchesDirectRunnerBytes) {
+  Service service;
+  const Reply reply =
+      service.handle_request(predict_request(calibration_spec(), "p1"));
+  ASSERT_TRUE(reply.ok) << reply.error.message;
+
+  pipeline::Runner runner;
+  const std::string local =
+      pipeline::result_to_json(runner.run(calibration_spec()));
+  EXPECT_EQ(json::serialize(reply.result), local)
+      << "service predict must be byte-identical to result_to_json";
+}
+
+TEST(Service, SecondIdenticalPredictIsServedFromTheShardedCache) {
+  Service service;
+  const Reply first =
+      service.handle_request(predict_request(calibration_spec(), "p1"));
+  const Reply second =
+      service.handle_request(predict_request(calibration_spec(), "p2"));
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_EQ(first.result.find("cache_hit")->as_bool(), false);
+  EXPECT_EQ(second.result.find("cache_hit")->as_bool(), true);
+
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0);
+  EXPECT_EQ(service.cache().size(), 1u);
+  const std::size_t shard =
+      service.cache().shard_index(calibration_spec().fingerprint());
+  const std::string prefix =
+      "svc.cache.shard" + std::to_string(shard) + ".";
+  EXPECT_EQ(counter(service, prefix + "misses"), 1.0);
+  EXPECT_EQ(counter(service, prefix + "hits"), 1.0);
+}
+
+TEST(Service, CalibrateWarmsExactlyPredictsCacheEntry) {
+  Service service;
+  Request calibrate = predict_request(calibration_spec(), "c1");
+  calibrate.method = Method::kCalibrate;
+  const Reply warm = service.handle_request(calibrate);
+  ASSERT_TRUE(warm.ok) << warm.error.message;
+  EXPECT_EQ(warm.result.find("cache_hit")->as_bool(), false);
+  EXPECT_EQ(warm.result.string_at("fingerprint"),
+            calibration_spec().fingerprint());
+
+  const Reply predict =
+      service.handle_request(predict_request(calibration_spec(), "p1"));
+  ASSERT_TRUE(predict.ok);
+  EXPECT_EQ(predict.result.find("cache_hit")->as_bool(), true)
+      << "predict after calibrate must hit the cache";
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0);
+}
+
+TEST(Service, ConcurrentIdenticalRequestsRunExactlyOneCalibration) {
+  Service service;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Reply> replies(kThreads);
+  std::atomic<int> failures{0};
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      replies[i] = service.handle_request(predict_request(
+          calibration_spec(), "t" + std::to_string(i)));
+      if (!replies[i].ok) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Exactly one calibration executed, however the threads interleaved;
+  // the others coalesced onto the leader's flight or hit the shard
+  // afterwards.
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0);
+  EXPECT_EQ(counter(service, "pipeline.cache.misses"), 1.0);
+  EXPECT_EQ(service.cache().size(), 1u);
+  // Every reply carries the same model parameters.
+  const std::string params =
+      json::serialize(*replies[0].result.find("local"));
+  for (const Reply& reply : replies) {
+    EXPECT_EQ(json::serialize(*reply.result.find("local")), params);
+  }
+}
+
+TEST(Service, DistinctSpecsDoNotCoalesce) {
+  Service service;
+  pipeline::ScenarioSpec other = calibration_spec();
+  other.repetitions = 2;  // fingerprint-relevant
+  const Reply a =
+      service.handle_request(predict_request(calibration_spec(), "a"));
+  const Reply b = service.handle_request(predict_request(other, "b"));
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(counter(service, "svc.calibrations"), 2.0);
+  EXPECT_EQ(service.cache().size(), 2u);
+}
+
+TEST(Service, OverRateBulkShedsWhileInteractiveSucceeds) {
+  ServiceOptions options;
+  options.admission.interactive = {8.0, 0.0};
+  options.admission.bulk = {1.0, 0.0};
+  options.clock = [] { return 0.0; };  // frozen: no refill
+  Service service(options);
+
+  const pipeline::ScenarioSpec spec = calibration_spec();
+  const Reply bulk_ok = service.handle_request(
+      predict_request(spec, "b1", TrafficClass::kBulk));
+  ASSERT_TRUE(bulk_ok.ok) << bulk_ok.error.message;
+
+  const Reply bulk_shed = service.handle_request(
+      predict_request(spec, "b2", TrafficClass::kBulk));
+  ASSERT_FALSE(bulk_shed.ok);
+  EXPECT_EQ(bulk_shed.error.code, ErrorCode::kOverloaded);
+
+  const Reply interactive = service.handle_request(
+      predict_request(spec, "i1", TrafficClass::kInteractive));
+  EXPECT_TRUE(interactive.ok)
+      << "interactive must ride through bulk exhaustion";
+
+  EXPECT_EQ(counter(service, "svc.shed"), 1.0);
+  EXPECT_EQ(counter(service, "svc.errors"), 0.0)
+      << "sheds are not internal errors";
+}
+
+TEST(Service, ShedRequestsDoNotTouchTheCacheOrRunner) {
+  ServiceOptions options;
+  options.admission.bulk = {1.0, 0.0};
+  options.clock = [] { return 0.0; };
+  Service service(options);
+  ASSERT_TRUE(service
+                  .handle_request(predict_request(calibration_spec(), "b1",
+                                                  TrafficClass::kBulk))
+                  .ok);
+  ASSERT_FALSE(service
+                   .handle_request(predict_request(calibration_spec(),
+                                                   "b2",
+                                                   TrafficClass::kBulk))
+                   .ok);
+  EXPECT_EQ(counter(service, "pipeline.runs"), 1.0);
+}
+
+TEST(Service, StatsExposesCountersCacheGeometryAndPrometheus) {
+  Service service;
+  (void)service.handle_request(
+      predict_request(calibration_spec(), "p1"));
+  const Reply json_stats = service.handle_request(
+      simple_request("s1", Method::kStats));
+  ASSERT_TRUE(json_stats.ok);
+  EXPECT_EQ(json_stats.result.number_at("cache_entries"), 1.0);
+  EXPECT_EQ(json_stats.result.number_at("cache_shards"), 8.0);
+  const json::Value* counters = json_stats.result.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_at("svc.requests"), 2.0)
+      << "the predict and the stats request itself are both counted";
+
+  Request prom;
+  prom.id = "s2";
+  prom.method = Method::kStats;
+  prom.stats_format = StatsFormat::kPrometheus;
+  const Reply prom_stats = service.handle_request(prom);
+  ASSERT_TRUE(prom_stats.ok);
+  const json::Value* text = prom_stats.result.find("prometheus");
+  ASSERT_NE(text, nullptr);
+  EXPECT_NE(text->as_string().find("svc_requests"), std::string::npos);
+}
+
+TEST(Service, MalformedPayloadsBecomeErrorRepliesNotThrows) {
+  Service service;
+  const std::string reply_payload = service.handle("garbage");
+  const auto reply = parse_reply(reply_payload);
+  ASSERT_TRUE(reply);
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(counter(service, "svc.requests"), 1.0);
+  EXPECT_EQ(counter(service, "svc.errors"), 1.0);
+}
+
+TEST(Service, UncacheableSpecsStillAnswerWithoutPopulatingShards) {
+  Service service;
+  pipeline::ScenarioSpec spec = calibration_spec();
+  // An explicit placement list with a sparse sweep is still cacheable;
+  // uncacheable means platform_override without a variant, which is not
+  // wire-representable. Closest wire case: two runs of the same spec but
+  // different placements share one calibration.
+  spec.placements = pipeline::PlacementSet::kExplicit;
+  spec.explicit_placements = {{topo::NumaId(0), topo::NumaId(0)}};
+  const Reply a = service.handle_request(predict_request(spec, "a"));
+  spec.explicit_placements = {{topo::NumaId(0), topo::NumaId(1)}};
+  const Reply b = service.handle_request(predict_request(spec, "b"));
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0)
+      << "placement selection is not part of the fingerprint";
+}
+
+TEST(ServeStdio, RepliesFrameForFrameAndStopsAtEof) {
+  Service service;
+  std::stringstream in;
+  write_frame(in, render_request(simple_request("h1", Method::kHealth)));
+  write_frame(in, render_request(simple_request("h2", Method::kHealth)));
+  std::stringstream out;
+  EXPECT_EQ(serve_stdio(service, in, out), 2u);
+
+  std::string payload;
+  std::string error;
+  ASSERT_TRUE(read_frame(out, &payload, &error));
+  EXPECT_EQ(parse_reply(payload)->id, "h1");
+  ASSERT_TRUE(read_frame(out, &payload, &error));
+  EXPECT_EQ(parse_reply(payload)->id, "h2");
+  EXPECT_FALSE(read_frame(out, &payload, &error));
+}
+
+TEST(ServeStdio, MalformedFrameEmitsOneErrorReplyAndStops) {
+  Service service;
+  std::stringstream in("not-a-length\n");
+  std::stringstream out;
+  EXPECT_EQ(serve_stdio(service, in, out), 0u);
+  std::string payload;
+  std::string error;
+  ASSERT_TRUE(read_frame(out, &payload, &error)) << error;
+  const auto reply = parse_reply(payload);
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->error.code, ErrorCode::kBadRequest);
+}
+
+TEST(SocketServer, ServesClientsAndStopsCleanly) {
+  Service service;
+  SocketServerOptions options;
+  options.path = "/tmp/mcm-svc-test-" + std::to_string(::getpid()) +
+                 ".sock";
+  SocketServer server(service, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_TRUE(server.running());
+
+  {
+    auto client = Client::connect(options.path, &error);
+    ASSERT_TRUE(client) << error;
+    const auto health = client->health(&error);
+    ASSERT_TRUE(health) << error;
+    EXPECT_TRUE(health->ok);
+
+    // Two sequential clients on one connection-per-call transport.
+    const auto reply =
+        client->predict(calibration_spec(), TrafficClass::kInteractive,
+                        &error);
+    ASSERT_TRUE(reply) << error;
+    EXPECT_TRUE(reply->ok) << reply->error.message;
+  }
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(Client::connect(options.path, &error))
+      << "socket must be unlinked after stop()";
+}
+
+TEST(SocketServer, StartFailsGracefullyOnBadPath) {
+  Service service;
+  SocketServerOptions options;
+  options.path = "/nonexistent-dir-zzz/sock";
+  SocketServer server(service, options);
+  std::string error;
+  EXPECT_FALSE(server.start(&error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent on a never-started server
+}
+
+}  // namespace
+}  // namespace mcm::svc

@@ -1,0 +1,162 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mcm::cli {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out char* the way
+/// main() would.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    pointers_.reserve(args_.size());
+    for (std::string& arg : args_) pointers_.push_back(arg.data());
+  }
+  [[nodiscard]] int argc() const {
+    return static_cast<int>(pointers_.size());
+  }
+  [[nodiscard]] char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> pointers_;
+};
+
+std::vector<Option> sample_options() {
+  return {
+      {"--cores", "N", "4", "core count"},
+      {"--csv", "FILE", "", "output file"},
+      {"--verbose", "", "", "boolean flag"},
+  };
+}
+
+TEST(Parser, BothFlagSpellingsWork) {
+  for (const auto& args :
+       {std::vector<std::string>{"tool", "cmd", "--cores", "8"},
+        std::vector<std::string>{"tool", "cmd", "--cores=8"}}) {
+    Argv argv(args);
+    Parser parser("tool cmd", sample_options());
+    std::string error;
+    ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error))
+        << error;
+    EXPECT_EQ(parser.value("--cores"), "8");
+    EXPECT_TRUE(parser.is_set("--cores"));
+  }
+}
+
+TEST(Parser, DefaultsApplyWhenAbsent) {
+  Argv argv({"tool", "cmd"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_EQ(parser.value("--cores"), "4");
+  EXPECT_FALSE(parser.is_set("--cores"));
+  EXPECT_FALSE(parser.flag("--verbose"));
+}
+
+TEST(Parser, LastOccurrenceWins) {
+  Argv argv({"tool", "cmd", "--cores", "2", "--cores=16"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_EQ(parser.value("--cores"), "16");
+}
+
+TEST(Parser, PositionalsKeepTheirOrder) {
+  Argv argv({"tool", "cmd", "henri", "--cores", "8", "extra"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "henri");
+  EXPECT_EQ(parser.positionals()[1], "extra");
+}
+
+TEST(Parser, DoubleDashEndsOptionProcessing) {
+  Argv argv({"tool", "cmd", "--", "--cores", "8"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_FALSE(parser.is_set("--cores"));
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "--cores");
+}
+
+TEST(Parser, UnknownOptionIsAHardError) {
+  Argv argv({"tool", "cmd", "--bogus", "1"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+}
+
+TEST(Parser, MissingValueIsAnError) {
+  Argv argv({"tool", "cmd", "--cores"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_NE(error.find("--cores"), std::string::npos);
+}
+
+TEST(Parser, BooleanFlagRejectsInlineValue) {
+  Argv argv({"tool", "cmd", "--verbose=yes"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_NE(error.find("--verbose"), std::string::npos);
+}
+
+TEST(Parser, BooleanFlagDoesNotSwallowTheNextArgument) {
+  Argv argv({"tool", "cmd", "--verbose", "henri"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_TRUE(parser.flag("--verbose"));
+  ASSERT_EQ(parser.positionals().size(), 1u);
+  EXPECT_EQ(parser.positionals()[0], "henri");
+}
+
+TEST(Parser, TypedAccessorsParseAndRejectGarbage) {
+  Argv argv({"tool", "cmd", "--cores", "12", "--csv", "not-a-number"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_EQ(parser.size_value("--cores"), 12u);
+  EXPECT_EQ(parser.double_value("--cores"), 12.0);
+  EXPECT_FALSE(parser.size_value("--csv"));
+  EXPECT_FALSE(parser.double_value("--csv"));
+}
+
+TEST(Parser, LookupOfUndeclaredOptionViolatesTheContract) {
+  Argv argv({"tool", "cmd"});
+  Parser parser("tool cmd", sample_options());
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), 2, &error));
+  EXPECT_THROW((void)parser.value("--undeclared"), ContractViolation);
+  EXPECT_THROW((void)parser.is_set("--undeclared"), ContractViolation);
+}
+
+TEST(Parser, UsageListsEveryOptionWithDefaults) {
+  Parser parser("tool cmd <arg>", sample_options());
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("usage: tool cmd <arg> [options]"),
+            std::string::npos);
+  EXPECT_NE(usage.find("--cores N"), std::string::npos);
+  EXPECT_NE(usage.find("[4]"), std::string::npos) << "default shown";
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+TEST(Parser, OptionsMustStartWithDashes) {
+  EXPECT_THROW(Parser("tool", {{"cores", "N", "", "bad"}}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcm::cli

@@ -1,0 +1,121 @@
+#include "cli.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/strings.hpp"
+
+namespace mcm::cli {
+
+Parser::Parser(std::string head, std::vector<Option> options)
+    : head_(std::move(head)), options_(std::move(options)) {
+  for (const Option& option : options_) {
+    MCM_EXPECTS(option.name.rfind("--", 0) == 0);
+  }
+}
+
+const Option* Parser::find(const std::string& name) const {
+  for (const Option& option : options_) {
+    if (option.name == name) return &option;
+  }
+  return nullptr;
+}
+
+bool Parser::parse(int argc, char** argv, int begin, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  bool options_done = false;
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (options_done || arg.rfind("--", 0) != 0 || arg == "-") {
+      positionals_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const Option* option = find(name);
+    if (option == nullptr) {
+      return fail("unknown option '" + name + "'");
+    }
+    if (option->value_name.empty()) {
+      if (inline_value) {
+        return fail("option '" + name + "' takes no value");
+      }
+      values_.emplace_back(name, "true");
+      continue;
+    }
+    if (inline_value) {
+      values_.emplace_back(name, std::move(*inline_value));
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return fail("option '" + name + "' requires a value");
+    }
+    values_.emplace_back(name, argv[++i]);
+  }
+  return true;
+}
+
+const std::string& Parser::value(const std::string& name) const {
+  // Last occurrence wins, like most Unix tools.
+  const auto it = std::find_if(
+      values_.rbegin(), values_.rend(),
+      [&](const auto& entry) { return entry.first == name; });
+  if (it != values_.rend()) return it->second;
+  const Option* option = find(name);
+  MCM_EXPECTS(option != nullptr);
+  return option->default_value;
+}
+
+bool Parser::is_set(const std::string& name) const {
+  MCM_EXPECTS(find(name) != nullptr);
+  return std::any_of(values_.begin(), values_.end(), [&](const auto& entry) {
+    return entry.first == name;
+  });
+}
+
+std::string Parser::usage() const {
+  std::string text = "usage: " + head_;
+  if (!options_.empty()) text += " [options]";
+  text += '\n';
+  std::size_t width = 0;
+  const auto spelling = [](const Option& option) {
+    return option.value_name.empty()
+               ? option.name
+               : option.name + " " + option.value_name;
+  };
+  for (const Option& option : options_) {
+    width = std::max(width, spelling(option).size());
+  }
+  for (const Option& option : options_) {
+    text += "  " + pad_right(spelling(option), width) + "  " + option.help;
+    if (!option.default_value.empty()) {
+      text += " [" + option.default_value + "]";
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+std::optional<std::size_t> Parser::size_value(
+    const std::string& name) const {
+  const std::optional<std::uint64_t> parsed = parse_u64(value(name));
+  if (!parsed) return std::nullopt;
+  return static_cast<std::size_t>(*parsed);
+}
+
+std::optional<double> Parser::double_value(const std::string& name) const {
+  return parse_double(value(name));
+}
+
+}  // namespace mcm::cli

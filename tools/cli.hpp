@@ -1,0 +1,76 @@
+// Option-table command-line parser shared by mcmtool and mcmd.
+//
+// One table per (sub)command declares every option once — name, value
+// placeholder, default, help line — and drives parsing, lookup and the
+// generated usage text, so a flag cannot work in one spelling and not
+// the other: `--flag value` and `--flag=value` are both accepted
+// everywhere, unknown options are hard errors, and `--` ends option
+// processing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcm::cli {
+
+struct Option {
+  /// Including the leading dashes, e.g. "--cores".
+  std::string name;
+  /// Placeholder in usage text, e.g. "N"; empty = boolean flag (takes
+  /// no value; `--flag=yes` is rejected).
+  std::string value_name;
+  /// Value when the option is absent (ignored for boolean flags).
+  std::string default_value;
+  /// One-line description for usage().
+  std::string help;
+};
+
+class Parser {
+ public:
+  /// `head` is the "mcmtool predict <platform|file>" part of the usage
+  /// line; options are appended to it by usage().
+  Parser(std::string head, std::vector<Option> options);
+
+  /// Parse argv[begin..argc). False + `error` on unknown options,
+  /// missing values, or a value handed to a boolean flag. Non-option
+  /// arguments become positionals (in order); everything after a
+  /// literal "--" is positional.
+  [[nodiscard]] bool parse(int argc, char** argv, int begin,
+                           std::string* error);
+
+  /// Option value: what the command line set, else the default.
+  /// Precondition: `name` is in the table.
+  [[nodiscard]] const std::string& value(const std::string& name) const;
+  /// True when the option appeared on the command line.
+  [[nodiscard]] bool is_set(const std::string& name) const;
+  /// Boolean flag state (is_set, named for call-site readability).
+  [[nodiscard]] bool flag(const std::string& name) const {
+    return is_set(name);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// "usage: <head> [options]\n" plus one aligned line per option.
+  [[nodiscard]] std::string usage() const;
+
+  /// value() parsed as a non-negative integer / double; nullopt when
+  /// the text does not parse (callers turn that into a usage error).
+  [[nodiscard]] std::optional<std::size_t> size_value(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<double> double_value(
+      const std::string& name) const;
+
+ private:
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::string head_;
+  std::vector<Option> options_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace mcm::cli

@@ -1,0 +1,28 @@
+// mcmd — the persistent prediction daemon (docs/service.md).
+//
+// Thin shell over the same service front end as `mcmtool serve`: parse
+// the service knobs, then either answer length-prefixed frames on
+// stdin/stdout (--stdio, used by the CI replay) or serve a Unix-domain
+// socket until SIGINT/SIGTERM.
+#include <cstdio>
+#include <string>
+
+#include "cli.hpp"
+#include "serve_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  cli::Parser parser("mcmd", tools::service_options());
+  std::string error;
+  if (!parser.parse(argc, argv, 1, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
+  if (!parser.positionals().empty()) {
+    std::fprintf(stderr, "error: mcmd takes no positional arguments\n%s",
+                 parser.usage().c_str());
+    return 2;
+  }
+  return tools::run_service(parser, "mcmd");
+}

@@ -1,30 +1,16 @@
 // mcmtool — command-line front end of the memory-contention library.
 //
-//   mcmtool platforms                         list the built-in platforms
-//   mcmtool describe  <platform|file>         topology & behaviour tree
-//   mcmtool calibrate <platform|file>         run the 2 sweeps, print params
-//   mcmtool sweep     <platform|file> [--placements all|calibration]
-//                                      [--csv FILE]
-//   mcmtool predict   <platform|file> --comp N --comm M [--cores K]
-//   mcmtool advise    <platform|file> [--cores K]
-//   mcmtool errors    <platform|file>         Table-II row for one platform
-//   mcmtool table2                            full Table II on all presets
-//   mcmtool trace     <platform|file> [--out FILE]
-//                                      Chrome trace of a short engine run
-//   mcmtool stats     <platform|file> [--format text|json|prometheus]
-//                                      metrics snapshot of the same run
-//   mcmtool bench-diff <baseline.json> <candidate.json> [--threshold PCT]
-//                                      regression gate over BENCH reports
-//   mcmtool run-scenario <spec.json> [--cache FILE] [--report FILE]
-//                                      [--parallel N] [--max-retries N]
-//                                      full measure->calibrate->predict->
-//                                      score pipeline from a JSON spec
+// Subcommands are declared in one table (see subcommands() at the
+// bottom): each entry owns a cli::Parser option table, so every flag
+// accepts both `--flag value` and `--flag=value`, unknown flags are
+// hard errors, and the usage text below is generated from the same
+// data the parser runs on.
 //
 // <platform|file> is a preset name (henri, dahu, ...) or a path to a
 // platform description file (see topo/topology_io.hpp for the format).
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -34,6 +20,7 @@
 #include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "benchlib/sweep_io.hpp"
+#include "cli.hpp"
 #include "eval/tables.hpp"
 #include "model/model.hpp"
 #include "model/overlap.hpp"
@@ -43,12 +30,17 @@
 #include "obs/observer.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/result_io.hpp"
 #include "pipeline/runner.hpp"
+#include "serve_common.hpp"
 #include "sim/engine.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
 #include "topo/platforms.hpp"
 #include "topo/render.hpp"
 #include "topo/topology_io.hpp"
 #include "util/contracts.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -56,39 +48,33 @@ namespace {
 
 using namespace mcm;
 
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s <command> [args]\n"
-      "  platforms                         list built-in platforms\n"
-      "  describe  <platform|file>         topology & behaviour tree\n"
-      "  calibrate <platform|file>         calibrate and print parameters\n"
-      "  sweep     <platform|file> [--placements all|calibration] "
-      "[--csv FILE] [--reps N]\n"
-      "  predict   <platform|file> --comp N --comm M [--cores K]\n"
-      "  advise    <platform|file> [--cores K]\n"
-      "  errors    <platform|file>         Table-II row for the platform\n"
-      "  plan      <platform|file> --compute-gib X --message-mib Y\n"
-      "                                    overlap planning per core count\n"
-      "  table2                            Table II on every preset\n"
-      "  trace     <platform|file> [--out FILE]\n"
-      "                                    Chrome trace of a short engine "
-      "run\n"
-      "  stats     <platform|file> [--format text|json|prometheus]\n"
-      "                                    metrics snapshot of the same "
-      "run\n"
-      "  bench-diff <baseline.json> <candidate.json> [--threshold PCT]\n"
-      "                                    compare BENCH reports; exit 1 "
-      "on regression\n"
-      "  run-scenario <spec.json> [--cache FILE] [--report FILE] "
-      "[--parallel N] [--max-retries N]\n"
-      "                                    run a declarative scenario "
-      "(docs/pipeline.md); exit 1\n"
-      "                                    only when every placement "
-      "fails\n"
-      "  calibrate-csv <sweep.csv>         calibrate from saved sweep data\n"
-      "  errors-csv    <sweep.csv>         evaluate model on saved data\n",
-      argv0);
+/// One entry of the command table: the option schema and the handler,
+/// plus what the generated global usage prints.
+struct Subcommand {
+  std::string name;
+  std::string args;  ///< positional summary, e.g. "<platform|file>"
+  std::string help;
+  std::vector<cli::Option> options;
+  std::function<int(const cli::Parser&)> run;
+};
+
+const std::vector<Subcommand>& subcommands();
+
+int usage() {
+  std::fputs("usage: mcmtool <command> [args] [options]\n", stderr);
+  std::size_t width = 0;
+  const auto spelling = [](const Subcommand& command) {
+    return command.args.empty() ? command.name
+                                : command.name + " " + command.args;
+  };
+  for (const Subcommand& command : subcommands()) {
+    width = std::max(width, spelling(command).size());
+  }
+  for (const Subcommand& command : subcommands()) {
+    std::fprintf(stderr, "  %s  %s\n",
+                 pad_right(spelling(command), width).c_str(),
+                 command.help.c_str());
+  }
   return 2;
 }
 
@@ -119,29 +105,24 @@ std::optional<topo::PlatformSpec> load_platform(const std::string& name) {
   return spec;
 }
 
-/// Trivial flag scanner: returns the value after `flag` or fallback.
-std::string flag_value(int argc, char** argv, const char* flag,
-                       const std::string& fallback) {
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+/// The leading <platform|file> positional, loaded.
+std::optional<topo::PlatformSpec> platform_arg(const cli::Parser& parser) {
+  if (parser.positionals().empty()) {
+    std::fprintf(stderr, "error: missing <platform|file> argument\n");
+    return std::nullopt;
   }
-  return fallback;
+  return load_platform(parser.positionals().front());
 }
 
-int cmd_platforms() {
-  AsciiTable table({"name", "processor", "network", "numa nodes"});
-  for (const std::string& name : topo::platform_names()) {
-    const topo::PlatformSpec spec = topo::make_platform(name);
-    table.add_row({spec.name, spec.processor, spec.network,
-                   std::to_string(spec.machine.numa_count())});
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
   }
-  std::fputs(table.render().c_str(), stdout);
-  return 0;
-}
-
-int cmd_describe(const topo::PlatformSpec& spec) {
-  std::fputs(topo::render_platform(spec).c_str(), stdout);
-  return 0;
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
 }
 
 /// One-shot scenario for a CLI platform (preset or file-loaded). The
@@ -166,22 +147,56 @@ model::ContentionModel calibrated_model(const topo::PlatformSpec& spec) {
       .contention_model();
 }
 
-int cmd_calibrate(const topo::PlatformSpec& spec) {
-  std::printf("%s", model::render_parameters(calibrated_model(spec)).c_str());
+int cmd_platforms(const cli::Parser&) {
+  AsciiTable table({"name", "processor", "network", "numa nodes"});
+  for (const std::string& name : topo::platform_names()) {
+    const topo::PlatformSpec spec = topo::make_platform(name);
+    table.add_row({spec.name, spec.processor, spec.network,
+                   std::to_string(spec.machine.numa_count())});
+  }
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }
 
-int cmd_sweep(const topo::PlatformSpec& spec, const std::string& placements,
-              const std::string& csv_path, std::size_t repetitions) {
+int cmd_describe(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  std::fputs(topo::render_platform(*spec).c_str(), stdout);
+  return 0;
+}
+
+int cmd_calibrate(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  std::printf("%s",
+              model::render_parameters(calibrated_model(*spec)).c_str());
+  return 0;
+}
+
+int cmd_sweep(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  const std::string placements = parser.value("--placements");
+  if (placements != "all" && placements != "calibration") {
+    std::fprintf(stderr,
+                 "error: --placements must be 'all' or 'calibration'\n");
+    return 2;
+  }
+  const std::optional<std::size_t> repetitions = parser.size_value("--reps");
+  if (!repetitions || *repetitions < 1) {
+    std::fprintf(stderr, "error: --reps must be a positive integer\n");
+    return 2;
+  }
   pipeline::ScenarioSpec scenario = make_scenario(
-      spec, placements == "calibration"
-                ? pipeline::PlacementSet::kCalibration
-                : pipeline::PlacementSet::kAll);
-  scenario.repetitions = repetitions;
+      *spec, placements == "calibration"
+                 ? pipeline::PlacementSet::kCalibration
+                 : pipeline::PlacementSet::kAll);
+  scenario.repetitions = *repetitions;
   pipeline::Runner runner;
   const bench::SweepResult sweep = runner.run(scenario).sweep;
   const std::string csv = bench::sweep_to_csv(sweep);
   std::fputs(csv.c_str(), stdout);
+  const std::string csv_path = parser.value("--csv");
   if (!csv_path.empty()) {
     std::ofstream out(csv_path, std::ios::trunc);
     if (!out) {
@@ -196,39 +211,42 @@ int cmd_sweep(const topo::PlatformSpec& spec, const std::string& placements,
   return 0;
 }
 
-int cmd_predict(const topo::PlatformSpec& spec, int argc, char** argv) {
-  const std::string comp_text = flag_value(argc, argv, "--comp", "");
-  const std::string comm_text = flag_value(argc, argv, "--comm", "");
-  if (comp_text.empty() || comm_text.empty()) {
+int cmd_predict(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  if (!parser.is_set("--comp") || !parser.is_set("--comm")) {
     std::fprintf(stderr, "error: predict requires --comp N and --comm M\n");
     return 2;
   }
-  const auto model = calibrated_model(spec);
-  const topo::NumaId comp(
-      static_cast<std::uint32_t>(std::stoul(comp_text)));
-  const topo::NumaId comm(
-      static_cast<std::uint32_t>(std::stoul(comm_text)));
+  const std::optional<std::size_t> comp_arg = parser.size_value("--comp");
+  const std::optional<std::size_t> comm_arg = parser.size_value("--comm");
+  if (!comp_arg || !comm_arg) {
+    std::fprintf(stderr, "error: --comp / --comm must be NUMA node ids\n");
+    return 2;
+  }
+  const auto model = calibrated_model(*spec);
+  const topo::NumaId comp(static_cast<std::uint32_t>(*comp_arg));
+  const topo::NumaId comm(static_cast<std::uint32_t>(*comm_arg));
   if (comp.value() >= model.numa_count() ||
       comm.value() >= model.numa_count()) {
     std::fprintf(stderr, "error: NUMA node out of range (0..%zu)\n",
                  model.numa_count() - 1);
     return 2;
   }
-  const model::PredictedCurve curve = model.predict(comp, comm);
+  const model::PredictedCurve curve = model.predict({comp, comm});
 
-  const std::string cores_text = flag_value(argc, argv, "--cores", "");
-  if (!cores_text.empty()) {
-    const std::size_t cores = std::stoul(cores_text);
-    if (cores < 1 || cores > model.max_cores()) {
+  if (parser.is_set("--cores")) {
+    const std::optional<std::size_t> cores = parser.size_value("--cores");
+    if (!cores || *cores < 1 || *cores > model.max_cores()) {
       std::fprintf(stderr, "error: --cores must be in 1..%zu\n",
                    model.max_cores());
       return 2;
     }
     std::printf("%zu cores, comp data on node %u, comm data on node %u: "
                 "compute %.2f GB/s, network %.2f GB/s\n",
-                cores, comp.value(), comm.value(),
-                curve.compute_parallel_gb[cores - 1],
-                curve.comm_parallel_gb[cores - 1]);
+                *cores, comp.value(), comm.value(),
+                curve.compute_parallel_gb[*cores - 1],
+                curve.comm_parallel_gb[*cores - 1]);
     return 0;
   }
   AsciiTable table({"cores", "compute GB/s", "network GB/s"});
@@ -242,15 +260,19 @@ int cmd_predict(const topo::PlatformSpec& spec, int argc, char** argv) {
   return 0;
 }
 
-int cmd_advise(const topo::PlatformSpec& spec, int argc, char** argv) {
-  const auto model = calibrated_model(spec);
-  const std::string cores_text = flag_value(argc, argv, "--cores", "");
-  const std::size_t cores =
-      cores_text.empty() ? model.max_cores() : std::stoul(cores_text);
-  if (cores < 1 || cores > model.max_cores()) {
-    std::fprintf(stderr, "error: --cores must be in 1..%zu\n",
-                 model.max_cores());
-    return 2;
+int cmd_advise(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  const auto model = calibrated_model(*spec);
+  std::size_t cores = model.max_cores();
+  if (parser.is_set("--cores")) {
+    const std::optional<std::size_t> parsed = parser.size_value("--cores");
+    if (!parsed || *parsed < 1 || *parsed > model.max_cores()) {
+      std::fprintf(stderr, "error: --cores must be in 1..%zu\n",
+                   model.max_cores());
+      return 2;
+    }
+    cores = *parsed;
   }
   const model::PlacementAdvice advice = model.best_placement(cores);
   std::printf("with %zu computing cores: place computation data on node "
@@ -260,30 +282,26 @@ int cmd_advise(const topo::PlatformSpec& spec, int argc, char** argv) {
               "GB/s\n",
               advice.compute_gb, advice.comm_gb);
   std::printf("contention-free core budget for that placement: %zu\n",
-              model.recommended_core_count(advice.comp_numa,
-                                           advice.comm_numa));
+              model.recommended_core_count(
+                  {advice.comp_numa, advice.comm_numa}));
   return 0;
 }
 
-int cmd_errors(const topo::PlatformSpec& spec) {
+int cmd_errors(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
   pipeline::Runner runner;
   const pipeline::ScenarioResult result =
-      runner.run(make_scenario(spec, pipeline::PlacementSet::kAll));
+      runner.run(make_scenario(*spec, pipeline::PlacementSet::kAll));
   std::printf("%s", model::render_error_report(result.errors).c_str());
   return 0;
 }
 
-std::optional<bench::SweepResult> load_sweep_csv(
-    const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
+std::optional<bench::SweepResult> load_sweep_csv(const std::string& path) {
+  const std::optional<std::string> text = read_file(path);
+  if (!text) return std::nullopt;
   std::string error;
-  auto sweep = bench::sweep_from_csv(text.str(), &error);
+  auto sweep = bench::sweep_from_csv(*text, &error);
   if (!sweep) {
     std::fprintf(stderr, "error: cannot parse '%s': %s\n", path.c_str(),
                  error.c_str());
@@ -291,16 +309,24 @@ std::optional<bench::SweepResult> load_sweep_csv(
   return sweep;
 }
 
-int cmd_calibrate_csv(const std::string& path) {
-  const auto sweep = load_sweep_csv(path);
+int cmd_calibrate_csv(const cli::Parser& parser) {
+  if (parser.positionals().empty()) {
+    std::fprintf(stderr, "error: missing <sweep.csv> argument\n");
+    return 2;
+  }
+  const auto sweep = load_sweep_csv(parser.positionals().front());
   if (!sweep) return 1;
   const auto model = model::ContentionModel::from_sweep(*sweep);
   std::printf("%s", model::render_parameters(model).c_str());
   return 0;
 }
 
-int cmd_errors_csv(const std::string& path) {
-  const auto sweep = load_sweep_csv(path);
+int cmd_errors_csv(const cli::Parser& parser) {
+  if (parser.positionals().empty()) {
+    std::fprintf(stderr, "error: missing <sweep.csv> argument\n");
+    return 2;
+  }
+  const auto sweep = load_sweep_csv(parser.positionals().front());
   if (!sweep) return 1;
   const auto model = model::ContentionModel::from_sweep(*sweep);
   std::printf("%s",
@@ -309,16 +335,24 @@ int cmd_errors_csv(const std::string& path) {
   return 0;
 }
 
-int cmd_plan(const topo::PlatformSpec& spec, int argc, char** argv) {
-  const double compute_gib =
-      std::stod(flag_value(argc, argv, "--compute-gib", "8"));
-  const double message_mib =
-      std::stod(flag_value(argc, argv, "--message-mib", "64"));
-  const auto model = calibrated_model(spec);
+int cmd_plan(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
+  const std::optional<double> compute_gib =
+      parser.double_value("--compute-gib");
+  const std::optional<double> message_mib =
+      parser.double_value("--message-mib");
+  if (!compute_gib || !message_mib || *compute_gib <= 0.0 ||
+      *message_mib <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --compute-gib / --message-mib must be positive\n");
+    return 2;
+  }
+  const auto model = calibrated_model(*spec);
 
   model::IterationSpec iteration;
-  iteration.compute_bytes = compute_gib * static_cast<double>(kGiB);
-  iteration.message_bytes = message_mib * static_cast<double>(kMiB);
+  iteration.compute_bytes = *compute_gib * static_cast<double>(kGiB);
+  iteration.message_bytes = *message_mib * static_cast<double>(kMiB);
   const model::OverlapPlan plan =
       model::plan_overlap_best_placement(model, iteration);
 
@@ -342,7 +376,7 @@ int cmd_plan(const topo::PlatformSpec& spec, int argc, char** argv) {
   return 0;
 }
 
-int cmd_table2() {
+int cmd_table2(const cli::Parser&) {
   std::printf("%s", eval::render_table2(eval::run_table2()).c_str());
   return 0;
 }
@@ -387,14 +421,16 @@ bool run_observed_scenario(const topo::PlatformSpec& spec,
   return true;
 }
 
-int cmd_trace(const topo::PlatformSpec& spec, int argc, char** argv) {
+int cmd_trace(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
   obs::ChromeTraceSink sink;
   sink.set_track_name(0, "engine");
   obs::Observer observer;
   observer.trace = &sink;
-  if (!run_observed_scenario(spec, observer)) return 1;
+  if (!run_observed_scenario(*spec, observer)) return 1;
 
-  const std::string out_path = flag_value(argc, argv, "--out", "");
+  const std::string out_path = parser.value("--out");
   if (out_path.empty()) {
     std::fputs(sink.to_json().c_str(), stdout);
     return 0;
@@ -411,7 +447,9 @@ int cmd_trace(const topo::PlatformSpec& spec, int argc, char** argv) {
   return 0;
 }
 
-int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
+int cmd_stats(const cli::Parser& parser) {
+  const auto spec = platform_arg(parser);
+  if (!spec) return 1;
   obs::MetricsRegistry registry;
   // The engine offers samples at slice boundaries (i.e. at events), at
   // most one per 10 simulated ms. The short scenario has few events, so
@@ -421,12 +459,10 @@ int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
   obs::Observer observer;
   observer.metrics = &registry;
   observer.sampler = &sampler;
-  if (!run_observed_scenario(spec, observer)) return 1;
+  if (!run_observed_scenario(*spec, observer)) return 1;
 
-  std::string format = flag_value(argc, argv, "--format", "text");
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) format = "json";  // legacy
-  }
+  std::string format = parser.value("--format");
+  if (parser.flag("--json")) format = "json";  // legacy spelling
   const obs::MetricsSnapshot snapshot = registry.snapshot();
   if (format == "text") {
     std::fputs(obs::render_text(snapshot).c_str(), stdout);
@@ -435,7 +471,7 @@ int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
   } else if (format == "json") {
     obs::ReportMeta meta;
     meta.name = "mcmtool-stats";
-    meta.platform = spec.name;
+    meta.platform = spec->name;
     meta.git = bench::build_git_describe();
     std::fputs(obs::render_json_report(meta, snapshot, &sampler).c_str(),
                stdout);
@@ -450,15 +486,10 @@ int cmd_stats(const topo::PlatformSpec& spec, int argc, char** argv) {
 }
 
 std::optional<bench::BenchReport> load_report(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
+  const std::optional<std::string> text = read_file(path);
+  if (!text) return std::nullopt;
   std::string error;
-  auto report = bench::report_from_json(text.str(), &error);
+  auto report = bench::report_from_json(*text, &error);
   if (!report) {
     std::fprintf(stderr, "error: cannot parse '%s': %s\n", path.c_str(),
                  error.c_str());
@@ -466,54 +497,48 @@ std::optional<bench::BenchReport> load_report(const std::string& path) {
   return report;
 }
 
-int cmd_bench_diff(int argc, char** argv) {
-  if (argc < 4) {
+int cmd_bench_diff(const cli::Parser& parser) {
+  if (parser.positionals().size() < 2) {
     std::fprintf(stderr,
-                 "usage: mcmtool bench-diff <baseline.json> "
-                 "<candidate.json> [--threshold PCT]\n");
+                 "error: bench-diff needs <baseline.json> "
+                 "<candidate.json>\n");
     return 2;
   }
-  const auto baseline = load_report(argv[2]);
-  const auto candidate = load_report(argv[3]);
+  const auto baseline = load_report(parser.positionals()[0]);
+  const auto candidate = load_report(parser.positionals()[1]);
   if (!baseline || !candidate) return 2;
-  const double threshold_pct =
-      std::stod(flag_value(argc, argv, "--threshold", "2"));
-  if (threshold_pct < 0.0) {
+  const std::optional<double> threshold_pct =
+      parser.double_value("--threshold");
+  if (!threshold_pct || *threshold_pct < 0.0) {
     std::fprintf(stderr, "error: --threshold must be >= 0\n");
     return 2;
   }
-  const double tolerance = threshold_pct / 100.0;
+  const double tolerance = *threshold_pct / 100.0;
   const bench::ReportDiff diff =
       bench::diff_reports(*baseline, *candidate, tolerance);
   std::fputs(bench::render_diff(diff, tolerance).c_str(), stdout);
   return diff.regression() ? 1 : 0;
 }
 
-int cmd_run_scenario(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: mcmtool run-scenario <spec.json> [--cache FILE] "
-                 "[--report FILE] [--parallel N] [--max-retries N]\n");
+int cmd_run_scenario(const cli::Parser& parser) {
+  if (parser.positionals().empty()) {
+    std::fprintf(stderr, "error: missing <spec.json> argument\n");
     return 2;
   }
-  const std::string spec_path = argv[2];
-  std::ifstream file(spec_path);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", spec_path.c_str());
-    return 1;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
+  const std::string spec_path = parser.positionals().front();
+  const std::optional<std::string> text = read_file(spec_path);
+  if (!text) return 1;
   std::string error;
-  const auto spec = pipeline::ScenarioSpec::from_json(text.str(), &error);
+  const auto spec = pipeline::ScenarioSpec::from_json(*text, &error);
   if (!spec) {
     std::fprintf(stderr, "error: cannot parse '%s': %s\n",
                  spec_path.c_str(), error.c_str());
     return 1;
   }
 
-  const std::string cache_path = flag_value(argc, argv, "--cache", "");
-  const std::string report_path = flag_value(argc, argv, "--report", "");
+  const std::string cache_path = parser.value("--cache");
+  const std::string report_path = parser.value("--report");
+  const bool result_json = parser.flag("--result-json");
   pipeline::CalibrationCache cache;
   if (!cache_path.empty() && std::ifstream(cache_path).good() &&
       !cache.load_file(cache_path, &error)) {
@@ -521,41 +546,58 @@ int cmd_run_scenario(int argc, char** argv) {
                  cache_path.c_str(), error.c_str());
     return 1;
   }
+  const std::optional<std::size_t> parallel =
+      parser.size_value("--parallel");
+  const std::optional<std::size_t> max_retries =
+      parser.size_value("--max-retries");
+  if (!parallel || !max_retries) {
+    std::fprintf(stderr,
+                 "error: --parallel / --max-retries must be non-negative "
+                 "integers\n");
+    return 2;
+  }
   pipeline::RunnerOptions options;
   options.cache = &cache;
-  options.parallelism =
-      std::stoul(flag_value(argc, argv, "--parallel", "0"));
-  options.max_retries =
-      std::stoul(flag_value(argc, argv, "--max-retries", "0"));
+  options.parallelism = *parallel;
+  options.max_retries = *max_retries;
   pipeline::Runner runner(options);
   const pipeline::ScenarioResult result = runner.run(*spec);
 
-  std::printf("scenario:    %s\n",
-              result.spec.name.empty() ? "(unnamed)"
-                                       : result.spec.name.c_str());
-  std::printf("platform:    %s\n", result.sweep.platform.c_str());
-  std::printf("status:      %s\n", pipeline::to_string(result.status));
-  std::printf("placements:  %zu measured, %zu failed (%s)\n",
-              result.sweep.curves.size() - result.failures.size(),
-              result.failures.size(),
-              pipeline::to_string(result.spec.placements));
-  for (const pipeline::PlacementFailure& failure : result.failures) {
-    std::fprintf(stderr, "placement (%u,%u) failed after %zu attempt%s: %s\n",
-                 failure.placement.comp.value(),
-                 failure.placement.comm.value(), failure.attempts,
-                 failure.attempts == 1 ? "" : "s", failure.error.c_str());
+  if (result_json) {
+    // Canonical single-line result document — byte-identical to the
+    // service's predict reply `result` on the same spec, so CI can cmp
+    // the two (docs/service.md).
+    std::printf("%s\n", pipeline::result_to_json(result).c_str());
+  } else {
+    std::printf("scenario:    %s\n",
+                result.spec.name.empty() ? "(unnamed)"
+                                         : result.spec.name.c_str());
+    std::printf("platform:    %s\n", result.sweep.platform.c_str());
+    std::printf("status:      %s\n", pipeline::to_string(result.status));
+    std::printf("placements:  %zu measured, %zu failed (%s)\n",
+                result.sweep.curves.size() - result.failures.size(),
+                result.failures.size(),
+                pipeline::to_string(result.spec.placements));
+    for (const pipeline::PlacementFailure& failure : result.failures) {
+      std::fprintf(stderr,
+                   "placement (%u,%u) failed after %zu attempt%s: %s\n",
+                   failure.placement.comp.value(),
+                   failure.placement.comm.value(), failure.attempts,
+                   failure.attempts == 1 ? "" : "s",
+                   failure.error.c_str());
+    }
+    std::printf("calibration: %s\n",
+                result.cache_hit ? "cache hit" : "measured");
+    std::printf("stage wall times: calibrate %.1f ms, measure %.1f ms, "
+                "predict %.1f ms, score %.1f ms\n\n",
+                result.timings.calibrate_us * 1e-3,
+                result.timings.measure_us * 1e-3,
+                result.timings.predict_us * 1e-3,
+                result.timings.score_us * 1e-3);
+    std::printf("%s\n",
+                model::render_parameters(result.contention_model()).c_str());
+    std::printf("%s", model::render_error_report(result.errors).c_str());
   }
-  std::printf("calibration: %s\n",
-              result.cache_hit ? "cache hit" : "measured");
-  std::printf("stage wall times: calibrate %.1f ms, measure %.1f ms, "
-              "predict %.1f ms, score %.1f ms\n\n",
-              result.timings.calibrate_us * 1e-3,
-              result.timings.measure_us * 1e-3,
-              result.timings.predict_us * 1e-3,
-              result.timings.score_us * 1e-3);
-  std::printf("%s\n",
-              model::render_parameters(result.contention_model()).c_str());
-  std::printf("%s", model::render_error_report(result.errors).c_str());
 
   if (!report_path.empty()) {
     // BENCH-format report so `mcmtool bench-diff` can gate scenario runs.
@@ -587,7 +629,8 @@ int cmd_run_scenario(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    std::printf("report written to %s\n", report_path.c_str());
+    std::fprintf(result_json ? stderr : stdout, "report written to %s\n",
+                 report_path.c_str());
   }
   if (!cache_path.empty()) {
     if (!cache.save_file(cache_path, &error)) {
@@ -595,49 +638,203 @@ int cmd_run_scenario(int argc, char** argv) {
                    cache_path.c_str(), error.c_str());
       return 1;
     }
-    std::printf("calibration cache (%zu entries) written to %s\n",
-                cache.size(), cache_path.c_str());
+    std::fprintf(result_json ? stderr : stdout,
+                 "calibration cache (%zu entries) written to %s\n",
+                 cache.size(), cache_path.c_str());
   }
   // Partial results are still results: fail the invocation only when the
   // sweep produced nothing at all.
   return result.status == pipeline::RunStatus::kFailed ? 1 : 0;
 }
 
+int cmd_serve(const cli::Parser& parser) {
+  return tools::run_service(parser, "mcmtool serve");
+}
+
+int cmd_query(const cli::Parser& parser) {
+  const std::string path = parser.value("--socket");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: query requires --socket PATH\n");
+    return 2;
+  }
+  const std::optional<svc::Method> method =
+      svc::parse_method(parser.value("--method"));
+  if (!method) {
+    std::fprintf(stderr,
+                 "error: --method must be predict, calibrate, stats or "
+                 "health\n");
+    return 2;
+  }
+  svc::Request request;
+  request.method = *method;
+  request.id = parser.value("--id");
+  const bool runs_pipeline = *method == svc::Method::kPredict ||
+                             *method == svc::Method::kCalibrate;
+  if (runs_pipeline) {
+    const std::string spec_path = parser.value("--spec");
+    if (spec_path.empty()) {
+      std::fprintf(stderr, "error: --method %s requires --spec FILE\n",
+                   svc::to_string(*method));
+      return 2;
+    }
+    const std::optional<std::string> text = read_file(spec_path);
+    if (!text) return 1;
+    std::string error;
+    auto spec = pipeline::ScenarioSpec::from_json(*text, &error);
+    if (!spec) {
+      std::fprintf(stderr, "error: cannot parse '%s': %s\n",
+                   spec_path.c_str(), error.c_str());
+      return 1;
+    }
+    request.spec = std::move(*spec);
+    const std::optional<svc::TrafficClass> cls =
+        svc::parse_traffic_class(parser.value("--class"));
+    if (!cls) {
+      std::fprintf(stderr,
+                   "error: --class must be interactive or bulk\n");
+      return 2;
+    }
+    request.traffic_class = *cls;
+  }
+  const bool prometheus = parser.value("--format") == "prometheus";
+  if (*method == svc::Method::kStats) {
+    if (!prometheus && parser.value("--format") != "json") {
+      std::fprintf(stderr,
+                   "error: --format must be json or prometheus\n");
+      return 2;
+    }
+    request.stats_format = prometheus ? svc::StatsFormat::kPrometheus
+                                      : svc::StatsFormat::kJson;
+  }
+
+  std::string error;
+  std::optional<svc::Client> client = svc::Client::connect(path, &error);
+  if (!client) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::optional<svc::Reply> reply =
+      client->call(std::move(request), &error);
+  if (!reply) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!reply->ok) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 svc::to_string(reply->error.code),
+                 reply->error.message.c_str());
+    // Sheds are transient; give scripts a distinct exit code to retry on.
+    return reply->error.code == svc::ErrorCode::kOverloaded ? 3 : 1;
+  }
+  if (*method == svc::Method::kStats && prometheus) {
+    const json::Value* text = reply->result.find("prometheus");
+    if (text != nullptr && text->is_string()) {
+      std::fputs(text->as_string().c_str(), stdout);
+      return 0;
+    }
+  }
+  // Canonical bytes: serialize ∘ parse is identity on the service's
+  // canonical reply, so this matches `run-scenario --result-json`.
+  std::printf("%s\n", json::serialize(reply->result).c_str());
+  return 0;
+}
+
+const std::vector<Subcommand>& subcommands() {
+  static const std::vector<Subcommand> commands = {
+      {"platforms", "", "list built-in platforms", {}, cmd_platforms},
+      {"describe", "<platform|file>", "topology & behaviour tree", {},
+       cmd_describe},
+      {"calibrate", "<platform|file>", "calibrate and print parameters",
+       {}, cmd_calibrate},
+      {"sweep", "<platform|file>", "measure placements, print CSV",
+       {{"--placements", "SET", "all", "all | calibration"},
+        {"--csv", "FILE", "", "also write the CSV here"},
+        {"--reps", "N", "1", "repetitions per point"}},
+       cmd_sweep},
+      {"predict", "<platform|file>", "predicted bandwidths per core count",
+       {{"--comp", "N", "", "NUMA node of the computation data"},
+        {"--comm", "M", "", "NUMA node of the communication data"},
+        {"--cores", "K", "", "single core count instead of the table"}},
+       cmd_predict},
+      {"advise", "<platform|file>", "best placement for a core count",
+       {{"--cores", "K", "", "computing cores [all]"}},
+       cmd_advise},
+      {"errors", "<platform|file>", "Table-II row for the platform", {},
+       cmd_errors},
+      {"plan", "<platform|file>", "overlap planning per core count",
+       {{"--compute-gib", "X", "8", "computation volume, GiB"},
+        {"--message-mib", "Y", "64", "message size, MiB"}},
+       cmd_plan},
+      {"table2", "", "Table II on every preset", {}, cmd_table2},
+      {"trace", "<platform|file>", "Chrome trace of a short engine run",
+       {{"--out", "FILE", "", "write the trace here instead of stdout"}},
+       cmd_trace},
+      {"stats", "<platform|file>", "metrics snapshot of the same run",
+       {{"--format", "F", "text", "text | json | prometheus"},
+        {"--json", "", "", "legacy alias for --format json"}},
+       cmd_stats},
+      {"bench-diff", "<baseline.json> <candidate.json>",
+       "compare BENCH reports; exit 1 on regression",
+       {{"--threshold", "PCT", "2", "per-metric tolerance, percent"}},
+       cmd_bench_diff},
+      {"run-scenario", "<spec.json>",
+       "run a declarative scenario (docs/pipeline.md)",
+       {{"--cache", "FILE", "", "persistent calibration cache"},
+        {"--report", "FILE", "", "write a BENCH report here"},
+        {"--parallel", "N", "0", "measure-stage workers (0 = auto)"},
+        {"--max-retries", "N", "0", "retries per failed placement"},
+        {"--result-json", "", "",
+         "print the canonical result document instead of the summary"}},
+       cmd_run_scenario},
+      {"calibrate-csv", "<sweep.csv>", "calibrate from saved sweep data",
+       {}, cmd_calibrate_csv},
+      {"errors-csv", "<sweep.csv>", "evaluate model on saved data", {},
+       cmd_errors_csv},
+      {"serve", "", "run the prediction service (docs/service.md)",
+       tools::service_options(), cmd_serve},
+      {"query", "", "query a serving mcmd over its socket",
+       {{"--socket", "PATH", "", "socket of the serving mcmd"},
+        {"--method", "M", "predict",
+         "predict | calibrate | stats | health"},
+        {"--spec", "FILE", "", "ScenarioSpec document (predict/calibrate)"},
+        {"--class", "C", "interactive", "admission class: interactive | "
+                                        "bulk"},
+        {"--format", "F", "json", "stats format: json | prometheus"},
+        {"--id", "S", "", "request id [generated]"}},
+       cmd_query},
+  };
+  return commands;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  const std::string command = argv[1];
+  if (argc < 2) return usage();
+  const std::string name = argv[1];
+  const Subcommand* command = nullptr;
+  for (const Subcommand& candidate : subcommands()) {
+    if (candidate.name == name) {
+      command = &candidate;
+      break;
+    }
+  }
+  if (command == nullptr) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", name.c_str());
+    return usage();
+  }
+  cli::Parser parser("mcmtool " + command->name +
+                         (command->args.empty() ? "" : " " + command->args),
+                     command->options);
+  std::string error;
+  if (!parser.parse(argc, argv, 2, &error)) {
+    std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                 parser.usage().c_str());
+    return 2;
+  }
   try {
-    if (command == "platforms") return cmd_platforms();
-    if (command == "table2") return cmd_table2();
-    if (command == "calibrate-csv" && argc >= 3) {
-      return cmd_calibrate_csv(argv[2]);
-    }
-    if (command == "errors-csv" && argc >= 3) return cmd_errors_csv(argv[2]);
-    if (command == "bench-diff") return cmd_bench_diff(argc, argv);
-    if (command == "run-scenario") return cmd_run_scenario(argc, argv);
-
-    if (argc < 3) return usage(argv[0]);
-    const auto spec = load_platform(argv[2]);
-    if (!spec) return 1;
-    if (command == "describe") return cmd_describe(*spec);
-    if (command == "calibrate") return cmd_calibrate(*spec);
-    if (command == "sweep") {
-      return cmd_sweep(*spec,
-                       flag_value(argc, argv, "--placements", "all"),
-                       flag_value(argc, argv, "--csv", ""),
-                       std::stoul(flag_value(argc, argv, "--reps", "1")));
-    }
-    if (command == "predict") return cmd_predict(*spec, argc, argv);
-    if (command == "advise") return cmd_advise(*spec, argc, argv);
-    if (command == "errors") return cmd_errors(*spec);
-    if (command == "plan") return cmd_plan(*spec, argc, argv);
-    if (command == "trace") return cmd_trace(*spec, argc, argv);
-    if (command == "stats") return cmd_stats(*spec, argc, argv);
+    return command->run(parser);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
-  return usage(argv[0]);
 }

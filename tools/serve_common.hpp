@@ -1,0 +1,131 @@
+// Shared service front end of `mcmd` and `mcmtool serve`: the option
+// table for every service knob and the run loop (socket mode until
+// SIGINT/SIGTERM, or the deterministic stdin/stdout frame loop).
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "svc/limiter.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::tools {
+
+inline std::vector<cli::Option> service_options() {
+  return {
+      {"--socket", "PATH", "", "serve on this Unix-domain socket"},
+      {"--stdio", "", "",
+       "serve length-prefixed frames on stdin/stdout instead"},
+      {"--workers", "N", "2", "socket connection-handler threads"},
+      {"--shards", "N", "8", "calibration cache shards"},
+      {"--max-retries", "N", "0", "measure-stage retries per placement"},
+      {"--interactive-burst", "N", "8",
+       "interactive-class token bucket capacity"},
+      {"--interactive-rate", "R", "16",
+       "interactive-class refill, tokens/s"},
+      {"--bulk-burst", "N", "2", "bulk-class token bucket capacity"},
+      {"--bulk-rate", "R", "1", "bulk-class refill, tokens/s"},
+  };
+}
+
+/// Decode the service knobs; nullopt + message on out-of-range values.
+inline std::optional<svc::ServiceOptions> service_options_from(
+    const cli::Parser& parser, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  svc::ServiceOptions options;
+  const std::optional<std::size_t> shards = parser.size_value("--shards");
+  if (!shards || *shards < 1) return fail("--shards must be >= 1");
+  options.cache_shards = *shards;
+  const std::optional<std::size_t> retries =
+      parser.size_value("--max-retries");
+  if (!retries) return fail("--max-retries must be a non-negative integer");
+  options.max_retries = *retries;
+
+  struct Knob {
+    const char* flag;
+    double* slot;
+    bool positive;  // burst capacities must be > 0, rates only >= 0
+  };
+  const Knob knobs[] = {
+      {"--interactive-burst", &options.admission.interactive.capacity,
+       true},
+      {"--interactive-rate", &options.admission.interactive.refill_per_sec,
+       false},
+      {"--bulk-burst", &options.admission.bulk.capacity, true},
+      {"--bulk-rate", &options.admission.bulk.refill_per_sec, false},
+  };
+  for (const Knob& knob : knobs) {
+    const std::optional<double> value = parser.double_value(knob.flag);
+    if (!value || *value < 0.0 || (knob.positive && *value <= 0.0)) {
+      return fail(std::string(knob.flag) + " must be a " +
+                  (knob.positive ? "positive" : "non-negative") +
+                  " number");
+    }
+    *knob.slot = *value;
+  }
+  return options;
+}
+
+/// The serve main loop. Returns a process exit code.
+inline int run_service(const cli::Parser& parser, const char* program) {
+  std::string error;
+  const std::optional<svc::ServiceOptions> options =
+      service_options_from(parser, &error);
+  if (!options) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  svc::Service service(*options);
+
+  if (parser.flag("--stdio")) {
+    const std::size_t served =
+        svc::serve_stdio(service, std::cin, std::cout);
+    std::fprintf(stderr, "%s: served %zu request%s\n", program, served,
+                 served == 1 ? "" : "s");
+    return 0;
+  }
+
+  const std::string path = parser.value("--socket");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: need --socket PATH or --stdio\n");
+    return 2;
+  }
+  // Route SIGINT/SIGTERM through sigwait below; block them before the
+  // server spawns its workers so the mask is inherited.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  std::size_t workers = parser.size_value("--workers").value_or(0);
+  if (workers < 1) {
+    std::fprintf(stderr, "error: --workers must be >= 1\n");
+    return 2;
+  }
+  svc::SocketServerOptions socket_options;
+  socket_options.path = path;
+  socket_options.workers = workers;
+  svc::SocketServer server(service, socket_options);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: serving on %s (SIGINT/SIGTERM to stop)\n",
+               program, path.c_str());
+  int caught = 0;
+  sigwait(&signals, &caught);
+  std::fprintf(stderr, "%s: signal %d, shutting down\n", program, caught);
+  server.stop();
+  return 0;
+}
+
+}  // namespace mcm::tools
