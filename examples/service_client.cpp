@@ -80,7 +80,27 @@ int main(int argc, char** argv) {
                 cache_hit ? "cache hit" : "measured");
   }
 
-  // 4. The stats method sees both rounds: one calibration executed, one
+  // 4. The resilient call form (docs/service.md, "Deadlines, retries,
+  //    and shutdown"): an end-to-end deadline shared with the server
+  //    plus retry/backoff. Against this healthy in-process server it
+  //    simply succeeds on the first attempt — the point is the shape.
+  svc::Request guarded;
+  guarded.method = svc::Method::kHealth;
+  svc::CallOptions call_options;
+  call_options.deadline_ms = 2000.0;
+  call_options.retry.max_retries = 2;
+  const auto guarded_reply =
+      client->call(std::move(guarded), call_options, &error);
+  if (!guarded_reply || !guarded_reply->ok) {
+    std::fprintf(stderr, "error: guarded call failed\n");
+    return 1;
+  }
+  std::printf("\nguarded health (2s deadline, 2 retries): status %s\n",
+              guarded_reply->result.string_at("status")
+                  .value_or("?")
+                  .c_str());
+
+  // 5. The stats method sees every round: one calibration executed, one
   //    shard hit on the repeat.
   const auto stats = client->stats(svc::StatsFormat::kJson, &error);
   if (!stats || !stats->ok) {
@@ -103,8 +123,11 @@ int main(int argc, char** argv) {
                   : "ies",
               stats->result.number_at("cache_shards").value_or(0.0));
 
-  server.stop();
-  std::printf("\nDone. `mcmd --socket %s` + `mcmtool query` replays this "
+  // 6. Graceful shutdown: what `mcmd` does on SIGTERM.
+  std::printf("\n%s\n", server.drain(1000)
+                            ? "server drained cleanly"
+                            : "drain budget exhausted, stopped hard");
+  std::printf("Done. `mcmd --socket %s` + `mcmtool query` replays this "
               "session from the shell.\n",
               path.c_str());
   return 0;

@@ -14,6 +14,10 @@
 #   scripts/ci.sh service    mcmd golden-request replay (byte-diffed),
 #                            socket query vs local run, and the svc test
 #                            suite under ASan+UBSan
+#   scripts/ci.sh chaos      seeded socket/cache chaos harness: malformed-
+#                            frame replay (byte-diffed, twice), the chaos
+#                            test suite twice (determinism), and once
+#                            more under ASan+UBSan
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -196,6 +200,49 @@ service_suite() {
       -j "$JOBS")
 }
 
+chaos_suite() {
+  echo "== chaos: malformed-frame replay + seeded chaos suite =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target mcmd test_chaos
+  WORK="$ROOT/build/chaos-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  # Malformed-frame golden replay, twice: typed error replies are part of
+  # the wire contract, so their bytes must be identical between runs.
+  "$ROOT"/build/tools/mcmd --stdio \
+      <"$ROOT"/scripts/chaos_smoke.requests >chaos_a.out \
+      2>chaos_a.log || { cat chaos_a.log; echo "FAIL: chaos replay A"; \
+      exit 1; }
+  "$ROOT"/build/tools/mcmd --stdio \
+      <"$ROOT"/scripts/chaos_smoke.requests >chaos_b.out \
+      2>/dev/null || { echo "FAIL: chaos replay B"; exit 1; }
+  cmp chaos_a.out chaos_b.out || {
+    echo "FAIL: chaos replay replies differ between runs"
+    exit 1
+  }
+  # The corpus serves its parseable frames, then stops at the framing
+  # error (after one final typed reply — there is no resync point).
+  grep -q "served 5 requests" chaos_a.log || {
+    cat chaos_a.log
+    echo "FAIL: chaos replay did not serve the parseable frames"
+    exit 1
+  }
+  grep -q '"code":"bad-request"' chaos_a.out || {
+    echo "FAIL: chaos replay produced no typed bad-request reply"
+    exit 1
+  }
+  # The seeded chaos suite, twice: the schedules are deterministic, so a
+  # pass followed by a failure is a flake by definition — and a bug.
+  (cd "$ROOT/build" && ctest -L chaos --output-on-failure -j "$JOBS")
+  (cd "$ROOT/build" && ctest -L chaos --output-on-failure -j "$JOBS")
+  # Torn frames and cut connections cross threads — rerun instrumented.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_chaos
+  (cd "$ROOT/build-sanitize" && ctest -L chaos --output-on-failure \
+      -j "$JOBS")
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
@@ -203,6 +250,7 @@ case "$STAGE" in
   pipeline) pipeline_smoke ;;
   fault) fault_suite ;;
   service) service_suite ;;
+  chaos) chaos_suite ;;
   all)
     tier1
     sanitize
@@ -210,9 +258,10 @@ case "$STAGE" in
     pipeline_smoke
     fault_suite
     service_suite
+    chaos_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|all]" >&2
     exit 2
     ;;
 esac

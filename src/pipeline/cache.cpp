@@ -1,10 +1,17 @@
 #include "pipeline/cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <sstream>
+#include <string_view>
 
 #include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace mcm::pipeline {
 
@@ -170,6 +177,12 @@ std::size_t CalibrationCache::size() const {
   return entries_.size();
 }
 
+std::map<std::string, CalibrationCache::Entry> CalibrationCache::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
 void CalibrationCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
@@ -243,23 +256,187 @@ bool CalibrationCache::load_json(const std::string& text,
   return true;
 }
 
+namespace {
+
+/// Magic of the checksummed on-disk format. Files not starting with
+/// "<magic> " load as legacy v1 (bare JSON, no integrity header).
+constexpr const char kFileMagic[] = "mcm-cache-v2";
+
+[[nodiscard]] std::string checksum_hex(std::string_view payload) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(stable_hash(payload)));
+  return buffer;
+}
+
+}  // namespace
+
+const char* to_string(CacheFileStatus status) {
+  switch (status) {
+    case CacheFileStatus::kOk: return "ok";
+    case CacheFileStatus::kMissing: return "missing";
+    case CacheFileStatus::kIoError: return "io-error";
+    case CacheFileStatus::kTruncated: return "truncated";
+    case CacheFileStatus::kChecksumMismatch: return "checksum-mismatch";
+    case CacheFileStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
 bool CalibrationCache::save_file(const std::string& path,
                                  std::string* error) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return fail(error, "cannot write '" + path + "'");
-  out << to_json() << '\n';
-  out.flush();
-  if (!out) return fail(error, "write to '" + path + "' failed");
+  const std::string payload = to_json();
+  std::string contents = kFileMagic;
+  contents += ' ';
+  contents += std::to_string(payload.size());
+  contents += ' ';
+  contents += checksum_hex(payload);
+  contents += '\n';
+  contents += payload;
+  contents += '\n';
+
+  // Write-temp + fsync + atomic rename: a crash at any point leaves
+  // either the previous complete snapshot or the new one at `path`,
+  // never a torn file. The pid suffix keeps concurrent savers off each
+  // other's temp files.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return fail(error,
+                "cannot write '" + tmp + "': " + std::strerror(errno));
+  }
+  const auto abort_save = [&](const std::string& stage) {
+    const std::string message = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, stage + " '" + tmp + "': " + message);
+  };
+  std::size_t sent = 0;
+  while (sent < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + sent, contents.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return abort_save("write to");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) return abort_save("fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error,
+                "close '" + tmp + "': " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string message = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return fail(error,
+                "rename '" + tmp + "' -> '" + path + "': " + message);
+  }
+  // Best-effort directory fsync so the rename itself survives a crash.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
   return true;
+}
+
+CacheFileStatus CalibrationCache::load_file_status(const std::string& path,
+                                                   std::string* error) {
+  const auto reject = [&](CacheFileStatus status,
+                          const std::string& message) {
+    if (error != nullptr) *error = message;
+    return status;
+  };
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return reject(CacheFileStatus::kMissing,
+                    "no cache file at '" + path + "'");
+    }
+    return reject(CacheFileStatus::kIoError,
+                  "cannot read '" + path + "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = std::strerror(errno);
+      ::close(fd);
+      return reject(CacheFileStatus::kIoError,
+                    "read '" + path + "': " + message);
+    }
+    if (n == 0) break;
+    text.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::string magic_prefix = std::string(kFileMagic) + ' ';
+  if (text.rfind(magic_prefix, 0) != 0) {
+    // Legacy v1 file: bare JSON, no integrity header. A truncated v2
+    // file whose header itself was cut lands here too and is rejected
+    // by the parse below — never silently half-loaded.
+    std::string parse_error;
+    if (!load_json(text, &parse_error)) {
+      return reject(CacheFileStatus::kMalformed,
+                    "'" + path + "': " + parse_error);
+    }
+    return CacheFileStatus::kOk;
+  }
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos) {
+    return reject(CacheFileStatus::kTruncated,
+                  "'" + path + "': header line is truncated");
+  }
+  const std::string header =
+      text.substr(magic_prefix.size(), eol - magic_prefix.size());
+  const std::size_t space = header.find(' ');
+  if (space == std::string::npos) {
+    return reject(CacheFileStatus::kMalformed,
+                  "'" + path + "': malformed cache header");
+  }
+  const std::optional<std::uint64_t> declared =
+      parse_u64(header.substr(0, space));
+  const std::string checksum = header.substr(space + 1);
+  if (!declared || checksum.size() != 16) {
+    return reject(CacheFileStatus::kMalformed,
+                  "'" + path + "': malformed cache header");
+  }
+  const std::string_view rest(text.data() + eol + 1,
+                              text.size() - eol - 1);
+  if (rest.size() < *declared + 1) {
+    return reject(CacheFileStatus::kTruncated,
+                  "'" + path + "' is truncated: holds " +
+                      std::to_string(rest.size()) + " of " +
+                      std::to_string(*declared + 1) + " payload bytes");
+  }
+  if (rest.size() > *declared + 1 || rest.back() != '\n') {
+    return reject(CacheFileStatus::kMalformed,
+                  "'" + path + "': payload does not match its header");
+  }
+  const std::string_view payload = rest.substr(0, *declared);
+  if (checksum_hex(payload) != checksum) {
+    return reject(
+        CacheFileStatus::kChecksumMismatch,
+        "'" + path + "': checksum mismatch (torn or corrupt write)");
+  }
+  std::string parse_error;
+  if (!load_json(std::string(payload), &parse_error)) {
+    return reject(CacheFileStatus::kMalformed,
+                  "'" + path + "': " + parse_error);
+  }
+  return CacheFileStatus::kOk;
 }
 
 bool CalibrationCache::load_file(const std::string& path,
                                  std::string* error) {
-  std::ifstream in(path);
-  if (!in) return fail(error, "cannot read '" + path + "'");
-  std::ostringstream text;
-  text << in.rdbuf();
-  return load_json(text.str(), error);
+  return load_file_status(path, error) == CacheFileStatus::kOk;
 }
 
 }  // namespace mcm::pipeline

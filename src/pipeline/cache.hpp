@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -21,6 +22,19 @@
 #include "model/parameters.hpp"
 
 namespace mcm::pipeline {
+
+/// Typed outcome of loading a cache file. Everything except kOk leaves
+/// the in-memory cache untouched — a corrupt or torn file can never
+/// half-load (docs/pipeline.md, "Crash-safe persistence").
+enum class CacheFileStatus : std::uint8_t {
+  kOk,
+  kMissing,           ///< the file does not exist (cold start)
+  kIoError,           ///< open/read failed for another reason
+  kTruncated,         ///< shorter than its header declares (torn write)
+  kChecksumMismatch,  ///< payload bytes do not hash to the header value
+  kMalformed,         ///< bad header / payload failed JSON validation
+};
+[[nodiscard]] const char* to_string(CacheFileStatus status);
 
 class CalibrationCache {
  public:
@@ -40,6 +54,10 @@ class CalibrationCache {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Copy of every entry, for callers that redistribute or merge caches
+  /// (the service's sharded cache persists through this).
+  [[nodiscard]] std::map<std::string, Entry> snapshot() const;
+
   /// Serialize every entry (schema in docs/pipeline.md). Deterministic
   /// output: entries ordered by key.
   [[nodiscard]] std::string to_json() const;
@@ -48,10 +66,20 @@ class CalibrationCache {
   /// left unchanged then.
   bool load_json(const std::string& text, std::string* error = nullptr);
 
-  /// File persistence built on the JSON form. `load_file` on a missing
-  /// file fails; callers wanting cold-start semantics check existence.
+  /// Crash-safe file persistence built on the JSON form. save_file
+  /// writes `path + ".tmp"`, fsyncs, then atomically renames over
+  /// `path` — a crash mid-save leaves the previous complete snapshot in
+  /// place, never a torn file. The format prefixes the JSON payload with
+  /// a `mcm-cache-v2 <bytes> <checksum>` header (stable_hash of the
+  /// payload) so load_file can reject truncation and corruption with a
+  /// typed status; headerless files load as legacy v1 plain JSON.
   bool save_file(const std::string& path,
                  std::string* error = nullptr) const;
+  /// Merge-load `path`. Anything but kOk leaves the cache unchanged.
+  CacheFileStatus load_file_status(const std::string& path,
+                                   std::string* error = nullptr);
+  /// load_file_status reduced to bool (kOk == true), for callers that do
+  /// not branch on the failure kind.
   bool load_file(const std::string& path, std::string* error = nullptr);
 
  private:

@@ -4,9 +4,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace mcm::svc {
 namespace {
@@ -15,19 +22,29 @@ void set_error(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+using CallClock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_until(CallClock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(deadline -
+                                                   CallClock::now())
+      .count();
+}
+
 }  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      next_id_(std::exchange(other.next_id_, 1)) {}
+      next_id_(std::exchange(other.next_id_, 1)),
+      socket_path_(std::exchange(other.socket_path_, {})) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = std::exchange(other.next_id_, 1);
+    socket_path_ = std::exchange(other.socket_path_, {});
   }
   return *this;
 }
@@ -39,17 +56,17 @@ void Client::close() {
   }
 }
 
-std::optional<Client> Client::connect(const std::string& socket_path,
-                                      std::string* error) {
+int Client::open_socket(const std::string& socket_path,
+                        std::string* error) {
   sockaddr_un addr{};
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     set_error(error, "socket path too long: " + socket_path);
-    return std::nullopt;
+    return -1;
   }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     set_error(error, std::string("socket: ") + std::strerror(errno));
-    return std::nullopt;
+    return -1;
   }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
@@ -59,42 +76,173 @@ std::optional<Client> Client::connect(const std::string& socket_path,
     message.append(socket_path).append(": ").append(std::strerror(errno));
     set_error(error, message);
     ::close(fd);
-    return std::nullopt;
+    return -1;
   }
+  return fd;
+}
+
+std::optional<Client> Client::connect(const std::string& socket_path,
+                                      std::string* error) {
+  const int fd = open_socket(socket_path, error);
+  if (fd < 0) return std::nullopt;
   Client client;
   client.fd_ = fd;
+  client.socket_path_ = socket_path;
   return client;
 }
 
 std::optional<Reply> Client::call(Request request, std::string* error) {
-  if (!connected()) {
-    set_error(error, "client is not connected");
+  return call(std::move(request), CallOptions{}, error);
+}
+
+std::optional<Reply> Client::call(Request request,
+                                  const CallOptions& options,
+                                  std::string* error) {
+  if (options.retry.backoff < 1.0) {
+    set_error(error, "CallOptions.retry.backoff must be >= 1");
     return std::nullopt;
   }
   if (request.id.empty()) {
     request.id = "c" + std::to_string(next_id_++);
   }
-  if (!write_frame_fd(fd_, render_request(request))) {
-    set_error(error, "send failed: server went away");
+
+  const bool bounded = options.deadline_ms > 0.0;
+  const CallClock::time_point deadline_at =
+      CallClock::now() +
+      std::chrono::duration_cast<CallClock::duration>(
+          std::chrono::duration<double, std::milli>(options.deadline_ms));
+  // Mirror of the server's typed expiry, synthesized locally: callers
+  // branch on one error code whether the budget died on the wire, in
+  // the server, or here.
+  const auto deadline_reply = [&](std::size_t attempts,
+                                  const std::string& last) {
+    char budget[32];
+    std::snprintf(budget, sizeof budget, "%g", options.deadline_ms);
+    Reply reply;
+    reply.id = request.id;
+    reply.ok = false;
+    reply.error = {ErrorCode::kDeadlineExceeded,
+                   "client deadline of " + std::string(budget) +
+                       "ms exhausted after " + std::to_string(attempts) +
+                       " attempt(s)" + (last.empty() ? "" : ": " + last)};
+    return reply;
+  };
+
+  Rng jitter(options.jitter_seed);
+  std::string last_error = "no attempt made";
+  for (std::size_t attempt = 0; attempt <= options.retry.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      // Jittered exponential pause so retrying clients spread out
+      // instead of stampeding the recovering server in lockstep.
+      double pause =
+          options.retry_pause_ms *
+          std::pow(options.retry.backoff,
+                   static_cast<double>(attempt - 1)) *
+          jitter.uniform(0.5, 1.5);
+      if (bounded) pause = std::min(pause, ms_until(deadline_at));
+      if (pause > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(pause));
+      }
+    }
+    if (bounded && ms_until(deadline_at) <= 0.0) {
+      return deadline_reply(attempt, last_error);
+    }
+    if (!connected()) {
+      if (socket_path_.empty()) {
+        set_error(error, "client is not connected");
+        return std::nullopt;
+      }
+      std::string connect_error;
+      fd_ = open_socket(socket_path_, &connect_error);
+      if (fd_ < 0) {
+        // Connect failures are always retryable: the server provably
+        // saw nothing.
+        last_error = connect_error;
+        continue;
+      }
+    }
+    Request wire = request;
+    if (bounded) {
+      // The server gets what is *left* of the budget, not the original.
+      wire.deadline_ms = std::max(ms_until(deadline_at), 0.0);
+    }
+    if (!write_frame_fd(fd_, render_request(wire))) {
+      // A torn frame is discarded server-side, never executed — send
+      // failures are retryable even for non-idempotent requests.
+      close();
+      last_error = "send failed: server went away";
+      continue;
+    }
+    // Attempt budget: the retry policy's (backed-off) reply timeout,
+    // capped by the remaining end-to-end deadline.
+    double attempt_ms = -1.0;
+    if (options.retry.timeout.value() > 0.0) {
+      attempt_ms = options.retry.timeout.value() * 1000.0 *
+                   std::pow(options.retry.backoff,
+                            static_cast<double>(attempt));
+    }
+    if (bounded) {
+      const double left = std::max(ms_until(deadline_at), 0.0);
+      attempt_ms = attempt_ms < 0.0 ? left : std::min(attempt_ms, left);
+    }
+    FrameIoOptions io;
+    if (attempt_ms >= 0.0) {
+      const int budget_ms = static_cast<int>(std::ceil(attempt_ms));
+      io.idle_timeout_ms = budget_ms;   // reply must start...
+      io.frame_timeout_ms = budget_ms;  // ...and finish within budget
+    }
+    std::string payload;
+    std::string frame_error;
+    const FrameReadStatus status =
+        read_frame_fd(fd_, &payload, &frame_error, io);
+    if (status == FrameReadStatus::kFrame) {
+      std::string reply_error;
+      std::optional<Reply> reply = parse_reply(payload, &reply_error);
+      if (!reply) {
+        close();  // desynced stream — never reuse it
+        set_error(error, reply_error);
+        return std::nullopt;
+      }
+      if (!reply->ok && reply->error.code == ErrorCode::kOverloaded &&
+          attempt < options.retry.max_retries) {
+        // Shed before any work: always safe to retry, and the
+        // connection stays healthy.
+        last_error = "overloaded: " + reply->error.message;
+        continue;
+      }
+      return reply;
+    }
+    // No (whole) reply arrived. The connection might deliver a stale one
+    // later and desync every future call — poison it.
     close();
-    return std::nullopt;
+    const bool timed_out = status == FrameReadStatus::kIdleTimeout ||
+                           status == FrameReadStatus::kStallTimeout;
+    last_error = timed_out ? "no reply within the attempt budget"
+                 : frame_error.empty()
+                     ? std::string("server closed the connection")
+                     : frame_error;
+    if (!options.idempotent) {
+      // The request was sent and may be executing server-side; a replay
+      // could run it twice. Give up with the typed deadline when that is
+      // what ran out, a transport error otherwise.
+      if (bounded && ms_until(deadline_at) <= 0.0) {
+        return deadline_reply(attempt + 1, last_error);
+      }
+      set_error(error,
+                last_error + " (not retried: request marked "
+                             "non-idempotent)");
+      return std::nullopt;
+    }
   }
-  std::string payload;
-  std::string frame_error;
-  if (!read_frame_fd(fd_, &payload, &frame_error)) {
-    set_error(error, frame_error.empty()
-                         ? std::string("server closed the connection")
-                         : frame_error);
-    close();
-    return std::nullopt;
+  if (bounded && ms_until(deadline_at) <= 0.0) {
+    return deadline_reply(options.retry.max_retries + 1, last_error);
   }
-  std::string reply_error;
-  std::optional<Reply> reply = parse_reply(payload, &reply_error);
-  if (!reply) {
-    set_error(error, reply_error);
-    return std::nullopt;
-  }
-  return reply;
+  const std::size_t attempts = options.retry.max_retries + 1;
+  set_error(error, last_error + " (after " + std::to_string(attempts) +
+                       " attempt" + (attempts == 1 ? "" : "s") + ")");
+  return std::nullopt;
 }
 
 std::optional<Reply> Client::predict(const pipeline::ScenarioSpec& spec,

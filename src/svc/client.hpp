@@ -7,15 +7,51 @@
 // reproduces the service's canonical bytes exactly (serialize ∘ parse is
 // identity on canonical documents), which is how `mcmtool query` prints
 // byte-identical output to `mcmtool run-scenario --result-json`.
+//
+// call() with CallOptions is the resilient form (docs/service.md,
+// "Deadlines, retries, and shutdown"): an end-to-end deadline shared
+// between the client and the server (the remaining budget rides the
+// wire as `deadline_ms`), per-attempt reply timeouts with the fault
+// layer's net::RetryPolicy (exponential backoff), deterministic jitter,
+// reconnect when the server went away, and a no-retry guard for
+// non-idempotent requests that may already be executing server-side.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "net/fault.hpp"
 #include "svc/protocol.hpp"
 
 namespace mcm::svc {
+
+/// Per-call resilience knobs. The defaults reproduce the plain blocking
+/// call: no deadline, no reply timeout, no retries.
+struct CallOptions {
+  /// End-to-end budget across all attempts, milliseconds; 0 = none.
+  /// The *remaining* budget at send time is forwarded to the server as
+  /// the request's `deadline_ms`, and when the whole budget runs out the
+  /// client synthesizes a `deadline-exceeded` error reply (same typed
+  /// code the server uses — callers need one branch, not two).
+  double deadline_ms = 0.0;
+  /// Reply timeout + retry schedule (the fault layer's policy, reused as
+  /// ROADMAP asked): attempt i may wait timeout * backoff^i for its
+  /// reply; timeout 0 = wait forever. max_retries extra attempts are
+  /// made for retryable failures: connect/send errors, reply timeouts,
+  /// the server vanishing (reconnect), and `overloaded` sheds.
+  net::RetryPolicy retry{Seconds{0.0}, 0, 2.0};
+  /// Pause before retry i (milliseconds), grown by retry.backoff and
+  /// jittered to 50–150% so retrying clients do not stampede in lockstep.
+  double retry_pause_ms = 50.0;
+  /// When false, a request that may have reached the server (sent, but
+  /// no reply) is never retried — replaying non-idempotent work could
+  /// execute it twice. Sheds and connect failures are still retried:
+  /// the server provably did nothing with those.
+  bool idempotent = true;
+  /// Seed of the deterministic jitter stream.
+  std::uint64_t jitter_seed = 1;
+};
 
 class Client {
  public:
@@ -42,6 +78,14 @@ class Client {
   [[nodiscard]] std::optional<Reply> call(Request request,
                                           std::string* error = nullptr);
 
+  /// Resilient form: deadline + retry/backoff per CallOptions. On
+  /// deadline expiry returns a synthesized `deadline-exceeded` error
+  /// reply; when retries are exhausted (or a failure is not retryable)
+  /// returns nullopt + `error` like the plain form.
+  [[nodiscard]] std::optional<Reply> call(Request request,
+                                          const CallOptions& options,
+                                          std::string* error = nullptr);
+
   /// Convenience wrappers over call().
   [[nodiscard]] std::optional<Reply> predict(
       const pipeline::ScenarioSpec& spec,
@@ -57,8 +101,13 @@ class Client {
   [[nodiscard]] std::optional<Reply> health(std::string* error = nullptr);
 
  private:
+  [[nodiscard]] static int open_socket(const std::string& socket_path,
+                                       std::string* error);
+
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  /// Where connect() attached, kept for reconnect-on-retry.
+  std::string socket_path_;
 };
 
 }  // namespace mcm::svc

@@ -1,8 +1,11 @@
 #include "svc/protocol.hpp"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -16,8 +19,8 @@ namespace {
 /// Every key a v1 request envelope may carry. Method-specific rules
 /// (spec vs stats-only keys) are enforced after the membership check so
 /// a typo is always reported as "unknown key", never as a missing field.
-constexpr const char* kEnvelopeKeys[] = {"v",     "id",   "method",
-                                         "class", "spec", "format"};
+constexpr const char* kEnvelopeKeys[] = {"v",    "id",     "method",    "class",
+                                         "spec", "format", "deadline_ms"};
 
 [[nodiscard]] bool known_envelope_key(const std::string& key) {
   for (const char* known : kEnvelopeKeys) {
@@ -39,7 +42,8 @@ constexpr const char* kEnvelopeKeys[] = {"v",     "id",   "method",
   for (ErrorCode code :
        {ErrorCode::kBadRequest, ErrorCode::kUnsupportedVersion,
         ErrorCode::kUnknownMethod, ErrorCode::kInvalidSpec,
-        ErrorCode::kOverloaded, ErrorCode::kInternal}) {
+        ErrorCode::kOverloaded, ErrorCode::kInternal,
+        ErrorCode::kDeadlineExceeded}) {
     if (name == to_string(code)) return code;
   }
   return std::nullopt;
@@ -69,6 +73,33 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kInvalidSpec: return "invalid-spec";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+const char* to_string(FrameReadStatus status) {
+  switch (status) {
+    case FrameReadStatus::kFrame: return "frame";
+    case FrameReadStatus::kEof: return "eof";
+    case FrameReadStatus::kMalformed: return "malformed";
+    case FrameReadStatus::kOversized: return "oversized";
+    case FrameReadStatus::kIdleTimeout: return "idle-timeout";
+    case FrameReadStatus::kStallTimeout: return "stall-timeout";
+    case FrameReadStatus::kStopped: return "stopped";
+    case FrameReadStatus::kDrained: return "drained";
+    case FrameReadStatus::kIoError: return "io-error";
+  }
+  return "?";
+}
+
+const char* to_string(FrameWriteStatus status) {
+  switch (status) {
+    case FrameWriteStatus::kOk: return "ok";
+    case FrameWriteStatus::kTimeout: return "timeout";
+    case FrameWriteStatus::kStopped: return "stopped";
+    case FrameWriteStatus::kPeerGone: return "peer-gone";
+    case FrameWriteStatus::kIoError: return "io-error";
   }
   return "?";
 }
@@ -179,6 +210,17 @@ ParsedRequest parse_request(const std::string& payload) {
     }
   }
 
+  if (const json::Value* deadline = doc->find("deadline_ms");
+      deadline != nullptr) {
+    // Accepted on every method (additive v1 key), enforced where it can
+    // matter — pipeline work. !(x >= 0) also rejects NaN.
+    if (!deadline->is_number() || !(deadline->as_number() >= 0.0)) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'deadline_ms' must be a non-negative number");
+    }
+    request.deadline_ms = deadline->as_number();
+  }
+
   const json::Value* spec = doc->find("spec");
   if (runs_pipeline) {
     if (spec == nullptr) {
@@ -222,6 +264,9 @@ std::string render_request(const Request& request) {
   if (request.method == Method::kStats &&
       request.stats_format == StatsFormat::kPrometheus) {
     envelope["format"] = json::Value(std::string("prometheus"));
+  }
+  if (request.deadline_ms > 0.0) {
+    envelope["deadline_ms"] = json::Value(request.deadline_ms);
   }
   return json::serialize(json::Value(std::move(envelope)));
 }
@@ -344,78 +389,228 @@ void write_frame(std::ostream& out, const std::string& payload) {
   out.flush();
 }
 
-bool read_frame_fd(int fd, std::string* payload, std::string* error) {
+namespace {
+
+using IoClock = std::chrono::steady_clock;
+
+enum class Wait : std::uint8_t {
+  kReady,
+  kTimeout,
+  kStopped,
+  kDrained,
+  kError
+};
+
+/// Poll `fd` for `events` until it is ready, the deadline passes, or a
+/// control pipe fires. nullopt deadline = wait forever; negative control
+/// fds are ignored (poll(2) skips them).
+[[nodiscard]] Wait wait_fd(int fd, short events,
+                           const std::optional<IoClock::time_point>& deadline,
+                           int stop_fd, int drain_fd) {
+  for (;;) {
+    pollfd fds[3] = {
+        {fd, events, 0}, {stop_fd, POLLIN, 0}, {drain_fd, POLLIN, 0}};
+    int timeout = -1;
+    if (deadline.has_value()) {
+      const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+                            *deadline - IoClock::now())
+                            .count();
+      timeout = left < 0 ? 0 : static_cast<int>(left);
+    }
+    const int n = ::poll(fds, 3, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Wait::kError;
+    }
+    if (n == 0) return Wait::kTimeout;
+    if ((fds[1].revents & POLLIN) != 0) return Wait::kStopped;
+    if ((fds[2].revents & POLLIN) != 0) return Wait::kDrained;
+    // POLLHUP/POLLERR on `fd` count as ready: the next read/write call
+    // reports the actual condition (EOF, EPIPE, ...).
+    return Wait::kReady;
+  }
+}
+
+/// send() on sockets (MSG_NOSIGNAL: a vanished peer must surface as an
+/// errno, not SIGPIPE), plain write() on pipes.
+[[nodiscard]] ssize_t send_some(int fd, const char* data, std::size_t size) {
+  const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) return ::write(fd, data, size);
+  return n;
+}
+
+}  // namespace
+
+FrameReadStatus read_frame_fd(int fd, std::string* payload,
+                              std::string* error,
+                              const FrameIoOptions& options) {
   MCM_EXPECTS(payload != nullptr);
   if (error != nullptr) error->clear();
   const auto set_error = [error](const std::string& message) {
     if (error != nullptr) *error = message;
   };
+
+  bool started = false;
+  std::optional<IoClock::time_point> idle_deadline;
+  std::optional<IoClock::time_point> frame_deadline;
+  if (options.idle_timeout_ms >= 0) {
+    idle_deadline = IoClock::now() +
+                    std::chrono::milliseconds(options.idle_timeout_ms);
+  }
+
+  // One poll+read step shared by header and body: 1..want bytes into
+  // `data`, 0 on EOF, -1 on any abort with `abort_status` (and error)
+  // set. The drain pipe is only honored before the frame's first byte —
+  // a started frame is read to completion (bounded by frame_timeout_ms).
+  FrameReadStatus abort_status = FrameReadStatus::kIoError;
+  const auto read_some = [&](char* data, std::size_t want) -> ssize_t {
+    for (;;) {
+      const auto& deadline = started ? frame_deadline : idle_deadline;
+      const int drain_fd = started ? -1 : options.drain_fd;
+      switch (wait_fd(fd, POLLIN, deadline, options.stop_fd, drain_fd)) {
+        case Wait::kReady: break;
+        case Wait::kTimeout:
+          if (started) {
+            abort_status = FrameReadStatus::kStallTimeout;
+            set_error("peer stalled mid-frame for more than " +
+                      std::to_string(options.frame_timeout_ms) + "ms");
+          } else {
+            abort_status = FrameReadStatus::kIdleTimeout;
+          }
+          return -1;
+        case Wait::kStopped:
+          abort_status = FrameReadStatus::kStopped;
+          return -1;
+        case Wait::kDrained:
+          abort_status = FrameReadStatus::kDrained;
+          return -1;
+        case Wait::kError:
+          abort_status = FrameReadStatus::kIoError;
+          set_error(std::string("poll: ") + std::strerror(errno));
+          return -1;
+      }
+      const ssize_t n = ::read(fd, data, want);
+      if (n > 0) {
+        if (!started) {
+          started = true;
+          if (options.frame_timeout_ms >= 0) {
+            frame_deadline =
+                IoClock::now() +
+                std::chrono::milliseconds(options.frame_timeout_ms);
+          }
+        }
+        return n;
+      }
+      if (n == 0) return 0;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // EAGAIN: poll raced another reader / spurious wakeup
+      }
+      abort_status = FrameReadStatus::kIoError;
+      set_error(std::string("read: ") + std::strerror(errno));
+      return -1;
+    }
+  };
+
   // Header: tiny, so per-byte reads are fine.
   std::string header;
   for (;;) {
     char byte = 0;
-    const ssize_t n = ::read(fd, &byte, 1);
+    const ssize_t n = read_some(&byte, 1);
+    if (n < 0) return abort_status;
     if (n == 0) {
-      if (!header.empty()) set_error("truncated frame header");
-      return false;
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      set_error(std::string("read: ") + std::strerror(errno));
-      return false;
+      if (!started) return FrameReadStatus::kEof;
+      set_error("truncated frame header");
+      return FrameReadStatus::kMalformed;
     }
     if (byte == '\n') break;
     if (header.size() > 20) {
       set_error("frame header too long");
-      return false;
+      return FrameReadStatus::kMalformed;
     }
     header.push_back(byte);
   }
   const std::optional<std::uint64_t> length = parse_u64(header);
   if (!length || *length > kMaxFrameBytes) {
     set_error("malformed frame length '" + header + "'");
-    return false;
+    return FrameReadStatus::kMalformed;
+  }
+  if (*length > options.max_frame_bytes) {
+    set_error("frame length " + header + " exceeds the " +
+              std::to_string(options.max_frame_bytes) + "-byte limit");
+    return FrameReadStatus::kOversized;
   }
   // Payload plus the trailing '\n'.
   std::string body(static_cast<std::size_t>(*length) + 1, '\0');
   std::size_t got = 0;
   while (got < body.size()) {
-    const ssize_t n = ::read(fd, body.data() + got, body.size() - got);
+    const ssize_t n = read_some(body.data() + got, body.size() - got);
+    if (n < 0) return abort_status;
     if (n == 0) {
       set_error("truncated frame payload");
-      return false;
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      set_error(std::string("read: ") + std::strerror(errno));
-      return false;
+      return FrameReadStatus::kMalformed;
     }
     got += static_cast<std::size_t>(n);
   }
   if (body.back() != '\n') {
     set_error("missing frame terminator");
-    return false;
+    return FrameReadStatus::kMalformed;
   }
   body.pop_back();
   *payload = std::move(body);
-  return true;
+  return FrameReadStatus::kFrame;
 }
 
-bool write_frame_fd(int fd, const std::string& payload) {
+FrameWriteStatus write_frame_fd(int fd, const std::string& payload,
+                                const FrameIoOptions& options) {
   std::string frame = std::to_string(payload.size());
   frame.push_back('\n');
   frame.append(payload);
   frame.push_back('\n');
+  std::optional<IoClock::time_point> deadline;
+  if (options.frame_timeout_ms >= 0) {
+    deadline = IoClock::now() +
+               std::chrono::milliseconds(options.frame_timeout_ms);
+  }
   std::size_t sent = 0;
   while (sent < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    const ssize_t n = send_some(fd, frame.data() + sent, frame.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
     }
-    sent += static_cast<std::size_t>(n);
+    if (n == 0) return FrameWriteStatus::kIoError;  // cannot happen
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // The deadline only bites on O_NONBLOCK fds — a blocking fd never
+      // reports EAGAIN. The server runs its connections nonblocking.
+      switch (wait_fd(fd, POLLOUT, deadline, options.stop_fd, -1)) {
+        case Wait::kReady: continue;
+        case Wait::kTimeout: return FrameWriteStatus::kTimeout;
+        case Wait::kStopped: return FrameWriteStatus::kStopped;
+        case Wait::kDrained:
+        case Wait::kError: return FrameWriteStatus::kIoError;
+      }
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return FrameWriteStatus::kPeerGone;
+    }
+    return FrameWriteStatus::kIoError;
   }
-  return true;
+  return FrameWriteStatus::kOk;
+}
+
+bool read_frame_fd(int fd, std::string* payload, std::string* error) {
+  switch (read_frame_fd(fd, payload, error, FrameIoOptions{})) {
+    case FrameReadStatus::kFrame: return true;
+    case FrameReadStatus::kEof: return false;  // error left empty
+    default: return false;                     // error set by the typed form
+  }
+}
+
+bool write_frame_fd(int fd, const std::string& payload) {
+  return write_frame_fd(fd, payload, FrameIoOptions{}) ==
+         FrameWriteStatus::kOk;
 }
 
 }  // namespace mcm::svc

@@ -11,16 +11,24 @@
 //   {"v": 1, "id": "r1", "method": "predict", "class": "interactive",
 //    "spec": { ...ScenarioSpec document... }}
 //
-//   v       required; protocol major version, must be 1. Within v1 the
-//           schema only ever grows additively (new optional keys).
-//   id      required string; echoed verbatim in the reply so clients can
-//           match replies to requests.
-//   method  "predict" | "calibrate" | "stats" | "health".
-//   class   optional; "interactive" (default) | "bulk" — the admission
-//           class the token-bucket limiter charges (svc/limiter.hpp).
-//   spec    required for predict/calibrate, rejected for stats/health;
-//           the same ScenarioSpec schema `mcmtool run-scenario` reads.
-//   format  stats only, optional; "json" (default) | "prometheus".
+//   v           required; protocol major version, must be 1. Within v1
+//               the schema only ever grows additively (new optional
+//               keys).
+//   id          required string; echoed verbatim in the reply so clients
+//               can match replies to requests.
+//   method      "predict" | "calibrate" | "stats" | "health".
+//   class       optional; "interactive" (default) | "bulk" — the
+//               admission class the token-bucket limiter charges
+//               (svc/limiter.hpp).
+//   spec        required for predict/calibrate, rejected for
+//               stats/health; the same ScenarioSpec schema `mcmtool
+//               run-scenario` reads.
+//   format      stats only, optional; "json" (default) | "prometheus".
+//   deadline_ms optional non-negative number (additive v1 extension):
+//               the server answers `deadline-exceeded` instead of doing
+//               pipeline work once this budget, counted from request
+//               arrival, is spent — while queued behind admission or
+//               while waiting on another flight's calibration.
 //
 // Reply payload:
 //
@@ -71,6 +79,9 @@ enum class ErrorCode : std::uint8_t {
   kInvalidSpec,         ///< "spec" failed ScenarioSpec validation
   kOverloaded,          ///< shed by admission control (HTTP-429 analogue)
   kInternal,            ///< the pipeline threw while serving the request
+  kDeadlineExceeded,    ///< the request's deadline_ms budget ran out
+                        ///< (server-side, or synthesized by the client
+                        ///< when its own CallOptions deadline expires)
 };
 
 [[nodiscard]] const char* to_string(Method method);
@@ -92,6 +103,11 @@ struct Request {
   Method method = Method::kHealth;
   TrafficClass traffic_class = TrafficClass::kInteractive;
   StatsFormat stats_format = StatsFormat::kJson;
+  /// End-to-end budget in milliseconds, 0 = none. Wired as the optional
+  /// `deadline_ms` request key; the service answers `deadline-exceeded`
+  /// instead of starting (or keeping waiting on) pipeline work once the
+  /// budget is spent.
+  double deadline_ms = 0.0;
   /// Engaged for predict / calibrate.
   std::optional<pipeline::ScenarioSpec> spec;
 };
@@ -144,9 +160,67 @@ struct ParsedRequest {
                               std::string* error);
 void write_frame(std::ostream& out, const std::string& payload);
 
-/// File-descriptor framing for the socket transport. read_frame_fd
-/// returns false on EOF (error empty) or malformed/short input (error
-/// set); write_frame_fd returns false when the peer went away mid-write.
+/// Why a typed fd frame read stopped. Exactly one of these per call;
+/// only kFrame carries a payload.
+enum class FrameReadStatus : std::uint8_t {
+  kFrame,         ///< one complete frame decoded into *payload
+  kEof,           ///< clean EOF between frames
+  kMalformed,     ///< bad length line, truncation mid-frame, bad trailer
+  kOversized,     ///< declared length above FrameIoOptions::max_frame_bytes
+  kIdleTimeout,   ///< idle_timeout_ms passed with no frame started
+  kStallTimeout,  ///< frame_timeout_ms passed mid-frame (slow-loris peer)
+  kStopped,       ///< stop_fd became readable
+  kDrained,       ///< drain_fd became readable while idle between frames
+  kIoError,       ///< read(2)/poll(2) failed (errno in *error)
+};
+[[nodiscard]] const char* to_string(FrameReadStatus status);
+
+/// Why a typed fd frame write stopped short of kOk.
+enum class FrameWriteStatus : std::uint8_t {
+  kOk,        ///< whole frame written
+  kTimeout,   ///< frame_timeout_ms passed with the peer not draining us
+  kStopped,   ///< stop_fd became readable mid-write
+  kPeerGone,  ///< EPIPE/ECONNRESET — the peer vanished
+  kIoError,   ///< any other write(2)/poll(2) failure
+};
+[[nodiscard]] const char* to_string(FrameWriteStatus status);
+
+/// Deadlines and limits for the typed fd framing. All timeouts are
+/// milliseconds; -1 disables. Works for blocking and O_NONBLOCK fds
+/// alike (progress is poll-driven either way).
+struct FrameIoOptions {
+  /// Readable => abort immediately (kStopped). The SocketServer points
+  /// this at its never-consumed self-pipe.
+  int stop_fd = -1;
+  /// Readable => abort, but only while idle *between* frames (kDrained);
+  /// a frame whose first byte arrived is always read to completion.
+  int drain_fd = -1;
+  /// Budget for the first byte of the next frame (connection keepalive).
+  int idle_timeout_ms = -1;
+  /// Budget for the rest of the frame once its first byte arrived — the
+  /// slow-loris guard: a peer that stalls mid-frame is cut off instead
+  /// of pinning its server worker.
+  int frame_timeout_ms = -1;
+  /// Declared lengths above this are rejected as kOversized before any
+  /// allocation. Also the write deadline guard's frame limit.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// File-descriptor framing for the socket transport, typed form:
+/// deadline-aware, EINTR-safe, short-read/short-write-safe. The write
+/// path uses send(MSG_NOSIGNAL) on sockets so a vanished peer surfaces
+/// as kPeerGone instead of SIGPIPE killing the process.
+[[nodiscard]] FrameReadStatus read_frame_fd(int fd, std::string* payload,
+                                            std::string* error,
+                                            const FrameIoOptions& options);
+[[nodiscard]] FrameWriteStatus write_frame_fd(int fd,
+                                              const std::string& payload,
+                                              const FrameIoOptions& options);
+
+/// Convenience wrappers with no deadlines (blocking semantics):
+/// read_frame_fd returns false on EOF (error empty) or malformed/short
+/// input (error set); write_frame_fd returns false when the peer went
+/// away mid-write.
 [[nodiscard]] bool read_frame_fd(int fd, std::string* payload,
                                  std::string* error);
 [[nodiscard]] bool write_frame_fd(int fd, const std::string& payload);

@@ -5,11 +5,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/export.hpp"
@@ -30,6 +34,16 @@ pipeline::RunnerOptions runner_options(obs::MetricsRegistry* registry,
   options.max_retries = max_retries;
   options.observer.metrics = registry;
   return options;
+}
+
+/// Internal control-flow signal: unwinds run_single_flight back to
+/// dispatch, which renders the typed `deadline-exceeded` reply.
+struct DeadlineError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] bool expired(const ClockFn& clock, double deadline_at) {
+  return deadline_at > 0.0 && clock() >= deadline_at;
 }
 
 }  // namespace
@@ -63,12 +77,17 @@ Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_shards),
       admission_(options_.admission, options_.clock),
-      runner_(runner_options(&registry_, options_.max_retries)) {
+      runner_(runner_options(&registry_, options_.max_retries)),
+      clock_(options_.clock ? options_.clock : default_clock()) {
   met_requests_ = &registry_.counter("svc.requests");
   met_shed_ = &registry_.counter("svc.shed");
   met_errors_ = &registry_.counter("svc.errors");
   met_singleflight_ = &registry_.counter("svc.singleflight_hits");
   met_calibrations_ = &registry_.counter("svc.calibrations");
+  met_deadline_exceeded_ = &registry_.counter("svc.deadline_exceeded");
+  met_drained_ = &registry_.counter("svc.drained");
+  met_slow_client_drops_ = &registry_.counter("svc.slow_client_drops");
+  met_cache_load_rejected_ = &registry_.counter("cache.load_rejected");
   met_shard_hits_.reserve(cache_.shard_count());
   met_shard_misses_.reserve(cache_.shard_count());
   for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
@@ -85,15 +104,22 @@ std::string Service::handle(const std::string& payload) {
     met_errors_->add();
     return render_error_reply(parsed.id, parsed.error);
   }
-  return render_reply(dispatch(*parsed.request));
+  const Request& request = *parsed.request;
+  const double deadline_at = request.deadline_ms > 0.0
+                                 ? clock_() + request.deadline_ms / 1000.0
+                                 : 0.0;
+  return render_reply(dispatch(request, deadline_at));
 }
 
 Reply Service::handle_request(const Request& request) {
   met_requests_->add();
-  return dispatch(request);
+  const double deadline_at = request.deadline_ms > 0.0
+                                 ? clock_() + request.deadline_ms / 1000.0
+                                 : 0.0;
+  return dispatch(request, deadline_at);
 }
 
-Reply Service::dispatch(const Request& request) {
+Reply Service::dispatch(const Request& request, double deadline_at) {
   Reply reply;
   reply.id = request.id;
   try {
@@ -102,7 +128,8 @@ Reply Service::dispatch(const Request& request) {
         json::Value::Object result;
         result["protocol"] =
             json::Value(static_cast<double>(kProtocolVersion));
-        result["status"] = json::Value(std::string("ok"));
+        result["status"] = json::Value(
+            std::string(draining() ? "draining" : "ok"));
         reply.ok = true;
         reply.result = json::Value(std::move(result));
         return reply;
@@ -113,6 +140,13 @@ Reply Service::dispatch(const Request& request) {
         return reply;
       case Method::kPredict:
       case Method::kCalibrate:
+        // A request that arrives with its budget already spent (queued
+        // behind a slow transport, or the client lowballed the deadline)
+        // is answered immediately — no admission token, no pipeline.
+        if (expired(clock_, deadline_at)) {
+          throw DeadlineError(
+              "deadline expired before the request was scheduled");
+        }
         if (!admission_.admit(request.traffic_class)) {
           met_shed_->add();
           reply.error = {
@@ -121,8 +155,13 @@ Reply Service::dispatch(const Request& request) {
                   to_string(request.traffic_class) + "'"};
           return reply;
         }
-        return run_pipeline(request);
+        return run_pipeline(request, deadline_at);
     }
+  } catch (const DeadlineError& error) {
+    met_deadline_exceeded_->add();
+    reply.ok = false;
+    reply.result = json::Value();
+    reply.error = {ErrorCode::kDeadlineExceeded, error.what()};
   } catch (const std::exception& error) {
     met_errors_->add();
     reply.ok = false;
@@ -132,7 +171,7 @@ Reply Service::dispatch(const Request& request) {
   return reply;
 }
 
-Reply Service::run_pipeline(const Request& request) {
+Reply Service::run_pipeline(const Request& request, double deadline_at) {
   MCM_EXPECTS(request.spec.has_value());
   pipeline::ScenarioSpec spec = *request.spec;
   if (request.method == Method::kCalibrate) {
@@ -144,7 +183,8 @@ Reply Service::run_pipeline(const Request& request) {
     spec.explicit_placements.clear();
     spec.inject_failures.clear();
   }
-  const pipeline::ScenarioResult result = run_single_flight(spec);
+  const pipeline::ScenarioResult result =
+      run_single_flight(spec, deadline_at);
 
   Reply reply;
   reply.id = request.id;
@@ -174,7 +214,7 @@ Reply Service::run_pipeline(const Request& request) {
 }
 
 pipeline::ScenarioResult Service::run_single_flight(
-    const pipeline::ScenarioSpec& spec) {
+    const pipeline::ScenarioSpec& spec, double deadline_at) {
   if (!spec.cacheable()) {
     // In-process callers can hand over platform-override specs the wire
     // cannot express; those bypass sharding (nothing to key on).
@@ -193,11 +233,35 @@ pipeline::ScenarioResult Service::run_single_flight(
     if (auto it = flights_.find(fingerprint); it != flights_.end()) {
       // Follower: wait for the leader, then re-check the shard — the
       // leader may have failed without populating it, in which case the
-      // next lap elects a new leader.
+      // next lap elects a new leader. A deadline bounds the wait: an
+      // expired follower answers `deadline-exceeded` instead of burning
+      // its worker on a calibration it can no longer use in time.
       const std::shared_ptr<Flight> flight = it->second;
       met_singleflight_->add();
-      flight->cv.wait(lock, [&] { return flight->done; });
+      if (deadline_at <= 0.0) {
+        flight->cv.wait(lock, [&] { return flight->done; });
+        continue;
+      }
+      for (;;) {
+        if (flight->done) break;
+        const double remaining = deadline_at - clock_();
+        if (remaining <= 0.0) {
+          throw DeadlineError(
+              "deadline expired while waiting for an in-flight "
+              "calibration");
+        }
+        // Re-derive the budget from the (injectable) clock after every
+        // wall-clock wait slice.
+        flight->cv.wait_for(lock,
+                            std::chrono::duration<double>(remaining),
+                            [&] { return flight->done; });
+      }
       continue;
+    }
+    // Leader-to-be: don't start a calibration whose requester already
+    // timed out.
+    if (expired(clock_, deadline_at)) {
+      throw DeadlineError("deadline expired before calibration started");
     }
     const auto flight = std::make_shared<Flight>();
     flights_.emplace(fingerprint, flight);
@@ -221,6 +285,40 @@ void Service::finish_flight(const std::string& fingerprint,
   flight->done = true;
   flights_.erase(fingerprint);
   flight->cv.notify_all();
+}
+
+void Service::record_slow_client_drop() { met_slow_client_drops_->add(); }
+
+void Service::record_drained() { met_drained_->add(); }
+
+pipeline::CacheFileStatus Service::load_cache_file(const std::string& path,
+                                                   std::string* error) {
+  // Load into a scratch cache first: a rejected file must leave every
+  // shard untouched.
+  pipeline::CalibrationCache merged;
+  const pipeline::CacheFileStatus status =
+      merged.load_file_status(path, error);
+  if (status != pipeline::CacheFileStatus::kOk) {
+    if (status != pipeline::CacheFileStatus::kMissing &&
+        status != pipeline::CacheFileStatus::kIoError) {
+      met_cache_load_rejected_->add();
+    }
+    return status;
+  }
+  for (auto& [key, entry] : merged.snapshot()) {
+    cache_.shard(cache_.shard_index(key)).put(key, std::move(entry));
+  }
+  return status;
+}
+
+bool Service::save_cache_file(const std::string& path, std::string* error) {
+  pipeline::CalibrationCache merged;
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
+    for (auto& [key, entry] : cache_.shard(i).snapshot()) {
+      merged.put(key, std::move(entry));
+    }
+  }
+  return merged.save_file(path, error);
 }
 
 json::Value Service::stats_result(StatsFormat format) {
@@ -279,6 +377,12 @@ bool SocketServer::start(std::string* error) {
         fd = -1;
       }
     }
+    for (int& fd : drain_pipe_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
     return false;
   };
   if (running()) return fail("server already running");
@@ -307,12 +411,23 @@ bool SocketServer::start(std::string* error) {
   if (::pipe(stop_pipe_) != 0) {
     return fail(std::string("pipe: ") + std::strerror(errno));
   }
+  if (::pipe(drain_pipe_) != 0) {
+    return fail(std::string("pipe: ") + std::strerror(errno));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(done_mutex_);
+    workers_done_ = false;
+  }
   pool_ = std::make_unique<runtime::ThreadPool>(options_.workers);
   // The pool's one dispatch IS the accept loop; it returns when the
   // self-pipe fires. Issued from a private thread because run_on_all
-  // blocks its caller.
+  // blocks its caller. Completion is flagged through done_cv_ so drain()
+  // can wait for it with a budget (std::thread has no timed join).
   dispatcher_ = std::thread([this] {
     pool_->run_on_all([this](std::size_t) { worker_loop(); });
+    const std::lock_guard<std::mutex> lock(done_mutex_);
+    workers_done_ = true;
+    done_cv_.notify_all();
   });
   return true;
 }
@@ -331,17 +446,43 @@ void SocketServer::stop() {
   ::close(stop_pipe_[0]);
   ::close(stop_pipe_[1]);
   stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::close(drain_pipe_[0]);
+  ::close(drain_pipe_[1]);
+  drain_pipe_[0] = drain_pipe_[1] = -1;
   ::unlink(options_.path.c_str());
+}
+
+bool SocketServer::drain(int timeout_ms) {
+  if (!running()) return true;
+  service_.set_draining(true);
+  // Like the stop byte, never consumed: the accept polls exit, and idle
+  // connections (waiting between frames) close. A connection mid-frame
+  // or mid-pipeline finishes its request first — that is the point of
+  // draining.
+  const char byte = 'd';
+  (void)!::write(drain_pipe_[1], &byte, 1);
+  bool finished = false;
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    finished = done_cv_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms),
+        [&] { return workers_done_; });
+  }
+  stop();
+  return finished;
 }
 
 void SocketServer::worker_loop() {
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    pollfd fds[3] = {{listen_fd_, POLLIN, 0},
+                     {stop_pipe_[0], POLLIN, 0},
+                     {drain_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 3, -1) < 0) {
       if (errno == EINTR) continue;
       return;
     }
     if ((fds[1].revents & POLLIN) != 0) return;
+    if ((fds[2].revents & POLLIN) != 0) return;  // draining: stop accepting
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;  // lost the accept race to another worker
     serve_connection(conn);
@@ -350,23 +491,56 @@ void SocketServer::worker_loop() {
 }
 
 void SocketServer::serve_connection(int fd) {
+  // Nonblocking connection: every read AND write is poll-driven, so the
+  // frame deadlines bite on both directions (a blocking write to a
+  // full-buffer peer would otherwise pin this worker past any budget).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  FrameIoOptions io;
+  io.stop_fd = stop_pipe_[0];
+  io.drain_fd = drain_pipe_[0];
+  io.idle_timeout_ms = options_.idle_timeout_ms;
+  io.frame_timeout_ms = options_.frame_timeout_ms;
+  io.max_frame_bytes = options_.max_frame_bytes;
   std::string payload;
   std::string error;
   for (;;) {
-    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) continue;
-      return;
-    }
-    if ((fds[1].revents & POLLIN) != 0) return;
-    if (!read_frame_fd(fd, &payload, &error)) {
-      if (!error.empty()) {
+    switch (read_frame_fd(fd, &payload, &error, io)) {
+      case FrameReadStatus::kFrame: break;
+      case FrameReadStatus::kMalformed:
+      case FrameReadStatus::kOversized:
+        // Typed goodbye; framing has no resync point, so close after.
         (void)write_frame_fd(
-            fd, render_error_reply("", {ErrorCode::kBadRequest, error}));
-      }
+            fd, render_error_reply("", {ErrorCode::kBadRequest, error}),
+            io);
+        return;
+      case FrameReadStatus::kStallTimeout:
+        // Slow-loris peer: no reply (it is not draining bytes anyway).
+        service_.record_slow_client_drop();
+        return;
+      case FrameReadStatus::kEof:
+      case FrameReadStatus::kIdleTimeout:
+      case FrameReadStatus::kStopped:
+      case FrameReadStatus::kDrained:
+      case FrameReadStatus::kIoError:
+        return;
+    }
+    switch (write_frame_fd(fd, service_.handle(payload), io)) {
+      case FrameWriteStatus::kOk: break;
+      case FrameWriteStatus::kTimeout:
+        service_.record_slow_client_drop();
+        return;
+      case FrameWriteStatus::kStopped:
+      case FrameWriteStatus::kPeerGone:
+      case FrameWriteStatus::kIoError:
+        return;
+    }
+    if (service_.draining()) {
+      // The in-flight request finished and its reply is out; close the
+      // connection instead of waiting for another frame.
+      service_.record_drained();
       return;
     }
-    if (!write_frame_fd(fd, service_.handle(payload))) return;
   }
 }
 

@@ -29,10 +29,19 @@
 //   svc.singleflight_hits  waits coalesced onto another flight's leader
 //   svc.calibrations       calibrations actually executed (cache misses
 //                          that ran the calibrate stage)
+//   svc.deadline_exceeded  requests answered `deadline-exceeded` because
+//                          their deadline_ms budget ran out
+//   svc.drained            requests completed while draining (their
+//                          connection was then closed gracefully)
+//   svc.slow_client_drops  connections cut by the slow-client guards
+//                          (stalled mid-frame or not draining replies)
+//   cache.load_rejected    persisted cache files refused at load
+//                          (truncated / corrupt / malformed)
 //   svc.cache.shard<i>.{hits,misses}  per-shard lookup outcomes
 // plus everything the pipeline Runner counts (pipeline.*, bench.*).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <iosfwd>
@@ -101,6 +110,30 @@ class Service {
   }
   [[nodiscard]] ShardedCalibrationCache& cache() { return cache_; }
 
+  /// Graceful-drain flag. While set, `health` reports "draining" and the
+  /// transports close each connection after its current reply instead of
+  /// keeping it alive. Set by SocketServer::drain.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Transport-side accounting hooks (see the counter table above).
+  void record_slow_client_drop();
+  void record_drained();
+
+  /// Crash-safe persistence of the sharded calibration cache
+  /// (CalibrationCache file format, all shards merged into one file;
+  /// entries are redistributed to their shards on load). Anything but
+  /// kOk leaves the shards unchanged; kTruncated/kChecksumMismatch/
+  /// kMalformed additionally count cache.load_rejected.
+  [[nodiscard]] pipeline::CacheFileStatus load_cache_file(
+      const std::string& path, std::string* error = nullptr);
+  [[nodiscard]] bool save_cache_file(const std::string& path,
+                                     std::string* error = nullptr);
+
  private:
   /// A calibration in flight; followers wait on `cv` under
   /// flights_mutex_ until the leader sets done.
@@ -109,10 +142,14 @@ class Service {
     bool done = false;
   };
 
-  [[nodiscard]] Reply dispatch(const Request& request);
-  [[nodiscard]] Reply run_pipeline(const Request& request);
+  /// deadline_at is an absolute limiter-clock instant (seconds), 0 = no
+  /// deadline; computed once at handle_request entry so queueing and
+  /// single-flight waits all burn the same budget.
+  [[nodiscard]] Reply dispatch(const Request& request, double deadline_at);
+  [[nodiscard]] Reply run_pipeline(const Request& request,
+                                   double deadline_at);
   [[nodiscard]] pipeline::ScenarioResult run_single_flight(
-      const pipeline::ScenarioSpec& spec);
+      const pipeline::ScenarioSpec& spec, double deadline_at);
   void finish_flight(const std::string& fingerprint,
                      const std::shared_ptr<Flight>& flight);
   [[nodiscard]] json::Value stats_result(StatsFormat format);
@@ -122,6 +159,10 @@ class Service {
   ShardedCalibrationCache cache_;
   AdmissionController admission_;
   pipeline::Runner runner_;
+  /// The limiter's clock, shared by deadline enforcement so tests can
+  /// freeze or step time.
+  ClockFn clock_;
+  std::atomic<bool> draining_{false};
 
   std::mutex flights_mutex_;
   std::map<std::string, std::shared_ptr<Flight>> flights_;
@@ -131,6 +172,10 @@ class Service {
   obs::Counter* met_errors_;
   obs::Counter* met_singleflight_;
   obs::Counter* met_calibrations_;
+  obs::Counter* met_deadline_exceeded_;
+  obs::Counter* met_drained_;
+  obs::Counter* met_slow_client_drops_;
+  obs::Counter* met_cache_load_rejected_;
   std::vector<obs::Counter*> met_shard_hits_;
   std::vector<obs::Counter*> met_shard_misses_;
 };
@@ -149,13 +194,24 @@ struct SocketServerOptions {
   /// Connection-handler workers (one blocked connection per worker).
   std::size_t workers = 2;
   int backlog = 16;
+  /// Slow-client guards (milliseconds, -1 disables). idle: budget for a
+  /// kept-alive connection to start its next frame; frame: budget to
+  /// finish a frame once its first byte arrived (and to drain a reply
+  /// write) — the slow-loris cap on how long one stalled socket can hold
+  /// a worker.
+  int idle_timeout_ms = -1;
+  int frame_timeout_ms = 10000;
+  /// Frames above this are refused with a typed bad-request reply.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
 };
 
 /// Accept loop over a Unix-domain socket. Workers are a
 /// runtime::ThreadPool whose single run_on_all dispatch is the accept
 /// loop itself, issued from an internal thread; stop() wakes the workers
 /// through a self-pipe (closing the listen fd alone would not interrupt
-/// a blocked poll portably).
+/// a blocked poll portably). drain() is the graceful variant: stop
+/// accepting, let in-flight frames finish (their replies still bounded
+/// by frame_timeout_ms), then stop.
 class SocketServer {
  public:
   SocketServer(Service& service, SocketServerOptions options);
@@ -168,6 +224,12 @@ class SocketServer {
   /// socket cannot be set up; the server is then inert.
   [[nodiscard]] bool start(std::string* error = nullptr);
   void stop();
+  /// Graceful shutdown with a bounded budget: flags the service as
+  /// draining, wakes idle connections, waits up to `timeout_ms` for the
+  /// workers to finish their in-flight requests, then stop()s. Returns
+  /// true when every worker drained within the budget, false when the
+  /// hard stop had to cut work off.
+  [[nodiscard]] bool drain(int timeout_ms);
   [[nodiscard]] bool running() const { return dispatcher_.joinable(); }
 
  private:
@@ -178,8 +240,15 @@ class SocketServer {
   SocketServerOptions options_;
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
+  int drain_pipe_[2] = {-1, -1};
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::thread dispatcher_;
+  /// drain() needs a *timed* wait for worker completion, which
+  /// std::thread cannot do — the dispatcher flags completion through
+  /// this cv instead.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool workers_done_ = false;
 };
 
 }  // namespace mcm::svc

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 namespace mcm::pipeline {
@@ -160,6 +164,130 @@ TEST(CalibrationCache, FileRoundTripAndMissingFile) {
 
   EXPECT_FALSE(loaded.load_file(path + ".does-not-exist", &error));
   EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------ crash-safe persistence
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(CacheFile, TypedStatusRoundTripAndMissing) {
+  const std::string path =
+      testing::TempDir() + "/mcm_cache_v2_roundtrip.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  std::string error;
+  ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  EXPECT_TRUE(slurp(path).rfind("mcm-cache-v2 ", 0) == 0)
+      << "saved files carry the checksummed v2 header";
+
+  CalibrationCache loaded;
+  EXPECT_EQ(loaded.load_file_status(path, &error), CacheFileStatus::kOk)
+      << error;
+  expect_entry_equal(*loaded.find("platform=henri"), make_entry());
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.load_file_status(path, &error),
+            CacheFileStatus::kMissing);
+  // No save_file tmp droppings left behind.
+  EXPECT_EQ(slurp(path + ".tmp." + std::to_string(::getpid())), "");
+}
+
+TEST(CacheFile, EveryPrefixOfASavedFileIsRejectedAsPartial) {
+  // The kill-during-save contract: whatever prefix of the file a crash
+  // leaves behind, the loader refuses it and the cache stays unchanged.
+  const std::string path =
+      testing::TempDir() + "/mcm_cache_v2_prefix.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  std::string error;
+  ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  const std::string full = slurp(path);
+  ASSERT_GT(full.size(), 2u);
+
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    spill(path, full.substr(0, keep));
+    CalibrationCache loaded;
+    loaded.put("sentinel", make_entry());
+    const CacheFileStatus status = loaded.load_file_status(path, &error);
+    EXPECT_NE(status, CacheFileStatus::kOk) << "prefix length " << keep;
+    EXPECT_NE(status, CacheFileStatus::kMissing)
+        << "prefix length " << keep;
+    EXPECT_EQ(loaded.size(), 1u)
+        << "a rejected file must leave the cache unchanged (prefix "
+        << keep << ")";
+    EXPECT_TRUE(loaded.find("sentinel"));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheFile, SingleFlippedPayloadByteFailsTheChecksum) {
+  const std::string path =
+      testing::TempDir() + "/mcm_cache_v2_bitflip.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  std::string error;
+  ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  std::string bytes = slurp(path);
+  const std::size_t payload_start = bytes.find('\n') + 1;
+  bytes[payload_start + (bytes.size() - payload_start) / 2] ^= 0x01;
+  spill(path, bytes);
+
+  CalibrationCache loaded;
+  EXPECT_EQ(loaded.load_file_status(path, &error),
+            CacheFileStatus::kChecksumMismatch)
+      << error;
+  EXPECT_NE(error.find("torn or corrupt"), std::string::npos) << error;
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheFile, LegacyHeaderlessFilesStillLoad) {
+  const std::string path =
+      testing::TempDir() + "/mcm_cache_v1_legacy.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  spill(path, cache.to_json());  // bare v1 JSON, no header
+
+  CalibrationCache loaded;
+  std::string error;
+  EXPECT_EQ(loaded.load_file_status(path, &error), CacheFileStatus::kOk)
+      << error;
+  expect_entry_equal(*loaded.find("platform=henri"), make_entry());
+  std::remove(path.c_str());
+}
+
+TEST(CacheFile, TrailingGarbageAfterThePayloadIsMalformed) {
+  const std::string path =
+      testing::TempDir() + "/mcm_cache_v2_trailing.json";
+  CalibrationCache cache;
+  cache.put("platform=henri", make_entry());
+  std::string error;
+  ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  spill(path, slurp(path) + "extra");
+
+  CalibrationCache loaded;
+  EXPECT_EQ(loaded.load_file_status(path, &error),
+            CacheFileStatus::kMalformed)
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(CacheFile, SnapshotCopiesEveryEntry) {
+  CalibrationCache cache;
+  cache.put("a", make_entry());
+  cache.put("b", make_entry());
+  const auto entries = cache.snapshot();
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.count("a"), 1u);
+  EXPECT_EQ(entries.count("b"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// Kill-during-save chaos for the persisted calibration cache, at the
+// Service level: whatever byte prefix a crash leaves behind, a reviving
+// service either loads a complete previous snapshot or rejects the file
+// with a typed status and starts cold — never a partial cache.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "pipeline/spec.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::svc {
+namespace {
+
+double counter(const Service& service, const std::string& name) {
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return static_cast<double>(value);
+  }
+  return 0.0;
+}
+
+pipeline::ScenarioSpec calibration_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "chaos-cache";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// A warm service's saved cache file and its bytes.
+std::string saved_cache_bytes(const std::string& path) {
+  Service service;
+  EXPECT_TRUE(
+      service.handle_request([] {
+        Request request;
+        request.id = "warm";
+        request.method = Method::kPredict;
+        request.spec = calibration_spec();
+        return request;
+      }())
+          .ok);
+  std::string error;
+  EXPECT_TRUE(service.save_cache_file(path, &error)) << error;
+  return slurp(path);
+}
+
+TEST(ChaosCache, EveryKillDuringSavePrefixIsRejectedNeverPartial) {
+  const std::string path = testing::TempDir() + "mcm-chaos-cache-" +
+                           std::to_string(::getpid()) + ".json";
+  const std::string full = saved_cache_bytes(path);
+  ASSERT_GT(full.size(), 64u);
+
+  // Sample prefixes densely at the edges (header, trailer) and with a
+  // stride through the payload — a per-byte sweep of a multi-KB file
+  // adds nothing but runtime.
+  for (std::size_t keep = 0; keep < full.size();
+       keep += (keep < 64 || keep + 64 > full.size()) ? 1 : 37) {
+    spill(path, full.substr(0, keep));
+    Service revived;
+    std::string error;
+    const pipeline::CacheFileStatus status =
+        revived.load_cache_file(path, &error);
+    EXPECT_NE(status, pipeline::CacheFileStatus::kOk)
+        << "prefix " << keep << " of " << full.size();
+    EXPECT_EQ(revived.cache().size(), 0u)
+        << "no partial entries may load (prefix " << keep << ")";
+    EXPECT_EQ(counter(revived, "cache.load_rejected"), 1.0)
+        << "prefix " << keep;
+    EXPECT_FALSE(error.empty()) << "prefix " << keep;
+  }
+
+  // The complete file still loads.
+  spill(path, full);
+  Service revived;
+  std::string error;
+  EXPECT_EQ(revived.load_cache_file(path, &error),
+            pipeline::CacheFileStatus::kOk)
+      << error;
+  EXPECT_EQ(revived.cache().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosCache, CrashBeforeRenameLeavesThePreviousSnapshotLoadable) {
+  const std::string path = testing::TempDir() + "mcm-chaos-cache-old-" +
+                           std::to_string(::getpid()) + ".json";
+  const std::string full = saved_cache_bytes(path);
+
+  // A crash mid-save dies while writing the *temp* file; the real path
+  // is untouched until the atomic rename. Simulate the litter.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  spill(tmp, full.substr(0, full.size() / 2));
+
+  Service revived;
+  std::string error;
+  EXPECT_EQ(revived.load_cache_file(path, &error),
+            pipeline::CacheFileStatus::kOk)
+      << error;
+  EXPECT_EQ(revived.cache().size(), 1u)
+      << "the previous complete snapshot must survive a crashed save";
+  EXPECT_EQ(counter(revived, "cache.load_rejected"), 0.0);
+  std::remove(tmp.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(ChaosCache, SaveLoadRoundTripServesWarmPredictions) {
+  const std::string path = testing::TempDir() + "mcm-chaos-cache-rt-" +
+                           std::to_string(::getpid()) + ".json";
+  (void)saved_cache_bytes(path);
+
+  Service revived;
+  std::string error;
+  ASSERT_EQ(revived.load_cache_file(path, &error),
+            pipeline::CacheFileStatus::kOk)
+      << error;
+  Request request;
+  request.id = "warm2";
+  request.method = Method::kPredict;
+  request.spec = calibration_spec();
+  const Reply reply = revived.handle_request(request);
+  ASSERT_TRUE(reply.ok) << reply.error.message;
+  EXPECT_EQ(reply.result.find("cache_hit")->as_bool(), true);
+  EXPECT_EQ(counter(revived, "svc.calibrations"), 0.0)
+      << "a persisted calibration must not be recomputed";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcm::svc

@@ -1,0 +1,201 @@
+// Client-side resilience chaos: reconnect after a server restart,
+// retry/backoff against sheds, the non-idempotent no-retry guard, and
+// the synthesized client-side deadline reply (docs/service.md).
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::svc {
+namespace {
+
+double counter(const Service& service, const std::string& name) {
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return static_cast<double>(value);
+  }
+  return 0.0;
+}
+
+std::string unique_path(const std::string& tag) {
+  return "/tmp/mcm-chaosc-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+pipeline::ScenarioSpec calibration_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "chaos-client";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+/// A server that accepts connections and never replies — the black hole
+/// every timeout path falls into. Counts accepted connections so tests
+/// can assert how many attempts actually reached it.
+class BlackHole {
+ public:
+  explicit BlackHole(const std::string& path) : path_(path) {
+    ::unlink(path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    acceptor_ = std::thread([this] {
+      while (!stopping_.load()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, 50) <= 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        accepted_.fetch_add(1);
+        held_.push_back(fd);  // keep open, never reply
+      }
+    });
+  }
+  ~BlackHole() {
+    stopping_.store(true);
+    acceptor_.join();
+    for (const int fd : held_) ::close(fd);
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  [[nodiscard]] int accepted() const { return accepted_.load(); }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> accepted_{0};
+  std::vector<int> held_;
+};
+
+TEST(ChaosClient, ReconnectsAfterTheServerRestarts) {
+  Service service;
+  const std::string path = unique_path("restart");
+  std::string error;
+
+  auto server1 = std::make_unique<SocketServer>(
+      service, SocketServerOptions{path});
+  ASSERT_TRUE(server1->start(&error)) << error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+  ASSERT_TRUE(client->health(&error)) << error;
+
+  // The server dies and comes back on the same path; the client's old
+  // connection is dead.
+  server1->stop();
+  SocketServer server2(service, SocketServerOptions{path});
+  ASSERT_TRUE(server2.start(&error)) << error;
+
+  Request request;
+  request.method = Method::kHealth;
+  CallOptions call;
+  call.retry.max_retries = 2;
+  call.retry_pause_ms = 5.0;
+  const auto reply = client->call(std::move(request), call, &error);
+  ASSERT_TRUE(reply) << error;
+  EXPECT_TRUE(reply->ok) << "retry must reconnect to the new server";
+  server2.stop();
+}
+
+TEST(ChaosClient, ShedsAreRetriedAndTheLastShedIsReturned) {
+  ServiceOptions options;
+  options.admission.bulk = {1.0, 0.0};  // one token, never refilled
+  options.clock = [] { return 0.0; };
+  Service service(options);
+  const std::string path = unique_path("shed");
+  SocketServer server(service, SocketServerOptions{path});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+
+  // The only bulk token.
+  const auto first = client->predict(calibration_spec(),
+                                     TrafficClass::kBulk, &error);
+  ASSERT_TRUE(first) << error;
+  ASSERT_TRUE(first->ok) << first->error.message;
+
+  Request request;
+  request.method = Method::kPredict;
+  request.traffic_class = TrafficClass::kBulk;
+  request.spec = calibration_spec();
+  CallOptions call;
+  call.retry.max_retries = 2;
+  call.retry_pause_ms = 1.0;
+  const auto shed = client->call(std::move(request), call, &error);
+  ASSERT_TRUE(shed) << error;
+  EXPECT_FALSE(shed->ok);
+  EXPECT_EQ(shed->error.code, ErrorCode::kOverloaded)
+      << "exhausted retries surface the last shed, not a transport error";
+  EXPECT_EQ(counter(service, "svc.shed"), 3.0)
+      << "every attempt reached the server and was shed";
+  server.stop();
+}
+
+TEST(ChaosClient, NonIdempotentRequestsAreNeverRetriedAfterSend) {
+  const std::string path = unique_path("noretry");
+  BlackHole hole(path);
+  std::string error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+
+  Request request;
+  request.method = Method::kHealth;
+  CallOptions call;
+  call.retry.timeout = Seconds{0.05};
+  call.retry.max_retries = 3;
+  call.idempotent = false;
+  const auto reply = client->call(std::move(request), call, &error);
+  EXPECT_FALSE(reply) << "a swallowed non-idempotent request must fail";
+  EXPECT_NE(error.find("non-idempotent"), std::string::npos) << error;
+  EXPECT_EQ(hole.accepted(), 1)
+      << "the request must not have been replayed";
+}
+
+TEST(ChaosClient, ClientDeadlineSynthesizesTheTypedReply) {
+  const std::string path = unique_path("deadline");
+  BlackHole hole(path);
+  std::string error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+
+  Request request;
+  request.id = "dl";
+  request.method = Method::kHealth;
+  CallOptions call;
+  call.deadline_ms = 150.0;
+  call.retry.timeout = Seconds{0.05};
+  call.retry.max_retries = 50;  // the deadline, not the count, ends it
+  call.retry_pause_ms = 1.0;
+  const auto reply = client->call(std::move(request), call, &error);
+  ASSERT_TRUE(reply) << error;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->id, "dl");
+  EXPECT_EQ(reply->error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(reply->error.message.find("client deadline"),
+            std::string::npos)
+      << reply->error.message;
+}
+
+}  // namespace
+}  // namespace mcm::svc

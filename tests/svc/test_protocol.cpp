@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <csignal>
 #include <sstream>
 #include <vector>
 
@@ -73,6 +76,119 @@ TEST(Framing, OversizedLengthIsRejectedWithoutAllocating) {
   std::string error;
   EXPECT_FALSE(read_frame(stream, &payload, &error));
   EXPECT_FALSE(error.empty());
+}
+
+// ----------------------------------------------------- typed fd framing
+
+/// A pipe whose write end feeds read_frame_fd; close_write() simulates
+/// the peer vanishing.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_write();
+    if (fds[0] >= 0) ::close(fds[0]);
+  }
+  void feed(const std::string& bytes) {
+    ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void close_write() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+};
+
+TEST(TypedFraming, MalformedFrameCorpusGetsTypedStatuses) {
+  struct Case {
+    const char* bytes;
+    FrameReadStatus status;
+  };
+  // A zero-length frame ("0\n\n") is a *valid* frame carrying an empty
+  // payload — the service layer turns it into a bad-request reply.
+  const Case corpus[] = {
+      {"0\n\n", FrameReadStatus::kFrame},
+      {"not-a-length\n{}\n", FrameReadStatus::kMalformed},
+      {"-3\nabc\n", FrameReadStatus::kMalformed},
+      {"12abc\nxxxxxxxxxxxx\n", FrameReadStatus::kMalformed},
+      {"40\nhalf", FrameReadStatus::kMalformed},  // truncated payload
+      {"999999999999999999999\nx\n", FrameReadStatus::kMalformed},
+      {"", FrameReadStatus::kEof},
+  };
+  for (const Case& test : corpus) {
+    Pipe pipe;
+    pipe.feed(test.bytes);
+    pipe.close_write();
+    std::string payload;
+    std::string error;
+    EXPECT_EQ(read_frame_fd(pipe.fds[0], &payload, &error,
+                            FrameIoOptions{}),
+              test.status)
+        << '"' << test.bytes << '"';
+    if (test.status != FrameReadStatus::kFrame &&
+        test.status != FrameReadStatus::kEof) {
+      EXPECT_FALSE(error.empty()) << '"' << test.bytes << '"';
+    }
+  }
+}
+
+TEST(TypedFraming, FrameAboveTheConfiguredLimitIsOversized) {
+  Pipe pipe;
+  pipe.feed("1024\n");  // bigger than the 16-byte cap below
+  FrameIoOptions options;
+  options.max_frame_bytes = 16;
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(read_frame_fd(pipe.fds[0], &payload, &error, options),
+            FrameReadStatus::kOversized);
+  EXPECT_NE(error.find("16-byte limit"), std::string::npos) << error;
+}
+
+TEST(TypedFraming, MidFrameStallHitsTheFrameTimeout) {
+  Pipe pipe;
+  pipe.feed("64\npartial");  // frame started, never finished
+  FrameIoOptions options;
+  options.frame_timeout_ms = 30;
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(read_frame_fd(pipe.fds[0], &payload, &error, options),
+            FrameReadStatus::kStallTimeout);
+  EXPECT_NE(error.find("stalled mid-frame"), std::string::npos) << error;
+}
+
+TEST(TypedFraming, IdleConnectionHitsTheIdleTimeoutBeforeAnyByte) {
+  Pipe pipe;  // nothing written, writer still open
+  FrameIoOptions options;
+  options.idle_timeout_ms = 30;
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(read_frame_fd(pipe.fds[0], &payload, &error, options),
+            FrameReadStatus::kIdleTimeout);
+}
+
+TEST(TypedFraming, RoundTripsThroughAnFdPair) {
+  Pipe pipe;
+  ASSERT_EQ(write_frame_fd(pipe.fds[1], "hello\nframe", FrameIoOptions{}),
+            FrameWriteStatus::kOk);
+  std::string payload;
+  std::string error;
+  ASSERT_EQ(read_frame_fd(pipe.fds[0], &payload, &error, FrameIoOptions{}),
+            FrameReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(payload, "hello\nframe");
+}
+
+TEST(TypedFraming, WriteToAClosedReaderReportsPeerGoneNotSigpipe) {
+  Pipe pipe;
+  ::close(pipe.fds[0]);
+  pipe.fds[0] = -1;
+  // Must not raise SIGPIPE (the write path uses MSG_NOSIGNAL on sockets
+  // and the test harness would die on an unhandled signal on pipes).
+  signal(SIGPIPE, SIG_IGN);
+  EXPECT_EQ(write_frame_fd(pipe.fds[1], "x", FrameIoOptions{}),
+            FrameWriteStatus::kPeerGone);
 }
 
 // --------------------------------------------------------------- requests
@@ -179,6 +295,37 @@ TEST(RequestCodec, NonJsonPayloadIsBadRequest) {
   EXPECT_EQ(parse_request("not json at all").error.code,
             ErrorCode::kBadRequest);
   EXPECT_EQ(parse_request("[1, 2]").error.code, ErrorCode::kBadRequest);
+}
+
+TEST(RequestCodec, DeadlineRoundTripsAndDefaultsToNone) {
+  Request request;
+  request.id = "d1";
+  request.method = Method::kPredict;
+  request.spec = sample_spec();
+  request.deadline_ms = 250.0;
+  const ParsedRequest parsed = parse_request(render_request(request));
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  EXPECT_EQ(parsed.request->deadline_ms, 250.0);
+
+  // Absent on the wire (and not rendered when 0) = no deadline.
+  const ParsedRequest bare =
+      parse_request(R"({"v": 1, "id": "x", "method": "health"})");
+  ASSERT_TRUE(bare.request.has_value());
+  EXPECT_EQ(bare.request->deadline_ms, 0.0);
+  request.deadline_ms = 0.0;
+  EXPECT_EQ(render_request(request).find("deadline_ms"),
+            std::string::npos);
+}
+
+TEST(RequestCodec, RejectsNegativeNaNAndNonNumericDeadlines) {
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "deadline_ms": -1})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "deadline_ms": "soon"})")
+                .error.code,
+            ErrorCode::kBadRequest);
 }
 
 // ---------------------------------------------------------------- replies

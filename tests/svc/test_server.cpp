@@ -5,6 +5,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -323,6 +326,224 @@ TEST(SocketServer, ServesClientsAndStopsCleanly) {
   EXPECT_FALSE(server.running());
   EXPECT_FALSE(Client::connect(options.path, &error))
       << "socket must be unlinked after stop()";
+}
+
+// -------------------------------------------------------------- deadlines
+
+TEST(Service, ExpiredDeadlineIsRefusedBeforeThePipelineRuns) {
+  ServiceOptions options;
+  // Each clock read advances 10s: the deadline computed at arrival is
+  // already in the past by the dispatch pre-check — as if the request
+  // sat in a queue past its budget.
+  options.clock = [t = std::make_shared<double>(0.0)] {
+    *t += 10.0;
+    return *t;
+  };
+  Service service(options);
+  Request request = predict_request(calibration_spec(), "d1");
+  request.deadline_ms = 1000.0;
+  const Reply reply = service.handle_request(request);
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(counter(service, "svc.deadline_exceeded"), 1.0);
+  EXPECT_EQ(counter(service, "pipeline.runs"), 0.0)
+      << "an expired request must not burn a worker";
+}
+
+TEST(Service, GenerousDeadlineRunsNormally) {
+  Service service;
+  Request request = predict_request(calibration_spec(), "d2");
+  request.deadline_ms = 60000.0;
+  const Reply reply = service.handle_request(request);
+  EXPECT_TRUE(reply.ok) << reply.error.message;
+  EXPECT_EQ(counter(service, "svc.deadline_exceeded"), 0.0);
+}
+
+TEST(Service, FollowerDeadlineExpiresWhileWaitingOnALeader) {
+  Service service;
+  std::thread leader([&] {
+    // Runs the real calibration; long enough for the follower to join.
+    (void)service.handle_request(
+        predict_request(calibration_spec(), "lead"));
+  });
+  // Wait until the leader holds the flight (its shard records the miss).
+  const std::size_t shard =
+      service.cache().shard_index(calibration_spec().fingerprint());
+  const std::string misses =
+      "svc.cache.shard" + std::to_string(shard) + ".misses";
+  while (counter(service, misses) < 1.0) {
+    std::this_thread::yield();
+  }
+  Request follower = predict_request(calibration_spec(), "follow");
+  follower.deadline_ms = 0.001;  // expires during the wait, not before
+  const Reply reply = service.handle_request(follower);
+  leader.join();
+  // Either the flight finished within a microsecond (reply.ok) or — the
+  // overwhelmingly common case — the follower's wait timed out with the
+  // typed error instead of blocking unboundedly.
+  if (!reply.ok) {
+    EXPECT_EQ(reply.error.code, ErrorCode::kDeadlineExceeded);
+    EXPECT_GE(counter(service, "svc.deadline_exceeded"), 1.0);
+  }
+}
+
+// ------------------------------------------------------------------ drain
+
+TEST(Service, DrainingHealthAndCountersReportTheState) {
+  Service service;
+  service.set_draining(true);
+  const Reply reply =
+      service.handle_request(simple_request("h1", Method::kHealth));
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.result.string_at("status"), "draining");
+  service.set_draining(false);
+  EXPECT_EQ(service.handle_request(simple_request("h2", Method::kHealth))
+                .result.string_at("status"),
+            "ok");
+}
+
+TEST(SocketServer, DrainFinishesInFlightWorkAndRefusesNewConnections) {
+  Service service;
+  SocketServerOptions options;
+  options.path = "/tmp/mcm-svc-drain-" + std::to_string(::getpid()) +
+                 ".sock";
+  SocketServer server(service, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect(options.path, &error);
+  ASSERT_TRUE(client) << error;
+  const auto before = client->health(&error);
+  ASSERT_TRUE(before) << error;
+
+  EXPECT_TRUE(server.drain(2000)) << "idle server must drain instantly";
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(Client::connect(options.path))
+      << "a drained server must not accept";
+}
+
+TEST(SocketServer, DrainingConnectionsCloseAfterTheirCurrentReply) {
+  Service service;
+  SocketServerOptions options;
+  options.path = "/tmp/mcm-svc-drainc-" + std::to_string(::getpid()) +
+                 ".sock";
+  SocketServer server(service, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto client = Client::connect(options.path, &error);
+  ASSERT_TRUE(client) << error;
+  service.set_draining(true);
+  const auto reply = client->health(&error);
+  ASSERT_TRUE(reply) << error;
+  EXPECT_EQ(reply->result.string_at("status"), "draining");
+  // The server hangs up after that reply instead of keeping the
+  // connection alive: the next single-attempt call on the same
+  // connection fails (EPIPE on send or EOF on read) rather than block.
+  std::string call_error;
+  const auto second = client->health(&call_error);
+  EXPECT_FALSE(second)
+      << "connection must be closed after the draining reply";
+  EXPECT_EQ(counter(service, "svc.drained"), 1.0);
+  server.stop();
+}
+
+// --------------------------------------------------- cache persistence
+
+TEST(Service, CachePersistsAcrossServiceInstances) {
+  const std::string path =
+      testing::TempDir() + "mcm-svc-cache-" + std::to_string(::getpid()) +
+      ".json";
+  std::string error;
+  {
+    Service service;
+    ASSERT_TRUE(
+        service.handle_request(predict_request(calibration_spec(), "p1"))
+            .ok);
+    ASSERT_TRUE(service.save_cache_file(path, &error)) << error;
+  }
+  Service revived;
+  EXPECT_EQ(revived.load_cache_file(path, &error),
+            pipeline::CacheFileStatus::kOk)
+      << error;
+  EXPECT_EQ(revived.cache().size(), 1u);
+  const Reply warm = revived.handle_request(
+      predict_request(calibration_spec(), "p2"));
+  ASSERT_TRUE(warm.ok) << warm.error.message;
+  EXPECT_EQ(warm.result.find("cache_hit")->as_bool(), true)
+      << "a revived service must serve from the persisted cache";
+  EXPECT_EQ(counter(revived, "svc.calibrations"), 0.0);
+  EXPECT_EQ(counter(revived, "cache.load_rejected"), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Service, CorruptCacheFileIsRejectedAndCounted) {
+  const std::string path =
+      testing::TempDir() + "mcm-svc-corrupt-" +
+      std::to_string(::getpid()) + ".json";
+  std::string error;
+  {
+    Service service;
+    ASSERT_TRUE(
+        service.handle_request(predict_request(calibration_spec(), "p1"))
+            .ok);
+    ASSERT_TRUE(service.save_cache_file(path, &error)) << error;
+  }
+  // Flip one payload byte: the checksum must catch it.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] ^= 0x01;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  Service revived;
+  EXPECT_EQ(revived.load_cache_file(path, &error),
+            pipeline::CacheFileStatus::kChecksumMismatch)
+      << error;
+  EXPECT_EQ(revived.cache().size(), 0u) << "a rejected file loads nothing";
+  EXPECT_EQ(counter(revived, "cache.load_rejected"), 1.0);
+  EXPECT_EQ(revived.load_cache_file("/nonexistent-zzz/cache.json"),
+            pipeline::CacheFileStatus::kMissing);
+  EXPECT_EQ(counter(revived, "cache.load_rejected"), 1.0)
+      << "a missing file is a cold start, not a rejection";
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- stdio malformed corpus
+
+TEST(ServeStdio, MalformedFrameCorpusAnswersTypedErrorsAndSurvives) {
+  Service service;
+  std::stringstream in;
+  write_frame(in, "");                // zero-length frame: valid framing
+  write_frame(in, "{not json");       // unparseable payload
+  write_frame(in, R"({"v": 1, "id": "u", "method": "frobnicate"})");
+  write_frame(in, render_request(simple_request("h1", Method::kHealth)));
+  in << "not-a-length\n";             // framing error: no resync point
+  std::stringstream out;
+  // The three parseable-frame errors and the health request are served;
+  // the framing error stops the loop after one last bad-request reply.
+  EXPECT_EQ(serve_stdio(service, in, out), 4u);
+
+  const ErrorCode expected[] = {
+      ErrorCode::kBadRequest, ErrorCode::kBadRequest,
+      ErrorCode::kUnknownMethod};
+  std::string payload;
+  std::string error;
+  for (const ErrorCode code : expected) {
+    ASSERT_TRUE(read_frame(out, &payload, &error)) << error;
+    const auto reply = parse_reply(payload);
+    ASSERT_TRUE(reply);
+    EXPECT_FALSE(reply->ok);
+    EXPECT_EQ(reply->error.code, code);
+  }
+  ASSERT_TRUE(read_frame(out, &payload, &error)) << error;
+  EXPECT_TRUE(parse_reply(payload)->ok) << "the valid frame still works";
+  ASSERT_TRUE(read_frame(out, &payload, &error)) << error;
+  EXPECT_EQ(parse_reply(payload)->error.code, ErrorCode::kBadRequest);
+  EXPECT_FALSE(read_frame(out, &payload, &error));
 }
 
 TEST(SocketServer, StartFailsGracefullyOnBadPath) {

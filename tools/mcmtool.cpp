@@ -707,6 +707,22 @@ int cmd_query(const cli::Parser& parser) {
                                       : svc::StatsFormat::kJson;
   }
 
+  const std::optional<double> deadline_ms =
+      parser.double_value("--deadline-ms");
+  if (!deadline_ms || *deadline_ms < 0.0) {
+    std::fprintf(stderr,
+                 "error: --deadline-ms must be a non-negative number\n");
+    return 2;
+  }
+  const std::optional<std::size_t> retries = parser.size_value("--retries");
+  if (!retries) {
+    std::fprintf(stderr, "error: --retries must be a non-negative integer\n");
+    return 2;
+  }
+  svc::CallOptions call_options;
+  call_options.deadline_ms = *deadline_ms;
+  call_options.retry.max_retries = *retries;
+
   std::string error;
   std::optional<svc::Client> client = svc::Client::connect(path, &error);
   if (!client) {
@@ -714,7 +730,7 @@ int cmd_query(const cli::Parser& parser) {
     return 1;
   }
   const std::optional<svc::Reply> reply =
-      client->call(std::move(request), &error);
+      client->call(std::move(request), call_options, &error);
   if (!reply) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
@@ -723,8 +739,11 @@ int cmd_query(const cli::Parser& parser) {
     std::fprintf(stderr, "error: %s: %s\n",
                  svc::to_string(reply->error.code),
                  reply->error.message.c_str());
-    // Sheds are transient; give scripts a distinct exit code to retry on.
-    return reply->error.code == svc::ErrorCode::kOverloaded ? 3 : 1;
+    // Distinct exit codes for the transient failures scripts branch on:
+    // 3 = shed by admission control, 4 = deadline exhausted.
+    if (reply->error.code == svc::ErrorCode::kOverloaded) return 3;
+    if (reply->error.code == svc::ErrorCode::kDeadlineExceeded) return 4;
+    return 1;
   }
   if (*method == svc::Method::kStats && prometheus) {
     const json::Value* text = reply->result.find("prometheus");
@@ -800,7 +819,10 @@ const std::vector<Subcommand>& subcommands() {
         {"--class", "C", "interactive", "admission class: interactive | "
                                         "bulk"},
         {"--format", "F", "json", "stats format: json | prometheus"},
-        {"--id", "S", "", "request id [generated]"}},
+        {"--id", "S", "", "request id [generated]"},
+        {"--deadline-ms", "MS", "0",
+         "end-to-end deadline across all attempts (0 = none)"},
+        {"--retries", "N", "0", "extra attempts on retryable failures"}},
        cmd_query},
   };
   return commands;

@@ -30,6 +30,14 @@ inline std::vector<cli::Option> service_options() {
        "interactive-class refill, tokens/s"},
       {"--bulk-burst", "N", "2", "bulk-class token bucket capacity"},
       {"--bulk-rate", "R", "1", "bulk-class refill, tokens/s"},
+      {"--cache", "FILE", "",
+       "persistent calibration cache (loaded at start, saved on shutdown)"},
+      {"--drain-ms", "MS", "5000",
+       "graceful-shutdown budget for in-flight requests"},
+      {"--frame-timeout-ms", "MS", "10000",
+       "slow-client cap: budget to finish a started frame or reply"},
+      {"--idle-timeout-ms", "MS", "0",
+       "close kept-alive connections idle this long (0 = never)"},
   };
 }
 
@@ -85,11 +93,37 @@ inline int run_service(const cli::Parser& parser, const char* program) {
   }
   svc::Service service(*options);
 
+  // Warm the calibration cache from the persisted snapshot. A rejected
+  // file (torn write, corruption) is a cold start, not a fatal error —
+  // the service re-calibrates and the shutdown save replaces the file.
+  const std::string cache_path = parser.value("--cache");
+  if (!cache_path.empty()) {
+    const pipeline::CacheFileStatus status =
+        service.load_cache_file(cache_path, &error);
+    if (status == pipeline::CacheFileStatus::kOk) {
+      std::fprintf(stderr, "%s: loaded calibration cache %s (%zu entries)\n",
+                   program, cache_path.c_str(), service.cache().size());
+    } else if (status != pipeline::CacheFileStatus::kMissing) {
+      std::fprintf(stderr, "%s: warning: %s — starting cold\n", program,
+                   error.c_str());
+    }
+  }
+  const auto save_cache = [&]() {
+    if (cache_path.empty()) return;
+    if (service.save_cache_file(cache_path, &error)) {
+      std::fprintf(stderr, "%s: saved calibration cache %s (%zu entries)\n",
+                   program, cache_path.c_str(), service.cache().size());
+    } else {
+      std::fprintf(stderr, "%s: warning: %s\n", program, error.c_str());
+    }
+  };
+
   if (parser.flag("--stdio")) {
     const std::size_t served =
         svc::serve_stdio(service, std::cin, std::cout);
     std::fprintf(stderr, "%s: served %zu request%s\n", program, served,
                  served == 1 ? "" : "s");
+    save_cache();
     return 0;
   }
 
@@ -111,9 +145,32 @@ inline int run_service(const cli::Parser& parser, const char* program) {
     std::fprintf(stderr, "error: --workers must be >= 1\n");
     return 2;
   }
+  const std::optional<std::size_t> drain_ms = parser.size_value("--drain-ms");
+  if (!drain_ms) {
+    std::fprintf(stderr, "error: --drain-ms must be a non-negative integer\n");
+    return 2;
+  }
+  const std::optional<std::size_t> frame_ms =
+      parser.size_value("--frame-timeout-ms");
+  if (!frame_ms) {
+    std::fprintf(stderr,
+                 "error: --frame-timeout-ms must be a non-negative integer\n");
+    return 2;
+  }
+  const std::optional<std::size_t> idle_ms =
+      parser.size_value("--idle-timeout-ms");
+  if (!idle_ms) {
+    std::fprintf(stderr,
+                 "error: --idle-timeout-ms must be a non-negative integer\n");
+    return 2;
+  }
   svc::SocketServerOptions socket_options;
   socket_options.path = path;
   socket_options.workers = workers;
+  socket_options.frame_timeout_ms =
+      *frame_ms == 0 ? -1 : static_cast<int>(*frame_ms);
+  socket_options.idle_timeout_ms =
+      *idle_ms == 0 ? -1 : static_cast<int>(*idle_ms);
   svc::SocketServer server(service, socket_options);
   if (!server.start(&error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -123,8 +180,15 @@ inline int run_service(const cli::Parser& parser, const char* program) {
                program, path.c_str());
   int caught = 0;
   sigwait(&signals, &caught);
-  std::fprintf(stderr, "%s: signal %d, shutting down\n", program, caught);
-  server.stop();
+  std::fprintf(stderr, "%s: signal %d, draining (up to %zums)\n", program,
+               caught, *drain_ms);
+  if (server.drain(static_cast<int>(*drain_ms))) {
+    std::fprintf(stderr, "%s: drained cleanly\n", program);
+  } else {
+    std::fprintf(stderr, "%s: drain budget exhausted, stopping hard\n",
+                 program);
+  }
+  save_cache();
   return 0;
 }
 
