@@ -1,0 +1,223 @@
+// E-SVC2 — observability cost of the prediction service: the latency
+// histograms, request/queue_wait spans and structured log added by the
+// tracing layer must not tax the serving hot path. Runs the same cached
+// predict sweep through an untraced and a fully instrumented Service and
+// compares per-request cost (the acceptance bar is <5% overhead), checks
+// the deterministic span/log/instrument counts the sweep must produce,
+// and times the two primitive costs (LatencyHistogram::record_us, one
+// debug log line) in isolation.
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
+#include "svc/server.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using namespace mcm;
+
+/// Admission sized for a back-to-back sweep: the default interactive
+/// bucket (8-token burst) would shed a benchmark loop by design.
+[[nodiscard]] svc::ServiceOptions sweep_options(std::size_t requests) {
+  svc::ServiceOptions options;
+  options.admission.interactive = {static_cast<double>(requests + 1), 0.0};
+  return options;
+}
+
+[[nodiscard]] svc::Request predict_request(std::size_t seq,
+                                           std::uint64_t trace_id = 0,
+                                           std::uint64_t span_id = 0) {
+  svc::Request request;
+  request.id = "p" + std::to_string(seq);
+  request.method = svc::Method::kPredict;
+  request.spec = benchx::calibration_scenario("henri");
+  request.trace.trace_id = trace_id;
+  request.trace.span_id = span_id;
+  return request;
+}
+
+/// Drive `requests` cached predicts through the service (the calibration
+/// must already be warm) and return the mean per-request cost in µs.
+/// With `ids`, every request carries a fresh trace/span identity the way
+/// a traced client would send them.
+double cached_sweep_us(svc::Service& service, std::size_t requests,
+                       obs::TraceIdGenerator* ids) {
+  obs::WallClock clock;
+  for (std::size_t i = 0; i < requests; ++i) {
+    svc::Request request =
+        ids != nullptr
+            ? predict_request(i + 1, ids->next(), ids->next())
+            : predict_request(i + 1);
+    MCM_ENSURES(service.handle_request(request).ok);
+  }
+  return clock.now_us() / static_cast<double>(requests);
+}
+
+[[nodiscard]] std::uint64_t latency_count(const obs::MetricsSnapshot& snap,
+                                          const std::string& name) {
+  const auto it = snap.latencies.find(name);
+  return it == snap.latencies.end() ? 0 : it->second.count;
+}
+
+/// Occurrences of `needle` in `haystack` (for counting JSONL log events).
+[[nodiscard]] std::size_t count_of(const std::string& haystack,
+                                   const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchx::BenchRun run("svc_latency");
+  run.report().platform = "henri";
+  const std::size_t kRequests = benchx::smoke_reps(2048, 256);
+  constexpr const char* kTotal =
+      "svc.latency.total{class=\"interactive\",method=\"predict\"}";
+
+  // -- Baseline: no sink, no log. One calibration, then a cached sweep.
+  double untraced_us = 0.0;
+  {
+    svc::Service service(sweep_options(kRequests));
+    MCM_ENSURES(service.handle_request(predict_request(0)).ok);
+    const auto timer = run.stage("untraced_cached");
+    untraced_us = cached_sweep_us(service, kRequests, nullptr);
+    const obs::MetricsSnapshot snap = service.metrics().snapshot();
+    // Scale-free invariants (metrics must match between smoke and full
+    // runs, so raw counts are normalized by the request count).
+    run.report().add_metric(
+        "untraced.latency_total_per_req",
+        static_cast<double>(latency_count(snap, kTotal)) /
+            static_cast<double>(snap.counters.at("svc.requests")));
+  }
+
+  // -- Instrumented: trace sink + debug-level structured log, every
+  //    request carrying a client-style trace identity.
+  double traced_us = 0.0;
+  obs::LatencySnapshot traced_total;
+  {
+    obs::ChromeTraceSink sink;
+    std::ostringstream log_lines;
+    obs::Log log;
+    log.attach(&log_lines);
+    log.set_level(obs::LogLevel::kDebug);
+    svc::ServiceOptions options = sweep_options(kRequests);
+    options.trace = &sink;
+    options.log = &log;
+    svc::Service service(options);
+    obs::TraceIdGenerator ids(7);
+    {
+      svc::Request warm = predict_request(0, ids.next(), ids.next());
+      MCM_ENSURES(service.handle_request(warm).ok);
+    }
+    {
+      const auto timer = run.stage("traced_cached");
+      traced_us = cached_sweep_us(service, kRequests, &ids);
+    }
+    const obs::MetricsSnapshot snap = service.metrics().snapshot();
+    traced_total = snap.latencies.at(kTotal);
+    // Deterministic shape of the instrumented sweep: one request and one
+    // queue_wait span per request, every latency sample accounted for,
+    // exactly one calibration measured (cache hits skip the calibrate
+    // instrument), in-flight back to zero.
+    const auto requests =
+        static_cast<double>(snap.counters.at("svc.requests"));
+    run.report().add_metric(
+        "traced.request_spans_per_req",
+        static_cast<double>(sink.count("request")) / requests);
+    run.report().add_metric(
+        "traced.queue_wait_spans_per_req",
+        static_cast<double>(sink.count("queue_wait")) / requests);
+    run.report().add_metric(
+        "traced.latency_total_per_req",
+        static_cast<double>(traced_total.count) / requests);
+    run.report().add_metric(
+        "traced.latency_calibrate_count",
+        static_cast<double>(
+            latency_count(snap, "svc.latency.calibrate")));
+    run.report().add_metric("traced.inflight",
+                            snap.gauges.at("svc.inflight"));
+    // Timing quantiles are machine-dependent: report them as series (not
+    // gated by bench-diff) so runs can still be compared by eye.
+    run.report().add_series("traced.latency_total_us",
+                            {traced_total.p50_us, traced_total.p95_us,
+                             traced_total.p99_us, traced_total.max_us});
+  }
+  run.report().add_series("overhead.us_per_request",
+                          {untraced_us, traced_us});
+  std::printf("cached predict: %.2f us/req untraced, %.2f us/req traced "
+              "(p50 %.1f / p95 %.1f / p99 %.1f us)\n",
+              untraced_us, traced_us, traced_total.p50_us,
+              traced_total.p95_us, traced_total.p99_us);
+
+  // -- Shed path: admission rejections must hit the structured log with
+  //    the request's trace id echoed — the debugging workflow the docs
+  //    walk through. Frozen clock: the single bulk token never refills.
+  {
+    const auto timer = run.stage("shed_logging");
+    std::ostringstream log_lines;
+    obs::Log log;
+    log.attach(&log_lines);
+    svc::ServiceOptions options;
+    options.admission.bulk = {1.0, 0.0};
+    options.clock = [] { return 0.0; };
+    options.log = &log;
+    svc::Service service(options);
+    svc::Request ok = predict_request(0, 0x4d2, 0xabc);
+    ok.traffic_class = svc::TrafficClass::kBulk;
+    MCM_ENSURES(service.handle_request(ok).ok);
+    for (std::size_t i = 1; i <= 3; ++i) {
+      svc::Request shed = predict_request(i, 0x4d2, 0xabc + i);
+      shed.traffic_class = svc::TrafficClass::kBulk;
+      MCM_ENSURES(!service.handle_request(shed).ok);
+    }
+    const std::string lines = log_lines.str();
+    run.report().add_metric(
+        "shed.log_events",
+        static_cast<double>(count_of(lines, "\"event\":\"shed\"")));
+    run.report().add_metric(
+        "shed.trace_id_echoed",
+        static_cast<double>(count_of(lines, "0000000004d2")));
+  }
+
+  // -- Primitive costs, timed by google-benchmark (skipped under smoke).
+  benchmark::RegisterBenchmark("latency_record_us",
+                               [](benchmark::State& state) {
+                                 obs::LatencyHistogram histogram;
+                                 double us = 0.5;
+                                 for (auto _ : state) {
+                                   histogram.record_us(us);
+                                   us = us < 2e7 ? us * 1.7 : 0.5;
+                                 }
+                                 benchmark::DoNotOptimize(histogram.count());
+                               });
+  benchmark::RegisterBenchmark("log_line_debug",
+                               [](benchmark::State& state) {
+                                 std::ostringstream out;
+                                 obs::Log log;
+                                 log.attach(&out);
+                                 log.set_level(obs::LogLevel::kDebug);
+                                 for (auto _ : state) {
+                                   log.debug("bench",
+                                             {{"seq", std::uint64_t{1}},
+                                              {"us", 12.5}});
+                                   out.str("");
+                                 }
+                               });
+  benchmark::RegisterBenchmark("log_line_suppressed",
+                               [](benchmark::State& state) {
+                                 obs::Log log;  // null sink: the no-op path
+                                 for (auto _ : state) {
+                                   log.debug("bench",
+                                             {{"seq", std::uint64_t{1}}});
+                                 }
+                               });
+  return benchx::finish(run, argc, argv);
+}

@@ -18,6 +18,11 @@
 #                            frame replay (byte-diffed, twice), the chaos
 #                            test suite twice (determinism), and once
 #                            more under ASan+UBSan
+#   scripts/ci.sh obs        observability round trip: traced socket query
+#                            (client + server Chrome traces sharing one
+#                            trace id), deterministic trace-merge, JSONL
+#                            log schema, stats latency quantiles, and the
+#                            obs test suite under ASan+UBSan
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -139,13 +144,14 @@ service_suite() {
   rm -rf "$WORK"
   mkdir -p "$WORK"
   cd "$WORK"
-  # Golden replay, twice: the service is deterministic, so the reply
-  # bytes must match between runs (no timing assertions — the golden
-  # request count stays under the admission burst, so no sheds either).
-  "$ROOT"/build/tools/mcmd --stdio \
+  # Golden replay, twice: under the --deterministic tick clock even the
+  # latency quantiles in stats replies byte-compare, so the whole reply
+  # stream must match between runs (the golden request count stays under
+  # the admission burst, so no sheds either).
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
       <"$ROOT"/scripts/service_smoke.requests >replay_a.out \
       2>replay_a.log || { cat replay_a.log; echo "FAIL: replay A"; exit 1; }
-  "$ROOT"/build/tools/mcmd --stdio \
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
       <"$ROOT"/scripts/service_smoke.requests >replay_b.out \
       2>/dev/null || { echo "FAIL: replay B"; exit 1; }
   cmp replay_a.out replay_b.out || {
@@ -210,11 +216,11 @@ chaos_suite() {
   cd "$WORK"
   # Malformed-frame golden replay, twice: typed error replies are part of
   # the wire contract, so their bytes must be identical between runs.
-  "$ROOT"/build/tools/mcmd --stdio \
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
       <"$ROOT"/scripts/chaos_smoke.requests >chaos_a.out \
       2>chaos_a.log || { cat chaos_a.log; echo "FAIL: chaos replay A"; \
       exit 1; }
-  "$ROOT"/build/tools/mcmd --stdio \
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
       <"$ROOT"/scripts/chaos_smoke.requests >chaos_b.out \
       2>/dev/null || { echo "FAIL: chaos replay B"; exit 1; }
   cmp chaos_a.out chaos_b.out || {
@@ -243,6 +249,91 @@ chaos_suite() {
       -j "$JOBS")
 }
 
+obs_suite() {
+  echo "== obs: traced query + trace-merge + log schema + quantiles =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target mcmd mcmtool
+  WORK="$ROOT/build/obs-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  # Fully instrumented server: deterministic tick clock, Chrome trace,
+  # debug-level JSONL log.
+  SOCK="/tmp/mcm-obs-$$.sock"
+  "$ROOT"/build/tools/mcmd --socket "$SOCK" --deterministic \
+      --trace server_trace.json --log-file server_log.jsonl \
+      --log-level debug 2>serve.log &
+  MCMD_PID=$!
+  for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  [ -S "$SOCK" ] || { cat serve.log; echo "FAIL: mcmd never bound"; exit 1; }
+  status=0
+  # Traced query: the client generates the trace identity (seeded, so the
+  # ids are reproducible) and records its own attempt spans.
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" \
+      --spec "$ROOT"/scripts/scenario_smoke.json \
+      --trace client_trace.json --trace-seed 42 >query.out || status=1
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" --method stats \
+      >stats.json || status=1
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK" --method stats \
+      --format prometheus >stats.prom || status=1
+  # Graceful stop: the server writes its trace file during shutdown.
+  kill -TERM "$MCMD_PID" 2>/dev/null || status=1
+  wait "$MCMD_PID" 2>/dev/null || true
+  [ -f server_trace.json ] || {
+    cat serve.log
+    echo "FAIL: server wrote no trace file on shutdown"
+    exit 1
+  }
+  # Client and server traces must share the query's trace id — that is
+  # the whole point of propagation.
+  TRACE_ID=$(grep -o '"trace_id":[0-9]*' client_trace.json | head -1)
+  [ -n "$TRACE_ID" ] || {
+    echo "FAIL: client trace carries no trace_id tag"
+    status=1
+  }
+  grep -q "$TRACE_ID" server_trace.json || {
+    echo "FAIL: server trace does not contain the client's $TRACE_ID"
+    status=1
+  }
+  # trace-merge joins the two timelines; it is deterministic, so merging
+  # twice must produce identical bytes.
+  "$ROOT"/build/tools/mcmtool trace-merge client_trace.json \
+      server_trace.json --out merged_a.json || status=1
+  "$ROOT"/build/tools/mcmtool trace-merge client_trace.json \
+      server_trace.json --out merged_b.json || status=1
+  cmp merged_a.json merged_b.json || {
+    echo "FAIL: trace-merge is not deterministic"
+    status=1
+  }
+  grep -q "$TRACE_ID" merged_a.json || {
+    echo "FAIL: merged trace lost the trace id"
+    status=1
+  }
+  # JSONL log schema: every line leads with ts_us, level, event.
+  for key in '"ts_us":' '"level":"' '"event":"'; do
+    grep -q "$key" server_log.jsonl || {
+      echo "FAIL: structured log is missing $key"
+      status=1
+    }
+  done
+  # The latency instruments must surface quantiles in both stats formats.
+  grep -q '"p99_us":' stats.json || {
+    echo "FAIL: JSON stats carry no latency quantiles"
+    status=1
+  }
+  grep -q 'mcm_svc_latency_total_bucket' stats.prom || {
+    echo "FAIL: Prometheus stats carry no latency histogram"
+    status=1
+  }
+  [ "$status" -eq 0 ] || exit 1
+  # Histogram buckets, trace sinks and the log mutex are all shared by
+  # concurrent workers — run the obs suite instrumented.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_obs
+  (cd "$ROOT/build-sanitize" && ctest -L obs --output-on-failure \
+      -j "$JOBS")
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
@@ -251,6 +342,7 @@ case "$STAGE" in
   fault) fault_suite ;;
   service) service_suite ;;
   chaos) chaos_suite ;;
+  obs) obs_suite ;;
   all)
     tier1
     sanitize
@@ -259,9 +351,10 @@ case "$STAGE" in
     fault_suite
     service_suite
     chaos_suite
+    obs_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|obs|all]" >&2
     exit 2
     ;;
 esac

@@ -41,32 +41,185 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+namespace {
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline get backslash escapes.
+[[nodiscard]] std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Sanitize a label key: [a-zA-Z0-9_] only, leading digit prefixed '_'.
+[[nodiscard]] std::string sanitize_label_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size() + 1);
+  for (char c : key) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Parse `key="value",key="value",...` from name[open+1..close). Returns
+/// false on any grammar violation so the caller can fall back to mangling.
+[[nodiscard]] bool parse_label_block(
+    const std::string& name, std::size_t open, std::size_t close,
+    std::vector<std::pair<std::string, std::string>>& labels) {
+  std::size_t i = open + 1;
+  while (i < close) {
+    const std::size_t eq = name.find('=', i);
+    if (eq == std::string::npos || eq >= close || eq == i) return false;
+    if (eq + 1 >= close || name[eq + 1] != '"') return false;
+    std::size_t end = eq + 2;
+    while (end < close && name[end] != '"') ++end;
+    if (end >= close) return false;
+    labels.emplace_back(sanitize_label_key(name.substr(i, eq - i)),
+                        escape_label_value(name.substr(eq + 2, end - eq - 2)));
+    i = end + 1;
+    if (i < close) {
+      if (name[i] != ',') return false;
+      ++i;
+      if (i >= close) return false;  // trailing comma
+    }
+  }
+  return !labels.empty();
+}
+
+/// Render `{a="x",b="y"}` (or `{a="x",le="z"}` with an extra pair) after a
+/// family name; empty labels + no extra renders nothing.
+[[nodiscard]] std::string label_block(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const char* extra_key = nullptr, const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+PrometheusSeries prometheus_series(const std::string& name) {
+  PrometheusSeries series;
+  const std::size_t open = name.find('{');
+  if (open != std::string::npos && !name.empty() && name.back() == '}') {
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (parse_label_block(name, open, name.size() - 1, labels)) {
+      series.family = prometheus_name(name.substr(0, open));
+      series.labels = std::move(labels);
+      return series;
+    }
+  }
+  series.family = prometheus_name(name);
+  return series;
+}
+
 std::string render_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
+  // One `# TYPE` per family: label variants of one instrument are distinct
+  // registry entries but the same Prometheus family, and strict parsers
+  // reject a family declared twice.
+  std::set<std::string> declared;
+  const auto declare = [&](const std::string& family, const char* type) {
+    if (!declared.insert(family).second) return;
+    out << "# TYPE " << family << ' ' << type << '\n';
+  };
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = prometheus_name(name);
-    out << "# TYPE " << prom << " counter\n"
-        << prom << ' ' << value << '\n';
+    const PrometheusSeries s = prometheus_series(name);
+    declare(s.family, "counter");
+    out << s.family << label_block(s.labels) << ' ' << value << '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = prometheus_name(name);
-    out << "# TYPE " << prom << " gauge\n"
-        << prom << ' ' << format_double(value) << '\n';
+    const PrometheusSeries s = prometheus_series(name);
+    declare(s.family, "gauge");
+    out << s.family << label_block(s.labels) << ' ' << format_double(value)
+        << '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const std::string prom = prometheus_name(name);
-    out << "# TYPE " << prom << " histogram\n";
+    const PrometheusSeries s = prometheus_series(name);
+    declare(s.family, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < BandwidthHistogram::kBucketBoundsGb.size();
          ++i) {
       cumulative += h.buckets[i];
-      out << prom << "_bucket{le=\""
-          << format_double(BandwidthHistogram::kBucketBoundsGb[i]) << "\"} "
-          << cumulative << '\n';
+      out << s.family << "_bucket"
+          << label_block(s.labels, "le",
+                         format_double(BandwidthHistogram::kBucketBoundsGb[i]))
+          << ' ' << cumulative << '\n';
     }
-    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n'
-        << prom << "_sum " << format_double(h.sum_gb) << '\n'
-        << prom << "_count " << h.count << '\n';
+    out << s.family << "_bucket" << label_block(s.labels, "le", "+Inf") << ' '
+        << h.count << '\n'
+        << s.family << "_sum" << label_block(s.labels) << ' '
+        << format_double(h.sum_gb) << '\n'
+        << s.family << "_count" << label_block(s.labels) << ' ' << h.count
+        << '\n';
+  }
+  for (const auto& [name, l] : snapshot.latencies) {
+    const PrometheusSeries s = prometheus_series(name);
+    declare(s.family, "histogram");
+    // Latency bucket arrays are wide (66) and sparse; elide buckets whose
+    // cumulative count equals the previous emitted one — any le subset plus
+    // `+Inf` is valid exposition and histogram_quantile() handles it.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kFiniteBounds; ++i) {
+      if (l.buckets[i] == 0) continue;
+      cumulative += l.buckets[i];
+      out << s.family << "_bucket"
+          << label_block(s.labels, "le",
+                         format_double(LatencyHistogram::bucket_bound_us(i)))
+          << ' ' << cumulative << '\n';
+    }
+    out << s.family << "_bucket" << label_block(s.labels, "le", "+Inf") << ' '
+        << l.count << '\n'
+        << s.family << "_sum" << label_block(s.labels) << ' '
+        << format_double(l.sum_us) << '\n'
+        << s.family << "_count" << label_block(s.labels) << ' ' << l.count
+        << '\n';
+  }
+  // Precomputed quantile gauges: dashboards read these without running
+  // histogram_quantile() over sparse buckets.
+  struct Quantile {
+    const char* suffix;
+    double LatencySnapshot::*member;
+  };
+  static constexpr Quantile kQuantiles[] = {
+      {"_p50_us", &LatencySnapshot::p50_us},
+      {"_p95_us", &LatencySnapshot::p95_us},
+      {"_p99_us", &LatencySnapshot::p99_us},
+  };
+  for (const Quantile& q : kQuantiles) {
+    for (const auto& [name, l] : snapshot.latencies) {
+      const PrometheusSeries s = prometheus_series(name);
+      declare(s.family + q.suffix, "gauge");
+      out << s.family << q.suffix << label_block(s.labels) << ' '
+          << format_double(l.*q.member) << '\n';
+    }
   }
   return out.str();
 }

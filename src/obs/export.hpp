@@ -14,6 +14,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -25,9 +27,31 @@ namespace mcm::obs {
 /// already so prefixed). "sim.engine.slices" -> "mcm_sim_engine_slices".
 [[nodiscard]] std::string prometheus_name(const std::string& name);
 
+/// A registry instrument name split into a Prometheus metric family plus
+/// label pairs. Registry names may carry an inline label block —
+/// `svc.latency.total{class="interactive",method="predict"}` — which must
+/// NOT be mangled wholesale (that used to produce names like
+/// `mcm_svc_latency_total_class__interactive__..._` that strict parsers
+/// reject as one giant family per label combination).
+struct PrometheusSeries {
+  std::string family;  ///< sanitized family name (prometheus_name rules)
+  /// Sanitized label keys with exposition-escaped values, in the order
+  /// written in the instrument name.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// Split `name` at its label block (if any) and sanitize both halves.
+/// A malformed block (unbalanced braces, missing `="..."`) degrades to the
+/// old behavior: the whole name is mangled into the family, no labels.
+[[nodiscard]] PrometheusSeries prometheus_series(const std::string& name);
+
 /// The whole snapshot in Prometheus text exposition format, instruments
 /// sorted by name. Counters -> `counter`, gauges -> `gauge`, bandwidth
-/// histograms -> `histogram` with cumulative buckets in GB/s.
+/// histograms -> `histogram` with cumulative buckets in GB/s, latency
+/// histograms -> `histogram` with cumulative buckets in µs (zero-increment
+/// buckets elided, `+Inf` always present) plus `<family>_p{50,95,99}_us`
+/// gauges. Instruments sharing a family (same name, different label
+/// blocks) emit one `# TYPE` line — strict parsers reject duplicates.
 [[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
 
 /// Provenance header of a JSON report. `schema_version` identifies the

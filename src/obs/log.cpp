@@ -1,0 +1,133 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mcm::obs {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+[[nodiscard]] std::uint64_t wall_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    out = LogLevel::kWarn;
+  } else if (text == "error") {
+    out = LogLevel::kError;
+  } else if (text == "off") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Log::attach(std::ostream* out) {
+  std::lock_guard lock(mutex_);
+  if (file_.is_open()) file_.close();
+  sink_ = out;
+}
+
+bool Log::open_file(const std::string& path, std::string& error) {
+  std::lock_guard lock(mutex_);
+  if (file_.is_open()) file_.close();
+  file_.open(path, std::ios::out | std::ios::app);
+  if (!file_) {
+    error = "cannot open log file '" + path + "'";
+    sink_ = nullptr;
+    return false;
+  }
+  sink_ = &file_;
+  return true;
+}
+
+void Log::write(LogLevel level, const std::string& event,
+                std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  std::string line = "{\"ts_us\":";
+  const std::uint64_t ts = clock_ ? clock_() : wall_us();
+  line += std::to_string(ts);
+  line += ",\"level\":\"";
+  line += to_string(level);
+  line += "\",\"event\":\"";
+  line += json_escape(event);
+  line += '"';
+  for (const LogField& field : fields) {
+    line += ",\"";
+    line += json_escape(field.key);
+    line += "\":";
+    switch (field.kind) {
+      case LogField::Kind::kString:
+        line += '"';
+        line += json_escape(field.str);
+        line += '"';
+        break;
+      case LogField::Kind::kDouble:
+        line += format_double(field.num);
+        break;
+      case LogField::Kind::kUint:
+        line += std::to_string(field.uint);
+        break;
+    }
+  }
+  line += "}\n";
+  std::lock_guard lock(mutex_);
+  if (sink_ == nullptr) return;  // detached between check and lock
+  *sink_ << line;
+  sink_->flush();
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,108 @@
+// Leveled structured logger emitting one JSON object per line (JSONL).
+//
+// Follows the observability layer's null-sink discipline: a
+// default-constructed Log has no sink and every call is a cheap
+// level-check away from a no-op, so components can hold a `Log*` (or a
+// null-default pointer in their options struct) without caring whether
+// logging is on. The clock is injectable so tests assert byte-exact lines.
+//
+// Line schema (docs/observability.md "Structured logs"):
+//   {"ts_us":<int>,"level":"info","event":"accept",<caller fields...>}
+// `ts_us`, `level` and `event` always come first, in that order; caller
+// fields follow in call order. Writes are mutex-serialized so concurrent
+// workers never interleave partial lines.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace mcm::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+/// Parse "debug" / "info" / "warn" / "error" / "off"; false on anything
+/// else (out untouched).
+[[nodiscard]] bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// One key/value pair on a log line. Strings are JSON-escaped at write
+/// time; numbers render with %g (uints exactly).
+struct LogField {
+  enum class Kind { kString, kDouble, kUint };
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), str(std::move(v)), kind(Kind::kString) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), str(v), kind(Kind::kString) {}
+  LogField(std::string k, double v)
+      : key(std::move(k)), num(v), kind(Kind::kDouble) {}
+  LogField(std::string k, std::uint64_t v)
+      : key(std::move(k)), uint(v), kind(Kind::kUint) {}
+
+  std::string key;
+  std::string str;
+  double num = 0.0;
+  std::uint64_t uint = 0;
+  Kind kind = Kind::kString;
+};
+
+class Log {
+ public:
+  /// Microseconds since an arbitrary origin; injectable for tests.
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// Null sink: every write is a no-op.
+  Log() = default;
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Attach a caller-owned stream (tests pass an ostringstream). Replaces
+  /// any previous sink.
+  void attach(std::ostream* out);
+  /// Open `path` for appending and sink lines there. Returns false with
+  /// `error` set when the file cannot be opened.
+  [[nodiscard]] bool open_file(const std::string& path, std::string& error);
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  /// Default clock is wall microseconds since the first use.
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return sink_ != nullptr && level >= level_ && level != LogLevel::kOff;
+  }
+
+  void write(LogLevel level, const std::string& event,
+             std::initializer_list<LogField> fields);
+
+  void debug(const std::string& event,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kDebug, event, fields);
+  }
+  void info(const std::string& event,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kInfo, event, fields);
+  }
+  void warn(const std::string& event,
+            std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kWarn, event, fields);
+  }
+  void error(const std::string& event,
+             std::initializer_list<LogField> fields = {}) {
+    write(LogLevel::kError, event, fields);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ostream* sink_ = nullptr;  ///< attach()ed stream or &file_
+  std::ofstream file_;
+  LogLevel level_ = LogLevel::kInfo;
+  ClockFn clock_;
+};
+
+}  // namespace mcm::obs

@@ -48,6 +48,50 @@ BandwidthHistogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+LatencyHistogram& MetricsRegistry::latency(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = latencies_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+double LatencySnapshot::quantile_us(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The overflow bucket has no upper bound; the tracked max is the best
+    // available estimate for any quantile landing there.
+    if (i >= LatencyHistogram::kFiniteBounds) return max_us;
+    const double hi = LatencyHistogram::bucket_bound_us(i);
+    const double lo = i == 0 ? 0.0 : LatencyHistogram::bucket_bound_us(i - 1);
+    const double frac = (rank - before) / static_cast<double>(buckets[i]);
+    const double v = lo + frac * (hi - lo);
+    return max_us > 0.0 && v > max_us ? max_us : v;
+  }
+  return max_us;
+}
+
+LatencySnapshot snapshot_latency(const LatencyHistogram& h) {
+  LatencySnapshot snap;
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    snap.buckets[i] = h.bucket(i);
+  }
+  snap.count = h.count();
+  snap.sum_us = h.sum_us();
+  snap.max_us = h.max_us();
+  snap.p50_us = snap.quantile_us(0.50);
+  snap.p95_us = snap.quantile_us(0.95);
+  snap.p99_us = snap.quantile_us(0.99);
+  return snap;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snap;
@@ -67,6 +111,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     h.mean_gb = histogram->mean_gb();
     snap.histograms.emplace(name, h);
   }
+  for (const auto& [name, latency] : latencies_) {
+    snap.latencies.emplace(name, snapshot_latency(*latency));
+  }
   return snap;
 }
 
@@ -75,6 +122,7 @@ void MetricsRegistry::reset() {
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, histogram] : histograms_) histogram->reset();
+  for (const auto& [name, latency] : latencies_) latency->reset();
 }
 
 std::string MetricsRegistry::to_text() const { return render_text(snapshot()); }
@@ -101,6 +149,23 @@ std::string render_text(const MetricsSnapshot& snapshot) {
         out << "+inf";
       }
       out << "} " << h.buckets[i] << '\n';
+    }
+  }
+  for (const auto& [name, l] : snapshot.latencies) {
+    out << name << " count=" << l.count
+        << " p50_us=" << format_double(l.p50_us)
+        << " p95_us=" << format_double(l.p95_us)
+        << " p99_us=" << format_double(l.p99_us)
+        << " max_us=" << format_double(l.max_us) << '\n';
+    for (std::size_t i = 0; i < l.buckets.size(); ++i) {
+      if (l.buckets[i] == 0) continue;
+      out << name << "{le=";
+      if (i < LatencyHistogram::kFiniteBounds) {
+        out << format_double(LatencyHistogram::bucket_bound_us(i));
+      } else {
+        out << "+inf";
+      }
+      out << "} " << l.buckets[i] << '\n';
     }
   }
   return out.str();
@@ -132,6 +197,28 @@ std::string render_json(const MetricsSnapshot& snapshot) {
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i > 0) out << ',';
       out << h.buckets[i];
+    }
+    out << "]}";
+  }
+  out << "},\"latencies\":{";
+  first = true;
+  for (const auto& [name, l] : snapshot.latencies) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"count\":" << l.count
+        << ",\"sum_us\":" << format_double(l.sum_us)
+        << ",\"max_us\":" << format_double(l.max_us)
+        << ",\"p50_us\":" << format_double(l.p50_us)
+        << ",\"p95_us\":" << format_double(l.p95_us)
+        << ",\"p99_us\":" << format_double(l.p99_us) << ",\"buckets\":[";
+    // The bucket array is long (66) and usually sparse: emit [index,count]
+    // pairs for the non-empty buckets only.
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < l.buckets.size(); ++i) {
+      if (l.buckets[i] == 0) continue;
+      if (!first_bucket) out << ',';
+      first_bucket = false;
+      out << '[' << i << ',' << l.buckets[i] << ']';
     }
     out << "]}";
   }

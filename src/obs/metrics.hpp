@@ -50,6 +50,14 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Relaxed add for up/down tracking (in-flight requests). CAS loop: the
+  /// gauge is reporting-only, no ordering needed.
+  void add(double delta) {
+    double v = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(v, v + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -121,15 +129,123 @@ struct HistogramSnapshot {
   double mean_gb = 0.0;
 };
 
+/// Histogram of observed latencies with fixed log-linear microsecond
+/// buckets: 1 µs, then nine bounds per decade (2·10^d .. 10·10^d) for seven
+/// decades up to 10 s, plus one overflow bucket. Log-linear keeps relative
+/// quantile error under ~12% across the whole range while the bucket index
+/// is computed with a short scan (the decade loop runs ≤ 7 times).
+///
+/// Same concurrency rules as BandwidthHistogram: relaxed atomics only, no
+/// locks; `record_us` costs a handful of relaxed RMWs.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kDecades = 7;          // 10^0 .. 10^6 µs
+  static constexpr std::size_t kBoundsPerDecade = 9;  // 2,3,...,10 · 10^d
+  /// 1 µs + 9 bounds per decade; one extra bucket catches everything above
+  /// the last finite bound (10^7 µs = 10 s).
+  static constexpr std::size_t kFiniteBounds = 1 + kDecades * kBoundsPerDecade;
+  static constexpr std::size_t kBucketCount = kFiniteBounds + 1;
+
+  /// Upper bound of finite bucket `i`, in microseconds.
+  [[nodiscard]] static constexpr double bucket_bound_us(std::size_t i) {
+    if (i == 0) return 1.0;
+    double base = 1.0;
+    for (std::size_t d = (i - 1) / kBoundsPerDecade; d > 0; --d) base *= 10.0;
+    return static_cast<double>((i - 1) % kBoundsPerDecade + 2) * base;
+  }
+
+  void record_us(double us) {
+    if (us < 0.0) us = 0.0;  // clock skew guard; a latency is never negative
+    std::size_t bucket = kFiniteBounds;
+    double base = 1.0;
+    if (us <= 1.0) {
+      bucket = 0;
+    } else {
+      for (std::size_t d = 0; d < kDecades; ++d) {
+        if (us <= 10.0 * base) {
+          // Bounds in this decade are 2·base .. 10·base; ceil(us / base)
+          // picks the first multiple that is >= us.
+          auto m = static_cast<std::size_t>((us + base - 1e-9) / base);
+          if (m < 2) m = 2;
+          if (static_cast<double>(m) * base < us) ++m;
+          bucket = 1 + d * kBoundsPerDecade + (m - 2);
+          break;
+        }
+        base *= 10.0;
+      }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_us_.load(std::memory_order_relaxed);
+    while (!sum_us_.compare_exchange_weak(sum, sum + us,
+                                          std::memory_order_relaxed)) {
+    }
+    double max = max_us_.load(std::memory_order_relaxed);
+    while (us > max && !max_us_.compare_exchange_weak(
+                           max, us, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum_us() const {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_us_.store(0.0, std::memory_order_relaxed);
+    max_us_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_us_{0.0};
+  std::atomic<double> max_us_{0.0};
+};
+
+/// Point-in-time copy of one latency histogram with interpolated quantiles.
+/// Quantiles assume uniform spread within a bucket (linear interpolation
+/// between the bucket's bounds); a quantile landing in the overflow bucket
+/// reports the tracked max instead.
+struct LatencySnapshot {
+  std::array<std::uint64_t, LatencyHistogram::kBucketCount> buckets{};
+  std::uint64_t count = 0;
+  double sum_us = 0.0;
+  double max_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  [[nodiscard]] double mean_us() const {
+    return count == 0 ? 0.0 : sum_us / static_cast<double>(count);
+  }
+  /// Interpolated quantile for `q` in [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile_us(double q) const;
+};
+
+/// Build a snapshot (quantiles included) from a live histogram.
+[[nodiscard]] LatencySnapshot snapshot_latency(const LatencyHistogram& h);
+
 /// Point-in-time copy of the whole registry. Maps are sorted by name so
 /// exports are deterministic.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, LatencySnapshot> latencies;
 
   [[nodiscard]] bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           latencies.empty();
   }
 };
 
@@ -144,6 +260,7 @@ class MetricsRegistry {
   [[nodiscard]] Counter& counter(const std::string& name);
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] BandwidthHistogram& histogram(const std::string& name);
+  [[nodiscard]] LatencyHistogram& latency(const std::string& name);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Zero every instrument (registrations are kept).
@@ -152,7 +269,8 @@ class MetricsRegistry {
   /// `name value` lines, one per instrument, sorted by name. Histograms
   /// render count/mean plus the non-empty buckets.
   [[nodiscard]] std::string to_text() const;
-  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// One JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"latencies":{...}}.
   [[nodiscard]] std::string to_json() const;
 
  private:
@@ -161,6 +279,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<BandwidthHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 
 /// Render a snapshot in the registry's text format (exposed separately so

@@ -28,7 +28,15 @@ namespace {
 
 [[nodiscard]] std::string format_value(double v) {
   char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%g", v);
+  // Integral values print exactly: trace/span ids ride as 48-bit integers
+  // in double args, and %g's six significant digits would truncate them.
+  if (v >= -9.007199254740992e15 && v <= 9.007199254740992e15 &&
+      v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%g", v);
+  }
   return buffer;
 }
 

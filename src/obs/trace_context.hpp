@@ -1,0 +1,85 @@
+// Request-scoped trace identity, shared by the service wire protocol, the
+// pipeline Runner and the Chrome-trace sink.
+//
+// Ids are 48-bit nonzero integers. 48 bits — not 64 — because trace ids
+// ride on spans as `TraceEvent` args, and those are doubles: every 48-bit
+// integer is exactly representable in a double, so an id survives the
+// trace file round trip bit-for-bit. On the wire an id is exactly 12
+// lowercase hex characters ("04d2agb..." rejected, "0000000004d2" fine,
+// all-zero rejected).
+//
+// Generation is deterministic from a caller-supplied seed (splitmix64
+// stream, masked to 48 bits, zero skipped) so traced CI runs byte-compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcm::obs {
+
+/// Identity of one logical request (`trace_id`) and of one attempt / hop
+/// within it (`span_id`). Zero trace_id means "not traced".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+inline constexpr std::uint64_t kTraceIdBits = 48;
+inline constexpr std::uint64_t kTraceIdMask = (std::uint64_t{1} << 48) - 1;
+inline constexpr std::size_t kTraceIdHexChars = 12;
+
+/// Deterministic 48-bit nonzero id stream (splitmix64, masked).
+class TraceIdGenerator {
+ public:
+  explicit TraceIdGenerator(std::uint64_t seed) : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() {
+    for (;;) {
+      state_ += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = state_;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z = (z ^ (z >> 31)) & kTraceIdMask;
+      if (z != 0) return z;
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Exactly 12 lowercase hex characters, zero-padded.
+[[nodiscard]] inline std::string trace_id_to_hex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(kTraceIdHexChars, '0');
+  for (std::size_t i = 0; i < kTraceIdHexChars; ++i) {
+    out[kTraceIdHexChars - 1 - i] = kHex[(id >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+/// Strict parse: exactly 12 lowercase hex characters, nonzero value.
+/// Returns false (id untouched) otherwise.
+[[nodiscard]] inline bool parse_trace_id(const std::string& s,
+                                         std::uint64_t& id) {
+  if (s.size() != kTraceIdHexChars) return false;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | nibble;
+  }
+  if (value == 0) return false;
+  id = value;
+  return true;
+}
+
+}  // namespace mcm::obs

@@ -197,11 +197,32 @@ Runner::MeasuredPlacements Runner::measure_placements(
   return out;
 }
 
+namespace {
+
+/// Tag a stage span with the request's trace identity (48-bit ids are
+/// exact in the double-valued span args). No-op when untraced.
+void tag_span(obs::ScopedSpan& span, const obs::TraceContext& trace) {
+  if (!trace.valid()) return;
+  span.arg("trace_id", static_cast<double>(trace.trace_id));
+  if (trace.span_id != 0) {
+    span.arg("span_id", static_cast<double>(trace.span_id));
+  }
+}
+
+}  // namespace
+
 ScenarioResult Runner::run(const ScenarioSpec& spec,
-                           CalibrationCache& calibration_cache) {
+                           CalibrationCache& calibration_cache,
+                           const RunContext& context) {
   if (met_runs_ != nullptr) met_runs_->add();
-  const obs::ScopedSpan scenario_span(options_.observer.trace, clock_,
-                                      "scenario", "pipeline", 0);
+  obs::ScopedSpan scenario_span(options_.observer.trace, clock_,
+                                "scenario", "pipeline", 0);
+  tag_span(scenario_span, context.trace);
+  // Stage timings come from the override when set (deterministic-replay
+  // services), from the wall clock otherwise. Spans stay on wall time.
+  const auto stage_now = [this]() {
+    return options_.now_us ? options_.now_us() : clock_.now_us();
+  };
 
   ScenarioResult result;
   result.spec = spec;
@@ -217,9 +238,10 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
 
   // --- calibrate ------------------------------------------------------
   {
-    const obs::ScopedSpan span(options_.observer.trace, clock_, "calibrate",
-                               "pipeline", 0);
-    const double start_us = clock_.now_us();
+    obs::ScopedSpan span(options_.observer.trace, clock_, "calibrate",
+                         "pipeline", 0);
+    tag_span(span, context.trace);
+    const double start_us = stage_now();
     const std::string key = spec.cacheable() ? spec.fingerprint() : "";
     const std::optional<CalibrationCache::Entry> cached =
         key.empty() ? std::nullopt : calibration_cache.find(key);
@@ -256,14 +278,15 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
                                                       result.remote});
       }
     }
-    result.timings.calibrate_us = clock_.now_us() - start_us;
+    result.timings.calibrate_us = stage_now() - start_us;
   }
 
   // --- measure --------------------------------------------------------
   {
-    const obs::ScopedSpan span(options_.observer.trace, clock_, "measure",
-                               "pipeline", 0);
-    const double start_us = clock_.now_us();
+    obs::ScopedSpan span(options_.observer.trace, clock_, "measure",
+                         "pipeline", 0);
+    tag_span(span, context.trace);
+    const double start_us = stage_now();
     const std::vector<model::Placement> placements =
         expand_placements(spec);
     if (met_placements_ != nullptr) met_placements_->add(placements.size());
@@ -318,14 +341,15 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
                     : result.failures.size() == placements.size()
                         ? RunStatus::kFailed
                         : RunStatus::kPartial;
-    result.timings.measure_us = clock_.now_us() - start_us;
+    result.timings.measure_us = stage_now() - start_us;
   }
 
   // --- predict --------------------------------------------------------
   {
-    const obs::ScopedSpan span(options_.observer.trace, clock_, "predict",
-                               "pipeline", 0);
-    const double start_us = clock_.now_us();
+    obs::ScopedSpan span(options_.observer.trace, clock_, "predict",
+                         "pipeline", 0);
+    tag_span(span, context.trace);
+    const double start_us = stage_now();
     const model::PlacementModel model = result.placement_model();
     for (const bench::PlacementCurve& curve : result.sweep.curves) {
       // Failed cells have no measured points; align_prediction then
@@ -333,14 +357,15 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
       result.predicted.push_back(align_prediction(
           model.predict({curve.comp_numa, curve.comm_numa}), curve));
     }
-    result.timings.predict_us = clock_.now_us() - start_us;
+    result.timings.predict_us = stage_now() - start_us;
   }
 
   // --- score ----------------------------------------------------------
   {
-    const obs::ScopedSpan span(options_.observer.trace, clock_, "score",
-                               "pipeline", 0);
-    const double start_us = clock_.now_us();
+    obs::ScopedSpan span(options_.observer.trace, clock_, "score",
+                         "pipeline", 0);
+    tag_span(span, context.trace);
+    const double start_us = stage_now();
     // Score only the successfully measured cells: failed cells (empty
     // curves) would poison the MAPE aggregation. With nothing measured
     // (status kFailed) the report stays default-initialized.
@@ -368,7 +393,7 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
             return aligned;
           });
     }
-    result.timings.score_us = clock_.now_us() - start_us;
+    result.timings.score_us = stage_now() - start_us;
   }
 
   return result;

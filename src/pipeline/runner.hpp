@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "model/metrics.hpp"
 #include "model/model.hpp"
 #include "obs/observer.hpp"
+#include "obs/trace_context.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/spec.hpp"
 
@@ -100,6 +102,15 @@ struct ScenarioResult {
   [[nodiscard]] model::ContentionModel contention_model() const;
 };
 
+/// Per-call context for one run(). The service threads the request's
+/// trace identity through here so the scenario/stage spans the Runner
+/// records are tagged with `trace_id` / `span_id` args and a merged
+/// Chrome timeline can follow one request across processes. Default
+/// (invalid trace) keeps spans untagged — existing callers unchanged.
+struct RunContext {
+  obs::TraceContext trace;
+};
+
 struct RunnerOptions {
   /// Shared calibration cache; null = the runner owns a private one.
   CalibrationCache* cache = nullptr;
@@ -116,6 +127,12 @@ struct RunnerOptions {
   /// measured_placements / placements_failed, "scenario" + per-stage wall
   /// spans on track 0.
   obs::Observer observer;
+  /// Stage-timing clock override, microseconds. When set, StageTimings
+  /// are measured as differences of this function instead of the
+  /// runner's wall clock — the service injects its (possibly virtual)
+  /// clock here so latency histograms fed from timings stay
+  /// deterministic under replay. Trace spans always use the wall clock.
+  std::function<double()> now_us;
 };
 
 /// Instantiate the spec's backend: simulator on the resolved platform with
@@ -152,7 +169,14 @@ class Runner {
   /// service configuration) or every caller supplies its own pool —
   /// ThreadPool dispatch itself is single-slot. All counters are atomic.
   [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec,
-                                   CalibrationCache& calibration_cache);
+                                   CalibrationCache& calibration_cache,
+                                   const RunContext& context);
+
+  /// Convenience overload: untraced context.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec,
+                                   CalibrationCache& calibration_cache) {
+    return run(spec, calibration_cache, RunContext{});
+  }
 
   /// Convenience overload using the options cache (or the private one).
   [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace mcm::svc {
@@ -37,7 +38,11 @@ Client::~Client() { close(); }
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(std::exchange(other.next_id_, 1)),
-      socket_path_(std::exchange(other.socket_path_, {})) {}
+      socket_path_(std::exchange(other.socket_path_, {})),
+      tracing_(other.tracing_),
+      trace_gen_(other.trace_gen_),
+      trace_sink_(std::exchange(other.trace_sink_, nullptr)),
+      span_clock_(other.span_clock_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -45,8 +50,18 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = std::exchange(other.next_id_, 1);
     socket_path_ = std::exchange(other.socket_path_, {});
+    tracing_ = other.tracing_;
+    trace_gen_ = other.trace_gen_;
+    trace_sink_ = std::exchange(other.trace_sink_, nullptr);
+    span_clock_ = other.span_clock_;
   }
   return *this;
+}
+
+void Client::enable_tracing(std::uint64_t seed, obs::TraceSink* sink) {
+  tracing_ = true;
+  trace_gen_ = obs::TraceIdGenerator(seed);
+  trace_sink_ = sink;
 }
 
 void Client::close() {
@@ -105,6 +120,10 @@ std::optional<Reply> Client::call(Request request,
   if (request.id.empty()) {
     request.id = "c" + std::to_string(next_id_++);
   }
+  if (tracing_ && request.trace.trace_id == 0) {
+    // One trace id per logical call; a caller-set identity wins.
+    request.trace.trace_id = trace_gen_.next();
+  }
 
   const bool bounded = options.deadline_ms > 0.0;
   const CallClock::time_point deadline_at =
@@ -124,7 +143,8 @@ std::optional<Reply> Client::call(Request request,
     reply.error = {ErrorCode::kDeadlineExceeded,
                    "client deadline of " + std::string(budget) +
                        "ms exhausted after " + std::to_string(attempts) +
-                       " attempt(s)" + (last.empty() ? "" : ": " + last)};
+                       " attempt(s)" + (last.empty() ? "" : ": " + last),
+                   std::string()};
     return reply;
   };
 
@@ -167,6 +187,25 @@ std::optional<Reply> Client::call(Request request,
     if (bounded) {
       // The server gets what is *left* of the budget, not the original.
       wire.deadline_ms = std::max(ms_until(deadline_at), 0.0);
+    }
+    if (tracing_) {
+      // Fresh span per attempt: retries share the call's trace_id but
+      // stay distinguishable hops in a merged timeline.
+      wire.trace.span_id = trace_gen_.next();
+    }
+    // Client-side attempt span (no-op when no sink): covers the frame
+    // write and the wait for the reply, tagged like the server spans so
+    // trace-merge can line the two processes up.
+    obs::ScopedSpan attempt_span(trace_sink_, span_clock_, "attempt",
+                                 "svc.client", 0);
+    if (wire.trace.valid()) {
+      attempt_span.arg("trace_id",
+                       static_cast<double>(wire.trace.trace_id));
+      if (wire.trace.span_id != 0) {
+        attempt_span.arg("span_id",
+                         static_cast<double>(wire.trace.span_id));
+      }
+      attempt_span.arg("attempt", static_cast<double>(attempt));
     }
     if (!write_frame_fd(fd_, render_request(wire))) {
       // A torn frame is discarded server-side, never executed — send

@@ -22,6 +22,8 @@
 #include <string>
 
 #include "net/fault.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "svc/protocol.hpp"
 
 namespace mcm::svc {
@@ -86,6 +88,17 @@ class Client {
                                           const CallOptions& options,
                                           std::string* error = nullptr);
 
+  /// Turn on trace propagation (default: off, so untraced transcripts
+  /// stay byte-identical). Every subsequent call() stamps its request
+  /// with a trace identity from a deterministic seed-derived stream: one
+  /// `trace_id` per logical call (kept by a caller-set request.trace),
+  /// and a *fresh* `span_id` per attempt, so retries of one call share
+  /// the trace id but are distinguishable hops in a merged timeline.
+  /// With `sink` non-null, each attempt additionally records a
+  /// client-side `attempt` span (category "svc.client") tagged with that
+  /// identity.
+  void enable_tracing(std::uint64_t seed, obs::TraceSink* sink = nullptr);
+
   /// Convenience wrappers over call().
   [[nodiscard]] std::optional<Reply> predict(
       const pipeline::ScenarioSpec& spec,
@@ -108,6 +121,12 @@ class Client {
   std::uint64_t next_id_ = 1;
   /// Where connect() attached, kept for reconnect-on-retry.
   std::string socket_path_;
+  /// Trace propagation state (enable_tracing); disabled by default.
+  bool tracing_ = false;
+  obs::TraceIdGenerator trace_gen_{0};
+  obs::TraceSink* trace_sink_ = nullptr;
+  /// Timeline for the client-side attempt spans.
+  obs::WallClock span_clock_;
 };
 
 }  // namespace mcm::svc

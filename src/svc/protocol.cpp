@@ -19,8 +19,9 @@ namespace {
 /// Every key a v1 request envelope may carry. Method-specific rules
 /// (spec vs stats-only keys) are enforced after the membership check so
 /// a typo is always reported as "unknown key", never as a missing field.
-constexpr const char* kEnvelopeKeys[] = {"v",    "id",     "method",    "class",
-                                         "spec", "format", "deadline_ms"};
+constexpr const char* kEnvelopeKeys[] = {"v",      "id",          "method",
+                                         "class",  "spec",        "format",
+                                         "deadline_ms", "trace_id", "span_id"};
 
 [[nodiscard]] bool known_envelope_key(const std::string& key) {
   for (const char* known : kEnvelopeKeys) {
@@ -33,7 +34,7 @@ constexpr const char* kEnvelopeKeys[] = {"v",    "id",     "method",    "class",
                                  std::string message) {
   ParsedRequest out;
   out.id = std::move(id);
-  out.error = {code, std::move(message)};
+  out.error = {code, std::move(message), std::string()};
   return out;
 }
 
@@ -221,6 +222,25 @@ ParsedRequest parse_request(const std::string& payload) {
     request.deadline_ms = deadline->as_number();
   }
 
+  if (const json::Value* trace = doc->find("trace_id"); trace != nullptr) {
+    if (!trace->is_string() ||
+        !obs::parse_trace_id(trace->as_string(), request.trace.trace_id)) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'trace_id' must be 12 lowercase hex characters, nonzero");
+    }
+  }
+  if (const json::Value* span = doc->find("span_id"); span != nullptr) {
+    if (request.trace.trace_id == 0) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'span_id' requires a 'trace_id'");
+    }
+    if (!span->is_string() ||
+        !obs::parse_trace_id(span->as_string(), request.trace.span_id)) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "'span_id' must be 12 lowercase hex characters, nonzero");
+    }
+  }
+
   const json::Value* spec = doc->find("spec");
   if (runs_pipeline) {
     if (spec == nullptr) {
@@ -268,6 +288,14 @@ std::string render_request(const Request& request) {
   if (request.deadline_ms > 0.0) {
     envelope["deadline_ms"] = json::Value(request.deadline_ms);
   }
+  if (request.trace.trace_id != 0) {
+    envelope["trace_id"] =
+        json::Value(obs::trace_id_to_hex(request.trace.trace_id));
+    if (request.trace.span_id != 0) {
+      envelope["span_id"] =
+          json::Value(obs::trace_id_to_hex(request.trace.span_id));
+    }
+  }
   return json::serialize(json::Value(std::move(envelope)));
 }
 
@@ -286,6 +314,9 @@ std::string render_error_reply(const std::string& id,
   json::Value::Object detail;
   detail["code"] = json::Value(std::string(to_string(error.code)));
   detail["message"] = json::Value(error.message);
+  if (!error.trace_id.empty()) {
+    detail["trace_id"] = json::Value(error.trace_id);
+  }
   json::Value::Object envelope;
   envelope["v"] = json::Value(static_cast<double>(kProtocolVersion));
   envelope["id"] = json::Value(id);
@@ -348,7 +379,8 @@ std::optional<Reply> parse_reply(const std::string& payload,
       set_error("unknown error code '" + *code + "'");
       return std::nullopt;
     }
-    reply.error = {*parsed, *message};
+    reply.error = {*parsed, *message,
+                   detail->string_at("trace_id").value_or("")};
   }
   return reply;
 }

@@ -29,6 +29,15 @@
 //               pipeline work once this budget, counted from request
 //               arrival, is spent — while queued behind admission or
 //               while waiting on another flight's calibration.
+//   trace_id    optional (additive v1 extension): exactly 12 lowercase
+//               hex characters, nonzero — the 48-bit id of the logical
+//               request (stable across client retries). The server tags
+//               every span it records for the request with this id and
+//               echoes it in error replies (shed / deadline-exceeded) so
+//               the client can correlate.
+//   span_id     optional, requires trace_id; same grammar — the id of
+//               the client-side attempt span (fresh per retry), recorded
+//               on server spans as the parent link.
 //
 // Reply payload:
 //
@@ -47,6 +56,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/trace_context.hpp"
 #include "pipeline/spec.hpp"
 #include "util/json.hpp"
 
@@ -94,6 +104,10 @@ enum class ErrorCode : std::uint8_t {
 struct WireError {
   ErrorCode code = ErrorCode::kBadRequest;
   std::string message;
+  /// When non-empty, echoed as the error detail's `trace_id` key (12
+  /// lowercase hex chars) — shed and deadline-exceeded replies carry the
+  /// request's trace id so the client can log the correlation.
+  std::string trace_id;
 };
 
 /// One decoded request frame.
@@ -108,6 +122,11 @@ struct Request {
   /// instead of starting (or keeping waiting on) pipeline work once the
   /// budget is spent.
   double deadline_ms = 0.0;
+  /// Request-scoped trace identity (optional `trace_id` / `span_id` wire
+  /// keys, additive v1 extension). trace_id == 0 means untraced; the keys
+  /// are then absent from the rendered request, keeping default traffic
+  /// byte-identical to pre-trace builds.
+  obs::TraceContext trace;
   /// Engaged for predict / calibrate.
   std::optional<pipeline::ScenarioSpec> spec;
 };

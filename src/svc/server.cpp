@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "pipeline/result_io.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/contracts.hpp"
@@ -25,7 +26,9 @@ namespace mcm::svc {
 namespace {
 
 pipeline::RunnerOptions runner_options(obs::MetricsRegistry* registry,
-                                       std::size_t max_retries) {
+                                       obs::TraceSink* trace,
+                                       std::size_t max_retries,
+                                       const ClockFn& clock) {
   pipeline::RunnerOptions options;
   // Serial measure stage: Runner::run is then safe to call concurrently
   // from every transport worker, and no wall-clock pool metrics leak
@@ -33,6 +36,10 @@ pipeline::RunnerOptions runner_options(obs::MetricsRegistry* registry,
   options.parallelism = 1;
   options.max_retries = max_retries;
   options.observer.metrics = registry;
+  options.observer.trace = trace;
+  // Stage timings measured on the service clock: the latency histograms
+  // fed from them stay deterministic when the clock is virtual.
+  options.now_us = [clock]() { return clock() * 1e6; };
   return options;
 }
 
@@ -44,6 +51,22 @@ struct DeadlineError : std::runtime_error {
 
 [[nodiscard]] bool expired(const ClockFn& clock, double deadline_at) {
   return deadline_at > 0.0 && clock() >= deadline_at;
+}
+
+/// Tag a span with the request's trace identity; no-op for untraced
+/// requests, so default spans stay arg-free.
+void tag_span(obs::ScopedSpan& span, const obs::TraceContext& trace) {
+  if (!trace.valid()) return;
+  span.arg("trace_id", static_cast<double>(trace.trace_id));
+  if (trace.span_id != 0) {
+    span.arg("span_id", static_cast<double>(trace.span_id));
+  }
+}
+
+/// The wire form of a trace id for log fields ("" when untraced).
+[[nodiscard]] std::string trace_hex(const obs::TraceContext& trace) {
+  return trace.valid() ? obs::trace_id_to_hex(trace.trace_id)
+                       : std::string();
 }
 
 }  // namespace
@@ -77,8 +100,12 @@ Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_shards),
       admission_(options_.admission, options_.clock),
-      runner_(runner_options(&registry_, options_.max_retries)),
-      clock_(options_.clock ? options_.clock : default_clock()) {
+      runner_(runner_options(
+          &registry_, options_.trace, options_.max_retries,
+          options_.clock ? options_.clock : default_clock())),
+      clock_(options_.clock ? options_.clock : default_clock()),
+      trace_(options_.trace),
+      log_(options_.log) {
   met_requests_ = &registry_.counter("svc.requests");
   met_shed_ = &registry_.counter("svc.shed");
   met_errors_ = &registry_.counter("svc.errors");
@@ -95,6 +122,25 @@ Service::Service(ServiceOptions options)
     met_shard_hits_.push_back(&registry_.counter(prefix + ".hits"));
     met_shard_misses_.push_back(&registry_.counter(prefix + ".misses"));
   }
+  gauge_inflight_ = &registry_.gauge("svc.inflight");
+  // Pre-registered (not lazily created) so every stats reply reports the
+  // same instrument set regardless of which requests arrived first.
+  static const char* const kMethods[2] = {"predict", "calibrate"};
+  static const char* const kClasses[2] = {"interactive", "bulk"};
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      lat_total_[m][c] = &registry_.latency(
+          std::string("svc.latency.total{class=\"") + kClasses[c] +
+          "\",method=\"" + kMethods[m] + "\"}");
+    }
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    lat_queue_wait_[c] = &registry_.latency(
+        std::string("svc.latency.queue_wait{class=\"") + kClasses[c] +
+        "\"}");
+  }
+  lat_calibrate_ = &registry_.latency("svc.latency.calibrate");
+  lat_predict_ = &registry_.latency("svc.latency.predict");
 }
 
 std::string Service::handle(const std::string& payload) {
@@ -102,24 +148,55 @@ std::string Service::handle(const std::string& payload) {
   ParsedRequest parsed = parse_request(payload);
   if (!parsed.request) {
     met_errors_->add();
+    if (log_ != nullptr) {
+      log_->warn("bad_request",
+                 {{"id", parsed.id}, {"error", parsed.error.message}});
+    }
     return render_error_reply(parsed.id, parsed.error);
   }
-  const Request& request = *parsed.request;
-  const double deadline_at = request.deadline_ms > 0.0
-                                 ? clock_() + request.deadline_ms / 1000.0
-                                 : 0.0;
-  return render_reply(dispatch(request, deadline_at));
+  return render_reply(serve_request(*parsed.request));
 }
 
 Reply Service::handle_request(const Request& request) {
   met_requests_->add();
-  const double deadline_at = request.deadline_ms > 0.0
-                                 ? clock_() + request.deadline_ms / 1000.0
-                                 : 0.0;
-  return dispatch(request, deadline_at);
+  return serve_request(request);
 }
 
-Reply Service::dispatch(const Request& request, double deadline_at) {
+Reply Service::serve_request(const Request& request) {
+  RequestScope scope;
+  scope.start_clock = clock_();
+  scope.start_wall_us = span_clock_.now_us();
+  scope.trace = request.trace;
+  scope.deadline_at = request.deadline_ms > 0.0
+                          ? scope.start_clock + request.deadline_ms / 1000.0
+                          : 0.0;
+  Reply reply;
+  const bool pipeline_method = request.method == Method::kPredict ||
+                               request.method == Method::kCalibrate;
+  if (pipeline_method) {
+    gauge_inflight_->add(1.0);
+    {
+      obs::ScopedSpan span(trace_, span_clock_, "request", "svc", 0);
+      tag_span(span, scope.trace);
+      reply = dispatch(request, scope);
+    }
+    gauge_inflight_->add(-1.0);
+    const std::size_t m = request.method == Method::kPredict ? 0 : 1;
+    const std::size_t c =
+        request.traffic_class == TrafficClass::kInteractive ? 0 : 1;
+    lat_total_[m][c]->record_us((clock_() - scope.start_clock) * 1e6);
+  } else {
+    reply = dispatch(request, scope);
+  }
+  // Error replies carry the request's trace identity so a client log line
+  // can be joined to the server-side spans without guessing by id.
+  if (!reply.ok && scope.trace.valid() && reply.error.trace_id.empty()) {
+    reply.error.trace_id = obs::trace_id_to_hex(scope.trace.trace_id);
+  }
+  return reply;
+}
+
+Reply Service::dispatch(const Request& request, const RequestScope& scope) {
   Reply reply;
   reply.id = request.id;
   try {
@@ -143,35 +220,57 @@ Reply Service::dispatch(const Request& request, double deadline_at) {
         // A request that arrives with its budget already spent (queued
         // behind a slow transport, or the client lowballed the deadline)
         // is answered immediately — no admission token, no pipeline.
-        if (expired(clock_, deadline_at)) {
+        if (expired(clock_, scope.deadline_at)) {
           throw DeadlineError(
               "deadline expired before the request was scheduled");
         }
         if (!admission_.admit(request.traffic_class)) {
           met_shed_->add();
+          if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+            log_->warn("shed",
+                       {{"id", request.id},
+                        {"class", std::string(
+                             to_string(request.traffic_class))},
+                        {"trace_id", trace_hex(scope.trace)}});
+          }
           reply.error = {
               ErrorCode::kOverloaded,
               std::string("rate limit exceeded for class '") +
-                  to_string(request.traffic_class) + "'"};
+                  to_string(request.traffic_class) + "'",
+              std::string()};
           return reply;
         }
-        return run_pipeline(request, deadline_at);
+        return run_pipeline(request, scope);
     }
   } catch (const DeadlineError& error) {
     met_deadline_exceeded_->add();
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+      log_->warn("deadline_exceeded",
+                 {{"id", request.id},
+                  {"error", std::string(error.what())},
+                  {"trace_id", trace_hex(scope.trace)}});
+    }
     reply.ok = false;
     reply.result = json::Value();
-    reply.error = {ErrorCode::kDeadlineExceeded, error.what()};
+    reply.error = {ErrorCode::kDeadlineExceeded, error.what(),
+                   std::string()};
   } catch (const std::exception& error) {
     met_errors_->add();
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kError)) {
+      log_->error("internal_error",
+                  {{"id", request.id},
+                   {"error", std::string(error.what())},
+                   {"trace_id", trace_hex(scope.trace)}});
+    }
     reply.ok = false;
     reply.result = json::Value();
-    reply.error = {ErrorCode::kInternal, error.what()};
+    reply.error = {ErrorCode::kInternal, error.what(), std::string()};
   }
   return reply;
 }
 
-Reply Service::run_pipeline(const Request& request, double deadline_at) {
+Reply Service::run_pipeline(const Request& request,
+                            const RequestScope& scope) {
   MCM_EXPECTS(request.spec.has_value());
   pipeline::ScenarioSpec spec = *request.spec;
   if (request.method == Method::kCalibrate) {
@@ -184,7 +283,14 @@ Reply Service::run_pipeline(const Request& request, double deadline_at) {
     spec.inject_failures.clear();
   }
   const pipeline::ScenarioResult result =
-      run_single_flight(spec, deadline_at);
+      run_single_flight(spec, scope, request.traffic_class);
+  // Stage-latency histograms, fed from the (service-clock) StageTimings.
+  // A cache hit skips the calibrate sweeps, so its near-zero sample would
+  // only blur the cost of real calibrations.
+  if (!result.cache_hit) {
+    lat_calibrate_->record_us(result.timings.calibrate_us);
+  }
+  lat_predict_->record_us(result.timings.predict_us);
 
   Reply reply;
   reply.id = request.id;
@@ -194,7 +300,8 @@ Reply Service::run_pipeline(const Request& request, double deadline_at) {
                    "every placement failed" +
                        (result.failures.empty()
                             ? std::string()
-                            : ": " + result.failures.front().error)};
+                            : ": " + result.failures.front().error),
+                   std::string()};
     return reply;
   }
   reply.ok = true;
@@ -214,20 +321,29 @@ Reply Service::run_pipeline(const Request& request, double deadline_at) {
 }
 
 pipeline::ScenarioResult Service::run_single_flight(
-    const pipeline::ScenarioSpec& spec, double deadline_at) {
+    const pipeline::ScenarioSpec& spec, const RequestScope& scope,
+    TrafficClass traffic_class) {
+  const pipeline::RunContext run_context{scope.trace};
   if (!spec.cacheable()) {
     // In-process callers can hand over platform-override specs the wire
     // cannot express; those bypass sharding (nothing to key on).
     pipeline::CalibrationCache private_cache;
-    return runner_.run(spec, private_cache);
+    end_queue_wait(scope, traffic_class, nullptr);
+    return runner_.run(spec, private_cache, run_context);
   }
   const std::string fingerprint = spec.fingerprint();
   const std::size_t index = cache_.shard_index(fingerprint);
   pipeline::CalibrationCache& shard = cache_.shard(index);
+  // Set when this request waited as a follower: the leader's trace
+  // identity, linked from the queue_wait span so a merged timeline shows
+  // whose calibration the wait was spent on.
+  obs::TraceContext leader_link;
   for (;;) {
     if (shard.find(fingerprint).has_value()) {
       met_shard_hits_[index]->add();
-      return runner_.run(spec, shard);
+      end_queue_wait(scope, traffic_class,
+                     leader_link.valid() ? &leader_link : nullptr);
+      return runner_.run(spec, shard, run_context);
     }
     std::unique_lock<std::mutex> lock(flights_mutex_);
     if (auto it = flights_.find(fingerprint); it != flights_.end()) {
@@ -237,14 +353,15 @@ pipeline::ScenarioResult Service::run_single_flight(
       // expired follower answers `deadline-exceeded` instead of burning
       // its worker on a calibration it can no longer use in time.
       const std::shared_ptr<Flight> flight = it->second;
+      leader_link = flight->leader;
       met_singleflight_->add();
-      if (deadline_at <= 0.0) {
+      if (scope.deadline_at <= 0.0) {
         flight->cv.wait(lock, [&] { return flight->done; });
         continue;
       }
       for (;;) {
         if (flight->done) break;
-        const double remaining = deadline_at - clock_();
+        const double remaining = scope.deadline_at - clock_();
         if (remaining <= 0.0) {
           throw DeadlineError(
               "deadline expired while waiting for an in-flight "
@@ -260,21 +377,44 @@ pipeline::ScenarioResult Service::run_single_flight(
     }
     // Leader-to-be: don't start a calibration whose requester already
     // timed out.
-    if (expired(clock_, deadline_at)) {
+    if (expired(clock_, scope.deadline_at)) {
       throw DeadlineError("deadline expired before calibration started");
     }
     const auto flight = std::make_shared<Flight>();
+    flight->leader = scope.trace;
     flights_.emplace(fingerprint, flight);
     lock.unlock();
     met_shard_misses_[index]->add();
+    end_queue_wait(scope, traffic_class,
+                   leader_link.valid() ? &leader_link : nullptr);
     try {
-      pipeline::ScenarioResult result = runner_.run(spec, shard);
+      pipeline::ScenarioResult result =
+          runner_.run(spec, shard, run_context);
       if (!result.cache_hit) met_calibrations_->add();
       finish_flight(fingerprint, flight);
       return result;
     } catch (...) {
       finish_flight(fingerprint, flight);
       throw;
+    }
+  }
+}
+
+void Service::end_queue_wait(const RequestScope& scope,
+                             TrafficClass traffic_class,
+                             const obs::TraceContext* leader) {
+  const std::size_t c =
+      traffic_class == TrafficClass::kInteractive ? 0 : 1;
+  lat_queue_wait_[c]->record_us((clock_() - scope.start_clock) * 1e6);
+  if (trace_ == nullptr) return;
+  obs::ScopedSpan span(trace_, "queue_wait", "svc", 0,
+                       scope.start_wall_us);
+  span.set_end(span_clock_.now_us());
+  tag_span(span, scope.trace);
+  if (leader != nullptr && leader->valid()) {
+    span.arg("link.trace_id", static_cast<double>(leader->trace_id));
+    if (leader->span_id != 0) {
+      span.arg("link.span_id", static_cast<double>(leader->span_id));
     }
   }
 }
@@ -287,9 +427,15 @@ void Service::finish_flight(const std::string& fingerprint,
   flight->cv.notify_all();
 }
 
-void Service::record_slow_client_drop() { met_slow_client_drops_->add(); }
+void Service::record_slow_client_drop() {
+  met_slow_client_drops_->add();
+  if (log_ != nullptr) log_->warn("slow_client_drop", {});
+}
 
-void Service::record_drained() { met_drained_->add(); }
+void Service::record_drained() {
+  met_drained_->add();
+  if (log_ != nullptr) log_->info("connection_drained", {});
+}
 
 pipeline::CacheFileStatus Service::load_cache_file(const std::string& path,
                                                    std::string* error) {
@@ -346,8 +492,12 @@ std::size_t serve_stdio(Service& service, std::istream& in,
   for (;;) {
     if (!read_frame(in, &payload, &error)) {
       if (!error.empty()) {
-        write_frame(out, render_error_reply(
-                             "", {ErrorCode::kBadRequest, error}));
+        if (service.log() != nullptr) {
+          service.log()->warn("bad_frame", {{"error", error}});
+        }
+        write_frame(out,
+                    render_error_reply("", {ErrorCode::kBadRequest, error,
+                                            std::string()}));
       }
       return served;
     }
@@ -429,6 +579,12 @@ bool SocketServer::start(std::string* error) {
     workers_done_ = true;
     done_cv_.notify_all();
   });
+  if (service_.log() != nullptr) {
+    service_.log()->info(
+        "listen",
+        {{"path", options_.path},
+         {"workers", static_cast<std::uint64_t>(options_.workers)}});
+  }
   return true;
 }
 
@@ -454,6 +610,11 @@ void SocketServer::stop() {
 
 bool SocketServer::drain(int timeout_ms) {
   if (!running()) return true;
+  if (service_.log() != nullptr) {
+    service_.log()->info(
+        "drain_begin",
+        {{"timeout_ms", static_cast<double>(timeout_ms)}});
+  }
   service_.set_draining(true);
   // Like the stop byte, never consumed: the accept polls exit, and idle
   // connections (waiting between frames) close. A connection mid-frame
@@ -469,6 +630,11 @@ bool SocketServer::drain(int timeout_ms) {
         [&] { return workers_done_; });
   }
   stop();
+  if (service_.log() != nullptr) {
+    service_.log()->info(
+        "drain_end",
+        {{"clean", static_cast<std::uint64_t>(finished ? 1 : 0)}});
+  }
   return finished;
 }
 
@@ -485,6 +651,11 @@ void SocketServer::worker_loop() {
     if ((fds[2].revents & POLLIN) != 0) return;  // draining: stop accepting
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;  // lost the accept race to another worker
+    if (service_.log() != nullptr &&
+        service_.log()->enabled(obs::LogLevel::kDebug)) {
+      service_.log()->debug(
+          "accept", {{"fd", static_cast<std::uint64_t>(conn)}});
+    }
     serve_connection(conn);
     ::close(conn);
   }
@@ -511,7 +682,9 @@ void SocketServer::serve_connection(int fd) {
       case FrameReadStatus::kOversized:
         // Typed goodbye; framing has no resync point, so close after.
         (void)write_frame_fd(
-            fd, render_error_reply("", {ErrorCode::kBadRequest, error}),
+            fd,
+            render_error_reply(
+                "", {ErrorCode::kBadRequest, error, std::string()}),
             io);
         return;
       case FrameReadStatus::kStallTimeout:

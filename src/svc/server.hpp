@@ -39,6 +39,25 @@
 //                          (truncated / corrupt / malformed)
 //   svc.cache.shard<i>.{hits,misses}  per-shard lookup outcomes
 // plus everything the pipeline Runner counts (pipeline.*, bench.*).
+//
+// Latency instruments (obs::LatencyHistogram, µs, measured against the
+// injectable service clock so deterministic-clock replays byte-compare):
+//   svc.latency.total{class=...,method=...}  request entry -> reply, per
+//                          predict/calibrate request and admission class
+//   svc.latency.queue_wait{class=...}  entry -> pipeline start: admission
+//                          plus any single-flight wait on another leader
+//   svc.latency.calibrate / svc.latency.predict  pipeline stage costs of
+//                          served requests (from StageTimings)
+// and the gauge svc.inflight (predict/calibrate requests currently being
+// served).
+//
+// Tracing: when ServiceOptions::trace is set, each predict/calibrate
+// request records `request` and `queue_wait` spans (category "svc"), and
+// the Runner's scenario/stage spans ride the same sink; all are tagged
+// with the request's wire `trace_id`/`span_id`. A follower's queue_wait
+// span links to its leader's trace identity (`link.trace_id` /
+// `link.span_id` args) so a merged timeline shows who calibrated on
+// whose behalf.
 #pragma once
 
 #include <atomic>
@@ -52,7 +71,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/runner.hpp"
 #include "svc/limiter.hpp"
@@ -83,10 +105,20 @@ struct ServiceOptions {
   /// Cache shard count; must be >= 1.
   std::size_t cache_shards = 8;
   AdmissionOptions admission;
-  /// Limiter clock; null = steady_clock. Injected by tests.
+  /// Limiter clock; null = steady_clock. Injected by tests, and replaced
+  /// by a virtual tick clock under `--deterministic` so latency values in
+  /// stats replies byte-compare across replay runs. Also the clock every
+  /// latency instrument measures against.
   ClockFn clock;
   /// Measure-stage retries forwarded to the Runner.
   std::size_t max_retries = 0;
+  /// Server-side trace sink (null = spans off). Request/queue_wait spans
+  /// and the Runner's stage spans are recorded here, tagged with the
+  /// request's trace identity.
+  obs::TraceSink* trace = nullptr;
+  /// Structured logger (null = silent). Shed / deadline / slow-client /
+  /// drain / bad-frame events, correlated by request id and trace_id.
+  obs::Log* log = nullptr;
 };
 
 class Service {
@@ -109,6 +141,8 @@ class Service {
     return registry_;
   }
   [[nodiscard]] ShardedCalibrationCache& cache() { return cache_; }
+  /// The structured logger the transports share (null when logging off).
+  [[nodiscard]] obs::Log* log() const { return log_; }
 
   /// Graceful-drain flag. While set, `health` reports "draining" and the
   /// transports close each connection after its current reply instead of
@@ -136,22 +170,41 @@ class Service {
 
  private:
   /// A calibration in flight; followers wait on `cv` under
-  /// flights_mutex_ until the leader sets done.
+  /// flights_mutex_ until the leader sets done. `leader` is the leader
+  /// request's trace identity so follower spans can link to it.
   struct Flight {
     std::condition_variable cv;
     bool done = false;
+    obs::TraceContext leader;
   };
 
-  /// deadline_at is an absolute limiter-clock instant (seconds), 0 = no
-  /// deadline; computed once at handle_request entry so queueing and
-  /// single-flight waits all burn the same budget.
-  [[nodiscard]] Reply dispatch(const Request& request, double deadline_at);
+  /// Per-request bookkeeping computed once at handle entry so queueing
+  /// and single-flight waits all burn the same budget, and every latency
+  /// sample measures from the same origin. `deadline_at` is an absolute
+  /// limiter-clock instant (seconds), 0 = no deadline.
+  struct RequestScope {
+    double deadline_at = 0.0;
+    double start_clock = 0.0;    ///< clock_() at entry, seconds
+    double start_wall_us = 0.0;  ///< span_clock_ at entry (span timeline)
+    obs::TraceContext trace;
+  };
+
+  /// dispatch wrapped in the request span, the in-flight gauge and the
+  /// total-latency sample; also echoes trace_id into error replies.
+  [[nodiscard]] Reply serve_request(const Request& request);
+  [[nodiscard]] Reply dispatch(const Request& request,
+                               const RequestScope& scope);
   [[nodiscard]] Reply run_pipeline(const Request& request,
-                                   double deadline_at);
+                                   const RequestScope& scope);
   [[nodiscard]] pipeline::ScenarioResult run_single_flight(
-      const pipeline::ScenarioSpec& spec, double deadline_at);
+      const pipeline::ScenarioSpec& spec, const RequestScope& scope,
+      TrafficClass traffic_class);
   void finish_flight(const std::string& fingerprint,
                      const std::shared_ptr<Flight>& flight);
+  /// Close the queue-wait phase: record the latency sample and (when
+  /// tracing) the queue_wait span, linked to `leader` for followers.
+  void end_queue_wait(const RequestScope& scope, TrafficClass traffic_class,
+                      const obs::TraceContext* leader);
   [[nodiscard]] json::Value stats_result(StatsFormat format);
 
   ServiceOptions options_;
@@ -159,9 +212,13 @@ class Service {
   ShardedCalibrationCache cache_;
   AdmissionController admission_;
   pipeline::Runner runner_;
-  /// The limiter's clock, shared by deadline enforcement so tests can
-  /// freeze or step time.
+  /// The limiter's clock, shared by deadline enforcement and every
+  /// latency instrument so tests can freeze or step time.
   ClockFn clock_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Log* log_ = nullptr;
+  /// Timeline for server-side spans (wall µs; Chrome-trace timestamps).
+  obs::WallClock span_clock_;
   std::atomic<bool> draining_{false};
 
   std::mutex flights_mutex_;
@@ -178,6 +235,12 @@ class Service {
   obs::Counter* met_cache_load_rejected_;
   std::vector<obs::Counter*> met_shard_hits_;
   std::vector<obs::Counter*> met_shard_misses_;
+  obs::Gauge* gauge_inflight_;
+  /// [method predict=0 / calibrate=1][class interactive=0 / bulk=1].
+  obs::LatencyHistogram* lat_total_[2][2];
+  obs::LatencyHistogram* lat_queue_wait_[2];
+  obs::LatencyHistogram* lat_calibrate_;
+  obs::LatencyHistogram* lat_predict_;
 };
 
 /// Sequential request/reply loop over length-prefixed frames: the mcmd

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -14,7 +15,8 @@ namespace mcm::obs {
 namespace {
 
 /// Hand-built deterministic registry: one of everything, with values that
-/// exercise bucket edges (0.2 -> first bucket, 4.0 -> mid, 200 -> overflow).
+/// exercise bucket edges (0.2 -> first bucket, 4.0 -> mid, 200 -> overflow)
+/// plus the labeled latency instruments the service registers.
 void populate(MetricsRegistry& registry) {
   registry.counter("sim.engine.slices").add(42);
   registry.counter("net.messages").add(3);
@@ -24,6 +26,17 @@ void populate(MetricsRegistry& registry) {
   h.record(Bandwidth::gb_per_s(0.2));
   h.record(Bandwidth::gb_per_s(4.0));
   h.record(Bandwidth::gb_per_s(200.0));
+  // Two label variants of one family (distinct registry entries) and one
+  // unlabeled latency, with samples at a bucket edge, mid-range and in
+  // the overflow bucket.
+  LatencyHistogram& interactive = registry.latency(
+      "svc.latency.total{class=\"interactive\",method=\"predict\"}");
+  interactive.record_us(1.0);
+  interactive.record_us(450.0);
+  LatencyHistogram& bulk = registry.latency(
+      "svc.latency.total{class=\"bulk\",method=\"predict\"}");
+  bulk.record_us(2e7);  // 20 s: overflow bucket
+  registry.latency("svc.latency.calibrate").record_us(125000.0);
 }
 
 /// Compare `actual` against the golden file; regenerate the golden when
@@ -51,6 +64,147 @@ TEST(PrometheusExport, NameSanitization) {
   EXPECT_EQ(prometheus_name("grant-dma gb/s"), "mcm_grant_dma_gb_s");
   EXPECT_EQ(prometheus_name("mcm_already_prefixed"), "mcm_already_prefixed");
   EXPECT_EQ(prometheus_name(""), "mcm_");
+}
+
+TEST(PrometheusExport, LabelBlocksSplitIntoFamilyAndLabels) {
+  const PrometheusSeries s = prometheus_series(
+      "svc.latency.total{class=\"interactive\",method=\"predict\"}");
+  EXPECT_EQ(s.family, "mcm_svc_latency_total");
+  ASSERT_EQ(s.labels.size(), 2u);
+  EXPECT_EQ(s.labels[0].first, "class");
+  EXPECT_EQ(s.labels[0].second, "interactive");
+  EXPECT_EQ(s.labels[1].first, "method");
+  EXPECT_EQ(s.labels[1].second, "predict");
+
+  // Label keys are sanitized, values escaped per the exposition format.
+  const PrometheusSeries odd =
+      prometheus_series("x{0bad-key=\"a\\b\"}");
+  ASSERT_EQ(odd.labels.size(), 1u);
+  EXPECT_EQ(odd.labels[0].first, "_0bad_key");
+  EXPECT_EQ(odd.labels[0].second, "a\\\\b");
+}
+
+TEST(PrometheusExport, MalformedLabelBlocksFallBackToMangling) {
+  // Anything that is not `key="value",...` inside the braces is treated
+  // as part of the name and mangled, never emitted as a bogus series.
+  for (const char* name :
+       {"a{b}", "a{b=c}", "a{b=\"c\",}", "a{=\"c\"}", "a{b=\"c"}) {
+    const PrometheusSeries s = prometheus_series(name);
+    EXPECT_TRUE(s.labels.empty()) << name;
+    EXPECT_EQ(s.family.find('{'), std::string::npos) << name;
+    EXPECT_EQ(s.family.find('"'), std::string::npos) << name;
+  }
+}
+
+TEST(PrometheusExport, LatencyFamiliesShareOneTypeDeclaration) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string prom = render_prometheus(registry.snapshot());
+  // The two label variants are one family: exactly one TYPE line, and a
+  // strict parser would reject a duplicate.
+  EXPECT_EQ(prom.find("# TYPE mcm_svc_latency_total histogram"),
+            prom.rfind("# TYPE mcm_svc_latency_total histogram"))
+      << prom;
+  // Sparse buckets: 1.0 lands on the le="1" edge, 450 in le="500"; the
+  // +Inf bucket always closes the family.
+  EXPECT_NE(
+      prom.find("mcm_svc_latency_total_bucket{class=\"interactive\","
+                "method=\"predict\",le=\"1\"} 1"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("mcm_svc_latency_total_bucket{class=\"interactive\","
+                "method=\"predict\",le=\"500\"} 2"),
+      std::string::npos)
+      << prom;
+  // The 20 s bulk sample is above every finite bound: only +Inf counts it.
+  EXPECT_NE(prom.find("mcm_svc_latency_total_bucket{class=\"bulk\","
+                      "method=\"predict\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << prom;
+  // Quantile gauges ride alongside as their own families.
+  EXPECT_NE(prom.find("# TYPE mcm_svc_latency_total_p99_us gauge"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcm_svc_latency_calibrate_p50_us "),
+            std::string::npos)
+      << prom;
+}
+
+/// Minimal strict parser of the exposition text format: every line must
+/// be a comment or `name{labels} value`, names must match the metric
+/// grammar, and no family may be TYPE-declared twice.
+void expect_valid_exposition(const std::string& text) {
+  std::set<std::string> declared;
+  std::istringstream lines(text);
+  std::string line;
+  const auto name_ok = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) return false;
+    }
+    return !(name[0] >= '0' && name[0] <= '9');
+  };
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      ASSERT_TRUE(fields >> family >> type) << line;
+      EXPECT_TRUE(name_ok(family)) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      EXPECT_TRUE(declared.insert(family).second)
+          << "family declared twice: " << family;
+      continue;
+    }
+    // `name value` or `name{k="v",...} value`.
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    const std::size_t open = series.find('{');
+    if (open != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      const std::string labels = series.substr(open + 1,
+                                               series.size() - open - 2);
+      // Each label is key="value"; quotes close and commas separate.
+      std::size_t i = 0;
+      while (i < labels.size()) {
+        const std::size_t eq = labels.find('=', i);
+        ASSERT_NE(eq, std::string::npos) << line;
+        EXPECT_TRUE(name_ok(labels.substr(i, eq - i))) << line;
+        ASSERT_EQ(labels[eq + 1], '"') << line;
+        std::size_t end = eq + 2;
+        while (end < labels.size() &&
+               (labels[end] != '"' || labels[end - 1] == '\\')) {
+          ++end;
+        }
+        ASSERT_LT(end, labels.size()) << "unterminated label: " << line;
+        i = end + 1;
+        if (i < labels.size()) {
+          ASSERT_EQ(labels[i], ',') << line;
+          ++i;
+        }
+      }
+      series = series.substr(0, open);
+    }
+    EXPECT_TRUE(name_ok(series)) << line;
+  }
+}
+
+TEST(PrometheusExport, OutputPassesAStrictParser) {
+  MetricsRegistry registry;
+  populate(registry);
+  // Adversarial names: dots, dashes, spaces, slashes and a label block
+  // with a key needing sanitization must all come out grammar-clean.
+  registry.counter("weird name-with/chars").add(1);
+  registry.gauge("svc.queue{1class=\"a b\"}").set(2.0);
+  expect_valid_exposition(render_prometheus(registry.snapshot()));
 }
 
 TEST(PrometheusExport, HistogramBucketsAreCumulative) {

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mcm::obs {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundsAreLogLinear) {
+  // 1 µs, then nine bounds per decade (2..10 · 10^d) for seven decades.
+  EXPECT_EQ(LatencyHistogram::kBucketCount, 65u);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(0), 1.0);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(1), 2.0);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(9), 10.0);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(10), 20.0);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(18), 100.0);
+  EXPECT_EQ(LatencyHistogram::bucket_bound_us(19), 200.0);
+  // Last finite bound is 10^7 µs = 10 s.
+  EXPECT_EQ(
+      LatencyHistogram::bucket_bound_us(LatencyHistogram::kFiniteBounds - 1),
+      1e7);
+  // Bounds are strictly increasing — the quantile interpolation depends
+  // on [bound(i-1), bound(i)] being a real interval.
+  for (std::size_t i = 1; i < LatencyHistogram::kFiniteBounds; ++i) {
+    EXPECT_LT(LatencyHistogram::bucket_bound_us(i - 1),
+              LatencyHistogram::bucket_bound_us(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, RecordPicksTheFirstBoundAtOrAboveTheSample) {
+  LatencyHistogram h;
+  h.record_us(0.5);   // below the first bound: bucket 0
+  h.record_us(1.0);   // inclusive upper bound: still bucket 0
+  h.record_us(1.5);   // first bound >= 1.5 is 2: bucket 1
+  h.record_us(2.0);   // inclusive: bucket 1
+  h.record_us(2.1);   // bucket 2 (bound 3)
+  h.record_us(10.0);  // decade boundary, inclusive: bucket 9 (bound 10)
+  h.record_us(11.0);  // next decade: bucket 10 (bound 20)
+  h.record_us(9.9e6);  // last finite bucket (bound 1e7)
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kFiniteBounds - 1), 1u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_NEAR(h.sum_us(), 0.5 + 1.0 + 1.5 + 2.0 + 2.1 + 10.0 + 11.0 + 9.9e6,
+              1e-6);
+  EXPECT_EQ(h.max_us(), 9.9e6);
+}
+
+TEST(LatencyHistogram, NegativeSamplesClampToZero) {
+  // Clock skew can produce a (tiny) negative latency; it must not
+  // underflow the bucket index or poison the sum.
+  LatencyHistogram h;
+  h.record_us(-5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_us(), 0.0);
+  EXPECT_EQ(h.max_us(), 0.0);
+}
+
+TEST(LatencyHistogram, OverflowBucketCatchesEverythingAboveTenSeconds) {
+  LatencyHistogram h;
+  h.record_us(2e7);  // 20 s: above the last finite bound
+  h.record_us(1e9);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kFiniteBounds), 2u);
+  EXPECT_EQ(h.max_us(), 1e9);
+  // A quantile landing in the overflow bucket reports the tracked max —
+  // the bucket has no upper bound to interpolate against.
+  const LatencySnapshot snap = snapshot_latency(h);
+  EXPECT_EQ(snap.p50_us, 1e9);
+  EXPECT_EQ(snap.p99_us, 1e9);
+}
+
+TEST(LatencySnapshot, QuantilesInterpolateWithinTheBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.record_us(1.0);
+  const LatencySnapshot snap = snapshot_latency(h);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.max_us, 1.0);
+  EXPECT_NEAR(snap.mean_us(), 1.0, 1e-12);
+  // All four samples sit in bucket 0 = (0, 1]; the quantile assumes a
+  // uniform spread across the interval.
+  EXPECT_NEAR(snap.p50_us, 0.5, 1e-12);
+  EXPECT_NEAR(snap.p95_us, 0.95, 1e-12);
+  EXPECT_NEAR(snap.p99_us, 0.99, 1e-12);
+  EXPECT_EQ(snap.quantile_us(0.0), 0.0);
+  EXPECT_NEAR(snap.quantile_us(1.0), 1.0, 1e-12);
+}
+
+TEST(LatencySnapshot, QuantilesAreCappedByTheTrackedMax) {
+  // One sample of 105 µs lands in the (100, 200] bucket; interpolation
+  // alone would report values up to 200, but the true max is known.
+  LatencyHistogram h;
+  h.record_us(105.0);
+  const LatencySnapshot snap = snapshot_latency(h);
+  EXPECT_LE(snap.p50_us, 105.0);
+  EXPECT_LE(snap.p99_us, 105.0);
+  EXPECT_EQ(snap.max_us, 105.0);
+}
+
+TEST(LatencySnapshot, EmptyHistogramReportsZeroes) {
+  const LatencySnapshot snap = snapshot_latency(LatencyHistogram{});
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50_us, 0.0);
+  EXPECT_EQ(snap.p99_us, 0.0);
+  EXPECT_EQ(snap.mean_us(), 0.0);
+  EXPECT_EQ(snap.quantile_us(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, ResetZeroesEverything) {
+  LatencyHistogram h;
+  h.record_us(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_us(), 0.0);
+  EXPECT_EQ(h.max_us(), 0.0);
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(h.bucket(i), 0u) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAreExact) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record_us(250.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  EXPECT_NEAR(h.sum_us(), 250.0 * static_cast<double>(total), 1e-3);
+  EXPECT_EQ(h.max_us(), 250.0);
+}
+
+TEST(MetricsRegistry, LatencyInstrumentIsStableAndSnapshotted) {
+  MetricsRegistry registry;
+  LatencyHistogram& a = registry.latency("svc.latency.total");
+  a.record_us(3.0);
+  registry.counter("unrelated").add();
+  LatencyHistogram& b = registry.latency("svc.latency.total");
+  EXPECT_EQ(&a, &b);
+
+  MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.latencies.count("svc.latency.total"), 1u);
+  EXPECT_EQ(snap.latencies.at("svc.latency.total").count, 1u);
+  EXPECT_FALSE(snap.empty());
+
+  registry.reset();
+  snap = registry.snapshot();
+  EXPECT_EQ(snap.latencies.at("svc.latency.total").count, 0u);
+}
+
+TEST(MetricsRegistry, TextExportRendersLatencySummaryAndBuckets) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.latency("svc.latency.predict");
+  h.record_us(1.0);
+  h.record_us(1.0);
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("svc.latency.predict count=2 p50_us=0.5 "
+                      "p95_us=0.95 p99_us=0.99 max_us=1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("svc.latency.predict{le=1} 2"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistry, JsonExportUsesSparseLatencyBuckets) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.latency("svc.latency.predict");
+  h.record_us(1.0);
+  h.record_us(15.0);  // bucket 10
+  h.record_us(1e9);   // overflow bucket 64
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"latencies\":{\"svc.latency.predict\":"),
+            std::string::npos)
+      << json;
+  // Sparse [index, count] pairs — 66 mostly-zero entries would dominate
+  // every stats reply otherwise.
+  EXPECT_NE(json.find("\"buckets\":[[0,1],[10,1],[64,1]]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"max_us\":1e+09"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace mcm::obs

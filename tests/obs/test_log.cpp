@@ -1,0 +1,131 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcm::obs {
+namespace {
+
+/// A log with an injected fixed clock writes byte-exact lines.
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    log_.attach(&out_);
+    log_.set_clock([] { return std::uint64_t{1234}; });
+  }
+
+  std::ostringstream out_;
+  Log log_;
+};
+
+TEST_F(LogTest, LineSchemaIsStable) {
+  log_.info("accept", {{"fd", std::uint64_t{7}}});
+  EXPECT_EQ(out_.str(),
+            "{\"ts_us\":1234,\"level\":\"info\",\"event\":\"accept\","
+            "\"fd\":7}\n");
+}
+
+TEST_F(LogTest, FieldKindsRenderDistinctly) {
+  log_.warn("shed", {{"id", "g1"},
+                     {"class", std::string("bulk")},
+                     {"wait_ms", 2.5},
+                     {"count", std::uint64_t{3}}});
+  EXPECT_EQ(out_.str(),
+            "{\"ts_us\":1234,\"level\":\"warn\",\"event\":\"shed\","
+            "\"id\":\"g1\",\"class\":\"bulk\",\"wait_ms\":2.5,"
+            "\"count\":3}\n");
+}
+
+TEST_F(LogTest, StringsAreJsonEscaped) {
+  log_.error("fail", {{"detail", "a \"b\"\\\n\x01"}});
+  EXPECT_EQ(out_.str(),
+            "{\"ts_us\":1234,\"level\":\"error\",\"event\":\"fail\","
+            "\"detail\":\"a \\\"b\\\"\\\\\\n\\u0001\"}\n");
+}
+
+TEST_F(LogTest, LevelsBelowTheThresholdAreDropped) {
+  log_.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_.enabled(LogLevel::kWarn));
+  log_.debug("dropped");
+  log_.info("dropped");
+  log_.warn("kept");
+  log_.error("kept-too");
+  const std::string text = out_.str();
+  EXPECT_EQ(text.find("dropped"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"event\":\"kept\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"event\":\"kept-too\""), std::string::npos) << text;
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  log_.set_level(LogLevel::kOff);
+  EXPECT_FALSE(log_.enabled(LogLevel::kError));
+  log_.error("nope");
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST(Log, NullSinkIsANoOp) {
+  Log log;  // no attach(): the default null sink
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+  log.info("goes nowhere", {{"k", "v"}});  // must not crash
+}
+
+TEST(Log, ParseLogLevelIsStrict) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  level = LogLevel::kWarn;
+  EXPECT_FALSE(parse_log_level("verbose", level));
+  EXPECT_FALSE(parse_log_level("INFO", level));
+  EXPECT_FALSE(parse_log_level("", level));
+  EXPECT_EQ(level, LogLevel::kWarn);  // untouched on failure
+}
+
+TEST(Log, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    LogLevel parsed = LogLevel::kOff;
+    ASSERT_TRUE(parse_log_level(to_string(level), parsed)) << to_string(level);
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveLines) {
+  std::ostringstream out;
+  Log log;
+  log.attach(&out);
+  log.set_clock([] { return std::uint64_t{0}; });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.info("tick", {{"n", std::uint64_t{1}}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every line is the complete, identical record — a torn write would
+  // break the per-line parse.
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line,
+              "{\"ts_us\":0,\"level\":\"info\",\"event\":\"tick\",\"n\":1}");
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace mcm::obs

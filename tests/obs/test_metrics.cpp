@@ -38,6 +38,26 @@ TEST(Gauge, LastWriteWins) {
   EXPECT_EQ(g.value(), 0.0);
 }
 
+TEST(Gauge, ConcurrentAddsBalanceToZero) {
+  // add() is the in-flight tracker: +1 on entry, -1 on exit from many
+  // threads must land back on exactly zero.
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.add(1.0);
+        g.add(-1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
 TEST(BandwidthHistogram, BucketsBracketTheBounds) {
   BandwidthHistogram h;
   h.record(Bandwidth::gb_per_s(0.2));    // <= 0.25: bucket 0

@@ -1,0 +1,83 @@
+#include "obs/trace_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace mcm::obs {
+namespace {
+
+TEST(TraceContext, ZeroTraceIdMeansNotTraced) {
+  TraceContext context;
+  EXPECT_FALSE(context.valid());
+  context.trace_id = 1;
+  EXPECT_TRUE(context.valid());
+}
+
+TEST(TraceIdGenerator, IsDeterministicPerSeed) {
+  TraceIdGenerator a(42);
+  TraceIdGenerator b(42);
+  TraceIdGenerator c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = a.next();
+    EXPECT_EQ(id, b.next());
+    if (id != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(TraceIdGenerator, IdsAreNonzero48BitAndWellSpread) {
+  // 48 bits so an id rides a TraceEvent double arg bit-for-bit; nonzero
+  // because zero is the "not traced" sentinel.
+  TraceIdGenerator gen(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = gen.next();
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(id & ~kTraceIdMask, 0u) << "id wider than 48 bits: " << id;
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in a short stream
+}
+
+TEST(TraceIdGenerator, IdsSurviveADoubleRoundTrip) {
+  TraceIdGenerator gen(99);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = gen.next();
+    const auto as_double = static_cast<double>(id);
+    EXPECT_EQ(static_cast<std::uint64_t>(as_double), id);
+  }
+}
+
+TEST(TraceIdHex, RendersTwelveLowercaseZeroPaddedChars) {
+  EXPECT_EQ(trace_id_to_hex(0x4d2), "0000000004d2");
+  EXPECT_EQ(trace_id_to_hex(0xabcdef123456ULL), "abcdef123456");
+  EXPECT_EQ(trace_id_to_hex(kTraceIdMask), "ffffffffffff");
+}
+
+TEST(TraceIdHex, RoundTripsThroughParse) {
+  TraceIdGenerator gen(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = gen.next();
+    std::uint64_t parsed = 0;
+    ASSERT_TRUE(parse_trace_id(trace_id_to_hex(id), parsed));
+    EXPECT_EQ(parsed, id);
+  }
+}
+
+TEST(TraceIdHex, ParseIsStrict) {
+  std::uint64_t id = 77;
+  EXPECT_FALSE(parse_trace_id("", id));
+  EXPECT_FALSE(parse_trace_id("4d2", id));             // too short
+  EXPECT_FALSE(parse_trace_id("0000000004d21", id));   // too long
+  EXPECT_FALSE(parse_trace_id("0000000004D2", id));    // uppercase
+  EXPECT_FALSE(parse_trace_id("0000000004g2", id));    // non-hex
+  EXPECT_FALSE(parse_trace_id("000000000000", id));    // zero sentinel
+  EXPECT_FALSE(parse_trace_id(" 000000004d2", id));    // whitespace
+  EXPECT_EQ(id, 77u);  // untouched on every failure
+}
+
+}  // namespace
+}  // namespace mcm::obs

@@ -1,0 +1,180 @@
+// Trace propagation under chaos: retries keep the call's trace_id while
+// every attempt gets a fresh span_id, and a single-flight follower's
+// queue_wait span links to the leader that calibrated on its behalf.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "pipeline/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::svc {
+namespace {
+
+double counter(const Service& service, const std::string& name) {
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return static_cast<double>(value);
+  }
+  return 0.0;
+}
+
+std::string unique_path(const std::string& tag) {
+  return "/tmp/mcm-chaost-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+pipeline::ScenarioSpec calibration_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "chaos-trace";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+/// `"key":value` with the id printed exactly (the sink renders integral
+/// args as integers, so a 48-bit id is searchable verbatim).
+std::string tag(const char* key, std::uint64_t id) {
+  return std::string("\"") + key + "\":" + std::to_string(id);
+}
+
+TEST(ChaosTrace, RetriesReuseTheTraceIdWithFreshSpanIds) {
+  obs::ChromeTraceSink server_sink;
+  ServiceOptions options;
+  options.admission.bulk = {1.0, 0.0};  // one token, never refilled
+  options.clock = [] { return 0.0; };
+  options.trace = &server_sink;
+  Service service(options);
+  const std::string path = unique_path("retry");
+  SocketServer server(service, SocketServerOptions{path});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+
+  obs::ChromeTraceSink client_sink;
+  constexpr std::uint64_t kSeed = 9;
+  client->enable_tracing(kSeed, &client_sink);
+  // The id stream is deterministic: mirror it to know exactly which ids
+  // each call and attempt must have used.
+  obs::TraceIdGenerator expected(kSeed);
+  const std::uint64_t trace_a = expected.next();  // call 1
+  const std::uint64_t span_a1 = expected.next();  //   its only attempt
+  const std::uint64_t trace_b = expected.next();  // call 2
+  const std::uint64_t span_b1 = expected.next();  //   attempt 1
+  const std::uint64_t span_b2 = expected.next();  //   attempt 2 (retry)
+  const std::uint64_t span_b3 = expected.next();  //   attempt 3 (retry)
+
+  // Call 1 consumes the only bulk token.
+  const auto first =
+      client->predict(calibration_spec(), TrafficClass::kBulk, &error);
+  ASSERT_TRUE(first) << error;
+  ASSERT_TRUE(first->ok) << first->error.message;
+
+  // Call 2 is shed on all three attempts.
+  Request request;
+  request.method = Method::kPredict;
+  request.traffic_class = TrafficClass::kBulk;
+  request.spec = calibration_spec();
+  CallOptions call;
+  call.retry.max_retries = 2;
+  call.retry_pause_ms = 1.0;
+  const auto shed = client->call(std::move(request), call, &error);
+  ASSERT_TRUE(shed) << error;
+  ASSERT_FALSE(shed->ok);
+  EXPECT_EQ(counter(service, "svc.shed"), 3.0);
+  server.stop();
+
+  // The shed reply echoes the *call's* trace id.
+  EXPECT_EQ(shed->error.trace_id, obs::trace_id_to_hex(trace_b));
+
+  // The client recorded one attempt span per wire attempt.
+  EXPECT_EQ(client_sink.count("attempt"), 4u);
+  const std::string client_json = client_sink.to_json();
+  EXPECT_NE(client_json.find(tag("trace_id", trace_a)), std::string::npos);
+  for (const std::uint64_t span : {span_b1, span_b2, span_b3}) {
+    EXPECT_NE(client_json.find(tag("span_id", span)), std::string::npos)
+        << "every retry needs its own span id";
+  }
+
+  // Server-side request spans carry the same (trace, span) pairs: one
+  // trace id across the retries, three distinct span ids.
+  EXPECT_EQ(server_sink.count("request"), 4u);
+  const std::string server_json = server_sink.to_json();
+  EXPECT_NE(server_json.find(tag("trace_id", trace_a)), std::string::npos);
+  EXPECT_NE(server_json.find(tag("span_id", span_a1)), std::string::npos);
+  EXPECT_NE(server_json.find(tag("trace_id", trace_b)), std::string::npos);
+  for (const std::uint64_t span : {span_b1, span_b2, span_b3}) {
+    EXPECT_NE(server_json.find(tag("span_id", span)), std::string::npos)
+        << "attempt span ids must propagate to the server's spans";
+  }
+}
+
+TEST(ChaosTrace, FollowerQueueWaitSpansLinkToTheirLeader) {
+  obs::ChromeTraceSink sink;
+  ServiceOptions options;
+  options.trace = &sink;
+  Service service(options);
+  constexpr std::uint64_t kLeaderTrace = 0x111111;
+  constexpr std::uint64_t kFollowerTrace = 0x222222;
+
+  const auto traced_predict = [](const std::string& id,
+                                 std::uint64_t trace_id) {
+    Request request;
+    request.id = id;
+    request.method = Method::kPredict;
+    request.spec = calibration_spec();
+    request.trace.trace_id = trace_id;
+    request.trace.span_id = trace_id + 1;
+    return request;
+  };
+
+  std::thread leader([&] {
+    ASSERT_TRUE(
+        service.handle_request(traced_predict("lead", kLeaderTrace)).ok);
+  });
+  // Wait until the leader owns the flight (its shard records the miss),
+  // then pile followers onto it.
+  const std::size_t shard =
+      service.cache().shard_index(calibration_spec().fingerprint());
+  const std::string misses =
+      "svc.cache.shard" + std::to_string(shard) + ".misses";
+  while (counter(service, misses) < 1.0) {
+    std::this_thread::yield();
+  }
+  std::vector<std::thread> followers;
+  for (int i = 0; i < 4; ++i) {
+    followers.emplace_back([&, i] {
+      ASSERT_TRUE(service
+                      .handle_request(traced_predict(
+                          "follow" + std::to_string(i), kFollowerTrace))
+                      .ok);
+    });
+  }
+  for (std::thread& t : followers) t.join();
+  leader.join();
+
+  if (counter(service, "svc.singleflight_hits") < 1.0) {
+    GTEST_SKIP() << "calibration finished before any follower joined "
+                    "the flight — nothing to link";
+  }
+  // At least one follower waited on the leader's flight: its queue_wait
+  // span must carry both its own identity and the leader's link.
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find(tag("link.trace_id", kLeaderTrace)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(tag("link.span_id", kLeaderTrace + 1)),
+            std::string::npos);
+  EXPECT_NE(json.find(tag("trace_id", kFollowerTrace)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::svc

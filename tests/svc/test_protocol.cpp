@@ -343,7 +343,7 @@ TEST(ReplyCodec, ResultReplyRoundTrips) {
 
 TEST(ReplyCodec, ErrorReplyRoundTripsCodeAndMessage) {
   const std::string payload = render_error_reply(
-      "r2", {ErrorCode::kOverloaded, "rate limit exceeded"});
+      "r2", {ErrorCode::kOverloaded, "rate limit exceeded", std::string()});
   std::string error;
   const auto reply = parse_reply(payload, &error);
   ASSERT_TRUE(reply) << error;

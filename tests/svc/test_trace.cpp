@@ -1,0 +1,266 @@
+// Trace propagation through the service: wire fields, request/queue_wait
+// spans, latency instruments and the trace_id echo on error replies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
+#include "pipeline/spec.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::svc {
+namespace {
+
+pipeline::ScenarioSpec calibration_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "svc-trace-test";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+Request traced_predict(const std::string& id, std::uint64_t trace_id,
+                       std::uint64_t span_id = 0,
+                       TrafficClass cls = TrafficClass::kInteractive) {
+  Request request;
+  request.id = id;
+  request.method = Method::kPredict;
+  request.traffic_class = cls;
+  request.spec = calibration_spec();
+  request.trace.trace_id = trace_id;
+  request.trace.span_id = span_id;
+  return request;
+}
+
+/// Step clock: each read advances 1 ms, so every latency sample is a
+/// deterministic positive multiple of 1000 µs.
+ClockFn step_clock() {
+  return [t = std::make_shared<double>(0.0)] {
+    *t += 1e-3;
+    return *t;
+  };
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(Protocol, TraceFieldsRoundTripThroughTheWire) {
+  Request request = traced_predict("t1", 0x4d2, 0xabc);
+  const std::string payload = render_request(request);
+  EXPECT_NE(payload.find("\"trace_id\":\"0000000004d2\""),
+            std::string::npos)
+      << payload;
+  EXPECT_NE(payload.find("\"span_id\":\"000000000abc\""),
+            std::string::npos)
+      << payload;
+
+  const ParsedRequest parsed = parse_request(payload);
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  EXPECT_EQ(parsed.request->trace.trace_id, 0x4d2u);
+  EXPECT_EQ(parsed.request->trace.span_id, 0xabcu);
+}
+
+TEST(Protocol, UntracedRequestsCarryNoTraceKeys) {
+  // The trace fields are an additive v1 extension: default traffic must
+  // stay byte-identical to pre-trace builds.
+  Request request = traced_predict("t1", 0);
+  const std::string payload = render_request(request);
+  EXPECT_EQ(payload.find("trace_id"), std::string::npos) << payload;
+  EXPECT_EQ(payload.find("span_id"), std::string::npos) << payload;
+}
+
+TEST(Protocol, SpanIdAloneRendersNothing) {
+  Request request = traced_predict("t1", 0, 0xabc);
+  EXPECT_EQ(render_request(request).find("span_id"), std::string::npos);
+}
+
+TEST(Protocol, MalformedTraceIdsAreRejected) {
+  const char* bad[] = {
+      R"({"v": 1, "id": "t", "method": "health", "trace_id": "xyz"})",
+      R"({"v": 1, "id": "t", "method": "health", "trace_id": "0000000004D2"})",
+      R"({"v": 1, "id": "t", "method": "health", "trace_id": "000000000000"})",
+      R"({"v": 1, "id": "t", "method": "health", "trace_id": 1234})",
+      R"({"v": 1, "id": "t", "method": "health", "span_id": "0000000004d2"})",
+  };
+  for (const char* payload : bad) {
+    const ParsedRequest parsed = parse_request(payload);
+    EXPECT_FALSE(parsed.request.has_value()) << payload;
+    EXPECT_EQ(parsed.error.code, ErrorCode::kBadRequest) << payload;
+    EXPECT_EQ(parsed.id, "t") << "id survives for error correlation";
+  }
+}
+
+TEST(Protocol, ErrorRepliesRoundTripTheTraceIdDetail) {
+  WireError error{ErrorCode::kOverloaded, "shed", "0000000004d2"};
+  const std::string payload = render_error_reply("t1", error);
+  EXPECT_NE(payload.find("\"trace_id\":\"0000000004d2\""),
+            std::string::npos)
+      << payload;
+  const auto reply = parse_reply(payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->error.trace_id, "0000000004d2");
+  // Untraced error replies keep the detail absent entirely.
+  EXPECT_EQ(render_error_reply("t2", {ErrorCode::kInternal, "boom",
+                                      std::string()})
+                .find("trace_id"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(ServiceTrace, TracedPredictRecordsTaggedRequestAndQueueWaitSpans) {
+  obs::ChromeTraceSink sink;
+  ServiceOptions options;
+  options.trace = &sink;
+  options.clock = step_clock();
+  Service service(options);
+  ASSERT_TRUE(service.handle_request(traced_predict("p1", 0x4d2, 0xabc)).ok);
+
+  EXPECT_EQ(sink.count("request"), 1u);
+  EXPECT_EQ(sink.count("queue_wait"), 1u);
+  // The Runner's scenario/stage spans ride the same sink.
+  EXPECT_EQ(sink.count("scenario"), 1u);
+  EXPECT_GE(sink.count("calibrate"), 1u);
+  const std::string json = sink.to_json();
+  // Ids ride as exact integers (1234 = 0x4d2, 2748 = 0xabc) on every
+  // tagged span.
+  EXPECT_NE(json.find("\"trace_id\":1234"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_id\":2748"), std::string::npos) << json;
+}
+
+TEST(ServiceTrace, UntracedRequestsStillRecordSpansWithoutTags) {
+  obs::ChromeTraceSink sink;
+  ServiceOptions options;
+  options.trace = &sink;
+  Service service(options);
+  ASSERT_TRUE(service.handle_request(traced_predict("p1", 0)).ok);
+  EXPECT_EQ(sink.count("request"), 1u);
+  EXPECT_EQ(sink.to_json().find("trace_id"), std::string::npos);
+}
+
+TEST(ServiceTrace, NoSinkMeansNoSpansAndNoCrash) {
+  Service service;
+  EXPECT_TRUE(service.handle_request(traced_predict("p1", 0x4d2)).ok);
+}
+
+// ------------------------------------------------------------- latencies
+
+TEST(ServiceLatency, PredictPopulatesTheLatencyInstruments) {
+  ServiceOptions options;
+  options.clock = step_clock();
+  Service service(options);
+  ASSERT_TRUE(service.handle_request(traced_predict("p1", 0)).ok);
+  ASSERT_TRUE(service.handle_request(traced_predict("p2", 0)).ok);
+
+  const obs::MetricsSnapshot snap = service.metrics().snapshot();
+  const auto& total = snap.latencies.at(
+      "svc.latency.total{class=\"interactive\",method=\"predict\"}");
+  EXPECT_EQ(total.count, 2u);
+  EXPECT_GT(total.p50_us, 0.0) << "step clock: samples are >= 1000us";
+  EXPECT_GE(total.p99_us, total.p50_us);
+  EXPECT_GE(total.max_us, total.p99_us);
+
+  EXPECT_EQ(snap.latencies
+                .at("svc.latency.queue_wait{class=\"interactive\"}")
+                .count,
+            2u);
+  EXPECT_EQ(snap.latencies.at("svc.latency.predict").count, 2u);
+  // The second request was a cache hit: its zero-cost calibrate stage
+  // must not blur the real calibration cost distribution.
+  EXPECT_EQ(snap.latencies.at("svc.latency.calibrate").count, 1u);
+  // The bulk/calibrate variants exist (pre-registered) but stay empty.
+  EXPECT_EQ(snap.latencies
+                .at("svc.latency.total{class=\"bulk\",method=\"predict\"}")
+                .count,
+            0u);
+  // In-flight gauge is back to zero between requests.
+  EXPECT_EQ(snap.gauges.at("svc.inflight"), 0.0);
+}
+
+TEST(ServiceLatency, StatsReplyReportsQuantiles) {
+  ServiceOptions options;
+  options.clock = step_clock();
+  Service service(options);
+  ASSERT_TRUE(service.handle_request(traced_predict("p1", 0)).ok);
+  Request stats;
+  stats.id = "s1";
+  stats.method = Method::kStats;
+  const Reply reply = service.handle_request(stats);
+  ASSERT_TRUE(reply.ok);
+  const json::Value* latencies = reply.result.find("latencies");
+  ASSERT_NE(latencies, nullptr);
+  const json::Value* total = latencies->find(
+      "svc.latency.total{class=\"interactive\",method=\"predict\"}");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->number_at("count"), 1.0);
+  EXPECT_GT(total->number_at("p50_us").value_or(0.0), 0.0);
+  EXPECT_GT(total->number_at("p95_us").value_or(0.0), 0.0);
+  EXPECT_GT(total->number_at("p99_us").value_or(0.0), 0.0);
+
+  Request prom;
+  prom.id = "s2";
+  prom.method = Method::kStats;
+  prom.stats_format = StatsFormat::kPrometheus;
+  const Reply prom_reply = service.handle_request(prom);
+  ASSERT_TRUE(prom_reply.ok);
+  const std::string& text =
+      prom_reply.result.find("prometheus")->as_string();
+  EXPECT_NE(text.find("mcm_svc_latency_total_bucket"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcm_svc_latency_total_p99_us"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("class=\"interactive\""), std::string::npos) << text;
+}
+
+// ------------------------------------------------------------ error echo
+
+TEST(ServiceTrace, ShedRepliesEchoTheTraceId) {
+  ServiceOptions options;
+  options.admission.bulk = {1.0, 0.0};
+  options.clock = [] { return 0.0; };  // frozen: no refill
+  Service service(options);
+  ASSERT_TRUE(service
+                  .handle_request(traced_predict("b1", 0x4d2, 0,
+                                                 TrafficClass::kBulk))
+                  .ok);
+  const Reply shed = service.handle_request(
+      traced_predict("b2", 0x4d2, 0, TrafficClass::kBulk));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(shed.error.trace_id, "0000000004d2");
+}
+
+TEST(ServiceTrace, DeadlineRepliesEchoTheTraceId) {
+  ServiceOptions options;
+  options.clock = [t = std::make_shared<double>(0.0)] {
+    *t += 10.0;  // each read jumps 10 s: the budget is gone on arrival
+    return *t;
+  };
+  Service service(options);
+  Request request = traced_predict("d1", 0x4d2);
+  request.deadline_ms = 1000.0;
+  const Reply reply = service.handle_request(request);
+  ASSERT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(reply.error.trace_id, "0000000004d2");
+}
+
+TEST(ServiceTrace, UntracedErrorsCarryNoTraceId) {
+  ServiceOptions options;
+  options.admission.bulk = {1.0, 0.0};
+  options.clock = [] { return 0.0; };
+  Service service(options);
+  ASSERT_TRUE(service
+                  .handle_request(
+                      traced_predict("b1", 0, 0, TrafficClass::kBulk))
+                  .ok);
+  const Reply shed = service.handle_request(
+      traced_predict("b2", 0, 0, TrafficClass::kBulk));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_TRUE(shed.error.trace_id.empty());
+}
+
+}  // namespace
+}  // namespace mcm::svc

@@ -651,6 +651,83 @@ int cmd_serve(const cli::Parser& parser) {
   return tools::run_service(parser, "mcmtool serve");
 }
 
+/// Merge N Chrome trace files (e.g. a client-side trace from
+/// `query --trace` and the server's `serve --trace` file) into one
+/// timeline: file i becomes pid i+1 with a process_name metadata event,
+/// and each file's timestamps are shifted so its earliest event lands at
+/// 0 — WallClock origins are per-process, so raw timestamps from two
+/// processes do not line up. Events keep their file order; the output is
+/// deterministic for fixed inputs (CI byte-diffs two merges).
+int cmd_trace_merge(const cli::Parser& parser) {
+  const std::vector<std::string>& files = parser.positionals();
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "error: trace-merge needs at least one <trace.json>\n");
+    return 2;
+  }
+  json::Value::Array merged;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::optional<std::string> text = read_file(files[i]);
+    if (!text) return 1;
+    const std::optional<json::Value> doc = json::parse(*text);
+    if (!doc || !doc->is_array()) {
+      std::fprintf(stderr,
+                   "error: '%s' is not a Chrome trace JSON array\n",
+                   files[i].c_str());
+      return 1;
+    }
+    const json::Value::Array& events = doc->as_array();
+    double origin = 0.0;
+    bool have_origin = false;
+    for (const json::Value& event : events) {
+      if (!event.is_object()) continue;
+      const std::optional<double> ts = event.number_at("ts");
+      if (ts && (!have_origin || *ts < origin)) {
+        origin = *ts;
+        have_origin = true;
+      }
+    }
+    const double pid = static_cast<double>(i + 1);
+    {
+      json::Value::Object meta;
+      meta["name"] = json::Value(std::string("process_name"));
+      meta["ph"] = json::Value(std::string("M"));
+      meta["pid"] = json::Value(pid);
+      meta["tid"] = json::Value(0.0);
+      json::Value::Object args;
+      args["name"] = json::Value(files[i]);
+      meta["args"] = json::Value(std::move(args));
+      merged.push_back(json::Value(std::move(meta)));
+    }
+    for (const json::Value& event : events) {
+      if (!event.is_object()) {
+        std::fprintf(stderr, "error: '%s' holds a non-object event\n",
+                     files[i].c_str());
+        return 1;
+      }
+      json::Value::Object out = event.as_object();
+      out["pid"] = json::Value(pid);
+      const std::optional<double> ts = event.number_at("ts");
+      if (ts) out["ts"] = json::Value(*ts - origin);
+      merged.push_back(json::Value(std::move(out)));
+    }
+  }
+  const std::string serialized =
+      json::serialize(json::Value(std::move(merged)));
+  const std::string out_path = parser.value("--out");
+  if (out_path.empty()) {
+    std::printf("%s\n", serialized.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << serialized << '\n';
+  return 0;
+}
+
 int cmd_query(const cli::Parser& parser) {
   const std::string path = parser.value("--socket");
   if (path.empty()) {
@@ -723,22 +800,54 @@ int cmd_query(const cli::Parser& parser) {
   call_options.deadline_ms = *deadline_ms;
   call_options.retry.max_retries = *retries;
 
+  const std::string trace_path = parser.value("--trace");
+  const std::optional<std::size_t> trace_seed =
+      parser.size_value("--trace-seed");
+  if (!trace_seed) {
+    std::fprintf(stderr,
+                 "error: --trace-seed must be a non-negative integer\n");
+    return 2;
+  }
+
   std::string error;
   std::optional<svc::Client> client = svc::Client::connect(path, &error);
   if (!client) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+  // Tracing on demand: a seed-deterministic trace identity rides the
+  // request (and shows up in the server's spans); with --trace FILE the
+  // client-side attempt spans are written there for trace-merge.
+  obs::ChromeTraceSink client_sink;
+  client_sink.set_track_name(0, "client");
+  if (!trace_path.empty() || parser.is_set("--trace-seed")) {
+    client->enable_tracing(
+        static_cast<std::uint64_t>(*trace_seed),
+        trace_path.empty() ? nullptr : &client_sink);
+  }
   const std::optional<svc::Reply> reply =
       client->call(std::move(request), call_options, &error);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    client_sink.write_json(out);
+  }
   if (!reply) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   if (!reply->ok) {
-    std::fprintf(stderr, "error: %s: %s\n",
+    std::fprintf(stderr, "error: %s: %s%s%s\n",
                  svc::to_string(reply->error.code),
-                 reply->error.message.c_str());
+                 reply->error.message.c_str(),
+                 reply->error.trace_id.empty() ? "" : " [trace ",
+                 reply->error.trace_id.empty()
+                     ? ""
+                     : (reply->error.trace_id + "]").c_str());
     // Distinct exit codes for the transient failures scripts branch on:
     // 3 = shed by admission control, 4 = deadline exhausted.
     if (reply->error.code == svc::ErrorCode::kOverloaded) return 3;
@@ -822,8 +931,17 @@ const std::vector<Subcommand>& subcommands() {
         {"--id", "S", "", "request id [generated]"},
         {"--deadline-ms", "MS", "0",
          "end-to-end deadline across all attempts (0 = none)"},
-        {"--retries", "N", "0", "extra attempts on retryable failures"}},
+        {"--retries", "N", "0", "extra attempts on retryable failures"},
+        {"--trace", "FILE", "",
+         "write the client-side Chrome trace here (enables tracing)"},
+        {"--trace-seed", "N", "1",
+         "seed of the deterministic trace-id stream (setting it enables "
+         "tracing)"}},
        cmd_query},
+      {"trace-merge", "<trace.json>...",
+       "merge client/server Chrome traces into one timeline",
+       {{"--out", "FILE", "", "write the merged trace here [stdout]"}},
+       cmd_trace_merge},
   };
   return commands;
 }

@@ -3,14 +3,20 @@
 // SIGINT/SIGTERM, or the deterministic stdin/stdout frame loop).
 #pragma once
 
+#include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cli.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "svc/limiter.hpp"
 #include "svc/server.hpp"
 
@@ -38,6 +44,15 @@ inline std::vector<cli::Option> service_options() {
        "slow-client cap: budget to finish a started frame or reply"},
       {"--idle-timeout-ms", "MS", "0",
        "close kept-alive connections idle this long (0 = never)"},
+      {"--log-level", "LEVEL", "info",
+       "structured-log threshold: debug, info, warn, error or off"},
+      {"--log-file", "FILE", "",
+       "append JSONL structured logs here ('-' = stderr; default: off)"},
+      {"--trace", "FILE", "",
+       "write a Chrome trace of served requests here on shutdown"},
+      {"--deterministic", "", "",
+       "virtual tick clock: latency values in stats replies (and log "
+       "timestamps) byte-compare across replay runs"},
   };
 }
 
@@ -85,12 +100,54 @@ inline std::optional<svc::ServiceOptions> service_options_from(
 /// The serve main loop. Returns a process exit code.
 inline int run_service(const cli::Parser& parser, const char* program) {
   std::string error;
-  const std::optional<svc::ServiceOptions> options =
+  std::optional<svc::ServiceOptions> options =
       service_options_from(parser, &error);
   if (!options) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+
+  // Structured logging: off unless --log-file names a sink.
+  obs::Log log;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  if (!obs::parse_log_level(parser.value("--log-level"), log_level)) {
+    std::fprintf(stderr,
+                 "error: --log-level must be debug, info, warn, error "
+                 "or off\n");
+    return 2;
+  }
+  const std::string log_path = parser.value("--log-file");
+  if (!log_path.empty()) {
+    if (log_path == "-") {
+      log.attach(&std::cerr);
+    } else if (!log.open_file(log_path, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    log.set_level(log_level);
+    options->log = &log;
+  }
+
+  // Server-side tracing: buffered while serving, written on shutdown.
+  obs::ChromeTraceSink trace_sink;
+  const std::string trace_path = parser.value("--trace");
+  if (!trace_path.empty()) options->trace = &trace_sink;
+
+  if (parser.flag("--deterministic")) {
+    // Virtual tick clock: each read advances time by 0.1ms, so latency
+    // values depend only on the number of clock reads — identical across
+    // runs of one request script — not on the host's scheduler.
+    auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+    options->clock = [ticks]() {
+      return static_cast<double>(
+                 ticks->fetch_add(1, std::memory_order_relaxed)) *
+             1e-4;
+    };
+    log.set_clock([ticks]() {
+      return ticks->load(std::memory_order_relaxed) * 100;
+    });
+  }
+
   svc::Service service(*options);
 
   // Warm the calibration cache from the persisted snapshot. A rejected
@@ -117,6 +174,18 @@ inline int run_service(const cli::Parser& parser, const char* program) {
       std::fprintf(stderr, "%s: warning: %s\n", program, error.c_str());
     }
   };
+  const auto save_trace = [&]() {
+    if (trace_path.empty()) return;
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: warning: cannot write trace file %s\n",
+                   program, trace_path.c_str());
+      return;
+    }
+    trace_sink.write_json(out);
+    std::fprintf(stderr, "%s: wrote trace %s (%zu events)\n", program,
+                 trace_path.c_str(), trace_sink.size());
+  };
 
   if (parser.flag("--stdio")) {
     const std::size_t served =
@@ -124,6 +193,7 @@ inline int run_service(const cli::Parser& parser, const char* program) {
     std::fprintf(stderr, "%s: served %zu request%s\n", program, served,
                  served == 1 ? "" : "s");
     save_cache();
+    save_trace();
     return 0;
   }
 
@@ -189,6 +259,7 @@ inline int run_service(const cli::Parser& parser, const char* program) {
                  program);
   }
   save_cache();
+  save_trace();
   return 0;
 }
 
