@@ -33,9 +33,12 @@ int main(int argc, char** argv) {
 
   benchmark::RegisterBenchmark(
       "calibration_stability/henri_x10", [](benchmark::State& state) {
+        // Platform spec built once; each stability run still constructs
+        // its own reseeded backend (independent noise requires it).
+        const mcm::topo::PlatformSpec henri = mcm::topo::make_henri();
         for (auto _ : state) {
-          benchmark::DoNotOptimize(mcm::model::calibration_stability(
-              mcm::topo::make_henri(), 10));
+          benchmark::DoNotOptimize(
+              mcm::model::calibration_stability(henri, 10));
         }
       });
   return mcm::benchx::finish(run, argc, argv);

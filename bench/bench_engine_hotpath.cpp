@@ -1,0 +1,283 @@
+// E-ENG1 — engine hot-path benchmark: the incremental water-filling engine
+// (arbiter epochs + dirty-link resolve + solve cache) against the
+// pre-refactor full-solve reference, on a churn workload shaped like the
+// paper's benchmark inner loop — every computing core streaming endlessly
+// while message chains complete and restart back to back.
+//
+// Two guarantees are measured and gated:
+//   equivalence — both modes produce bitwise-identical completion streams
+//                 and flow byte counts (the refactor's exactness claim),
+//   efficiency  — the incremental mode retires the same slices with a
+//                 fraction of the arbiter work (deterministic counter
+//                 ratio) and >= 10x the slices/sec (wall clock).
+// Counter-derived metrics and equivalence flags are deterministic and
+// bench-diff gated; wall-clock rates go to stages/series, informational.
+//
+// Note: build without MCM_SANITIZE for baseline comparison — the
+// sanitizer's incremental-vs-full cross-check re-solves through the same
+// arbiter and shifts the sim.arbiter.* counters (see sim/engine.hpp).
+#include <chrono>
+#include <unordered_map>
+
+#include "bench/common.hpp"
+#include "sim/machine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mcm;
+
+constexpr std::size_t kChains = 8;
+/// Endless compute flows per (core, NUMA node) pair: models several
+/// co-scheduled ranks per core sharing the memory system, and scales the
+/// stream count past a single placement cell's worth.
+constexpr std::size_t kFlowFanout = 3;
+constexpr std::uint64_t kMessageBytes = 4 * kMiB;
+constexpr double kSimulatedSeconds = 0.1;
+
+/// Everything one workload run produces that the two modes must agree on,
+/// plus the counters of its (optional) metrics registry.
+struct WorkloadResult {
+  std::vector<sim::Completion> completions;
+  std::vector<double> flow_bytes;
+  double final_now = 0.0;
+  /// Wall seconds of the churn loop alone — machine/engine construction
+  /// and stream starts excluded (identical in both modes).
+  double churn_seconds = 0.0;
+  obs::MetricsSnapshot metrics;
+};
+
+/// The churn workload: every computing core runs an endless compute flow
+/// on node 0 while kChains message chains receive back to back into nodes
+/// spread over the topology; each completion immediately restarts its
+/// chain. Identical calls are bit-identical — the engine is the only
+/// source of dynamics.
+WorkloadResult run_workload(sim::Engine::SolveMode mode,
+                            obs::MetricsRegistry* registry) {
+  sim::SimMachine machine(topo::make_henri());
+  const topo::NumaId node0(0);
+  const std::size_t cores = machine.max_computing_cores();
+  const std::size_t numa = machine.machine().numa_count();
+
+  sim::Engine engine(machine.machine(), machine.policy());
+  engine.set_solve_mode(mode);
+  if (registry != nullptr) {
+    obs::Observer observer;
+    observer.metrics = registry;
+    engine.attach_observer(observer);
+  }
+
+  // Many-stream load: every computing core streams to every NUMA node
+  // (cores x numa endless flows), so the arbiter's fixed point spans the
+  // whole link graph and the full-solve cost is representative of a
+  // loaded node rather than a single placement cell.
+  std::vector<sim::TransferId> flows;
+  for (std::size_t node = 0; node < numa; ++node) {
+    for (std::size_t i = 0; i < cores * kFlowFanout; ++i) {
+      flows.push_back(engine.start_flow(machine.compute_stream(
+          cores, topo::NumaId(static_cast<std::uint32_t>(node)))));
+    }
+  }
+  (void)node0;
+  // One receive spec per chain, built once — restarts reuse it, like a
+  // long-lived channel reuses its stream description.
+  std::vector<sim::StreamSpec> chain_spec;
+  std::unordered_map<sim::TransferId, std::size_t> chain_of;
+  for (std::size_t c = 0; c < kChains; ++c) {
+    chain_spec.push_back(machine.dma_stream(
+        topo::NumaId(static_cast<std::uint32_t>(c % numa))));
+    chain_of.emplace(engine.start_transfer(chain_spec[c], kMessageBytes),
+                     c);
+  }
+
+  WorkloadResult result;
+  const Seconds deadline(kSimulatedSeconds);
+  const auto churn_start = std::chrono::steady_clock::now();
+  while (true) {
+    const std::optional<sim::Completion> completion =
+        engine.run_until_next_completion(deadline);
+    if (!completion) break;
+    result.completions.push_back(*completion);
+    const auto it = chain_of.find(completion->id);
+    const std::size_t chain = it->second;
+    chain_of.erase(it);
+    chain_of.emplace(
+        engine.start_transfer(chain_spec[chain], kMessageBytes), chain);
+  }
+  result.churn_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    churn_start)
+          .count();
+  for (const sim::TransferId flow : flows) {
+    result.flow_bytes.push_back(
+        static_cast<double>(engine.bytes_moved(flow)));
+  }
+  result.final_now = engine.now().value();
+  if (registry != nullptr) result.metrics = registry->snapshot();
+  return result;
+}
+
+/// Bitwise comparison of the two modes' observable outcomes.
+[[nodiscard]] bool same_completions(const WorkloadResult& a,
+                                    const WorkloadResult& b) {
+  if (a.completions.size() != b.completions.size()) return false;
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    if (a.completions[i].id != b.completions[i].id) return false;
+    if (a.completions[i].time.value() != b.completions[i].time.value()) {
+      return false;
+    }
+  }
+  return a.final_now == b.final_now;
+}
+
+[[nodiscard]] bool same_flow_bytes(const WorkloadResult& a,
+                                   const WorkloadResult& b) {
+  return a.flow_bytes == b.flow_bytes;
+}
+
+[[nodiscard]] std::uint64_t counter_of(const obs::MetricsSnapshot& snapshot,
+                                       const char* name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+/// Best-of-`reps` churn-loop wall seconds for one mode (no observer
+/// attached: times the bare engine, not the instrumentation).
+[[nodiscard]] double best_wall_seconds(sim::Engine::SolveMode mode,
+                                       std::size_t reps) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const WorkloadResult result = run_workload(mode, nullptr);
+    benchmark::DoNotOptimize(result.final_now);
+    if (best == 0.0 || result.churn_seconds < best) {
+      best = result.churn_seconds;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  benchx::BenchRun run("engine_hotpath");
+  run.report().platform = "henri";
+
+  // -- counted runs: deterministic counters + equivalence ----------------
+  obs::MetricsRegistry incremental_metrics;
+  obs::MetricsRegistry full_metrics;
+  WorkloadResult incremental;
+  WorkloadResult full;
+  {
+    const auto timer = run.stage("counted_runs");
+    incremental = run_workload(sim::Engine::SolveMode::kIncremental,
+                               &incremental_metrics);
+    full = run_workload(sim::Engine::SolveMode::kFull, &full_metrics);
+  }
+
+  const double completions =
+      static_cast<double>(incremental.completions.size());
+  const double slices =
+      static_cast<double>(counter_of(incremental.metrics,
+                                     "sim.engine.slices"));
+  const double refreshes = static_cast<double>(
+      counter_of(incremental.metrics, "sim.engine.rate_refreshes"));
+  const double avoided = static_cast<double>(
+      counter_of(incremental.metrics, "sim.engine.solves_avoided"));
+  const double dirty_links = static_cast<double>(
+      counter_of(incremental.metrics, "sim.engine.dirty_links"));
+  const double incremental_solves = static_cast<double>(
+      counter_of(incremental.metrics, "sim.arbiter.incremental_solves"));
+  const double links_resolved = static_cast<double>(
+      counter_of(incremental.metrics, "sim.arbiter.links_resolved"));
+  const double iterations_incremental = static_cast<double>(
+      counter_of(incremental.metrics, "sim.arbiter.iterations"));
+  const double full_solves = static_cast<double>(
+      counter_of(full.metrics, "sim.arbiter.full_solves"));
+  const double iterations_full = static_cast<double>(
+      counter_of(full.metrics, "sim.arbiter.iterations"));
+
+  // Deterministic work ratio: arbiter fixed-point iterations the full
+  // path spends per workload vs the incremental path (cache hits skip
+  // the arbiter entirely, dirty-link resolves converge over live state).
+  const double work_ratio =
+      iterations_full /
+      (iterations_incremental > 0.0 ? iterations_incremental : 1.0);
+
+  const bool eq_completions = same_completions(incremental, full);
+  const bool eq_flow_bytes = same_flow_bytes(incremental, full);
+
+  run.report().add_metric("completions", completions);
+  run.report().add_metric("slices", slices);
+  run.report().add_metric("rate_refreshes", refreshes);
+  run.report().add_metric("solves_avoided", avoided);
+  run.report().add_metric("solves_avoided_fraction",
+                          refreshes > 0.0 ? avoided / refreshes : 0.0);
+  run.report().add_metric("dirty_links", dirty_links);
+  run.report().add_metric("incremental_solves", incremental_solves);
+  run.report().add_metric("links_resolved", links_resolved);
+  run.report().add_metric("iterations_incremental", iterations_incremental);
+  run.report().add_metric("full_solves", full_solves);
+  run.report().add_metric("iterations_full", iterations_full);
+  run.report().add_metric("work_ratio", work_ratio);
+  run.report().add_metric("work_ratio_ok", work_ratio >= 10.0 ? 1.0 : 0.0);
+  run.report().add_metric("eq_completions", eq_completions ? 1.0 : 0.0);
+  run.report().add_metric("eq_flow_bytes", eq_flow_bytes ? 1.0 : 0.0);
+
+  // -- timed runs: wall-clock slices/sec (informational, noisy) ----------
+  double incremental_wall = 0.0;
+  double full_wall = 0.0;
+  {
+    const auto timer = run.stage("timed_runs");
+    const std::size_t reps = benchx::smoke_reps(5, 2);
+    incremental_wall =
+        best_wall_seconds(sim::Engine::SolveMode::kIncremental, reps);
+    full_wall = best_wall_seconds(sim::Engine::SolveMode::kFull, reps);
+  }
+  const double speedup =
+      incremental_wall > 0.0 ? full_wall / incremental_wall : 0.0;
+  run.report().add_metric("speedup_ok", speedup >= 10.0 ? 1.0 : 0.0);
+  run.report().add_series("slices_per_sec",
+                          {slices / incremental_wall, slices / full_wall});
+  run.report().add_series("wall_speedup", {speedup});
+
+  AsciiTable table({"mode", "slices", "arbiter iterations", "wall",
+                    "slices/sec"});
+  table.set_alignments({Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight});
+  table.add_row({"incremental", format_fixed(slices, 0),
+                 format_fixed(iterations_incremental, 0),
+                 format_fixed(incremental_wall * 1e3, 2) + " ms",
+                 format_fixed(slices / incremental_wall, 0)});
+  table.add_row({"full solve", format_fixed(slices, 0),
+                 format_fixed(iterations_full, 0),
+                 format_fixed(full_wall * 1e3, 2) + " ms",
+                 format_fixed(slices / full_wall, 0)});
+  std::printf(
+      "== Engine hot path (henri, %zu-chain message churn, %.2f s "
+      "simulated) ==\n%s"
+      "completions: %.0f  solve-cache hit rate: %.1f %%  work ratio "
+      "(full/incremental iterations): %.1f x  wall speedup: %.1f x\n"
+      "equivalence: completions %s, flow bytes %s\n\n",
+      kChains, kSimulatedSeconds, table.render().c_str(), completions,
+      refreshes > 0.0 ? 100.0 * avoided / refreshes : 0.0, work_ratio,
+      speedup, eq_completions ? "bitwise-equal" : "MISMATCH",
+      eq_flow_bytes ? "bitwise-equal" : "MISMATCH");
+
+  benchmark::RegisterBenchmark(
+      "engine_churn/incremental", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              run_workload(sim::Engine::SolveMode::kIncremental, nullptr));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      "engine_churn/full_solve", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              run_workload(sim::Engine::SolveMode::kFull, nullptr));
+        }
+      });
+  return benchx::finish(run, argc, argv);
+}

@@ -18,6 +18,12 @@
 #                            frame replay (byte-diffed, twice), the chaos
 #                            test suite twice (determinism), and once
 #                            more under ASan+UBSan
+#   scripts/ci.sh perf       engine hot-path gate: bench_engine_hotpath
+#                            smoke (bench-diffed against its baseline,
+#                            solves-avoided counters in the report), plus
+#                            the incremental-equivalence sim suite under
+#                            ASan+UBSan with the incremental-vs-full
+#                            cross-check enabled
 #   scripts/ci.sh obs        observability round trip: traced socket query
 #                            (client + server Chrome traces sharing one
 #                            trace id), deterministic trace-merge, JSONL
@@ -249,6 +255,44 @@ chaos_suite() {
       -j "$JOBS")
 }
 
+perf_gate() {
+  echo "== perf: engine hot-path bench gate + sanitized equivalence =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_engine_hotpath \
+      mcmtool
+  WORK="$ROOT/build/perf-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  echo "-- bench_engine_hotpath (smoke)"
+  MCM_BENCH_SMOKE=1 "$ROOT"/build/bench/bench_engine_hotpath \
+      >hotpath.log 2>&1 || {
+    cat hotpath.log
+    echo "FAIL: bench_engine_hotpath"
+    exit 1
+  }
+  # The report must carry the solve-avoidance counters and the bitwise
+  # equivalence flags; the deterministic metrics gate against the
+  # checked-in baseline.
+  for key in '"solves_avoided"' '"work_ratio"' '"eq_completions"'; do
+    grep -q "$key" BENCH_engine_hotpath.json || {
+      echo "FAIL: hot-path report is missing $key"
+      exit 1
+    }
+  done
+  echo "-- bench-diff BENCH_engine_hotpath.json"
+  "$ROOT"/build/tools/mcmtool bench-diff \
+      "$ROOT"/bench/baselines/BENCH_engine_hotpath.json \
+      BENCH_engine_hotpath.json
+  # The incremental solver's exactness claims, instrumented: the sanitize
+  # build turns on the incremental-vs-full cross-check (see sim/engine.hpp,
+  # MCM_CHECK_INCREMENTAL), so every Nth refresh is shadow-solved inline.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_sim
+  (cd "$ROOT/build-sanitize" && ctest -L sim --output-on-failure \
+      -j "$JOBS")
+}
+
 obs_suite() {
   echo "== obs: traced query + trace-merge + log schema + quantiles =="
   cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -342,6 +386,7 @@ case "$STAGE" in
   fault) fault_suite ;;
   service) service_suite ;;
   chaos) chaos_suite ;;
+  perf) perf_gate ;;
   obs) obs_suite ;;
   all)
     tier1
@@ -351,10 +396,11 @@ case "$STAGE" in
     fault_suite
     service_suite
     chaos_suite
+    perf_gate
     obs_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|obs|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|perf|obs|all]" >&2
     exit 2
     ;;
 esac

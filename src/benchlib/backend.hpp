@@ -35,6 +35,14 @@ class Backend {
   /// hardware backends may ignore it).
   virtual void set_run(unsigned run) { (void)run; }
 
+  /// Adopt a shared steady-state cache so identical (placement, n) cells
+  /// measured by sibling backends of the *same* platform spec are reused.
+  /// No-op for backends that measure real hardware.
+  virtual void share_steady_cache(
+      const std::shared_ptr<sim::SteadyStateCache>& cache) {
+    (void)cache;
+  }
+
   [[nodiscard]] virtual Bandwidth compute_alone(std::size_t cores,
                                                 topo::NumaId comp) = 0;
   [[nodiscard]] virtual Bandwidth comm_alone(topo::NumaId comm) = 0;
@@ -66,6 +74,11 @@ class SimBackend final : public Backend {
   }
 
   void set_run(unsigned run) override { machine_.set_run_index(run); }
+
+  void share_steady_cache(
+      const std::shared_ptr<sim::SteadyStateCache>& cache) override {
+    machine_.set_steady_cache(cache);
+  }
 
   [[nodiscard]] Bandwidth compute_alone(std::size_t cores,
                                         topo::NumaId comp) override {

@@ -48,16 +48,24 @@ model::ContentionModel ScenarioResult::contention_model() const {
 }
 
 std::unique_ptr<bench::Backend> make_backend(const ScenarioSpec& spec) {
-  auto backend =
-      std::make_unique<bench::SimBackend>(spec.resolve_platform(),
-                                          spec.policy);
+  return make_backend(spec, spec.resolve_platform());
+}
+
+std::unique_ptr<bench::Backend> make_backend(const ScenarioSpec& spec,
+                                             topo::PlatformSpec platform) {
+  auto backend = std::make_unique<bench::SimBackend>(std::move(platform),
+                                                     spec.policy);
   backend->machine().set_comm_pattern(spec.comm_pattern);
   backend->machine().set_compute_kernel(spec.compute_kernel);
   return backend;
 }
 
 std::vector<model::Placement> expand_placements(const ScenarioSpec& spec) {
-  const topo::PlatformSpec platform = spec.resolve_platform();
+  return expand_placements(spec, spec.resolve_platform());
+}
+
+std::vector<model::Placement> expand_placements(
+    const ScenarioSpec& spec, const topo::PlatformSpec& platform) {
   const std::size_t numa = platform.machine.numa_count();
   const std::size_t per_socket = platform.machine.numa_per_socket();
 
@@ -145,8 +153,46 @@ runtime::ThreadPool* Runner::pool_for(std::size_t jobs) {
   return own_pool_.get();
 }
 
+std::unique_ptr<bench::Backend> Runner::acquire_backend(
+    const ScenarioSpec& spec, const topo::PlatformSpec& platform,
+    const std::string& key) {
+  if (!key.empty()) {
+    const std::lock_guard<std::mutex> lock(backend_mutex_);
+    const auto it = backend_pool_.find(key);
+    if (it != backend_pool_.end() && !it->second.empty()) {
+      std::unique_ptr<bench::Backend> backend = std::move(it->second.back());
+      it->second.pop_back();
+      // Reset the only cross-placement state a backend carries; jitter is
+      // a pure function of (seed, run index, coordinate), so a reused
+      // backend measures bit-identically to a fresh one.
+      backend->set_run(0);
+      return backend;
+    }
+  }
+  std::unique_ptr<bench::Backend> backend = make_backend(spec, platform);
+  if (!key.empty()) {
+    std::shared_ptr<sim::SteadyStateCache> cache;
+    {
+      const std::lock_guard<std::mutex> lock(backend_mutex_);
+      std::shared_ptr<sim::SteadyStateCache>& slot = steady_caches_[key];
+      if (slot == nullptr) slot = std::make_shared<sim::SteadyStateCache>();
+      cache = slot;
+    }
+    backend->share_steady_cache(cache);
+  }
+  return backend;
+}
+
+void Runner::release_backend(const std::string& key,
+                             std::unique_ptr<bench::Backend> backend) {
+  if (key.empty() || backend == nullptr) return;
+  const std::lock_guard<std::mutex> lock(backend_mutex_);
+  backend_pool_[key].push_back(std::move(backend));
+}
+
 Runner::MeasuredPlacements Runner::measure_placements(
-    const ScenarioSpec& spec,
+    const ScenarioSpec& spec, const topo::PlatformSpec& platform,
+    const std::string& backend_key,
     const std::vector<model::Placement>& placements,
     const bench::SweepOptions& sweep_options, bool isolate_failures) {
   MeasuredPlacements out;
@@ -170,16 +216,19 @@ Runner::MeasuredPlacements Runner::measure_placements(
                   std::to_string(placements[i].comm.value()) + ", attempt " +
                   std::to_string(attempt + 1) + ")");
         }
-        // A fresh backend per placement (and per attempt): simulator
+        // One pooled backend per placement (and per attempt): simulator
         // measurements depend only on (platform seed, run index,
-        // coordinate), so this matches a shared serial backend
-        // bit-for-bit while keeping placements — and retries —
-        // independent.
-        const std::unique_ptr<bench::Backend> backend = make_backend(spec);
+        // coordinate), so a reused backend — reset to run 0 on acquire —
+        // matches a fresh one bit-for-bit while keeping placements and
+        // retries independent. A backend whose sweep throws is destroyed
+        // with this scope instead of returning to the pool.
+        std::unique_ptr<bench::Backend> backend =
+            acquire_backend(spec, platform, backend_key);
         out.curves[i] = bench::run_placement(*backend, placements[i].comp,
                                              placements[i].comm,
                                              sweep_options);
         out.errors[i].clear();
+        release_backend(backend_key, std::move(backend));
         return;
       } catch (const std::exception& error) {
         if (!isolate_failures) throw;
@@ -227,6 +276,12 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
   ScenarioResult result;
   result.spec = spec;
 
+  // Resolve the platform and fingerprint once per run: every stage — and
+  // every pooled backend — reuses them instead of re-deriving a fresh
+  // topo::Machine per placement cell.
+  const topo::PlatformSpec platform = spec.resolve_platform();
+  const std::string key = spec.cacheable() ? spec.fingerprint() : "";
+
   bench::SweepOptions measure_options;
   measure_options.max_cores = spec.max_cores;
   measure_options.core_step = spec.core_step;
@@ -242,7 +297,6 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
                          "pipeline", 0);
     tag_span(span, context.trace);
     const double start_us = stage_now();
-    const std::string key = spec.cacheable() ? spec.fingerprint() : "";
     const std::optional<CalibrationCache::Entry> cached =
         key.empty() ? std::nullopt : calibration_cache.find(key);
     if (cached) {
@@ -256,14 +310,14 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
       ScenarioSpec calibration_spec = spec;
       calibration_spec.placements = PlacementSet::kCalibration;
       const std::vector<model::Placement> placements =
-          expand_placements(calibration_spec);
+          expand_placements(calibration_spec, platform);
       // No failure isolation here: without both calibration curves there
       // is no model, so a calibrate-stage failure aborts the run.
       result.calibration.curves =
-          measure_placements(spec, placements, calibration_options,
+          measure_placements(spec, platform, key, placements,
+                             calibration_options,
                              /*isolate_failures=*/false)
               .curves;
-      const topo::PlatformSpec platform = spec.resolve_platform();
       result.calibration.platform = platform.name;
       result.calibration.numa_per_socket =
           platform.machine.numa_per_socket();
@@ -288,7 +342,7 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
     tag_span(span, context.trace);
     const double start_us = stage_now();
     const std::vector<model::Placement> placements =
-        expand_placements(spec);
+        expand_placements(spec, platform);
     if (met_placements_ != nullptr) met_placements_->add(placements.size());
 
     result.sweep.platform = result.calibration.platform;
@@ -320,7 +374,7 @@ ScenarioResult Runner::run(const ScenarioSpec& spec,
       }
     }
     MeasuredPlacements measured =
-        measure_placements(spec, to_measure, measure_options,
+        measure_placements(spec, platform, key, to_measure, measure_options,
                            /*isolate_failures=*/true);
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (measured.errors[i].empty()) {

@@ -9,16 +9,22 @@
 //                (§III-C), aligned to the measured core counts
 //   score      — Table-II MAPE aggregation of measured vs predicted
 //
-// Determinism: placements are measured on fresh per-placement backends
+// Determinism: placements are measured on pooled per-placement backends
 // whose jitter depends only on (platform seed, run index, coordinate), so
 // the parallel sweep is bit-identical to the serial one, and cached
-// calibrations are bit-identical to remeasured ones.
+// calibrations are bit-identical to remeasured ones. Backends of cacheable
+// specs are reused across placements and across run() calls (reset to run
+// index 0 on release) and share one steady-state cache per scenario
+// fingerprint, so repeated sweeps skip the engine for cells already
+// measured — cache hits return the stored bits, not an approximation.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "benchlib/backend.hpp"
@@ -140,10 +146,19 @@ struct RunnerOptions {
 [[nodiscard]] std::unique_ptr<bench::Backend> make_backend(
     const ScenarioSpec& spec);
 
+/// Same, on an already-resolved platform — callers that hold the platform
+/// (the Runner resolves it once per run) skip the re-resolution.
+[[nodiscard]] std::unique_ptr<bench::Backend> make_backend(
+    const ScenarioSpec& spec, topo::PlatformSpec platform);
+
 /// The measure-stage placement list, in canonical order (kAll iterates
 /// communications in the outer loop like bench::run_all_placements).
 [[nodiscard]] std::vector<model::Placement> expand_placements(
     const ScenarioSpec& spec);
+
+/// Same, on an already-resolved platform.
+[[nodiscard]] std::vector<model::Placement> expand_placements(
+    const ScenarioSpec& spec, const topo::PlatformSpec& platform);
 
 /// Subsample a dense prediction (indexed cores-1) at the core counts
 /// `measured` actually covers, so the two can be scored point-by-point.
@@ -195,23 +210,53 @@ class Runner {
     std::vector<std::size_t> attempts;
   };
 
-  /// Measure `placements` on fresh per-placement backends, parallel when
+  /// Measure `placements` on pooled per-placement backends, parallel when
   /// a pool is in effect. Results land in placement order. With
   /// `isolate_failures`, a placement whose measurement throws (or that the
   /// spec poisons via inject_failures) is retried up to
   /// options_.max_retries times and then recorded in `errors` instead of
   /// aborting the sweep; without it, the first exception propagates.
+  /// `backend_key` selects the backend pool and the shared steady cache
+  /// (empty = uncacheable spec: fresh throwaway backends, legacy path).
   [[nodiscard]] MeasuredPlacements measure_placements(
-      const ScenarioSpec& spec,
+      const ScenarioSpec& spec, const topo::PlatformSpec& platform,
+      const std::string& backend_key,
       const std::vector<model::Placement>& placements,
       const bench::SweepOptions& sweep_options, bool isolate_failures);
   [[nodiscard]] runtime::ThreadPool* pool_for(std::size_t jobs);
+
+  /// Check out a backend for one placement: reuse an idle pooled one
+  /// (reset to run index 0 — backends carry no other cross-placement
+  /// state) or build a fresh one wired to the fingerprint's shared
+  /// steady-state cache. `key` empty = pooling disabled for this spec.
+  [[nodiscard]] std::unique_ptr<bench::Backend> acquire_backend(
+      const ScenarioSpec& spec, const topo::PlatformSpec& platform,
+      const std::string& key);
+  /// Return a backend whose measurement completed; it becomes reusable.
+  /// Backends whose measurement threw are destroyed instead (never
+  /// released), so a half-run sweep cannot leak state into the pool.
+  void release_backend(const std::string& key,
+                       std::unique_ptr<bench::Backend> backend);
 
   RunnerOptions options_;
   CalibrationCache own_cache_;
   /// Guards lazy own_pool_ creation under concurrent run() calls.
   std::mutex pool_mutex_;
   std::unique_ptr<runtime::ThreadPool> own_pool_;
+  /// Guards backend_pool_ / steady_caches_ (acquire/release run inside
+  /// the parallel measure loop).
+  std::mutex backend_mutex_;
+  /// Idle backends per scenario fingerprint, reused across placements and
+  /// across run() calls instead of reconstructing the simulated machine
+  /// for every placement cell.
+  std::unordered_map<std::string,
+                     std::vector<std::unique_ptr<bench::Backend>>>
+      backend_pool_;
+  /// One steady-state cache per scenario fingerprint, shared by every
+  /// backend built for that fingerprint (see SimMachine::set_steady_cache
+  /// for why sharing within one spec is bit-exact).
+  std::unordered_map<std::string, std::shared_ptr<sim::SteadyStateCache>>
+      steady_caches_;
   obs::WallClock clock_;
 
   obs::Counter* met_runs_ = nullptr;

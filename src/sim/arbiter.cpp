@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -18,73 +19,13 @@ constexpr int kMaxOuterIterations = 200;
 // real controllers slow down under pressure, they do not collapse.
 constexpr double kMinCapacityFraction = 0.05;
 
-/// Uniform-increment max-min fair filling of `stream_ids` (all of one
-/// class) into per-link capacities `remaining` (indexed by link id).
-/// `paths` and `demands` are indexed by stream id; `alloc` is written for
-/// the given streams only.
-void max_min_fill(const std::vector<int>& stream_ids,
-                  const std::vector<std::vector<topo::LinkId>>& paths,
-                  const std::vector<double>& demands,
-                  std::vector<double>& remaining,
-                  std::vector<double>& alloc) {
-  std::vector<int> active;
-  active.reserve(stream_ids.size());
-  for (int s : stream_ids) {
-    alloc[static_cast<std::size_t>(s)] = 0.0;
-    if (demands[static_cast<std::size_t>(s)] > kRateEps) active.push_back(s);
-  }
+constexpr std::uint32_t kNoSocket = std::numeric_limits<std::uint32_t>::max();
 
-  std::vector<int> active_count(remaining.size(), 0);
-  while (!active.empty()) {
-    std::fill(active_count.begin(), active_count.end(), 0);
-    for (int s : active) {
-      for (topo::LinkId l : paths[static_cast<std::size_t>(s)]) {
-        ++active_count[l.value()];
-      }
-    }
-
-    // Largest uniform increment every active stream can take.
-    double increment = std::numeric_limits<double>::infinity();
-    for (std::size_t l = 0; l < remaining.size(); ++l) {
-      if (active_count[l] > 0) {
-        increment = std::min(increment, remaining[l] / active_count[l]);
-      }
-    }
-    for (int s : active) {
-      const auto i = static_cast<std::size_t>(s);
-      increment = std::min(increment, demands[i] - alloc[i]);
-    }
-    increment = std::max(increment, 0.0);
-
-    if (increment > kRateEps) {
-      for (int s : active) alloc[static_cast<std::size_t>(s)] += increment;
-      for (std::size_t l = 0; l < remaining.size(); ++l) {
-        remaining[l] =
-            std::max(0.0, remaining[l] - increment * active_count[l]);
-      }
-    }
-
-    // Freeze streams that met their demand or sit on a saturated link.
-    std::vector<int> still_active;
-    still_active.reserve(active.size());
-    for (int s : active) {
-      const auto i = static_cast<std::size_t>(s);
-      bool frozen = alloc[i] >= demands[i] - kRateEps;
-      if (!frozen) {
-        for (topo::LinkId l : paths[i]) {
-          if (remaining[l.value()] <= kRateEps) {
-            frozen = true;
-            break;
-          }
-        }
-      }
-      if (!frozen) still_active.push_back(s);
-    }
-    // Progress guarantee: with a zero increment at least the streams on
-    // saturated links freeze; if nothing froze we are done.
-    if (still_active.size() == active.size() && increment <= kRateEps) break;
-    active.swap(still_active);
-  }
+/// Remove `slot` from an insertion-ordered member list (must be present).
+void erase_member(std::vector<int>& members, int slot) {
+  const auto it = std::find(members.begin(), members.end(), slot);
+  MCM_EXPECTS(it != members.end());
+  members.erase(it);
 }
 
 }  // namespace
@@ -97,122 +38,315 @@ void Arbiter::attach_observer(const obs::Observer& observer) {
     obs::MetricsRegistry& reg = *observer.metrics;
     met_solves_ = &reg.counter("sim.arbiter.solves");
     met_iterations_ = &reg.counter("sim.arbiter.iterations");
+    met_full_solves_ = &reg.counter("sim.arbiter.full_solves");
+    met_incremental_solves_ = &reg.counter("sim.arbiter.incremental_solves");
+    met_links_resolved_ = &reg.counter("sim.arbiter.links_resolved");
     met_grant_cpu_ = &reg.histogram("sim.arbiter.grant_cpu_gb");
     met_grant_dma_ = &reg.histogram("sim.arbiter.grant_dma_gb");
   } else {
     met_solves_ = nullptr;
     met_iterations_ = nullptr;
+    met_full_solves_ = nullptr;
+    met_incremental_solves_ = nullptr;
+    met_links_resolved_ = nullptr;
     met_grant_cpu_ = nullptr;
     met_grant_dma_ = nullptr;
   }
 }
 
-ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
+void Arbiter::refresh_link_constants(SolverState& st,
+                                     std::uint32_t link) const {
+  const topo::Link& l = machine_->link(topo::LinkId(link));
+  const topo::ContentionSpec& spec = l.contention;
+  st.link_capacity[link] = l.capacity.bps();
+  st.link_min_cap[link] = l.capacity.bps() * kMinCapacityFraction;
+  st.link_dma_floor[link] = spec.dma_floor.bps();
+  st.link_deg_per_req[link] = spec.degradation_per_requestor.bps();
+  st.link_knee[link] = spec.requestor_knee;
+  st.link_dma_weight[link] = spec.dma_requestor_weight;
+  st.link_ambient_knee[link] = spec.ambient_cpu_knee;
+  st.link_ambient_deg[link] = spec.ambient_cpu_degradation.bps();
+  st.link_soft_start[link] = spec.dma_soft_start;
+  st.link_soft_min[link] = spec.dma_soft_min;
+  st.link_ambient_socket[link] =
+      l.ambient_socket.is_valid() ? l.ambient_socket.value() : kNoSocket;
+}
+
+void Arbiter::reset_state(SolverState& st) const {
   const std::size_t link_count = machine_->links().size();
-  const std::size_t n = streams.size();
+  const std::size_t socket_count = machine_->socket_count();
 
-  std::vector<std::vector<topo::LinkId>> paths(n);
-  std::vector<double> demands(n);
-  std::vector<int> cpu_ids;
-  std::vector<int> dma_ids;
-  for (std::size_t s = 0; s < n; ++s) {
-    MCM_EXPECTS(streams[s].demand.bps() >= 0.0);
-    paths[s] = streams[s].path;
-    for (topo::LinkId l : paths[s]) {
-      MCM_EXPECTS(l.is_valid() && l.value() < link_count);
-    }
-    demands[s] = streams[s].demand.bps();
-    if (streams[s].cls == StreamClass::kCpu) {
-      cpu_ids.push_back(static_cast<int>(s));
+  st.link_capacity.resize(link_count);
+  st.link_min_cap.resize(link_count);
+  st.link_dma_floor.resize(link_count);
+  st.link_deg_per_req.resize(link_count);
+  st.link_knee.resize(link_count);
+  st.link_dma_weight.resize(link_count);
+  st.link_ambient_knee.resize(link_count);
+  st.link_ambient_deg.resize(link_count);
+  st.link_soft_start.resize(link_count);
+  st.link_soft_min.resize(link_count);
+  st.link_ambient_socket.resize(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    refresh_link_constants(st, static_cast<std::uint32_t>(l));
+  }
+
+  st.is_dma.clear();
+  st.live.clear();
+  st.demand.clear();
+  st.ambient_weight.clear();
+  st.source_socket.clear();
+  st.path_offset.assign(1, 0);
+  st.path_link.clear();
+  st.order.clear();
+  st.tombstones = 0;
+
+  st.cpu_requestors.assign(link_count, 0);
+  st.dma_on.assign(link_count, {});
+  st.dma_demand_sum.assign(link_count, 0.0);
+  st.cpu_socket_members.assign(socket_count, {});
+  st.cpu_on_socket.assign(socket_count, 0.0);
+}
+
+std::size_t Arbiter::state_add_stream(SolverState& st,
+                                      const StreamSpec& spec) const {
+  const std::size_t link_count = machine_->links().size();
+  MCM_EXPECTS(spec.demand.bps() >= 0.0);
+  for (topo::LinkId l : spec.path) {
+    MCM_EXPECTS(l.is_valid() && l.value() < link_count);
+  }
+
+  const std::size_t slot = st.demand.size();
+  const int s = static_cast<int>(slot);
+  st.is_dma.push_back(spec.cls == StreamClass::kDma ? 1 : 0);
+  st.live.push_back(1);
+  st.demand.push_back(spec.demand.bps());
+  st.ambient_weight.push_back(spec.ambient_weight);
+  st.source_socket.push_back(spec.source_socket.is_valid()
+                                 ? spec.source_socket.value()
+                                 : kNoSocket);
+  for (topo::LinkId l : spec.path) st.path_link.push_back(l.value());
+  st.path_offset.push_back(static_cast<std::uint32_t>(st.path_link.size()));
+  st.order.push_back(s);
+
+  // Aggregate membership mirrors the fresh build: only streams whose
+  // demand clears the rate epsilon count as requestors. Appending extends
+  // every left-to-right FP sum exactly.
+  if (st.demand[slot] > kRateEps) {
+    const std::uint32_t begin = st.path_offset[slot];
+    const std::uint32_t end = st.path_offset[slot + 1];
+    if (st.is_dma[slot] == 0) {
+      for (std::uint32_t p = begin; p < end; ++p) {
+        ++st.cpu_requestors[st.path_link[p]];
+      }
+      const std::uint32_t sock = st.source_socket[slot];
+      if (sock != kNoSocket && sock < st.cpu_on_socket.size()) {
+        st.cpu_socket_members[sock].push_back(s);
+        st.cpu_on_socket[sock] += st.ambient_weight[slot];
+      }
     } else {
-      dma_ids.push_back(static_cast<int>(s));
+      for (std::uint32_t p = begin; p < end; ++p) {
+        const std::uint32_t l = st.path_link[p];
+        st.dma_on[l].push_back(s);
+        st.dma_demand_sum[l] += st.demand[slot];
+      }
+    }
+  }
+  return slot;
+}
+
+void Arbiter::state_remove_stream(SolverState& st, std::size_t slot) const {
+  MCM_EXPECTS(slot < st.live.size() && st.live[slot] == 1);
+  st.live[slot] = 0;
+  ++st.tombstones;
+  erase_member(st.order, static_cast<int>(slot));
+
+  if (st.demand[slot] > kRateEps) {
+    const std::uint32_t begin = st.path_offset[slot];
+    const std::uint32_t end = st.path_offset[slot + 1];
+    if (st.is_dma[slot] == 0) {
+      for (std::uint32_t p = begin; p < end; ++p) {
+        --st.cpu_requestors[st.path_link[p]];
+      }
+      const std::uint32_t sock = st.source_socket[slot];
+      if (sock != kNoSocket && sock < st.cpu_on_socket.size()) {
+        erase_member(st.cpu_socket_members[sock], static_cast<int>(slot));
+        // Re-sum in insertion order: bitwise equal to a fresh build over
+        // the surviving members (an inexact `-=` would drift).
+        double sum = 0.0;
+        for (int m : st.cpu_socket_members[sock]) {
+          sum += st.ambient_weight[static_cast<std::size_t>(m)];
+        }
+        st.cpu_on_socket[sock] = sum;
+      }
+    } else {
+      for (std::uint32_t p = begin; p < end; ++p) {
+        const std::uint32_t l = st.path_link[p];
+        erase_member(st.dma_on[l], static_cast<int>(slot));
+        double sum = 0.0;
+        for (int m : st.dma_on[l]) {
+          sum += st.demand[static_cast<std::size_t>(m)];
+        }
+        st.dma_demand_sum[l] = sum;
+      }
+    }
+  }
+}
+
+double Arbiter::link_cap_eff(const SolverState& st,
+                             std::uint32_t link) const {
+  double weighted = st.cpu_requestors[link];
+  for (int s : st.dma_on[link]) {
+    weighted += st.link_dma_weight[link] *
+                st.dma_utilization[static_cast<std::size_t>(s)];
+  }
+  const double over = std::max(0.0, weighted - st.link_knee[link]);
+  double capacity =
+      st.link_capacity[link] - st.link_deg_per_req[link] * over;
+  // Ambient host-socket coupling: cores streaming anywhere on the link's
+  // ambient socket steal fabric bandwidth from the link.
+  const std::uint32_t sock = st.link_ambient_socket[link];
+  if (sock != kNoSocket) {
+    const double cores = st.cpu_on_socket[sock];
+    const double ambient_over =
+        std::max(0.0, cores - st.link_ambient_knee[link]);
+    capacity -= st.link_ambient_deg[link] * ambient_over;
+  }
+  // The DMA floor is a hard guarantee: degradation can never push the link
+  // below it.
+  return std::max(
+      {st.link_min_cap[link], st.link_dma_floor[link], capacity});
+}
+
+/// Uniform-increment max-min fair filling of `stream_ids` (all of one
+/// class) into the per-link capacities st.remaining. Only links in
+/// st.touched can carry a requestor, so the capacity loops are restricted
+/// to them — bitwise equal to scanning every link, since untouched links
+/// always have a zero active count and non-negative remaining.
+void Arbiter::max_min_fill(SolverState& st,
+                           const std::vector<int>& stream_ids) const {
+  std::vector<int>& active = st.active;
+  active.clear();
+  for (int s : stream_ids) {
+    st.alloc[static_cast<std::size_t>(s)] = 0.0;
+    if (st.demand[static_cast<std::size_t>(s)] > kRateEps) {
+      active.push_back(s);
     }
   }
 
-  // Per-link CPU requestor counts (constant) and DMA membership.
-  std::vector<int> cpu_requestors(link_count, 0);
-  std::vector<std::vector<int>> dma_on(link_count);
-  std::vector<double> dma_demand_sum(link_count, 0.0);
-  // Active compute "core units" per socket, for ambient host-socket
-  // coupling; weighted by each stream's memory-traffic intensity.
-  std::vector<double> cpu_on_socket(machine_->socket_count(), 0.0);
-  for (int s : cpu_ids) {
-    const auto i = static_cast<std::size_t>(s);
-    if (demands[i] <= kRateEps) continue;
-    for (topo::LinkId l : paths[i]) {
-      ++cpu_requestors[l.value()];
+  while (!active.empty()) {
+    for (std::uint32_t l : st.touched) st.active_count[l] = 0;
+    for (int s : active) {
+      const auto i = static_cast<std::size_t>(s);
+      for (std::uint32_t p = st.path_offset[i]; p < st.path_offset[i + 1];
+           ++p) {
+        ++st.active_count[st.path_link[p]];
+      }
     }
-    const topo::SocketId source = streams[i].source_socket;
-    if (source.is_valid() && source.value() < cpu_on_socket.size()) {
-      cpu_on_socket[source.value()] += streams[i].ambient_weight;
-    }
-  }
-  for (int s : dma_ids) {
-    const auto i = static_cast<std::size_t>(s);
-    if (demands[i] <= kRateEps) continue;
-    for (topo::LinkId l : paths[i]) {
-      dma_on[l.value()].push_back(s);
-      dma_demand_sum[l.value()] += demands[i];
-    }
-  }
 
+    // Largest uniform increment every active stream can take.
+    double increment = std::numeric_limits<double>::infinity();
+    for (std::uint32_t l : st.touched) {
+      if (st.active_count[l] > 0) {
+        increment = std::min(increment, st.remaining[l] / st.active_count[l]);
+      }
+    }
+    for (int s : active) {
+      const auto i = static_cast<std::size_t>(s);
+      increment = std::min(increment, st.demand[i] - st.alloc[i]);
+    }
+    increment = std::max(increment, 0.0);
+
+    if (increment > kRateEps) {
+      for (int s : active) st.alloc[static_cast<std::size_t>(s)] += increment;
+      for (std::uint32_t l : st.touched) {
+        st.remaining[l] =
+            std::max(0.0, st.remaining[l] - increment * st.active_count[l]);
+      }
+    }
+
+    // Freeze streams that met their demand or sit on a saturated link.
+    std::vector<int>& still_active = st.still_active;
+    still_active.clear();
+    for (int s : active) {
+      const auto i = static_cast<std::size_t>(s);
+      bool frozen = st.alloc[i] >= st.demand[i] - kRateEps;
+      if (!frozen) {
+        for (std::uint32_t p = st.path_offset[i]; p < st.path_offset[i + 1];
+             ++p) {
+          if (st.remaining[st.path_link[p]] <= kRateEps) {
+            frozen = true;
+            break;
+          }
+        }
+      }
+      if (!frozen) still_active.push_back(s);
+    }
+    // Progress guarantee: with a zero increment at least the streams on
+    // saturated links freeze; if nothing froze we are done.
+    if (still_active.size() == active.size() && increment <= kRateEps) break;
+    std::swap(active, still_active);
+  }
+}
+
+int Arbiter::run_fixed_point(SolverState& st) const {
+  const std::size_t link_count = machine_->links().size();
+  const std::size_t slots = st.demand.size();
+
+  // Per-solve initialisation, identical to a fresh solve over the live
+  // streams in insertion order.
+  st.cpu_ids.clear();
+  st.dma_ids.clear();
+  for (int s : st.order) {
+    (st.is_dma[static_cast<std::size_t>(s)] != 0 ? st.dma_ids : st.cpu_ids)
+        .push_back(s);
+  }
   // DMA utilization estimates (allocation / demand), damped across outer
   // iterations: they feed the weighted requestor count which feeds the
   // effective capacity which feeds the allocation.
-  std::vector<double> dma_utilization(n, 1.0);
+  st.dma_utilization.assign(slots, 1.0);
+  st.alloc.assign(slots, 0.0);
+  st.previous.assign(slots, std::numeric_limits<double>::infinity());
+  st.cap_eff.resize(link_count);
+  st.remaining.resize(link_count);
+  st.cpu_usage.resize(link_count);
+  st.active_count.assign(link_count, 0);
 
-  std::vector<double> alloc(n, 0.0);
-  std::vector<double> previous(n,
-                               std::numeric_limits<double>::infinity());
-  std::vector<double> cap_eff(link_count, 0.0);
-  std::vector<double> remaining(link_count, 0.0);
+  // Links with at least one requestor of either class. Untouched links
+  // carry nothing: their effective capacity is iteration-invariant and is
+  // filled in once by emit_result().
+  st.touched.clear();
+  st.is_touched.assign(link_count, 0);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    if (st.cpu_requestors[l] > 0 || !st.dma_on[l].empty()) {
+      st.touched.push_back(static_cast<std::uint32_t>(l));
+      st.is_touched[l] = 1;
+    }
+  }
 
   int iterations = 0;
   for (; iterations < kMaxOuterIterations; ++iterations) {
     // 1. Effective capacities from the current weighted requestor counts.
-    for (std::size_t l = 0; l < link_count; ++l) {
-      const topo::Link& link =
-          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
-      const topo::ContentionSpec& spec = link.contention;
-      double weighted = cpu_requestors[l];
-      for (int s : dma_on[l]) {
-        weighted += spec.dma_requestor_weight *
-                    dma_utilization[static_cast<std::size_t>(s)];
-      }
-      const double over = std::max(0.0, weighted - spec.requestor_knee);
-      double capacity = link.capacity.bps() -
-                        spec.degradation_per_requestor.bps() * over;
-      // Ambient host-socket coupling: cores streaming anywhere on the
-      // link's ambient socket steal fabric bandwidth from the link.
-      if (link.ambient_socket.is_valid()) {
-        const double cores =
-            cpu_on_socket[link.ambient_socket.value()];
-        const double ambient_over =
-            std::max(0.0, cores - spec.ambient_cpu_knee);
-        capacity -= spec.ambient_cpu_degradation.bps() * ambient_over;
-      }
-      // The DMA floor is a hard guarantee: degradation can never push the
-      // link below it.
-      cap_eff[l] = std::max({link.capacity.bps() * kMinCapacityFraction,
-                             spec.dma_floor.bps(), capacity});
-    }
+    for (std::uint32_t l : st.touched) st.cap_eff[l] = link_cap_eff(st, l);
 
     if (policy_ == ArbitrationPolicy::kFairShare) {
       // Ablation mode: one undifferentiated max-min pool.
-      std::vector<int> all_ids = cpu_ids;
-      all_ids.insert(all_ids.end(), dma_ids.begin(), dma_ids.end());
-      remaining = cap_eff;
-      max_min_fill(all_ids, paths, demands, remaining, alloc);
+      st.all_ids = st.cpu_ids;
+      st.all_ids.insert(st.all_ids.end(), st.dma_ids.begin(),
+                        st.dma_ids.end());
+      for (std::uint32_t l : st.touched) st.remaining[l] = st.cap_eff[l];
+      max_min_fill(st, st.all_ids);
       double delta = 0.0;
-      for (std::size_t s = 0; s < n; ++s) {
-        delta = std::max(delta, std::abs(alloc[s] - previous[s]));
-      }
-      previous = alloc;
-      for (int s : dma_ids) {
+      for (int s : st.order) {
         const auto i = static_cast<std::size_t>(s);
-        if (demands[i] <= kRateEps) continue;
-        dma_utilization[i] =
-            0.5 * dma_utilization[i] + 0.5 * (alloc[i] / demands[i]);
+        delta = std::max(delta, std::abs(st.alloc[i] - st.previous[i]));
+        st.previous[i] = st.alloc[i];
+      }
+      for (int s : st.dma_ids) {
+        const auto i = static_cast<std::size_t>(s);
+        if (st.demand[i] <= kRateEps) continue;
+        st.dma_utilization[i] = 0.5 * st.dma_utilization[i] +
+                                0.5 * (st.alloc[i] / st.demand[i]);
       }
       if (delta < kConvergenceEps) {
         ++iterations;
@@ -222,91 +356,160 @@ ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
     }
 
     // 2. Reserve the DMA floor, then fill CPU streams with priority.
-    for (std::size_t l = 0; l < link_count; ++l) {
-      const topo::Link& link =
-          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
+    for (std::uint32_t l : st.touched) {
       const double reserve =
-          std::min(link.contention.dma_floor.bps(), dma_demand_sum[l]);
-      remaining[l] = std::max(0.0, cap_eff[l] - std::min(reserve, cap_eff[l]));
+          std::min(st.link_dma_floor[l], st.dma_demand_sum[l]);
+      st.remaining[l] =
+          std::max(0.0, st.cap_eff[l] - std::min(reserve, st.cap_eff[l]));
     }
-    max_min_fill(cpu_ids, paths, demands, remaining, alloc);
+    max_min_fill(st, st.cpu_ids);
 
     // 3. DMA streams share whatever the CPU left on each link (at least
     // the reserved floor, since CPU filling started from cap - reserve).
     // High CPU utilization additionally soft-throttles the DMA class
     // before the link is literally full (see ContentionSpec).
-    std::vector<double> cpu_usage(link_count, 0.0);
-    for (int s : cpu_ids) {
+    for (std::uint32_t l : st.touched) st.cpu_usage[l] = 0.0;
+    for (int s : st.cpu_ids) {
       const auto i = static_cast<std::size_t>(s);
-      for (topo::LinkId pl : paths[i]) cpu_usage[pl.value()] += alloc[i];
+      for (std::uint32_t p = st.path_offset[i]; p < st.path_offset[i + 1];
+           ++p) {
+        st.cpu_usage[st.path_link[p]] += st.alloc[i];
+      }
     }
-    for (std::size_t l = 0; l < link_count; ++l) {
-      const topo::Link& link =
-          machine_->link(topo::LinkId(static_cast<std::uint32_t>(l)));
-      const topo::ContentionSpec& spec = link.contention;
-      double allowed = std::max(0.0, cap_eff[l] - cpu_usage[l]);
-      if (spec.dma_soft_start < 1.0 && cap_eff[l] > 0.0) {
-        const double utilization = cpu_usage[l] / cap_eff[l];
-        if (utilization > spec.dma_soft_start) {
-          const double span = 1.0 - spec.dma_soft_start;
+    for (std::uint32_t l : st.touched) {
+      double allowed = std::max(0.0, st.cap_eff[l] - st.cpu_usage[l]);
+      if (st.link_soft_start[l] < 1.0 && st.cap_eff[l] > 0.0) {
+        const double utilization = st.cpu_usage[l] / st.cap_eff[l];
+        if (utilization > st.link_soft_start[l]) {
+          const double span = 1.0 - st.link_soft_start[l];
           const double t =
-              std::min(1.0, (utilization - spec.dma_soft_start) / span);
-          const double scale = 1.0 + t * (spec.dma_soft_min - 1.0);
+              std::min(1.0, (utilization - st.link_soft_start[l]) / span);
+          const double scale = 1.0 + t * (st.link_soft_min[l] - 1.0);
           const double reserve =
-              std::min(spec.dma_floor.bps(), dma_demand_sum[l]);
-          allowed = std::max(reserve,
-                             std::min(allowed, scale * dma_demand_sum[l]));
+              std::min(st.link_dma_floor[l], st.dma_demand_sum[l]);
+          allowed = std::max(
+              reserve, std::min(allowed, scale * st.dma_demand_sum[l]));
         }
       }
-      remaining[l] = allowed;
+      st.remaining[l] = allowed;
     }
-    max_min_fill(dma_ids, paths, demands, remaining, alloc);
+    max_min_fill(st, st.dma_ids);
 
     // 4. Convergence check + damped utilization update.
     double delta = 0.0;
-    for (std::size_t s = 0; s < n; ++s) {
-      delta = std::max(delta, std::abs(alloc[s] - previous[s]));
-    }
-    previous = alloc;
-    for (int s : dma_ids) {
+    for (int s : st.order) {
       const auto i = static_cast<std::size_t>(s);
-      if (demands[i] <= kRateEps) continue;
-      const double fresh = alloc[i] / demands[i];
-      dma_utilization[i] = 0.5 * dma_utilization[i] + 0.5 * fresh;
+      delta = std::max(delta, std::abs(st.alloc[i] - st.previous[i]));
+      st.previous[i] = st.alloc[i];
+    }
+    for (int s : st.dma_ids) {
+      const auto i = static_cast<std::size_t>(s);
+      if (st.demand[i] <= kRateEps) continue;
+      const double fresh = st.alloc[i] / st.demand[i];
+      st.dma_utilization[i] = 0.5 * st.dma_utilization[i] + 0.5 * fresh;
     }
     if (delta < kConvergenceEps) {
       ++iterations;
       break;
     }
   }
+  return iterations;
+}
 
-  ArbiterResult result;
-  result.iterations = iterations;
-  result.allocation.reserve(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    result.allocation.push_back(Bandwidth::bytes_per_s(alloc[s]));
-  }
-  result.link_usage.assign(link_count, Bandwidth{});
-  for (std::size_t s = 0; s < n; ++s) {
-    for (topo::LinkId l : paths[s]) {
-      result.link_usage[l.value()] += Bandwidth::bytes_per_s(alloc[s]);
+void Arbiter::emit_result(SolverState& st, int iterations) const {
+  const std::size_t link_count = machine_->links().size();
+  const std::size_t slots = st.demand.size();
+
+  // Untouched links never entered the iteration loop; their effective
+  // capacity does not depend on the allocation, so computing it once here
+  // matches what every iteration would have produced.
+  for (std::size_t l = 0; l < link_count; ++l) {
+    if (st.is_touched[l] == 0) {
+      st.cap_eff[l] = link_cap_eff(st, static_cast<std::uint32_t>(l));
     }
   }
+
+  ArbiterResult& result = st.result;
+  result.iterations = iterations;
+  result.allocation.clear();
+  result.allocation.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    result.allocation.push_back(Bandwidth::bytes_per_s(st.alloc[s]));
+  }
+  result.link_usage.assign(link_count, Bandwidth{});
+  for (int s : st.order) {
+    const auto i = static_cast<std::size_t>(s);
+    for (std::uint32_t p = st.path_offset[i]; p < st.path_offset[i + 1];
+         ++p) {
+      result.link_usage[st.path_link[p]] +=
+          Bandwidth::bytes_per_s(st.alloc[i]);
+    }
+  }
+  result.link_effective_capacity.clear();
   result.link_effective_capacity.reserve(link_count);
   for (std::size_t l = 0; l < link_count; ++l) {
     result.link_effective_capacity.push_back(
-        Bandwidth::bytes_per_s(cap_eff[l]));
+        Bandwidth::bytes_per_s(st.cap_eff[l]));
   }
-  if (met_solves_ != nullptr) {
-    met_solves_->add();
-    met_iterations_->add(static_cast<std::uint64_t>(iterations));
-    for (std::size_t s = 0; s < n; ++s) {
-      (streams[s].cls == StreamClass::kCpu ? met_grant_cpu_
-                                           : met_grant_dma_)
-          ->record(result.allocation[s]);
-    }
+}
+
+void Arbiter::record_solution(const SolverState& st, bool incremental) const {
+  if (met_solves_ == nullptr) return;
+  met_solves_->add();
+  met_iterations_->add(static_cast<std::uint64_t>(st.result.iterations));
+  if (incremental) {
+    met_incremental_solves_->add();
+    met_links_resolved_->add(st.touched.size());
+  } else {
+    met_full_solves_->add();
   }
-  return result;
+  for (int s : st.order) {
+    const auto i = static_cast<std::size_t>(s);
+    (st.is_dma[i] == 0 ? met_grant_cpu_ : met_grant_dma_)
+        ->record(st.result.allocation[i]);
+  }
+}
+
+ArbiterResult Arbiter::solve(std::span<const StreamSpec> streams) const {
+  SolverState st;
+  reset_state(st);
+  for (const StreamSpec& spec : streams) (void)state_add_stream(st, spec);
+  const int iterations = run_fixed_point(st);
+  emit_result(st, iterations);
+  record_solution(st, /*incremental=*/false);
+  return std::move(st.result);
+}
+
+void Arbiter::prepare(std::span<const StreamSpec> streams) {
+  reset_state(epoch_);
+  for (const StreamSpec& spec : streams) {
+    (void)state_add_stream(epoch_, spec);
+  }
+  epoch_ready_ = true;
+}
+
+std::size_t Arbiter::add_stream(const StreamSpec& spec) {
+  MCM_EXPECTS(epoch_ready_);
+  return state_add_stream(epoch_, spec);
+}
+
+void Arbiter::remove_stream(std::size_t slot) {
+  MCM_EXPECTS(epoch_ready_);
+  state_remove_stream(epoch_, slot);
+}
+
+const ArbiterResult& Arbiter::resolve(
+    std::span<const std::uint32_t> dirty_links) {
+  MCM_EXPECTS(epoch_ready_);
+  const std::size_t link_count = machine_->links().size();
+  for (std::uint32_t l : dirty_links) {
+    MCM_EXPECTS(l < link_count);
+    refresh_link_constants(epoch_, l);
+  }
+  const int iterations = run_fixed_point(epoch_);
+  emit_result(epoch_, iterations);
+  record_solution(epoch_, /*incremental=*/true);
+  return epoch_.result;
 }
 
 }  // namespace mcm::sim

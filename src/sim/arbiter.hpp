@@ -18,6 +18,30 @@
 //
 // Within a class, sharing is max-min fair (uniform progressive filling).
 // The load-dependent capacity is resolved with a damped outer fixed point.
+//
+// Two ways in:
+//
+//  * `solve(streams)` — one-shot, const, stateless between calls: builds a
+//    throwaway struct-of-arrays state and runs the fixed point. This is the
+//    reference path.
+//  * `prepare(streams)` + `add_stream` / `remove_stream` + `resolve()` —
+//    the incremental epoch API the slice engine uses. The SoA state is
+//    maintained across slice boundaries: a transfer start appends one slot,
+//    a completion tombstones one, and `resolve()` re-runs the fixed point
+//    over only the links that have at least one requestor.
+//
+// Bit-identity guarantee: `resolve()` produces allocations bitwise equal to
+// `solve()` over the same streams in the same (insertion) order. The three
+// mechanisms that make this exact rather than approximate:
+//  - the fixed point skips links with no requestors; their effective
+//    capacity is iteration-invariant and computed once for the result, so
+//    skipping them changes no arithmetic on the touched links;
+//  - per-link FP aggregates (DMA demand sums, ambient per-socket core
+//    weights) are maintained as *ordered member lists*: appends extend the
+//    left-to-right sum exactly, removals re-sum the surviving members in
+//    insertion order — never an inexact `-=`;
+//  - the per-solve damped-utilization state is reinitialised on every
+//    resolve exactly as a fresh solve would.
 #pragma once
 
 #include <span>
@@ -47,7 +71,8 @@ enum class ArbitrationPolicy : std::uint8_t {
 
 /// Outcome of one steady-state solve.
 struct ArbiterResult {
-  /// Granted bandwidth per stream, same order as the input.
+  /// Granted bandwidth per stream. For `solve()`: same order as the input.
+  /// For `resolve()`: indexed by epoch slot (tombstoned slots read zero).
   std::vector<Bandwidth> allocation;
   /// Total granted bandwidth crossing each link (indexed by LinkId value).
   std::vector<Bandwidth> link_usage;
@@ -66,20 +91,134 @@ class Arbiter {
   [[nodiscard]] ArbitrationPolicy policy() const { return policy_; }
 
   /// Solve the steady state for the given stream set. Streams with zero
-  /// demand get zero. Deterministic: same input, same output.
+  /// demand get zero. Deterministic: same input, same output. Independent
+  /// of any epoch state (safe to call for cross-checking a live epoch).
   [[nodiscard]] ArbiterResult solve(std::span<const StreamSpec> streams) const;
 
-  /// Attach metrics (counters sim.arbiter.solves / iterations, histograms
+  // -- incremental epoch API (the engine's hot path) -----------------------
+
+  /// Start a new epoch: rebuild the struct-of-arrays solver state from
+  /// scratch for `streams` (slots 0..n-1 in order). Also re-reads the
+  /// per-link constants from the machine.
+  void prepare(std::span<const StreamSpec> streams);
+
+  /// Append one stream to the epoch; returns its slot. Aggregates are
+  /// extended exactly (left-to-right FP sums), so a subsequent resolve()
+  /// is bitwise equal to a fresh solve over the same ordered stream set.
+  std::size_t add_stream(const StreamSpec& spec);
+
+  /// Tombstone one live slot. Aggregates on the affected links/socket are
+  /// re-summed over the surviving members in insertion order (exact).
+  void remove_stream(std::size_t slot);
+
+  /// Live (non-tombstoned) streams in the current epoch.
+  [[nodiscard]] std::size_t live_streams() const {
+    return epoch_.order.size();
+  }
+  /// Tombstoned slots accumulated since the last prepare(). Callers decide
+  /// when to compact by calling prepare() again with the live streams.
+  [[nodiscard]] std::size_t tombstones() const { return epoch_.tombstones; }
+
+  /// Run the fixed point over the current epoch. `dirty_links` is the set
+  /// of links whose requestor membership changed since the last resolve
+  /// (the engine's dirty-link list); their cached per-link constants are
+  /// refreshed from the machine. The returned reference stays valid until
+  /// the next resolve/prepare; `allocation` is indexed by slot.
+  const ArbiterResult& resolve(
+      std::span<const std::uint32_t> dirty_links = {});
+
+  /// Attach metrics (counters sim.arbiter.solves / iterations /
+  /// full_solves / incremental_solves / links_resolved, histograms
   /// sim.arbiter.grant_cpu_gb / grant_dma_gb of per-stream granted rates).
   /// Solving is unchanged — observation only, zero-cost when detached.
   void attach_observer(const obs::Observer& observer);
 
  private:
+  /// All solver state, struct-of-arrays. One long-lived instance backs the
+  /// epoch API; solve() builds a throwaway one so the two never interact.
+  struct SolverState {
+    // Per-link constants mirrored out of topo::Link so the inner capacity
+    // loop runs on flat arrays (refreshed by prepare() and, per dirty
+    // link, by resolve()).
+    std::vector<double> link_capacity;
+    std::vector<double> link_min_cap;  ///< capacity * kMinCapacityFraction
+    std::vector<double> link_dma_floor;
+    std::vector<double> link_deg_per_req;
+    std::vector<double> link_knee;
+    std::vector<double> link_dma_weight;
+    std::vector<double> link_ambient_knee;
+    std::vector<double> link_ambient_deg;
+    std::vector<double> link_soft_start;
+    std::vector<double> link_soft_min;
+    std::vector<std::uint32_t> link_ambient_socket;  ///< UINT32_MAX = none
+
+    // Per-stream arrays, slot-indexed. Slots are append-only within an
+    // epoch; removal tombstones (live[slot] = 0). Paths are stored CSR.
+    std::vector<std::uint8_t> is_dma;
+    std::vector<std::uint8_t> live;
+    std::vector<double> demand;
+    std::vector<double> ambient_weight;
+    std::vector<std::uint32_t> source_socket;  ///< UINT32_MAX = invalid
+    std::vector<std::uint32_t> path_offset;    ///< size = slots + 1
+    std::vector<std::uint32_t> path_link;
+
+    /// Live slots in insertion order — the order a fresh solve() sees.
+    std::vector<int> order;
+    std::size_t tombstones = 0;
+
+    // Per-link / per-socket aggregates over live members with demand above
+    // the rate epsilon. Member lists are kept in insertion order so
+    // re-summation after a removal reproduces a fresh build's
+    // left-to-right FP sums bitwise.
+    std::vector<int> cpu_requestors;
+    std::vector<std::vector<int>> dma_on;
+    std::vector<double> dma_demand_sum;
+    std::vector<std::vector<int>> cpu_socket_members;
+    std::vector<double> cpu_on_socket;
+
+    // Solver scratch, reused across resolves (no allocation on the hot
+    // path once warmed).
+    std::vector<int> cpu_ids;
+    std::vector<int> dma_ids;
+    std::vector<int> all_ids;
+    std::vector<int> active;
+    std::vector<int> still_active;
+    std::vector<int> active_count;
+    std::vector<std::uint32_t> touched;
+    std::vector<std::uint8_t> is_touched;
+    std::vector<double> dma_utilization;
+    std::vector<double> alloc;
+    std::vector<double> previous;
+    std::vector<double> cap_eff;
+    std::vector<double> remaining;
+    std::vector<double> cpu_usage;
+    ArbiterResult result;
+  };
+
+  void reset_state(SolverState& st) const;
+  void refresh_link_constants(SolverState& st, std::uint32_t link) const;
+  std::size_t state_add_stream(SolverState& st, const StreamSpec& spec) const;
+  void state_remove_stream(SolverState& st, std::size_t slot) const;
+  [[nodiscard]] double link_cap_eff(const SolverState& st,
+                                    std::uint32_t link) const;
+  void max_min_fill(SolverState& st, const std::vector<int>& stream_ids) const;
+  /// The damped fixed point; fills st.alloc / st.cap_eff, returns
+  /// iteration count. Identical arithmetic for both entry points.
+  [[nodiscard]] int run_fixed_point(SolverState& st) const;
+  /// Build st.result from the solved state.
+  void emit_result(SolverState& st, int iterations) const;
+  void record_solution(const SolverState& st, bool incremental) const;
+
   const topo::Machine* machine_;
   ArbitrationPolicy policy_;
+  SolverState epoch_;
+  bool epoch_ready_ = false;
 
   obs::Counter* met_solves_ = nullptr;
   obs::Counter* met_iterations_ = nullptr;
+  obs::Counter* met_full_solves_ = nullptr;
+  obs::Counter* met_incremental_solves_ = nullptr;
+  obs::Counter* met_links_resolved_ = nullptr;
   obs::BandwidthHistogram* met_grant_cpu_ = nullptr;
   obs::BandwidthHistogram* met_grant_dma_ = nullptr;
 };

@@ -1,11 +1,14 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "obs/span.hpp"
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace mcm::sim {
 
@@ -13,10 +16,69 @@ namespace {
 // One byte of slack absorbs floating-point residue when deciding whether a
 // finite transfer has completed.
 constexpr double kByteEps = 1.0;
+
+// Beyond this many entries the solve cache is cleared wholesale. Real
+// workloads cycle through a handful of stream-set shapes; an unbounded
+// map would only grow under adversarial churn.
+constexpr std::size_t kMaxCacheEntries = 1024;
+
+// Compact the arbiter epoch (rebuild without tombstones) once tombstones
+// both exceed this floor and outnumber the live streams.
+constexpr std::size_t kCompactionFloor = 64;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::uint64_t hash_spec(const StreamSpec& spec) {
+  std::uint64_t h =
+      spec.cls == StreamClass::kDma ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(spec.demand.bps()));
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(spec.ambient_weight));
+  h = hash_combine(h, spec.source_socket.is_valid()
+                          ? spec.source_socket.value()
+                          : 0xffffffffull);
+  h = hash_combine(h, spec.path.size());
+  for (topo::LinkId l : spec.path) h = hash_combine(h, l.value());
+  return h;
+}
+
+bool specs_equal(const StreamSpec& a, const StreamSpec& b) {
+  if (a.cls != b.cls || a.source_socket != b.source_socket ||
+      a.path.size() != b.path.size()) {
+    return false;
+  }
+  if (std::bit_cast<std::uint64_t>(a.demand.bps()) !=
+      std::bit_cast<std::uint64_t>(b.demand.bps())) {
+    return false;
+  }
+  if (std::bit_cast<std::uint64_t>(a.ambient_weight) !=
+      std::bit_cast<std::uint64_t>(b.ambient_weight)) {
+    return false;
+  }
+  return std::equal(a.path.begin(), a.path.end(), b.path.begin());
+}
+
 }  // namespace
 
 Engine::Engine(const topo::Machine& machine, ArbitrationPolicy policy)
-    : machine_(&machine), arbiter_(machine, policy) {}
+    : machine_(&machine), arbiter_(machine, policy) {
+  if (env_u64("MCM_ENGINE_FULL_SOLVE", 0) != 0) mode_ = SolveMode::kFull;
+#if defined(MCM_SANITIZE)
+  check_every_ = env_u64("MCM_CHECK_INCREMENTAL", 32);
+#else
+  check_every_ = env_u64("MCM_CHECK_INCREMENTAL", 0);
+#endif
+  arbiter_.prepare({});
+  is_dirty_link_.assign(machine.links().size(), 0);
+}
+
+void Engine::set_solve_mode(SolveMode mode) {
+  MCM_EXPECTS(slots_.empty());
+  mode_ = mode;
+}
 
 void Engine::attach_observer(const obs::Observer& observer) {
   obs_ = observer;
@@ -30,6 +92,8 @@ void Engine::attach_observer(const obs::Observer& observer) {
     met_transfers_stopped_ = &reg.counter("sim.engine.transfers_stopped");
     met_slices_ = &reg.counter("sim.engine.slices");
     met_rate_refreshes_ = &reg.counter("sim.engine.rate_refreshes");
+    met_solves_avoided_ = &reg.counter("sim.engine.solves_avoided");
+    met_dirty_links_ = &reg.counter("sim.engine.dirty_links");
     met_grant_cpu_ = &reg.histogram("sim.engine.grant_cpu_gb");
     met_grant_dma_ = &reg.histogram("sim.engine.grant_dma_gb");
   } else {
@@ -39,23 +103,92 @@ void Engine::attach_observer(const obs::Observer& observer) {
     met_transfers_stopped_ = nullptr;
     met_slices_ = nullptr;
     met_rate_refreshes_ = nullptr;
+    met_solves_avoided_ = nullptr;
+    met_dirty_links_ = nullptr;
     met_grant_cpu_ = nullptr;
     met_grant_dma_ = nullptr;
   }
+}
+
+Engine::IdKind Engine::classify(TransferId id) const {
+  const std::uint64_t slot_part = id & 0xffffffffull;
+  if (slot_part == 0 || slot_part > slots_.size()) return IdKind::kUnknown;
+  const Slot& slot = slots_[slot_part - 1];
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (generation == slot.generation) {
+    // Current generation: live while active; a free slot's current
+    // generation has not been issued yet.
+    return slot.active ? IdKind::kLive : IdKind::kUnknown;
+  }
+  // Every past generation was issued exactly once and retired.
+  return generation < slot.generation ? IdKind::kRetired : IdKind::kUnknown;
+}
+
+void Engine::mark_path_dirty(const StreamSpec& spec) {
+  for (topo::LinkId l : spec.path) {
+    const std::uint32_t link = l.value();
+    if (is_dirty_link_[link] == 0) {
+      is_dirty_link_[link] = 1;
+      dirty_links_.push_back(link);
+    }
+  }
+}
+
+TransferId Engine::issue_slot(const StreamSpec& spec, double bytes_total) {
+  std::uint32_t index = 0;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slot_rate_.push_back(0.0);
+    slot_arb_.push_back(0);
+  }
+  Slot& slot = slots_[index];
+  slot.spec = spec;
+  slot.bytes_total = bytes_total;
+  slot.bytes_done = 0.0;
+  slot.spec_hash = hash_spec(spec);
+  slot.active = true;
+  slot_rate_[index] = 0.0;
+  const TransferId id =
+      (static_cast<std::uint64_t>(slot.generation) << 32) |
+      static_cast<std::uint64_t>(index + 1);
+  if (mode_ == SolveMode::kIncremental) {
+    slot_arb_[index] = arbiter_.add_stream(spec);
+    mark_path_dirty(spec);
+  }
+  active_.push_back(id);
+  if (std::isfinite(bytes_total)) finite_.push_back(id);
+  rates_dirty_ = true;
+  return id;
+}
+
+void Engine::retire(TransferId id) {
+  const std::uint32_t index = slot_of(id);
+  Slot& slot = slots_[index];
+  if (mode_ == SolveMode::kIncremental) {
+    arbiter_.remove_stream(slot_arb_[index]);
+    mark_path_dirty(slot.spec);
+  }
+  retired_bytes_.emplace(id, slot.bytes_done);
+  slot.active = false;
+  ++slot.generation;
+  slot_rate_[index] = 0.0;
+  free_.push_back(index);
+  active_.erase(std::find(active_.begin(), active_.end(), id));
+  if (std::isfinite(slot.bytes_total)) {
+    finite_.erase(std::find(finite_.begin(), finite_.end(), id));
+  }
+  rates_dirty_ = true;
 }
 
 TransferId Engine::start_transfer(const StreamSpec& spec,
                                   std::uint64_t bytes) {
   MCM_EXPECTS(bytes > 0);
   MCM_EXPECTS(spec.demand.bps() > 0.0);
-  const TransferId id = next_id_++;
-  Transfer t;
-  t.spec = spec;
-  t.bytes_total = static_cast<double>(bytes);
-  t.active = true;
-  transfers_.emplace(id, std::move(t));
-  active_.push_back(id);
-  rates_dirty_ = true;
+  const TransferId id = issue_slot(spec, static_cast<double>(bytes));
   trace_.record(now_, TraceEventKind::kTransferStarted, id);
   if (met_transfers_started_ != nullptr) met_transfers_started_->add();
   if (obs_.trace != nullptr) {
@@ -73,14 +206,8 @@ TransferId Engine::start_transfer(const StreamSpec& spec,
 
 TransferId Engine::start_flow(const StreamSpec& spec) {
   MCM_EXPECTS(spec.demand.bps() > 0.0);
-  const TransferId id = next_id_++;
-  Transfer t;
-  t.spec = spec;
-  t.bytes_total = std::numeric_limits<double>::infinity();
-  t.active = true;
-  transfers_.emplace(id, std::move(t));
-  active_.push_back(id);
-  rates_dirty_ = true;
+  const TransferId id =
+      issue_slot(spec, std::numeric_limits<double>::infinity());
   trace_.record(now_, TraceEventKind::kTransferStarted, id);
   if (met_flows_started_ != nullptr) met_flows_started_->add();
   if (obs_.trace != nullptr) {
@@ -96,13 +223,16 @@ TransferId Engine::start_flow(const StreamSpec& spec) {
 }
 
 StopResult Engine::stop(TransferId id) {
-  const auto it = transfers_.find(id);
-  if (it == transfers_.end()) return StopResult::kUnknownId;
-  if (!it->second.active) return StopResult::kAlreadyComplete;
-  it->second.active = false;
-  it->second.rate = 0.0;
-  active_.erase(std::find(active_.begin(), active_.end(), id));
-  rates_dirty_ = true;
+  switch (classify(id)) {
+    case IdKind::kUnknown:
+      return StopResult::kUnknownId;
+    case IdKind::kRetired:
+      return StopResult::kAlreadyComplete;
+    case IdKind::kLive:
+      break;
+  }
+  const double bytes_done = slots_[slot_of(id)].bytes_done;
+  retire(id);
   trace_.record(now_, TraceEventKind::kTransferStopped, id);
   if (met_transfers_stopped_ != nullptr) met_transfers_stopped_->add();
   if (obs_.trace != nullptr) {
@@ -111,64 +241,165 @@ StopResult Engine::stop(TransferId id) {
     event.category = "sim";
     event.ts_us = obs::to_trace_us(now_);
     event.track = static_cast<std::uint32_t>(id);
-    event.arg("transfer", static_cast<double>(id))
-        .arg("bytes", it->second.bytes_done);
+    event.arg("transfer", static_cast<double>(id)).arg("bytes", bytes_done);
     obs_.trace->record(event);
   }
   return StopResult::kStopped;
 }
 
-bool Engine::is_active(TransferId id) const { return transfer(id).active; }
+bool Engine::is_active(TransferId id) const {
+  const IdKind kind = classify(id);
+  MCM_EXPECTS(kind != IdKind::kUnknown);
+  return kind == IdKind::kLive;
+}
 
 std::uint64_t Engine::bytes_moved(TransferId id) const {
-  return static_cast<std::uint64_t>(transfer(id).bytes_done);
+  const IdKind kind = classify(id);
+  MCM_EXPECTS(kind != IdKind::kUnknown);
+  if (kind == IdKind::kLive) {
+    return static_cast<std::uint64_t>(slots_[slot_of(id)].bytes_done);
+  }
+  return static_cast<std::uint64_t>(retired_bytes_.at(id));
 }
 
-Bandwidth Engine::current_rate(TransferId id) {
-  if (!transfer(id).active) return Bandwidth{};
+Bandwidth Engine::current_rate(TransferId id) const {
+  const IdKind kind = classify(id);
+  MCM_EXPECTS(kind != IdKind::kUnknown);
+  if (kind != IdKind::kLive) return Bandwidth{};
   refresh_rates();
-  return Bandwidth::bytes_per_s(transfer(id).rate);
+  return Bandwidth::bytes_per_s(slot_rate_[slot_of(id)]);
 }
 
-const Engine::Transfer& Engine::transfer(TransferId id) const {
-  const auto it = transfers_.find(id);
-  MCM_EXPECTS(it != transfers_.end());
-  return it->second;
-}
-
-void Engine::refresh_rates() {
-  if (!rates_dirty_) return;
+std::vector<StreamSpec> Engine::active_specs() const {
   std::vector<StreamSpec> specs;
   specs.reserve(active_.size());
-  for (TransferId id : active_) specs.push_back(transfers_.at(id).spec);
-  const ArbiterResult result = arbiter_.solve(specs);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    transfers_.at(active_[i]).rate = result.allocation[i].bps();
-  }
-  rates_dirty_ = false;
+  for (TransferId id : active_) specs.push_back(slots_[slot_of(id)].spec);
+  return specs;
+}
+
+void Engine::emit_refresh() const {
   trace_.record(now_, TraceEventKind::kRatesRecomputed, 0);
   if (met_rate_refreshes_ != nullptr) met_rate_refreshes_->add();
   if (met_grant_cpu_ != nullptr) {
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      const Transfer& t = transfers_.at(active_[i]);
-      (t.spec.cls == StreamClass::kCpu ? met_grant_cpu_ : met_grant_dma_)
-          ->record(result.allocation[i]);
+    for (TransferId id : active_) {
+      const std::uint32_t index = slot_of(id);
+      (slots_[index].spec.cls == StreamClass::kCpu ? met_grant_cpu_
+                                                   : met_grant_dma_)
+          ->record(Bandwidth::bytes_per_s(slot_rate_[index]));
     }
   }
   if (obs_.trace != nullptr) {
     // One counter series per transfer: the arbitrated rate over simulated
     // time, i.e. the per-slice bandwidth split the paper reasons about.
-    for (std::size_t i = 0; i < active_.size(); ++i) {
+    for (TransferId id : active_) {
       obs::TraceEvent event;
       event.name = "grant";
       event.category = "sim";
       event.phase = obs::TracePhase::kCounter;
       event.ts_us = obs::to_trace_us(now_);
-      event.track = static_cast<std::uint32_t>(active_[i]);
-      event.arg("gb_per_s", result.allocation[i].gb());
+      event.track = static_cast<std::uint32_t>(id);
+      event.arg("gb_per_s", Bandwidth::bytes_per_s(slot_rate_[slot_of(id)]).gb());
       obs_.trace->record(event);
     }
   }
+}
+
+void Engine::refresh_full() const {
+  const std::vector<StreamSpec> specs = active_specs();
+  const ArbiterResult result = arbiter_.solve(specs);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    slot_rate_[slot_of(active_[i])] = result.allocation[i].bps();
+  }
+}
+
+void Engine::refresh_incremental() const {
+  // Empty set: nothing to arbitrate, nothing to cache. Trace/metric
+  // emission still happens in refresh_rates() so the observable slice
+  // stream is identical to the full path.
+  if (active_.empty()) return;
+
+  std::uint64_t signature = hash_combine(0x6d636d2d656e6731ull,
+                                         active_.size());
+  for (TransferId id : active_) {
+    signature = hash_combine(signature, slots_[slot_of(id)].spec_hash);
+  }
+
+  bool solved = false;
+  const auto hit = solve_cache_.find(signature);
+  if (hit != solve_cache_.end() &&
+      hit->second.specs.size() == active_.size()) {
+    bool match = true;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (!specs_equal(hit->second.specs[i],
+                       slots_[slot_of(active_[i])].spec)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        slot_rate_[slot_of(active_[i])] = hit->second.rates[i];
+      }
+      if (met_solves_avoided_ != nullptr) met_solves_avoided_->add();
+      solved = true;
+    }
+  }
+
+  if (!solved) {
+    // Rebuild the epoch without tombstones once they dominate: the SoA
+    // arrays stay dense and the per-solve scratch stops scaling with dead
+    // history. prepare() preserves insertion order, so results are
+    // unchanged.
+    if (arbiter_.tombstones() > kCompactionFloor &&
+        arbiter_.tombstones() > arbiter_.live_streams()) {
+      const std::vector<StreamSpec> specs = active_specs();
+      arbiter_.prepare(specs);
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        slot_arb_[slot_of(active_[i])] = i;
+      }
+    }
+    if (met_dirty_links_ != nullptr) {
+      met_dirty_links_->add(dirty_links_.size());
+    }
+    const ArbiterResult& result = arbiter_.resolve(dirty_links_);
+    for (std::uint32_t link : dirty_links_) is_dirty_link_[link] = 0;
+    dirty_links_.clear();
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const std::uint32_t index = slot_of(active_[i]);
+      slot_rate_[index] = result.allocation[slot_arb_[index]].bps();
+    }
+    if (solve_cache_.size() >= kMaxCacheEntries) solve_cache_.clear();
+    CacheEntry& entry = solve_cache_[signature];
+    entry.specs = active_specs();
+    entry.rates.resize(active_.size());
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      entry.rates[i] = slot_rate_[slot_of(active_[i])];
+    }
+  }
+
+  if (check_every_ > 0 && ++refreshes_since_check_ >= check_every_) {
+    refreshes_since_check_ = 0;
+    // Shadow full solve over the same ordered stream set: incremental
+    // epoch state, dirty-link skipping and cache hits must all reproduce
+    // it bitwise.
+    const std::vector<StreamSpec> specs = active_specs();
+    const ArbiterResult full = arbiter_.solve(specs);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      MCM_ENSURES(full.allocation[i].bps() ==
+                  slot_rate_[slot_of(active_[i])]);
+    }
+  }
+}
+
+void Engine::refresh_rates() const {
+  if (!rates_dirty_) return;
+  if (mode_ == SolveMode::kFull) {
+    refresh_full();
+  } else {
+    refresh_incremental();
+  }
+  rates_dirty_ = false;
+  emit_refresh();
 }
 
 void Engine::advance(Seconds dt, std::vector<Completion>& out) {
@@ -180,9 +411,10 @@ void Engine::advance(Seconds dt, std::vector<Completion>& out) {
                           obs::to_trace_us(now_));
     slice.arg("streams", static_cast<double>(active_.size()));
     for (TransferId id : active_) {
-      Transfer& t = transfers_.at(id);
-      t.bytes_done =
-          std::min(t.bytes_total, t.bytes_done + t.rate * dt.value());
+      Slot& slot = slots_[slot_of(id)];
+      slot.bytes_done =
+          std::min(slot.bytes_total,
+                   slot.bytes_done + slot_rate_[slot_of(id)] * dt.value());
     }
     if (met_slices_ != nullptr) met_slices_->add();
     now_ += dt;
@@ -193,23 +425,21 @@ void Engine::advance(Seconds dt, std::vector<Completion>& out) {
       obs_.sampler->maybe_sample(obs::to_trace_us(now_));
     }
   }
-  // Collect completions (finite transfers only). Iterate over a copy since
-  // completion mutates active_.
+  // Collect completions. Iterate over a copy since completion mutates
+  // finite_; the scan order (insertion order) matches the full active set
+  // filtered to finite transfers, so the completion order is unchanged.
   std::vector<TransferId> done;
-  for (TransferId id : active_) {
-    const Transfer& t = transfers_.at(id);
-    if (std::isfinite(t.bytes_total) &&
-        t.bytes_done >= t.bytes_total - kByteEps) {
+  for (TransferId id : finite_) {
+    const Slot& slot = slots_[slot_of(id)];
+    if (slot.bytes_done >= slot.bytes_total - kByteEps) {
       done.push_back(id);
     }
   }
   for (TransferId id : done) {
-    Transfer& t = transfers_.at(id);
-    t.bytes_done = t.bytes_total;
-    t.active = false;
-    t.rate = 0.0;
-    active_.erase(std::find(active_.begin(), active_.end(), id));
-    rates_dirty_ = true;
+    Slot& slot = slots_[slot_of(id)];
+    slot.bytes_done = slot.bytes_total;
+    const double bytes_total = slot.bytes_total;
+    retire(id);
     trace_.record(now_, TraceEventKind::kTransferCompleted, id);
     if (met_transfers_completed_ != nullptr) met_transfers_completed_->add();
     if (obs_.trace != nullptr) {
@@ -219,7 +449,7 @@ void Engine::advance(Seconds dt, std::vector<Completion>& out) {
       event.ts_us = obs::to_trace_us(now_);
       event.track = static_cast<std::uint32_t>(id);
       event.arg("transfer", static_cast<double>(id))
-          .arg("bytes", t.bytes_total);
+          .arg("bytes", bytes_total);
       obs_.trace->record(event);
     }
     out.push_back(Completion{id, now_});
@@ -234,10 +464,12 @@ std::vector<Completion> Engine::run_until(Seconds deadline) {
 
     // Time until the earliest finite completion at current rates.
     double next_dt = std::numeric_limits<double>::infinity();
-    for (TransferId id : active_) {
-      const Transfer& t = transfers_.at(id);
-      if (!std::isfinite(t.bytes_total) || t.rate <= 0.0) continue;
-      next_dt = std::min(next_dt, (t.bytes_total - t.bytes_done) / t.rate);
+    for (TransferId id : finite_) {
+      const Slot& slot = slots_[slot_of(id)];
+      const double rate = slot_rate_[slot_of(id)];
+      if (rate <= 0.0) continue;
+      next_dt =
+          std::min(next_dt, (slot.bytes_total - slot.bytes_done) / rate);
     }
 
     const double to_deadline = (deadline - now_).value();
@@ -254,10 +486,12 @@ std::optional<Completion> Engine::run_until_next_completion(
   while (now_ < deadline) {
     refresh_rates();
     double next_dt = std::numeric_limits<double>::infinity();
-    for (TransferId id : active_) {
-      const Transfer& t = transfers_.at(id);
-      if (!std::isfinite(t.bytes_total) || t.rate <= 0.0) continue;
-      next_dt = std::min(next_dt, (t.bytes_total - t.bytes_done) / t.rate);
+    for (TransferId id : finite_) {
+      const Slot& slot = slots_[slot_of(id)];
+      const double rate = slot_rate_[slot_of(id)];
+      if (rate <= 0.0) continue;
+      next_dt =
+          std::min(next_dt, (slot.bytes_total - slot.bytes_done) / rate);
     }
     if (!std::isfinite(next_dt) || next_dt > (deadline - now_).value()) {
       std::vector<Completion> none;

@@ -5,6 +5,30 @@
 // transfer completions, additions and removals. Finite transfers model
 // network messages (a 64 MiB receive in the paper's benchmark); endless
 // flows model compute kernels that re-issue work back to back.
+//
+// The hot path is incremental (SolveMode::kIncremental, the default): the
+// engine keeps a live arbiter epoch in sync with its active set — a
+// transfer start appends one arbiter slot, a completion/stop tombstones
+// one — and each rate refresh runs `Arbiter::resolve` over only the links
+// whose requestor membership changed since the last refresh. A signature
+// cache over the active spec sequence short-circuits refreshes whose
+// stream set was already solved (back-to-back message restarts produce
+// long runs of identical sets); hits are counted in
+// `sim.engine.solves_avoided`. Both shortcuts are exact: resolve() is
+// bitwise equal to a fresh solve (see arbiter.hpp) and cache entries are
+// verified element-wise against the live specs before use.
+//
+// SolveMode::kFull disables all of it and re-runs the one-shot
+// `Arbiter::solve` on every refresh — the pre-refactor reference path,
+// kept for comparison benchmarks (bench_engine_hotpath) and as a
+// fallback (`MCM_ENGINE_FULL_SOLVE=1` forces it process-wide).
+//
+// Cross-check mode: `MCM_CHECK_INCREMENTAL=N` (default 32 when built with
+// MCM_SANITIZE, else 0) re-solves every Nth non-empty refresh with the
+// stateless `solve()` and MCM_ENSURES the incremental rates are bitwise
+// equal — covering the epoch state, the dirty-link skip and the solve
+// cache in one probe. The shadow solve runs through the same arbiter, so
+// `sim.arbiter.*` counters include the probes when the mode is on.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +44,11 @@
 
 namespace mcm::sim {
 
+/// Opaque transfer handle. Encodes {slot, generation} so the hot lookup is
+/// an array index: the low 32 bits are slot+1 (never 0 — callers use 0 as
+/// a sentinel), the high 32 bits the slot's generation at issue time.
+/// Retired ids stay distinguishable forever: a slot's generation bumps
+/// when its transfer completes or is stopped, before any reuse.
 using TransferId = std::uint64_t;
 
 /// A finite transfer that finished, and when.
@@ -51,9 +80,25 @@ enum class StopResult : std::uint8_t {
 
 class Engine {
  public:
+  /// How rate refreshes reach the arbiter.
+  enum class SolveMode : std::uint8_t {
+    /// Maintain an arbiter epoch incrementally; resolve dirty links only;
+    /// reuse cached solutions for repeated stream sets. Bit-identical to
+    /// kFull by construction (cross-checkable, see MCM_CHECK_INCREMENTAL).
+    kIncremental,
+    /// One-shot full solve per refresh — the reference path.
+    kFull,
+  };
+
   explicit Engine(
       const topo::Machine& machine,
       ArbitrationPolicy policy = ArbitrationPolicy::kCpuPriorityWithFloor);
+
+  /// Select the solve mode. Must be called before any transfer/flow is
+  /// started. Default: kIncremental, unless the environment variable
+  /// MCM_ENGINE_FULL_SOLVE is set to a non-zero value.
+  void set_solve_mode(SolveMode mode);
+  [[nodiscard]] SolveMode solve_mode() const { return mode_; }
 
   /// Start a finite transfer of `bytes` (> 0). Returns its id.
   TransferId start_transfer(const StreamSpec& spec, std::uint64_t bytes);
@@ -72,9 +117,9 @@ class Engine {
   /// Bytes moved so far (or in total, once completed/stopped).
   [[nodiscard]] std::uint64_t bytes_moved(TransferId id) const;
 
-  /// Current arbitrated rate; zero once inactive. Non-const because it
-  /// refreshes the cached arbitration if the active set changed.
-  [[nodiscard]] Bandwidth current_rate(TransferId id);
+  /// Current arbitrated rate; zero once inactive. Const: the rate cache
+  /// refreshes through mutable internals when the active set changed.
+  [[nodiscard]] Bandwidth current_rate(TransferId id) const;
 
   [[nodiscard]] Seconds now() const { return now_; }
 
@@ -95,7 +140,8 @@ class Engine {
   /// uninstrumented run.
   ///
   /// Counters: sim.engine.transfers_started / flows_started /
-  /// transfers_completed / transfers_stopped / slices / rate_refreshes.
+  /// transfers_completed / transfers_stopped / slices / rate_refreshes /
+  /// solves_avoided (cache hits) / dirty_links (links passed to resolve).
   /// Histograms: sim.engine.grant_cpu_gb / grant_dma_gb (granted rates).
   /// Trace: "slice" complete events on track 0, per-transfer "grant" rate
   /// series, "transfer-start/-complete/-stop" instants.
@@ -104,28 +150,72 @@ class Engine {
   void attach_observer(const obs::Observer& observer);
 
  private:
-  struct Transfer {
+  /// Live transfer state, slot-indexed. Slots are recycled through a free
+  /// list; `generation` disambiguates ids across reuse.
+  struct Slot {
     StreamSpec spec;
     double bytes_total = 0.0;  ///< infinity for flows
     double bytes_done = 0.0;
-    double rate = 0.0;  ///< bytes/s granted by the arbiter
+    std::uint64_t spec_hash = 0;
+    std::uint32_t generation = 0;
     bool active = false;
   };
 
-  void refresh_rates();
-  [[nodiscard]] const Transfer& transfer(TransferId id) const;
+  /// Cached solution for one exact active spec sequence. `specs` is kept
+  /// for element-wise verification on hit (hash collisions degrade to a
+  /// miss, never to a wrong rate).
+  struct CacheEntry {
+    std::vector<StreamSpec> specs;
+    std::vector<double> rates;  ///< active (insertion) order
+  };
+
+  enum class IdKind : std::uint8_t { kLive, kRetired, kUnknown };
+
+  [[nodiscard]] static constexpr std::uint32_t slot_of(TransferId id) {
+    return static_cast<std::uint32_t>((id & 0xffffffffull) - 1);
+  }
+  [[nodiscard]] IdKind classify(TransferId id) const;
+  [[nodiscard]] TransferId issue_slot(const StreamSpec& spec,
+                                      double bytes_total);
+  /// Tombstone a live slot: sync the arbiter epoch, preserve the byte
+  /// count for post-retirement queries, bump the generation and recycle.
+  void retire(TransferId id);
+  void mark_path_dirty(const StreamSpec& spec);
+  void refresh_rates() const;
+  void refresh_full() const;
+  void refresh_incremental() const;
+  /// Trace/metric emission common to every refresh path (including cache
+  /// hits — observable output is independent of how rates were obtained).
+  void emit_refresh() const;
+  [[nodiscard]] std::vector<StreamSpec> active_specs() const;
   /// Advance all active transfers by dt at current rates; completes finite
   /// transfers that reach their size.
   void advance(Seconds dt, std::vector<Completion>& out);
 
   const topo::Machine* machine_;
-  Arbiter arbiter_;
-  std::unordered_map<TransferId, Transfer> transfers_;
-  std::vector<TransferId> active_;  ///< sorted insertion order
-  TransferId next_id_ = 1;
+  SolveMode mode_ = SolveMode::kIncremental;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< recycled slots, LIFO
+  std::vector<TransferId> active_;   ///< insertion order
+  /// Finite transfers only, insertion order (a subsequence of active_):
+  /// slice-boundary scans — next completion, completion collection — walk
+  /// this instead of every endless flow.
+  std::vector<TransferId> finite_;
+  std::unordered_map<TransferId, double> retired_bytes_;
   Seconds now_{0.0};
-  bool rates_dirty_ = true;
-  Trace trace_;
+
+  // Rate-refresh state, mutable so read-side queries (current_rate) stay
+  // const while lazily refreshing the cache.
+  mutable Arbiter arbiter_;
+  mutable std::vector<double> slot_rate_;      ///< bytes/s, slot-indexed
+  mutable std::vector<std::size_t> slot_arb_;  ///< arbiter epoch slot
+  mutable std::vector<std::uint32_t> dirty_links_;
+  mutable std::vector<std::uint8_t> is_dirty_link_;
+  mutable std::unordered_map<std::uint64_t, CacheEntry> solve_cache_;
+  mutable std::uint64_t refreshes_since_check_ = 0;
+  mutable bool rates_dirty_ = true;
+  std::uint64_t check_every_ = 0;  ///< 0 = cross-check disabled
+  mutable Trace trace_;
 
   obs::Observer obs_;
   // Instruments resolved once at attach time (see MetricsRegistry rule 2);
@@ -136,6 +226,8 @@ class Engine {
   obs::Counter* met_transfers_stopped_ = nullptr;
   obs::Counter* met_slices_ = nullptr;
   obs::Counter* met_rate_refreshes_ = nullptr;
+  obs::Counter* met_solves_avoided_ = nullptr;
+  obs::Counter* met_dirty_links_ = nullptr;
   obs::BandwidthHistogram* met_grant_cpu_ = nullptr;
   obs::BandwidthHistogram* met_grant_dma_ = nullptr;
 };

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "util/contracts.hpp"
@@ -95,10 +96,51 @@ StreamSpec SimMachine::dma_send_stream(topo::NumaId data) const {
   return stream;
 }
 
+std::string SimMachine::phase_key(const char* kind, std::size_t n,
+                                  topo::NumaId comp,
+                                  topo::NumaId comm) const {
+  // Everything a phase result depends on, in one flat string. Durations
+  // use %a (hex float) so distinct doubles can never collide. Jitter and
+  // run_index_ are deliberately absent: they are applied on top of the
+  // (deterministic) phase result by the measure_* wrappers.
+  char key[224];
+  std::snprintf(key, sizeof key,
+                "%s/n%zu/comp%u/comm%u/msg%llu/dur%a/pat%d/ker%d/ws%llu/"
+                "pol%d",
+                kind, n, comp.value(), comm.value(),
+                static_cast<unsigned long long>(message_bytes_),
+                phase_duration_.value(), static_cast<int>(comm_pattern_),
+                static_cast<int>(compute_kernel_),
+                static_cast<unsigned long long>(working_set_bytes_),
+                static_cast<int>(policy_));
+  return std::string(key);
+}
+
 ParallelMeasurement SimMachine::run_phase(std::size_t n, topo::NumaId comp,
                                           topo::NumaId comm,
                                           bool with_compute,
                                           bool with_comm) const {
+  MCM_EXPECTS(with_compute || with_comm);
+  MCM_EXPECTS(!with_compute || (n >= 1 && n <= max_computing_cores()));
+  if (steady_cache_ == nullptr) {
+    return run_phase_uncached(n, comp, comm, with_compute, with_comm);
+  }
+  const char* kind =
+      with_compute ? (with_comm ? "phase-par" : "phase-comp") : "phase-comm";
+  const std::string key = phase_key(kind, with_compute ? n : 0, comp, comm);
+  ParallelMeasurement cached;
+  if (steady_cache_->find(key, cached)) return cached;
+  const ParallelMeasurement fresh =
+      run_phase_uncached(n, comp, comm, with_compute, with_comm);
+  steady_cache_->store(key, fresh);
+  return fresh;
+}
+
+ParallelMeasurement SimMachine::run_phase_uncached(std::size_t n,
+                                                   topo::NumaId comp,
+                                                   topo::NumaId comm,
+                                                   bool with_compute,
+                                                   bool with_comm) const {
   MCM_EXPECTS(with_compute || with_comm);
   MCM_EXPECTS(!with_compute || (n >= 1 && n <= max_computing_cores()));
 
@@ -206,28 +248,53 @@ ParallelMeasurement SimMachine::measure_parallel(std::size_t n,
 Bandwidth SimMachine::steady_compute_alone(std::size_t n,
                                            topo::NumaId comp) const {
   MCM_EXPECTS(n >= 1 && n <= max_computing_cores());
+  ParallelMeasurement cached;
+  std::string key;
+  if (steady_cache_ != nullptr) {
+    key = phase_key("steady-comp", n, comp, topo::NumaId(0));
+    if (steady_cache_->find(key, cached)) return cached.compute;
+  }
   Arbiter arbiter(spec_.machine, policy_);
   const std::vector<StreamSpec> streams(n, compute_stream(n, comp));
   const ArbiterResult result = arbiter.solve(streams);
   Bandwidth total;
   for (Bandwidth bw : result.allocation) total += bw;
+  if (steady_cache_ != nullptr) {
+    steady_cache_->store(key, ParallelMeasurement{total, Bandwidth{}});
+  }
   return total;
 }
 
 Bandwidth SimMachine::steady_comm_alone(topo::NumaId comm) const {
+  ParallelMeasurement cached;
+  std::string key;
+  if (steady_cache_ != nullptr) {
+    key = phase_key("steady-comm", 0, topo::NumaId(0), comm);
+    if (steady_cache_->find(key, cached)) return cached.comm;
+  }
   Arbiter arbiter(spec_.machine, policy_);
   std::vector<StreamSpec> streams{dma_stream(comm)};
   if (comm_pattern_ == CommPattern::kBidirectional) {
     streams.push_back(dma_send_stream(comm));
   }
   // The receive direction (first stream) is the reported bandwidth.
-  return arbiter.solve(streams).allocation.front();
+  const Bandwidth comm_bw = arbiter.solve(streams).allocation.front();
+  if (steady_cache_ != nullptr) {
+    steady_cache_->store(key, ParallelMeasurement{Bandwidth{}, comm_bw});
+  }
+  return comm_bw;
 }
 
 ParallelMeasurement SimMachine::steady_parallel(std::size_t n,
                                                 topo::NumaId comp,
                                                 topo::NumaId comm) const {
   MCM_EXPECTS(n >= 1 && n <= max_computing_cores());
+  ParallelMeasurement cached;
+  std::string key;
+  if (steady_cache_ != nullptr) {
+    key = phase_key("steady-par", n, comp, comm);
+    if (steady_cache_->find(key, cached)) return cached;
+  }
   Arbiter arbiter(spec_.machine, policy_);
   std::vector<StreamSpec> streams(n, compute_stream(n, comp));
   streams.push_back(dma_stream(comm));
@@ -238,6 +305,7 @@ ParallelMeasurement SimMachine::steady_parallel(std::size_t n,
   ParallelMeasurement out;
   for (std::size_t i = 0; i < n; ++i) out.compute += result.allocation[i];
   out.comm = result.allocation[n];  // receive direction
+  if (steady_cache_ != nullptr) steady_cache_->store(key, out);
   return out;
 }
 

@@ -14,17 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/engine.hpp"
+#include "sim/steady_cache.hpp"
 #include "topo/platforms.hpp"
 
 namespace mcm::sim {
-
-/// Result of a parallel (computation + communication) measurement.
-struct ParallelMeasurement {
-  Bandwidth compute;  ///< aggregate memory bandwidth of the computing cores
-  Bandwidth comm;     ///< network bandwidth observed by the receiver
-};
 
 /// Communication pattern of the benchmark (paper §VI future work: the
 /// published model assumes receive-only "pongs"; ping-pongs add a second
@@ -116,6 +112,20 @@ class SimMachine {
   }
   void set_working_set_bytes(std::uint64_t bytes);
 
+  /// Cache for jitter-free phase results (on by default; every machine
+  /// gets a private one). Phase results are pure functions of the
+  /// platform spec + workload knobs, so sharing a cache between machines
+  /// built from the *same* spec is safe and lets sweeps reuse each
+  /// other's cells — the pipeline Runner does this keyed by the scenario
+  /// fingerprint. Pass nullptr to disable caching entirely.
+  void set_steady_cache(std::shared_ptr<SteadyStateCache> cache) {
+    steady_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<SteadyStateCache>& steady_cache()
+      const {
+    return steady_cache_;
+  }
+
   /// Fraction of the cached kernel's accesses absorbed by the LLC when
   /// `active_cores` cores each stream over their working set: the shared
   /// cache covers llc_bytes of the aggregate footprint. 0 for the
@@ -154,12 +164,23 @@ class SimMachine {
                                                     topo::NumaId comm) const;
 
  private:
-  /// Run the engine-based measurement common to all phases.
+  /// Run the engine-based measurement common to all phases, memoized in
+  /// steady_cache_ (the result is deterministic per key — see phase_key).
   [[nodiscard]] ParallelMeasurement run_phase(std::size_t n,
                                               topo::NumaId comp,
                                               topo::NumaId comm,
                                               bool with_compute,
                                               bool with_comm) const;
+  /// The uncached engine run behind run_phase.
+  [[nodiscard]] ParallelMeasurement run_phase_uncached(std::size_t n,
+                                                       topo::NumaId comp,
+                                                       topo::NumaId comm,
+                                                       bool with_compute,
+                                                       bool with_comm) const;
+  /// Cache key covering every knob that influences a phase result.
+  [[nodiscard]] std::string phase_key(const char* kind, std::size_t n,
+                                      topo::NumaId comp,
+                                      topo::NumaId comm) const;
   /// Deterministic multiplicative jitter for one measurement coordinate.
   [[nodiscard]] double jitter(const char* phase, std::size_t n,
                               topo::NumaId comp, topo::NumaId comm,
@@ -173,6 +194,8 @@ class SimMachine {
   CommPattern comm_pattern_ = CommPattern::kReceiveOnly;
   ComputeKernel compute_kernel_ = ComputeKernel::kFill;
   std::uint64_t working_set_bytes_ = 64ull * kMiB;
+  std::shared_ptr<SteadyStateCache> steady_cache_ =
+      std::make_shared<SteadyStateCache>();
 };
 
 }  // namespace mcm::sim

@@ -1,0 +1,41 @@
+#include "sim/steady_cache.hpp"
+
+namespace mcm::sim {
+
+bool SteadyStateCache::find(const std::string& key,
+                            ParallelMeasurement& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  out = it->second;
+  return true;
+}
+
+void SteadyStateCache::store(const std::string& key,
+                             const ParallelMeasurement& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries) return;
+  entries_.emplace(key, value);
+}
+
+SteadyStateCache::Stats SteadyStateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void SteadyStateCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mcm::sim

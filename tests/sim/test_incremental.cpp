@@ -1,0 +1,374 @@
+// The incremental water-filling contract: arbiter epochs (add/remove +
+// dirty-link resolve), the engine's incremental mode and the steady-state
+// cache must all be bit-identical to the one-shot reference paths — not
+// merely close. Every comparison here is on the exact bits.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "topo/builder.hpp"
+#include "topo/platforms.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::sim {
+namespace {
+
+using topo::ContentionSpec;
+using topo::Machine;
+using topo::NicId;
+using topo::NumaId;
+using topo::SocketId;
+using topo::TopologyBuilder;
+
+[[nodiscard]] std::uint64_t bits(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+/// Random machine in the same family as the arbiter property tests.
+[[nodiscard]] Machine make_machine(Rng& rng) {
+  const auto random_spec = [&] {
+    ContentionSpec spec;
+    spec.dma_floor = Bandwidth::gb_per_s(rng.uniform(0.0, 6.0));
+    spec.requestor_knee = rng.uniform(2.0, 40.0);
+    spec.degradation_per_requestor =
+        Bandwidth::gb_per_s(rng.uniform(0.0, 1.5));
+    spec.dma_requestor_weight = rng.uniform(0.5, 4.0);
+    spec.dma_soft_start = rng.uniform(0.4, 1.0);
+    spec.dma_soft_min = rng.uniform(0.3, 1.0);
+    return spec;
+  };
+  TopologyBuilder b;
+  b.add_sockets(2, 4 + rng.uniform_below(12));
+  b.add_numa_per_socket(1 + rng.uniform_below(2),
+                        Bandwidth::gb_per_s(rng.uniform(30.0, 120.0)),
+                        random_spec());
+  b.set_remote_port_capacity(Bandwidth::gb_per_s(rng.uniform(15.0, 60.0)),
+                             random_spec());
+  b.set_inter_socket_capacity(Bandwidth::gb_per_s(rng.uniform(30.0, 90.0)),
+                              random_spec());
+  b.add_nic("nic", SocketId(rng.uniform_below(2)),
+            Bandwidth::gb_per_s(rng.uniform(5.0, 25.0)),
+            Bandwidth::gb_per_s(rng.uniform(8.0, 30.0)));
+  return b.build();
+}
+
+[[nodiscard]] StreamSpec make_stream(Rng& rng, const Machine& machine) {
+  StreamSpec stream;
+  const std::size_t numa_count = machine.numa_count();
+  const NumaId target(
+      static_cast<std::uint32_t>(rng.uniform_below(numa_count)));
+  if (rng.uniform_below(4) == 0) {
+    stream.cls = StreamClass::kDma;
+    stream.demand = Bandwidth::gb_per_s(rng.uniform(0.5, 25.0));
+    stream.path = machine.dma_path(NicId(0), target);
+    stream.source_socket = machine.nic(NicId(0)).socket;
+  } else {
+    stream.cls = StreamClass::kCpu;
+    stream.demand = Bandwidth::gb_per_s(rng.uniform(0.1, 8.0));
+    const SocketId source(static_cast<std::uint32_t>(rng.uniform_below(2)));
+    stream.path = machine.cpu_path(source, target);
+    stream.source_socket = source;
+  }
+  return stream;
+}
+
+// ---------------------------------------------------------------------
+// Arbiter: epoch churn vs one-shot solve
+// ---------------------------------------------------------------------
+
+class IncrementalChurn : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalChurn, ResolveMatchesSolveBitwiseUnderRandomChurn) {
+  Rng rng(GetParam());
+  const Machine machine = make_machine(rng);
+  for (const ArbitrationPolicy policy :
+       {ArbitrationPolicy::kCpuPriorityWithFloor,
+        ArbitrationPolicy::kFairShare}) {
+    Arbiter arbiter(machine, policy);
+    arbiter.prepare({});
+
+    struct Live {
+      std::size_t slot;
+      StreamSpec spec;
+    };
+    std::vector<Live> live;  // insertion order, like the engine's set
+    std::vector<std::uint32_t> dirty;
+    std::vector<std::uint8_t> is_dirty(machine.links().size(), 0);
+    const auto mark = [&](const StreamSpec& spec) {
+      for (topo::LinkId l : spec.path) {
+        if (is_dirty[l.value()] == 0) {
+          is_dirty[l.value()] = 1;
+          dirty.push_back(l.value());
+        }
+      }
+    };
+
+    for (int step = 0; step < 120; ++step) {
+      if (live.empty() || rng.uniform_below(5) < 3) {
+        StreamSpec spec = make_stream(rng, machine);
+        mark(spec);
+        const std::size_t slot = arbiter.add_stream(spec);
+        live.push_back(Live{slot, std::move(spec)});
+      } else {
+        const std::size_t victim = rng.uniform_below(live.size());
+        mark(live[victim].spec);
+        arbiter.remove_stream(live[victim].slot);
+        live.erase(live.begin() +
+                   static_cast<std::ptrdiff_t>(victim));
+      }
+      if (rng.uniform_below(3) != 0) continue;
+
+      // Resolve only the dirty links, then shadow with a one-shot solve
+      // over the live specs in insertion order: every live allocation
+      // must match on the exact bits.
+      const ArbiterResult& incremental = arbiter.resolve(dirty);
+      for (const std::uint32_t link : dirty) is_dirty[link] = 0;
+      dirty.clear();
+      std::vector<StreamSpec> specs;
+      specs.reserve(live.size());
+      for (const Live& l : live) specs.push_back(l.spec);
+      const ArbiterResult full = arbiter.solve(specs);
+      ASSERT_EQ(full.allocation.size(), live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        ASSERT_EQ(bits(full.allocation[i].bps()),
+                  bits(incremental.allocation[live[i].slot].bps()))
+            << "stream " << i << " policy " << to_string(policy)
+            << " step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurn,
+                         testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Engine: incremental mode vs full-solve mode, in lockstep
+// ---------------------------------------------------------------------
+
+class EngineLockstep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineLockstep, IncrementalEngineMatchesFullSolveBitwise) {
+  Rng rng(GetParam());
+  SimMachine machine(topo::make_henri());
+  Engine incremental(machine.machine(), machine.policy());
+  Engine full(machine.machine(), machine.policy());
+  incremental.set_solve_mode(Engine::SolveMode::kIncremental);
+  full.set_solve_mode(Engine::SolveMode::kFull);
+
+  const std::size_t cores = machine.max_computing_cores();
+  const std::size_t numa = machine.machine().numa_count();
+  std::vector<TransferId> issued;  // identical ids in both engines
+
+  for (int step = 0; step < 160; ++step) {
+    const std::size_t op = rng.uniform_below(8);
+    if (op < 3) {
+      const NumaId node(
+          static_cast<std::uint32_t>(rng.uniform_below(numa)));
+      const StreamSpec spec = machine.compute_stream(
+          1 + rng.uniform_below(cores), node);
+      const TransferId a = incremental.start_flow(spec);
+      const TransferId b = full.start_flow(spec);
+      ASSERT_EQ(a, b);
+      issued.push_back(a);
+    } else if (op < 5) {
+      const NumaId node(
+          static_cast<std::uint32_t>(rng.uniform_below(numa)));
+      const StreamSpec spec = machine.dma_stream(node);
+      const std::uint64_t bytes = (1 + rng.uniform_below(16)) * kMiB;
+      const TransferId a = incremental.start_transfer(spec, bytes);
+      const TransferId b = full.start_transfer(spec, bytes);
+      ASSERT_EQ(a, b);
+      issued.push_back(a);
+    } else if (op == 5 && !issued.empty()) {
+      const TransferId id = issued[rng.uniform_below(issued.size())];
+      ASSERT_EQ(incremental.stop(id), full.stop(id));
+    } else {
+      const Seconds deadline =
+          incremental.now() + Seconds(rng.uniform(1e-5, 2e-3));
+      const std::vector<Completion> a = incremental.run_until(deadline);
+      const std::vector<Completion> b = full.run_until(deadline);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].id, b[i].id);
+        ASSERT_EQ(bits(a[i].time.value()), bits(b[i].time.value()));
+      }
+      ASSERT_EQ(bits(incremental.now().value()),
+                bits(full.now().value()));
+    }
+    // Every issued transfer agrees on liveness, rate and byte count at
+    // every step — the rates on the exact bits.
+    for (const TransferId id : issued) {
+      ASSERT_EQ(incremental.is_active(id), full.is_active(id));
+      ASSERT_EQ(bits(incremental.current_rate(id).bps()),
+                bits(full.current_rate(id).bps()));
+      ASSERT_EQ(incremental.bytes_moved(id), full.bytes_moved(id));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineLockstep,
+                         testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Regressions: empty active set and single-link fast paths
+// ---------------------------------------------------------------------
+
+TEST(IncrementalRegression, EmptyActiveSetAdvancesWithoutSolving) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  SimMachine machine(topo::make_henri());
+  Engine engine(machine.machine(), machine.policy());
+  engine.attach_observer(observer);
+
+  // Nothing active: the refresh must not reach the arbiter at all.
+  EXPECT_TRUE(engine.run_until(Seconds(0.01)).empty());
+  auto snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters["sim.arbiter.incremental_solves"], 0u);
+  EXPECT_EQ(snapshot.counters["sim.arbiter.full_solves"], 0u);
+
+  // Start-then-stop back to the empty set: still no solve needed, and
+  // time keeps advancing cleanly.
+  const TransferId flow =
+      engine.start_flow(machine.compute_stream(1, NumaId(0)));
+  EXPECT_EQ(engine.stop(flow), StopResult::kStopped);
+  EXPECT_TRUE(engine.run_until(Seconds(0.02)).empty());
+  snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counters["sim.arbiter.incremental_solves"], 0u);
+  EXPECT_EQ(bits(engine.now().value()), bits(0.02));
+}
+
+TEST(IncrementalRegression, SingleLinkStreamResolvesLikeSolve) {
+  Rng rng(7);
+  const Machine machine = make_machine(rng);
+  // A purely local CPU stream: the shortest path the topology produces.
+  StreamSpec local;
+  local.cls = StreamClass::kCpu;
+  local.demand = Bandwidth::gb_per_s(200.0);  // far above any capacity
+  local.path = machine.cpu_path(SocketId(0), NumaId(0));
+  local.source_socket = SocketId(0);
+
+  Arbiter arbiter(machine);
+  arbiter.prepare({});
+  const std::size_t slot = arbiter.add_stream(local);
+  std::vector<std::uint32_t> dirty;
+  for (topo::LinkId l : local.path) dirty.push_back(l.value());
+  const ArbiterResult& incremental = arbiter.resolve(dirty);
+  const ArbiterResult full = arbiter.solve({&local, 1});
+  ASSERT_EQ(full.allocation.size(), 1u);
+  EXPECT_EQ(bits(full.allocation[0].bps()),
+            bits(incremental.allocation[slot].bps()));
+  // Saturated single stream: it gets the link's effective capacity.
+  EXPECT_GT(incremental.allocation[slot].gb(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Solve cache: hits counted, rates unchanged
+// ---------------------------------------------------------------------
+
+TEST(SolveCache, RepeatedStreamSetsHitTheCacheWithIdenticalRates) {
+  obs::MetricsRegistry metrics;
+  obs::Observer observer;
+  observer.metrics = &metrics;
+  SimMachine machine(topo::make_henri());
+  Engine engine(machine.machine(), machine.policy());
+  engine.attach_observer(observer);
+
+  const TransferId flow =
+      engine.start_flow(machine.compute_stream(4, NumaId(0)));
+  const StreamSpec message = machine.dma_stream(NumaId(0));
+
+  // Back-to-back identical messages: after the first solve, every restart
+  // re-creates the exact same stream set, which must come from the cache.
+  TransferId id = engine.start_transfer(message, 4 * kMiB);
+  const double first_rate = engine.current_rate(id).bps();
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<Completion> done =
+        engine.run_until_next_completion(Seconds(1.0));
+    ASSERT_TRUE(done.has_value());
+    ASSERT_EQ(done->id, id);
+    id = engine.start_transfer(message, 4 * kMiB);
+    EXPECT_EQ(bits(engine.current_rate(id).bps()), bits(first_rate));
+  }
+  auto snapshot = metrics.snapshot();
+  EXPECT_GE(snapshot.counters["sim.engine.solves_avoided"], 8u);
+  EXPECT_GT(engine.bytes_moved(flow), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Steady-state cache: memoized phases are the stored bits
+// ---------------------------------------------------------------------
+
+TEST(SteadyCache, RepeatMeasurementsHitAndReturnIdenticalBits) {
+  SimMachine machine(topo::make_henri());
+  ASSERT_NE(machine.steady_cache(), nullptr);
+  const ParallelMeasurement first =
+      machine.measure_parallel(4, NumaId(0), NumaId(0));
+  const SteadyStateCache::Stats cold = machine.steady_cache()->stats();
+  EXPECT_GT(cold.misses, 0u);
+
+  const ParallelMeasurement again =
+      machine.measure_parallel(4, NumaId(0), NumaId(0));
+  const SteadyStateCache::Stats warm = machine.steady_cache()->stats();
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(bits(first.compute.bps()), bits(again.compute.bps()));
+  EXPECT_EQ(bits(first.comm.bps()), bits(again.comm.bps()));
+}
+
+TEST(SteadyCache, SharedCacheServesSiblingMachinesBitwise) {
+  auto cache = std::make_shared<SteadyStateCache>();
+  SimMachine a(topo::make_henri());
+  SimMachine b(topo::make_henri());
+  a.set_steady_cache(cache);
+  b.set_steady_cache(cache);
+
+  const ParallelMeasurement from_a =
+      a.measure_parallel(6, NumaId(0), NumaId(1));
+  const SteadyStateCache::Stats after_a = cache->stats();
+  const ParallelMeasurement from_b =
+      b.measure_parallel(6, NumaId(0), NumaId(1));
+  const SteadyStateCache::Stats after_b = cache->stats();
+
+  EXPECT_GT(after_b.hits, after_a.hits);
+  EXPECT_EQ(bits(from_a.compute.bps()), bits(from_b.compute.bps()));
+  EXPECT_EQ(bits(from_a.comm.bps()), bits(from_b.comm.bps()));
+}
+
+TEST(SteadyCache, DifferentRunIndicesShareTheJitterFreePhase) {
+  // Jitter is applied outside the cached phase: two run indices must
+  // reuse one phase entry yet report different (jittered) measurements.
+  SimMachine machine(topo::make_henri());
+  machine.set_run_index(0);
+  const Bandwidth run0 = machine.measure_compute_alone(4, NumaId(0));
+  const SteadyStateCache::Stats cold = machine.steady_cache()->stats();
+  machine.set_run_index(1);
+  const Bandwidth run1 = machine.measure_compute_alone(4, NumaId(0));
+  const SteadyStateCache::Stats warm = machine.steady_cache()->stats();
+  EXPECT_GT(warm.hits, cold.hits);
+  EXPECT_EQ(warm.entries, cold.entries);
+  EXPECT_NE(bits(run0.bps()), bits(run1.bps()));
+}
+
+TEST(SteadyCache, NullCacheDisablesMemoizationButNotCorrectness) {
+  SimMachine cached(topo::make_henri());
+  SimMachine uncached(topo::make_henri());
+  uncached.set_steady_cache(nullptr);
+  ASSERT_EQ(uncached.steady_cache(), nullptr);
+  const ParallelMeasurement a =
+      cached.measure_parallel(3, NumaId(0), NumaId(0));
+  const ParallelMeasurement b =
+      uncached.measure_parallel(3, NumaId(0), NumaId(0));
+  EXPECT_EQ(bits(a.compute.bps()), bits(b.compute.bps()));
+  EXPECT_EQ(bits(a.comm.bps()), bits(b.comm.bps()));
+}
+
+}  // namespace
+}  // namespace mcm::sim
