@@ -18,6 +18,14 @@
 #                            frame replay (byte-diffed, twice), the chaos
 #                            test suite twice (determinism), and once
 #                            more under ASan+UBSan
+#   scripts/ci.sh batch      batched serving gate: a live batch of N
+#                            compatible predicts byte-diffed against N
+#                            serial queries (one calibration), the same
+#                            batch over the shm transport byte-diffed
+#                            against the socket reply, the golden batch
+#                            replay twice + over --shm, the three
+#                            service-path bugfix regressions, and the
+#                            svc suite under ASan+UBSan
 #   scripts/ci.sh perf       engine hot-path gate: bench_engine_hotpath
 #                            smoke (bench-diffed against its baseline,
 #                            solves-avoided counters in the report), plus
@@ -255,6 +263,123 @@ chaos_suite() {
       -j "$JOBS")
 }
 
+batch_suite() {
+  echo "== batch: batched serving vs serial + shm transport + bugfixes =="
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS" --target mcmd mcmtool test_svc \
+      test_chaos
+  WORK="$ROOT/build/batch-smoke"
+  rm -rf "$WORK"
+  mkdir -p "$WORK"
+  cd "$WORK"
+  # N serial queries against a fresh server: the reference bytes, and
+  # exactly one calibration across them (sharded cache).
+  SOCK_A="/tmp/mcm-batch-a-$$.sock"
+  "$ROOT"/build/tools/mcmd --socket "$SOCK_A" 2>serve_a.log &
+  PID_A=$!
+  for _ in $(seq 50); do [ -S "$SOCK_A" ] && break; sleep 0.1; done
+  [ -S "$SOCK_A" ] || { cat serve_a.log; echo "FAIL: mcmd A never bound"; \
+      exit 1; }
+  status=0
+  : >serial.out
+  for i in 1 2 3; do
+    "$ROOT"/build/tools/mcmtool query --socket "$SOCK_A" \
+        --spec "$ROOT"/scripts/scenario_smoke.json --id "q$i" \
+        >>serial.out || status=1
+  done
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK_A" --method stats \
+      >stats_serial.json || status=1
+  grep -q '"svc.calibrations":1' stats_serial.json || {
+    echo "FAIL: serial reference ran more than one calibration"
+    status=1
+  }
+  kill "$PID_A" 2>/dev/null || true
+  wait "$PID_A" 2>/dev/null || true
+  # The same three predicts as one batch envelope against a fresh server:
+  # per-entry replies must be byte-identical to the serial stream, the
+  # group must ride one calibration, and the batch counters must show
+  # one request / three entries / one group.
+  SOCK_B="/tmp/mcm-batch-b-$$.sock"
+  "$ROOT"/build/tools/mcmd --socket "$SOCK_B" 2>serve_b.log &
+  PID_B=$!
+  for _ in $(seq 50); do [ -S "$SOCK_B" ] && break; sleep 0.1; done
+  [ -S "$SOCK_B" ] || { cat serve_b.log; echo "FAIL: mcmd B never bound"; \
+      exit 1; }
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK_B" \
+      --spec "$ROOT"/scripts/scenario_smoke.json --id q --batch 3 \
+      >batch.out || status=1
+  "$ROOT"/build/tools/mcmtool query --socket "$SOCK_B" --method stats \
+      >stats_batch.json || status=1
+  for key in '"svc.calibrations":1' '"svc.batch.requests":1' \
+      '"svc.batch.entries":3' '"svc.batch.groups":1' \
+      '"svc.batch.entry_errors":0'; do
+    grep -q "$key" stats_batch.json || {
+      echo "FAIL: batch server stats are missing $key"
+      status=1
+    }
+  done
+  kill "$PID_B" 2>/dev/null || true
+  wait "$PID_B" 2>/dev/null || true
+  cmp serial.out batch.out || {
+    echo "FAIL: batched replies are not byte-identical to serial"
+    status=1
+  }
+  # The same batch over the shm transport (in-process mcm::net mailboxes)
+  # must produce the same bytes as the socket transport.
+  "$ROOT"/build/tools/mcmtool query --transport shm \
+      --spec "$ROOT"/scripts/scenario_smoke.json --id q --batch 3 \
+      >shm.out || status=1
+  cmp batch.out shm.out || {
+    echo "FAIL: shm batch replies differ from the socket transport"
+    status=1
+  }
+  [ "$status" -eq 0 ] || exit 1
+  # Golden batch replay (valid batches, a batch with malformed entries,
+  # malformed batch frames): byte-identical between runs, and the --shm
+  # bridge must reproduce the --stdio bytes exactly.
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
+      <"$ROOT"/scripts/batch_smoke.requests >golden_a.out \
+      2>golden_a.log || { cat golden_a.log; echo "FAIL: batch replay A"; \
+      exit 1; }
+  "$ROOT"/build/tools/mcmd --stdio --deterministic \
+      <"$ROOT"/scripts/batch_smoke.requests >golden_b.out \
+      2>/dev/null || { echo "FAIL: batch replay B"; exit 1; }
+  cmp golden_a.out golden_b.out || {
+    echo "FAIL: batch golden replay replies differ between runs"
+    exit 1
+  }
+  "$ROOT"/build/tools/mcmd --shm --deterministic \
+      <"$ROOT"/scripts/batch_smoke.requests >golden_shm.out \
+      2>/dev/null || { echo "FAIL: batch replay over shm"; exit 1; }
+  cmp golden_a.out golden_shm.out || {
+    echo "FAIL: shm golden replay differs from the stdio transcript"
+    exit 1
+  }
+  grep -q '"replies"' golden_a.out || {
+    echo "FAIL: golden replay produced no batch reply envelope"
+    exit 1
+  }
+  for code in '"code":"invalid-spec"' '"code":"unsupported-version"' \
+      '"code":"bad-request"'; do
+    grep -q "$code" golden_a.out || {
+      echo "FAIL: golden replay is missing a $code per-entry reply"
+      exit 1
+    }
+  done
+  # The three service-path bugfix regressions, by name: leader-failure
+  # propagation, validate-before-charge admission, and the retry-pause /
+  # attempt-budget overflow clamps.
+  (cd "$ROOT/build" && ctest -R \
+      'SingleFlight\.LeaderFailurePropagatesToEveryParkedFollower|Admission\.MalformedFloodsDoNotBurnTokensFromValidTraffic|ChaosClient\.BackoffPauseOverflowIsClampedSoHugeRetryBudgetsReturn|ChaosClient\.AttemptBudgetOverflowIsClampedBeforeTheIntCast' \
+      --output-on-failure)
+  # Batch grouping, the shm transport and the single-flight failure path
+  # all cross threads — rerun the whole svc suite instrumented.
+  cmake --preset sanitize -S "$ROOT"
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target test_svc
+  (cd "$ROOT/build-sanitize" && ctest -L svc --output-on-failure \
+      -j "$JOBS")
+}
+
 perf_gate() {
   echo "== perf: engine hot-path bench gate + sanitized equivalence =="
   cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -385,6 +510,7 @@ case "$STAGE" in
   pipeline) pipeline_smoke ;;
   fault) fault_suite ;;
   service) service_suite ;;
+  batch) batch_suite ;;
   chaos) chaos_suite ;;
   perf) perf_gate ;;
   obs) obs_suite ;;
@@ -395,12 +521,13 @@ case "$STAGE" in
     pipeline_smoke
     fault_suite
     service_suite
+    batch_suite
     chaos_suite
     perf_gate
     obs_suite
     ;;
   *)
-    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|chaos|perf|obs|all]" >&2
+    echo "usage: $0 [tier1|sanitize|bench|pipeline|fault|service|batch|chaos|perf|obs|all]" >&2
     exit 2
     ;;
 esac

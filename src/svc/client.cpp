@@ -160,6 +160,12 @@ std::optional<Reply> Client::call(Request request,
           std::pow(options.retry.backoff,
                    static_cast<double>(attempt - 1)) *
           jitter.uniform(0.5, 1.5);
+      // backoff^(attempt-1) overflows to inf for large attempt counts
+      // (and 0 * inf is NaN); clamp to the ceiling before the value can
+      // reach a duration. `!(x < cap)` is the form that catches both.
+      if (!(pause < options.max_retry_pause_ms)) {
+        pause = options.max_retry_pause_ms;
+      }
       if (bounded) pause = std::min(pause, ms_until(deadline_at));
       if (pause > 0.0) {
         std::this_thread::sleep_for(
@@ -221,6 +227,11 @@ std::optional<Reply> Client::call(Request request,
       attempt_ms = options.retry.timeout.value() * 1000.0 *
                    std::pow(options.retry.backoff,
                             static_cast<double>(attempt));
+      // Same backoff overflow as the retry pause, but here the inf would
+      // be cast to int below — undefined behavior, not just a long wait.
+      if (!(attempt_ms < options.max_attempt_ms)) {
+        attempt_ms = options.max_attempt_ms;
+      }
     }
     if (bounded) {
       const double left = std::max(ms_until(deadline_at), 0.0);
@@ -282,6 +293,46 @@ std::optional<Reply> Client::call(Request request,
   set_error(error, last_error + " (after " + std::to_string(attempts) +
                        " attempt" + (attempts == 1 ? "" : "s") + ")");
   return std::nullopt;
+}
+
+Request Client::make_batch(std::string id, std::vector<Request> entries) {
+  Request batch;
+  batch.id = std::move(id);
+  batch.method = Method::kBatch;
+  batch.entries.reserve(entries.size());
+  for (Request& entry : entries) {
+    ParsedRequest parsed;
+    parsed.id = entry.id;
+    parsed.request = std::move(entry);
+    batch.entries.push_back(std::move(parsed));
+  }
+  return batch;
+}
+
+std::optional<std::vector<Reply>> Client::batch_replies(
+    const Reply& reply, std::string* error) {
+  if (!reply.ok) {
+    set_error(error,
+              "not a successful batch reply: " + reply.error.message);
+    return std::nullopt;
+  }
+  const json::Value* replies = reply.result.find("replies");
+  if (replies == nullptr || !replies->is_array()) {
+    set_error(error, "batch result carries no 'replies' array");
+    return std::nullopt;
+  }
+  std::vector<Reply> out;
+  out.reserve(replies->as_array().size());
+  for (const json::Value& item : replies->as_array()) {
+    std::string item_error;
+    std::optional<Reply> parsed = parse_reply(item, &item_error);
+    if (!parsed) {
+      set_error(error, "malformed batch entry reply: " + item_error);
+      return std::nullopt;
+    }
+    out.push_back(std::move(*parsed));
+  }
+  return out;
 }
 
 std::optional<Reply> Client::predict(const pipeline::ScenarioSpec& spec,

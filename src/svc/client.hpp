@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/fault.hpp"
 #include "obs/trace.hpp"
@@ -46,6 +47,16 @@ struct CallOptions {
   /// Pause before retry i (milliseconds), grown by retry.backoff and
   /// jittered to 50–150% so retrying clients do not stampede in lockstep.
   double retry_pause_ms = 50.0;
+  /// Hard ceiling on any single retry pause, milliseconds. backoff^i
+  /// overflows to inf within a few hundred attempts for any backoff > 1;
+  /// without a cap that inf feeds a duration and sleeps forever. The
+  /// clamp also bounds ordinary late-attempt pauses, deadline or not.
+  double max_retry_pause_ms = 2000.0;
+  /// Hard ceiling on a single attempt's reply wait, milliseconds, when
+  /// retry.timeout is set (timeout 0 still means wait forever). Caps the
+  /// same backoff^i overflow on the attempt-budget side, where the inf
+  /// would otherwise be cast to int — undefined behavior.
+  double max_attempt_ms = 60000.0;
   /// When false, a request that may have reached the server (sent, but
   /// no reply) is never retried — replaying non-idempotent work could
   /// execute it twice. Sheds and connect failures are still retried:
@@ -98,6 +109,17 @@ class Client {
   /// client-side `attempt` span (category "svc.client") tagged with that
   /// identity.
   void enable_tracing(std::uint64_t seed, obs::TraceSink* sink = nullptr);
+
+  /// Assemble a batch envelope from typed entry requests (predict or
+  /// calibrate, each with its own id/deadline/trace). `entries` must not
+  /// be empty. Send it with call(); decode with batch_replies().
+  [[nodiscard]] static Request make_batch(std::string id,
+                                          std::vector<Request> entries);
+  /// Decode a successful batch reply into its per-entry replies, in wire
+  /// order. nullopt + `error` when `reply` is not an ok batch reply or an
+  /// entry reply is malformed.
+  [[nodiscard]] static std::optional<std::vector<Reply>> batch_replies(
+      const Reply& reply, std::string* error = nullptr);
 
   /// Convenience wrappers over call().
   [[nodiscard]] std::optional<Reply> predict(

@@ -19,9 +19,9 @@ namespace {
 /// Every key a v1 request envelope may carry. Method-specific rules
 /// (spec vs stats-only keys) are enforced after the membership check so
 /// a typo is always reported as "unknown key", never as a missing field.
-constexpr const char* kEnvelopeKeys[] = {"v",      "id",          "method",
-                                         "class",  "spec",        "format",
-                                         "deadline_ms", "trace_id", "span_id"};
+constexpr const char* kEnvelopeKeys[] = {
+    "v",           "id",       "method",  "class",   "spec",
+    "format",      "deadline_ms", "trace_id", "span_id", "entries"};
 
 [[nodiscard]] bool known_envelope_key(const std::string& key) {
   for (const char* known : kEnvelopeKeys) {
@@ -58,6 +58,7 @@ const char* to_string(Method method) {
     case Method::kCalibrate: return "calibrate";
     case Method::kStats: return "stats";
     case Method::kHealth: return "health";
+    case Method::kBatch: return "batch";
   }
   return "?";
 }
@@ -107,7 +108,7 @@ const char* to_string(FrameWriteStatus status) {
 
 std::optional<Method> parse_method(const std::string& name) {
   for (Method method : {Method::kPredict, Method::kCalibrate, Method::kStats,
-                        Method::kHealth}) {
+                        Method::kHealth, Method::kBatch}) {
     if (name == to_string(method)) return method;
   }
   return std::nullopt;
@@ -119,6 +120,15 @@ std::optional<TrafficClass> parse_traffic_class(const std::string& name) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Shared by the top-level decoder and the batch entry loop. `nested`
+/// marks a batch entry, where only the pipeline methods are legal.
+[[nodiscard]] ParsedRequest parse_request_value(const json::Value& value,
+                                                bool nested);
+
+}  // namespace
+
 ParsedRequest parse_request(const std::string& payload) {
   std::string parse_error;
   const std::optional<json::Value> doc = json::parse(payload, &parse_error);
@@ -126,6 +136,13 @@ ParsedRequest parse_request(const std::string& payload) {
     return fail("", ErrorCode::kBadRequest,
                 "request is not valid JSON: " + parse_error);
   }
+  return parse_request_value(*doc, /*nested=*/false);
+}
+
+namespace {
+
+ParsedRequest parse_request_value(const json::Value& value, bool nested) {
+  const json::Value* doc = &value;
   if (!doc->is_object()) {
     return fail("", ErrorCode::kBadRequest, "request must be a JSON object");
   }
@@ -166,6 +183,12 @@ ParsedRequest parse_request(const std::string& payload) {
   if (!method) {
     return fail(id, ErrorCode::kUnknownMethod,
                 "unknown method '" + *method_name + "'");
+  }
+  if (nested && *method != Method::kPredict &&
+      *method != Method::kCalibrate) {
+    return fail(id, ErrorCode::kBadRequest,
+                "batch entries must be predict or calibrate, not '" +
+                    *method_name + "'");
   }
 
   Request request;
@@ -259,13 +282,44 @@ ParsedRequest parse_request(const std::string& payload) {
                 std::string(to_string(*method)) + " does not take a 'spec'");
   }
 
+  const json::Value* entries = doc->find("entries");
+  if (*method == Method::kBatch) {
+    if (entries == nullptr || !entries->is_array()) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "batch requires an 'entries' array");
+    }
+    const json::Value::Array& items = entries->as_array();
+    if (items.empty()) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "batch 'entries' must not be empty");
+    }
+    if (items.size() > kMaxBatchEntries) {
+      return fail(id, ErrorCode::kBadRequest,
+                  "batch carries " + std::to_string(items.size()) +
+                      " entries; the limit is " +
+                      std::to_string(kMaxBatchEntries));
+    }
+    request.entries.reserve(items.size());
+    for (const json::Value& item : items) {
+      // Entry failures stay entry failures: the batch parses, and the
+      // server answers the bad entry with its own typed reply.
+      request.entries.push_back(
+          parse_request_value(item, /*nested=*/true));
+    }
+  } else if (entries != nullptr) {
+    return fail(id, ErrorCode::kBadRequest,
+                std::string("'entries' only applies to batch"));
+  }
+
   ParsedRequest out;
   out.id = id;
   out.request = std::move(request);
   return out;
 }
 
-std::string render_request(const Request& request) {
+}  // namespace
+
+json::Value request_to_value(const Request& request) {
   const bool runs_pipeline = request.method == Method::kPredict ||
                              request.method == Method::kCalibrate;
   MCM_EXPECTS(!runs_pipeline || request.spec.has_value());
@@ -296,21 +350,40 @@ std::string render_request(const Request& request) {
           json::Value(obs::trace_id_to_hex(request.trace.span_id));
     }
   }
-  return json::serialize(json::Value(std::move(envelope)));
+  if (request.method == Method::kBatch) {
+    MCM_EXPECTS(!request.entries.empty() &&
+                request.entries.size() <= kMaxBatchEntries);
+    json::Value::Array items;
+    items.reserve(request.entries.size());
+    for (const ParsedRequest& entry : request.entries) {
+      // Invalid entries exist only on the decode side; an encoder has
+      // nothing meaningful to put on the wire for them.
+      MCM_EXPECTS(entry.request.has_value());
+      items.push_back(request_to_value(*entry.request));
+    }
+    envelope["entries"] = json::Value(std::move(items));
+  }
+  return json::Value(std::move(envelope));
 }
 
-std::string render_result_reply(const std::string& id,
-                                const json::Value& result) {
+std::string render_request(const Request& request) {
+  return json::serialize(request_to_value(request));
+}
+
+namespace {
+
+[[nodiscard]] json::Value result_reply_value(const std::string& id,
+                                             const json::Value& result) {
   json::Value::Object envelope;
   envelope["v"] = json::Value(static_cast<double>(kProtocolVersion));
   envelope["id"] = json::Value(id);
   envelope["ok"] = json::Value(true);
   envelope["result"] = result;
-  return json::serialize(json::Value(std::move(envelope)));
+  return json::Value(std::move(envelope));
 }
 
-std::string render_error_reply(const std::string& id,
-                               const WireError& error) {
+[[nodiscard]] json::Value error_reply_value(const std::string& id,
+                                            const WireError& error) {
   json::Value::Object detail;
   detail["code"] = json::Value(std::string(to_string(error.code)));
   detail["message"] = json::Value(error.message);
@@ -322,23 +395,51 @@ std::string render_error_reply(const std::string& id,
   envelope["id"] = json::Value(id);
   envelope["ok"] = json::Value(false);
   envelope["error"] = json::Value(std::move(detail));
-  return json::serialize(json::Value(std::move(envelope)));
+  return json::Value(std::move(envelope));
+}
+
+}  // namespace
+
+std::string render_result_reply(const std::string& id,
+                                const json::Value& result) {
+  return json::serialize(result_reply_value(id, result));
+}
+
+std::string render_error_reply(const std::string& id,
+                               const WireError& error) {
+  return json::serialize(error_reply_value(id, error));
+}
+
+json::Value reply_to_value(const Reply& reply) {
+  return reply.ok ? result_reply_value(reply.id, reply.result)
+                  : error_reply_value(reply.id, reply.error);
 }
 
 std::string render_reply(const Reply& reply) {
-  return reply.ok ? render_result_reply(reply.id, reply.result)
-                  : render_error_reply(reply.id, reply.error);
+  return json::serialize(reply_to_value(reply));
 }
 
 std::optional<Reply> parse_reply(const std::string& payload,
                                  std::string* error) {
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(payload, &parse_error);
+  if (!doc) {
+    if (error != nullptr) {
+      *error = "reply is not a JSON object: " + parse_error;
+    }
+    return std::nullopt;
+  }
+  return parse_reply(*doc, error);
+}
+
+std::optional<Reply> parse_reply(const json::Value& value,
+                                 std::string* error) {
   const auto set_error = [error](const std::string& message) {
     if (error != nullptr) *error = message;
   };
-  std::string parse_error;
-  const std::optional<json::Value> doc = json::parse(payload, &parse_error);
-  if (!doc || !doc->is_object()) {
-    set_error("reply is not a JSON object: " + parse_error);
+  const json::Value* doc = &value;
+  if (!doc->is_object()) {
+    set_error("reply is not a JSON object");
     return std::nullopt;
   }
   const std::optional<double> version = doc->number_at("v");

@@ -16,7 +16,7 @@
 //               keys).
 //   id          required string; echoed verbatim in the reply so clients
 //               can match replies to requests.
-//   method      "predict" | "calibrate" | "stats" | "health".
+//   method      "predict" | "calibrate" | "stats" | "health" | "batch".
 //   class       optional; "interactive" (default) | "bulk" — the
 //               admission class the token-bucket limiter charges
 //               (svc/limiter.hpp).
@@ -38,6 +38,24 @@
 //   span_id     optional, requires trace_id; same grammar — the id of
 //               the client-side attempt span (fresh per retry), recorded
 //               on server spans as the parent link.
+//   entries     batch only (additive v1 extension), required there and
+//               rejected everywhere else: a non-empty array of at most
+//               kMaxBatchEntries complete request envelopes, each a
+//               predict or calibrate request with its own id, class,
+//               deadline_ms and trace identity. Entries do not nest
+//               (an entry whose method is "batch" is an entry-level
+//               error). A malformed entry never poisons the batch: it
+//               is answered with its own typed error reply while the
+//               other entries are served normally.
+//
+// Batch reply: the envelope is an ok reply whose result is
+//
+//   {"replies": [ <reply envelope>, ... ]}
+//
+// with exactly one reply envelope per entry, in entry order. Each
+// element is a complete reply document: serializing element i
+// reproduces, byte for byte, the reply the server would have sent for
+// entry i issued as its own serial request.
 //
 // Reply payload:
 //
@@ -55,6 +73,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/trace_context.hpp"
 #include "pipeline/spec.hpp"
@@ -69,7 +88,18 @@ inline constexpr int kProtocolVersion = 1;
 /// buffered (a corrupt length prefix must not trigger a giant allocation).
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
 
-enum class Method : std::uint8_t { kPredict, kCalibrate, kStats, kHealth };
+/// Upper bound on `entries` in one batch envelope: enough for any sane
+/// coalescing window, small enough that a hostile frame cannot turn one
+/// admission check into unbounded queued work.
+inline constexpr std::size_t kMaxBatchEntries = 1024;
+
+enum class Method : std::uint8_t {
+  kPredict,
+  kCalibrate,
+  kStats,
+  kHealth,
+  kBatch,
+};
 
 /// Admission classes of the token-bucket limiter: `interactive` for
 /// latency-sensitive single queries, `bulk` for sweep traffic that may be
@@ -110,6 +140,8 @@ struct WireError {
   std::string trace_id;
 };
 
+struct ParsedRequest;
+
 /// One decoded request frame.
 struct Request {
   int version = kProtocolVersion;
@@ -129,6 +161,11 @@ struct Request {
   obs::TraceContext trace;
   /// Engaged for predict / calibrate.
   std::optional<pipeline::ScenarioSpec> spec;
+  /// Batch only: one ParsedRequest per wire entry, in wire order. An
+  /// entry that failed validation keeps its parse error here (request
+  /// disengaged) so the server can answer it with a typed per-entry
+  /// reply without failing the batch.
+  std::vector<ParsedRequest> entries;
 };
 
 /// One decoded reply frame. `result` is meaningful when ok, `error` when
@@ -157,8 +194,14 @@ struct ParsedRequest {
 
 /// Encode a request payload (the client side of parse_request; the
 /// output round-trips through parse_request for every wire-representable
-/// request). Precondition: predict/calibrate requests carry a spec.
+/// request). Precondition: predict/calibrate requests carry a spec;
+/// batch requests carry 1..kMaxBatchEntries entries whose `request` is
+/// engaged (invalid entries are not wire-representable from this side).
 [[nodiscard]] std::string render_request(const Request& request);
+
+/// The request envelope as a json::Value (what render_request
+/// serializes) — the batch encoder embeds entry envelopes with it.
+[[nodiscard]] json::Value request_to_value(const Request& request);
 
 /// Canonical reply payloads (json::serialize — deterministic bytes).
 [[nodiscard]] std::string render_result_reply(const std::string& id,
@@ -167,10 +210,20 @@ struct ParsedRequest {
                                              const WireError& error);
 [[nodiscard]] std::string render_reply(const Reply& reply);
 
+/// The reply envelope as a json::Value. Serializing it reproduces
+/// render_reply byte for byte — the batch handler relies on this to
+/// embed entry replies whose bytes match serial service.
+[[nodiscard]] json::Value reply_to_value(const Reply& reply);
+
 /// Decode a reply payload (client side). nullopt + `error` on documents
 /// that are not a v1 reply envelope.
 [[nodiscard]] std::optional<Reply> parse_reply(const std::string& payload,
                                                std::string* error = nullptr);
+
+/// Same, from an already-parsed document — the client side of a batch
+/// reply's `replies` array elements.
+[[nodiscard]] std::optional<Reply> parse_reply(const json::Value& doc,
+                                               std::string* error);
 
 /// Stream framing. read_frame returns false on clean EOF (error empty)
 /// and on malformed input (error set); a malformed length line is not

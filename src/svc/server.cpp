@@ -115,6 +115,10 @@ Service::Service(ServiceOptions options)
   met_drained_ = &registry_.counter("svc.drained");
   met_slow_client_drops_ = &registry_.counter("svc.slow_client_drops");
   met_cache_load_rejected_ = &registry_.counter("cache.load_rejected");
+  met_batch_requests_ = &registry_.counter("svc.batch.requests");
+  met_batch_entries_ = &registry_.counter("svc.batch.entries");
+  met_batch_groups_ = &registry_.counter("svc.batch.groups");
+  met_batch_entry_errors_ = &registry_.counter("svc.batch.entry_errors");
   met_shard_hits_.reserve(cache_.shard_count());
   met_shard_misses_.reserve(cache_.shard_count());
   for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
@@ -141,6 +145,7 @@ Service::Service(ServiceOptions options)
   }
   lat_calibrate_ = &registry_.latency("svc.latency.calibrate");
   lat_predict_ = &registry_.latency("svc.latency.predict");
+  lat_batch_assemble_ = &registry_.latency("svc.latency.batch_assemble");
 }
 
 std::string Service::handle(const std::string& payload) {
@@ -172,7 +177,8 @@ Reply Service::serve_request(const Request& request) {
                           : 0.0;
   Reply reply;
   const bool pipeline_method = request.method == Method::kPredict ||
-                               request.method == Method::kCalibrate;
+                               request.method == Method::kCalibrate ||
+                               request.method == Method::kBatch;
   if (pipeline_method) {
     gauge_inflight_->add(1.0);
     {
@@ -181,10 +187,14 @@ Reply Service::serve_request(const Request& request) {
       reply = dispatch(request, scope);
     }
     gauge_inflight_->add(-1.0);
-    const std::size_t m = request.method == Method::kPredict ? 0 : 1;
-    const std::size_t c =
-        request.traffic_class == TrafficClass::kInteractive ? 0 : 1;
-    lat_total_[m][c]->record_us((clock_() - scope.start_clock) * 1e6);
+    if (request.method != Method::kBatch) {
+      // Batch envelopes record per-entry totals inside handle_batch
+      // instead; there is no batch slot in the method/class matrix.
+      const std::size_t m = request.method == Method::kPredict ? 0 : 1;
+      const std::size_t c =
+          request.traffic_class == TrafficClass::kInteractive ? 0 : 1;
+      lat_total_[m][c]->record_us((clock_() - scope.start_clock) * 1e6);
+    }
   } else {
     reply = dispatch(request, scope);
   }
@@ -217,30 +227,9 @@ Reply Service::dispatch(const Request& request, const RequestScope& scope) {
         return reply;
       case Method::kPredict:
       case Method::kCalibrate:
-        // A request that arrives with its budget already spent (queued
-        // behind a slow transport, or the client lowballed the deadline)
-        // is answered immediately — no admission token, no pipeline.
-        if (expired(clock_, scope.deadline_at)) {
-          throw DeadlineError(
-              "deadline expired before the request was scheduled");
-        }
-        if (!admission_.admit(request.traffic_class)) {
-          met_shed_->add();
-          if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
-            log_->warn("shed",
-                       {{"id", request.id},
-                        {"class", std::string(
-                             to_string(request.traffic_class))},
-                        {"trace_id", trace_hex(scope.trace)}});
-          }
-          reply.error = {
-              ErrorCode::kOverloaded,
-              std::string("rate limit exceeded for class '") +
-                  to_string(request.traffic_class) + "'",
-              std::string()};
-          return reply;
-        }
-        return run_pipeline(request, scope);
+        return run_entry(request, scope);
+      case Method::kBatch:
+        return handle_batch(request, scope);
     }
   } catch (const DeadlineError& error) {
     met_deadline_exceeded_->add();
@@ -266,6 +255,166 @@ Reply Service::dispatch(const Request& request, const RequestScope& scope) {
     reply.result = json::Value();
     reply.error = {ErrorCode::kInternal, error.what(), std::string()};
   }
+  return reply;
+}
+
+Reply Service::run_entry(const Request& request,
+                         const RequestScope& scope) {
+  Reply reply;
+  reply.id = request.id;
+  try {
+    // A request that arrives with its budget already spent (queued
+    // behind a slow transport, behind earlier batch entries, or the
+    // client lowballed the deadline) is answered immediately — no
+    // admission token, no pipeline.
+    if (expired(clock_, scope.deadline_at)) {
+      throw DeadlineError(
+          "deadline expired before the request was scheduled");
+    }
+    // Admission is charged here, after validation: a request that will
+    // be answered bad-request never reaches this point, so malformed
+    // floods cannot burn tokens away from well-formed traffic.
+    if (!admission_.admit(request.traffic_class)) {
+      met_shed_->add();
+      if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+        log_->warn("shed",
+                   {{"id", request.id},
+                    {"class", std::string(
+                         to_string(request.traffic_class))},
+                    {"trace_id", trace_hex(scope.trace)}});
+      }
+      reply.error = {
+          ErrorCode::kOverloaded,
+          std::string("rate limit exceeded for class '") +
+              to_string(request.traffic_class) + "'",
+          std::string()};
+      return reply;
+    }
+    return run_pipeline(request, scope);
+  } catch (const DeadlineError& error) {
+    met_deadline_exceeded_->add();
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kWarn)) {
+      log_->warn("deadline_exceeded",
+                 {{"id", request.id},
+                  {"error", std::string(error.what())},
+                  {"trace_id", trace_hex(scope.trace)}});
+    }
+    reply.ok = false;
+    reply.result = json::Value();
+    reply.error = {ErrorCode::kDeadlineExceeded, error.what(),
+                   std::string()};
+  } catch (const std::exception& error) {
+    met_errors_->add();
+    if (log_ != nullptr && log_->enabled(obs::LogLevel::kError)) {
+      log_->error("internal_error",
+                  {{"id", request.id},
+                   {"error", std::string(error.what())},
+                   {"trace_id", trace_hex(scope.trace)}});
+    }
+    reply.ok = false;
+    reply.result = json::Value();
+    reply.error = {ErrorCode::kInternal, error.what(), std::string()};
+  }
+  return reply;
+}
+
+Reply Service::handle_batch(const Request& request,
+                            const RequestScope& scope) {
+  met_batch_requests_->add();
+  met_batch_entries_->add(request.entries.size());
+
+  const std::size_t count = request.entries.size();
+  std::vector<Reply> replies(count);
+  std::vector<char> answered(count, 0);
+  std::vector<RequestScope> scopes(count);
+  // Entries that failed validation are answered from their parse error
+  // without touching admission or the pipeline — one bad spec cannot
+  // poison its siblings, and malformed entries never burn tokens.
+  for (std::size_t i = 0; i < count; ++i) {
+    const ParsedRequest& entry = request.entries[i];
+    if (!entry.request.has_value()) {
+      met_errors_->add();
+      if (log_ != nullptr) {
+        log_->warn("bad_request",
+                   {{"id", entry.id}, {"error", entry.error.message}});
+      }
+      replies[i].id = entry.id;
+      replies[i].ok = false;
+      replies[i].error = entry.error;
+      answered[i] = 1;
+      continue;
+    }
+    // Every entry shares the batch's arrival instant: its deadline and
+    // latency samples are measured from when the envelope arrived, not
+    // from when its group got scheduled.
+    RequestScope& escope = scopes[i];
+    escope.start_clock = scope.start_clock;
+    escope.start_wall_us = scope.start_wall_us;
+    escope.trace = entry.request->trace;
+    escope.deadline_at =
+        entry.request->deadline_ms > 0.0
+            ? scope.start_clock + entry.request->deadline_ms / 1000.0
+            : 0.0;
+    // A batch-level deadline bounds every entry.
+    if (scope.deadline_at > 0.0 &&
+        (escope.deadline_at <= 0.0 ||
+         scope.deadline_at < escope.deadline_at)) {
+      escope.deadline_at = scope.deadline_at;
+    }
+  }
+
+  // Coalesce compatible entries: same calibration fingerprint, same
+  // group. Groups keep first-appearance order and entries keep wire
+  // order within a group, so per-entry cache_hit flags — and therefore
+  // reply bytes — match the same requests issued serially. The first
+  // entry of a group runs (or single-flight-leads) the calibration; the
+  // rest ride the shard entry it populated.
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (answered[i] != 0) continue;
+    const pipeline::ScenarioSpec& spec = *request.entries[i].request->spec;
+    std::string key = spec.cacheable()
+                          ? spec.fingerprint()
+                          : "#uncacheable." + std::to_string(i);
+    const auto [it, inserted] =
+        group_of.emplace(std::move(key), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  met_batch_groups_->add(groups.size());
+  lat_batch_assemble_->record_us((clock_() - scope.start_clock) * 1e6);
+
+  for (const std::vector<std::size_t>& group : groups) {
+    for (const std::size_t i : group) {
+      const Request& entry = *request.entries[i].request;
+      replies[i] = run_entry(entry, scopes[i]);
+      const std::size_t m = entry.method == Method::kPredict ? 0 : 1;
+      const std::size_t c =
+          entry.traffic_class == TrafficClass::kInteractive ? 0 : 1;
+      lat_total_[m][c]->record_us(
+          (clock_() - scopes[i].start_clock) * 1e6);
+      // Mirror serve_request's trace echo for the per-entry replies.
+      if (!replies[i].ok && scopes[i].trace.valid() &&
+          replies[i].error.trace_id.empty()) {
+        replies[i].error.trace_id =
+            obs::trace_id_to_hex(scopes[i].trace.trace_id);
+      }
+    }
+  }
+
+  json::Value::Array out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!replies[i].ok) met_batch_entry_errors_->add();
+    out.push_back(reply_to_value(replies[i]));
+  }
+  json::Value::Object result;
+  result["replies"] = json::Value(std::move(out));
+  Reply reply;
+  reply.id = request.id;
+  reply.ok = true;
+  reply.result = json::Value(std::move(result));
   return reply;
 }
 
@@ -347,31 +496,42 @@ pipeline::ScenarioResult Service::run_single_flight(
     }
     std::unique_lock<std::mutex> lock(flights_mutex_);
     if (auto it = flights_.find(fingerprint); it != flights_.end()) {
-      // Follower: wait for the leader, then re-check the shard — the
-      // leader may have failed without populating it, in which case the
-      // next lap elects a new leader. A deadline bounds the wait: an
-      // expired follower answers `deadline-exceeded` instead of burning
-      // its worker on a calibration it can no longer use in time.
+      // Follower: wait for the leader, then re-check the shard. A
+      // deadline bounds the wait: an expired follower answers
+      // `deadline-exceeded` instead of burning its worker on a
+      // calibration it can no longer use in time.
       const std::shared_ptr<Flight> flight = it->second;
       leader_link = flight->leader;
       met_singleflight_->add();
       if (scope.deadline_at <= 0.0) {
         flight->cv.wait(lock, [&] { return flight->done; });
-        continue;
-      }
-      for (;;) {
-        if (flight->done) break;
-        const double remaining = scope.deadline_at - clock_();
-        if (remaining <= 0.0) {
-          throw DeadlineError(
-              "deadline expired while waiting for an in-flight "
-              "calibration");
+      } else {
+        for (;;) {
+          if (flight->done) break;
+          const double remaining = scope.deadline_at - clock_();
+          if (remaining <= 0.0) {
+            throw DeadlineError(
+                "deadline expired while waiting for an in-flight "
+                "calibration");
+          }
+          // Re-derive the budget from the (injectable) clock after every
+          // wall-clock wait slice.
+          flight->cv.wait_for(lock,
+                              std::chrono::duration<double>(remaining),
+                              [&] { return flight->done; });
         }
-        // Re-derive the budget from the (injectable) clock after every
-        // wall-clock wait slice.
-        flight->cv.wait_for(lock,
-                            std::chrono::duration<double>(remaining),
-                            [&] { return flight->done; });
+      }
+      // A failed leader propagates its outcome: every follower answers
+      // with the same typed internal/deadline-exceeded reply instead of
+      // re-electing a new leader and re-running a calibration that just
+      // proved doomed (the spec is identical — so is the failure).
+      if (flight->failed) {
+        if (flight->deadline) {
+          throw DeadlineError("calibration leader's deadline expired: " +
+                              flight->error);
+        }
+        throw std::runtime_error("calibration leader failed: " +
+                                 flight->error);
       }
       continue;
     }
@@ -384,6 +544,7 @@ pipeline::ScenarioResult Service::run_single_flight(
     flight->leader = scope.trace;
     flights_.emplace(fingerprint, flight);
     lock.unlock();
+    if (options_.on_leader_start) options_.on_leader_start();
     met_shard_misses_[index]->add();
     end_queue_wait(scope, traffic_class,
                    leader_link.valid() ? &leader_link : nullptr);
@@ -393,8 +554,15 @@ pipeline::ScenarioResult Service::run_single_flight(
       if (!result.cache_hit) met_calibrations_->add();
       finish_flight(fingerprint, flight);
       return result;
+    } catch (const DeadlineError& error) {
+      fail_flight(fingerprint, flight, /*deadline=*/true, error.what());
+      throw;
+    } catch (const std::exception& error) {
+      fail_flight(fingerprint, flight, /*deadline=*/false, error.what());
+      throw;
     } catch (...) {
-      finish_flight(fingerprint, flight);
+      fail_flight(fingerprint, flight, /*deadline=*/false,
+                  "unknown error");
       throw;
     }
   }
@@ -422,6 +590,18 @@ void Service::end_queue_wait(const RequestScope& scope,
 void Service::finish_flight(const std::string& fingerprint,
                             const std::shared_ptr<Flight>& flight) {
   std::lock_guard<std::mutex> lock(flights_mutex_);
+  flight->done = true;
+  flights_.erase(fingerprint);
+  flight->cv.notify_all();
+}
+
+void Service::fail_flight(const std::string& fingerprint,
+                          const std::shared_ptr<Flight>& flight,
+                          bool deadline, const std::string& error) {
+  std::lock_guard<std::mutex> lock(flights_mutex_);
+  flight->failed = true;
+  flight->deadline = deadline;
+  flight->error = error;
   flight->done = true;
   flights_.erase(fingerprint);
   flight->cv.notify_all();

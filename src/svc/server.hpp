@@ -38,6 +38,12 @@
 //   cache.load_rejected    persisted cache files refused at load
 //                          (truncated / corrupt / malformed)
 //   svc.cache.shard<i>.{hits,misses}  per-shard lookup outcomes
+//   svc.batch.requests     batch envelopes handled
+//   svc.batch.entries      entries carried by those envelopes
+//   svc.batch.groups       coalesced fingerprint groups actually run (a
+//                          batch of N compatible entries counts 1)
+//   svc.batch.entry_errors entries answered with an error reply (parse
+//                          failure, shed, deadline, pipeline failure)
 // plus everything the pipeline Runner counts (pipeline.*, bench.*).
 //
 // Latency instruments (obs::LatencyHistogram, µs, measured against the
@@ -48,6 +54,10 @@
 //                          plus any single-flight wait on another leader
 //   svc.latency.calibrate / svc.latency.predict  pipeline stage costs of
 //                          served requests (from StageTimings)
+//   svc.latency.batch_assemble  batch arrival -> entries validated,
+//                          admitted and grouped by fingerprint (the
+//                          coalescing cost batching adds before the
+//                          first pipeline run starts)
 // and the gauge svc.inflight (predict/calibrate requests currently being
 // served).
 //
@@ -63,6 +73,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -119,6 +130,11 @@ struct ServiceOptions {
   /// Structured logger (null = silent). Shed / deadline / slow-client /
   /// drain / bad-frame events, correlated by request id and trace_id.
   obs::Log* log = nullptr;
+  /// Test hook: invoked on the leader's thread right after it registered
+  /// its flight (followers can now coalesce onto it) and before the
+  /// pipeline runs. Lets tests park N followers on a leader they then
+  /// release — or fail. Null in production.
+  std::function<void()> on_leader_start;
 };
 
 class Service {
@@ -171,10 +187,16 @@ class Service {
  private:
   /// A calibration in flight; followers wait on `cv` under
   /// flights_mutex_ until the leader sets done. `leader` is the leader
-  /// request's trace identity so follower spans can link to it.
+  /// request's trace identity so follower spans can link to it. When the
+  /// leader fails, `failed`/`deadline`/`error` carry the outcome so every
+  /// follower wakes into a typed internal/deadline-exceeded reply instead
+  /// of re-electing and re-running a doomed calibration.
   struct Flight {
     std::condition_variable cv;
     bool done = false;
+    bool failed = false;
+    bool deadline = false;
+    std::string error;
     obs::TraceContext leader;
   };
 
@@ -194,6 +216,17 @@ class Service {
   [[nodiscard]] Reply serve_request(const Request& request);
   [[nodiscard]] Reply dispatch(const Request& request,
                                const RequestScope& scope);
+  /// One predict/calibrate request through the pipeline with the typed
+  /// catch block (deadline-exceeded / internal) applied — the shared tail
+  /// of the serial path and every batch entry, so a batched entry's reply
+  /// is byte-identical to the serial reply for the same request.
+  [[nodiscard]] Reply run_entry(const Request& request,
+                                const RequestScope& scope);
+  /// Batch envelope: per-entry validation/admission/deadlines, entries
+  /// grouped by calibration fingerprint so each group runs behind one
+  /// single-flight leader, replies assembled in wire order.
+  [[nodiscard]] Reply handle_batch(const Request& request,
+                                   const RequestScope& scope);
   [[nodiscard]] Reply run_pipeline(const Request& request,
                                    const RequestScope& scope);
   [[nodiscard]] pipeline::ScenarioResult run_single_flight(
@@ -201,6 +234,11 @@ class Service {
       TrafficClass traffic_class);
   void finish_flight(const std::string& fingerprint,
                      const std::shared_ptr<Flight>& flight);
+  /// finish_flight for a leader that is unwinding: records the outcome on
+  /// the flight before waking the followers.
+  void fail_flight(const std::string& fingerprint,
+                   const std::shared_ptr<Flight>& flight, bool deadline,
+                   const std::string& error);
   /// Close the queue-wait phase: record the latency sample and (when
   /// tracing) the queue_wait span, linked to `leader` for followers.
   void end_queue_wait(const RequestScope& scope, TrafficClass traffic_class,
@@ -233,6 +271,10 @@ class Service {
   obs::Counter* met_drained_;
   obs::Counter* met_slow_client_drops_;
   obs::Counter* met_cache_load_rejected_;
+  obs::Counter* met_batch_requests_;
+  obs::Counter* met_batch_entries_;
+  obs::Counter* met_batch_groups_;
+  obs::Counter* met_batch_entry_errors_;
   std::vector<obs::Counter*> met_shard_hits_;
   std::vector<obs::Counter*> met_shard_misses_;
   obs::Gauge* gauge_inflight_;
@@ -241,6 +283,7 @@ class Service {
   obs::LatencyHistogram* lat_queue_wait_[2];
   obs::LatencyHistogram* lat_calibrate_;
   obs::LatencyHistogram* lat_predict_;
+  obs::LatencyHistogram* lat_batch_assemble_;
 };
 
 /// Sequential request/reply loop over length-prefixed frames: the mcmd

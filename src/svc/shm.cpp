@@ -1,0 +1,276 @@
+#include "svc/shm.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "obs/log.hpp"
+
+namespace mcm::svc {
+namespace {
+
+[[nodiscard]] std::span<const std::byte> frame_bytes(
+    const std::string& text) {
+  return {reinterpret_cast<const std::byte*>(text.data()), text.size()};
+}
+
+[[nodiscard]] std::span<std::byte> frame_buffer(std::string& text) {
+  return {reinterpret_cast<std::byte*>(text.data()), text.size()};
+}
+
+/// "<decimal>\n" -> length: the stream framing's length line carried as
+/// one mailbox message. Anything else is a malformed header.
+[[nodiscard]] bool parse_length_line(const char* data, std::size_t size,
+                                     std::size_t* out,
+                                     std::string* error) {
+  if (size < 2 || data[size - 1] != '\n') {
+    *error = "malformed frame header: missing length line terminator";
+    return false;
+  }
+  std::size_t value = 0;
+  constexpr std::size_t kLimit = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i + 1 < size; ++i) {
+    const char c = data[i];
+    if (c < '0' || c > '9') {
+      *error = std::string("malformed frame header: '") + c +
+               "' is not a digit";
+      return false;
+    }
+    const auto digit = static_cast<std::size_t>(c - '0');
+    if (value > (kLimit - digit) / 10) {
+      *error = "malformed frame header: length overflows";
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// One frame = two messages: the length line and the payload line.
+/// Concatenated they are byte-identical to the socket frame.
+void send_frame(net::Communicator& comm, int peer, int tag,
+                const std::string& payload) {
+  const std::string header = std::to_string(payload.size()) + "\n";
+  const std::string body = payload + "\n";
+  comm.send(peer, tag, frame_bytes(header));
+  comm.send(peer, tag, frame_bytes(body));
+}
+
+}  // namespace
+
+ShmServer::ShmServer(Service& service, ShmTransportOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      world_(options_.protocol) {
+  // Armed before any traffic, as the fault layer requires; a default
+  // plan keeps the fault-free fast paths.
+  world_.inject_faults(options_.faults);
+}
+
+ShmServer::~ShmServer() { stop(); }
+
+void ShmServer::start() {
+  if (running() || stopped_.load(std::memory_order_relaxed)) return;
+  thread_ = std::thread([this] { serve_loop(); });
+  if (service_.log() != nullptr) {
+    service_.log()->info("listen_shm", {});
+  }
+}
+
+void ShmServer::stop() {
+  if (stopped_.exchange(true, std::memory_order_relaxed)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Both directions die: the serving thread's blocked receive AND any
+  // client wait in flight unwind with Error(kPeerGone) instead of
+  // hanging on a rank that will never answer.
+  world_.mark_peer_gone(0);
+  world_.mark_peer_gone(1);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShmServer::serve_loop() {
+  net::Communicator& comm = world_.comm(0);
+  const auto answer = [&](const std::string& reply) {
+    send_frame(comm, 1, kReplyFrame, reply);
+    served_.fetch_add(1, std::memory_order_relaxed);
+  };
+  const auto refuse = [&](const std::string& error) {
+    if (service_.log() != nullptr) {
+      service_.log()->warn("bad_frame", {{"error", error}});
+    }
+    answer(render_error_reply(
+        "", {ErrorCode::kBadRequest, error, std::string()}));
+  };
+  try {
+    for (;;) {
+      // Length line first. 32 bytes fits any in-range decimal length;
+      // a header message larger than that is not a frame.
+      char header[32];
+      net::Request hreq = comm.irecv(
+          1, kRequestFrame,
+          std::span<std::byte>(reinterpret_cast<std::byte*>(header),
+                               sizeof header));
+      comm.wait(hreq);
+      std::size_t length = 0;
+      std::string error;
+      if (!parse_length_line(header, hreq.transferred(), &length,
+                             &error)) {
+        // Typed goodbye; the next message would be a payload this loop
+        // would misread as a header, so there is no resync point.
+        refuse(error);
+        return;
+      }
+      if (length > options_.max_frame_bytes) {
+        refuse("frame of " + std::to_string(length) +
+               " bytes exceeds the " +
+               std::to_string(options_.max_frame_bytes) + "-byte limit");
+        return;
+      }
+      std::string body(length + 1, '\0');  // payload + '\n'
+      net::Request breq = comm.irecv(1, kRequestFrame,
+                                     frame_buffer(body));
+      comm.wait(breq);
+      if (breq.transferred() != length + 1 || body.back() != '\n') {
+        refuse("malformed frame: payload does not match its length "
+               "line");
+        return;
+      }
+      body.pop_back();
+      answer(service_.handle(body));
+      if (service_.draining()) {
+        // Mirror the socket transport: the in-flight request finished
+        // and its reply is out; end the stream instead of waiting for
+        // another frame.
+        service_.record_drained();
+        return;
+      }
+    }
+  } catch (const net::Error&) {
+    // stop()/kill() marked a rank gone, or an armed fault plan starved
+    // a wait past its budget: the stream is over.
+  } catch (const std::exception& error) {
+    // A message violating the mailbox contract (e.g. an oversized
+    // header) must kill the stream, not the process.
+    if (service_.log() != nullptr) {
+      service_.log()->error("shm_serve_error",
+                            {{"error", std::string(error.what())}});
+    }
+  }
+}
+
+ShmClient::ShmClient(ShmServer& server)
+    : comm_(server.world().comm(1)),
+      max_frame_bytes_(server.options().max_frame_bytes) {}
+
+std::optional<std::string> ShmClient::roundtrip(const std::string& payload,
+                                                std::string* error,
+                                                double deadline_ms) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  last_timeout_ = false;
+  if (broken_) {
+    return fail("shm client desynced by an earlier failure");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  const auto remaining_s = [&] {
+    return std::chrono::duration<double>(
+               deadline - std::chrono::steady_clock::now())
+        .count();
+  };
+  try {
+    send_frame(comm_, 0, kRequestFrame, payload);
+    const auto bounded_wait = [&](net::Request& request) {
+      if (deadline_ms <= 0.0) {
+        comm_.wait(request);
+        return;
+      }
+      const double left = remaining_s();
+      // wait_for(<=0) still throws the typed timeout rather than
+      // blocking, which is exactly what an exhausted budget needs.
+      comm_.wait_for(request, Seconds{left > 0.0 ? left : 0.0});
+    };
+    char header[32];
+    net::Request hreq = comm_.irecv(
+        0, kReplyFrame,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(header),
+                             sizeof header));
+    bounded_wait(hreq);
+    std::size_t length = 0;
+    std::string parse_error;
+    if (!parse_length_line(header, hreq.transferred(), &length,
+                           &parse_error)) {
+      broken_ = true;
+      return fail(parse_error);
+    }
+    if (length > max_frame_bytes_) {
+      broken_ = true;
+      return fail("reply frame of " + std::to_string(length) +
+                  " bytes exceeds the limit");
+    }
+    std::string body(length + 1, '\0');
+    net::Request breq = comm_.irecv(0, kReplyFrame, frame_buffer(body));
+    bounded_wait(breq);
+    if (breq.transferred() != length + 1 || body.back() != '\n') {
+      broken_ = true;
+      return fail("malformed reply frame");
+    }
+    body.pop_back();
+    return body;
+  } catch (const net::Error& net_error) {
+    // A late reply would desync every future call — poison the client.
+    broken_ = true;
+    last_timeout_ = net_error.kind() == net::ErrorKind::kTimeout;
+    return fail(std::string(to_string(net_error.kind())) + ": " +
+                net_error.what());
+  }
+}
+
+std::optional<Reply> ShmClient::call(Request request, std::string* error,
+                                     double deadline_ms) {
+  if (request.id.empty()) {
+    request.id = "shm" + std::to_string(next_id_++);
+  }
+  if (deadline_ms > 0.0 && request.deadline_ms <= 0.0) {
+    // The server enforces the same budget end-to-end.
+    request.deadline_ms = deadline_ms;
+  }
+  std::string transport_error;
+  const std::optional<std::string> payload =
+      roundtrip(render_request(request), &transport_error, deadline_ms);
+  if (!payload.has_value()) {
+    if (deadline_ms > 0.0 && last_timeout_) {
+      // Mirror of the server's typed expiry, synthesized locally — the
+      // same one-branch contract svc::Client keeps over the socket.
+      Reply reply;
+      reply.id = request.id;
+      reply.ok = false;
+      reply.error = {ErrorCode::kDeadlineExceeded,
+                     "no reply within the " + std::to_string(deadline_ms) +
+                         "ms budget: " + transport_error,
+                     std::string()};
+      return reply;
+    }
+    if (error != nullptr) *error = transport_error;
+    return std::nullopt;
+  }
+  std::string reply_error;
+  std::optional<Reply> reply = parse_reply(*payload, &reply_error);
+  if (!reply.has_value()) {
+    broken_ = true;
+    if (error != nullptr) *error = reply_error;
+    return std::nullopt;
+  }
+  return reply;
+}
+
+}  // namespace mcm::svc

@@ -1,0 +1,142 @@
+// The mcm::net shared-memory transport for the prediction service:
+// in-cluster clients that already live in the server process (embedded
+// tools, co-located rank drivers) talk to the Service over ShmWorld
+// rank-pair mailboxes instead of an AF_UNIX socket.
+//
+// Framing: the SAME length-prefixed frame grammar as the socket/stdio
+// transports, split at its one newline into two mailbox messages — the
+// length line ("<decimal>\n") and the payload line ("<json>\n").
+// Concatenating the two messages reproduces the socket frame
+// byte-for-byte, and the service replies with the same canonical bytes,
+// so a transcript captured over shm byte-compares against the socket
+// transcript for the same requests. Tag kRequestFrame carries
+// client->server messages, kReplyFrame server->client; minimpi's FIFO
+// order per (source, tag) keeps the two halves of a frame adjacent.
+//
+// Faults: ShmTransportOptions::faults is armed on the world before any
+// traffic, so the chaos harness drives this transport with the same
+// seeded delay/drop/stall plans it uses against raw minimpi.
+//
+// Lifecycle: ShmServer owns the world and a rank-0 serving thread;
+// ShmClient borrows the rank-1 endpoint. stop() (and kill(), the chaos
+// alias) marks both ranks gone — the serving thread's blocked wait and
+// any in-flight client wait unwind with net::Error(kPeerGone) instead of
+// hanging. The transport is terminal after stop: there is no reconnect,
+// a desynced or stopped client fails every later call with a typed
+// error.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/fault.hpp"
+#include "net/minimpi.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace mcm::svc {
+
+/// client -> server frame messages (rank 1 -> rank 0).
+inline constexpr int kRequestFrame = 1;
+/// server -> client frame messages (rank 0 -> rank 1).
+inline constexpr int kReplyFrame = 2;
+
+struct ShmTransportOptions {
+  /// Eager/rendezvous thresholds of the underlying mailboxes.
+  net::ProtocolParams protocol;
+  /// Seeded fault plan armed before any traffic (default: none). The
+  /// chaos harness injects delay/stall here.
+  net::FaultPlan faults;
+  /// Frames above this are refused with a typed bad-request reply and
+  /// the serving loop exits (framing has no resync point mid-stream).
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Rank-0 serving loop over an owned ShmWorld. start() spawns the
+/// thread; requests are answered frame-for-frame until stop()/kill()
+/// marks the peers gone or a malformed frame ends the stream.
+class ShmServer {
+ public:
+  ShmServer(Service& service, ShmTransportOptions options = {});
+  ~ShmServer();
+
+  ShmServer(const ShmServer&) = delete;
+  ShmServer& operator=(const ShmServer&) = delete;
+
+  void start();
+  /// Idempotent. Marks both ranks gone (waking the serving thread and
+  /// any blocked client) and joins the serving thread.
+  void stop();
+  /// Chaos alias for stop(): kill the server out from under in-flight
+  /// calls; their waits throw net::Error(kPeerGone) and surface as
+  /// typed transport failures client-side.
+  void kill() { stop(); }
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+
+  /// Frames answered so far (replies sent, including typed errors).
+  [[nodiscard]] std::size_t served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] net::ShmWorld& world() { return world_; }
+  [[nodiscard]] const ShmTransportOptions& options() const {
+    return options_;
+  }
+
+ private:
+  void serve_loop();
+
+  Service& service_;
+  ShmTransportOptions options_;
+  net::ShmWorld world_;
+  std::thread thread_;
+  std::atomic<std::size_t> served_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+/// Rank-1 endpoint paired with a ShmServer. Blocking call/reply with an
+/// optional per-call deadline; mirrors svc::Client's typed semantics
+/// (deadline expiry synthesizes the same `deadline-exceeded` error reply
+/// the server would send). NOT thread-safe; one in-flight call at a
+/// time. A timeout or transport failure desyncs the stream permanently —
+/// later calls fail fast with a typed error instead of reading a stale
+/// reply.
+class ShmClient {
+ public:
+  explicit ShmClient(ShmServer& server);
+
+  /// Send one raw frame payload, wait for the reply payload.
+  /// `deadline_ms` 0 waits forever. nullopt + `error` on transport
+  /// failure, timeout, or a desynced client.
+  [[nodiscard]] std::optional<std::string> roundtrip(
+      const std::string& payload, std::string* error = nullptr,
+      double deadline_ms = 0.0);
+
+  /// Typed form: render the request, roundtrip it, parse the reply. An
+  /// empty request id is replaced with a generated "shm<n>" id; a
+  /// positive `deadline_ms` also rides the wire as the request's
+  /// deadline_ms so the server enforces the same budget. On deadline
+  /// expiry returns a synthesized `deadline-exceeded` error reply (same
+  /// typed code the server uses); nullopt + `error` on transport
+  /// failure or an unparseable reply.
+  [[nodiscard]] std::optional<Reply> call(Request request,
+                                          std::string* error = nullptr,
+                                          double deadline_ms = 0.0);
+
+  /// False once a timeout/transport failure poisoned the stream.
+  [[nodiscard]] bool usable() const { return !broken_; }
+
+ private:
+  net::Communicator& comm_;
+  std::size_t max_frame_bytes_;
+  std::uint64_t next_id_ = 1;
+  bool broken_ = false;
+  /// True when the last roundtrip failure was a wait deadline expiring
+  /// (call() turns that into the typed deadline-exceeded reply).
+  bool last_timeout_ = false;
+};
+
+}  // namespace mcm::svc

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -195,6 +196,71 @@ TEST(ChaosClient, ClientDeadlineSynthesizesTheTypedReply) {
   EXPECT_NE(reply->error.message.find("client deadline"),
             std::string::npos)
       << reply->error.message;
+}
+
+TEST(ChaosClient, BackoffPauseOverflowIsClampedSoHugeRetryBudgetsReturn) {
+  // Regression: retry_pause_ms * backoff^attempt overflows to inf within
+  // a few hundred attempts for any backoff > 1; unclamped, that inf
+  // became an unbounded sleep. With the max_retry_pause_ms clamp, even a
+  // 400-retry budget against a vanished server is milliseconds of pause.
+  Service service;
+  const std::string path = unique_path("clamp");
+  std::string error;
+  auto server = std::make_unique<SocketServer>(
+      service, SocketServerOptions{path});
+  ASSERT_TRUE(server->start(&error)) << error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+  server->stop();
+  server.reset();  // the server is gone: every reconnect attempt fails
+
+  Request request;
+  request.method = Method::kHealth;
+  CallOptions call;
+  call.retry.max_retries = 400;  // pow(10, 309) is inf — attempt ~309 on
+  call.retry.backoff = 10.0;     // the pre-clamp path slept forever
+  call.retry_pause_ms = 1e-3;
+  call.max_retry_pause_ms = 0.01;
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply = client->call(std::move(request), call, &error);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  EXPECT_FALSE(reply) << "no server came back: retries must exhaust";
+  EXPECT_LT(elapsed_s, 30.0)
+      << "400 clamped pauses are milliseconds, not an infinite sleep";
+}
+
+TEST(ChaosClient, AttemptBudgetOverflowIsClampedBeforeTheIntCast) {
+  // Regression: the per-attempt reply budget grows by the same
+  // backoff^attempt factor; unclamped it overflowed to inf and was cast
+  // to int — undefined behavior (UBSan traps it). max_attempt_ms caps
+  // the wait, so the black-holed call returns after ~50ms per attempt.
+  const std::string path = unique_path("budget");
+  BlackHole hole(path);
+  std::string error;
+  auto client = Client::connect(path, &error);
+  ASSERT_TRUE(client) << error;
+
+  Request request;
+  request.method = Method::kHealth;
+  CallOptions call;
+  call.retry.timeout = Seconds{1e-9};
+  call.retry.backoff = 1e308;  // attempt 1's budget is inf pre-clamp
+  call.retry.max_retries = 1;
+  call.retry_pause_ms = 1.0;
+  call.max_attempt_ms = 50.0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply = client->call(std::move(request), call, &error);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  EXPECT_FALSE(reply) << "the black hole never answers";
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(elapsed_s, 10.0)
+      << "the inf attempt budget must clamp to max_attempt_ms";
 }
 
 }  // namespace

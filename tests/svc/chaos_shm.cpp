@@ -1,0 +1,129 @@
+// Shm-transport chaos (docs/service.md): the server killed out from
+// under an in-flight batch, and seeded mailbox fault plans — delivery
+// under delays, and a fault-starved wait tripping the client deadline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/shm.hpp"
+
+namespace mcm::svc {
+namespace {
+
+pipeline::ScenarioSpec calibration_spec() {
+  pipeline::ScenarioSpec spec;
+  spec.name = "chaos-shm";
+  spec.platform = "henri";
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+Request predict_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.method = Method::kPredict;
+  request.spec = calibration_spec();
+  return request;
+}
+
+TEST(ChaosShm, KillMidBatchSurfacesATypedTransportFailure) {
+  // The batch's calibration leader parks inside the service; the server
+  // is killed out from under it. The blocked client must unwind with a
+  // typed peer-gone transport failure — not a hang, not a garbled reply.
+  std::promise<void> in_flight;
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> parked{false};
+  ServiceOptions options;
+  options.on_leader_start = [&in_flight, released, &parked] {
+    if (!parked.exchange(true)) {
+      in_flight.set_value();
+      released.wait();
+    }
+  };
+  Service service(options);
+  ShmServer server(service);
+  server.start();
+  ShmClient client(server);
+
+  std::vector<Request> entries = {predict_request("e1"),
+                                  predict_request("e2")};
+  std::optional<Reply> reply;
+  std::string error;
+  std::thread caller([&] {
+    reply = client.call(Client::make_batch("b", std::move(entries)),
+                        &error);
+  });
+  in_flight.get_future().wait();  // the batch is mid-calibration
+  // kill() marks both ranks gone immediately (waking the client), then
+  // blocks joining the serving thread — which is parked until released.
+  std::thread killer([&server] { server.kill(); });
+  caller.join();
+  EXPECT_FALSE(reply.has_value())
+      << "no deadline was set: the kill is a transport failure, not a "
+         "timeout";
+  EXPECT_NE(error.find("peer-gone"), std::string::npos) << error;
+  EXPECT_FALSE(client.usable());
+  release.set_value();
+  killer.join();
+}
+
+TEST(ChaosShm, SeededDelayPlanStillDeliversEveryFrameInOrder) {
+  // Half the mailbox messages ride a 2ms wire delay (seeded, so the
+  // schedule is reproducible); FIFO per (source, tag) must keep frame
+  // halves adjacent and replies byte-identical to the fault-free path.
+  ShmTransportOptions transport;
+  transport.faults.seed = 7;
+  transport.faults.delay_probability = 0.5;
+  transport.faults.delay = Seconds{0.002};
+
+  Service serial;
+  Service service;
+  ShmServer server(service, transport);
+  server.start();
+  ShmClient client(server);
+  for (int i = 1; i <= 4; ++i) {
+    const std::string payload =
+        render_request(predict_request("d" + std::to_string(i)));
+    std::string error;
+    const std::optional<std::string> reply =
+        client.roundtrip(payload, &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(*reply, serial.handle(payload)) << "request " << i;
+  }
+  server.stop();
+  EXPECT_EQ(server.served(), 4u);
+}
+
+TEST(ChaosShm, AFaultStarvedWaitTripsTheClientDeadline) {
+  // Every message is delayed far past the budget: the bounded wait must
+  // surface the typed deadline reply instead of blocking on the late
+  // frame, and the stream is poisoned afterwards.
+  ShmTransportOptions transport;
+  transport.faults.seed = 11;
+  transport.faults.delay_probability = 1.0;
+  transport.faults.delay = Seconds{30.0};
+
+  Service service;
+  ShmServer server(service, transport);
+  server.start();
+  ShmClient client(server);
+  std::string error;
+  const std::optional<Reply> reply =
+      client.call(predict_request("late"), &error, /*deadline_ms=*/50.0);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(client.usable());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mcm::svc

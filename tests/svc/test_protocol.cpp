@@ -370,9 +370,182 @@ TEST(ReplyCodec, RejectsNonReplyDocuments) {
       << "error replies must carry an error object";
 }
 
+// ---------------------------------------------------------------- batch
+
+ParsedRequest valid_entry(const std::string& id,
+                          Method method = Method::kPredict) {
+  Request request;
+  request.id = id;
+  request.method = method;
+  request.spec = sample_spec();
+  ParsedRequest entry;
+  entry.id = id;
+  entry.request = std::move(request);
+  return entry;
+}
+
+TEST(BatchCodec, RoundTripsEntriesWithTheirOwnIdsAndDeadlines) {
+  Request batch;
+  batch.id = "b1";
+  batch.method = Method::kBatch;
+  batch.entries.push_back(valid_entry("e1"));
+  ParsedRequest second = valid_entry("e2", Method::kCalibrate);
+  second.request->traffic_class = TrafficClass::kBulk;
+  second.request->deadline_ms = 40.0;
+  batch.entries.push_back(std::move(second));
+
+  const ParsedRequest parsed = parse_request(render_request(batch));
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  EXPECT_EQ(parsed.request->method, Method::kBatch);
+  ASSERT_EQ(parsed.request->entries.size(), 2u);
+  const ParsedRequest& first = parsed.request->entries[0];
+  ASSERT_TRUE(first.request.has_value()) << first.error.message;
+  EXPECT_EQ(first.request->id, "e1");
+  EXPECT_EQ(first.request->method, Method::kPredict);
+  ASSERT_TRUE(first.request->spec.has_value());
+  EXPECT_EQ(*first.request->spec, sample_spec());
+  const ParsedRequest& last = parsed.request->entries[1];
+  ASSERT_TRUE(last.request.has_value()) << last.error.message;
+  EXPECT_EQ(last.request->method, Method::kCalibrate);
+  EXPECT_EQ(last.request->traffic_class, TrafficClass::kBulk);
+  EXPECT_EQ(last.request->deadline_ms, 40.0);
+}
+
+TEST(BatchCodec, EntryFailuresStayPerEntry) {
+  // One good entry, one from the future, one missing its spec: the
+  // envelope parses and each failure is pinned to its own entry.
+  const ParsedRequest parsed = parse_request(
+      R"({"v": 1, "id": "b", "method": "batch", "entries": [
+          {"v": 1, "id": "good", "method": "predict",
+           "spec": {"platform": "henri"}},
+          {"v": 2, "id": "future", "method": "predict",
+           "spec": {"platform": "henri"}},
+          {"v": 1, "id": "nospec", "method": "predict"}]})");
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  ASSERT_EQ(parsed.request->entries.size(), 3u);
+  EXPECT_TRUE(parsed.request->entries[0].request.has_value());
+  EXPECT_FALSE(parsed.request->entries[1].request.has_value());
+  EXPECT_EQ(parsed.request->entries[1].error.code,
+            ErrorCode::kUnsupportedVersion);
+  EXPECT_EQ(parsed.request->entries[1].id, "future")
+      << "best-effort id survives for the per-entry error reply";
+  EXPECT_FALSE(parsed.request->entries[2].request.has_value());
+  EXPECT_EQ(parsed.request->entries[2].error.code, ErrorCode::kBadRequest);
+}
+
+TEST(BatchCodec, EntriesMustBePipelineMethodsAndMustNotNest) {
+  for (const char* method : {"batch", "stats", "health"}) {
+    const ParsedRequest parsed = parse_request(
+        std::string(R"({"v": 1, "id": "b", "method": "batch",
+                        "entries": [{"v": 1, "id": "e", "method": ")") +
+        method + R"("}]})");
+    ASSERT_TRUE(parsed.request.has_value())
+        << method << ": " << parsed.error.message;
+    ASSERT_EQ(parsed.request->entries.size(), 1u) << method;
+    const ParsedRequest& entry = parsed.request->entries[0];
+    EXPECT_FALSE(entry.request.has_value()) << method;
+    EXPECT_NE(entry.error.message.find("predict or calibrate"),
+              std::string::npos)
+        << method << ": " << entry.error.message;
+  }
+}
+
+TEST(BatchCodec, BatchLevelValidation) {
+  // No entries / wrong shape / empty: batch-level bad-request.
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "b", "method": "batch"})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(
+                R"({"v": 1, "id": "b", "method": "batch", "entries": 3})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(parse_request(
+                R"({"v": 1, "id": "b", "method": "batch", "entries": []})")
+                .error.code,
+            ErrorCode::kBadRequest);
+  // `entries` is rejected on every other method.
+  EXPECT_EQ(parse_request(R"({"v": 1, "id": "x", "method": "health",
+                              "entries": []})")
+                .error.code,
+            ErrorCode::kBadRequest);
+}
+
+TEST(BatchCodec, OversizedBatchesAreRejectedBeforeEntryParsing) {
+  std::string payload = R"({"v": 1, "id": "b", "method": "batch",
+                            "entries": [)";
+  for (std::size_t i = 0; i <= kMaxBatchEntries; ++i) {
+    if (i != 0) payload += ',';
+    payload += "{}";
+  }
+  payload += "]}";
+  const ParsedRequest parsed = parse_request(payload);
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(parsed.error.code, ErrorCode::kBadRequest);
+  EXPECT_NE(parsed.error.message.find("limit"), std::string::npos)
+      << parsed.error.message;
+}
+
+TEST(BatchCodec, DuplicateEntriesKeysAreDeterministicLastOneWins) {
+  // The JSON layer resolves duplicate keys with insert_or_assign, so a
+  // hostile frame repeating `entries` deterministically keeps the last
+  // array — never a blend of the two.
+  const ParsedRequest parsed = parse_request(
+      R"({"v": 1, "id": "b", "method": "batch",
+          "entries": [{"v": 1, "id": "first", "method": "calibrate",
+                       "spec": {"platform": "henri"}}],
+          "entries": [{"v": 1, "id": "last", "method": "calibrate",
+                       "spec": {"platform": "henri"}}]})");
+  ASSERT_TRUE(parsed.request.has_value()) << parsed.error.message;
+  ASSERT_EQ(parsed.request->entries.size(), 1u);
+  ASSERT_TRUE(parsed.request->entries[0].request.has_value());
+  EXPECT_EQ(parsed.request->entries[0].request->id, "last");
+}
+
+TEST(BatchCodec, TruncatedBatchFrameIsMalformedNotPartiallyParsed) {
+  Request batch;
+  batch.id = "b";
+  batch.method = Method::kBatch;
+  batch.entries.push_back(valid_entry("e1"));
+  std::stringstream stream;
+  write_frame(stream, render_request(batch));
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 10);  // torn mid-entry
+  std::stringstream torn(bytes);
+  std::string payload;
+  std::string error;
+  EXPECT_FALSE(read_frame(torn, &payload, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BatchCodec, ReplyValueFormMatchesRenderedBytesExactly) {
+  // reply_to_value is what the batch handler embeds per entry; its
+  // serialization must reproduce render_reply byte for byte, and the
+  // Value-overload parse_reply must decode the embedded element.
+  Reply ok;
+  ok.id = "e1";
+  ok.ok = true;
+  ok.result = json::parse(R"({"b": 1, "a": [1.5, null]})").value();
+  Reply bad;
+  bad.id = "e2";
+  bad.error = {ErrorCode::kInvalidSpec, "bogus key", std::string()};
+  for (const Reply& reply : {ok, bad}) {
+    EXPECT_EQ(json::serialize(reply_to_value(reply)), render_reply(reply));
+    std::string error;
+    const std::optional<Reply> round =
+        parse_reply(reply_to_value(reply), &error);
+    ASSERT_TRUE(round) << error;
+    EXPECT_EQ(round->id, reply.id);
+    EXPECT_EQ(round->ok, reply.ok);
+    if (!reply.ok) {
+      EXPECT_EQ(round->error.code, reply.error.code);
+    }
+  }
+}
+
 TEST(EnumSpellings, RoundTrip) {
   for (const Method method : {Method::kPredict, Method::kCalibrate,
-                              Method::kStats, Method::kHealth}) {
+                              Method::kStats, Method::kHealth,
+                              Method::kBatch}) {
     EXPECT_EQ(parse_method(to_string(method)), method);
   }
   for (const TrafficClass cls :

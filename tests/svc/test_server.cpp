@@ -5,11 +5,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -544,6 +548,273 @@ TEST(ServeStdio, MalformedFrameCorpusAnswersTypedErrorsAndSurvives) {
   ASSERT_TRUE(read_frame(out, &payload, &error)) << error;
   EXPECT_EQ(parse_reply(payload)->error.code, ErrorCode::kBadRequest);
   EXPECT_FALSE(read_frame(out, &payload, &error));
+}
+
+// ------------------------------------------------------------------ batch
+
+TEST(Batch, RepliesAreByteIdenticalToSerialAndCalibrateOnce) {
+  // N compatible predicts issued serially against one service...
+  Service serial_service;
+  std::vector<std::string> expected;
+  for (int i = 1; i <= 3; ++i) {
+    const Reply reply = serial_service.handle_request(
+        predict_request(calibration_spec(), "q" + std::to_string(i)));
+    ASSERT_TRUE(reply.ok) << reply.error.message;
+    expected.push_back(render_reply(reply));
+  }
+
+  // ...must be byte-identical, entry for entry, to one batch envelope
+  // against a fresh service — with the calibration run exactly once.
+  Service service;
+  std::vector<Request> entries;
+  for (int i = 1; i <= 3; ++i) {
+    entries.push_back(
+        predict_request(calibration_spec(), "q" + std::to_string(i)));
+  }
+  const Reply batch = service.handle_request(
+      Client::make_batch("b", std::move(entries)));
+  ASSERT_TRUE(batch.ok) << batch.error.message;
+  EXPECT_EQ(batch.id, "b");
+  const json::Value* replies = batch.result.find("replies");
+  ASSERT_NE(replies, nullptr);
+  const json::Value::Array& array = replies->as_array();
+  ASSERT_EQ(array.size(), 3u);
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    EXPECT_EQ(json::serialize(array[i]), expected[i]) << "entry " << i;
+  }
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0)
+      << "the whole group must ride one calibration";
+  EXPECT_EQ(counter(service, "svc.batch.requests"), 1.0);
+  EXPECT_EQ(counter(service, "svc.batch.entries"), 3.0);
+  EXPECT_EQ(counter(service, "svc.batch.groups"), 1.0);
+  EXPECT_EQ(counter(service, "svc.batch.entry_errors"), 0.0);
+}
+
+TEST(Batch, GroupingPreservesPerEntryCacheHitFlagsAcrossSpecs) {
+  // Interleaved specs A, B, A: grouping must not change what each entry
+  // observes compared to serial order — A#2 is a cache hit, B is not.
+  const pipeline::ScenarioSpec spec_a = calibration_spec("henri");
+  const pipeline::ScenarioSpec spec_b = calibration_spec("occigen");
+
+  Service serial_service;
+  std::vector<std::string> expected;
+  const std::vector<const pipeline::ScenarioSpec*> order = {&spec_a,
+                                                            &spec_b,
+                                                            &spec_a};
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Reply reply = serial_service.handle_request(predict_request(
+        *order[i], "m" + std::to_string(i + 1)));
+    ASSERT_TRUE(reply.ok) << reply.error.message;
+    expected.push_back(render_reply(reply));
+  }
+
+  Service service;
+  std::vector<Request> entries;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    entries.push_back(
+        predict_request(*order[i], "m" + std::to_string(i + 1)));
+  }
+  const Reply batch = service.handle_request(
+      Client::make_batch("b", std::move(entries)));
+  ASSERT_TRUE(batch.ok) << batch.error.message;
+  const std::optional<std::vector<Reply>> decoded =
+      Client::batch_replies(batch);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].result.find("cache_hit")->as_bool(), false);
+  EXPECT_EQ((*decoded)[1].result.find("cache_hit")->as_bool(), false);
+  EXPECT_EQ((*decoded)[2].result.find("cache_hit")->as_bool(), true);
+  const json::Value::Array& array =
+      batch.result.find("replies")->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    EXPECT_EQ(json::serialize(array[i]), expected[i]) << "entry " << i;
+  }
+  EXPECT_EQ(counter(service, "svc.batch.groups"), 2.0);
+  EXPECT_EQ(counter(service, "svc.calibrations"), 2.0);
+}
+
+TEST(Batch, InvalidEntryGetsItsOwnTypedReplyWithoutPoisoningTheBatch) {
+  Service service;
+  const std::string payload =
+      R"({"v": 1, "id": "b", "method": "batch", "entries": [
+          {"v": 1, "id": "ok1", "method": "calibrate",
+           "spec": {"platform": "henri"}},
+          {"v": 1, "id": "bad", "method": "predict",
+           "spec": {"platform": "henri", "bogus": 1}}]})";
+  const auto reply = parse_reply(service.handle(payload));
+  ASSERT_TRUE(reply);
+  ASSERT_TRUE(reply->ok) << reply->error.message
+                         << " (a bad entry must not fail the envelope)";
+  const std::optional<std::vector<Reply>> decoded =
+      Client::batch_replies(*reply);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_TRUE((*decoded)[0].ok) << (*decoded)[0].error.message;
+  EXPECT_EQ((*decoded)[0].id, "ok1");
+  EXPECT_FALSE((*decoded)[1].ok);
+  EXPECT_EQ((*decoded)[1].id, "bad");
+  EXPECT_EQ((*decoded)[1].error.code, ErrorCode::kInvalidSpec);
+  EXPECT_EQ(counter(service, "svc.batch.entry_errors"), 1.0);
+  EXPECT_EQ(counter(service, "svc.batch.entries"), 2.0);
+  EXPECT_EQ(counter(service, "svc.calibrations"), 1.0)
+      << "the valid sibling was served normally";
+}
+
+TEST(Batch, EntryDeadlinesAreEnforcedPerEntry) {
+  // A ticking clock: every read advances one second, so an entry with a
+  // 1 ms budget is long expired by the time its group is scheduled,
+  // while its unbounded sibling still runs.
+  ServiceOptions options;
+  auto ticks = std::make_shared<std::atomic<int>>(0);
+  options.clock = [ticks] {
+    return static_cast<double>(ticks->fetch_add(1));
+  };
+  Service service(options);
+
+  std::vector<Request> entries;
+  entries.push_back(predict_request(calibration_spec(), "free"));
+  Request bounded = predict_request(calibration_spec(), "tight");
+  bounded.deadline_ms = 1.0;
+  entries.push_back(std::move(bounded));
+  const Reply batch = service.handle_request(
+      Client::make_batch("b", std::move(entries)));
+  ASSERT_TRUE(batch.ok) << batch.error.message;
+  const std::optional<std::vector<Reply>> decoded =
+      Client::batch_replies(batch);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_TRUE((*decoded)[0].ok) << (*decoded)[0].error.message;
+  EXPECT_FALSE((*decoded)[1].ok);
+  EXPECT_EQ((*decoded)[1].error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(counter(service, "svc.deadline_exceeded"), 1.0);
+  EXPECT_EQ(counter(service, "svc.batch.entry_errors"), 1.0);
+}
+
+TEST(Batch, ShedEntriesDoNotPoisonTheirSiblings) {
+  // One interactive token, never refilled: the first entry is admitted,
+  // the second is shed with its own typed reply.
+  ServiceOptions options;
+  options.admission.interactive = {1.0, 0.0};
+  options.clock = [] { return 0.0; };
+  Service service(options);
+
+  std::vector<Request> entries;
+  entries.push_back(predict_request(calibration_spec("henri"), "in"));
+  entries.push_back(predict_request(calibration_spec("occigen"), "out"));
+  const Reply batch = service.handle_request(
+      Client::make_batch("b", std::move(entries)));
+  ASSERT_TRUE(batch.ok) << batch.error.message;
+  const std::optional<std::vector<Reply>> decoded =
+      Client::batch_replies(batch);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE((*decoded)[0].ok) << (*decoded)[0].error.message;
+  EXPECT_FALSE((*decoded)[1].ok);
+  EXPECT_EQ((*decoded)[1].error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(counter(service, "svc.shed"), 1.0);
+}
+
+// ----------------------------------------------- single-flight failures
+
+TEST(SingleFlight, LeaderFailurePropagatesToEveryParkedFollower) {
+  // Regression: a failing leader used to finish its flight silently, so
+  // followers re-checked the shard, elected a new leader, and re-ran a
+  // calibration that had just proved doomed — or worse, kept waiting.
+  // Now the failure wakes all followers with the same typed reply.
+  constexpr int kFollowers = 3;
+  std::promise<void> leader_parked;
+  std::promise<void> release_leader;
+  std::shared_future<void> released = release_leader.get_future().share();
+  std::atomic<bool> parked{false};
+  ServiceOptions options;
+  options.on_leader_start = [&leader_parked, released, &parked] {
+    // Only the first leader parks; propagation means no re-election, so
+    // nobody else should ever get here (asserted below via the hook
+    // firing once).
+    if (!parked.exchange(true)) {
+      leader_parked.set_value();
+      released.wait();
+    }
+  };
+  Service service(options);
+
+  // An unresolvable platform: the leader's pipeline throws only once it
+  // actually runs, i.e. after followers had time to park on its flight.
+  const pipeline::ScenarioSpec doomed = calibration_spec("no-such-platform");
+  Reply leader_reply;
+  std::thread leader([&] {
+    leader_reply = service.handle_request(predict_request(doomed, "L"));
+  });
+  leader_parked.get_future().wait();
+
+  std::vector<Reply> follower_replies(kFollowers);
+  std::vector<std::thread> followers;
+  followers.reserve(kFollowers);
+  for (int i = 0; i < kFollowers; ++i) {
+    followers.emplace_back([&service, &doomed, &follower_replies, i] {
+      follower_replies[static_cast<std::size_t>(i)] =
+          service.handle_request(
+              predict_request(doomed, "F" + std::to_string(i)));
+    });
+  }
+  // Rendezvous: each follower counts one single-flight hit (under the
+  // flights lock) before it starts waiting on the parked leader.
+  while (counter(service, "svc.singleflight_hits") < kFollowers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release_leader.set_value();
+  leader.join();
+  for (std::thread& follower : followers) follower.join();
+
+  EXPECT_FALSE(leader_reply.ok);
+  EXPECT_EQ(leader_reply.error.code, ErrorCode::kInternal);
+  for (const Reply& reply : follower_replies) {
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error.code, ErrorCode::kInternal);
+    EXPECT_NE(reply.error.message.find("calibration leader failed"),
+              std::string::npos)
+        << reply.error.message;
+  }
+  EXPECT_EQ(counter(service, "svc.calibrations"), 0.0)
+      << "nobody re-ran the doomed calibration";
+  EXPECT_EQ(counter(service, "svc.errors"),
+            static_cast<double>(kFollowers + 1));
+}
+
+// ------------------------------------------------- admission vs parsing
+
+TEST(Admission, MalformedFloodsDoNotBurnTokensFromValidTraffic) {
+  // Regression: tokens must be charged only after a request validated.
+  // With capacity 2 and no refill, 128 malformed/invalid requests must
+  // leave exactly two tokens for well-formed traffic.
+  ServiceOptions options;
+  options.admission.interactive = {2.0, 0.0};
+  options.clock = [] { return 0.0; };
+  Service service(options);
+
+  for (int i = 0; i < 64; ++i) {
+    const std::string reply = service.handle("definitely not json");
+    EXPECT_NE(reply.find("bad-request"), std::string::npos) << reply;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::string reply = service.handle(
+        R"({"v": 1, "id": "x", "method": "predict",
+            "spec": {"platform": "henri", "bogus": 1}})");
+    EXPECT_NE(reply.find("invalid-spec"), std::string::npos) << reply;
+  }
+  const Reply first = service.handle_request(
+      predict_request(calibration_spec(), "v1"));
+  EXPECT_TRUE(first.ok)
+      << "the flood must not have charged interactive tokens: "
+      << first.error.message;
+  const Reply second = service.handle_request(
+      predict_request(calibration_spec(), "v2"));
+  EXPECT_TRUE(second.ok) << second.error.message;
+  const Reply third = service.handle_request(
+      predict_request(calibration_spec(), "v3"));
+  ASSERT_FALSE(third.ok) << "capacity 2: the two valid requests were "
+                            "the only charges";
+  EXPECT_EQ(third.error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(counter(service, "svc.shed"), 1.0);
 }
 
 TEST(SocketServer, StartFailsGracefullyOnBadPath) {

@@ -1,0 +1,196 @@
+// The mcm::net shared-memory transport of the prediction service
+// (docs/service.md, "Batching and the shm transport"): frame grammar
+// over rank-pair mailboxes, byte-identity with the in-process service,
+// typed deadline replies and the terminal desync semantics.
+#include "svc/shm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pipeline/spec.hpp"
+#include "svc/client.hpp"
+#include "util/json.hpp"
+
+namespace mcm::svc {
+namespace {
+
+pipeline::ScenarioSpec calibration_spec(const std::string& platform =
+                                            "henri") {
+  pipeline::ScenarioSpec spec;
+  spec.name = "shm-test";
+  spec.platform = platform;
+  spec.placements = pipeline::PlacementSet::kCalibration;
+  return spec;
+}
+
+Request predict_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.method = Method::kPredict;
+  request.spec = calibration_spec();
+  return request;
+}
+
+Request health_request(const std::string& id) {
+  Request request;
+  request.id = id;
+  request.method = Method::kHealth;
+  return request;
+}
+
+double counter_value(const Service& service, const std::string& name) {
+  const obs::MetricsSnapshot snapshot = service.metrics().snapshot();
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return static_cast<double>(value);
+  }
+  return 0.0;
+}
+
+TEST(ShmTransport, RoundtripBytesMatchTheInProcessServiceExactly) {
+  Service shm_service;
+  ShmServer server(shm_service);
+  server.start();
+  ShmClient client(server);
+
+  // A cold twin service answers the same payloads in-process: replies
+  // crossing the mailbox transport must be the same canonical bytes.
+  Service serial;
+  const std::vector<std::string> payloads = {
+      render_request(health_request("h1")),
+      render_request(predict_request("p1")),
+      render_request(predict_request("p2")),  // the cache hit too
+  };
+  for (const std::string& payload : payloads) {
+    std::string error;
+    const std::optional<std::string> reply =
+        client.roundtrip(payload, &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    EXPECT_EQ(*reply, serial.handle(payload));
+  }
+  EXPECT_TRUE(client.usable());
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_EQ(server.served(), 3u);
+
+  // Terminal after stop: the next call fails with a typed transport
+  // error instead of hanging on a rank that will never answer.
+  std::string error;
+  EXPECT_FALSE(
+      client.roundtrip(render_request(health_request("h2")), &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(client.usable());
+}
+
+TEST(ShmTransport, BatchOverShmMatchesSerialServiceBytes) {
+  Service serial;
+  std::vector<std::string> expected;
+  for (int i = 1; i <= 3; ++i) {
+    const Reply reply =
+        serial.handle_request(predict_request("q" + std::to_string(i)));
+    ASSERT_TRUE(reply.ok) << reply.error.message;
+    expected.push_back(render_reply(reply));
+  }
+
+  Service service;
+  ShmServer server(service);
+  server.start();
+  ShmClient client(server);
+  std::vector<Request> entries;
+  for (int i = 1; i <= 3; ++i) {
+    entries.push_back(predict_request("q" + std::to_string(i)));
+  }
+  std::string error;
+  const std::optional<Reply> batch =
+      client.call(Client::make_batch("b", std::move(entries)), &error);
+  ASSERT_TRUE(batch.has_value()) << error;
+  ASSERT_TRUE(batch->ok) << batch->error.message;
+  const json::Value::Array& array =
+      batch->result.find("replies")->as_array();
+  ASSERT_EQ(array.size(), 3u);
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    EXPECT_EQ(json::serialize(array[i]), expected[i]) << "entry " << i;
+  }
+  EXPECT_EQ(counter_value(service, "svc.calibrations"), 1.0);
+  EXPECT_EQ(counter_value(service, "svc.batch.requests"), 1.0);
+  server.stop();
+}
+
+TEST(ShmTransport, CallSynthesizesTheTypedDeadlineReply) {
+  // Park the calibration leader so the reply cannot arrive in time; the
+  // client must synthesize the same typed deadline-exceeded reply the
+  // server uses, and the desynced stream must then fail fast.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  ServiceOptions options;
+  options.on_leader_start = [released] { released.wait(); };
+  Service service(options);
+  ShmServer server(service);
+  server.start();
+  ShmClient client(server);
+
+  std::string error;
+  const std::optional<Reply> reply =
+      client.call(predict_request("slow"), &error, /*deadline_ms=*/50.0);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->id, "slow");
+  EXPECT_EQ(reply->error.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(client.usable())
+      << "the late reply would desync every future call";
+  std::string desync_error;
+  EXPECT_FALSE(client
+                   .roundtrip(render_request(health_request("h")),
+                              &desync_error)
+                   .has_value());
+  EXPECT_FALSE(desync_error.empty());
+  release.set_value();
+  server.stop();
+}
+
+TEST(ShmTransport, MalformedHeaderGetsATypedGoodbye) {
+  Service service;
+  ShmServer server(service);
+  server.start();
+  // Speak raw mailbox messages: a header that is not a length line must
+  // be answered with one typed bad-request reply before the stream ends.
+  net::Communicator& comm = server.world().comm(1);
+  const std::string bad = "nope\n";
+  comm.send(0, kRequestFrame,
+            std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(bad.data()),
+                bad.size()));
+  char header[32];
+  net::Request hreq = comm.irecv(
+      0, kReplyFrame,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(header),
+                           sizeof header));
+  comm.wait(hreq);
+  const std::string header_text(header, hreq.transferred());
+  const std::size_t length = std::stoul(header_text);
+  std::string body(length + 1, '\0');
+  net::Request breq = comm.irecv(
+      0, kReplyFrame,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(body.data()),
+                           body.size()));
+  comm.wait(breq);
+  ASSERT_EQ(breq.transferred(), length + 1);
+  ASSERT_EQ(body.back(), '\n');
+  body.pop_back();
+  std::string parse_error;
+  const std::optional<Reply> reply = parse_reply(body, &parse_error);
+  ASSERT_TRUE(reply) << parse_error;
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error.code, ErrorCode::kBadRequest);
+  server.stop();  // joins the serving thread before reading its counter
+  EXPECT_EQ(server.served(), 1u) << "the goodbye counts as a reply";
+}
+
+}  // namespace
+}  // namespace mcm::svc

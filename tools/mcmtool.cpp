@@ -730,8 +730,15 @@ int cmd_trace_merge(const cli::Parser& parser) {
 
 int cmd_query(const cli::Parser& parser) {
   const std::string path = parser.value("--socket");
-  if (path.empty()) {
-    std::fprintf(stderr, "error: query requires --socket PATH\n");
+  const std::string transport = parser.value("--transport");
+  if (transport != "socket" && transport != "shm") {
+    std::fprintf(stderr, "error: --transport must be socket or shm\n");
+    return 2;
+  }
+  if (transport == "socket" && path.empty()) {
+    std::fprintf(stderr,
+                 "error: query requires --socket PATH (or --transport "
+                 "shm)\n");
     return 2;
   }
   const std::optional<svc::Method> method =
@@ -800,6 +807,35 @@ int cmd_query(const cli::Parser& parser) {
   call_options.deadline_ms = *deadline_ms;
   call_options.retry.max_retries = *retries;
 
+  const std::optional<std::size_t> batch_n = parser.size_value("--batch");
+  if (!batch_n || *batch_n > svc::kMaxBatchEntries) {
+    std::fprintf(stderr, "error: --batch must be an integer in [0, %zu]\n",
+                 svc::kMaxBatchEntries);
+    return 2;
+  }
+  if (*batch_n > 0 && !runs_pipeline) {
+    std::fprintf(stderr,
+                 "error: --batch applies to predict/calibrate only\n");
+    return 2;
+  }
+  svc::Request wire;
+  if (*batch_n > 0) {
+    // N compatible entries from the one --spec, ids "<id>1".."<id>N" —
+    // the same ids a serial `query --id <id>$i` loop would use, so the
+    // per-entry replies byte-compare against the serial transcript.
+    const std::string base = request.id.empty() ? "q" : request.id;
+    std::vector<svc::Request> entries;
+    entries.reserve(*batch_n);
+    for (std::size_t i = 1; i <= *batch_n; ++i) {
+      svc::Request entry = request;
+      entry.id = base + std::to_string(i);
+      entries.push_back(std::move(entry));
+    }
+    wire = svc::Client::make_batch(base, std::move(entries));
+  } else {
+    wire = std::move(request);
+  }
+
   const std::string trace_path = parser.value("--trace");
   const std::optional<std::size_t> trace_seed =
       parser.size_value("--trace-seed");
@@ -810,31 +846,45 @@ int cmd_query(const cli::Parser& parser) {
   }
 
   std::string error;
-  std::optional<svc::Client> client = svc::Client::connect(path, &error);
-  if (!client) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-  // Tracing on demand: a seed-deterministic trace identity rides the
-  // request (and shows up in the server's spans); with --trace FILE the
-  // client-side attempt spans are written there for trace-merge.
-  obs::ChromeTraceSink client_sink;
-  client_sink.set_track_name(0, "client");
-  if (!trace_path.empty() || parser.is_set("--trace-seed")) {
-    client->enable_tracing(
-        static_cast<std::uint64_t>(*trace_seed),
-        trace_path.empty() ? nullptr : &client_sink);
-  }
-  const std::optional<svc::Reply> reply =
-      client->call(std::move(request), call_options, &error);
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   trace_path.c_str());
+  std::optional<svc::Reply> reply;
+  if (transport == "shm") {
+    // Embedded in-process service behind the mcm::net shm transport: no
+    // socket (or second process) involved, but every frame still crosses
+    // the rank-pair mailboxes. Retries/tracing are socket-transport
+    // features and are ignored here.
+    svc::Service service{svc::ServiceOptions{}};
+    svc::ShmServer server(service);
+    server.start();
+    svc::ShmClient shm_client(server);
+    reply = shm_client.call(std::move(wire), &error,
+                            call_options.deadline_ms);
+    server.stop();
+  } else {
+    std::optional<svc::Client> client = svc::Client::connect(path, &error);
+    if (!client) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    client_sink.write_json(out);
+    // Tracing on demand: a seed-deterministic trace identity rides the
+    // request (and shows up in the server's spans); with --trace FILE the
+    // client-side attempt spans are written there for trace-merge.
+    obs::ChromeTraceSink client_sink;
+    client_sink.set_track_name(0, "client");
+    if (!trace_path.empty() || parser.is_set("--trace-seed")) {
+      client->enable_tracing(
+          static_cast<std::uint64_t>(*trace_seed),
+          trace_path.empty() ? nullptr : &client_sink);
+    }
+    reply = client->call(std::move(wire), call_options, &error);
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      client_sink.write_json(out);
+    }
   }
   if (!reply) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -853,6 +903,34 @@ int cmd_query(const cli::Parser& parser) {
     if (reply->error.code == svc::ErrorCode::kOverloaded) return 3;
     if (reply->error.code == svc::ErrorCode::kDeadlineExceeded) return 4;
     return 1;
+  }
+  if (*batch_n > 0) {
+    // One canonical result line per entry, in wire order — exactly the
+    // stdout a serial query loop over the same specs produces. Entry
+    // errors go to stderr; the exit code reports the first one.
+    const std::optional<std::vector<svc::Reply>> entries =
+        svc::Client::batch_replies(*reply, &error);
+    if (!entries) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    int exit_code = 0;
+    for (const svc::Reply& entry : *entries) {
+      if (!entry.ok) {
+        std::fprintf(stderr, "error: %s: %s: %s\n", entry.id.c_str(),
+                     svc::to_string(entry.error.code),
+                     entry.error.message.c_str());
+        if (exit_code == 0) {
+          exit_code =
+              entry.error.code == svc::ErrorCode::kOverloaded        ? 3
+              : entry.error.code == svc::ErrorCode::kDeadlineExceeded ? 4
+                                                                      : 1;
+        }
+        continue;
+      }
+      std::printf("%s\n", json::serialize(entry.result).c_str());
+    }
+    return exit_code;
   }
   if (*method == svc::Method::kStats && prometheus) {
     const json::Value* text = reply->result.find("prometheus");
@@ -922,6 +1000,13 @@ const std::vector<Subcommand>& subcommands() {
        tools::service_options(), cmd_serve},
       {"query", "", "query a serving mcmd over its socket",
        {{"--socket", "PATH", "", "socket of the serving mcmd"},
+        {"--transport", "T", "socket",
+         "socket | shm (shm embeds an in-process service behind the "
+         "mcm::net mailbox transport; no --socket needed)"},
+        {"--batch", "N", "0",
+         "send one batch envelope of N identical predict/calibrate "
+         "entries (ids <id>1..<id>N) and print one result line per "
+         "entry (0 = a plain single request)"},
         {"--method", "M", "predict",
          "predict | calibrate | stats | health"},
         {"--spec", "FILE", "", "ScenarioSpec document (predict/calibrate)"},

@@ -19,6 +19,7 @@
 #include "obs/trace.hpp"
 #include "svc/limiter.hpp"
 #include "svc/server.hpp"
+#include "svc/shm.hpp"
 
 namespace mcm::tools {
 
@@ -27,6 +28,10 @@ inline std::vector<cli::Option> service_options() {
       {"--socket", "PATH", "", "serve on this Unix-domain socket"},
       {"--stdio", "", "",
        "serve length-prefixed frames on stdin/stdout instead"},
+      {"--shm", "", "",
+       "like --stdio, but every frame crosses an in-process mcm::net "
+       "shared-memory transport (rank-pair mailboxes) on its way to the "
+       "service"},
       {"--workers", "N", "2", "socket connection-handler threads"},
       {"--shards", "N", "8", "calibration cache shards"},
       {"--max-retries", "N", "0", "measure-stage retries per placement"},
@@ -192,6 +197,51 @@ inline int run_service(const cli::Parser& parser, const char* program) {
         svc::serve_stdio(service, std::cin, std::cout);
     std::fprintf(stderr, "%s: served %zu request%s\n", program, served,
                  served == 1 ? "" : "s");
+    save_cache();
+    save_trace();
+    return 0;
+  }
+
+  if (parser.flag("--shm")) {
+    // stdio <-> shm bridge: the same sequential frame loop as --stdio,
+    // but every frame crosses the mcm::net mailbox transport before it
+    // reaches the service — so a deterministic replay exercises (and
+    // byte-compares) the shm path against the --stdio transcript.
+    svc::ShmServer shm_server(service);
+    shm_server.start();
+    svc::ShmClient shm_client(shm_server);
+    std::size_t served = 0;
+    std::string payload;
+    std::string frame_error;
+    for (;;) {
+      if (!svc::read_frame(std::cin, &payload, &frame_error)) {
+        if (!frame_error.empty()) {
+          // Mirror serve_stdio's malformed-frame goodbye byte-for-byte.
+          if (service.log() != nullptr) {
+            service.log()->warn("bad_frame", {{"error", frame_error}});
+          }
+          svc::write_frame(
+              std::cout,
+              svc::render_error_reply(
+                  "", {svc::ErrorCode::kBadRequest, frame_error,
+                       std::string()}));
+        }
+        break;
+      }
+      std::string transport_error;
+      const std::optional<std::string> reply =
+          shm_client.roundtrip(payload, &transport_error);
+      if (!reply.has_value()) {
+        std::fprintf(stderr, "%s: shm transport failed: %s\n", program,
+                     transport_error.c_str());
+        break;
+      }
+      svc::write_frame(std::cout, *reply);
+      ++served;
+    }
+    shm_server.stop();
+    std::fprintf(stderr, "%s: served %zu request%s over shm\n", program,
+                 served, served == 1 ? "" : "s");
     save_cache();
     save_trace();
     return 0;
